@@ -1,0 +1,155 @@
+// Fig. 3 reproduction: four slowly varying 3-D linear elasticity systems
+// (moving soft spherical inclusion), AMG preconditioner with rigid-body
+// near-nullspace.
+//
+//  (a/b) FGCRO-DR(30,10) vs FGMRES(30), CG(4) smoother (nonlinear ->
+//        flexible variants mandatory). Paper: 235 vs 189 iterations,
+//        cumulative time gain +36.0%.
+//  (c/d) GCRO-DR(30,10) vs LGMRES(30,10), Chebyshev smoother (linear),
+//        right preconditioning. Paper: 269 vs 173 iterations, +15.1%.
+//
+// The matrices change between solves, so the recycled space is
+// re-orthonormalized through the distributed QR of A U_k (fig. 1 lines
+// 4-6) and refreshed by the generalized eigenproblem at each restart.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+#include "core/gcrodr.hpp"
+#include "core/gmres.hpp"
+#include "core/lgmres.hpp"
+#include "fem/elasticity3d.hpp"
+#include "precond/amg.hpp"
+
+namespace {
+
+using namespace bkr;
+
+ElasticityProblem make_system(index_t ne, const Inclusion& inclusion) {
+  ElasticityConfig cfg;
+  cfg.ne = ne;
+  cfg.inclusion = inclusion;
+  // Near-incompressible material: at single-node scale the full-strength
+  // AMG converges in a handful of iterations and nothing is
+  // restart-limited; nu -> 1/2 recreates the paper's iteration regime
+  // (DESIGN.md, substitutions).
+  cfg.poisson = 0.49;
+  return elasticity3d(cfg);
+}
+
+AmgPreconditioner<double> make_amg(const ElasticityProblem& prob, AmgSmoother smoother,
+                                   index_t iterations) {
+  AmgOptions o;
+  o.block_size = 3;
+  o.smoother = smoother;
+  o.smoother_iterations = iterations;
+  o.square_graph = true;
+  o.coarse_size = 300;
+  // Translational near-nullspace only: the rotational near-kernel then
+  // plays the role of the slow modes that problem size creates in the
+  // paper's runs — the deflation target of GCRO-DR.
+  return AmgPreconditioner<double>(
+      prob.matrix, o,
+      MatrixView<const double>(prob.rigid_body_modes.data(), prob.nfree, 3,
+                               prob.rigid_body_modes.ld()));
+}
+
+}  // namespace
+
+int main() {
+  using namespace bkr;
+  const index_t ne = 14;  // 9,450 dofs (paper: 192M-283M)
+  std::printf("3-D linear elasticity, ne=%lld (%lld dofs), 4 varying systems (moving inclusion)\n",
+              static_cast<long long>(ne),
+              static_cast<long long>(make_system(ne, kElasticitySequence[0]).nfree));
+
+  // --- fig. 3a/3b: FGMRES vs FGCRO-DR, CG(4) smoother (flexible) -------
+  bench::header("fig. 3a/3b — FGCRO-DR(30,10) vs FGMRES(30), CG(4) smoother");
+  {
+    SolverOptions fopts;
+    fopts.restart = 30;
+    fopts.tol = 1e-8;
+    fopts.side = PrecondSide::Flexible;
+    fopts.max_iterations = 3000;
+    auto gopts = fopts;
+    gopts.recycle = 10;
+    gopts.strategy = RecycleStrategy::A;  // the paper's artifact uses A here
+    GcroDr<double> recycler(gopts);
+    std::vector<double> t_fgmres, t_fgcrodr;
+    index_t it_fgmres = 0, it_fgcrodr = 0;
+    double setup_total = 0;
+    std::vector<double> hist_g, hist_c;
+    for (const auto& inclusion : kElasticitySequence) {
+      const auto prob = make_system(ne, inclusion);
+      Timer ts;
+      auto m = make_amg(prob, AmgSmoother::Cg, 4);
+      setup_total += ts.seconds();
+      CsrOperator<double> op(prob.matrix);
+      const index_t n = prob.nfree;
+      std::vector<double> xg(prob.rhs.size(), 0.0), xc(prob.rhs.size(), 0.0);
+      Timer t1;
+      const auto sg = block_gmres<double>(op, &m, MatrixView<const double>(prob.rhs.data(), n, 1, n),
+                                          MatrixView<double>(xg.data(), n, 1, n), fopts);
+      t_fgmres.push_back(t1.seconds());
+      it_fgmres += sg.iterations;
+      hist_g.insert(hist_g.end(), sg.history[0].begin(), sg.history[0].end());
+      Timer t2;
+      const auto sc = recycler.solve(op, &m, MatrixView<const double>(prob.rhs.data(), n, 1, n),
+                                     MatrixView<double>(xc.data(), n, 1, n), nullptr,
+                                     /*new_matrix=*/true);
+      t_fgcrodr.push_back(t2.seconds());
+      it_fgcrodr += sc.iterations;
+      hist_c.insert(hist_c.end(), sc.history[0].begin(), sc.history[0].end());
+      if (!sg.converged || !sc.converged) std::printf("  WARNING: non-converged solve\n");
+    }
+    std::printf("preconditioner setups (4 matrices): %.3f s total\n", setup_total);
+    std::printf("total iterations: FGMRES(30) %lld | FGCRO-DR(30,10) %lld  (paper: 235 | 189)\n",
+                static_cast<long long>(it_fgmres), static_cast<long long>(it_fgcrodr));
+    bench::print_gain_rows(t_fgmres, t_fgcrodr);
+    bench::print_history("FGMRES(30), CG(4) smoother", hist_g);
+    bench::print_history("FGCRO-DR(30,10), CG(4) smoother", hist_c);
+  }
+
+  // --- fig. 3c/3d: LGMRES vs GCRO-DR, Chebyshev smoother (linear) ------
+  bench::header("fig. 3c/3d — GCRO-DR(30,10) vs LGMRES(30,10), Chebyshev smoother, right precond");
+  {
+    SolverOptions lopts;
+    lopts.restart = 30;
+    lopts.recycle = 10;  // LGMRES augmentation count
+    lopts.tol = 1e-8;
+    lopts.side = PrecondSide::Right;
+    lopts.max_iterations = 3000;
+    auto gopts = lopts;
+    gopts.strategy = RecycleStrategy::A;
+    GcroDr<double> recycler(gopts);
+    std::vector<double> t_lgmres, t_gcrodr;
+    index_t it_lgmres = 0, it_gcrodr = 0;
+    std::vector<double> hist_l, hist_c;
+    for (const auto& inclusion : kElasticitySequence) {
+      const auto prob = make_system(ne, inclusion);
+      auto m = make_amg(prob, AmgSmoother::Chebyshev, 2);
+      CsrOperator<double> op(prob.matrix);
+      const index_t n = prob.nfree;
+      std::vector<double> xl(prob.rhs.size(), 0.0), xc(prob.rhs.size(), 0.0);
+      Timer t1;
+      const auto sl = lgmres<double>(op, &m, prob.rhs, xl, lopts);
+      t_lgmres.push_back(t1.seconds());
+      it_lgmres += sl.iterations;
+      hist_l.insert(hist_l.end(), sl.history[0].begin(), sl.history[0].end());
+      Timer t2;
+      const auto sc = recycler.solve(op, &m, MatrixView<const double>(prob.rhs.data(), n, 1, n),
+                                     MatrixView<double>(xc.data(), n, 1, n), nullptr,
+                                     /*new_matrix=*/true);
+      t_gcrodr.push_back(t2.seconds());
+      it_gcrodr += sc.iterations;
+      hist_c.insert(hist_c.end(), sc.history[0].begin(), sc.history[0].end());
+      if (!sl.converged || !sc.converged) std::printf("  WARNING: non-converged solve\n");
+    }
+    std::printf("total iterations: LGMRES(30,10) %lld | GCRO-DR(30,10) %lld  (paper: 269 | 173)\n",
+                static_cast<long long>(it_lgmres), static_cast<long long>(it_gcrodr));
+    bench::print_gain_rows(t_lgmres, t_gcrodr);
+    bench::print_history("LGMRES(30,10), Chebyshev smoother", hist_l);
+    bench::print_history("GCRO-DR(30,10), Chebyshev smoother", hist_c);
+  }
+  return 0;
+}

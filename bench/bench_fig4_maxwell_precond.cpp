@@ -1,0 +1,71 @@
+// Fig. 4 reproduction: GMRES convergence on the time-harmonic Maxwell
+// system with standard preconditioners vs the optimized Schwarz method
+// M^{-1}_ORAS of eq. 6.
+//
+// Paper (50M complex unknowns, 512 processes): ORAS converges in a few
+// dozen iterations; ASM with overlap 1 or 2 converges much slower; GAMG
+// stalls far from tolerance. Scaled-down shape target: same ranking.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+#include "core/gmres.hpp"
+#include "precond/amg.hpp"
+#include "precond/schwarz.hpp"
+
+int main() {
+  using namespace bkr;
+  using cd = std::complex<double>;
+  const index_t grid = 16;  // 10,800 complex unknowns (paper: 50M)
+  const auto prob = bench::chamber_problem(grid);
+  std::printf("Maxwell chamber analogue: %lld complex unknowns, %.1f wavelengths, loss %.2f\n",
+              static_cast<long long>(prob.nfree), prob.config.wavelengths, prob.config.loss);
+  const auto b = antenna_rhs(prob, 0, 32);
+  CsrOperator<cd> op(prob.matrix);
+  SolverOptions opts;
+  opts.restart = 400;  // "Full GMRES" as in the paper's fig. 4
+  opts.tol = 1e-8;
+  opts.max_iterations = 400;
+  opts.side = PrecondSide::Right;
+
+  auto run = [&](Preconditioner<cd>& m, const char* name) {
+    std::vector<cd> x(b.size(), cd(0));
+    Timer t;
+    const auto st = gmres<cd>(op, &m, b, x, opts);
+    std::printf("%-24s iterations %4lld  converged %d  final residual %.2e  (%.2f s)\n", name,
+                static_cast<long long>(st.iterations), int(st.converged), st.history[0].back(),
+                t.seconds());
+    bench::print_history(name, st.history[0], 25);
+  };
+
+  bench::header("fig. 4 — GMRES convergence per preconditioner");
+  {
+    SchwarzOptions o = bench::chamber_oras(16, 2, 0.5);
+    SchwarzPreconditioner<cd> m(prob.matrix, o);
+    run(m, "ORAS (eq. 6, delta=2)");
+  }
+  {
+    SchwarzOptions o;
+    o.subdomains = 16;
+    o.overlap = 1;
+    o.kind = SchwarzKind::Asm;
+    SchwarzPreconditioner<cd> m(prob.matrix, o);
+    run(m, "ASM overlap 1");
+  }
+  {
+    SchwarzOptions o;
+    o.subdomains = 16;
+    o.overlap = 2;
+    o.kind = SchwarzKind::Asm;
+    SchwarzPreconditioner<cd> m(prob.matrix, o);
+    run(m, "ASM overlap 2");
+  }
+  {
+    AmgOptions o;
+    o.smoother = AmgSmoother::Jacobi;
+    o.smoother_iterations = 2;
+    AmgPreconditioner<cd> m(prob.matrix, o);
+    run(m, "AMG (GAMG analogue)");
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Section V-B2 kernel study (google-benchmark): the arithmetic-intensity
+// advantage of fused multi-RHS kernels.
+//
+//  * SpMM with p columns vs p separate SpMV sweeps — the sparse
+//    matrix-dense matrix product of the paper's cost analysis;
+//  * batched dot products (one pass for p lanes) vs p separate passes —
+//    the fused reductions of pseudo-block methods;
+//  * multi-RHS triangular solves of the sparse factor vs one-by-one — the
+//    fig. 6 effect in isolation.
+#include <benchmark/benchmark.h>
+
+#include <complex>
+
+#include "common/rng.hpp"
+#include "direct/factor.hpp"
+#include "fem/maxwell3d.hpp"
+#include "fem/poisson2d.hpp"
+#include "la/blas.hpp"
+
+namespace {
+
+using namespace bkr;
+using cd = std::complex<double>;
+
+const CsrMatrix<double>& poisson_matrix() {
+  static const CsrMatrix<double> a = poisson2d(128, 128);
+  return a;
+}
+
+const MaxwellProblem& maxwell_problem() {
+  static const MaxwellProblem prob = [] {
+    MaxwellConfig cfg;
+    cfg.n = 10;
+    cfg.wavelengths = 1.0;
+    cfg.loss = 0.3;
+    return maxwell3d(cfg);
+  }();
+  return prob;
+}
+
+const SparseLDLT<cd>& maxwell_factor() {
+  static const SparseLDLT<cd> f(maxwell_problem().matrix);
+  return f;
+}
+
+void BM_SpmmFused(benchmark::State& state) {
+  const auto& a = poisson_matrix();
+  const index_t n = a.rows(), p = state.range(0);
+  DenseMatrix<double> x(n, p), y(n, p);
+  Rng rng(1);
+  for (index_t c = 0; c < p; ++c)
+    for (index_t i = 0; i < n; ++i) x(i, c) = rng.scalar<double>();
+  for (auto _ : state) {
+    a.spmm(x.view(), y.view());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * p);
+}
+BENCHMARK(BM_SpmmFused)->Arg(1)->Arg(4)->Arg(16)->Arg(32);
+
+void BM_SpmvColumnwise(benchmark::State& state) {
+  const auto& a = poisson_matrix();
+  const index_t n = a.rows(), p = state.range(0);
+  DenseMatrix<double> x(n, p), y(n, p);
+  Rng rng(1);
+  for (index_t c = 0; c < p; ++c)
+    for (index_t i = 0; i < n; ++i) x(i, c) = rng.scalar<double>();
+  for (auto _ : state) {
+    for (index_t c = 0; c < p; ++c) a.spmv(x.col(c), y.col(c));
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * p);
+}
+BENCHMARK(BM_SpmvColumnwise)->Arg(4)->Arg(16)->Arg(32);
+
+void BM_BatchedDots(benchmark::State& state) {
+  const index_t n = 1 << 16, p = state.range(0);
+  DenseMatrix<double> x(n, p), y(n, p);
+  Rng rng(2);
+  for (index_t c = 0; c < p; ++c)
+    for (index_t i = 0; i < n; ++i) {
+      x(i, c) = rng.scalar<double>();
+      y(i, c) = rng.scalar<double>();
+    }
+  std::vector<double> out(static_cast<size_t>(p));
+  for (auto _ : state) {
+    for (index_t c = 0; c < p; ++c) out[size_t(c)] = real_part(dot<double>(n, x.col(c), y.col(c)));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * p);
+}
+BENCHMARK(BM_BatchedDots)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_DirectSolveBlock(benchmark::State& state) {
+  const auto& f = maxwell_factor();
+  const index_t n = f.n(), p = state.range(0);
+  DenseMatrix<cd> b(n, p);
+  Rng rng(3);
+  for (index_t c = 0; c < p; ++c)
+    for (index_t i = 0; i < n; ++i) b(i, c) = rng.scalar<cd>();
+  DenseMatrix<cd> x(n, p);
+  for (auto _ : state) {
+    copy_into<cd>(b.view(), x.view());
+    f.solve(x.view());
+    benchmark::DoNotOptimize(x.data());
+  }
+  // RHS solved per second is the fig. 6 efficiency axis.
+  state.SetItemsProcessed(state.iterations() * p);
+}
+BENCHMARK(BM_DirectSolveBlock)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_DirectSolveOneByOne(benchmark::State& state) {
+  const auto& f = maxwell_factor();
+  const index_t n = f.n(), p = state.range(0);
+  DenseMatrix<cd> b(n, p);
+  Rng rng(3);
+  for (index_t c = 0; c < p; ++c)
+    for (index_t i = 0; i < n; ++i) b(i, c) = rng.scalar<cd>();
+  DenseMatrix<cd> x(n, p);
+  for (auto _ : state) {
+    copy_into<cd>(b.view(), x.view());
+    for (index_t c = 0; c < p; ++c) f.solve(x.block(0, c, n, 1));
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * p);
+}
+BENCHMARK(BM_DirectSolveOneByOne)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Every binary prints the rows/series of one table or figure of the
+// paper's evaluation (see DESIGN.md experiment index); these helpers keep
+// the output format consistent so EXPERIMENTS.md can quote it directly.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "fem/maxwell3d.hpp"
+#include "precond/schwarz.hpp"
+
+namespace bkr::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+// Print a convergence history as "iteration relative_residual" pairs,
+// downsampled to at most `max_points` rows (gnuplot-ready).
+inline void print_history(const std::string& label, const std::vector<double>& history,
+                          size_t max_points = 40) {
+  std::printf("# convergence %s (%zu iterations)\n", label.c_str(),
+              history.empty() ? size_t(0) : history.size() - 1);
+  const size_t stride = std::max<size_t>(1, history.size() / max_points);
+  for (size_t i = 0; i < history.size(); i += stride)
+    std::printf("%6zu  %10.3e\n", i, history[i]);
+  if (!history.empty() && (history.size() - 1) % stride != 0)
+    std::printf("%6zu  %10.3e\n", history.size() - 1, history.back());
+}
+
+// Per-RHS time/gain rows of figs. 2-3: "rhs time gain%".
+inline void print_gain_rows(const std::vector<double>& baseline,
+                            const std::vector<double>& candidate) {
+  double base_total = 0, cand_total = 0;
+  for (size_t i = 0; i < baseline.size(); ++i) {
+    const double gain = 100.0 * (baseline[i] - candidate[i]) / baseline[i];
+    std::printf("  rhs %zu: baseline %8.4f s   candidate %8.4f s   gain %+6.1f%%\n", i + 1,
+                baseline[i], candidate[i], gain);
+    base_total += baseline[i];
+    cand_total += candidate[i];
+  }
+  std::printf("  cumulative gain: %+.1f%%  (baseline %.4f s, candidate %.4f s)\n",
+              100.0 * (base_total - cand_total) / base_total, base_total, cand_total);
+}
+
+// The Maxwell "imaging chamber" analogue used by figs. 4, 7 and 8
+// (documented substitution in DESIGN.md): unit cube filled with the
+// dissipative matching medium, optionally with the plastic cylinder of
+// section V-C.
+inline MaxwellProblem chamber_problem(index_t grid, bool with_plastic_cylinder = false,
+                                      double wavelengths = 2.0) {
+  MaxwellConfig cfg;
+  cfg.n = grid;
+  cfg.wavelengths = wavelengths;
+  cfg.eps_r = 1.0;
+  cfg.loss = 0.15;  // dissipative matching solution
+  if (with_plastic_cylinder) {
+    cfg.inclusion_radius = 0.21;  // 12 cm cylinder in a ~56 cm chamber
+    cfg.inclusion_eps_r = 3.0;
+  }
+  return maxwell3d(cfg);
+}
+
+inline SchwarzOptions chamber_oras(index_t subdomains, index_t overlap = 2,
+                                   double impedance = 0.5) {
+  SchwarzOptions o;
+  o.subdomains = subdomains;
+  o.overlap = overlap;
+  o.kind = SchwarzKind::Oras;
+  o.impedance = impedance;
+  return o;
+}
+
+}  // namespace bkr::bench

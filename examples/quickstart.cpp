@@ -1,0 +1,62 @@
+// Quickstart: build a sparse system, solve it with GMRES, then solve a
+// sequence of right-hand sides with GCRO-DR and watch recycling pay off.
+//
+//   $ ./example_quickstart
+//
+// This is the 5-minute tour of the public API:
+//   CsrMatrix / CooBuilder     — assemble sparse operators
+//   CsrOperator                — operator handle for the solvers
+//   SolverOptions / SolveStats — configuration and results
+//   gmres / GcroDr             — the iterative methods
+#include <cstdio>
+#include <vector>
+
+#include "core/gcrodr.hpp"
+#include "core/gmres.hpp"
+#include "fem/poisson2d.hpp"
+
+int main() {
+  using namespace bkr;
+
+  // A 2-D Poisson matrix (10,000 unknowns) and the paper's four Gaussian
+  // sources as successive right-hand sides.
+  const index_t grid = 100;
+  const CsrMatrix<double> a = poisson2d(grid, grid);
+  const index_t n = a.rows();
+  CsrOperator<double> op(a);
+  std::printf("system: %lld unknowns, %lld nonzeros\n\n", static_cast<long long>(n),
+              static_cast<long long>(a.nnz()));
+
+  // --- one solve with restarted GMRES -----------------------------------
+  SolverOptions opts;
+  opts.restart = 30;   // GMRES(30)
+  opts.tol = 1e-8;     // relative residual target
+  {
+    const std::vector<double> b = poisson2d_rhs(grid, grid, 0.1);
+    std::vector<double> x(b.size(), 0.0);
+    const SolveStats st = gmres<double>(op, /*preconditioner=*/nullptr, b, x, opts);
+    std::printf("GMRES(30):        %4lld iterations, converged=%d, %.1f ms\n",
+                static_cast<long long>(st.iterations), int(st.converged), 1e3 * st.seconds);
+  }
+
+  // --- a sequence of RHS with GCRO-DR recycling --------------------------
+  // The matrix never changes, so `same_system` skips the recycled-space
+  // maintenance entirely (paper section III-B).
+  auto gopts = opts;
+  gopts.recycle = 10;       // keep a 10-dimensional deflation space
+  gopts.same_system = true;
+  GcroDr<double> solver(gopts);
+  std::printf("\nGCRO-DR(30,10) over the paper's four-RHS sequence:\n");
+  for (const double nu : kPoissonNus) {
+    const std::vector<double> b = poisson2d_rhs(grid, grid, nu);
+    std::vector<double> x(b.size(), 0.0);
+    const SolveStats st = solver.solve(op, nullptr, MatrixView<const double>(b.data(), n, 1, n),
+                                       MatrixView<double>(x.data(), n, 1, n));
+    std::printf("  nu = %8g: %4lld iterations, converged=%d, %.1f ms%s\n", nu,
+                static_cast<long long>(st.iterations), int(st.converged), 1e3 * st.seconds,
+                solver.has_recycled_space() ? "  (recycled space active)" : "");
+  }
+  std::printf("\nLater solves reuse the deflation subspace built during the first one —\n"
+              "that is the paper's central mechanism.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Shape-optimization-style sequence (paper section IV-C / V-D): solve a
+// chain of slowly varying elasticity systems, as an optimizer moving a
+// design parameter would, recycling the Krylov subspace across systems.
+//
+// Each step shrinks and shifts the soft inclusion a little; GCRO-DR
+// re-orthonormalizes its recycled space against the *new* operator
+// (fig. 1 lines 4-6) and keeps deflating.
+#include <cstdio>
+#include <vector>
+
+#include "core/gcrodr.hpp"
+#include "core/gmres.hpp"
+#include "fem/elasticity3d.hpp"
+#include "precond/amg.hpp"
+
+int main() {
+  using namespace bkr;
+  const index_t ne = 10;
+  const index_t design_steps = 6;
+  std::printf("shape optimization surrogate: 3-D elasticity, ne=%lld, %lld design steps\n",
+              static_cast<long long>(ne), static_cast<long long>(design_steps));
+
+  SolverOptions opts;
+  opts.restart = 30;
+  opts.tol = 1e-8;
+  opts.side = PrecondSide::Flexible;
+  auto gopts = opts;
+  gopts.recycle = 10;
+  gopts.strategy = RecycleStrategy::A;
+  GcroDr<double> recycler(gopts);
+
+  index_t total_gmres = 0, total_gcro = 0;
+  double compliance_prev = 0;
+  for (index_t step = 0; step < design_steps; ++step) {
+    // The design variable: the inclusion slides toward the clamped face
+    // and softens — a smooth path through matrix space.
+    ElasticityConfig cfg;
+    cfg.ne = ne;
+    cfg.inclusion.stiffness_ratio = 10.0 + 5.0 * double(step);
+    cfg.inclusion.radius = 0.35;
+    cfg.inclusion.x = 0.6 - 0.04 * double(step);
+    cfg.inclusion.y = 0.5;
+    cfg.inclusion.z = 0.5;
+    const auto prob = elasticity3d(cfg);
+    const index_t n = prob.nfree;
+    AmgOptions amg;
+    amg.block_size = 3;
+    amg.smoother = AmgSmoother::Cg;  // nonlinear -> flexible solvers
+    amg.smoother_iterations = 2;
+    AmgPreconditioner<double> m(prob.matrix, amg, prob.rigid_body_modes.view());
+    CsrOperator<double> op(prob.matrix);
+
+    std::vector<double> xg(prob.rhs.size(), 0.0), xc(prob.rhs.size(), 0.0);
+    const auto sg = block_gmres<double>(op, &m, MatrixView<const double>(prob.rhs.data(), n, 1, n),
+                                        MatrixView<double>(xg.data(), n, 1, n), opts);
+    const auto sc = recycler.solve(op, &m, MatrixView<const double>(prob.rhs.data(), n, 1, n),
+                                   MatrixView<double>(xc.data(), n, 1, n), nullptr,
+                                   /*new_matrix=*/true);
+    total_gmres += sg.iterations;
+    total_gcro += sc.iterations;
+    // The objective an optimizer would track: compliance f^T u.
+    double compliance = 0;
+    for (index_t i = 0; i < n; ++i) compliance += prob.rhs[size_t(i)] * xc[size_t(i)];
+    std::printf("  step %lld: FGMRES %3lld its | FGCRO-DR %3lld its | compliance %.6e (%+.1e)%s\n",
+                static_cast<long long>(step), static_cast<long long>(sg.iterations),
+                static_cast<long long>(sc.iterations), compliance,
+                step == 0 ? 0.0 : compliance - compliance_prev,
+                (sg.converged && sc.converged) ? "" : "  NOT CONVERGED");
+    compliance_prev = compliance;
+  }
+  std::printf("\ntotals over the design path: FGMRES %lld | FGCRO-DR %lld iterations\n",
+              static_cast<long long>(total_gmres), static_cast<long long>(total_gcro));
+  std::printf("(recycling helps most when consecutive systems are close — section V-D)\n");
+  return 0;
+}

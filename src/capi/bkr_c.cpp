@@ -1,0 +1,201 @@
+#include "capi/bkr_c.h"
+
+#include <complex>
+#include <vector>
+
+#include "core/gcrodr.hpp"
+#include "core/gmres.hpp"
+#include "sparse/csr.hpp"
+
+namespace {
+
+using bkr::CsrMatrix;
+using bkr::CsrOperator;
+using bkr::GcroDr;
+using bkr::index_t;
+using bkr::MatrixView;
+using bkr::SolveStats;
+using bkr::SolverOptions;
+using cd = std::complex<double>;
+
+SolverOptions to_cpp(const bkr_options* opts) {
+  SolverOptions o;
+  if (opts == nullptr) return o;
+  o.restart = opts->restart;
+  o.recycle = opts->recycle;
+  o.tol = opts->tol;
+  o.max_iterations = opts->max_iterations;
+  switch (opts->side) {
+    case BKR_SIDE_NONE: o.side = bkr::PrecondSide::None; break;
+    case BKR_SIDE_LEFT: o.side = bkr::PrecondSide::Left; break;
+    case BKR_SIDE_RIGHT: o.side = bkr::PrecondSide::Right; break;
+    case BKR_SIDE_FLEXIBLE: o.side = bkr::PrecondSide::Flexible; break;
+  }
+  o.strategy =
+      (opts->strategy == BKR_STRATEGY_A) ? bkr::RecycleStrategy::A : bkr::RecycleStrategy::B;
+  o.same_system = opts->same_system != 0;
+  o.record_history = false;
+  return o;
+}
+
+void to_c(const SolveStats& st, bkr_result* result) {
+  if (result == nullptr) return;
+  result->converged = st.converged ? 1 : 0;
+  result->iterations = st.iterations;
+  result->cycles = st.cycles;
+  result->reductions = st.reductions;
+  result->seconds = st.seconds;
+}
+
+template <class T>
+CsrMatrix<T>* make_matrix(int64_t n, const int64_t* rowptr, const int64_t* colind,
+                          const T* values) {
+  if (n <= 0 || rowptr == nullptr || colind == nullptr || values == nullptr) return nullptr;
+  const int64_t nnz = rowptr[n];
+  if (nnz < 0 || rowptr[0] != 0) return nullptr;
+  for (int64_t i = 0; i < n; ++i)
+    if (rowptr[i] > rowptr[i + 1]) return nullptr;
+  for (int64_t l = 0; l < nnz; ++l)
+    if (colind[l] < 0 || colind[l] >= n) return nullptr;
+  return new CsrMatrix<T>(n, n, std::vector<index_t>(rowptr, rowptr + n + 1),
+                          std::vector<index_t>(colind, colind + nnz),
+                          std::vector<T>(values, values + nnz));
+}
+
+}  // namespace
+
+struct bkr_matrix {
+  CsrMatrix<double>* m;
+};
+struct bkr_zmatrix {
+  CsrMatrix<cd>* m;
+};
+struct bkr_gcrodr {
+  GcroDr<double>* s;
+};
+struct bkr_zgcrodr {
+  GcroDr<cd>* s;
+};
+
+extern "C" {
+
+void bkr_options_default(bkr_options* opts) {
+  if (opts == nullptr) return;
+  opts->restart = 30;
+  opts->recycle = 10;
+  opts->tol = 1e-8;
+  opts->max_iterations = 10000;
+  opts->side = BKR_SIDE_RIGHT;
+  opts->strategy = BKR_STRATEGY_B;
+  opts->same_system = 0;
+}
+
+bkr_matrix* bkr_matrix_create(int64_t n, const int64_t* rowptr, const int64_t* colind,
+                              const double* values) {
+  auto* m = make_matrix<double>(n, rowptr, colind, values);
+  return m == nullptr ? nullptr : new bkr_matrix{m};
+}
+
+void bkr_matrix_destroy(bkr_matrix* a) {
+  if (a == nullptr) return;
+  delete a->m;
+  delete a;
+}
+
+int64_t bkr_matrix_rows(const bkr_matrix* a) { return a == nullptr ? 0 : a->m->rows(); }
+
+int bkr_gmres(const bkr_matrix* a, const double* b, double* x, const bkr_options* opts,
+              bkr_result* result) {
+  if (a == nullptr || b == nullptr || x == nullptr) return 1;
+  const index_t n = a->m->rows();
+  CsrOperator<double> op(*a->m);
+  const auto st = bkr::block_gmres<double>(op, nullptr, MatrixView<const double>(b, n, 1, n),
+                                           MatrixView<double>(x, n, 1, n), to_cpp(opts));
+  to_c(st, result);
+  return 0;
+}
+
+bkr_gcrodr* bkr_gcrodr_create(const bkr_options* opts) {
+  auto o = to_cpp(opts);
+  if (o.recycle <= 0) o.recycle = 10;
+  return new bkr_gcrodr{new GcroDr<double>(o)};
+}
+
+void bkr_gcrodr_destroy(bkr_gcrodr* solver) {
+  if (solver == nullptr) return;
+  delete solver->s;
+  delete solver;
+}
+
+int bkr_gcrodr_solve(bkr_gcrodr* solver, const bkr_matrix* a, const double* b, double* x,
+                     int new_matrix, bkr_result* result) {
+  if (solver == nullptr || a == nullptr || b == nullptr || x == nullptr) return 1;
+  const index_t n = a->m->rows();
+  CsrOperator<double> op(*a->m);
+  try {
+    const auto st = solver->s->solve(op, nullptr, MatrixView<const double>(b, n, 1, n),
+                                     MatrixView<double>(x, n, 1, n), nullptr, new_matrix != 0);
+    to_c(st, result);
+  } catch (const std::exception&) {
+    return 2;
+  }
+  return 0;
+}
+
+bkr_zmatrix* bkr_zmatrix_create(int64_t n, const int64_t* rowptr, const int64_t* colind,
+                                const double* values_interleaved) {
+  auto* m = make_matrix<cd>(n, rowptr, colind,
+                            reinterpret_cast<const cd*>(values_interleaved));
+  return m == nullptr ? nullptr : new bkr_zmatrix{m};
+}
+
+void bkr_zmatrix_destroy(bkr_zmatrix* a) {
+  if (a == nullptr) return;
+  delete a->m;
+  delete a;
+}
+
+int64_t bkr_zmatrix_rows(const bkr_zmatrix* a) { return a == nullptr ? 0 : a->m->rows(); }
+
+int bkr_zgmres(const bkr_zmatrix* a, const double* b_interleaved, double* x_interleaved,
+               const bkr_options* opts, bkr_result* result) {
+  if (a == nullptr || b_interleaved == nullptr || x_interleaved == nullptr) return 1;
+  const index_t n = a->m->rows();
+  CsrOperator<cd> op(*a->m);
+  const auto st = bkr::block_gmres<cd>(
+      op, nullptr, MatrixView<const cd>(reinterpret_cast<const cd*>(b_interleaved), n, 1, n),
+      MatrixView<cd>(reinterpret_cast<cd*>(x_interleaved), n, 1, n), to_cpp(opts));
+  to_c(st, result);
+  return 0;
+}
+
+bkr_zgcrodr* bkr_zgcrodr_create(const bkr_options* opts) {
+  auto o = to_cpp(opts);
+  if (o.recycle <= 0) o.recycle = 10;
+  return new bkr_zgcrodr{new GcroDr<cd>(o)};
+}
+
+void bkr_zgcrodr_destroy(bkr_zgcrodr* solver) {
+  if (solver == nullptr) return;
+  delete solver->s;
+  delete solver;
+}
+
+int bkr_zgcrodr_solve(bkr_zgcrodr* solver, const bkr_zmatrix* a, const double* b_interleaved,
+                      double* x_interleaved, int new_matrix, bkr_result* result) {
+  if (solver == nullptr || a == nullptr || b_interleaved == nullptr || x_interleaved == nullptr)
+    return 1;
+  const index_t n = a->m->rows();
+  CsrOperator<cd> op(*a->m);
+  try {
+    const auto st = solver->s->solve(
+        op, nullptr, MatrixView<const cd>(reinterpret_cast<const cd*>(b_interleaved), n, 1, n),
+        MatrixView<cd>(reinterpret_cast<cd*>(x_interleaved), n, 1, n), nullptr, new_matrix != 0);
+    to_c(st, result);
+  } catch (const std::exception&) {
+    return 2;
+  }
+  return 0;
+}
+
+}  // extern "C"

@@ -1,0 +1,101 @@
+/*
+ * C interface to the bkrylov solvers.
+ *
+ * The paper ships its solvers "readily available and usable in any C/C++,
+ * Python, or Fortran code" through a C library built from the C++ core
+ * (artifact section C: `LIST_COMPILATION=c make lib`). This header is the
+ * equivalent surface here: opaque handles around CSR matrices and solver
+ * instances, plain-old-data options, and double / double-complex entry
+ * points (the complex functions take interleaved re/im pairs, the layout
+ * of both C99 `double complex` and C++ `std::complex<double>`).
+ */
+#ifndef BKR_C_H
+#define BKR_C_H
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct bkr_matrix bkr_matrix;         /* CSR matrix, double */
+typedef struct bkr_zmatrix bkr_zmatrix;       /* CSR matrix, double complex */
+typedef struct bkr_gcrodr bkr_gcrodr;         /* persistent GCRO-DR solver, double */
+typedef struct bkr_zgcrodr bkr_zgcrodr;       /* persistent GCRO-DR solver, complex */
+
+typedef enum bkr_side {
+  BKR_SIDE_NONE = 0,
+  BKR_SIDE_LEFT = 1,
+  BKR_SIDE_RIGHT = 2,
+  BKR_SIDE_FLEXIBLE = 3,
+} bkr_side;
+
+typedef enum bkr_strategy {
+  BKR_STRATEGY_A = 0, /* eq. 3a */
+  BKR_STRATEGY_B = 1, /* eq. 3b */
+} bkr_strategy;
+
+typedef struct bkr_options {
+  int64_t restart;        /* m  (default 30) */
+  int64_t recycle;        /* k  (GCRO-DR only; default 10) */
+  double tol;             /* relative residual target (default 1e-8) */
+  int64_t max_iterations; /* default 10000 */
+  bkr_side side;          /* default BKR_SIDE_RIGHT */
+  bkr_strategy strategy;  /* default BKR_STRATEGY_B */
+  int same_system;        /* nonzero: A_i identical across the sequence */
+} bkr_options;
+
+typedef struct bkr_result {
+  int converged;
+  int64_t iterations;
+  int64_t cycles;
+  int64_t reductions;
+  double seconds;
+} bkr_result;
+
+/* Fill `opts` with the library defaults. */
+void bkr_options_default(bkr_options* opts);
+
+/* --- double-precision real ------------------------------------------- */
+
+/* Take ownership of nothing: the CSR arrays are copied. Returns NULL on
+ * invalid input (sizes must be consistent, indices 0-based). */
+bkr_matrix* bkr_matrix_create(int64_t n, const int64_t* rowptr, const int64_t* colind,
+                              const double* values);
+void bkr_matrix_destroy(bkr_matrix* a);
+int64_t bkr_matrix_rows(const bkr_matrix* a);
+
+/* One GMRES solve of A x = b (x holds the initial guess on entry, the
+ * solution on return). Returns 0 on success, nonzero on invalid input. */
+int bkr_gmres(const bkr_matrix* a, const double* b, double* x, const bkr_options* opts,
+              bkr_result* result);
+
+/* Persistent GCRO-DR: the recycled subspace lives in the handle across
+ * calls, as in the paper's sequence API (eq. 1). `new_matrix` marks
+ * A_i != A_{i-1}. */
+bkr_gcrodr* bkr_gcrodr_create(const bkr_options* opts);
+void bkr_gcrodr_destroy(bkr_gcrodr* solver);
+int bkr_gcrodr_solve(bkr_gcrodr* solver, const bkr_matrix* a, const double* b, double* x,
+                     int new_matrix, bkr_result* result);
+
+/* --- double-precision complex (interleaved re/im) --------------------- */
+
+bkr_zmatrix* bkr_zmatrix_create(int64_t n, const int64_t* rowptr, const int64_t* colind,
+                                const double* values_interleaved);
+void bkr_zmatrix_destroy(bkr_zmatrix* a);
+int64_t bkr_zmatrix_rows(const bkr_zmatrix* a);
+
+int bkr_zgmres(const bkr_zmatrix* a, const double* b_interleaved, double* x_interleaved,
+               const bkr_options* opts, bkr_result* result);
+
+bkr_zgcrodr* bkr_zgcrodr_create(const bkr_options* opts);
+void bkr_zgcrodr_destroy(bkr_zgcrodr* solver);
+int bkr_zgcrodr_solve(bkr_zgcrodr* solver, const bkr_zmatrix* a, const double* b_interleaved,
+                      double* x_interleaved, int new_matrix, bkr_result* result);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* BKR_C_H */

@@ -1,0 +1,22 @@
+// Wall-clock timing used by the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace bkr {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  // Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace bkr

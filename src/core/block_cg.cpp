@@ -1,0 +1,117 @@
+#include "core/block_cg.hpp"
+
+#include "common/timer.hpp"
+#include "core/krylov_detail.hpp"
+#include "la/factor.hpp"
+
+namespace bkr {
+
+template <class T>
+SolveStats block_cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const T> b,
+                    MatrixView<T> x, const SolverOptions& opts, CommModel* comm) {
+  using Real = real_t<T>;
+  Timer timer;
+  SolveStats st;
+  const index_t n = a.n(), p = b.cols();
+
+  std::vector<Real> bnorm(static_cast<size_t>(p)), rnorm(static_cast<size_t>(p));
+  detail::norms<T>(b, bnorm.data(), st, comm);
+  for (auto& v : bnorm)
+    if (v == Real(0)) v = Real(1);
+  st.history.resize(size_t(p));
+  st.per_rhs_iterations.assign(size_t(p), 0);
+
+  DenseMatrix<T> r(n, p), z(n, p), pdir(n, p), q(n, p);
+  a.apply(MatrixView<const T>(x.data(), n, p, x.ld()), r.view());
+  ++st.operator_applies;
+  for (index_t c = 0; c < p; ++c)
+    for (index_t i = 0; i < n; ++i) r(i, c) = b(i, c) - r(i, c);
+  detail::norms<T>(r.view(), rnorm.data(), st, comm);
+  if (opts.record_history)
+    for (index_t c = 0; c < p; ++c)
+      st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
+
+  auto precondition = [&](MatrixView<const T> in, MatrixView<T> out) {
+    if (m != nullptr) {
+      m->apply(in, out);
+      ++st.precond_applies;
+    } else {
+      copy_into<T>(in, out);
+    }
+  };
+  auto converged = [&] {
+    for (index_t c = 0; c < p; ++c)
+      if (rnorm[size_t(c)] > opts.tol * bnorm[size_t(c)]) return false;
+    return true;
+  };
+
+  precondition(r.view(), z.view());
+  copy_into<T>(MatrixView<const T>(z.data(), n, p, z.ld()), pdir.view());
+  // rho = Z^H R (p x p); one fused reduction.
+  DenseMatrix<T> rho(p, p), rho_new(p, p);
+  gemm<T>(Trans::C, Trans::N, T(1), z.view(), r.view(), T(0), rho.view());
+  st.reductions += 1;
+  if (comm != nullptr) comm->reduction(p * p * 8);
+
+  while (!converged() && st.iterations < opts.max_iterations) {
+    a.apply(MatrixView<const T>(pdir.data(), n, p, pdir.ld()), q.view());
+    ++st.operator_applies;
+    // alpha solves (P^H Q) alpha = rho; fused with the residual norms.
+    DenseMatrix<T> pq(p, p);
+    gemm<T>(Trans::C, Trans::N, T(1), pdir.view(), q.view(), T(0), pq.view());
+    st.reductions += 2;
+    if (comm != nullptr) {
+      comm->reduction(p * p * 8);
+      comm->reduction(p * 8);
+    }
+    DenseLU<T> lu(copy_of(pq));
+    if (lu.singular()) break;  // exact block breakdown: restart semantics not needed for SPD
+    DenseMatrix<T> alpha = copy_of(rho);
+    lu.solve(alpha.view());
+    // X += P alpha; R -= Q alpha.
+    gemm<T>(Trans::N, Trans::N, T(1), pdir.view(), alpha.view(), T(1),
+            MatrixView<T>(x.data(), n, p, x.ld()));
+    gemm<T>(Trans::N, Trans::N, T(-1), q.view(), alpha.view(), T(1), r.view());
+    column_norms<T>(r.view(), rnorm.data());
+    ++st.iterations;
+    for (index_t c = 0; c < p; ++c) {
+      if (opts.record_history)
+        st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
+      if (rnorm[size_t(c)] > opts.tol * bnorm[size_t(c)]) ++st.per_rhs_iterations[size_t(c)];
+    }
+    if (converged()) break;
+    precondition(r.view(), z.view());
+    gemm<T>(Trans::C, Trans::N, T(1), z.view(), r.view(), T(0), rho_new.view());
+    st.reductions += 1;
+    if (comm != nullptr) comm->reduction(p * p * 8);
+    // beta solves rho^H beta = rho_new (the O'Leary block update).
+    DenseLU<T> lurho([&] {
+      DenseMatrix<T> rt(p, p);
+      for (index_t j = 0; j < p; ++j)
+        for (index_t i = 0; i < p; ++i) rt(i, j) = conj(rho(j, i));
+      return rt;
+    }());
+    if (lurho.singular()) break;
+    DenseMatrix<T> beta = copy_of(rho_new);
+    lurho.solve(beta.view());
+    // P = Z + P beta.
+    DenseMatrix<T> pnext = copy_of(z);
+    gemm<T>(Trans::N, Trans::N, T(1), pdir.view(), beta.view(), T(1), pnext.view());
+    pdir = std::move(pnext);
+    rho = rho_new;
+  }
+  st.converged = converged();
+  st.seconds = timer.seconds();
+  return st;
+}
+
+template SolveStats block_cg<double>(const LinearOperator<double>&, Preconditioner<double>*,
+                                     MatrixView<const double>, MatrixView<double>,
+                                     const SolverOptions&, CommModel*);
+template SolveStats block_cg<std::complex<double>>(const LinearOperator<std::complex<double>>&,
+                                                   Preconditioner<std::complex<double>>*,
+                                                   MatrixView<const std::complex<double>>,
+                                                   MatrixView<std::complex<double>>,
+                                                   const SolverOptions&, CommModel*);
+
+}  // namespace bkr

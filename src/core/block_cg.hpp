@@ -1,0 +1,27 @@
+// Block Conjugate Gradient (O'Leary 1980) — the first block Krylov
+// method, cited by the paper (section II-B) as the origin of the family.
+//
+// True block recurrences: the step and orthogonalization coefficients are
+// p x p matrices solved by dense LU, so all p right-hand sides share one
+// block Krylov space (unlike the fused-but-independent recurrences of
+// cg()). For SPD (or Hermitian positive definite) systems only.
+#pragma once
+
+#include "core/operator.hpp"
+#include "core/solver.hpp"
+
+namespace bkr {
+
+template <class T>
+SolveStats block_cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const T> b,
+                    MatrixView<T> x, const SolverOptions& opts, CommModel* comm = nullptr);
+
+extern template SolveStats block_cg<double>(const LinearOperator<double>&,
+                                            Preconditioner<double>*, MatrixView<const double>,
+                                            MatrixView<double>, const SolverOptions&, CommModel*);
+extern template SolveStats block_cg<std::complex<double>>(
+    const LinearOperator<std::complex<double>>&, Preconditioner<std::complex<double>>*,
+    MatrixView<const std::complex<double>>, MatrixView<std::complex<double>>,
+    const SolverOptions&, CommModel*);
+
+}  // namespace bkr

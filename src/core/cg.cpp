@@ -1,0 +1,105 @@
+#include "core/cg.hpp"
+
+#include <algorithm>
+
+#include "common/timer.hpp"
+#include "core/krylov_detail.hpp"
+
+namespace bkr {
+
+template <class T>
+SolveStats cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const T> b,
+              MatrixView<T> x, const SolverOptions& opts, CommModel* comm) {
+  using Real = real_t<T>;
+  Timer timer;
+  SolveStats st;
+  const index_t n = a.n(), p = b.cols();
+
+  std::vector<Real> bnorm(static_cast<size_t>(p)), rnorm(static_cast<size_t>(p));
+  detail::norms<T>(b, bnorm.data(), st, comm);
+  for (auto& v : bnorm)
+    if (v == Real(0)) v = Real(1);
+  st.history.resize(size_t(p));
+  st.per_rhs_iterations.assign(size_t(p), 0);
+
+  DenseMatrix<T> r(n, p), z(n, p), q(n, p), d(n, p);
+  // r = b - A x
+  a.apply(MatrixView<const T>(x.data(), n, p, x.ld()), r.view());
+  ++st.operator_applies;
+  for (index_t c = 0; c < p; ++c)
+    for (index_t i = 0; i < n; ++i) r(i, c) = b(i, c) - r(i, c);
+  detail::norms<T>(r.view(), rnorm.data(), st, comm);
+  if (opts.record_history)
+    for (index_t c = 0; c < p; ++c)
+      st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
+
+  auto precondition = [&](MatrixView<const T> in, MatrixView<T> out) {
+    if (m != nullptr) {
+      m->apply(in, out);
+      ++st.precond_applies;
+    } else {
+      copy_into<T>(in, out);
+    }
+  };
+  precondition(r.view(), z.view());
+  copy_into<T>(MatrixView<const T>(z.data(), n, p, z.ld()), d.view());
+  std::vector<T> rho(static_cast<size_t>(p)), rho_old(static_cast<size_t>(p));
+  for (index_t c = 0; c < p; ++c) rho[size_t(c)] = dot<T>(n, r.col(c), z.col(c));
+  st.reductions += 1;
+  if (comm != nullptr) comm->reduction(p * 8);
+
+  auto converged = [&] {
+    for (index_t c = 0; c < p; ++c)
+      if (rnorm[size_t(c)] > opts.tol * bnorm[size_t(c)]) return false;
+    return true;
+  };
+
+  while (!converged() && st.iterations < opts.max_iterations) {
+    a.apply(MatrixView<const T>(d.data(), n, p, d.ld()), q.view());
+    ++st.operator_applies;
+    // Fused alpha = rho / (d, q) and (later) residual norms.
+    st.reductions += 2;
+    if (comm != nullptr) {
+      comm->reduction(p * 8);
+      comm->reduction(p * 8);
+    }
+    for (index_t c = 0; c < p; ++c) {
+      const T dq = dot<T>(n, d.col(c), q.col(c));
+      if (dq == T(0)) continue;  // converged/breakdown lane
+      const T alpha = rho[size_t(c)] / dq;
+      axpy<T>(n, alpha, d.col(c), x.col(c));
+      axpy<T>(n, -alpha, q.col(c), r.col(c));
+    }
+    column_norms<T>(r.view(), rnorm.data());
+    ++st.iterations;
+    for (index_t c = 0; c < p; ++c) {
+      if (opts.record_history)
+        st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
+      if (rnorm[size_t(c)] > opts.tol * bnorm[size_t(c)]) ++st.per_rhs_iterations[size_t(c)];
+    }
+    if (converged()) break;
+    precondition(r.view(), z.view());
+    std::swap(rho, rho_old);
+    for (index_t c = 0; c < p; ++c) rho[size_t(c)] = dot<T>(n, r.col(c), z.col(c));
+    st.reductions += 1;
+    if (comm != nullptr) comm->reduction(p * 8);
+    for (index_t c = 0; c < p; ++c) {
+      const T beta = (rho_old[size_t(c)] == T(0)) ? T(0) : rho[size_t(c)] / rho_old[size_t(c)];
+      for (index_t i = 0; i < n; ++i) d(i, c) = z(i, c) + beta * d(i, c);
+    }
+  }
+  st.converged = converged();
+  st.seconds = timer.seconds();
+  return st;
+}
+
+template SolveStats cg<double>(const LinearOperator<double>&, Preconditioner<double>*,
+                               MatrixView<const double>, MatrixView<double>, const SolverOptions&,
+                               CommModel*);
+template SolveStats cg<std::complex<double>>(const LinearOperator<std::complex<double>>&,
+                                             Preconditioner<std::complex<double>>*,
+                                             MatrixView<const std::complex<double>>,
+                                             MatrixView<std::complex<double>>,
+                                             const SolverOptions&, CommModel*);
+
+}  // namespace bkr

@@ -1,0 +1,37 @@
+// Preconditioned Conjugate Gradient.
+//
+// Used two ways: as a solver for SPD systems and — with a fixed, small
+// iteration count — as the *nonlinear* multigrid smoother of the paper's
+// section IV-C ("-mg_levels_ksp_type cg -mg_levels_ksp_max_it 4"), which
+// is what forces the flexible variants FGMRES / FGCRO-DR. A block of p
+// RHS runs p independent recurrences with fused kernels (batched SpMM and
+// one reduction per dot-product family).
+#pragma once
+
+#include "core/operator.hpp"
+#include "core/solver.hpp"
+
+namespace bkr {
+
+template <class T>
+SolveStats cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const T> b,
+              MatrixView<T> x, const SolverOptions& opts, CommModel* comm = nullptr);
+
+template <class T>
+SolveStats cg(const LinearOperator<T>& a, Preconditioner<T>* m, const std::vector<T>& b,
+              std::vector<T>& x, const SolverOptions& opts, CommModel* comm = nullptr) {
+  const index_t n = a.n();
+  return cg<T>(a, m, MatrixView<const T>(b.data(), n, 1, n), MatrixView<T>(x.data(), n, 1, n),
+               opts, comm);
+}
+
+extern template SolveStats cg<double>(const LinearOperator<double>&, Preconditioner<double>*,
+                                      MatrixView<const double>, MatrixView<double>,
+                                      const SolverOptions&, CommModel*);
+extern template SolveStats cg<std::complex<double>>(const LinearOperator<std::complex<double>>&,
+                                                    Preconditioner<std::complex<double>>*,
+                                                    MatrixView<const std::complex<double>>,
+                                                    MatrixView<std::complex<double>>,
+                                                    const SolverOptions&, CommModel*);
+
+}  // namespace bkr

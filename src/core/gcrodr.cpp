@@ -1,0 +1,420 @@
+#include "core/gcrodr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/timer.hpp"
+#include "core/krylov_detail.hpp"
+#include "la/eig.hpp"
+
+namespace bkr {
+
+namespace {
+
+template <class T>
+index_t usable_columns(const IncrementalQR<T>& qr, index_t s) {
+  real_t<T> dmax(0);
+  for (index_t c = 0; c < s; ++c) dmax = std::max(dmax, abs_val(qr.r(c, c)));
+  for (index_t c = 0; c < s; ++c)
+    if (abs_val(qr.r(c, c)) <= real_t<T>(1e-14) * std::max(dmax, real_t<T>(1e-300))) return c;
+  return s;
+}
+
+// One (block) Arnoldi cycle, optionally on the projected operator
+// (I - C C^H) op. Collects the raw block Hessenberg (hbar), its
+// incremental QR, the least-squares RHS image (ghat), and — when
+// projecting — the coupling matrix E = C^H op(V) (fig. 1 line 26).
+template <class T>
+struct ArnoldiCycle {
+  DenseMatrix<T> v;     // n x (max_steps+1)p basis
+  DenseMatrix<T> z;     // flexible preconditioned basis (n x max_steps*p)
+  DenseMatrix<T> hbar;  // raw block Hessenberg
+  DenseMatrix<T> ghat;
+  DenseMatrix<T> e;  // kp x max_steps*p
+  IncrementalQR<T> qr{1, 1};
+  index_t steps = 0;
+  bool hit_tolerance = false;
+
+  // Returns the usable Krylov dimension (0 on immediate breakdown).
+  index_t run(const LinearOperator<T>& a, Preconditioner<T>* m, PrecondSide side,
+              MatrixView<const T> r0, MatrixView<const T> c, index_t max_steps,
+              const SolverOptions& opts, const std::vector<real_t<T>>& bnorm, SolveStats& st,
+              CommModel* comm) {
+    using Real = real_t<T>;
+    const index_t n = r0.rows(), p = r0.cols();
+    const index_t kp = c.cols();
+    v.resize(n, (max_steps + 1) * p);
+    if (side == PrecondSide::Flexible) z.resize(n, max_steps * p);
+    hbar.resize((max_steps + 1) * p, max_steps * p);
+    ghat.resize((max_steps + 1) * p, p);
+    if (kp > 0) e.resize(kp, max_steps * p);
+    qr = IncrementalQR<T>((max_steps + 1) * p, max_steps * p);
+    steps = 0;
+    hit_tolerance = false;
+
+    DenseMatrix<T> ztmp(n, p), w(n, p);
+    DenseMatrix<T> hcol((max_steps + 2) * p, p);
+    DenseMatrix<T> sblock(p, p), ecol(std::max<index_t>(kp, 1), p);
+
+    copy_into<T>(r0, v.block(0, 0, n, p));
+    detail::qr_block<T>(v.block(0, 0, n, p), sblock.view(), st, comm);
+    ghat.set_zero();
+    for (index_t cc = 0; cc < p; ++cc)
+      for (index_t rr = 0; rr <= cc; ++rr) ghat(rr, cc) = sblock(rr, cc);
+
+    index_t j = 0;
+    while (j < max_steps && st.iterations < opts.max_iterations) {
+      const auto vj = MatrixView<const T>(v.col(j * p), n, p, v.ld());
+      MatrixView<T> zj = (side == PrecondSide::Flexible) ? z.block(0, j * p, n, p) : ztmp.view();
+      detail::apply_preconditioned<T>(a, m, side, vj, zj, w.view(), st);
+      if (kp > 0) {
+        // Project against the recycled space: E_j = C^H w, w -= C E_j
+        // (one additional reduction per iteration — the 2(m-k) vs m count
+        // of section III-D).
+        gemm<T>(Trans::C, Trans::N, T(1), c, w.view(), T(0), ecol.block(0, 0, kp, p));
+        st.reductions += 1;
+        if (comm != nullptr) comm->reduction(kp * p * 8);
+        gemm<T>(Trans::N, Trans::N, T(-1), c, ecol.block(0, 0, kp, p), T(1), w.view());
+        copy_into<T>(ecol.block(0, 0, kp, p), e.block(0, j * p, kp, p));
+      }
+      hcol.set_zero();
+      detail::project<T>(v.view(), (j + 1) * p, w.view(), hcol.view(), opts.ortho, p, st, comm);
+      auto vnext = v.block(0, (j + 1) * p, n, p);
+      copy_into<T>(w.view(), vnext);
+      const bool full_rank = detail::qr_block<T>(vnext, sblock.view(), st, comm);
+      for (index_t cc = 0; cc < p; ++cc)
+        for (index_t rr = 0; rr <= cc; ++rr) hcol((j + 1) * p + rr, cc) = sblock(rr, cc);
+      // Commit the Hessenberg columns even on a (happy) breakdown — the
+      // least squares over them may hold the exact solution; the rank-
+      // deficient tail is excluded by usable_columns.
+      for (index_t cc = 0; cc < p; ++cc) {
+        for (index_t rr = 0; rr < (j + 2) * p; ++rr) hbar(rr, j * p + cc) = hcol(rr, cc);
+        qr.add_column(hcol.col(cc), (j + 2) * p);
+      }
+      qr.apply_qt_range(ghat.view(), j * p);
+      ++j;
+      ++st.iterations;
+      bool all_small = true;
+      for (index_t cc = 0; cc < p; ++cc) {
+        const Real est = norm2<T>(p, &ghat(j * p, cc));
+        if (opts.record_history) st.history[size_t(cc)].push_back(est / bnorm[size_t(cc)]);
+        if (est > opts.tol * bnorm[size_t(cc)]) {
+          all_small = false;
+          ++st.per_rhs_iterations[size_t(cc)];
+        }
+      }
+      steps = j;
+      if (all_small) {
+        hit_tolerance = true;
+        break;
+      }
+      if (!full_rank) break;
+    }
+    steps = j;
+    return usable_columns(qr, steps * p);
+  }
+
+  // Least-squares solution Y over the first s Krylov columns.
+  [[nodiscard]] DenseMatrix<T> least_squares(index_t s, index_t p) const {
+    DenseMatrix<T> y(s, p);
+    copy_into<T>(MatrixView<const T>(ghat.data(), s, p, ghat.ld()), y.view());
+    const DenseMatrix<T> r = qr.r_matrix();
+    trsm_left_upper<T>(MatrixView<const T>(r.data(), s, s, r.ld()), y.view());
+    return y;
+  }
+
+  // The basis reconstructing solution updates (preconditioned space for
+  // flexible, Krylov space otherwise).
+  [[nodiscard]] MatrixView<const T> update_basis(PrecondSide side, index_t n, index_t s) const {
+    const DenseMatrix<T>& basis = (side == PrecondSide::Flexible) ? z : v;
+    return MatrixView<const T>(basis.data(), n, s, basis.ld());
+  }
+};
+
+// Harmonic Ritz deflation after the first (unprojected) cycle: the k
+// smallest harmonic Ritz pairs of the Hessenberg, via the generalized
+// form (R^H R) z = theta H_m^H z assembled from the incremental QR
+// (fig. 1 line 16 / the paper's eq. 2 reformulation).
+template <class T>
+DenseMatrix<T> first_cycle_deflation_vectors(const ArnoldiCycle<T>& cycle, index_t s, index_t k) {
+  DenseMatrix<T> r = cycle.qr.r_matrix();  // steps*p square
+  DenseMatrix<T> t(s, s);
+  gemm<T>(Trans::C, Trans::N, T(1), MatrixView<const T>(r.data(), s, s, r.ld()),
+          MatrixView<const T>(r.data(), s, s, r.ld()), T(0), t.view());
+  DenseMatrix<T> w(s, s);
+  for (index_t j = 0; j < s; ++j)
+    for (index_t i = 0; i < s; ++i) w(i, j) = conj(cycle.hbar(j, i));  // H_m^H
+  return smallest_gen_eig_vectors<T>(t, w, k);
+}
+
+}  // namespace
+
+template <class T>
+SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
+                            MatrixView<const T> b, MatrixView<T> x, CommModel* comm,
+                            bool new_matrix) {
+  using Real = real_t<T>;
+  Timer timer;
+  SolveStats st;
+  const index_t n = a.n(), p = b.cols();
+  PrecondSide side = (m == nullptr) ? PrecondSide::None : opts_.side;
+  if (side == PrecondSide::Right && m != nullptr && m->is_variable()) side = PrecondSide::Flexible;
+  const index_t mdim = opts_.restart;
+  const index_t k = std::min(opts_.recycle, mdim - 1);
+  if (k <= 0) throw std::invalid_argument("GcroDr: opts.recycle must be in [1, restart)");
+  const index_t kp = k * p;
+  const bool matrix_changed = (solves_ == 0) || (new_matrix && !opts_.same_system);
+  ++solves_;
+
+  std::vector<Real> bnorm(static_cast<size_t>(p)), rnorm(static_cast<size_t>(p));
+  DenseMatrix<T> scratch;
+  if (side == PrecondSide::Left) {
+    scratch.resize(n, p);
+    m->apply(b, scratch.view());
+    ++st.precond_applies;
+    detail::norms<T>(scratch.view(), bnorm.data(), st, comm);
+  } else {
+    detail::norms<T>(b, bnorm.data(), st, comm);
+  }
+  for (auto& v : bnorm)
+    if (v == Real(0)) v = Real(1);
+  st.history.resize(size_t(p));
+  st.per_rhs_iterations.assign(size_t(p), 0);
+
+  DenseMatrix<T> r(n, p);
+  detail::residual<T>(a, m, side, b, x, r.view(), scratch, st);
+  detail::norms<T>(r.view(), rnorm.data(), st, comm);
+  if (opts_.record_history)
+    for (index_t c = 0; c < p; ++c)
+      st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
+  auto converged = [&] {
+    for (index_t c = 0; c < p; ++c)
+      if (rnorm[size_t(c)] > opts_.tol * bnorm[size_t(c)]) return false;
+    return true;
+  };
+  if (converged()) {
+    st.converged = true;
+    st.seconds = timer.seconds();
+    return st;
+  }
+
+  DenseMatrix<T> ztmp(n, p);
+  ArnoldiCycle<T> cycle;
+
+  // Apply the (possibly preconditioned) operator to a block (used for the
+  // distributed QR of op(U), fig. 1 lines 4-6).
+  auto apply_op = [&](MatrixView<const T> in, MatrixView<T> out) {
+    if (side == PrecondSide::Right) {
+      DenseMatrix<T> tmp(n, in.cols());
+      m->apply(in, tmp.view());
+      ++st.precond_applies;
+      a.apply(tmp.view(), out);
+      ++st.operator_applies;
+    } else if (side == PrecondSide::Left) {
+      DenseMatrix<T> tmp(n, in.cols());
+      a.apply(in, tmp.view());
+      ++st.operator_applies;
+      m->apply(tmp.view(), out);
+      ++st.precond_applies;
+    } else {  // None, Flexible: U lives in solution space, apply A directly
+      a.apply(in, out);
+      ++st.operator_applies;
+    }
+  };
+  // Add a solution update that lives in Krylov space (Right needs one
+  // M^{-1}; everything else is direct).
+  auto add_update = [&](MatrixView<const T> t) {
+    if (side == PrecondSide::Right) {
+      m->apply(t, ztmp.view());
+      ++st.precond_applies;
+      for (index_t c = 0; c < p; ++c) axpy<T>(n, T(1), ztmp.col(c), x.col(c));
+    } else {
+      for (index_t c = 0; c < p; ++c) axpy<T>(n, T(1), t.col(c), x.col(c));
+    }
+  };
+
+  if (u_.cols() > 0) {
+    if (matrix_changed) {
+      // Lines 4-6: [Q, R] = distributed_qr(op(U)); C = Q; U = U R^{-1}.
+      c_.resize(n, u_.cols());
+      apply_op(u_.view(), c_.view());
+      DenseMatrix<T> rq(u_.cols(), u_.cols());
+      detail::qr_block<T>(c_.view(), rq.view(), st, comm);
+      trsm_right_upper<T>(rq.view(), u_.view());
+    }
+    // Lines 8-9: X += U C^H R, R -= C C^H R (one fused reduction).
+    DenseMatrix<T> y0(u_.cols(), p);
+    gemm<T>(Trans::C, Trans::N, T(1), c_.view(), r.view(), T(0), y0.view());
+    st.reductions += 1;
+    if (comm != nullptr) comm->reduction(u_.cols() * p * 8);
+    DenseMatrix<T> t(n, p);
+    gemm<T>(Trans::N, Trans::N, T(1), u_.view(), y0.view(), T(0), t.view());
+    add_update(t.view());
+    gemm<T>(Trans::N, Trans::N, T(-1), c_.view(), y0.view(), T(1), r.view());
+    detail::norms<T>(r.view(), rnorm.data(), st, comm);
+    if (converged()) {
+      st.converged = true;
+      st.seconds = timer.seconds();
+      return st;
+    }
+  } else {
+    // First cycle of the sequence: m steps of plain (block) GMRES
+    // (fig. 1 lines 11-20).
+    ++st.cycles;
+    const index_t s =
+        cycle.run(a, m, side, r.view(), MatrixView<const T>(nullptr, 0, 0, 0), mdim, opts_, bnorm,
+                  st, comm);
+    if (s == 0) {
+      st.seconds = timer.seconds();
+      return st;  // complete stagnation
+    }
+    const DenseMatrix<T> y = cycle.least_squares(s, p);
+    DenseMatrix<T> t(n, p);
+    gemm<T>(Trans::N, Trans::N, T(1), cycle.update_basis(side, n, s), y.view(), T(0), t.view());
+    add_update(t.view());
+    // Harmonic Ritz deflation seeds U_k, C_k (lines 16-20).
+    const index_t k_eff = std::min(kp, s);
+    const DenseMatrix<T> pk = first_cycle_deflation_vectors<T>(cycle, s, k_eff);
+    // [Q, R] = qr(Hbar * Pk); C = V_{m+1} Q; U = basis * Pk * R^{-1}.
+    DenseMatrix<T> hp((cycle.steps + 1) * p, k_eff);
+    gemm<T>(Trans::N, Trans::N, T(1),
+            MatrixView<const T>(cycle.hbar.data(), (cycle.steps + 1) * p, s, cycle.hbar.ld()),
+            pk.view(), T(0), hp.view());
+    HouseholderQR<T> hq(copy_of(hp));
+    const DenseMatrix<T> q = hq.q_thin();
+    const DenseMatrix<T> rq = hq.r();
+    c_.resize(n, k_eff);
+    gemm<T>(Trans::N, Trans::N, T(1),
+            MatrixView<const T>(cycle.v.data(), n, (cycle.steps + 1) * p, cycle.v.ld()), q.view(),
+            T(0), c_.view());
+    u_.resize(n, k_eff);
+    gemm<T>(Trans::N, Trans::N, T(1), cycle.update_basis(side, n, s), pk.view(), T(0), u_.view());
+    trsm_right_upper<T>(rq.view(), u_.view());
+    // Recompute the true residual for the EPS test (line 15).
+    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm);
+    if (converged()) {
+      st.converged = true;
+      st.seconds = timer.seconds();
+      return st;
+    }
+  }
+
+  // Outer loop (fig. 1 lines 22-39): cycles of m - k projected steps.
+  const index_t inner = mdim - k;
+  while (st.iterations < opts_.max_iterations) {
+    ++st.cycles;
+    // C^H R_{j-1} for the solution update (line 28; one reduction — this
+    // is "the update of the least squares problem" of section III-D).
+    DenseMatrix<T> yc(u_.cols(), p);
+    gemm<T>(Trans::C, Trans::N, T(1), c_.view(), r.view(), T(0), yc.view());
+    st.reductions += 1;
+    if (comm != nullptr) comm->reduction(u_.cols() * p * 8);
+
+    const index_t s = cycle.run(a, m, side, r.view(), c_.view(), inner, opts_, bnorm, st, comm);
+    if (s == 0 && !cycle.hit_tolerance) break;  // stagnation
+    if (s > 0) {
+      const DenseMatrix<T> ym = cycle.least_squares(s, p);
+      // Y_k = C^H R_{j-1} - E Y_m (line 28).
+      gemm<T>(Trans::N, Trans::N, T(-1),
+              MatrixView<const T>(cycle.e.data(), u_.cols(), s, cycle.e.ld()), ym.view(), T(1),
+              yc.view());
+      DenseMatrix<T> t(n, p);
+      gemm<T>(Trans::N, Trans::N, T(1), cycle.update_basis(side, n, s), ym.view(), T(0), t.view());
+      if (side == PrecondSide::Flexible) {
+        // U is in solution space; add U Y_k directly, basis part too.
+        gemm<T>(Trans::N, Trans::N, T(1), u_.view(), yc.view(), T(1), t.view());
+        for (index_t c = 0; c < p; ++c) axpy<T>(n, T(1), t.col(c), x.col(c));
+      } else {
+        gemm<T>(Trans::N, Trans::N, T(1), u_.view(), yc.view(), T(1), t.view());
+        add_update(t.view());
+      }
+    }
+    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm);
+    if (converged()) {
+      st.converged = true;
+      break;
+    }
+    if (s == 0) break;
+
+    if (matrix_changed) {
+      // Lines 31-38: refresh the recycled space through the generalized
+      // eigenproblem T z = theta W z.
+      const index_t kcur = u_.cols();
+      const index_t vcols = (cycle.steps + 1) * p;  // columns of the V basis
+      const index_t rows = kcur + vcols;
+      const index_t cols = kcur + s;
+      // Scale U columns to unit norm (line 32; one fused reduction).
+      std::vector<Real> unorm(static_cast<size_t>(kcur));
+      detail::norms<T>(u_.view(), unorm.data(), st, comm);
+      for (index_t c = 0; c < kcur; ++c) {
+        const T inv = scalar_traits<T>::from_real(Real(1) / std::max(unorm[size_t(c)], Real(1e-300)));
+        scal<T>(n, inv, u_.col(c));
+      }
+      // G = [[D_k, E], [0, Hbar]] with D_k = diag(1/||u_c||) so that
+      // op([U_s, basis]) = [C, V] G.
+      DenseMatrix<T> g(rows, cols);
+      for (index_t c = 0; c < kcur; ++c)
+        g(c, c) = scalar_traits<T>::from_real(Real(1) / std::max(unorm[size_t(c)], Real(1e-300)));
+      for (index_t j = 0; j < s; ++j) {
+        for (index_t i = 0; i < kcur; ++i) g(i, kcur + j) = cycle.e(i, j);
+        for (index_t i = 0; i < vcols; ++i) g(kcur + i, kcur + j) = cycle.hbar(i, j);
+      }
+      DenseMatrix<T> tmat(cols, cols);
+      gemm<T>(Trans::C, Trans::N, T(1), g.view(), g.view(), T(0), tmat.view());
+      DenseMatrix<T> wmat(cols, cols);
+      if (opts_.strategy == RecycleStrategy::B) {
+        // Eq. 3b: W = G^H [I; 0] — the first `cols` rows of G, conjugated.
+        for (index_t j = 0; j < cols; ++j)
+          for (index_t i = 0; i < cols; ++i) wmat(i, j) = conj(g(j, i));
+      } else {
+        // Eq. 3a: W = G^H [[C^H U, 0], [V^H U, I]]; the [C V]^H U block
+        // costs one extra global reduction.
+        DenseMatrix<T> inner_mat(rows, cols);
+        DenseMatrix<T> cu(rows, kcur);
+        // [C V]^H U in two gemms sharing one reduction.
+        gemm<T>(Trans::C, Trans::N, T(1), c_.view(), u_.view(), T(0),
+                cu.block(0, 0, kcur, kcur));
+        gemm<T>(Trans::C, Trans::N, T(1),
+                MatrixView<const T>(cycle.v.data(), n, vcols, cycle.v.ld()), u_.view(), T(0),
+                cu.block(kcur, 0, vcols, kcur));
+        st.reductions += 1;
+        if (comm != nullptr) comm->reduction(rows * kcur * 8);
+        copy_into<T>(MatrixView<const T>(cu.data(), rows, kcur, cu.ld()),
+                     inner_mat.block(0, 0, rows, kcur));
+        for (index_t j = 0; j < s; ++j) inner_mat(kcur + j, kcur + j) = T(1);
+        gemm<T>(Trans::C, Trans::N, T(1), g.view(), inner_mat.view(), T(0), wmat.view());
+      }
+      const DenseMatrix<T> pk = smallest_gen_eig_vectors<T>(tmat, wmat, std::min(kp, cols));
+      const index_t knew = pk.cols();
+      // [Q, R] = qr(G Pk); C = [C V] Q; U = [U basis] Pk R^{-1}.
+      DenseMatrix<T> gp(rows, knew);
+      gemm<T>(Trans::N, Trans::N, T(1), g.view(), pk.view(), T(0), gp.view());
+      HouseholderQR<T> hq(copy_of(gp));
+      const DenseMatrix<T> q = hq.q_thin();
+      const DenseMatrix<T> rq = hq.r();
+      DenseMatrix<T> cnew(n, knew);
+      DenseMatrix<T> cv(n, rows);
+      copy_into<T>(c_.view(), cv.block(0, 0, n, kcur));
+      copy_into<T>(MatrixView<const T>(cycle.v.data(), n, vcols, cycle.v.ld()),
+                   cv.block(0, kcur, n, vcols));
+      gemm<T>(Trans::N, Trans::N, T(1), cv.view(), q.view(), T(0), cnew.view());
+      DenseMatrix<T> ub(n, cols);
+      copy_into<T>(u_.view(), ub.block(0, 0, n, kcur));
+      copy_into<T>(cycle.update_basis(side, n, s), ub.block(0, kcur, n, s));
+      DenseMatrix<T> unew(n, knew);
+      gemm<T>(Trans::N, Trans::N, T(1), ub.view(), pk.view(), T(0), unew.view());
+      trsm_right_upper<T>(rq.view(), unew.view());
+      c_ = std::move(cnew);
+      u_ = std::move(unew);
+    }
+  }
+  st.seconds = timer.seconds();
+  return st;
+}
+
+template class GcroDr<double>;
+template class GcroDr<std::complex<double>>;
+
+}  // namespace bkr

@@ -1,0 +1,334 @@
+#include "core/gmres.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/timer.hpp"
+#include "core/krylov_detail.hpp"
+
+namespace bkr {
+
+namespace {
+
+// Leading Krylov columns with a safely invertible R factor; stagnated
+// directions past the first tiny diagonal are discarded.
+template <class T>
+index_t usable_columns(const IncrementalQR<T>& qr, index_t s) {
+  real_t<T> dmax(0);
+  for (index_t c = 0; c < s; ++c) dmax = std::max(dmax, abs_val(qr.r(c, c)));
+  for (index_t c = 0; c < s; ++c)
+    if (abs_val(qr.r(c, c)) <= real_t<T>(1e-14) * std::max(dmax, real_t<T>(1e-300))) return c;
+  return s;
+}
+
+}  // namespace
+
+template <class T>
+SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const T> b,
+                       MatrixView<T> x, const SolverOptions& opts, CommModel* comm) {
+  using Real = real_t<T>;
+  Timer timer;
+  SolveStats st;
+  const index_t n = a.n(), p = b.cols();
+  PrecondSide side = (m == nullptr) ? PrecondSide::None : opts.side;
+  if (side == PrecondSide::Right && m != nullptr && m->is_variable()) side = PrecondSide::Flexible;
+  const index_t mdim = opts.restart;
+
+  std::vector<Real> bnorm(static_cast<size_t>(p)), rnorm(static_cast<size_t>(p));
+  DenseMatrix<T> scratch;
+  if (side == PrecondSide::Left) {
+    scratch.resize(n, p);
+    m->apply(b, scratch.view());
+    ++st.precond_applies;
+    detail::norms<T>(scratch.view(), bnorm.data(), st, comm);
+  } else {
+    detail::norms<T>(b, bnorm.data(), st, comm);
+  }
+  for (auto& v : bnorm)
+    if (v == Real(0)) v = Real(1);
+  st.history.resize(size_t(p));
+  st.per_rhs_iterations.assign(size_t(p), 0);
+
+  DenseMatrix<T> v(n, (mdim + 1) * p);
+  DenseMatrix<T> z;
+  if (side == PrecondSide::Flexible) z.resize(n, mdim * p);
+  DenseMatrix<T> ztmp(n, p);
+  DenseMatrix<T> w(n, p), r(n, p);
+  DenseMatrix<T> ghat((mdim + 1) * p, p);
+  DenseMatrix<T> hcol((mdim + 2) * p, p);
+  DenseMatrix<T> sblock(p, p);
+
+  while (st.iterations < opts.max_iterations) {
+    ++st.cycles;
+    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm);
+    if (st.cycles == 1 && opts.record_history)
+      for (index_t c = 0; c < p; ++c)
+        st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
+    bool conv = true;
+    for (index_t c = 0; c < p; ++c) conv &= rnorm[size_t(c)] <= opts.tol * bnorm[size_t(c)];
+    if (conv) {
+      st.converged = true;
+      break;
+    }
+
+    copy_into<T>(r.view(), v.block(0, 0, n, p));
+    detail::qr_block<T>(v.block(0, 0, n, p), sblock.view(), st, comm);
+    IncrementalQR<T> qr((mdim + 1) * p, mdim * p);
+    ghat.set_zero();
+    for (index_t c = 0; c < p; ++c)
+      for (index_t rr = 0; rr <= c; ++rr) ghat(rr, c) = sblock(rr, c);
+
+    index_t j = 0;
+    bool cycle_converged = false;
+    while (j < mdim && st.iterations < opts.max_iterations) {
+      const auto vj = MatrixView<const T>(v.col(j * p), n, p, v.ld());
+      MatrixView<T> zj =
+          (side == PrecondSide::Flexible) ? z.block(0, j * p, n, p) : ztmp.view();
+      detail::apply_preconditioned<T>(a, m, side, vj, zj, w.view(), st);
+      hcol.set_zero();
+      detail::project<T>(v.view(), (j + 1) * p, w.view(), hcol.view(), opts.ortho, p, st, comm);
+      auto vnext = v.block(0, (j + 1) * p, n, p);
+      copy_into<T>(w.view(), vnext);
+      const bool full_rank = detail::qr_block<T>(vnext, sblock.view(), st, comm);
+      for (index_t c = 0; c < p; ++c)
+        for (index_t rr = 0; rr <= c; ++rr) hcol((j + 1) * p + rr, c) = sblock(rr, c);
+      // The Hessenberg columns are committed even on a (happy) block
+      // breakdown: the projection coefficients are valid and the least
+      // squares over them may already contain the exact solution. The
+      // rank-deficient trailing rows are excluded by usable_columns.
+      const index_t before = qr.cols();
+      for (index_t c = 0; c < p; ++c) qr.add_column(hcol.col(c), (j + 2) * p);
+      qr.apply_qt_range(ghat.view(), before);
+      ++j;
+      ++st.iterations;
+      bool all_small = true;
+      for (index_t c = 0; c < p; ++c) {
+        const Real est = norm2<T>(p, &ghat(j * p, c));
+        rnorm[size_t(c)] = est;
+        if (opts.record_history) st.history[size_t(c)].push_back(est / bnorm[size_t(c)]);
+        if (est > opts.tol * bnorm[size_t(c)]) {
+          all_small = false;
+          ++st.per_rhs_iterations[size_t(c)];
+        }
+      }
+      if (all_small) {
+        cycle_converged = true;
+        break;
+      }
+      if (!full_rank) break;  // block breakdown: close the cycle and restart
+    }
+
+    const index_t s = usable_columns(qr, j * p);
+    if (s > 0) {
+      DenseMatrix<T> y(s, p);
+      copy_into<T>(MatrixView<const T>(ghat.data(), s, p, ghat.ld()), y.view());
+      const DenseMatrix<T> rr = qr.r_matrix();
+      trsm_left_upper<T>(MatrixView<const T>(rr.data(), s, s, rr.ld()), y.view());
+      DenseMatrix<T> t(n, p);
+      const auto& basis = (side == PrecondSide::Flexible) ? z : v;
+      gemm<T>(Trans::N, Trans::N, T(1),
+              MatrixView<const T>(basis.data(), n, s, basis.ld()),
+              MatrixView<const T>(y.data(), s, p, y.ld()), T(0), t.view());
+      if (side == PrecondSide::Right) {
+        m->apply(t.view(), ztmp.view());
+        ++st.precond_applies;
+        for (index_t c = 0; c < p; ++c) axpy<T>(n, T(1), ztmp.col(c), x.col(c));
+      } else {
+        for (index_t c = 0; c < p; ++c) axpy<T>(n, T(1), t.col(c), x.col(c));
+      }
+    } else if (!cycle_converged) {
+      break;  // stagnation: no usable direction was produced
+    }
+    // Loop re-enters with a freshly computed true residual; the converged
+    // flag is only set from that recomputation.
+  }
+  st.seconds = timer.seconds();
+  return st;
+}
+
+template <class T>
+SolveStats pseudo_block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m,
+                              MatrixView<const T> b, MatrixView<T> x, const SolverOptions& opts,
+                              CommModel* comm) {
+  using Real = real_t<T>;
+  Timer timer;
+  SolveStats st;
+  const index_t n = a.n(), p = b.cols();
+  PrecondSide side = (m == nullptr) ? PrecondSide::None : opts.side;
+  if (side == PrecondSide::Right && m != nullptr && m->is_variable()) side = PrecondSide::Flexible;
+  const index_t mdim = opts.restart;
+
+  std::vector<Real> bnorm(static_cast<size_t>(p)), rnorm(static_cast<size_t>(p));
+  DenseMatrix<T> scratch;
+  if (side == PrecondSide::Left) {
+    scratch.resize(n, p);
+    m->apply(b, scratch.view());
+    ++st.precond_applies;
+    detail::norms<T>(scratch.view(), bnorm.data(), st, comm);
+  } else {
+    detail::norms<T>(b, bnorm.data(), st, comm);
+  }
+  for (auto& v : bnorm)
+    if (v == Real(0)) v = Real(1);
+  st.history.resize(size_t(p));
+  st.per_rhs_iterations.assign(size_t(p), 0);
+
+  DenseMatrix<T> v(n, (mdim + 1) * p);
+  DenseMatrix<T> z;
+  if (side == PrecondSide::Flexible) z.resize(n, mdim * p);
+  DenseMatrix<T> ztmp(n, p);
+  DenseMatrix<T> w(n, p), r(n, p);
+  // Per-lane small least-squares state.
+  std::vector<IncrementalQR<T>> qr;
+  DenseMatrix<T> ghat(mdim + 1, p);   // lane l's Q^H g in column l
+  DenseMatrix<T> hcol(mdim + 2, p);   // lane l's new Hessenberg column in column l
+
+  bool done = false;
+  while (!done && st.iterations < opts.max_iterations) {
+    ++st.cycles;
+    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm);
+    if (st.cycles == 1 && opts.record_history)
+      for (index_t c = 0; c < p; ++c)
+        st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
+    bool conv = true;
+    for (index_t c = 0; c < p; ++c) conv &= rnorm[size_t(c)] <= opts.tol * bnorm[size_t(c)];
+    if (conv) {
+      st.converged = true;
+      break;
+    }
+
+    // Lane setup: v0 = r / ||r|| (the norms above double as the "QR" of
+    // the p separate residual vectors — one fused reduction total).
+    qr.assign(size_t(p), IncrementalQR<T>(mdim + 1, mdim));
+    ghat.set_zero();
+    std::vector<char> active(size_t(p), 1);
+    std::vector<index_t> steps(size_t(p), 0);
+    for (index_t l = 0; l < p; ++l) {
+      const Real beta = rnorm[size_t(l)];
+      if (beta <= opts.tol * bnorm[size_t(l)]) {
+        active[size_t(l)] = 0;
+        continue;
+      }
+      const T inv = scalar_traits<T>::from_real(Real(1) / beta);
+      for (index_t i = 0; i < n; ++i) v(i, l) = r(i, l) * inv;
+      ghat(0, l) = scalar_traits<T>::from_real(beta);
+    }
+
+    index_t j = 0;
+    while (j < mdim && st.iterations < opts.max_iterations) {
+      // Zero the inputs of locked lanes so inner (block) preconditioners
+      // never see stale data.
+      for (index_t l = 0; l < p; ++l)
+        if (!active[size_t(l)]) std::fill(v.col(j * p + l), v.col(j * p + l) + n, T(0));
+      const auto vj = MatrixView<const T>(v.col(j * p), n, p, v.ld());
+      MatrixView<T> zj =
+          (side == PrecondSide::Flexible) ? z.block(0, j * p, n, p) : ztmp.view();
+      detail::apply_preconditioned<T>(a, m, side, vj, zj, w.view(), st);
+      // Fused CGS projection: every lane's dots batch into one reduction.
+      index_t nactive = 0;
+      for (index_t l = 0; l < p; ++l) nactive += active[size_t(l)];
+      if (nactive == 0) break;
+      hcol.set_zero();
+      for (index_t l = 0; l < p; ++l) {
+        if (!active[size_t(l)]) continue;
+        for (index_t i = 0; i <= j; ++i)
+          hcol(i, l) = dot<T>(n, v.col(i * p + l), w.col(l));
+      }
+      st.reductions += (opts.ortho == Ortho::Mgs) ? (j + 1) : 1;
+      if (comm != nullptr) comm->reduction((j + 1) * nactive * 8);
+      for (index_t l = 0; l < p; ++l) {
+        if (!active[size_t(l)]) continue;
+        for (index_t i = 0; i <= j; ++i) axpy<T>(n, -hcol(i, l), v.col(i * p + l), w.col(l));
+        if (opts.ortho == Ortho::Cgs2) {
+          for (index_t i = 0; i <= j; ++i) {
+            const T h2 = dot<T>(n, v.col(i * p + l), w.col(l));
+            hcol(i, l) += h2;
+            axpy<T>(n, -h2, v.col(i * p + l), w.col(l));
+          }
+        }
+      }
+      if (opts.ortho == Ortho::Cgs2) {
+        st.reductions += 1;
+        if (comm != nullptr) comm->reduction((j + 1) * nactive * 8);
+      }
+      // Fused normalization.
+      st.reductions += 1;
+      if (comm != nullptr) comm->reduction(nactive * 8);
+      for (index_t l = 0; l < p; ++l) {
+        if (!active[size_t(l)]) continue;
+        const Real hn = norm2<T>(n, w.col(l));
+        hcol(j + 1, l) = scalar_traits<T>::from_real(hn);
+        if (hn > Real(0)) {
+          const T inv = scalar_traits<T>::from_real(Real(1) / hn);
+          for (index_t i = 0; i < n; ++i) v(i, (j + 1) * p + l) = w(i, l) * inv;
+        }
+        qr[size_t(l)].add_column(hcol.col(l), j + 2);
+        qr[size_t(l)].apply_qt_range(ghat.block(0, l, mdim + 1, 1), j);
+        steps[size_t(l)] = j + 1;
+        const Real est = abs_val(ghat(j + 1, l));
+        rnorm[size_t(l)] = est;
+        if (opts.record_history) st.history[size_t(l)].push_back(est / bnorm[size_t(l)]);
+        if (est > opts.tol * bnorm[size_t(l)]) ++st.per_rhs_iterations[size_t(l)];
+        if (est <= opts.tol * bnorm[size_t(l)] || hn == Real(0)) active[size_t(l)] = 0;
+      }
+      ++j;
+      ++st.iterations;
+      bool any = false;
+      for (index_t l = 0; l < p; ++l) any |= (active[size_t(l)] != 0);
+      if (!any) break;
+    }
+
+    // Per-lane least squares and solution update.
+    DenseMatrix<T> t(n, p);
+    t.set_zero();
+    bool updated = false;
+    for (index_t l = 0; l < p; ++l) {
+      const index_t s = usable_columns(qr[size_t(l)], steps[size_t(l)]);
+      if (s == 0) continue;
+      updated = true;
+      std::vector<T> y(static_cast<size_t>(s));
+      for (index_t i = 0; i < s; ++i) y[size_t(i)] = ghat(i, l);
+      for (index_t i = s - 1; i >= 0; --i) {
+        T acc = y[size_t(i)];
+        for (index_t c = i + 1; c < s; ++c) acc -= qr[size_t(l)].r(i, c) * y[size_t(c)];
+        y[size_t(i)] = acc / qr[size_t(l)].r(i, i);
+      }
+      const auto& basis = (side == PrecondSide::Flexible) ? z : v;
+      for (index_t i = 0; i < s; ++i) axpy<T>(n, y[size_t(i)], basis.col(i * p + l), t.col(l));
+    }
+    if (updated) {
+      if (side == PrecondSide::Right) {
+        m->apply(t.view(), ztmp.view());
+        ++st.precond_applies;
+        for (index_t c = 0; c < p; ++c) axpy<T>(n, T(1), ztmp.col(c), x.col(c));
+      } else {
+        for (index_t c = 0; c < p; ++c) axpy<T>(n, T(1), t.col(c), x.col(c));
+      }
+    } else {
+      done = true;  // stagnation everywhere
+    }
+  }
+  st.seconds = timer.seconds();
+  return st;
+}
+
+template SolveStats block_gmres<double>(const LinearOperator<double>&, Preconditioner<double>*,
+                                        MatrixView<const double>, MatrixView<double>,
+                                        const SolverOptions&, CommModel*);
+template SolveStats block_gmres<std::complex<double>>(const LinearOperator<std::complex<double>>&,
+                                                      Preconditioner<std::complex<double>>*,
+                                                      MatrixView<const std::complex<double>>,
+                                                      MatrixView<std::complex<double>>,
+                                                      const SolverOptions&, CommModel*);
+template SolveStats pseudo_block_gmres<double>(const LinearOperator<double>&,
+                                               Preconditioner<double>*, MatrixView<const double>,
+                                               MatrixView<double>, const SolverOptions&,
+                                               CommModel*);
+template SolveStats pseudo_block_gmres<std::complex<double>>(
+    const LinearOperator<std::complex<double>>&, Preconditioner<std::complex<double>>*,
+    MatrixView<const std::complex<double>>, MatrixView<std::complex<double>>, const SolverOptions&,
+    CommModel*);
+
+}  // namespace bkr

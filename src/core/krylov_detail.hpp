@@ -1,0 +1,135 @@
+// Shared building blocks of the (block) Krylov implementations: the
+// preconditioned operator application, block orthogonalization schemes and
+// the block QR normalization, all instrumented with the reduction counts
+// of the paper's section III-D.
+#pragma once
+
+#include "core/operator.hpp"
+#include "core/solver.hpp"
+#include "la/blas.hpp"
+#include "la/qr.hpp"
+
+namespace bkr::detail {
+
+// Z and W outputs of one preconditioned operator application on the block
+// V: W is the vector entering the Arnoldi recurrence; Z is the vector that
+// reconstructs the solution update (Z = M^{-1}V for right/flexible).
+template <class T>
+void apply_preconditioned(const LinearOperator<T>& a, Preconditioner<T>* m, PrecondSide side,
+                          MatrixView<const T> v, MatrixView<T> z, MatrixView<T> w,
+                          SolveStats& stats) {
+  switch (side) {
+    case PrecondSide::None:
+      a.apply(v, w);
+      ++stats.operator_applies;
+      break;
+    case PrecondSide::Right:
+    case PrecondSide::Flexible:
+      m->apply(v, z);
+      ++stats.precond_applies;
+      a.apply(MatrixView<const T>(z.data(), z.rows(), z.cols(), z.ld()), w);
+      ++stats.operator_applies;
+      break;
+    case PrecondSide::Left:
+      a.apply(v, z);  // z used as scratch: z = A v
+      ++stats.operator_applies;
+      m->apply(MatrixView<const T>(z.data(), z.rows(), z.cols(), z.ld()), w);
+      ++stats.precond_applies;
+      break;
+  }
+}
+
+// (Possibly left-preconditioned) residual: R = B - A X, or M^{-1}(B - A X).
+template <class T>
+void residual(const LinearOperator<T>& a, Preconditioner<T>* m, PrecondSide side,
+              MatrixView<const T> b, MatrixView<const T> x, MatrixView<T> r,
+              DenseMatrix<T>& scratch, SolveStats& stats) {
+  const index_t n = b.rows(), p = b.cols();
+  if (side == PrecondSide::Left) {
+    scratch.resize(n, p);
+    a.apply(x, scratch.view());
+    ++stats.operator_applies;
+    for (index_t c = 0; c < p; ++c)
+      for (index_t i = 0; i < n; ++i) scratch(i, c) = b(i, c) - scratch(i, c);
+    m->apply(scratch.view(), r);
+    ++stats.precond_applies;
+  } else {
+    a.apply(x, r);
+    ++stats.operator_applies;
+    for (index_t c = 0; c < p; ++c)
+      for (index_t i = 0; i < n; ++i) r(i, c) = b(i, c) - r(i, c);
+  }
+}
+
+// Project W against the first `s` columns of the basis, writing the
+// coefficients into the first s rows of `h` (s x p view). Reduction
+// accounting follows section III-D: CGS fuses the projection into one
+// global reduction, MGS needs one per basis block.
+template <class T>
+void project(MatrixView<const T> basis, index_t s, MatrixView<T> w, MatrixView<T> h, Ortho ortho,
+             index_t block, SolveStats& stats, CommModel* comm) {
+  if (s == 0) return;
+  const auto v = basis.cols_view(0, s);
+  auto count = [&](std::int64_t k) {
+    stats.reductions += k;
+    if (comm != nullptr)
+      while (k-- > 0) comm->reduction();
+  };
+  const auto wc = MatrixView<const T>(w.data(), w.rows(), w.cols(), w.ld());
+  switch (ortho) {
+    case Ortho::Cgs:
+    case Ortho::CholQr: {
+      gemm<T>(Trans::C, Trans::N, T(1), v, wc, T(0), h.block(0, 0, s, w.cols()));
+      count(1);
+      gemm<T>(Trans::N, Trans::N, T(-1), v, h.block(0, 0, s, w.cols()), T(1), w);
+      break;
+    }
+    case Ortho::Cgs2: {
+      gemm<T>(Trans::C, Trans::N, T(1), v, wc, T(0), h.block(0, 0, s, w.cols()));
+      gemm<T>(Trans::N, Trans::N, T(-1), v, h.block(0, 0, s, w.cols()), T(1), w);
+      DenseMatrix<T> h2(s, w.cols());
+      gemm<T>(Trans::C, Trans::N, T(1), v, wc, T(0), h2.view());
+      gemm<T>(Trans::N, Trans::N, T(-1), v, h2.view(), T(1), w);
+      for (index_t c = 0; c < w.cols(); ++c)
+        for (index_t i = 0; i < s; ++i) h(i, c) += h2(i, c);
+      count(2);
+      break;
+    }
+    case Ortho::Mgs: {
+      for (index_t i0 = 0; i0 < s; i0 += block) {
+        const index_t width = std::min(block, s - i0);
+        const auto vi = basis.cols_view(i0, width);
+        gemm<T>(Trans::C, Trans::N, T(1), vi, wc, T(0), h.block(i0, 0, width, w.cols()));
+        gemm<T>(Trans::N, Trans::N, T(-1), vi, h.block(i0, 0, width, w.cols()), T(1), w);
+        count(1);
+      }
+      break;
+    }
+  }
+}
+
+// Normalize a block in place: W = Q R via CholQR (single reduction),
+// falling back to Householder TSQR on breakdown. Returns false when even
+// the fallback produced a numerically rank-deficient R (exact block
+// breakdown).
+template <class T>
+bool qr_block(MatrixView<T> w, MatrixView<T> r, SolveStats& stats, CommModel* comm) {
+  stats.reductions += 1;
+  if (comm != nullptr) comm->reduction(w.cols() * w.cols() * 8);
+  if (!cholqr<T>(w, r)) householder_tsqr<T>(w, r);
+  real_t<T> dmax(0);
+  for (index_t c = 0; c < r.cols(); ++c) dmax = std::max(dmax, abs_val(r(c, c)));
+  for (index_t c = 0; c < r.cols(); ++c)
+    if (abs_val(r(c, c)) <= real_t<T>(1e-14) * std::max(dmax, real_t<T>(1e-300))) return false;
+  return true;
+}
+
+// Per-column norms with reduction accounting (one fused reduction).
+template <class T>
+void norms(MatrixView<const T> x, real_t<T>* out, SolveStats& stats, CommModel* comm) {
+  column_norms<T>(x, out);
+  stats.reductions += 1;
+  if (comm != nullptr) comm->reduction(x.cols() * 8);
+}
+
+}  // namespace bkr::detail

@@ -1,0 +1,173 @@
+#include "core/lgmres.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/timer.hpp"
+#include "core/krylov_detail.hpp"
+
+namespace bkr {
+
+template <class T>
+SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::vector<T>& b,
+                  std::vector<T>& x, const SolverOptions& opts, CommModel* comm) {
+  using Real = real_t<T>;
+  Timer timer;
+  SolveStats st;
+  const index_t n = a.n();
+  PrecondSide side = (m == nullptr) ? PrecondSide::None : opts.side;
+  if (side == PrecondSide::Right && m != nullptr && m->is_variable()) side = PrecondSide::Flexible;
+  const index_t total = opts.restart;              // total space per cycle
+  const index_t aug_max = std::min(opts.recycle, total - 1);
+
+  Real bnorm;
+  DenseMatrix<T> scratch;
+  const auto bview = MatrixView<const T>(b.data(), n, 1, n);
+  if (side == PrecondSide::Left) {
+    scratch.resize(n, 1);
+    m->apply(bview, scratch.view());
+    ++st.precond_applies;
+    detail::norms<T>(scratch.view(), &bnorm, st, comm);
+  } else {
+    detail::norms<T>(bview, &bnorm, st, comm);
+  }
+  if (bnorm == Real(0)) bnorm = Real(1);
+  st.history.resize(1);
+  st.per_rhs_iterations.assign(1, 0);
+
+  DenseMatrix<T> v(n, total + 1);
+  DenseMatrix<T> zflex;  // flexible preconditioned vectors
+  if (side == PrecondSide::Flexible) zflex.resize(n, total);
+  DenseMatrix<T> ztmp(n, 1), w(n, 1), r(n, 1);
+  std::deque<std::vector<T>> augmented;  // error approximations, newest first
+  auto xview = MatrixView<T>(x.data(), n, 1, n);
+
+  while (st.iterations < opts.max_iterations) {
+    ++st.cycles;
+    detail::residual<T>(a, m, side, bview, xview, r.view(), scratch, st);
+    Real rnorm;
+    detail::norms<T>(r.view(), &rnorm, st, comm);
+    if (st.cycles == 1 && opts.record_history) st.history[0].push_back(rnorm / bnorm);
+    if (rnorm <= opts.tol * bnorm) {
+      st.converged = true;
+      break;
+    }
+
+    const index_t naug = std::min<index_t>(index_t(augmented.size()), aug_max);
+    const index_t mk = total - naug;  // pure Krylov steps this cycle
+    IncrementalQR<T> qr(total + 1, total);
+    std::vector<T> ghat(static_cast<size_t>(total) + 1, T(0));
+    ghat[0] = scalar_traits<T>::from_real(rnorm);
+    const T inv = scalar_traits<T>::from_real(Real(1) / rnorm);
+    for (index_t i = 0; i < n; ++i) v(i, 0) = r(i, 0) * inv;
+    st.reductions += 0;  // the residual norm above doubles as the QR
+
+    const std::vector<T>* x_before = nullptr;
+    std::vector<T> xsnap(x);  // for the error approximation
+    (void)x_before;
+
+    index_t j = 0;
+    std::vector<T> hcol(static_cast<size_t>(total) + 1);
+    bool hit = false;
+    while (j < total && st.iterations < opts.max_iterations) {
+      const bool is_aug = j >= mk;
+      MatrixView<const T> input =
+          is_aug ? MatrixView<const T>(augmented[size_t(j - mk)].data(), n, 1, n)
+                 : MatrixView<const T>(v.col(j), n, 1, v.ld());
+      MatrixView<T> zj = (side == PrecondSide::Flexible) ? zflex.block(0, j, n, 1) : ztmp.view();
+      if (is_aug) {
+        // Augmentation vectors live in solution space: w = A z directly.
+        a.apply(input, w.view());
+        ++st.operator_applies;
+        if (side == PrecondSide::Left) {
+          copy_into<T>(MatrixView<const T>(w.data(), n, 1, n), ztmp.view());
+          m->apply(ztmp.view(), w.view());
+          ++st.precond_applies;
+        }
+      } else {
+        detail::apply_preconditioned<T>(a, m, side, input, zj, w.view(), st);
+      }
+      std::fill(hcol.begin(), hcol.end(), T(0));
+      detail::project<T>(v.view(), j + 1,
+                         MatrixView<T>(w.data(), n, 1, n),
+                         MatrixView<T>(hcol.data(), index_t(hcol.size()), 1,
+                                       index_t(hcol.size())),
+                         opts.ortho, 1, st, comm);
+      const Real hn = norm2<T>(n, w.col(0));
+      hcol[size_t(j) + 1] = scalar_traits<T>::from_real(hn);
+      st.reductions += 1;
+      if (comm != nullptr) comm->reduction(8);
+      if (hn > Real(0)) {
+        const T hinv = scalar_traits<T>::from_real(Real(1) / hn);
+        for (index_t i = 0; i < n; ++i) v(i, j + 1) = w(i, 0) * hinv;
+      }
+      qr.add_column(hcol.data(), j + 2);
+      qr.apply_qt_range(MatrixView<T>(ghat.data(), index_t(ghat.size()), 1, index_t(ghat.size())),
+                        j);
+      ++j;
+      ++st.iterations;
+      const Real est = abs_val(ghat[size_t(j)]);
+      if (opts.record_history) st.history[0].push_back(est / bnorm);
+      if (est > opts.tol * bnorm) ++st.per_rhs_iterations[0];
+      if (hn == Real(0)) break;
+      if (est <= opts.tol * bnorm) {
+        hit = true;
+        break;
+      }
+    }
+    (void)hit;
+    // Least squares over the j columns.
+    if (j == 0) break;
+    std::vector<T> y(ghat.begin(), ghat.begin() + j);
+    for (index_t i = j - 1; i >= 0; --i) {
+      T acc = y[size_t(i)];
+      for (index_t c = i + 1; c < j; ++c) acc -= qr.r(i, c) * y[size_t(c)];
+      if (abs_val(qr.r(i, i)) == Real(0)) {
+        y[size_t(i)] = T(0);
+        continue;
+      }
+      y[size_t(i)] = acc / qr.r(i, i);
+    }
+    // x update: Krylov part (preconditioned for Right) + augmentation part.
+    DenseMatrix<T> t(n, 1);
+    const index_t jk = std::min(j, mk);
+    for (index_t i = 0; i < jk; ++i) {
+      const T* col = (side == PrecondSide::Flexible) ? zflex.col(i) : v.col(i);
+      axpy<T>(n, y[size_t(i)], col, t.col(0));
+    }
+    std::vector<T> dx(static_cast<size_t>(n), T(0));
+    if (side == PrecondSide::Right) {
+      m->apply(t.view(), ztmp.view());
+      ++st.precond_applies;
+      for (index_t i = 0; i < n; ++i) dx[size_t(i)] = ztmp(i, 0);
+    } else {
+      for (index_t i = 0; i < n; ++i) dx[size_t(i)] = t(i, 0);
+    }
+    for (index_t i = jk; i < j; ++i)
+      axpy<T>(n, y[size_t(i)], augmented[size_t(i - jk)].data(), dx.data());
+    for (index_t i = 0; i < n; ++i) x[size_t(i)] += dx[size_t(i)];
+    // Record the error approximation (normalized), newest first.
+    Real dxn = norm2<T>(n, dx.data());
+    st.reductions += 1;
+    if (comm != nullptr) comm->reduction(8);
+    if (dxn > Real(0)) {
+      const T dinv = scalar_traits<T>::from_real(Real(1) / dxn);
+      for (auto& val : dx) val *= dinv;
+      augmented.push_front(std::move(dx));
+      if (index_t(augmented.size()) > aug_max) augmented.pop_back();
+    }
+  }
+  st.seconds = timer.seconds();
+  return st;
+}
+
+template SolveStats lgmres<double>(const LinearOperator<double>&, Preconditioner<double>*,
+                                   const std::vector<double>&, std::vector<double>&,
+                                   const SolverOptions&, CommModel*);
+template SolveStats lgmres<std::complex<double>>(const LinearOperator<std::complex<double>>&,
+                                                 Preconditioner<std::complex<double>>*,
+                                                 const std::vector<std::complex<double>>&,
+                                                 std::vector<std::complex<double>>&,
+                                                 const SolverOptions&, CommModel*);
+
+}  // namespace bkr

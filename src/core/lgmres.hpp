@@ -1,0 +1,32 @@
+// LGMRES ("Loose GMRES", Baker, Jessup & Manteuffel 2005) — the recycling
+// baseline available in PETSc that section IV-C compares GCRO-DR against.
+//
+// Restarted GMRES whose approximation space is augmented with the last
+// `aug` error approximations z_i = x_{restart} - x_{restart-1}. Unlike
+// GCRO-DR the augmentation is *not* carried from one linear system to the
+// next (the limitation the paper points out in section II-C), so each
+// call to lgmres() starts fresh.
+#pragma once
+
+#include "core/operator.hpp"
+#include "core/solver.hpp"
+
+namespace bkr {
+
+// Single-RHS LGMRES(m, aug): per cycle, m - aug Arnoldi vectors plus up to
+// `aug` previous error approximations (PETSc's -ksp_lgmres_augment
+// semantics: `restart` counts the total space size). opts.recycle is the
+// augmentation count.
+template <class T>
+SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::vector<T>& b,
+                  std::vector<T>& x, const SolverOptions& opts, CommModel* comm = nullptr);
+
+extern template SolveStats lgmres<double>(const LinearOperator<double>&, Preconditioner<double>*,
+                                          const std::vector<double>&, std::vector<double>&,
+                                          const SolverOptions&, CommModel*);
+extern template SolveStats lgmres<std::complex<double>>(
+    const LinearOperator<std::complex<double>>&, Preconditioner<std::complex<double>>*,
+    const std::vector<std::complex<double>>&, std::vector<std::complex<double>>&,
+    const SolverOptions&, CommModel*);
+
+}  // namespace bkr

@@ -1,0 +1,68 @@
+// Operator and preconditioner interfaces for the Krylov solvers.
+//
+// Everything a solver touches is a block operation on p contiguous
+// columns: Y = A X (SpMM) and Z = M^{-1} R. This is the layout contract
+// that lets pseudo-block and block methods fuse work (paper section V-B)
+// and lets direct subdomain solvers run one forward/backward substitution
+// for the whole block (section V-B3).
+#pragma once
+
+#include "la/dense.hpp"
+#include "parallel/comm_model.hpp"
+#include "sparse/csr.hpp"
+
+namespace bkr {
+
+template <class T>
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+  [[nodiscard]] virtual index_t n() const = 0;
+  // Y = A X for a block of X.cols() columns.
+  virtual void apply(MatrixView<const T> x, MatrixView<T> y) const = 0;
+};
+
+// CSR-backed operator; records one halo-exchange round per application in
+// the communication model (the traffic a distributed SpMM would incur).
+template <class T>
+class CsrOperator final : public LinearOperator<T> {
+ public:
+  explicit CsrOperator(const CsrMatrix<T>& a, CommModel* comm = nullptr) : a_(&a), comm_(comm) {}
+
+  [[nodiscard]] index_t n() const override { return a_->rows(); }
+  void apply(MatrixView<const T> x, MatrixView<T> y) const override {
+    a_->spmm(x, y);
+    if (comm_ != nullptr) comm_->halo_exchange(x.cols() * 8);
+  }
+  [[nodiscard]] const CsrMatrix<T>& matrix() const { return *a_; }
+
+ private:
+  const CsrMatrix<T>* a_;
+  CommModel* comm_;
+};
+
+template <class T>
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+  [[nodiscard]] virtual index_t n() const = 0;
+  // Z = M^{-1} R (block). Non-const: nonlinear preconditioners (Krylov
+  // smoothers) carry mutable inner state / statistics.
+  virtual void apply(MatrixView<const T> r, MatrixView<T> z) = 0;
+  // Variable (nonlinear / nondeterministic) preconditioners force the
+  // flexible solver variants (paper section III-C).
+  [[nodiscard]] virtual bool is_variable() const { return false; }
+};
+
+template <class T>
+class IdentityPreconditioner final : public Preconditioner<T> {
+ public:
+  explicit IdentityPreconditioner(index_t n) : n_(n) {}
+  [[nodiscard]] index_t n() const override { return n_; }
+  void apply(MatrixView<const T> r, MatrixView<T> z) override { copy_into<T>(r, z); }
+
+ private:
+  index_t n_;
+};
+
+}  // namespace bkr

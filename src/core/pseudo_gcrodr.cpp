@@ -1,0 +1,466 @@
+// Pseudo-block GCRO-DR: p independent single-vector GCRO-DR instances
+// advanced in lockstep with fused kernels (one SpMM / one batched
+// reduction per global step), each lane owning its own k-column recycled
+// subspace. This is the method of the paper's fig. 8 alternatives 5-6.
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/timer.hpp"
+#include "core/gcrodr.hpp"
+#include "core/krylov_detail.hpp"
+#include "la/eig.hpp"
+
+namespace bkr {
+
+namespace {
+
+template <class T>
+index_t usable_scalar_columns(const IncrementalQR<T>& qr, index_t s) {
+  real_t<T> dmax(0);
+  for (index_t c = 0; c < s; ++c) dmax = std::max(dmax, abs_val(qr.r(c, c)));
+  for (index_t c = 0; c < s; ++c)
+    if (abs_val(qr.r(c, c)) <= real_t<T>(1e-14) * std::max(dmax, real_t<T>(1e-300))) return c;
+  return s;
+}
+
+// Per-RHS lane of a fused GCRO-DR run (single-vector, contiguous storage).
+template <class T>
+struct Lane {
+  using Real = real_t<T>;
+
+  DenseMatrix<T> v;     // n x (m+1) Arnoldi basis
+  DenseMatrix<T> z;     // flexible basis
+  DenseMatrix<T> hbar;  // (m+1) x m
+  DenseMatrix<T> e;     // k x m coupling with the recycled space
+  std::vector<T> ghat;
+  IncrementalQR<T> qr{1, 1};
+  DenseMatrix<T> u, c;  // n x k_l recycled space (persists across solves)
+
+  index_t steps = 0;    // steps completed in the current cycle
+  bool active = false;  // still iterating in the current cycle
+  bool converged = false;
+  Real bnorm = Real(1), rnorm = Real(0);
+  std::vector<T> yc;  // C^H r at cycle start
+
+  void start_cycle(index_t n, index_t max_steps, PrecondSide side, index_t k) {
+    v.resize(n, max_steps + 1);
+    if (side == PrecondSide::Flexible) z.resize(n, max_steps);
+    hbar.resize(max_steps + 1, max_steps);
+    if (k > 0) e.resize(k, max_steps);
+    ghat.assign(static_cast<size_t>(max_steps) + 1, T(0));
+    qr = IncrementalQR<T>(max_steps + 1, max_steps);
+    steps = 0;
+  }
+
+  // Least squares y over the first s columns.
+  [[nodiscard]] std::vector<T> least_squares(index_t s) const {
+    std::vector<T> y(ghat.begin(), ghat.begin() + s);
+    for (index_t i = s - 1; i >= 0; --i) {
+      T acc = y[size_t(i)];
+      for (index_t cc = i + 1; cc < s; ++cc) acc -= qr.r(i, cc) * y[size_t(cc)];
+      y[size_t(i)] = acc / qr.r(i, i);
+    }
+    return y;
+  }
+
+  [[nodiscard]] const DenseMatrix<T>& update_basis(PrecondSide side) const {
+    return (side == PrecondSide::Flexible) ? z : v;
+  }
+};
+
+// Refresh (or seed) a lane's recycled space from the cycle data.
+// `with_projection` distinguishes the first cycle (harmonic Ritz of the
+// plain Hessenberg) from later cycles (generalized pencil with the
+// coupling block E and the scaled U).
+template <class T>
+void refresh_lane_recycle(Lane<T>& lane, index_t n, index_t k, index_t s, PrecondSide side,
+                          RecycleStrategy strategy, bool with_projection) {
+  using Real = real_t<T>;
+  if (s <= 0) return;
+  const index_t vcols = lane.steps + 1;
+  const index_t kcur = with_projection ? lane.u.cols() : 0;
+  const index_t rows = kcur + vcols;
+  const index_t cols = kcur + s;
+  // G = [[D_k, E], [0, Hbar]] (first cycle: G = Hbar).
+  DenseMatrix<T> g(rows, cols);
+  if (with_projection) {
+    for (index_t cc = 0; cc < kcur; ++cc) {
+      const Real un = std::max(norm2<T>(n, lane.u.col(cc)), Real(1e-300));
+      scal<T>(n, scalar_traits<T>::from_real(Real(1) / un), lane.u.col(cc));
+      g(cc, cc) = scalar_traits<T>::from_real(Real(1) / un);
+    }
+    for (index_t j = 0; j < s; ++j) {
+      for (index_t i = 0; i < kcur; ++i) g(i, kcur + j) = lane.e(i, j);
+      for (index_t i = 0; i < vcols; ++i) g(kcur + i, kcur + j) = lane.hbar(i, j);
+    }
+  } else {
+    for (index_t j = 0; j < s; ++j)
+      for (index_t i = 0; i < vcols; ++i) g(i, j) = lane.hbar(i, j);
+  }
+  DenseMatrix<T> pk;
+  const index_t knew = std::min(k, cols);
+  if (!with_projection) {
+    // Harmonic Ritz: (R^H R) z = theta Hm^H z.
+    const DenseMatrix<T> r = lane.qr.r_matrix();
+    DenseMatrix<T> tmat(s, s);
+    gemm<T>(Trans::C, Trans::N, T(1), MatrixView<const T>(r.data(), s, s, r.ld()),
+            MatrixView<const T>(r.data(), s, s, r.ld()), T(0), tmat.view());
+    DenseMatrix<T> wmat(s, s);
+    for (index_t j = 0; j < s; ++j)
+      for (index_t i = 0; i < s; ++i) wmat(i, j) = conj(lane.hbar(j, i));
+    pk = smallest_gen_eig_vectors<T>(tmat, wmat, knew);
+  } else {
+    DenseMatrix<T> tmat(cols, cols);
+    gemm<T>(Trans::C, Trans::N, T(1), g.view(), g.view(), T(0), tmat.view());
+    DenseMatrix<T> wmat(cols, cols);
+    if (strategy == RecycleStrategy::B) {
+      for (index_t j = 0; j < cols; ++j)
+        for (index_t i = 0; i < cols; ++i) wmat(i, j) = conj(g(j, i));
+    } else {
+      DenseMatrix<T> inner_mat(rows, cols);
+      // [C V]^H U (k columns).
+      for (index_t cc = 0; cc < kcur; ++cc) {
+        for (index_t i = 0; i < kcur; ++i)
+          inner_mat(i, cc) = dot<T>(n, lane.c.col(i), lane.u.col(cc));
+        for (index_t i = 0; i < vcols; ++i)
+          inner_mat(kcur + i, cc) = dot<T>(n, lane.v.col(i), lane.u.col(cc));
+      }
+      for (index_t j = 0; j < s; ++j) inner_mat(kcur + j, kcur + j) = T(1);
+      gemm<T>(Trans::C, Trans::N, T(1), g.view(), inner_mat.view(), T(0), wmat.view());
+    }
+    pk = smallest_gen_eig_vectors<T>(tmat, wmat, knew);
+  }
+  // [Q, R] = qr(G Pk); C = [C V] Q; U = [U basis] Pk R^{-1}.
+  DenseMatrix<T> gp(rows, knew);
+  gemm<T>(Trans::N, Trans::N, T(1), g.view(), pk.view(), T(0), gp.view());
+  HouseholderQR<T> hq(copy_of(gp));
+  const DenseMatrix<T> q = hq.q_thin();
+  const DenseMatrix<T> rq = hq.r();
+  DenseMatrix<T> cv(n, rows);
+  if (kcur > 0) copy_into<T>(lane.c.view(), cv.block(0, 0, n, kcur));
+  copy_into<T>(MatrixView<const T>(lane.v.data(), n, vcols, lane.v.ld()),
+               cv.block(0, kcur, n, vcols));
+  DenseMatrix<T> cnew(n, knew);
+  gemm<T>(Trans::N, Trans::N, T(1), cv.view(), q.view(), T(0), cnew.view());
+  DenseMatrix<T> ub(n, cols);
+  if (kcur > 0) copy_into<T>(lane.u.view(), ub.block(0, 0, n, kcur));
+  copy_into<T>(MatrixView<const T>(lane.update_basis(side).data(), n, s,
+                                   lane.update_basis(side).ld()),
+               ub.block(0, kcur, n, s));
+  DenseMatrix<T> unew(n, knew);
+  gemm<T>(Trans::N, Trans::N, T(1), ub.view(), pk.view(), T(0), unew.view());
+  trsm_right_upper<T>(rq.view(), unew.view());
+  lane.c = std::move(cnew);
+  lane.u = std::move(unew);
+}
+
+}  // namespace
+
+template <class T>
+SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
+                                  MatrixView<const T> b, MatrixView<T> x, CommModel* comm,
+                                  bool new_matrix) {
+  using Real = real_t<T>;
+  Timer timer;
+  SolveStats st;
+  const index_t n = a.n(), p = b.cols();
+  PrecondSide side = (m == nullptr) ? PrecondSide::None : opts_.side;
+  if (side == PrecondSide::Right && m != nullptr && m->is_variable()) side = PrecondSide::Flexible;
+  const index_t mdim = opts_.restart;
+  const index_t k = std::min(opts_.recycle, mdim - 1);
+  if (k <= 0) throw std::invalid_argument("PseudoGcroDr: opts.recycle must be in [1, restart)");
+  const bool matrix_changed = (solves_ == 0) || (new_matrix && !opts_.same_system);
+  const bool had_recycle = u_.cols() > 0 && lanes_ == p;
+  ++solves_;
+
+  std::vector<Lane<T>> lanes(static_cast<size_t>(p));
+  if (had_recycle) {
+    for (index_t l = 0; l < p; ++l) {
+      lanes[size_t(l)].u.resize(n, k);
+      lanes[size_t(l)].c.resize(n, k);
+      for (index_t i = 0; i < k; ++i) {
+        std::copy(u_.col(i * p + l), u_.col(i * p + l) + n, lanes[size_t(l)].u.col(i));
+        std::copy(c_.col(i * p + l), c_.col(i * p + l) + n, lanes[size_t(l)].c.col(i));
+      }
+    }
+  }
+
+  st.history.resize(size_t(p));
+  st.per_rhs_iterations.assign(size_t(p), 0);
+  DenseMatrix<T> scratch;
+  std::vector<Real> bnorm(static_cast<size_t>(p)), rnorm(static_cast<size_t>(p));
+  if (side == PrecondSide::Left) {
+    scratch.resize(n, p);
+    m->apply(b, scratch.view());
+    ++st.precond_applies;
+    detail::norms<T>(scratch.view(), bnorm.data(), st, comm);
+  } else {
+    detail::norms<T>(b, bnorm.data(), st, comm);
+  }
+  for (auto& v : bnorm)
+    if (v == Real(0)) v = Real(1);
+
+  DenseMatrix<T> r(n, p), w(n, p), ztmp(n, p);
+  detail::residual<T>(a, m, side, b, x, r.view(), scratch, st);
+  detail::norms<T>(r.view(), rnorm.data(), st, comm);
+  for (index_t l = 0; l < p; ++l) {
+    lanes[size_t(l)].bnorm = bnorm[size_t(l)];
+    lanes[size_t(l)].rnorm = rnorm[size_t(l)];
+    lanes[size_t(l)].converged = rnorm[size_t(l)] <= opts_.tol * bnorm[size_t(l)];
+    if (opts_.record_history)
+      st.history[size_t(l)].push_back(rnorm[size_t(l)] / bnorm[size_t(l)]);
+  }
+  auto all_converged = [&] {
+    for (const auto& lane : lanes)
+      if (!lane.converged) return false;
+    return true;
+  };
+
+  // Batched op([every lane's U]) for the re-orthonormalization and the
+  // X += U C^H r correction (fig. 1 lines 3-9, per lane, fused).
+  if (had_recycle) {
+    if (matrix_changed) {
+      DenseMatrix<T> uall(n, k * p), wall(n, k * p);
+      for (index_t l = 0; l < p; ++l)
+        copy_into<T>(lanes[size_t(l)].u.view(), uall.block(0, l * k, n, k));
+      if (side == PrecondSide::Right) {
+        DenseMatrix<T> tmp(n, k * p);
+        m->apply(uall.view(), tmp.view());
+        ++st.precond_applies;
+        a.apply(tmp.view(), wall.view());
+        ++st.operator_applies;
+      } else if (side == PrecondSide::Left) {
+        DenseMatrix<T> tmp(n, k * p);
+        a.apply(uall.view(), tmp.view());
+        ++st.operator_applies;
+        m->apply(tmp.view(), wall.view());
+        ++st.precond_applies;
+      } else {
+        a.apply(uall.view(), wall.view());
+        ++st.operator_applies;
+      }
+      // Per-lane CholQR of its k columns (one fused reduction).
+      st.reductions += 1;
+      if (comm != nullptr) comm->reduction(p * k * k * 8);
+      for (index_t l = 0; l < p; ++l) {
+        auto wl = wall.block(0, l * k, n, k);
+        DenseMatrix<T> rq(k, k);
+        if (!cholqr<T>(wl, rq.view())) householder_tsqr<T>(wl, rq.view());
+        copy_into<T>(MatrixView<const T>(wl.data(), n, k, wl.ld()), lanes[size_t(l)].c.view());
+        trsm_right_upper<T>(rq.view(), lanes[size_t(l)].u.view());
+      }
+    }
+    // X += U C^H r; r -= C C^H r (fused dots: one reduction).
+    st.reductions += 1;
+    if (comm != nullptr) comm->reduction(p * k * 8);
+    DenseMatrix<T> t(n, p);
+    t.set_zero();
+    for (index_t l = 0; l < p; ++l) {
+      auto& lane = lanes[size_t(l)];
+      if (lane.converged) continue;
+      std::vector<T> y0(static_cast<size_t>(k));
+      for (index_t i = 0; i < k; ++i) y0[size_t(i)] = dot<T>(n, lane.c.col(i), r.col(l));
+      for (index_t i = 0; i < k; ++i) {
+        axpy<T>(n, y0[size_t(i)], lane.u.col(i), t.col(l));
+        axpy<T>(n, -y0[size_t(i)], lane.c.col(i), r.col(l));
+      }
+    }
+    if (side == PrecondSide::Right) {
+      m->apply(t.view(), ztmp.view());
+      ++st.precond_applies;
+      for (index_t l = 0; l < p; ++l) axpy<T>(n, T(1), ztmp.col(l), x.col(l));
+    } else {
+      for (index_t l = 0; l < p; ++l) axpy<T>(n, T(1), t.col(l), x.col(l));
+    }
+    // The projection changed the residual: refresh norms and flags.
+    detail::norms<T>(r.view(), rnorm.data(), st, comm);
+    for (index_t l = 0; l < p; ++l) {
+      lanes[size_t(l)].rnorm = rnorm[size_t(l)];
+      lanes[size_t(l)].converged = rnorm[size_t(l)] <= opts_.tol * bnorm[size_t(l)];
+    }
+  }
+
+  // Main loop. The first pass of a fresh sequence runs m unprojected
+  // steps (and seeds the recycled spaces); every later pass runs m - k
+  // projected steps.
+  bool first_cycle = !had_recycle;
+  while (!all_converged() && st.iterations < opts_.max_iterations) {
+    ++st.cycles;
+    const index_t max_steps = first_cycle ? mdim : (mdim - k);
+    const bool project = !first_cycle;
+    // Cycle start: normalize each lane's residual (norms already known
+    // from the last batched residual evaluation) and C^H r.
+    for (index_t l = 0; l < p; ++l) {
+      auto& lane = lanes[size_t(l)];
+      lane.active = !lane.converged;
+      lane.start_cycle(n, max_steps, side, project ? lane.u.cols() : 0);
+      if (!lane.active) continue;
+      const Real beta = lane.rnorm;
+      const T inv = scalar_traits<T>::from_real(Real(1) / beta);
+      for (index_t i = 0; i < n; ++i) lane.v(i, 0) = r(i, l) * inv;
+      lane.ghat[0] = scalar_traits<T>::from_real(beta);
+      if (project) {
+        lane.yc.assign(static_cast<size_t>(lane.u.cols()), T(0));
+        for (index_t i = 0; i < lane.u.cols(); ++i)
+          lane.yc[size_t(i)] = dot<T>(n, lane.c.col(i), r.col(l));
+      }
+    }
+    st.reductions += 1;  // fused residual QR (norms) / C^H r
+    if (comm != nullptr) comm->reduction(p * 8);
+
+    index_t j = 0;
+    while (j < max_steps && st.iterations < opts_.max_iterations) {
+      // Assemble the batched operator input.
+      DenseMatrix<T> vin(n, p);
+      for (index_t l = 0; l < p; ++l)
+        if (lanes[size_t(l)].active)
+          std::copy(lanes[size_t(l)].v.col(j), lanes[size_t(l)].v.col(j) + n, vin.col(l));
+      MatrixView<T> zj = ztmp.view();
+      detail::apply_preconditioned<T>(a, m, side, vin.view(), zj, w.view(), st);
+      index_t nactive = 0;
+      for (const auto& lane : lanes) nactive += lane.active ? 1 : 0;
+      if (nactive == 0) break;
+      // Projection against each lane's C (one fused reduction).
+      if (project) {
+        st.reductions += 1;
+        if (comm != nullptr) comm->reduction(nactive * k * 8);
+        for (index_t l = 0; l < p; ++l) {
+          auto& lane = lanes[size_t(l)];
+          if (!lane.active) continue;
+          for (index_t i = 0; i < lane.u.cols(); ++i) {
+            const T ei = dot<T>(n, lane.c.col(i), w.col(l));
+            lane.e(i, j) = ei;
+            axpy<T>(n, -ei, lane.c.col(i), w.col(l));
+          }
+        }
+      }
+      // Fused CGS projection + normalization (2 reductions).
+      st.reductions += 2;
+      if (comm != nullptr) {
+        comm->reduction(nactive * (j + 1) * 8);
+        comm->reduction(nactive * 8);
+      }
+      for (index_t l = 0; l < p; ++l) {
+        auto& lane = lanes[size_t(l)];
+        if (!lane.active) continue;
+        if (side == PrecondSide::Flexible) std::copy(zj.col(l), zj.col(l) + n, lane.z.col(j));
+        std::vector<T> hcol(static_cast<size_t>(max_steps) + 1, T(0));
+        for (index_t i = 0; i <= j; ++i) hcol[size_t(i)] = dot<T>(n, lane.v.col(i), w.col(l));
+        for (index_t i = 0; i <= j; ++i) axpy<T>(n, -hcol[size_t(i)], lane.v.col(i), w.col(l));
+        if (opts_.ortho == Ortho::Cgs2) {
+          for (index_t i = 0; i <= j; ++i) {
+            const T h2 = dot<T>(n, lane.v.col(i), w.col(l));
+            hcol[size_t(i)] += h2;
+            axpy<T>(n, -h2, lane.v.col(i), w.col(l));
+          }
+        }
+        const Real hn = norm2<T>(n, w.col(l));
+        hcol[size_t(j) + 1] = scalar_traits<T>::from_real(hn);
+        if (hn > Real(0)) {
+          const T inv = scalar_traits<T>::from_real(Real(1) / hn);
+          for (index_t i = 0; i < n; ++i) lane.v(i, j + 1) = w(i, l) * inv;
+        }
+        for (index_t i = 0; i < j + 2; ++i) lane.hbar(i, j) = hcol[size_t(i)];
+        lane.qr.add_column(hcol.data(), j + 2);
+        lane.qr.apply_qt_range(
+            MatrixView<T>(lane.ghat.data(), index_t(lane.ghat.size()), 1,
+                          index_t(lane.ghat.size())),
+            j);
+        lane.steps = j + 1;
+        const Real est = abs_val(lane.ghat[size_t(j) + 1]);
+        lane.rnorm = est;
+        if (opts_.record_history) st.history[size_t(l)].push_back(est / lane.bnorm);
+        if (est > opts_.tol * lane.bnorm) ++st.per_rhs_iterations[size_t(l)];
+        if (est <= opts_.tol * lane.bnorm || hn == Real(0)) lane.active = false;
+      }
+      ++j;
+      ++st.iterations;
+      bool any = false;
+      for (const auto& lane : lanes) any |= lane.active;
+      if (!any) break;
+    }
+
+    // Per-lane least squares, solution update, recycle refresh.
+    DenseMatrix<T> t(n, p);
+    t.set_zero();
+    bool progress = false;
+    for (index_t l = 0; l < p; ++l) {
+      auto& lane = lanes[size_t(l)];
+      if (lane.converged || lane.steps == 0) continue;
+      const index_t s = usable_scalar_columns(lane.qr, lane.steps);
+      if (s == 0) continue;
+      progress = true;
+      const std::vector<T> y = lane.least_squares(s);
+      const auto& basis = lane.update_basis(side);
+      for (index_t i = 0; i < s; ++i) axpy<T>(n, y[size_t(i)], basis.col(i), t.col(l));
+      if (project) {
+        // Y_k = C^H r - E y (fig. 1 line 28).
+        std::vector<T> yk = lane.yc;
+        for (index_t i = 0; i < lane.u.cols(); ++i)
+          for (index_t cc = 0; cc < s; ++cc) yk[size_t(i)] -= lane.e(i, cc) * y[size_t(cc)];
+        if (side == PrecondSide::Flexible) {
+          for (index_t i = 0; i < lane.u.cols(); ++i)
+            axpy<T>(n, yk[size_t(i)], lane.u.col(i), x.col(l));
+        } else {
+          for (index_t i = 0; i < lane.u.cols(); ++i)
+            axpy<T>(n, yk[size_t(i)], lane.u.col(i), t.col(l));
+        }
+      }
+    }
+    if (!progress) break;
+    if (side == PrecondSide::Right) {
+      m->apply(t.view(), ztmp.view());
+      ++st.precond_applies;
+      for (index_t l = 0; l < p; ++l) axpy<T>(n, T(1), ztmp.col(l), x.col(l));
+    } else {
+      for (index_t l = 0; l < p; ++l) axpy<T>(n, T(1), t.col(l), x.col(l));
+    }
+    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm);
+    for (index_t l = 0; l < p; ++l) {
+      lanes[size_t(l)].rnorm = rnorm[size_t(l)];
+      lanes[size_t(l)].converged = rnorm[size_t(l)] <= opts_.tol * bnorm[size_t(l)];
+    }
+    // Refresh the recycled spaces (first cycle always seeds them; later
+    // cycles only when the matrix changes — section III-B).
+    if (first_cycle || matrix_changed) {
+      if (!first_cycle) {
+        st.reductions += 1;  // fused ||u_i|| scaling norms
+        if (comm != nullptr) comm->reduction(p * k * 8);
+      }
+      for (index_t l = 0; l < p; ++l) {
+        auto& lane = lanes[size_t(l)];
+        if (lane.steps == 0) continue;
+        const index_t s = usable_scalar_columns(lane.qr, lane.steps);
+        refresh_lane_recycle<T>(lane, n, k, s, side, opts_.strategy, !first_cycle);
+      }
+      if (opts_.strategy == RecycleStrategy::A && !first_cycle) {
+        st.reductions += 1;  // [C V]^H U of eq. 3a (fused over lanes)
+        if (comm != nullptr) comm->reduction(p * k * 8);
+      }
+    }
+    first_cycle = false;
+  }
+
+  // Persist the recycled spaces (interleaved storage).
+  index_t kmin = k;
+  for (const auto& lane : lanes) kmin = std::min(kmin, lane.u.cols());
+  if (kmin > 0) {
+    lanes_ = p;
+    u_.resize(n, kmin * p);
+    c_.resize(n, kmin * p);
+    for (index_t l = 0; l < p; ++l)
+      for (index_t i = 0; i < kmin; ++i) {
+        std::copy(lanes[size_t(l)].u.col(i), lanes[size_t(l)].u.col(i) + n, u_.col(i * p + l));
+        std::copy(lanes[size_t(l)].c.col(i), lanes[size_t(l)].c.col(i) + n, c_.col(i * p + l));
+      }
+  }
+  st.converged = all_converged();
+  st.seconds = timer.seconds();
+  return st;
+}
+
+template class PseudoGcroDr<double>;
+template class PseudoGcroDr<std::complex<double>>;
+
+}  // namespace bkr

@@ -1,0 +1,69 @@
+// Solver options and statistics shared by every iterative method.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bkr {
+
+// Where the preconditioner enters the iteration (paper: "right, left, or
+// variable preconditioning" are all supported uniformly).
+enum class PrecondSide {
+  None,
+  Left,      // solve M^{-1}A x = M^{-1}b; stopping test on the preconditioned residual
+  Right,     // solve A M^{-1} u = b, x = M^{-1} u
+  Flexible,  // right with per-iteration preconditioner (FGMRES / FGCRO-DR)
+};
+
+// Right-hand side matrix W of the generalized deflation eigenproblem at
+// GCRO-DR restarts (paper eq. 3a vs 3b; section III-C/III-D).
+enum class RecycleStrategy {
+  A,  // eq. 3a — needs one extra global reduction per restart
+  B,  // eq. 3b — communication-free
+};
+
+// Arnoldi orthogonalization scheme (reduction counts per iteration differ;
+// paper section III-D).
+enum class Ortho {
+  Cgs,     // classical Gram-Schmidt, 1 projection reduction + 1 normalization
+  Cgs2,    // CGS with reorthogonalization (2 + 1)
+  Mgs,     // modified Gram-Schmidt, one reduction per basis block
+  CholQr,  // block normalization via CholQR is always used; this selects CGS projections
+};
+
+struct SolverOptions {
+  index_t restart = 30;            // m: maximum Krylov dimension (in blocks)
+  index_t recycle = 0;             // k: recycled blocks (GCRO-DR only)
+  double tol = 1e-8;               // relative residual target, per RHS column
+  index_t max_iterations = 10000;  // total (block) iterations
+  PrecondSide side = PrecondSide::Right;
+  RecycleStrategy strategy = RecycleStrategy::B;
+  bool same_system = false;  // sequence with identical matrices: skip
+                             // fig. 1 lines 3-7 and 31-38
+  // Iterated CGS by default (Belos's choice): single-pass CGS loses
+  // Arnoldi orthogonality, which GCRO-DR inherits into C_k and turns into
+  // a residual-accuracy floor near 1e-8.
+  Ortho ortho = Ortho::Cgs2;
+  bool record_history = true;
+};
+
+struct SolveStats {
+  bool converged = false;
+  index_t iterations = 0;  // (block) Arnoldi steps performed
+  index_t cycles = 0;      // restarts + 1
+  std::int64_t reductions = 0;       // global synchronizations
+  std::int64_t operator_applies = 0; // SpMM count (blocks)
+  std::int64_t precond_applies = 0;  // M^{-1} block applications
+  double seconds = 0;
+  // Per RHS column: relative residual estimate after each (block)
+  // iteration, starting with the initial residual.
+  std::vector<std::vector<double>> history;
+  // Per RHS column: iterations spent while that column was not yet
+  // converged (the per-RHS counts reported in the paper's tables).
+  std::vector<index_t> per_rhs_iterations;
+};
+
+}  // namespace bkr

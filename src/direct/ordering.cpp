@@ -1,0 +1,149 @@
+#include "direct/ordering.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace bkr {
+namespace {
+
+// BFS level structure of the masked subgraph from `root`.
+std::vector<index_t> bfs_levels(const Graph& g, index_t root, const std::vector<index_t>& verts,
+                                const std::vector<index_t>& local_of, std::vector<index_t>& level) {
+  level.assign(verts.size(), -1);
+  std::vector<index_t> order;
+  order.reserve(verts.size());
+  std::deque<index_t> queue{root};
+  level[size_t(local_of[size_t(verts[size_t(root)])])] = 0;  // root is a local index
+  // NOTE: `root` is local; translate through verts.
+  while (!queue.empty()) {
+    const index_t v = queue.front();
+    queue.pop_front();
+    order.push_back(v);
+    const index_t gv = verts[size_t(v)];
+    for (index_t l = g.ptr[size_t(gv)]; l < g.ptr[size_t(gv) + 1]; ++l) {
+      const index_t gw = g.adj[size_t(l)];
+      const index_t w = local_of[size_t(gw)];
+      if (w < 0 || level[size_t(w)] >= 0) continue;
+      level[size_t(w)] = level[size_t(v)] + 1;
+      queue.push_back(w);
+    }
+  }
+  return order;
+}
+
+struct Work {
+  std::vector<index_t> verts;  // global vertex ids of this subproblem
+};
+
+}  // namespace
+
+std::vector<index_t> nested_dissection(const Graph& g, index_t leaf_size) {
+  std::vector<index_t> perm;
+  perm.reserve(size_t(g.n));
+  std::vector<index_t> local_of(size_t(g.n), -1);
+
+  // Output slots are filled back-to-front: separators are ordered last.
+  std::vector<index_t> out(size_t(g.n), -1);
+  index_t out_hi = g.n;  // next free slot counting down for separators
+
+  // Depth-first worklist; each item either recurses or gets leaf-ordered
+  // at the front cursor.
+  std::vector<Work> stack;
+  {
+    Work all;
+    all.verts.resize(size_t(g.n));
+    std::iota(all.verts.begin(), all.verts.end(), index_t(0));
+    stack.push_back(std::move(all));
+  }
+  std::vector<std::vector<index_t>> leaves;  // ordered blocks, front part
+
+  while (!stack.empty()) {
+    Work w = std::move(stack.back());
+    stack.pop_back();
+    const index_t n = index_t(w.verts.size());
+    if (n == 0) continue;
+    if (n <= leaf_size) {
+      leaves.push_back(std::move(w.verts));
+      continue;
+    }
+    for (index_t l = 0; l < n; ++l) local_of[size_t(w.verts[size_t(l)])] = l;
+    // Find a deep BFS root, then split at the median level.
+    std::vector<index_t> level;
+    std::vector<index_t> order = bfs_levels(g, 0, w.verts, local_of, level);
+    if (index_t(order.size()) < n) {
+      // Disconnected: peel off the reached component, requeue the rest.
+      std::vector<char> reached(size_t(n), 0);
+      for (const index_t v : order) reached[size_t(v)] = 1;
+      Work comp, rest;
+      for (index_t l = 0; l < n; ++l)
+        (reached[size_t(l)] ? comp.verts : rest.verts).push_back(w.verts[size_t(l)]);
+      for (index_t l = 0; l < n; ++l) local_of[size_t(w.verts[size_t(l)])] = -1;
+      stack.push_back(std::move(rest));
+      stack.push_back(std::move(comp));
+      continue;
+    }
+    // Re-root at the deepest vertex for a flatter level structure.
+    const index_t new_root = order.back();
+    order = bfs_levels(g, new_root, w.verts, local_of, level);
+    const index_t max_level = level[size_t(order.back())];
+    if (max_level < 2) {
+      // Too shallow to cut: order as a leaf.
+      for (index_t l = 0; l < n; ++l) local_of[size_t(w.verts[size_t(l)])] = -1;
+      leaves.push_back(std::move(w.verts));
+      continue;
+    }
+    const index_t mid = max_level / 2;
+    Work below, above;
+    std::vector<index_t> separator;
+    for (index_t l = 0; l < n; ++l) {
+      const index_t lev = level[size_t(l)];
+      if (lev < mid)
+        below.verts.push_back(w.verts[size_t(l)]);
+      else if (lev > mid)
+        above.verts.push_back(w.verts[size_t(l)]);
+      else
+        separator.push_back(w.verts[size_t(l)]);
+    }
+    for (index_t l = 0; l < n; ++l) local_of[size_t(w.verts[size_t(l)])] = -1;
+    // Separator vertices take the highest remaining slots.
+    for (index_t l = index_t(separator.size()) - 1; l >= 0; --l) out[size_t(--out_hi)] = separator[size_t(l)];
+    stack.push_back(std::move(above));
+    stack.push_back(std::move(below));
+  }
+
+  // Leaf blocks fill the front slots in discovery order, RCM-ordered
+  // inside each block for low local fill.
+  index_t cursor = 0;
+  for (auto& block : leaves) {
+    // Local RCM: build the subgraph and reuse the global RCM.
+    const index_t n = index_t(block.size());
+    std::vector<index_t> lof(size_t(g.n), -1);
+    for (index_t l = 0; l < n; ++l) lof[size_t(block[size_t(l)])] = l;
+    Graph sub;
+    sub.n = n;
+    sub.ptr.assign(size_t(n) + 1, 0);
+    for (index_t l = 0; l < n; ++l) {
+      const index_t gv = block[size_t(l)];
+      for (index_t e = g.ptr[size_t(gv)]; e < g.ptr[size_t(gv) + 1]; ++e)
+        if (lof[size_t(g.adj[size_t(e)])] >= 0) ++sub.ptr[size_t(l) + 1];
+    }
+    for (index_t l = 0; l < n; ++l) sub.ptr[size_t(l) + 1] += sub.ptr[size_t(l)];
+    sub.adj.resize(size_t(sub.ptr[size_t(n)]));
+    {
+      std::vector<index_t> next(sub.ptr.begin(), sub.ptr.end() - 1);
+      for (index_t l = 0; l < n; ++l) {
+        const index_t gv = block[size_t(l)];
+        for (index_t e = g.ptr[size_t(gv)]; e < g.ptr[size_t(gv) + 1]; ++e) {
+          const index_t lw = lof[size_t(g.adj[size_t(e)])];
+          if (lw >= 0) sub.adj[size_t(next[size_t(l)]++)] = lw;
+        }
+      }
+    }
+    const std::vector<index_t> local_perm = rcm_ordering(sub);
+    for (index_t l = 0; l < n; ++l) out[size_t(cursor++)] = block[size_t(local_perm[size_t(l)])];
+  }
+  return out;
+}
+
+}  // namespace bkr

@@ -1,0 +1,18 @@
+// Fill-reducing orderings for the sparse direct solver.
+//
+// Nested dissection (BFS-level separators, RCM-ordered leaves) is the
+// default: it behaves well on the 2-D/3-D grid graphs our problem
+// generators emit, which is exactly the regime where the paper's
+// subdomain solves live.
+#pragma once
+
+#include <vector>
+
+#include "sparse/graph.hpp"
+
+namespace bkr {
+
+// Returns perm with perm[new] = old.
+std::vector<index_t> nested_dissection(const Graph& g, index_t leaf_size = 64);
+
+}  // namespace bkr

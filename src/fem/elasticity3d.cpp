@@ -1,0 +1,197 @@
+#include "fem/elasticity3d.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "sparse/assembler.hpp"
+
+namespace bkr {
+namespace {
+
+// Trilinear shape function derivatives on the reference cube [-1,1]^3 at
+// point (xi, eta, zeta); corners in lexicographic (x fastest) order.
+struct ShapeGrads {
+  std::array<std::array<double, 3>, 8> d;  // d[node][direction]
+};
+
+ShapeGrads q1_gradients(double xi, double eta, double zeta) {
+  ShapeGrads g{};
+  const std::array<double, 2> sx = {-1.0, 1.0};
+  for (int c = 0; c < 8; ++c) {
+    const double cx = sx[size_t(c & 1)];
+    const double cy = sx[size_t((c >> 1) & 1)];
+    const double cz = sx[size_t((c >> 2) & 1)];
+    g.d[size_t(c)][0] = 0.125 * cx * (1 + cy * eta) * (1 + cz * zeta);
+    g.d[size_t(c)][1] = 0.125 * cy * (1 + cx * xi) * (1 + cz * zeta);
+    g.d[size_t(c)][2] = 0.125 * cz * (1 + cx * xi) * (1 + cy * eta);
+  }
+  return g;
+}
+
+// 24x24 Q1 element stiffness for isotropic material (lambda, mu) on a cube
+// of side h, via 2x2x2 Gauss quadrature.
+DenseMatrix<double> element_stiffness(double h, double lambda, double mu) {
+  DenseMatrix<double> ke(24, 24);
+  const double gp = 1.0 / std::sqrt(3.0);
+  const double jac = h / 2.0;            // isotropic affine map
+  const double detj = jac * jac * jac;   // per Gauss point, weight 1
+  for (int gx = 0; gx < 2; ++gx)
+    for (int gy = 0; gy < 2; ++gy)
+      for (int gz = 0; gz < 2; ++gz) {
+        const ShapeGrads g =
+            q1_gradients(gp * (gx ? 1 : -1), gp * (gy ? 1 : -1), gp * (gz ? 1 : -1));
+        // Physical gradients: dN/dx = dN/dxi / jac.
+        std::array<std::array<double, 3>, 8> dn;
+        for (int c = 0; c < 8; ++c)
+          for (int d = 0; d < 3; ++d) dn[size_t(c)][size_t(d)] = g.d[size_t(c)][size_t(d)] / jac;
+        // K += B^T C B detJ with engineering strain ordering
+        // (xx, yy, zz, xy, yz, zx). Assembled per node pair directly.
+        for (int a = 0; a < 8; ++a)
+          for (int b = 0; b < 8; ++b) {
+            const auto& da = dn[size_t(a)];
+            const auto& db = dn[size_t(b)];
+            for (int ia = 0; ia < 3; ++ia)
+              for (int ib = 0; ib < 3; ++ib) {
+                double v = lambda * da[size_t(ia)] * db[size_t(ib)];
+                if (ia == ib) {
+                  double graddot = 0;
+                  for (int d = 0; d < 3; ++d) graddot += da[size_t(d)] * db[size_t(d)];
+                  v += mu * graddot;
+                }
+                v += mu * da[size_t(ib)] * db[size_t(ia)];
+                ke(3 * a + ia, 3 * b + ib) += v * detj;
+              }
+          }
+      }
+  return ke;
+}
+
+}  // namespace
+
+ElasticityProblem elasticity3d(const ElasticityConfig& config) {
+  const index_t ne = config.ne;
+  const index_t nn = ne + 1;  // nodes per direction
+  const double h = 1.0 / double(ne);
+  auto node_id = [nn](index_t i, index_t j, index_t k) { return i + j * nn + k * nn * nn; };
+  const index_t nnodes = nn * nn * nn;
+
+  // Dirichlet: clamp all dofs of nodes on the x = 0 face.
+  std::vector<index_t> free_of(size_t(3 * nnodes), -1);
+  index_t nfree = 0;
+  for (index_t k = 0; k < nn; ++k)
+    for (index_t j = 0; j < nn; ++j)
+      for (index_t i = 0; i < nn; ++i) {
+        if (i == 0) continue;
+        const index_t node = node_id(i, j, k);
+        for (int d = 0; d < 3; ++d) free_of[size_t(3 * node + d)] = nfree++;
+      }
+
+  // Sparsity pattern: dofs of the 27-node neighbourhood.
+  std::vector<std::vector<index_t>> pattern(static_cast<size_t>(nfree));
+  for (index_t k = 0; k < nn; ++k)
+    for (index_t j = 0; j < nn; ++j)
+      for (index_t i = 1; i < nn; ++i) {
+        const index_t node = node_id(i, j, k);
+        for (index_t dk = -1; dk <= 1; ++dk)
+          for (index_t dj = -1; dj <= 1; ++dj)
+            for (index_t di = -1; di <= 1; ++di) {
+              const index_t ni = i + di, nj = j + dj, nk = k + dk;
+              if (ni < 0 || ni >= nn || nj < 0 || nj >= nn || nk < 0 || nk >= nn) continue;
+              const index_t other = node_id(ni, nj, nk);
+              for (int da = 0; da < 3; ++da) {
+                const index_t ra = free_of[size_t(3 * node + da)];
+                if (ra < 0) continue;
+                for (int db = 0; db < 3; ++db) {
+                  const index_t cb = free_of[size_t(3 * other + db)];
+                  if (cb >= 0) pattern[size_t(ra)].push_back(cb);
+                }
+              }
+            }
+      }
+  PatternAssembler<double> assembler(nfree, nfree, std::move(pattern));
+
+  // Two element stiffness templates: background and inclusion material.
+  const double nu = config.poisson;
+  auto lame = [nu](double young) {
+    const double lambda = young * nu / ((1 + nu) * (1 - 2 * nu));
+    const double mu = young / (2 * (1 + nu));
+    return std::pair<double, double>(lambda, mu);
+  };
+  const auto [l0, m0] = lame(config.young);
+  const DenseMatrix<double> ke0 = element_stiffness(h, l0, m0);
+  DenseMatrix<double> ke1;
+  const bool has_inclusion = config.inclusion.radius > 0 && config.inclusion.stiffness_ratio != 1.0;
+  if (has_inclusion) {
+    const auto [l1, m1] = lame(config.young / config.inclusion.stiffness_ratio);
+    ke1 = element_stiffness(h, l1, m1);
+  }
+
+  std::vector<double> rhs(size_t(nfree), 0.0);
+  const double load = -1.0 * h * h * h / 8.0;  // downward body force, lumped
+
+  for (index_t k = 0; k < ne; ++k)
+    for (index_t j = 0; j < ne; ++j)
+      for (index_t i = 0; i < ne; ++i) {
+        // Element centre decides the material (the inclusion of eq. in
+        // section IV-C).
+        const double cx = (double(i) + 0.5) * h;
+        const double cy = (double(j) + 0.5) * h;
+        const double cz = (double(k) + 0.5) * h;
+        bool inside = false;
+        if (has_inclusion) {
+          const double dx = cx - config.inclusion.x;
+          const double dy = cy - config.inclusion.y;
+          const double dz = cz - config.inclusion.z;
+          inside = dx * dx + dy * dy + dz * dz < config.inclusion.radius * config.inclusion.radius;
+        }
+        const DenseMatrix<double>& ke = inside ? ke1 : ke0;
+        std::array<index_t, 8> nodes;
+        for (int c = 0; c < 8; ++c)
+          nodes[size_t(c)] = node_id(i + (c & 1), j + ((c >> 1) & 1), k + ((c >> 2) & 1));
+        for (int a = 0; a < 8; ++a) {
+          for (int da = 0; da < 3; ++da) {
+            const index_t ra = free_of[size_t(3 * nodes[size_t(a)] + da)];
+            if (ra < 0) continue;
+            if (da == 2) rhs[size_t(ra)] += load;
+            for (int b = 0; b < 8; ++b)
+              for (int db = 0; db < 3; ++db) {
+                const index_t cb = free_of[size_t(3 * nodes[size_t(b)] + db)];
+                if (cb >= 0) assembler.add(ra, cb, ke(3 * a + da, 3 * b + db));
+              }
+          }
+        }
+      }
+
+  ElasticityProblem out;
+  out.matrix = std::move(assembler).build();
+  out.rhs = std::move(rhs);
+  out.nfree = nfree;
+
+  // Coordinates and rigid-body modes of the free dofs.
+  out.coords.resize(size_t(3 * nfree));
+  out.rigid_body_modes.resize(nfree, 6);
+  for (index_t k = 0; k < nn; ++k)
+    for (index_t j = 0; j < nn; ++j)
+      for (index_t i = 1; i < nn; ++i) {
+        const index_t node = node_id(i, j, k);
+        const double x = double(i) * h, y = double(j) * h, z = double(k) * h;
+        for (int d = 0; d < 3; ++d) {
+          const index_t r = free_of[size_t(3 * node + d)];
+          out.coords[size_t(3 * r)] = x;
+          out.coords[size_t(3 * r + 1)] = y;
+          out.coords[size_t(3 * r + 2)] = z;
+          // Translations.
+          out.rigid_body_modes(r, d) = 1.0;
+          // Rotations about x, y, z.
+          const double rx[3] = {0.0, -z, y};
+          const double ry[3] = {z, 0.0, -x};
+          const double rz[3] = {-y, x, 0.0};
+          out.rigid_body_modes(r, 3) = rx[d];
+          out.rigid_body_modes(r, 4) = ry[d];
+          out.rigid_body_modes(r, 5) = rz[d];
+        }
+      }
+  return out;
+}
+
+}  // namespace bkr

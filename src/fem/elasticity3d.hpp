@@ -1,0 +1,51 @@
+// 3-D linear elasticity generator (the PETSc ex56 analogue of section
+// IV-C).
+//
+// Displacement formulation -div(sigma) = f on the unit cube, Q1 hexahedral
+// elements (ne x ne x ne), clamped on the x = 0 face, unit downward body
+// force. The paper generates a sequence of four slowly varying systems by
+// moving a small soft spherical inclusion (Young's modulus E/s_i) through
+// the cube; `kElasticitySequence` reproduces its parameters. The six
+// rigid-body modes feed the AMG near-nullspace.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "la/dense.hpp"
+#include "sparse/csr.hpp"
+
+namespace bkr {
+
+struct Inclusion {
+  double stiffness_ratio = 1.0;  // s_i: E_inclusion = E / s_i
+  double radius = 0.0;
+  double x = 0.5, y = 0.5, z = 0.5;
+};
+
+struct ElasticityConfig {
+  index_t ne = 8;          // elements per direction
+  double young = 1.0;      // E outside the inclusion
+  double poisson = 0.3;    // nu
+  Inclusion inclusion;     // zero radius = homogeneous material
+};
+
+struct ElasticityProblem {
+  CsrMatrix<double> matrix;           // on free dofs only
+  std::vector<double> rhs;            // body force load
+  std::vector<double> coords;         // 3 * nfree: coordinates of free dofs
+  DenseMatrix<double> rigid_body_modes;  // nfree x 6 near-nullspace
+  index_t nfree = 0;
+};
+
+ElasticityProblem elasticity3d(const ElasticityConfig& config);
+
+// The paper's four-system sequence: {s_i}, {r_i}, {x_i}, {y_i}, {z_i}.
+inline constexpr std::array<Inclusion, 4> kElasticitySequence = {{
+    {30.0, 0.5, 0.5, 0.5, 0.5},
+    {0.1, 0.45, 0.4, 0.5, 0.45},
+    {20.0, 0.4, 0.4, 0.4, 0.4},
+    {10.0, 0.35, 0.4, 0.4, 0.35},
+}};
+
+}  // namespace bkr

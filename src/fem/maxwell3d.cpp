@@ -1,0 +1,189 @@
+#include "fem/maxwell3d.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+
+namespace bkr {
+namespace {
+
+using cd = std::complex<double>;
+
+// Edge numbering on an n^3 grid: x-edges, then y-edges, then z-edges.
+struct EdgeGrid {
+  index_t n;
+  index_t nx_edges, ny_edges, nz_edges;
+
+  explicit EdgeGrid(index_t n_) : n(n_) {
+    const index_t np = n + 1;
+    nx_edges = n * np * np;
+    ny_edges = np * n * np;
+    nz_edges = np * np * n;
+  }
+  [[nodiscard]] index_t total() const { return nx_edges + ny_edges + nz_edges; }
+  // x-edge at (i+1/2, j, k): i in [0,n), j,k in [0,n].
+  [[nodiscard]] index_t ex(index_t i, index_t j, index_t k) const {
+    return i + j * n + k * n * (n + 1);
+  }
+  [[nodiscard]] index_t ey(index_t i, index_t j, index_t k) const {
+    return nx_edges + i + j * (n + 1) + k * (n + 1) * n;
+  }
+  [[nodiscard]] index_t ez(index_t i, index_t j, index_t k) const {
+    return nx_edges + ny_edges + i + j * (n + 1) + k * (n + 1) * (n + 1);
+  }
+};
+
+}  // namespace
+
+MaxwellProblem maxwell3d(const MaxwellConfig& config) {
+  const index_t n = config.n;
+  const double h = 1.0 / double(n);
+  const EdgeGrid eg(n);
+
+  // Free edges: tangential boundary edges are PEC-constrained.
+  std::vector<index_t> free_of(size_t(eg.total()), -1);
+  std::vector<double> center;
+  std::vector<int> dir;
+  index_t nfree = 0;
+  auto mark_free = [&](index_t edge, double cx, double cy, double cz, int d) {
+    free_of[size_t(edge)] = nfree++;
+    center.push_back(cx);
+    center.push_back(cy);
+    center.push_back(cz);
+    dir.push_back(d);
+  };
+  for (index_t k = 0; k <= n; ++k)
+    for (index_t j = 0; j <= n; ++j)
+      for (index_t i = 0; i < n; ++i)
+        if (j != 0 && j != n && k != 0 && k != n)
+          mark_free(eg.ex(i, j, k), (double(i) + 0.5) * h, double(j) * h, double(k) * h, 0);
+  for (index_t k = 0; k <= n; ++k)
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i <= n; ++i)
+        if (i != 0 && i != n && k != 0 && k != n)
+          mark_free(eg.ey(i, j, k), double(i) * h, (double(j) + 0.5) * h, double(k) * h, 1);
+  for (index_t k = 0; k < n; ++k)
+    for (index_t j = 0; j <= n; ++j)
+      for (index_t i = 0; i <= n; ++i)
+        if (i != 0 && i != n && j != 0 && j != n)
+          mark_free(eg.ez(i, j, k), double(i) * h, double(j) * h, (double(k) + 0.5) * h, 2);
+
+  // Discrete curl: signed face-edge incidence on free edges.
+  const index_t np = n + 1;
+  const index_t nfaces = 3 * n * n * np;
+  CooBuilder<cd> curl(nfaces, nfree);
+  curl.reserve(size_t(nfaces) * 4);
+  index_t face = 0;
+  auto add = [&](index_t f, index_t edge, double sign) {
+    const index_t c = free_of[size_t(edge)];
+    if (c >= 0) curl.add(f, c, cd(sign));
+  };
+  // x-faces at (i, j+1/2, k+1/2): +ez(i,j+1,k) - ez(i,j,k) - ey(i,j,k+1) + ey(i,j,k).
+  for (index_t k = 0; k < n; ++k)
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i <= n; ++i, ++face) {
+        add(face, eg.ez(i, j + 1, k), 1.0);
+        add(face, eg.ez(i, j, k), -1.0);
+        add(face, eg.ey(i, j, k + 1), -1.0);
+        add(face, eg.ey(i, j, k), 1.0);
+      }
+  // y-faces at (i+1/2, j, k+1/2): +ex(i,j,k+1) - ex(i,j,k) - ez(i+1,j,k) + ez(i,j,k).
+  for (index_t k = 0; k < n; ++k)
+    for (index_t j = 0; j <= n; ++j)
+      for (index_t i = 0; i < n; ++i, ++face) {
+        add(face, eg.ex(i, j, k + 1), 1.0);
+        add(face, eg.ex(i, j, k), -1.0);
+        add(face, eg.ez(i + 1, j, k), -1.0);
+        add(face, eg.ez(i, j, k), 1.0);
+      }
+  // z-faces at (i+1/2, j+1/2, k): +ey(i+1,j,k) - ey(i,j,k) - ex(i,j+1,k) + ex(i,j,k).
+  for (index_t k = 0; k <= n; ++k)
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < n; ++i, ++face) {
+        add(face, eg.ey(i + 1, j, k), 1.0);
+        add(face, eg.ey(i, j, k), -1.0);
+        add(face, eg.ex(i, j + 1, k), -1.0);
+        add(face, eg.ex(i, j, k), 1.0);
+      }
+
+  const CsrMatrix<cd> c = curl.build();
+  CsrMatrix<cd> a = multiply(transpose(c), c);
+
+  // Subtract the (lumped) mass term (k0 h)^2 (eps_r + i loss eps_r) per
+  // edge, material evaluated at the edge midpoint.
+  const double k0 = 2.0 * std::numbers::pi * config.wavelengths / std::sqrt(config.eps_r);
+  const double k0h2 = (k0 * h) * (k0 * h);
+  std::vector<cd> shift(static_cast<size_t>(nfree));
+  for (index_t e = 0; e < nfree; ++e) {
+    const double x = center[size_t(3 * e)];
+    const double y = center[size_t(3 * e + 1)];
+    double eps = config.eps_r;
+    double loss = config.loss;
+    if (config.inclusion_radius > 0) {
+      const double dx = x - 0.5, dy = y - 0.5;
+      if (dx * dx + dy * dy < config.inclusion_radius * config.inclusion_radius) {
+        eps = config.inclusion_eps_r;  // non-dissipative plastic cylinder
+        loss = 0.0;
+      }
+    }
+    shift[size_t(e)] = k0h2 * cd(eps, eps * loss);
+  }
+  // A is built from C^T C; add -shift to diagonals (diagonal entries are
+  // guaranteed present: every free edge belongs to at least one face).
+  {
+    auto& values = a.values();
+    const auto& rowptr = a.rowptr();
+    const auto& colind = a.colind();
+    for (index_t i = 0; i < nfree; ++i) {
+      bool found = false;
+      for (index_t l = rowptr[size_t(i)]; l < rowptr[size_t(i) + 1]; ++l)
+        if (colind[size_t(l)] == i) {
+          values[size_t(l)] -= shift[size_t(i)];
+          found = true;
+          break;
+        }
+      (void)found;
+      assert(found && "edge without diagonal curl-curl entry");
+    }
+  }
+
+  MaxwellProblem out;
+  out.matrix = std::move(a);
+  out.nfree = nfree;
+  out.edge_center = std::move(center);
+  out.edge_dir = std::move(dir);
+  out.h = h;
+  out.config = config;
+  return out;
+}
+
+std::vector<cd> antenna_rhs(const MaxwellProblem& problem, index_t a, index_t count,
+                            double ring_radius, double ring_height) {
+  const double theta = 2.0 * std::numbers::pi * double(a) / double(count);
+  const double ax = 0.5 + ring_radius * std::cos(theta);
+  const double ay = 0.5 + ring_radius * std::sin(theta);
+  const double az = ring_height;
+  const double width = 1.0 * problem.h;
+  std::vector<cd> b(size_t(problem.nfree), cd(0));
+  for (index_t e = 0; e < problem.nfree; ++e) {
+    if (problem.edge_dir[size_t(e)] != 2) continue;  // z-directed dipole
+    const double dx = problem.edge_center[size_t(3 * e)] - ax;
+    const double dy = problem.edge_center[size_t(3 * e + 1)] - ay;
+    const double dz = problem.edge_center[size_t(3 * e + 2)] - az;
+    const double r2 = dx * dx + dy * dy + dz * dz;
+    if (r2 > 4.0 * width * width) continue;
+    // i * J source with Gaussian footprint.
+    b[size_t(e)] = cd(0.0, std::exp(-r2 / (width * width)));
+  }
+  return b;
+}
+
+std::vector<cd> random_maxwell_rhs(const MaxwellProblem& problem, unsigned seed) {
+  Rng rng(seed);
+  std::vector<cd> b(static_cast<size_t>(problem.nfree));
+  for (auto& v : b) v = rng.scalar<cd>();
+  return b;
+}
+
+}  // namespace bkr

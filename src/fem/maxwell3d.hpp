@@ -1,0 +1,54 @@
+// Time-harmonic Maxwell generator (section V of the paper).
+//
+// curl curl E - kappa^2 E = 0 with kappa^2 = k0^2 (eps_r + i sigma~),
+// discretized with lowest-order edge elements on a uniform hex grid of the
+// unit cube (the documented substitution for the paper's Nedelec
+// tetrahedral discretization of the EMTensor imaging chamber). PEC
+// (tangential E = 0) boundary conditions remove boundary-tangential edges.
+// The resulting matrix is complex symmetric, indefinite for multi-
+// wavelength domains, and ill-conditioned — the paper's solver stressors.
+//
+// Right-hand sides model the chamber's antenna ring: 32 dipole excitations
+// on a circle around the vertical axis, each a different RHS (section
+// V-A/V-C).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace bkr {
+
+struct MaxwellConfig {
+  index_t n = 16;            // grid cells per direction
+  double wavelengths = 2.5;  // wavelengths across the unit cube, in the background medium
+  double eps_r = 1.0;        // relative permittivity of the background (matching liquid)
+  double loss = 0.15;        // sigma / (omega eps0 eps_r): dissipation of the matching liquid
+  // Optional non-dissipative inclusion (the plastic cylinder of section
+  // V-C), a vertical cylinder at the centre.
+  double inclusion_radius = 0.0;
+  double inclusion_eps_r = 3.0;
+};
+
+struct MaxwellProblem {
+  CsrMatrix<std::complex<double>> matrix;  // free (interior-tangential) edges
+  index_t nfree = 0;
+  std::vector<double> edge_center;  // 3 * nfree midpoints
+  std::vector<int> edge_dir;        // 0/1/2: x/y/z-directed edge
+  double h = 0.0;
+  MaxwellConfig config;
+};
+
+MaxwellProblem maxwell3d(const MaxwellConfig& config);
+
+// Dipole RHS for antenna `a` of `count` on a ring of given radius/height
+// (z-directed current source, Gaussian footprint of width ~h).
+std::vector<std::complex<double>> antenna_rhs(const MaxwellProblem& problem, index_t a,
+                                              index_t count = 32, double ring_radius = 0.35,
+                                              double ring_height = 0.5);
+
+// Random complex RHS (the fig. 6 direct-solver workload).
+std::vector<std::complex<double>> random_maxwell_rhs(const MaxwellProblem& problem, unsigned seed);
+
+}  // namespace bkr

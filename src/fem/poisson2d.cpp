@@ -1,0 +1,120 @@
+#include "fem/poisson2d.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+#include "sparse/assembler.hpp"
+
+namespace bkr {
+
+CsrMatrix<double> poisson2d(index_t nx, index_t ny) {
+  const index_t n = nx * ny;
+  auto id = [nx](index_t i, index_t j) { return i + j * nx; };
+  std::vector<std::vector<index_t>> pattern(static_cast<size_t>(n));
+  for (index_t j = 0; j < ny; ++j)
+    for (index_t i = 0; i < nx; ++i) {
+      auto& row = pattern[size_t(id(i, j))];
+      row.push_back(id(i, j));
+      if (i > 0) row.push_back(id(i - 1, j));
+      if (i + 1 < nx) row.push_back(id(i + 1, j));
+      if (j > 0) row.push_back(id(i, j - 1));
+      if (j + 1 < ny) row.push_back(id(i, j + 1));
+    }
+  PatternAssembler<double> a(n, n, std::move(pattern));
+  for (index_t j = 0; j < ny; ++j)
+    for (index_t i = 0; i < nx; ++i) {
+      const index_t r = id(i, j);
+      a.add(r, r, 4.0);
+      if (i > 0) a.add(r, id(i - 1, j), -1.0);
+      if (i + 1 < nx) a.add(r, id(i + 1, j), -1.0);
+      if (j > 0) a.add(r, id(i, j - 1), -1.0);
+      if (j + 1 < ny) a.add(r, id(i, j + 1), -1.0);
+    }
+  return std::move(a).build();
+}
+
+std::vector<double> poisson2d_rhs(index_t nx, index_t ny, double nu) {
+  const double hx = 1.0 / double(nx + 1);
+  const double hy = 1.0 / double(ny + 1);
+  std::vector<double> f(static_cast<size_t>(nx * ny));
+  for (index_t j = 0; j < ny; ++j)
+    for (index_t i = 0; i < nx; ++i) {
+      const double x = double(i + 1) * hx;
+      const double y = double(j + 1) * hy;
+      const double v =
+          (1.0 / nu) * std::exp(-(1.0 - x) * (1.0 - x) / nu) * std::exp(-(1.0 - y) * (1.0 - y) / nu);
+      f[size_t(i + j * nx)] = hx * hy * v;
+    }
+  return f;
+}
+
+}  // namespace bkr
+
+namespace bkr {
+namespace {
+
+// Coefficient field: background 1, `inclusions` random disks of value
+// `contrast`.
+struct CoefField {
+  std::vector<double> cx, cy, r;
+  double contrast;
+  [[nodiscard]] double at(double x, double y) const {
+    for (size_t i = 0; i < cx.size(); ++i) {
+      const double dx = x - cx[i], dy = y - cy[i];
+      if (dx * dx + dy * dy < r[i] * r[i]) return contrast;
+    }
+    return 1.0;
+  }
+};
+
+}  // namespace
+
+CsrMatrix<double> poisson2d_varcoef(index_t nx, index_t ny, double contrast, index_t inclusions,
+                                    unsigned seed) {
+  CoefField field;
+  field.contrast = contrast;
+  Rng rng(seed);
+  for (index_t i = 0; i < inclusions; ++i) {
+    field.cx.push_back(rng.uniform(0.1, 0.9));
+    field.cy.push_back(rng.uniform(0.1, 0.9));
+    field.r.push_back(rng.uniform(0.03, 0.10));
+  }
+  const double hx = 1.0 / double(nx + 1);
+  const double hy = 1.0 / double(ny + 1);
+  const index_t n = nx * ny;
+  auto id = [nx](index_t i, index_t j) { return i + j * nx; };
+  auto kappa = [&](index_t i, index_t j) {
+    return field.at(double(i + 1) * hx, double(j + 1) * hy);
+  };
+  // Harmonic mean on the edge between two cells.
+  auto edge = [](double a, double b) { return 2.0 * a * b / (a + b); };
+  std::vector<std::vector<index_t>> pattern(static_cast<size_t>(n));
+  for (index_t j = 0; j < ny; ++j)
+    for (index_t i = 0; i < nx; ++i) {
+      auto& row = pattern[size_t(id(i, j))];
+      row.push_back(id(i, j));
+      if (i > 0) row.push_back(id(i - 1, j));
+      if (i + 1 < nx) row.push_back(id(i + 1, j));
+      if (j > 0) row.push_back(id(i, j - 1));
+      if (j + 1 < ny) row.push_back(id(i, j + 1));
+    }
+  PatternAssembler<double> a(n, n, std::move(pattern));
+  for (index_t j = 0; j < ny; ++j)
+    for (index_t i = 0; i < nx; ++i) {
+      const index_t r = id(i, j);
+      const double kc = kappa(i, j);
+      const double kw = (i > 0) ? edge(kc, kappa(i - 1, j)) : kc;
+      const double ke = (i + 1 < nx) ? edge(kc, kappa(i + 1, j)) : kc;
+      const double ks = (j > 0) ? edge(kc, kappa(i, j - 1)) : kc;
+      const double kn = (j + 1 < ny) ? edge(kc, kappa(i, j + 1)) : kc;
+      a.add(r, r, kw + ke + ks + kn);
+      if (i > 0) a.add(r, id(i - 1, j), -kw);
+      if (i + 1 < nx) a.add(r, id(i + 1, j), -ke);
+      if (j > 0) a.add(r, id(i, j - 1), -ks);
+      if (j + 1 < ny) a.add(r, id(i, j + 1), -kn);
+    }
+  return std::move(a).build();
+}
+
+}  // namespace bkr

@@ -1,0 +1,37 @@
+// 2-D Poisson problem generator (the PETSc ex32 analogue of section IV-B).
+//
+// -Delta u = f on the unit square, homogeneous Dirichlet boundary,
+// standard five-point stencil on an nx x ny interior grid. The paper's
+// experiment solves one matrix against four successive right-hand sides
+//   f_i(x, y) = (1/nu_i) exp(-(1-x)^2/nu_i) exp(-(1-y)^2/nu_i)
+// with nu = {0.1, 10, 0.001, 100} — the `same_system` recycling scenario.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace bkr {
+
+// Matrix of the five-point stencil, scaled so that diagonal entries are 4
+// (the h^2-scaled operator; pair with poisson2d_rhs).
+CsrMatrix<double> poisson2d(index_t nx, index_t ny);
+
+// h^2-scaled load vector for the paper's Gaussian source with width nu.
+std::vector<double> poisson2d_rhs(index_t nx, index_t ny, double nu);
+
+// Heterogeneous-diffusion variant: -div(kappa grad u) = f with a
+// background coefficient 1 and `inclusions` random disks of coefficient
+// `contrast` (harmonic-mean edge coefficients, five-point stencil). High
+// contrast produces the outlier eigenvalues in the AMG-preconditioned
+// spectrum that make deflation/recycling pay off — the regime the paper
+// reaches through sheer problem size (283M unknowns on Curie), recreated
+// here at single-node scale (see DESIGN.md, substitutions).
+CsrMatrix<double> poisson2d_varcoef(index_t nx, index_t ny, double contrast,
+                                    index_t inclusions = 12, unsigned seed = 7);
+
+// The four source widths used in the paper.
+inline constexpr std::array<double, 4> kPoissonNus = {0.1, 10.0, 0.001, 100.0};
+
+}  // namespace bkr

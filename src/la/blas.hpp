@@ -1,0 +1,220 @@
+// Hand-written BLAS-like kernels on column-major views.
+//
+// The library does not depend on an external BLAS (the paper uses MKL);
+// these loops are written for correctness first and for reasonable cache
+// behaviour on the small-to-medium dense blocks that appear in Krylov
+// methods (Hessenberg matrices of order p*(m+1) <= ~2000, Gram matrices of
+// order p*k <= ~320). The naming follows BLAS so readers can map calls
+// back to the paper's cost analysis.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+
+#include "la/dense.hpp"
+
+namespace bkr {
+
+enum class Trans { N, C };  // no-transpose / conjugate-transpose
+
+// C = alpha * op(A) * op(B) + beta * C.
+template <class T>
+void gemm(Trans ta, Trans tb, T alpha, MatrixView<const T> a, MatrixView<const T> b, T beta,
+          MatrixView<T> c) {
+  const index_t m = c.rows(), n = c.cols();
+  const index_t k = (ta == Trans::N) ? a.cols() : a.rows();
+  assert(((ta == Trans::N) ? a.rows() : a.cols()) == m);
+  assert(((tb == Trans::N) ? b.rows() : b.cols()) == k);
+  assert(((tb == Trans::N) ? b.cols() : b.rows()) == n);
+
+  if (beta == T(0)) {
+    c.set_zero();
+  } else if (beta != T(1)) {
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i) c(i, j) *= beta;
+  }
+  if (alpha == T(0) || k == 0) return;
+
+  if (ta == Trans::N && tb == Trans::N) {
+    // C(:,j) += alpha * A * B(:,j) — rank-1 update loop order, unit-stride in A.
+    for (index_t j = 0; j < n; ++j) {
+      T* cj = c.col(j);
+      for (index_t l = 0; l < k; ++l) {
+        const T blj = alpha * b(l, j);
+        if (blj == T(0)) continue;
+        const T* al = a.col(l);
+        for (index_t i = 0; i < m; ++i) cj[i] += al[i] * blj;
+      }
+    }
+  } else if (ta == Trans::C && tb == Trans::N) {
+    // C(i,j) += alpha * A(:,i)^H B(:,j) — dot products, unit stride in both.
+    for (index_t j = 0; j < n; ++j) {
+      const T* bj = b.col(j);
+      for (index_t i = 0; i < m; ++i) {
+        const T* ai = a.col(i);
+        T s(0);
+        for (index_t l = 0; l < k; ++l) s += conj(ai[l]) * bj[l];
+        c(i, j) += alpha * s;
+      }
+    }
+  } else if (ta == Trans::N && tb == Trans::C) {
+    for (index_t l = 0; l < k; ++l) {
+      const T* al = a.col(l);
+      for (index_t j = 0; j < n; ++j) {
+        const T blj = alpha * conj(b(j, l));
+        if (blj == T(0)) continue;
+        T* cj = c.col(j);
+        for (index_t i = 0; i < m; ++i) cj[i] += al[i] * blj;
+      }
+    }
+  } else {  // C^H * B^H
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i) {
+        T s(0);
+        for (index_t l = 0; l < k; ++l) s += conj(a(l, i)) * conj(b(j, l));
+        c(i, j) += alpha * s;
+      }
+  }
+}
+
+// y = alpha * op(A) * x + beta * y.
+template <class T>
+void gemv(Trans ta, T alpha, MatrixView<const T> a, const T* x, T beta, T* y) {
+  const index_t m = (ta == Trans::N) ? a.rows() : a.cols();
+  const index_t k = (ta == Trans::N) ? a.cols() : a.rows();
+  if (beta == T(0)) {
+    for (index_t i = 0; i < m; ++i) y[i] = T(0);
+  } else if (beta != T(1)) {
+    for (index_t i = 0; i < m; ++i) y[i] *= beta;
+  }
+  if (ta == Trans::N) {
+    for (index_t l = 0; l < k; ++l) {
+      const T xl = alpha * x[l];
+      const T* al = a.col(l);
+      for (index_t i = 0; i < m; ++i) y[i] += al[i] * xl;
+    }
+  } else {
+    for (index_t i = 0; i < m; ++i) {
+      const T* ai = a.col(i);
+      T s(0);
+      for (index_t l = 0; l < k; ++l) s += conj(ai[l]) * x[l];
+      y[i] += alpha * s;
+    }
+  }
+}
+
+// Conjugated dot product x^H y over n entries.
+template <class T>
+T dot(index_t n, const T* x, const T* y) {
+  T s(0);
+  for (index_t i = 0; i < n; ++i) s += conj(x[i]) * y[i];
+  return s;
+}
+
+template <class T>
+real_t<T> norm2(index_t n, const T* x) {
+  real_t<T> s(0);
+  for (index_t i = 0; i < n; ++i) {
+    const auto a = abs_val(x[i]);
+    s += a * a;
+  }
+  return std::sqrt(s);
+}
+
+// Per-column 2-norms of an n x p block: the batched reduction that pseudo-
+// block methods fuse into a single global synchronization.
+template <class T>
+void column_norms(MatrixView<const T> x, real_t<T>* out) {
+  for (index_t j = 0; j < x.cols(); ++j) out[j] = norm2(x.rows(), x.col(j));
+}
+
+template <class T>
+void axpy(index_t n, T alpha, const T* x, T* y) {
+  for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+template <class T>
+void scal(index_t n, T alpha, T* x) {
+  for (index_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+// Frobenius norm of a view.
+template <class T>
+real_t<T> norm_fro(MatrixView<const T> a) {
+  real_t<T> s(0);
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) {
+      const auto v = abs_val(a(i, j));
+      s += v * v;
+    }
+  return std::sqrt(s);
+}
+
+// Triangular solves with an upper-triangular matrix R (as produced by the
+// QR and Cholesky factorizations).
+
+// X := R^{-1} X (left solve, back substitution).
+template <class T>
+void trsm_left_upper(MatrixView<const T> r, MatrixView<T> x) {
+  const index_t n = r.rows();
+  assert(r.cols() == n && x.rows() == n);
+  for (index_t j = 0; j < x.cols(); ++j) {
+    T* xj = x.col(j);
+    for (index_t i = n - 1; i >= 0; --i) {
+      T s = xj[i];
+      for (index_t l = i + 1; l < n; ++l) s -= r(i, l) * xj[l];
+      xj[i] = s / r(i, i);
+    }
+  }
+}
+
+// X := R^{-H} X (left solve with the conjugate transpose; forward
+// substitution since R^H is lower triangular).
+template <class T>
+void trsm_left_upper_conj(MatrixView<const T> r, MatrixView<T> x) {
+  const index_t n = r.rows();
+  assert(r.cols() == n && x.rows() == n);
+  for (index_t j = 0; j < x.cols(); ++j) {
+    T* xj = x.col(j);
+    for (index_t i = 0; i < n; ++i) {
+      T s = xj[i];
+      for (index_t l = 0; l < i; ++l) s -= conj(r(l, i)) * xj[l];
+      xj[i] = s / conj(r(i, i));
+    }
+  }
+}
+
+// X := X R^{-1} (right solve; used by CholQR to form Q = V R^{-1}).
+template <class T>
+void trsm_right_upper(MatrixView<const T> r, MatrixView<T> x) {
+  const index_t p = r.rows();
+  assert(r.cols() == p && x.cols() == p);
+  const index_t n = x.rows();
+  for (index_t j = 0; j < p; ++j) {
+    T* xj = x.col(j);
+    for (index_t l = 0; l < j; ++l) {
+      const T rlj = r(l, j);
+      if (rlj == T(0)) continue;
+      const T* xl = x.col(l);
+      for (index_t i = 0; i < n; ++i) xj[i] -= xl[i] * rlj;
+    }
+    const T inv = T(1) / r(j, j);
+    for (index_t i = 0; i < n; ++i) xj[i] *= inv;
+  }
+}
+
+// Gram matrix G = V^H V (Hermitian, order p). One pass; in a distributed
+// run this is the single-reduction kernel of CholQR.
+template <class T>
+void gram(MatrixView<const T> v, MatrixView<T> g) {
+  const index_t p = v.cols();
+  assert(g.rows() == p && g.cols() == p);
+  for (index_t j = 0; j < p; ++j)
+    for (index_t i = 0; i <= j; ++i) {
+      const T s = dot(v.rows(), v.col(i), v.col(j));
+      g(i, j) = s;
+      g(j, i) = conj(s);
+    }
+}
+
+}  // namespace bkr

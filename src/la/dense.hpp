@@ -1,0 +1,140 @@
+// Column-major dense matrices and views.
+//
+// All dense computations in the library (Hessenberg least squares, CholQR
+// Gram factors, deflation eigenproblems, coarse-grid solves) run on these
+// types. Storage is column-major so that a block of p right-hand sides is
+// p contiguous columns — the layout the paper relies on for single
+// forward-elimination/backward-substitution direct solves with many RHS.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bkr {
+
+// Non-owning view of a column-major matrix with leading dimension `ld`.
+template <class T>
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(T* data, index_t rows, index_t cols, index_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    assert(ld >= rows);
+  }
+  // Mutable-to-const view conversion.
+  template <class U>
+    requires(std::is_same_v<U, std::remove_const_t<T>> && std::is_const_v<T>)
+  MatrixView(const MatrixView<U>& other)  // NOLINT(google-explicit-constructor)
+      : data_(other.data()), rows_(other.rows()), cols_(other.cols()), ld_(other.ld()) {}
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] index_t ld() const { return ld_; }
+  [[nodiscard]] T* data() const { return data_; }
+
+  T& operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i + j * ld_];
+  }
+  [[nodiscard]] T* col(index_t j) const { return data_ + j * ld_; }
+
+  // Sub-block view rooted at (i0, j0).
+  [[nodiscard]] MatrixView block(index_t i0, index_t j0, index_t r, index_t c) const {
+    assert(i0 + r <= rows_ && j0 + c <= cols_);
+    return MatrixView(data_ + i0 + j0 * ld_, r, c, ld_);
+  }
+  [[nodiscard]] MatrixView cols_view(index_t j0, index_t c) const {
+    return block(0, j0, rows_, c);
+  }
+
+  void set_zero() const {
+    for (index_t j = 0; j < cols_; ++j) std::fill(col(j), col(j) + rows_, T(0));
+  }
+
+ private:
+  T* data_ = nullptr;
+  index_t rows_ = 0, cols_ = 0, ld_ = 0;
+};
+
+template <class T>
+using ConstMatrixView = MatrixView<const T>;
+
+// Owning column-major matrix (leading dimension == rows).
+template <class T>
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(index_t rows, index_t cols) : rows_(rows), cols_(cols), data_(size_t(rows * cols), T(0)) {}
+
+  static DenseMatrix identity(index_t n) {
+    DenseMatrix I(n, n);
+    for (index_t i = 0; i < n; ++i) I(i, i) = T(1);
+    return I;
+  }
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] index_t ld() const { return rows_; }
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+
+  T& operator()(index_t i, index_t j) {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[size_t(i + j * rows_)];
+  }
+  const T& operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[size_t(i + j * rows_)];
+  }
+  [[nodiscard]] T* col(index_t j) { return data_.data() + j * rows_; }
+  [[nodiscard]] const T* col(index_t j) const { return data_.data() + j * rows_; }
+
+  [[nodiscard]] MatrixView<T> view() { return {data_.data(), rows_, cols_, rows_}; }
+  [[nodiscard]] MatrixView<const T> view() const { return {data_.data(), rows_, cols_, rows_}; }
+  operator MatrixView<T>() { return view(); }                // NOLINT(google-explicit-constructor)
+  operator MatrixView<const T>() const { return view(); }    // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] MatrixView<T> block(index_t i0, index_t j0, index_t r, index_t c) {
+    return view().block(i0, j0, r, c);
+  }
+  [[nodiscard]] MatrixView<const T> block(index_t i0, index_t j0, index_t r, index_t c) const {
+    return view().block(i0, j0, r, c);
+  }
+
+  void set_zero() { std::fill(data_.begin(), data_.end(), T(0)); }
+  void resize(index_t rows, index_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(size_t(rows * cols), T(0));
+  }
+
+ private:
+  index_t rows_ = 0, cols_ = 0;
+  std::vector<T> data_;
+};
+
+// Deep copy of a view into an owning matrix.
+template <class T>
+DenseMatrix<T> copy_of(MatrixView<const T> a) {
+  DenseMatrix<T> out(a.rows(), a.cols());
+  for (index_t j = 0; j < a.cols(); ++j)
+    std::copy(a.col(j), a.col(j) + a.rows(), out.col(j));
+  return out;
+}
+template <class T>
+DenseMatrix<T> copy_of(const DenseMatrix<T>& a) {
+  return copy_of(a.view());
+}
+
+template <class T>
+void copy_into(MatrixView<const T> src, MatrixView<T> dst) {
+  assert(src.rows() == dst.rows() && src.cols() == dst.cols());
+  for (index_t j = 0; j < src.cols(); ++j)
+    std::copy(src.col(j), src.col(j) + src.rows(), dst.col(j));
+}
+
+}  // namespace bkr

@@ -1,0 +1,61 @@
+// Dense nonsymmetric eigensolvers for the GCRO-DR deflation problems.
+//
+// GCRO-DR needs, once per cycle, the k eigenvectors of smallest
+// eigenvalue magnitude of either a (nearly Hessenberg) matrix H (fig. 1
+// line 16, with the left-hand side of eq. 2) or of a generalized pencil
+// (T, W) (fig. 1 line 33, eq. 3a/3b). The matrices are small — order
+// p*(m+1) at most — so a dense complex QR (Schur) iteration is used, the
+// same algorithm LAPACK's ?hseqr implements. Real inputs are promoted to
+// complex; for real solvers, complex-conjugate eigenvector pairs are
+// returned as their real span [Re z, Im z] so that the recycled subspace
+// U_k stays real.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "la/dense.hpp"
+
+namespace bkr {
+
+using cplx = std::complex<double>;
+
+// Eigen decomposition of a general complex matrix (values unordered,
+// right eigenvectors as unit-norm columns). Throws std::runtime_error if
+// the QR iteration fails to converge.
+struct EigDecomposition {
+  std::vector<cplx> values;
+  DenseMatrix<cplx> vectors;
+};
+EigDecomposition eig_general(DenseMatrix<cplx> a);
+
+// Eigen decomposition of the pencil T z = theta W z, reduced to standard
+// form through an LU solve with W (the paper notes W is invertible for
+// both strategy A and B right-hand sides).
+EigDecomposition eig_generalized(const DenseMatrix<cplx>& t, const DenseMatrix<cplx>& w);
+
+// --- selection helpers used by (B)GCRO-DR -------------------------------
+
+// Columns spanning the invariant subspace of the k smallest-|theta|
+// eigenvalues, in the caller's scalar type. For T = complex<double> the
+// eigenvectors themselves are returned; for T = double, conjugate pairs
+// contribute [Re z, Im z]. The result always has exactly k columns.
+template <class T>
+DenseMatrix<T> smallest_eig_vectors(const DenseMatrix<T>& a, index_t k);
+
+template <class T>
+DenseMatrix<T> smallest_gen_eig_vectors(const DenseMatrix<T>& t, const DenseMatrix<T>& w,
+                                        index_t k);
+
+template <>
+DenseMatrix<double> smallest_eig_vectors<double>(const DenseMatrix<double>&, index_t);
+template <>
+DenseMatrix<cplx> smallest_eig_vectors<cplx>(const DenseMatrix<cplx>&, index_t);
+template <>
+DenseMatrix<double> smallest_gen_eig_vectors<double>(const DenseMatrix<double>&,
+                                                     const DenseMatrix<double>&, index_t);
+template <>
+DenseMatrix<cplx> smallest_gen_eig_vectors<cplx>(const DenseMatrix<cplx>&,
+                                                 const DenseMatrix<cplx>&, index_t);
+
+}  // namespace bkr

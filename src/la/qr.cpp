@@ -1,0 +1,21 @@
+// Explicit instantiations of the QR machinery for the two scalar types the
+// library ships, keeping template costs out of every consumer TU.
+#include "la/qr.hpp"
+
+namespace bkr {
+
+template class HouseholderQR<double>;
+template class HouseholderQR<std::complex<double>>;
+template class IncrementalQR<double>;
+template class IncrementalQR<std::complex<double>>;
+
+template bool cholqr<double>(MatrixView<double>, MatrixView<double>);
+template bool cholqr<std::complex<double>>(MatrixView<std::complex<double>>,
+                                           MatrixView<std::complex<double>>);
+template index_t cholqr_rank<double>(MatrixView<const double>, double);
+template index_t cholqr_rank<std::complex<double>>(MatrixView<const std::complex<double>>, double);
+template void householder_tsqr<double>(MatrixView<double>, MatrixView<double>);
+template void householder_tsqr<std::complex<double>>(MatrixView<std::complex<double>>,
+                                                     MatrixView<std::complex<double>>);
+
+}  // namespace bkr

@@ -1,0 +1,16 @@
+#include "parallel/comm_model.hpp"
+
+#include <cmath>
+
+namespace bkr {
+
+double CommModel::modeled_seconds(index_t procs, double latency, double sec_per_byte) const {
+  const double hops = procs > 1 ? std::ceil(std::log2(double(procs))) : 0.0;
+  const double reduction_time =
+      double(reductions()) * hops * latency + double(reduction_bytes()) * sec_per_byte * hops;
+  const double halo_time =
+      double(halo_exchanges()) * latency + double(halo_bytes()) * sec_per_byte;
+  return reduction_time + halo_time;
+}
+
+}  // namespace bkr

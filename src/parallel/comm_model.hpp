@@ -1,0 +1,59 @@
+// Communication accounting for the SPMD simulation.
+//
+// The paper's section III-D analyses GCRO-DR purely in terms of the number
+// of global reductions per cycle (the scalability-limiting operations on a
+// large machine). Every solver in this library reports its global
+// synchronizations through a CommModel so that benches can both verify the
+// paper's reduction counts (2(m-k) per GCRO-DR cycle vs m for GMRES,
+// single-reduction CholQR, zero-reduction strategy B) and convert them
+// into a modeled communication time for a hypothetical P-process run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace bkr {
+
+class CommModel {
+ public:
+  // One global all-reduce of `bytes` payload (fused reductions count once —
+  // the whole point of pseudo-block methods).
+  void reduction(std::int64_t bytes = 8) {
+    reductions_.fetch_add(1, std::memory_order_relaxed);
+    reduction_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  // Neighbour (halo) exchange round: one per sparse matrix–(multi)vector
+  // product in a distributed run.
+  void halo_exchange(std::int64_t bytes = 0) {
+    halo_exchanges_.fetch_add(1, std::memory_order_relaxed);
+    halo_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::int64_t reductions() const { return reductions_.load(); }
+  [[nodiscard]] std::int64_t reduction_bytes() const { return reduction_bytes_.load(); }
+  [[nodiscard]] std::int64_t halo_exchanges() const { return halo_exchanges_.load(); }
+  [[nodiscard]] std::int64_t halo_bytes() const { return halo_bytes_.load(); }
+
+  void reset() {
+    reductions_ = 0;
+    reduction_bytes_ = 0;
+    halo_exchanges_ = 0;
+    halo_bytes_ = 0;
+  }
+
+  // Modeled communication time (seconds) of the recorded traffic on a
+  // P-process machine with the given per-hop latency and inverse
+  // bandwidth: reductions cost ceil(log2 P) hops, halo exchanges one hop.
+  [[nodiscard]] double modeled_seconds(index_t procs, double latency = 2.0e-6,
+                                       double sec_per_byte = 1.0 / 4.0e9) const;
+
+ private:
+  std::atomic<std::int64_t> reductions_{0};
+  std::atomic<std::int64_t> reduction_bytes_{0};
+  std::atomic<std::int64_t> halo_exchanges_{0};
+  std::atomic<std::int64_t> halo_bytes_{0};
+};
+
+}  // namespace bkr

@@ -1,0 +1,93 @@
+#include "parallel/thread_pool.hpp"
+
+#include <cstdlib>
+
+namespace bkr {
+
+ThreadPool::ThreadPool(index_t threads) {
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = index_t(hw > 0 ? hw : 1);
+  }
+  const size_t workers = size_t(threads) - 1;  // the caller is worker 0
+  tasks_.resize(workers);
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& fn) {
+  if (n <= 0) return;
+  const index_t nthreads = size();
+  if (nthreads == 1 || n == 1) {
+    for (index_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const index_t chunk = (n + nthreads - 1) / nthreads;
+  index_t launched = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t w = 0; w < workers_.size(); ++w) {
+      const index_t begin = chunk * index_t(w + 1);
+      const index_t end = std::min(n, begin + chunk);
+      if (begin >= end) {
+        tasks_[w].fn = nullptr;
+        continue;
+      }
+      tasks_[w] = Task{&fn, begin, end};
+      ++launched;
+    }
+    pending_ = launched;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  // The calling thread takes the first chunk.
+  const index_t end0 = std::min(n, chunk);
+  for (index_t i = 0; i < end0; ++i) fn(i);
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::worker_loop(size_t id) {
+  unsigned long seen = 0;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      task = tasks_[id];
+    }
+    if (task.fn != nullptr) {
+      for (index_t i = task.begin; i < task.end; ++i) (*task.fn)(i);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("BKR_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return index_t(v);
+    }
+    return index_t(0);
+  }());
+  return pool;
+}
+
+void parallel_for(index_t n, const std::function<void(index_t)>& fn) {
+  ThreadPool::global().parallel_for(n, fn);
+}
+
+}  // namespace bkr

@@ -1,0 +1,59 @@
+// A small work-sharing thread pool.
+//
+// The paper runs on 8,192 MPI cores; this library reproduces the
+// algorithms on a single node, using the pool to execute independent
+// subdomain work (Schwarz local solves, direct-solver RHS panels) in
+// parallel when hardware threads are available. The pool degrades to
+// serial execution on a single-core host.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bkr {
+
+class ThreadPool {
+ public:
+  // `threads` == 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(index_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] index_t size() const { return index_t(workers_.size()) + 1; }
+
+  // Run fn(i) for i in [0, n), statically chunked over the pool plus the
+  // calling thread. Blocks until all iterations are done. Exceptions in
+  // workers terminate (HPC convention: a failed local solve is fatal).
+  void parallel_for(index_t n, const std::function<void(index_t)>& fn);
+
+  // Process-wide pool sized from the BKR_THREADS environment variable
+  // (default: hardware concurrency).
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(index_t)>* fn = nullptr;
+    index_t begin = 0, end = 0;
+  };
+  void worker_loop(size_t id);
+
+  std::vector<std::thread> workers_;
+  std::vector<Task> tasks_;        // one slot per worker
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  index_t pending_ = 0;
+  unsigned long generation_ = 0;
+  bool stop_ = false;
+};
+
+// Convenience wrapper over the global pool.
+void parallel_for(index_t n, const std::function<void(index_t)>& fn);
+
+}  // namespace bkr

@@ -1,0 +1,27 @@
+// (Damped) Jacobi preconditioner / smoother.
+#pragma once
+
+#include "core/operator.hpp"
+#include "sparse/csr.hpp"
+
+namespace bkr {
+
+template <class T>
+class JacobiPreconditioner final : public Preconditioner<T> {
+ public:
+  explicit JacobiPreconditioner(const CsrMatrix<T>& a, real_t<T> damping = real_t<T>(1))
+      : inv_diag_(a.diagonal()) {
+    for (auto& d : inv_diag_) d = scalar_traits<T>::from_real(damping) / d;
+  }
+
+  [[nodiscard]] index_t n() const override { return index_t(inv_diag_.size()); }
+  void apply(MatrixView<const T> r, MatrixView<T> z) override {
+    for (index_t c = 0; c < r.cols(); ++c)
+      for (index_t i = 0; i < r.rows(); ++i) z(i, c) = inv_diag_[size_t(i)] * r(i, c);
+  }
+
+ private:
+  std::vector<T> inv_diag_;
+};
+
+}  // namespace bkr

@@ -1,0 +1,65 @@
+// Krylov-method preconditioners/smoothers.
+//
+// A handful of GMRES or CG iterations used as a preconditioner is
+// *nonlinear*: the operator applied to r depends on r. These wrappers
+// report is_variable() == true, which makes the solvers switch to their
+// flexible variants automatically — the mechanism the paper exercises
+// with "-mg_levels_ksp_type gmres/cg" in section IV.
+#pragma once
+
+#include "core/cg.hpp"
+#include "core/gmres.hpp"
+#include "core/operator.hpp"
+
+namespace bkr {
+
+template <class T>
+class GmresSmoother final : public Preconditioner<T> {
+ public:
+  GmresSmoother(const LinearOperator<T>& a, index_t iterations,
+                Preconditioner<T>* inner = nullptr)
+      : a_(&a), inner_(inner) {
+    opts_.restart = iterations;
+    opts_.max_iterations = iterations;
+    opts_.tol = 0.0;  // always run the fixed number of iterations
+    opts_.record_history = false;
+    opts_.side = PrecondSide::Right;
+  }
+
+  [[nodiscard]] index_t n() const override { return a_->n(); }
+  [[nodiscard]] bool is_variable() const override { return true; }
+  void apply(MatrixView<const T> r, MatrixView<T> z) override {
+    z.set_zero();
+    (void)block_gmres<T>(*a_, inner_, r, z, opts_);
+  }
+
+ private:
+  const LinearOperator<T>* a_;
+  Preconditioner<T>* inner_;
+  SolverOptions opts_;
+};
+
+template <class T>
+class CgSmoother final : public Preconditioner<T> {
+ public:
+  CgSmoother(const LinearOperator<T>& a, index_t iterations, Preconditioner<T>* inner = nullptr)
+      : a_(&a), inner_(inner) {
+    opts_.max_iterations = iterations;
+    opts_.tol = 0.0;
+    opts_.record_history = false;
+  }
+
+  [[nodiscard]] index_t n() const override { return a_->n(); }
+  [[nodiscard]] bool is_variable() const override { return true; }
+  void apply(MatrixView<const T> r, MatrixView<T> z) override {
+    z.set_zero();
+    (void)cg<T>(*a_, inner_, r, z, opts_);
+  }
+
+ private:
+  const LinearOperator<T>* a_;
+  Preconditioner<T>* inner_;
+  SolverOptions opts_;
+};
+
+}  // namespace bkr

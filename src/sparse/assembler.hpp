@@ -1,0 +1,56 @@
+// Fixed-pattern CSR assembler.
+//
+// Finite element assembly on structured grids knows its sparsity pattern
+// up front; building the CSR skeleton once and scattering element
+// contributions by binary search avoids the memory blow-up of COO
+// triplet lists on the larger 3-D problems.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace bkr {
+
+template <class T>
+class PatternAssembler {
+ public:
+  // `columns[i]` lists the (not necessarily sorted, possibly duplicate)
+  // potential column indices of row i.
+  PatternAssembler(index_t rows, index_t cols, std::vector<std::vector<index_t>> columns)
+      : rows_(rows), cols_(cols) {
+    rowptr_.assign(size_t(rows) + 1, 0);
+    for (index_t i = 0; i < rows; ++i) {
+      auto& c = columns[size_t(i)];
+      std::sort(c.begin(), c.end());
+      c.erase(std::unique(c.begin(), c.end()), c.end());
+      rowptr_[size_t(i) + 1] = rowptr_[size_t(i)] + index_t(c.size());
+    }
+    colind_.reserve(size_t(rowptr_[size_t(rows)]));
+    for (index_t i = 0; i < rows; ++i)
+      colind_.insert(colind_.end(), columns[size_t(i)].begin(), columns[size_t(i)].end());
+    values_.assign(colind_.size(), T(0));
+  }
+
+  void add(index_t i, index_t j, T v) {
+    const auto begin = colind_.begin() + rowptr_[size_t(i)];
+    const auto end = colind_.begin() + rowptr_[size_t(i) + 1];
+    const auto it = std::lower_bound(begin, end, j);
+    assert(it != end && *it == j && "entry outside the preallocated pattern");
+    values_[size_t(it - colind_.begin())] += v;
+  }
+
+  [[nodiscard]] CsrMatrix<T> build() && {
+    return CsrMatrix<T>(rows_, cols_, std::move(rowptr_), std::move(colind_), std::move(values_));
+  }
+
+ private:
+  index_t rows_, cols_;
+  std::vector<index_t> rowptr_;
+  std::vector<index_t> colind_;
+  std::vector<T> values_;
+};
+
+}  // namespace bkr

@@ -1,0 +1,96 @@
+#include "sparse/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace bkr {
+
+std::vector<index_t> bfs_order(const Graph& g, index_t root, const std::vector<char>* mask) {
+  std::vector<index_t> order;
+  std::vector<char> seen(size_t(g.n), 0);
+  std::deque<index_t> queue;
+  auto allowed = [&](index_t v) { return mask == nullptr || (*mask)[size_t(v)] != 0; };
+  if (!allowed(root)) return order;
+  queue.push_back(root);
+  seen[size_t(root)] = 1;
+  while (!queue.empty()) {
+    const index_t v = queue.front();
+    queue.pop_front();
+    order.push_back(v);
+    for (index_t l = g.ptr[size_t(v)]; l < g.ptr[size_t(v) + 1]; ++l) {
+      const index_t w = g.adj[size_t(l)];
+      if (seen[size_t(w)] || !allowed(w)) continue;
+      seen[size_t(w)] = 1;
+      queue.push_back(w);
+    }
+  }
+  return order;
+}
+
+index_t pseudo_peripheral_vertex(const Graph& g, index_t start) {
+  if (g.n == 0) return 0;
+  index_t v = start;
+  index_t last_depth = -1;
+  for (int round = 0; round < 8; ++round) {
+    // One BFS, remembering the last visited (deepest) vertex and depth.
+    std::vector<index_t> depth(size_t(g.n), -1);
+    std::deque<index_t> queue{v};
+    depth[size_t(v)] = 0;
+    index_t deepest = v;
+    while (!queue.empty()) {
+      const index_t u = queue.front();
+      queue.pop_front();
+      if (depth[size_t(u)] > depth[size_t(deepest)] ||
+          (depth[size_t(u)] == depth[size_t(deepest)] && g.degree(u) < g.degree(deepest)))
+        deepest = u;
+      for (index_t l = g.ptr[size_t(u)]; l < g.ptr[size_t(u) + 1]; ++l) {
+        const index_t w = g.adj[size_t(l)];
+        if (depth[size_t(w)] >= 0) continue;
+        depth[size_t(w)] = depth[size_t(u)] + 1;
+        queue.push_back(w);
+      }
+    }
+    if (depth[size_t(deepest)] <= last_depth) break;
+    last_depth = depth[size_t(deepest)];
+    v = deepest;
+  }
+  return v;
+}
+
+std::vector<index_t> rcm_ordering(const Graph& g) {
+  std::vector<index_t> perm;
+  perm.reserve(size_t(g.n));
+  std::vector<char> seen(size_t(g.n), 0);
+  for (index_t comp_start = 0; comp_start < g.n; ++comp_start) {
+    if (seen[size_t(comp_start)]) continue;
+    const index_t root = pseudo_peripheral_vertex(g, comp_start);
+    // Cuthill–McKee: BFS with neighbours sorted by ascending degree.
+    std::deque<index_t> queue;
+    if (!seen[size_t(root)]) {
+      queue.push_back(root);
+      seen[size_t(root)] = 1;
+    }
+    std::vector<index_t> nbrs;
+    while (!queue.empty()) {
+      const index_t v = queue.front();
+      queue.pop_front();
+      perm.push_back(v);
+      nbrs.clear();
+      for (index_t l = g.ptr[size_t(v)]; l < g.ptr[size_t(v) + 1]; ++l) {
+        const index_t w = g.adj[size_t(l)];
+        if (!seen[size_t(w)]) {
+          seen[size_t(w)] = 1;
+          nbrs.push_back(w);
+        }
+      }
+      std::sort(nbrs.begin(), nbrs.end(),
+                [&](index_t a, index_t b) { return g.degree(a) < g.degree(b); });
+      for (const index_t w : nbrs) queue.push_back(w);
+    }
+  }
+  std::reverse(perm.begin(), perm.end());
+  return perm;
+}
+
+}  // namespace bkr

@@ -1,0 +1,78 @@
+// Adjacency graphs of sparse matrices and orderings on them.
+//
+// The direct solver needs fill-reducing orderings (RCM here, a
+// minimum-degree variant in src/direct/ordering.*), and the Schwarz
+// preconditioner needs BFS machinery for partitioning and overlap growth —
+// the role SCOTCH plays in the paper.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace bkr {
+
+// Undirected adjacency structure (CSR of the symmetrized pattern, no
+// self-loops).
+struct Graph {
+  index_t n = 0;
+  std::vector<index_t> ptr;
+  std::vector<index_t> adj;
+
+  [[nodiscard]] index_t degree(index_t v) const { return ptr[size_t(v) + 1] - ptr[size_t(v)]; }
+};
+
+// Symmetrized pattern graph of a square sparse matrix.
+template <class T>
+Graph adjacency_of(const CsrMatrix<T>& a) {
+  const index_t n = a.rows();
+  std::vector<std::vector<index_t>> nbr(static_cast<size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    for (index_t l = a.rowptr()[size_t(i)]; l < a.rowptr()[size_t(i) + 1]; ++l) {
+      const index_t j = a.colind()[size_t(l)];
+      if (j == i) continue;
+      nbr[size_t(i)].push_back(j);
+      nbr[size_t(j)].push_back(i);
+    }
+  Graph g;
+  g.n = n;
+  g.ptr.assign(size_t(n) + 1, 0);
+  for (index_t i = 0; i < n; ++i) {
+    auto& v = nbr[size_t(i)];
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    g.ptr[size_t(i) + 1] = g.ptr[size_t(i)] + index_t(v.size());
+  }
+  g.adj.reserve(size_t(g.ptr[size_t(n)]));
+  for (index_t i = 0; i < n; ++i)
+    g.adj.insert(g.adj.end(), nbr[size_t(i)].begin(), nbr[size_t(i)].end());
+  return g;
+}
+
+// Breadth-first levels from `root` (only vertices with mask[v] == true are
+// visited when a mask is given). Returns the visit order.
+std::vector<index_t> bfs_order(const Graph& g, index_t root, const std::vector<char>* mask = nullptr);
+
+// A vertex of (approximately) maximal eccentricity, found by repeated BFS.
+index_t pseudo_peripheral_vertex(const Graph& g, index_t start = 0);
+
+// Reverse Cuthill–McKee ordering: perm[new] = old.
+std::vector<index_t> rcm_ordering(const Graph& g);
+
+// Apply a symmetric permutation to a square matrix: B = A(perm, perm)
+// with B(i, j) = A(perm[i], perm[j]).
+template <class T>
+CsrMatrix<T> permute_symmetric(const CsrMatrix<T>& a, const std::vector<index_t>& perm) {
+  const index_t n = a.rows();
+  std::vector<index_t> inv(static_cast<size_t>(n));
+  for (index_t i = 0; i < n; ++i) inv[size_t(perm[size_t(i)])] = i;
+  CooBuilder<T> b(n, n);
+  b.reserve(size_t(a.nnz()));
+  for (index_t i = 0; i < n; ++i)
+    for (index_t l = a.rowptr()[size_t(i)]; l < a.rowptr()[size_t(i) + 1]; ++l)
+      b.add(inv[size_t(i)], inv[size_t(a.colind()[size_t(l)])], a.values()[size_t(l)]);
+  return b.build();
+}
+
+}  // namespace bkr

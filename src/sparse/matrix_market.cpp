@@ -1,0 +1,106 @@
+#include "sparse/matrix_market.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bkr {
+namespace {
+
+struct Header {
+  bool complex_values = false;
+  bool symmetric = false;
+};
+
+Header parse_header(const std::string& line) {
+  std::istringstream ss(line);
+  std::string banner, object, format, field, symmetry;
+  ss >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket" || object != "matrix" || format != "coordinate")
+    throw std::runtime_error("matrix market: unsupported header: " + line);
+  Header h;
+  if (field == "complex")
+    h.complex_values = true;
+  else if (field != "real" && field != "integer")
+    throw std::runtime_error("matrix market: unsupported field: " + field);
+  if (symmetry == "symmetric")
+    h.symmetric = true;
+  else if (symmetry != "general")
+    throw std::runtime_error("matrix market: unsupported symmetry: " + symmetry);
+  return h;
+}
+
+template <class T>
+T read_value(std::istringstream& ss, bool complex_values) {
+  double re = 0, im = 0;
+  ss >> re;
+  if (complex_values) ss >> im;
+  if constexpr (is_complex_v<T>) {
+    return T(re, im);
+  } else {
+    if (im != 0.0) throw std::runtime_error("matrix market: complex file into real matrix");
+    return T(re);
+  }
+}
+
+}  // namespace
+
+template <class T>
+CsrMatrix<T> read_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("matrix market: cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("matrix market: empty file");
+  const Header header = parse_header(line);
+  // Skip comments.
+  while (std::getline(in, line))
+    if (!line.empty() && line[0] != '%') break;
+  std::istringstream sizes(line);
+  index_t rows = 0, cols = 0, nnz = 0;
+  sizes >> rows >> cols >> nnz;
+  if (rows <= 0 || cols <= 0 || nnz < 0)
+    throw std::runtime_error("matrix market: bad size line: " + line);
+  CooBuilder<T> builder(rows, cols);
+  builder.reserve(static_cast<size_t>(header.symmetric ? 2 * nnz : nnz));
+  for (index_t k = 0; k < nnz; ++k) {
+    if (!std::getline(in, line)) throw std::runtime_error("matrix market: truncated file");
+    std::istringstream ss(line);
+    index_t i = 0, j = 0;
+    ss >> i >> j;
+    if (i < 1 || i > rows || j < 1 || j > cols)
+      throw std::runtime_error("matrix market: index out of range: " + line);
+    const T v = read_value<T>(ss, header.complex_values);
+    builder.add(i - 1, j - 1, v);
+    if (header.symmetric && i != j) builder.add(j - 1, i - 1, v);
+  }
+  return builder.build();
+}
+
+template <class T>
+void write_matrix_market(const std::string& path, const CsrMatrix<T>& a) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("matrix market: cannot write " + path);
+  out << "%%MatrixMarket matrix coordinate " << (is_complex_v<T> ? "complex" : "real")
+      << " general\n";
+  out << a.rows() << " " << a.cols() << " " << a.nnz() << "\n";
+  out.precision(17);
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t l = a.rowptr()[size_t(i)]; l < a.rowptr()[size_t(i) + 1]; ++l) {
+      out << (i + 1) << " " << (a.colind()[size_t(l)] + 1) << " ";
+      const T v = a.values()[size_t(l)];
+      if constexpr (is_complex_v<T>) {
+        out << scalar_traits<T>::real(v) << " " << scalar_traits<T>::imag(v) << "\n";
+      } else {
+        out << v << "\n";
+      }
+    }
+}
+
+template CsrMatrix<double> read_matrix_market<double>(const std::string&);
+template CsrMatrix<std::complex<double>> read_matrix_market<std::complex<double>>(
+    const std::string&);
+template void write_matrix_market<double>(const std::string&, const CsrMatrix<double>&);
+template void write_matrix_market<std::complex<double>>(const std::string&,
+                                                        const CsrMatrix<std::complex<double>>&);
+
+}  // namespace bkr

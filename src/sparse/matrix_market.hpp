@@ -1,0 +1,30 @@
+// Matrix Market I/O.
+//
+// Lets the driver and downstream users feed external systems to the
+// solvers (the ecosystem the paper targets distributes test matrices in
+// this format). Supports `matrix coordinate real|complex
+// general|symmetric` for reading and writes `coordinate` files.
+#pragma once
+
+#include <complex>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace bkr {
+
+// Throws std::runtime_error on malformed input or unsupported headers.
+template <class T>
+CsrMatrix<T> read_matrix_market(const std::string& path);
+
+template <class T>
+void write_matrix_market(const std::string& path, const CsrMatrix<T>& a);
+
+extern template CsrMatrix<double> read_matrix_market<double>(const std::string&);
+extern template CsrMatrix<std::complex<double>> read_matrix_market<std::complex<double>>(
+    const std::string&);
+extern template void write_matrix_market<double>(const std::string&, const CsrMatrix<double>&);
+extern template void write_matrix_market<std::complex<double>>(
+    const std::string&, const CsrMatrix<std::complex<double>>&);
+
+}  // namespace bkr

@@ -1,0 +1,116 @@
+#include "sparse/partition.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace bkr {
+
+Partition partition_greedy(const Graph& g, index_t nparts) {
+  Partition p;
+  p.nparts = nparts;
+  p.owner.assign(size_t(g.n), -1);
+  p.interior.resize(size_t(nparts));
+  const index_t target = (g.n + nparts - 1) / nparts;
+  index_t next_unassigned = 0;
+  for (index_t part = 0; part < nparts; ++part) {
+    // Grow a BFS ball of ~target vertices from an unassigned seed.
+    while (next_unassigned < g.n && p.owner[size_t(next_unassigned)] >= 0) ++next_unassigned;
+    if (next_unassigned >= g.n) break;
+    index_t remaining_parts = nparts - part;
+    index_t unassigned = 0;
+    for (index_t v = 0; v < g.n; ++v)
+      if (p.owner[size_t(v)] < 0) ++unassigned;
+    const index_t quota =
+        (part + 1 == nparts) ? unassigned : std::min(target, (unassigned + remaining_parts - 1) / remaining_parts);
+    std::deque<index_t> queue{next_unassigned};
+    p.owner[size_t(next_unassigned)] = part;
+    index_t taken = 0;
+    std::vector<index_t> frontier;
+    while (taken < quota) {
+      if (queue.empty()) {
+        // Component exhausted: jump to the next unassigned vertex.
+        index_t v = next_unassigned;
+        while (v < g.n && p.owner[size_t(v)] >= 0) ++v;
+        if (v >= g.n) break;
+        p.owner[size_t(v)] = part;
+        queue.push_back(v);
+        continue;
+      }
+      const index_t v = queue.front();
+      queue.pop_front();
+      p.interior[size_t(part)].push_back(v);
+      ++taken;
+      for (index_t l = g.ptr[size_t(v)]; l < g.ptr[size_t(v) + 1]; ++l) {
+        const index_t w = g.adj[size_t(l)];
+        if (p.owner[size_t(w)] >= 0) continue;
+        p.owner[size_t(w)] = part;
+        queue.push_back(w);
+      }
+    }
+    // Vertices claimed but beyond the quota go back to the pool.
+    while (!queue.empty()) {
+      p.owner[size_t(queue.front())] = -1;
+      queue.pop_front();
+    }
+  }
+  // Safety: assign any leftover vertex to the last part.
+  for (index_t v = 0; v < g.n; ++v)
+    if (p.owner[size_t(v)] < 0) {
+      p.owner[size_t(v)] = nparts - 1;
+      p.interior[size_t(nparts) - 1].push_back(v);
+    }
+  for (auto& part : p.interior) std::sort(part.begin(), part.end());
+  return p;
+}
+
+std::vector<index_t> grow_overlap(const Graph& g, const std::vector<index_t>& seeds,
+                                  index_t delta) {
+  std::vector<char> in(size_t(g.n), 0);
+  std::vector<index_t> current = seeds;
+  for (const index_t v : seeds) in[size_t(v)] = 1;
+  for (index_t layer = 0; layer < delta; ++layer) {
+    std::vector<index_t> next;
+    for (const index_t v : current)
+      for (index_t l = g.ptr[size_t(v)]; l < g.ptr[size_t(v) + 1]; ++l) {
+        const index_t w = g.adj[size_t(l)];
+        if (in[size_t(w)]) continue;
+        in[size_t(w)] = 1;
+        next.push_back(w);
+      }
+    current = std::move(next);
+  }
+  std::vector<index_t> out;
+  for (index_t v = 0; v < g.n; ++v)
+    if (in[size_t(v)]) out.push_back(v);
+  return out;
+}
+
+OverlappingDecomposition make_decomposition(const Graph& g, index_t nparts, index_t delta,
+                                            PouKind kind) {
+  OverlappingDecomposition d;
+  d.base = partition_greedy(g, nparts);
+  d.rows.resize(size_t(nparts));
+  d.pou.resize(size_t(nparts));
+  for (index_t i = 0; i < nparts; ++i)
+    d.rows[size_t(i)] = grow_overlap(g, d.base.interior[size_t(i)], delta);
+  if (kind == PouKind::Boolean) {
+    for (index_t i = 0; i < nparts; ++i) {
+      d.pou[size_t(i)].resize(d.rows[size_t(i)].size());
+      for (size_t l = 0; l < d.rows[size_t(i)].size(); ++l)
+        d.pou[size_t(i)][l] = (d.base.owner[size_t(d.rows[size_t(i)][l])] == i) ? 1.0 : 0.0;
+    }
+  } else {
+    std::vector<index_t> multiplicity(size_t(g.n), 0);
+    for (index_t i = 0; i < nparts; ++i)
+      for (const index_t v : d.rows[size_t(i)]) ++multiplicity[size_t(v)];
+    for (index_t i = 0; i < nparts; ++i) {
+      d.pou[size_t(i)].resize(d.rows[size_t(i)].size());
+      for (size_t l = 0; l < d.rows[size_t(i)].size(); ++l)
+        d.pou[size_t(i)][l] = 1.0 / double(multiplicity[size_t(d.rows[size_t(i)][l])]);
+    }
+  }
+  return d;
+}
+
+}  // namespace bkr

@@ -1,0 +1,46 @@
+// Graph partitioning and overlap growth for Schwarz methods.
+//
+// Stands in for SCOTCH: a greedy balanced BFS partitioner producing N
+// connected (whenever possible) parts, plus the recursive overlap growth
+// of the paper's section V-A (T_i^delta = T_i^{delta-1} plus adjacent
+// elements) expressed on the matrix adjacency graph.
+#pragma once
+
+#include <vector>
+
+#include "sparse/graph.hpp"
+
+namespace bkr {
+
+struct Partition {
+  index_t nparts = 0;
+  std::vector<index_t> owner;                   // vertex -> part id
+  std::vector<std::vector<index_t>> interior;   // part -> owned vertices (sorted)
+};
+
+// Greedy balanced BFS k-way partition.
+Partition partition_greedy(const Graph& g, index_t nparts);
+
+// Overlapping subdomain: the seed set grown by `delta` layers of
+// adjacency. Result is sorted; the first entries are NOT the seeds (the
+// set is re-sorted globally).
+std::vector<index_t> grow_overlap(const Graph& g, const std::vector<index_t>& seeds, index_t delta);
+
+struct OverlappingDecomposition {
+  // For each subdomain: sorted global indices of its overlapping vertex
+  // set, and the partition-of-unity weights (same length). Sum over
+  // subdomains of R_i^T D_i R_i equals the identity.
+  std::vector<std::vector<index_t>> rows;
+  std::vector<std::vector<double>> pou;
+  Partition base;
+};
+
+enum class PouKind {
+  Boolean,       // RAS: weight 1 on owned vertices, 0 on ghosts
+  Multiplicity,  // 1/multiplicity on every vertex of the overlapping set
+};
+
+OverlappingDecomposition make_decomposition(const Graph& g, index_t nparts, index_t delta,
+                                            PouKind kind = PouKind::Boolean);
+
+}  // namespace bkr

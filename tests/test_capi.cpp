@@ -1,0 +1,134 @@
+// Tests: the C interface (the paper's "usable from any C/C++ code" claim).
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "capi/bkr_c.h"
+#include "fem/maxwell3d.hpp"
+#include "fem/poisson2d.hpp"
+#include "test_helpers.hpp"
+
+namespace bkr {
+namespace {
+
+// Convert a CsrMatrix<double> into the C arrays.
+struct CArrays {
+  std::vector<int64_t> rowptr, colind;
+  std::vector<double> values;
+};
+
+CArrays to_c(const CsrMatrix<double>& a) {
+  CArrays out;
+  out.rowptr.assign(a.rowptr().begin(), a.rowptr().end());
+  out.colind.assign(a.colind().begin(), a.colind().end());
+  out.values = a.values();
+  return out;
+}
+
+TEST(CApi, DefaultsArePopulated) {
+  bkr_options opts;
+  bkr_options_default(&opts);
+  EXPECT_EQ(opts.restart, 30);
+  EXPECT_EQ(opts.recycle, 10);
+  EXPECT_DOUBLE_EQ(opts.tol, 1e-8);
+  EXPECT_EQ(opts.side, BKR_SIDE_RIGHT);
+}
+
+TEST(CApi, RejectsInvalidMatrices) {
+  EXPECT_EQ(bkr_matrix_create(0, nullptr, nullptr, nullptr), nullptr);
+  const int64_t rowptr[3] = {0, 1, 2};
+  const int64_t bad_col[2] = {0, 5};  // out of range
+  const double vals[2] = {1.0, 1.0};
+  EXPECT_EQ(bkr_matrix_create(2, rowptr, bad_col, vals), nullptr);
+}
+
+TEST(CApi, GmresSolvesPoisson) {
+  const auto a = poisson2d(12, 12);
+  const auto arrays = to_c(a);
+  bkr_matrix* m =
+      bkr_matrix_create(a.rows(), arrays.rowptr.data(), arrays.colind.data(), arrays.values.data());
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(bkr_matrix_rows(m), a.rows());
+  const auto b = poisson2d_rhs(12, 12, 0.1);
+  std::vector<double> x(b.size(), 0.0);
+  bkr_options opts;
+  bkr_options_default(&opts);
+  opts.restart = 60;
+  bkr_result result{};
+  ASSERT_EQ(bkr_gmres(m, b.data(), x.data(), &opts, &result), 0);
+  EXPECT_EQ(result.converged, 1);
+  EXPECT_GT(result.iterations, 5);
+  EXPECT_LT(testing::relative_residual(a, x, b), 1e-7);
+  bkr_matrix_destroy(m);
+}
+
+TEST(CApi, GcroDrSequenceRecycles) {
+  const auto a = poisson2d(16, 16);
+  const auto arrays = to_c(a);
+  bkr_matrix* m =
+      bkr_matrix_create(a.rows(), arrays.rowptr.data(), arrays.colind.data(), arrays.values.data());
+  ASSERT_NE(m, nullptr);
+  bkr_options opts;
+  bkr_options_default(&opts);
+  opts.restart = 25;
+  opts.recycle = 8;
+  opts.same_system = 1;
+  bkr_gcrodr* solver = bkr_gcrodr_create(&opts);
+  ASSERT_NE(solver, nullptr);
+  std::vector<int64_t> iters;
+  for (const double nu : kPoissonNus) {
+    const auto b = poisson2d_rhs(16, 16, nu);
+    std::vector<double> x(b.size(), 0.0);
+    bkr_result result{};
+    ASSERT_EQ(bkr_gcrodr_solve(solver, m, b.data(), x.data(), /*new_matrix=*/0, &result), 0);
+    EXPECT_EQ(result.converged, 1);
+    EXPECT_LT(testing::relative_residual(a, x, b), 1e-7);
+    iters.push_back(result.iterations);
+  }
+  EXPECT_LT(iters[1], iters[0]);  // recycling across the C boundary
+  bkr_gcrodr_destroy(solver);
+  bkr_matrix_destroy(m);
+}
+
+TEST(CApi, ComplexGmresSolvesMaxwell) {
+  MaxwellConfig cfg;
+  cfg.n = 5;
+  cfg.wavelengths = 0.8;
+  cfg.loss = 0.5;
+  const auto prob = maxwell3d(cfg);
+  const auto& a = prob.matrix;
+  std::vector<int64_t> rowptr(a.rowptr().begin(), a.rowptr().end());
+  std::vector<int64_t> colind(a.colind().begin(), a.colind().end());
+  // std::complex<double> is layout-compatible with interleaved doubles.
+  const auto* values = reinterpret_cast<const double*>(a.values().data());
+  bkr_zmatrix* m = bkr_zmatrix_create(a.rows(), rowptr.data(), colind.data(), values);
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(bkr_zmatrix_rows(m), a.rows());
+  const auto b = antenna_rhs(prob, 0, 4);
+  std::vector<std::complex<double>> x(b.size(), std::complex<double>(0));
+  bkr_options opts;
+  bkr_options_default(&opts);
+  opts.restart = 200;
+  opts.max_iterations = 2000;
+  bkr_result result{};
+  ASSERT_EQ(bkr_zgmres(m, reinterpret_cast<const double*>(b.data()),
+                       reinterpret_cast<double*>(x.data()), &opts, &result),
+            0);
+  EXPECT_EQ(result.converged, 1);
+  EXPECT_LT(testing::relative_residual(a, x, b), 1e-6);
+  bkr_zmatrix_destroy(m);
+}
+
+TEST(CApi, NullArgumentsFailGracefully) {
+  bkr_result result{};
+  EXPECT_NE(bkr_gmres(nullptr, nullptr, nullptr, nullptr, &result), 0);
+  EXPECT_NE(bkr_gcrodr_solve(nullptr, nullptr, nullptr, nullptr, 0, &result), 0);
+  bkr_matrix_destroy(nullptr);   // must be no-ops
+  bkr_gcrodr_destroy(nullptr);
+  bkr_zmatrix_destroy(nullptr);
+  bkr_zgcrodr_destroy(nullptr);
+}
+
+}  // namespace
+}  // namespace bkr

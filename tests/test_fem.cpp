@@ -1,0 +1,273 @@
+// Unit tests: problem generators (Poisson, elasticity, Maxwell).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numeric>
+
+#include "direct/factor.hpp"
+#include "fem/elasticity3d.hpp"
+#include "fem/maxwell3d.hpp"
+#include "fem/poisson2d.hpp"
+#include "test_helpers.hpp"
+
+namespace bkr {
+namespace {
+
+using cplx = std::complex<double>;
+
+TEST(Poisson2d, StencilStructure) {
+  const auto a = poisson2d(3, 3);
+  EXPECT_EQ(a.rows(), 9);
+  EXPECT_DOUBLE_EQ(a.at(4, 4), 4.0);  // centre
+  EXPECT_DOUBLE_EQ(a.at(4, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(4, 3), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(4, 5), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(4, 7), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 8), 0.0);
+}
+
+TEST(Poisson2d, SymmetricPositiveRowSums) {
+  const auto a = poisson2d(7, 5);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    double row = 0;
+    for (index_t l = a.rowptr()[size_t(i)]; l < a.rowptr()[size_t(i) + 1]; ++l) {
+      row += a.values()[size_t(l)];
+      // symmetry
+      EXPECT_DOUBLE_EQ(a.at(a.colind()[size_t(l)], i), a.values()[size_t(l)]);
+    }
+    EXPECT_GE(row, 0.0);  // diagonally dominant
+  }
+}
+
+TEST(Poisson2d, SolvesManufacturedProblem) {
+  // -Delta u = 2 pi^2 sin(pi x) sin(pi y) has u = sin(pi x) sin(pi y);
+  // second-order convergence of the 5-point stencil.
+  double err_prev = 0;
+  for (const index_t nn : {15, 31}) {
+    const auto a = poisson2d(nn, nn);
+    const double h = 1.0 / double(nn + 1);
+    std::vector<double> b(static_cast<size_t>(nn * nn)), exact(static_cast<size_t>(nn * nn));
+    for (index_t j = 0; j < nn; ++j)
+      for (index_t i = 0; i < nn; ++i) {
+        const double xx = (i + 1) * h, yy = (j + 1) * h;
+        exact[size_t(i + j * nn)] = std::sin(M_PI * xx) * std::sin(M_PI * yy);
+        b[size_t(i + j * nn)] = 2 * M_PI * M_PI * exact[size_t(i + j * nn)] * h * h;
+      }
+    // Direct solve.
+    SparseLDLT<double> f(a);
+    std::vector<double> x = b;
+    f.solve(MatrixView<double>(x.data(), a.rows(), 1, a.rows()));
+    double err = 0;
+    for (size_t i = 0; i < x.size(); ++i) err = std::max(err, std::abs(x[i] - exact[i]));
+    if (err_prev > 0) {
+      EXPECT_LT(err, 0.35 * err_prev);  // ~4x per refinement
+    }
+    err_prev = err;
+  }
+}
+
+TEST(Poisson2d, RhsSequenceMatchesPaperWidths) {
+  for (const double nu : kPoissonNus) {
+    const auto f = poisson2d_rhs(8, 8, nu);
+    EXPECT_EQ(f.size(), 64u);
+    // The Gaussian peaks near (1,1) — top-right corner dof is largest for
+    // narrow sources.
+    if (nu <= 0.1) {
+      const auto mx = std::max_element(f.begin(), f.end());
+      EXPECT_EQ(index_t(mx - f.begin()), index_t(63));
+    }
+  }
+}
+
+TEST(Elasticity3d, DimensionsAndSymmetry) {
+  ElasticityConfig cfg;
+  cfg.ne = 3;
+  const auto prob = elasticity3d(cfg);
+  // (ne+1)^3 nodes minus the clamped x=0 face, times 3 dofs.
+  const index_t nn = 4;
+  EXPECT_EQ(prob.nfree, 3 * (nn * nn * nn - nn * nn));
+  EXPECT_EQ(prob.matrix.rows(), prob.nfree);
+  // Spot-check symmetry.
+  const auto& a = prob.matrix;
+  for (index_t i = 0; i < a.rows(); i += 7)
+    for (index_t l = a.rowptr()[size_t(i)]; l < a.rowptr()[size_t(i) + 1]; ++l)
+      EXPECT_NEAR(a.at(a.colind()[size_t(l)], i), a.values()[size_t(l)], 1e-10);
+}
+
+TEST(Elasticity3d, SpdAfterClamping) {
+  ElasticityConfig cfg;
+  cfg.ne = 3;
+  const auto prob = elasticity3d(cfg);
+  // LDL^T succeeds without pivot failures only if SPD (clamped face
+  // removes the rigid-body kernel).
+  EXPECT_NO_THROW(SparseLDLT<double> f(prob.matrix));
+}
+
+TEST(Elasticity3d, RigidBodyModesNearNullspaceOfFreeBody) {
+  // On the *unclamped* operator the six modes are an exact nullspace; on
+  // the clamped one, K * mode is supported near the clamped face only.
+  // Check the energy of each mode is small relative to a random vector.
+  ElasticityConfig cfg;
+  cfg.ne = 4;
+  const auto prob = elasticity3d(cfg);
+  const index_t n = prob.nfree;
+  std::vector<double> w(static_cast<size_t>(n));
+  Rng rng(101);
+  std::vector<double> rnd(static_cast<size_t>(n));
+  for (auto& v : rnd) v = rng.scalar<double>();
+  prob.matrix.spmv(rnd.data(), w.data());
+  const double rand_energy = dot<double>(n, rnd.data(), w.data()) / dot<double>(n, rnd.data(), rnd.data());
+  for (int mode = 0; mode < 3; ++mode) {  // translations
+    prob.matrix.spmv(prob.rigid_body_modes.col(mode), w.data());
+    const double e = dot<double>(n, prob.rigid_body_modes.col(mode), w.data()) /
+                     dot<double>(n, prob.rigid_body_modes.col(mode), prob.rigid_body_modes.col(mode));
+    EXPECT_LT(e, 0.5 * rand_energy);
+  }
+}
+
+TEST(Elasticity3d, InclusionSoftensMatrix) {
+  ElasticityConfig hard;
+  hard.ne = 4;
+  ElasticityConfig soft = hard;
+  soft.inclusion = Inclusion{30.0, 0.4, 0.5, 0.5, 0.5};
+  const auto ph = elasticity3d(hard);
+  const auto ps = elasticity3d(soft);
+  ASSERT_EQ(ph.matrix.nnz(), ps.matrix.nnz());
+  // The softened matrix has strictly smaller Frobenius norm.
+  double nh = 0, ns = 0;
+  for (const auto v : ph.matrix.values()) nh += v * v;
+  for (const auto v : ps.matrix.values()) ns += v * v;
+  EXPECT_LT(ns, nh);
+}
+
+TEST(Elasticity3d, SequenceMatricesDiffer) {
+  ElasticityConfig cfg;
+  cfg.ne = 3;
+  std::vector<double> norms;
+  for (const auto& inc : kElasticitySequence) {
+    cfg.inclusion = inc;
+    const auto prob = elasticity3d(cfg);
+    double s = 0;
+    for (const auto v : prob.matrix.values()) s += v * v;
+    norms.push_back(s);
+  }
+  for (size_t i = 1; i < norms.size(); ++i) EXPECT_NE(norms[i], norms[i - 1]);
+}
+
+TEST(Maxwell3d, EdgeCountsMatchPecElimination) {
+  MaxwellConfig cfg;
+  cfg.n = 4;
+  const auto prob = maxwell3d(cfg);
+  // Free x-edges: n * (n-1)^2 per direction after removing tangential
+  // boundary edges; 3 directions.
+  const index_t n = 4;
+  EXPECT_EQ(prob.nfree, 3 * n * (n - 1) * (n - 1));
+  EXPECT_EQ(prob.matrix.rows(), prob.nfree);
+  EXPECT_EQ(index_t(prob.edge_dir.size()), prob.nfree);
+}
+
+TEST(Maxwell3d, ComplexSymmetricNotHermitian) {
+  MaxwellConfig cfg;
+  cfg.n = 5;
+  cfg.loss = 0.3;
+  const auto prob = maxwell3d(cfg);
+  const auto& a = prob.matrix;
+  for (index_t i = 0; i < a.rows(); i += 11)
+    for (index_t l = a.rowptr()[size_t(i)]; l < a.rowptr()[size_t(i) + 1]; ++l) {
+      const index_t j = a.colind()[size_t(l)];
+      // Symmetric: A(j,i) == A(i,j) (no conjugation).
+      EXPECT_LT(std::abs(a.at(j, i) - a.values()[size_t(l)]), 1e-12);
+    }
+  // Diagonal entries carry the negative complex shift -> nonzero
+  // imaginary part (not Hermitian).
+  bool has_imag = false;
+  for (const auto v : a.diagonal())
+    if (std::abs(v.imag()) > 1e-12) has_imag = true;
+  EXPECT_TRUE(has_imag);
+}
+
+TEST(Maxwell3d, CurlCurlAnnihilatesGradients) {
+  // Without the mass shift, C^T C applied to a discrete gradient field is
+  // zero: edges of grad(phi) with phi nodal. Build with wavelengths ~ 0
+  // (tiny shift) and test near-annihilation.
+  MaxwellConfig cfg;
+  cfg.n = 4;
+  cfg.wavelengths = 1e-6;
+  cfg.loss = 0.0;
+  const auto prob = maxwell3d(cfg);
+  const index_t n = cfg.n;
+  const double h = prob.h;
+  // phi(x,y,z) = x*y*z on nodes; gradient on an edge = difference of phi
+  // at endpoints (per unit h in the incidence convention).
+  // The potential must vanish on the boundary so that its discrete
+  // gradient has zero tangential trace (the PEC-eliminated edges).
+  auto phi = [](double x, double y, double z) {
+    return std::sin(M_PI * x) * std::sin(M_PI * y) * std::sin(M_PI * z);
+  };
+  std::vector<cplx> grad(static_cast<size_t>(prob.nfree));
+  for (index_t e = 0; e < prob.nfree; ++e) {
+    const double cx = prob.edge_center[size_t(3 * e)];
+    const double cy = prob.edge_center[size_t(3 * e + 1)];
+    const double cz = prob.edge_center[size_t(3 * e + 2)];
+    const int d = prob.edge_dir[size_t(e)];
+    const double dx = (d == 0) ? h / 2 : 0, dy = (d == 1) ? h / 2 : 0, dz = (d == 2) ? h / 2 : 0;
+    grad[size_t(e)] = phi(cx + dx, cy + dy, cz + dz) - phi(cx - dx, cy - dy, cz - dz);
+  }
+  std::vector<cplx> out(static_cast<size_t>(prob.nfree));
+  prob.matrix.spmv(grad.data(), out.data());
+  double gn = 0, on = 0;
+  for (index_t e = 0; e < prob.nfree; ++e) {
+    gn += std::norm(grad[size_t(e)]);
+    on += std::norm(out[size_t(e)]);
+  }
+  (void)n;
+  EXPECT_LT(std::sqrt(on), 1e-8 * std::sqrt(gn));
+}
+
+TEST(Maxwell3d, AntennaRhsLocalized) {
+  MaxwellConfig cfg;
+  cfg.n = 10;
+  const auto prob = maxwell3d(cfg);
+  const auto b = antenna_rhs(prob, 3, 32, 0.35, 0.5);
+  index_t nonzeros = 0;
+  for (const auto& v : b)
+    if (std::abs(v) > 0) ++nonzeros;
+  EXPECT_GT(nonzeros, 0);
+  EXPECT_LT(nonzeros, prob.nfree / 10);  // localized footprint
+}
+
+TEST(Maxwell3d, DifferentAntennasGiveIndependentRhs) {
+  MaxwellConfig cfg;
+  cfg.n = 10;
+  const auto prob = maxwell3d(cfg);
+  const auto b0 = antenna_rhs(prob, 0, 32);
+  const auto b8 = antenna_rhs(prob, 8, 32);  // 90 degrees apart
+  cplx overlap = 0;
+  double n0 = 0, n8 = 0;
+  for (index_t e = 0; e < prob.nfree; ++e) {
+    overlap += std::conj(b0[size_t(e)]) * b8[size_t(e)];
+    n0 += std::norm(b0[size_t(e)]);
+    n8 += std::norm(b8[size_t(e)]);
+  }
+  ASSERT_GT(n0, 0.0);
+  ASSERT_GT(n8, 0.0);
+  EXPECT_LT(std::abs(overlap) / std::sqrt(n0 * n8), 1e-6);
+}
+
+TEST(Maxwell3d, InclusionChangesOperator) {
+  MaxwellConfig plain;
+  plain.n = 6;
+  MaxwellConfig with = plain;
+  with.inclusion_radius = 0.15;
+  const auto p1 = maxwell3d(plain);
+  const auto p2 = maxwell3d(with);
+  ASSERT_EQ(p1.matrix.nnz(), p2.matrix.nnz());
+  double diff = 0;
+  for (index_t l = 0; l < p1.matrix.nnz(); ++l)
+    diff += std::norm(p1.matrix.values()[size_t(l)] - p2.matrix.values()[size_t(l)]);
+  EXPECT_GT(diff, 0.0);
+}
+
+}  // namespace
+}  // namespace bkr

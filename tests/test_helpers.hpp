@@ -1,0 +1,60 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "common/rng.hpp"
+#include "la/blas.hpp"
+#include "la/dense.hpp"
+#include "sparse/csr.hpp"
+
+namespace bkr::testing {
+
+template <class T>
+DenseMatrix<T> random_matrix(index_t rows, index_t cols, unsigned seed = 1) {
+  Rng rng(seed);
+  DenseMatrix<T> a(rows, cols);
+  for (index_t j = 0; j < cols; ++j)
+    for (index_t i = 0; i < rows; ++i) a(i, j) = rng.scalar<T>();
+  return a;
+}
+
+// || A - B ||_F
+template <class T>
+double diff_fro(MatrixView<const T> a, MatrixView<const T> b) {
+  EXPECT_EQ(a.rows(), b.rows());
+  EXPECT_EQ(a.cols(), b.cols());
+  double s = 0;
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) {
+      const auto d = abs_val(a(i, j) - b(i, j));
+      s += d * d;
+    }
+  return std::sqrt(s);
+}
+
+// || V^H V - I ||_F: orthonormality defect.
+template <class T>
+double ortho_defect(MatrixView<const T> v) {
+  DenseMatrix<T> g(v.cols(), v.cols());
+  gram<T>(v, g.view());
+  for (index_t i = 0; i < v.cols(); ++i) g(i, i) -= T(1);
+  return norm_fro<T>(g.view());
+}
+
+// Relative residual ||b - A x|| / ||b|| for a CSR system.
+template <class T>
+double relative_residual(const CsrMatrix<T>& a, const std::vector<T>& x, const std::vector<T>& b) {
+  std::vector<T> r(b.size());
+  a.spmv(x.data(), r.data());
+  double num = 0, den = 0;
+  for (size_t i = 0; i < b.size(); ++i) {
+    num += std::norm(std::complex<double>(abs_val(b[i] - r[i]), 0));
+    den += std::norm(std::complex<double>(abs_val(b[i]), 0));
+  }
+  return std::sqrt(num) / std::sqrt(den);
+}
+
+}  // namespace bkr::testing

@@ -1,0 +1,173 @@
+// Algorithmic invariants: properties the methods must satisfy by
+// construction, checked explicitly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "core/gcrodr.hpp"
+#include "core/gmres.hpp"
+#include "fem/poisson2d.hpp"
+#include "test_helpers.hpp"
+
+namespace bkr {
+namespace {
+
+using testing::random_matrix;
+
+TEST(Invariants, GmresEstimateEqualsTrueResidual) {
+  // Within one (unrestarted) cycle the least-squares residual estimate is
+  // the true residual: run to several tolerances and compare.
+  const auto a = poisson2d(10, 10);
+  const index_t n = a.rows();
+  CsrOperator<double> op(a);
+  const auto b = poisson2d_rhs(10, 10, 10.0);
+  for (const double tol : {1e-4, 1e-8, 1e-12}) {
+    SolverOptions opts;
+    opts.restart = 150;
+    opts.tol = tol;
+    std::vector<double> x(b.size(), 0.0);
+    const auto st = gmres<double>(op, nullptr, b, x, opts);
+    ASSERT_TRUE(st.converged);
+    const double est = st.history[0].back();
+    const double truth = testing::relative_residual(a, x, b);
+    EXPECT_NEAR(est, truth, 1e-10 + 0.05 * truth) << "tol " << tol;
+  }
+}
+
+TEST(Invariants, GmresResidualsMatchMinimization) {
+  // The GMRES iterate minimizes over the Krylov space: running with a
+  // larger restart never increases the residual at a given iteration.
+  const auto a = poisson2d(12, 12);
+  CsrOperator<double> op(a);
+  const auto b = poisson2d_rhs(12, 12, 0.1);
+  SolverOptions small, big;
+  small.restart = 10;
+  big.restart = 200;
+  small.tol = big.tol = 1e-10;
+  small.max_iterations = big.max_iterations = 400;
+  std::vector<double> x1(b.size(), 0.0), x2(b.size(), 0.0);
+  const auto s1 = gmres<double>(op, nullptr, b, x1, small);
+  const auto s2 = gmres<double>(op, nullptr, b, x2, big);
+  ASSERT_TRUE(s1.converged);
+  ASSERT_TRUE(s2.converged);
+  const auto& h1 = s1.history[0];
+  const auto& h2 = s2.history[0];
+  for (size_t i = 0; i < std::min(h1.size(), h2.size()); ++i)
+    EXPECT_LE(h2[i], h1[i] * (1 + 1e-8)) << "iteration " << i;
+}
+
+TEST(Invariants, GcroDrEqualsFullGmresWhenSpaceCoversProblem) {
+  // On a small problem with restart > n, GCRO-DR's first cycle IS full
+  // GMRES: iteration counts agree.
+  const auto a = poisson2d(5, 5);  // n = 25
+  const index_t n = a.rows();
+  CsrOperator<double> op(a);
+  const auto b = poisson2d_rhs(5, 5, 1.0);
+  SolverOptions opts;
+  opts.restart = 40;
+  opts.tol = 1e-10;
+  std::vector<double> xg(b.size(), 0.0), xc(b.size(), 0.0);
+  const auto sg = gmres<double>(op, nullptr, b, xg, opts);
+  auto gopts = opts;
+  gopts.recycle = 5;
+  GcroDr<double> solver(gopts);
+  const auto sc = solver.solve(op, nullptr, MatrixView<const double>(b.data(), n, 1, n),
+                               MatrixView<double>(xc.data(), n, 1, n));
+  ASSERT_TRUE(sg.converged);
+  ASSERT_TRUE(sc.converged);
+  EXPECT_EQ(sg.iterations, sc.iterations);
+}
+
+TEST(Invariants, RecycledSpaceOrthogonalityAfterManySolves) {
+  // C_k stays orthonormal and A U_k = C_k holds after a long sequence
+  // (the CGS2 stability fix keeps the defect at machine level).
+  const auto a = poisson2d(12, 12);
+  const index_t n = a.rows();
+  CsrOperator<double> op(a);
+  SolverOptions opts;
+  opts.restart = 15;
+  opts.recycle = 5;
+  opts.tol = 1e-9;
+  GcroDr<double> solver(opts);
+  Rng rng(41);
+  for (int s = 0; s < 6; ++s) {
+    std::vector<double> b(static_cast<size_t>(n));
+    for (auto& v : b) v = rng.scalar<double>();
+    std::vector<double> x(b.size(), 0.0);
+    ASSERT_TRUE(solver
+                    .solve(op, nullptr, MatrixView<const double>(b.data(), n, 1, n),
+                           MatrixView<double>(x.data(), n, 1, n), nullptr, false)
+                    .converged);
+    const auto& u = solver.recycled_u();
+    const auto& c = solver.recycled_c();
+    EXPECT_LT(testing::ortho_defect<double>(c.view()), 1e-10) << "solve " << s;
+    DenseMatrix<double> au(n, u.cols());
+    a.spmm(u.view(), au.view());
+    EXPECT_LT(testing::diff_fro<double>(au.view(), c.view()), 1e-9) << "solve " << s;
+  }
+}
+
+TEST(Invariants, BlockGmresBasisOrthonormal) {
+  // Sample the block Arnoldi basis orthonormality indirectly: two block
+  // solves from different initial guesses land on the same solution.
+  const auto a = poisson2d(9, 9);
+  const index_t n = a.rows();
+  CsrOperator<double> op(a);
+  const auto b = random_matrix<double>(n, 3, 43);
+  SolverOptions opts;
+  opts.restart = 90;
+  opts.tol = 1e-11;
+  DenseMatrix<double> x1(n, 3);
+  DenseMatrix<double> x2 = random_matrix<double>(n, 3, 44);
+  ASSERT_TRUE(block_gmres<double>(op, nullptr, b.view(), x1.view(), opts).converged);
+  ASSERT_TRUE(block_gmres<double>(op, nullptr, b.view(), x2.view(), opts).converged);
+  EXPECT_LT(testing::diff_fro<double>(x1.view(), x2.view()), 1e-7);
+}
+
+TEST(Invariants, ReductionCountIndependentOfValues) {
+  // Communication counts are structural: two different RHS with the same
+  // iteration count produce identical reduction counts.
+  const auto a = poisson2d(10, 10);
+  const index_t n = a.rows();
+  CsrOperator<double> op(a);
+  SolverOptions opts;
+  opts.restart = 12;
+  opts.tol = 1e-8;
+  opts.max_iterations = 31;  // fixed budget, convergence unreachable
+  opts.tol = 1e-16;
+  std::int64_t reductions[2];
+  for (int trial = 0; trial < 2; ++trial) {
+    Rng rng(unsigned(50 + trial));
+    std::vector<double> b(static_cast<size_t>(n));
+    for (auto& v : b) v = rng.scalar<double>();
+    std::vector<double> x(b.size(), 0.0);
+    const auto st = gmres<double>(op, nullptr, b, x, opts);
+    EXPECT_EQ(st.iterations, 31);
+    reductions[trial] = st.reductions;
+  }
+  EXPECT_EQ(reductions[0], reductions[1]);
+}
+
+TEST(Invariants, PerRhsIterationsBoundedByTotal) {
+  const auto a = poisson2d(10, 10);
+  const index_t n = a.rows();
+  CsrOperator<double> op(a);
+  const auto b = random_matrix<double>(n, 4, 45);
+  SolverOptions opts;
+  opts.restart = 80;
+  opts.tol = 1e-8;
+  DenseMatrix<double> x(n, 4);
+  const auto st = pseudo_block_gmres<double>(op, nullptr, b.view(), x.view(), opts);
+  ASSERT_TRUE(st.converged);
+  for (index_t c = 0; c < 4; ++c) {
+    EXPECT_LE(st.per_rhs_iterations[size_t(c)], st.iterations);
+    EXPECT_GT(st.per_rhs_iterations[size_t(c)], 0);
+    // history = initial residual + one entry per recorded iteration; the
+    // converging iteration is recorded but not counted in per_rhs.
+    EXPECT_EQ(st.history[size_t(c)].size(), size_t(st.per_rhs_iterations[size_t(c)]) + 2);
+  }
+}
+
+}  // namespace
+}  // namespace bkr

@@ -1,0 +1,160 @@
+// Unit tests: dense nonsymmetric eigensolvers (the GCRO-DR deflation
+// kernel).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <complex>
+
+#include "la/eig.hpp"
+#include "test_helpers.hpp"
+
+namespace bkr {
+namespace {
+
+using testing::random_matrix;
+using cplx = std::complex<double>;
+
+// ||A z - lambda z|| for every eigenpair.
+double eigen_residual(const DenseMatrix<cplx>& a, const EigDecomposition& e) {
+  const index_t n = a.rows();
+  double worst = 0;
+  for (index_t j = 0; j < n; ++j) {
+    double r = 0;
+    for (index_t i = 0; i < n; ++i) {
+      cplx s = 0;
+      for (index_t l = 0; l < n; ++l) s += a(i, l) * e.vectors(l, j);
+      s -= e.values[size_t(j)] * e.vectors(i, j);
+      r += std::norm(s);
+    }
+    worst = std::max(worst, std::sqrt(r));
+  }
+  return worst;
+}
+
+TEST(Eig, DiagonalMatrix) {
+  DenseMatrix<cplx> a(4, 4);
+  a(0, 0) = {3, 0};
+  a(1, 1) = {1, 2};
+  a(2, 2) = {-5, 0};
+  a(3, 3) = {0, 1};
+  const auto e = eig_general(copy_of(a));
+  std::vector<double> mags;
+  for (const auto& v : e.values) mags.push_back(std::abs(v));
+  std::sort(mags.begin(), mags.end());
+  EXPECT_NEAR(mags[0], 1.0, 1e-10);
+  EXPECT_NEAR(mags[1], std::sqrt(5.0), 1e-10);
+  EXPECT_NEAR(mags[2], 3.0, 1e-10);
+  EXPECT_NEAR(mags[3], 5.0, 1e-10);
+}
+
+TEST(Eig, RandomComplexResiduals) {
+  const auto a = random_matrix<cplx>(20, 20, 41);
+  const auto e = eig_general(copy_of(a));
+  EXPECT_LT(eigen_residual(a, e), 1e-9);
+}
+
+TEST(Eig, RandomRealPromotedResiduals) {
+  const auto ar = random_matrix<double>(15, 15, 42);
+  DenseMatrix<cplx> a(15, 15);
+  for (index_t j = 0; j < 15; ++j)
+    for (index_t i = 0; i < 15; ++i) a(i, j) = ar(i, j);
+  const auto e = eig_general(copy_of(a));
+  EXPECT_LT(eigen_residual(a, e), 1e-9);
+  // Eigenvalues of a real matrix come in conjugate pairs.
+  for (const auto& v : e.values) {
+    if (std::abs(v.imag()) < 1e-9) continue;
+    bool found = false;
+    for (const auto& w : e.values)
+      if (std::abs(w - std::conj(v)) < 1e-7 * std::max(1.0, std::abs(v))) found = true;
+    EXPECT_TRUE(found) << "missing conjugate of " << v;
+  }
+}
+
+TEST(Eig, GeneralizedReducesToStandardWithIdentityW) {
+  const auto a = random_matrix<cplx>(12, 12, 43);
+  const auto w = DenseMatrix<cplx>::identity(12);
+  const auto e1 = eig_generalized(a, w);
+  const auto e2 = eig_general(copy_of(a));
+  auto sorted = [](std::vector<cplx> v) {
+    std::sort(v.begin(), v.end(), [](cplx x, cplx y) {
+      return std::abs(x) != std::abs(y) ? std::abs(x) < std::abs(y) : x.real() < y.real();
+    });
+    return v;
+  };
+  const auto v1 = sorted(e1.values), v2 = sorted(e2.values);
+  for (size_t i = 0; i < v1.size(); ++i) EXPECT_LT(std::abs(v1[i] - v2[i]), 1e-8);
+}
+
+TEST(Eig, GeneralizedPencilResiduals) {
+  const auto t = random_matrix<cplx>(10, 10, 44);
+  auto w = random_matrix<cplx>(10, 10, 45);
+  for (index_t i = 0; i < 10; ++i) w(i, i) += cplx(5, 0);
+  const auto e = eig_generalized(t, w);
+  // Check T z = theta W z.
+  for (index_t j = 0; j < 10; ++j) {
+    double r = 0;
+    for (index_t i = 0; i < 10; ++i) {
+      cplx s = 0;
+      for (index_t l = 0; l < 10; ++l)
+        s += t(i, l) * e.vectors(l, j) - e.values[size_t(j)] * w(i, l) * e.vectors(l, j);
+      r += std::norm(s);
+    }
+    EXPECT_LT(std::sqrt(r), 1e-8);
+  }
+}
+
+TEST(Eig, SmallestVectorsComplexSpanInvariant) {
+  // Matrix with known smallest eigenvalues: diagonal + small coupling.
+  DenseMatrix<cplx> a(8, 8);
+  for (index_t i = 0; i < 8; ++i) a(i, i) = cplx(double(i + 1), 0.3 * double(i));
+  a(0, 7) = {0.01, 0};
+  const auto p = smallest_eig_vectors<cplx>(a, 3);
+  EXPECT_EQ(p.rows(), 8);
+  EXPECT_EQ(p.cols(), 3);
+  // The span should be dominated by coordinates 0..2 (smallest diagonal).
+  for (index_t j = 0; j < 3; ++j) {
+    double low = 0, high = 0;
+    for (index_t i = 0; i < 8; ++i) {
+      const double v = std::norm(p(i, j));
+      (i < 3 ? low : high) += v;
+    }
+    EXPECT_GT(low, 100 * high);
+  }
+}
+
+TEST(Eig, SmallestVectorsRealConjugatePairSpan) {
+  // 2x2 rotation block (complex pair, |lambda| = 1) + large real modes.
+  DenseMatrix<double> a(6, 6);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = -1.0;
+  a(1, 1) = 0.0;
+  for (index_t i = 2; i < 6; ++i) a(i, i) = 10.0 + double(i);
+  const auto p = smallest_eig_vectors<double>(a, 2);
+  EXPECT_EQ(p.cols(), 2);
+  // The real span of the conjugate pair is e_0, e_1.
+  for (index_t j = 0; j < 2; ++j) {
+    double low = 0, high = 0;
+    for (index_t i = 0; i < 6; ++i) {
+      const double v = p(i, j) * p(i, j);
+      (i < 2 ? low : high) += v;
+    }
+    EXPECT_GT(low, 1e6 * high);
+  }
+}
+
+TEST(Eig, UpperTriangularEigenvaluesAreDiagonal) {
+  auto a = random_matrix<cplx>(9, 9, 46);
+  for (index_t j = 0; j < 9; ++j)
+    for (index_t i = j + 1; i < 9; ++i) a(i, j) = 0;
+  const auto e = eig_general(copy_of(a));
+  std::vector<double> expected, got;
+  for (index_t i = 0; i < 9; ++i) expected.push_back(std::abs(a(i, i)));
+  for (const auto& v : e.values) got.push_back(std::abs(v));
+  std::sort(expected.begin(), expected.end());
+  std::sort(got.begin(), got.end());
+  for (size_t i = 0; i < 9; ++i) EXPECT_NEAR(got[i], expected[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace bkr

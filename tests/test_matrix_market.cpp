@@ -1,0 +1,98 @@
+// Tests: Matrix Market I/O round trips and error handling.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstdio>
+#include <fstream>
+
+#include "fem/maxwell3d.hpp"
+#include "fem/poisson2d.hpp"
+#include "sparse/matrix_market.hpp"
+#include "test_helpers.hpp"
+
+namespace bkr {
+namespace {
+
+using cplx = std::complex<double>;
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(MatrixMarket, RealRoundTrip) {
+  const auto a = poisson2d(7, 6);
+  const auto path = temp_path("poisson.mtx");
+  write_matrix_market(path, a);
+  const auto back = read_matrix_market<double>(path);
+  ASSERT_EQ(back.rows(), a.rows());
+  ASSERT_EQ(back.nnz(), a.nnz());
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t l = a.rowptr()[size_t(i)]; l < a.rowptr()[size_t(i) + 1]; ++l)
+      EXPECT_DOUBLE_EQ(back.at(i, a.colind()[size_t(l)]), a.values()[size_t(l)]);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixMarket, ComplexRoundTrip) {
+  MaxwellConfig cfg;
+  cfg.n = 4;
+  cfg.loss = 0.3;
+  const auto prob = maxwell3d(cfg);
+  const auto path = temp_path("maxwell.mtx");
+  write_matrix_market(path, prob.matrix);
+  const auto back = read_matrix_market<cplx>(path);
+  ASSERT_EQ(back.rows(), prob.matrix.rows());
+  ASSERT_EQ(back.nnz(), prob.matrix.nnz());
+  double diff = 0;
+  for (index_t l = 0; l < back.nnz(); ++l)
+    diff = std::max(diff, std::abs(back.values()[size_t(l)] - prob.matrix.values()[size_t(l)]));
+  EXPECT_LT(diff, 1e-14);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixMarket, SymmetricExpansion) {
+  const auto path = temp_path("sym.mtx");
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real symmetric\n";
+    out << "% a comment line\n";
+    out << "3 3 4\n";
+    out << "1 1 2.0\n2 2 2.0\n3 3 2.0\n2 1 -1.0\n";
+  }
+  const auto a = read_matrix_market<double>(path);
+  EXPECT_EQ(a.nnz(), 5);  // the off-diagonal is mirrored
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), -1.0);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixMarket, RejectsGarbage) {
+  const auto path = temp_path("bad.mtx");
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n";
+  }
+  EXPECT_THROW(read_matrix_market<double>(path), std::runtime_error);
+  EXPECT_THROW(read_matrix_market<double>(temp_path("missing.mtx")), std::runtime_error);
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n";
+  }
+  EXPECT_THROW(read_matrix_market<double>(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixMarket, ComplexFileIntoRealMatrixFails) {
+  const auto path = temp_path("cplx.mtx");
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 2.0\n";
+  }
+  EXPECT_THROW(read_matrix_market<double>(path), std::runtime_error);
+  const auto z = read_matrix_market<cplx>(path);
+  EXPECT_EQ(z.nnz(), 1);
+  EXPECT_LT(std::abs(z.at(0, 0) - cplx(1.0, 2.0)), 1e-15);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bkr

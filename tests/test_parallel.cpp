@@ -1,0 +1,87 @@
+// Unit tests: thread pool and communication model.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "parallel/comm_model.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace bkr {
+namespace {
+
+TEST(ThreadPool, RunsEveryIterationExactlyOnce) {
+  ThreadPool pool(4);
+  const index_t n = 1000;
+  std::vector<std::atomic<int>> hits(static_cast<size_t>(n));
+  pool.parallel_for(n, [&](index_t i) { hits[size_t(i)].fetch_add(1); });
+  for (index_t i = 0; i < n; ++i) EXPECT_EQ(hits[size_t(i)].load(), 1);
+}
+
+TEST(ThreadPool, HandlesEmptyAndSingleIteration) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, [&](index_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  pool.parallel_for(1, [&](index_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, SerialPoolWorks) {
+  ThreadPool pool(1);
+  index_t sum = 0;  // no atomics needed: serial execution
+  pool.parallel_for(100, [&](index_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 20; ++round)
+    pool.parallel_for(50, [&](index_t i) { total.fetch_add(i); });
+  EXPECT_EQ(total.load(), 20 * 1225);
+}
+
+TEST(ThreadPool, MoreIterationsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.parallel_for(3, [&](index_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(CommModel, CountsEvents) {
+  CommModel comm;
+  comm.reduction(16);
+  comm.reduction(8);
+  comm.halo_exchange(1024);
+  EXPECT_EQ(comm.reductions(), 2);
+  EXPECT_EQ(comm.reduction_bytes(), 24);
+  EXPECT_EQ(comm.halo_exchanges(), 1);
+  EXPECT_EQ(comm.halo_bytes(), 1024);
+  comm.reset();
+  EXPECT_EQ(comm.reductions(), 0);
+  EXPECT_EQ(comm.halo_bytes(), 0);
+}
+
+TEST(CommModel, ModeledTimeScalesWithLogP) {
+  CommModel comm;
+  for (int i = 0; i < 100; ++i) comm.reduction(8);
+  const double t2 = comm.modeled_seconds(2);
+  const double t1024 = comm.modeled_seconds(1024);
+  EXPECT_GT(t1024, t2);
+  // log2(1024) = 10 hops vs 1 hop.
+  EXPECT_NEAR(t1024 / t2, 10.0, 0.5);
+  EXPECT_DOUBLE_EQ(comm.modeled_seconds(1), 0.0);
+}
+
+TEST(CommModel, ReductionsDominateAtScale) {
+  // The paper's scalability argument: reductions pay ceil(log2 P) latency
+  // hops, halo exchanges only one.
+  CommModel reductions_only, halos_only;
+  for (int i = 0; i < 50; ++i) reductions_only.reduction(8);
+  for (int i = 0; i < 50; ++i) halos_only.halo_exchange(8);
+  EXPECT_GT(reductions_only.modeled_seconds(4096), 5.0 * halos_only.modeled_seconds(4096));
+}
+
+}  // namespace
+}  // namespace bkr

@@ -1,0 +1,248 @@
+// Tests: CG, LGMRES, pseudo-block GCRO-DR, and cross-method comparisons.
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "core/cg.hpp"
+#include "core/gcrodr.hpp"
+#include "core/gmres.hpp"
+#include "core/lgmres.hpp"
+#include "fem/poisson2d.hpp"
+#include "precond/jacobi.hpp"
+#include "test_helpers.hpp"
+
+namespace bkr {
+namespace {
+
+using testing::random_matrix;
+
+TEST(Cg, SolvesSpdSystem) {
+  const auto a = poisson2d(15, 15);
+  const auto b = poisson2d_rhs(15, 15, 0.1);
+  std::vector<double> x(b.size(), 0.0);
+  SolverOptions opts;
+  opts.tol = 1e-10;
+  opts.max_iterations = 1000;
+  const auto st = cg<double>(CsrOperator<double>(a), nullptr, b, x, opts);
+  EXPECT_TRUE(st.converged);
+  EXPECT_LT(testing::relative_residual(a, x, b), 1e-9);
+}
+
+TEST(Cg, JacobiPreconditionedConvergesFaster) {
+  // A badly scaled SPD matrix: Jacobi helps.
+  const auto base = poisson2d(15, 15);
+  const index_t n = base.rows();
+  CooBuilder<double> builder(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    const double s = (i % 3 == 0) ? 100.0 : 1.0;
+    for (index_t l = base.rowptr()[size_t(i)]; l < base.rowptr()[size_t(i) + 1]; ++l) {
+      const index_t j = base.colind()[size_t(l)];
+      const double sj = (j % 3 == 0) ? 100.0 : 1.0;
+      builder.add(i, j, std::sqrt(s) * base.values()[size_t(l)] * std::sqrt(sj));
+    }
+  }
+  const auto a = builder.build();
+  Rng rng(95);
+  std::vector<double> b(static_cast<size_t>(n));
+  for (auto& v : b) v = rng.scalar<double>();
+  SolverOptions opts;
+  opts.tol = 1e-8;
+  opts.max_iterations = 3000;
+  std::vector<double> x1(b.size(), 0.0), x2(b.size(), 0.0);
+  JacobiPreconditioner<double> m(a);
+  const auto splain = cg<double>(CsrOperator<double>(a), nullptr, b, x1, opts);
+  const auto sprec = cg<double>(CsrOperator<double>(a), &m, b, x2, opts);
+  ASSERT_TRUE(splain.converged);
+  ASSERT_TRUE(sprec.converged);
+  EXPECT_LT(sprec.iterations, splain.iterations);
+}
+
+TEST(Cg, BlockLanesIndependent) {
+  const auto a = poisson2d(10, 10);
+  const index_t n = a.rows();
+  const auto b = random_matrix<double>(n, 3, 96);
+  DenseMatrix<double> x(n, 3);
+  SolverOptions opts;
+  opts.tol = 1e-9;
+  opts.max_iterations = 1000;
+  const auto st = cg<double>(CsrOperator<double>(a), nullptr, b.view(), x.view(), opts);
+  ASSERT_TRUE(st.converged);
+  DenseMatrix<double> check(n, 3);
+  a.spmm(x.view(), check.view());
+  EXPECT_LT(testing::diff_fro<double>(check.view(), b.view()), 1e-7);
+}
+
+TEST(Cg, FixedIterationSmootherMode) {
+  const auto a = poisson2d(8, 8);
+  std::vector<double> b(64, 1.0), x(64, 0.0);
+  SolverOptions opts;
+  opts.tol = 0.0;  // never converge: run exactly max_iterations
+  opts.max_iterations = 4;
+  const auto st = cg<double>(CsrOperator<double>(a), nullptr, b, x, opts);
+  EXPECT_EQ(st.iterations, 4);
+  EXPECT_FALSE(st.converged);
+}
+
+TEST(Lgmres, SolvesPoisson) {
+  const auto a = poisson2d(16, 16);
+  const auto b = poisson2d_rhs(16, 16, 10.0);
+  std::vector<double> x(b.size(), 0.0);
+  SolverOptions opts;
+  opts.restart = 30;
+  opts.recycle = 10;  // augmentation count
+  opts.tol = 1e-9;
+  opts.max_iterations = 5000;
+  const auto st = lgmres<double>(CsrOperator<double>(a), nullptr, b, x, opts);
+  EXPECT_TRUE(st.converged);
+  EXPECT_LT(testing::relative_residual(a, x, b), 1e-8);
+}
+
+TEST(Lgmres, AugmentationBeatsPlainRestartedGmres) {
+  // The motivating property of LGMRES: with small restarts, augmentation
+  // with error approximations accelerates convergence.
+  const auto a = poisson2d(24, 24);
+  const auto b = poisson2d_rhs(24, 24, 0.001);
+  SolverOptions opts;
+  opts.restart = 12;
+  opts.tol = 1e-8;
+  opts.max_iterations = 20000;
+  std::vector<double> x1(b.size(), 0.0), x2(b.size(), 0.0);
+  const auto plain = gmres<double>(CsrOperator<double>(a), nullptr, b, x1, opts);
+  opts.recycle = 4;
+  const auto loose = lgmres<double>(CsrOperator<double>(a), nullptr, b, x2, opts);
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(loose.converged);
+  EXPECT_LT(loose.iterations, plain.iterations);
+}
+
+TEST(Lgmres, GcroDrBeatsLgmresOnSequences) {
+  // Section IV-C's message: LGMRES cannot recycle across systems,
+  // GCRO-DR can — over a sequence, GCRO-DR needs fewer total iterations.
+  const auto a = poisson2d(20, 20);
+  const index_t n = a.rows();
+  CsrOperator<double> op(a);
+  SolverOptions lopts;
+  lopts.restart = 15;
+  lopts.recycle = 5;
+  lopts.tol = 1e-8;
+  lopts.max_iterations = 20000;
+  auto gopts = lopts;
+  gopts.same_system = true;
+  GcroDr<double> recycler(gopts);
+  index_t lg_total = 0, gc_total = 0;
+  for (const double nu : kPoissonNus) {
+    const auto b = poisson2d_rhs(20, 20, nu);
+    std::vector<double> xl(b.size(), 0.0), xg(b.size(), 0.0);
+    const auto sl = lgmres<double>(op, nullptr, b, xl, lopts);
+    ASSERT_TRUE(sl.converged);
+    lg_total += sl.iterations;
+    const auto sg = recycler.solve(op, nullptr, MatrixView<const double>(b.data(), n, 1, n),
+                                   MatrixView<double>(xg.data(), n, 1, n));
+    ASSERT_TRUE(sg.converged);
+    gc_total += sg.iterations;
+  }
+  EXPECT_LT(gc_total, lg_total);
+}
+
+TEST(PseudoGcroDr, SolvesMultipleRhs) {
+  const auto a = poisson2d(12, 12);
+  const index_t n = a.rows();
+  CsrOperator<double> op(a);
+  DenseMatrix<double> b(n, 4);
+  int c = 0;
+  for (const double nu : kPoissonNus) {
+    const auto f = poisson2d_rhs(12, 12, nu);
+    std::copy(f.begin(), f.end(), b.col(c++));
+  }
+  DenseMatrix<double> x(n, 4);
+  SolverOptions opts;
+  opts.restart = 20;
+  opts.recycle = 6;
+  opts.tol = 1e-9;
+  opts.max_iterations = 2000;
+  PseudoGcroDr<double> solver(opts);
+  const auto st = solver.solve(op, nullptr, b.view(), x.view());
+  EXPECT_TRUE(st.converged);
+  DenseMatrix<double> check(n, 4);
+  a.spmm(x.view(), check.view());
+  EXPECT_LT(testing::diff_fro<double>(check.view(), b.view()), 1e-6);
+  EXPECT_TRUE(solver.has_recycled_space());
+}
+
+TEST(PseudoGcroDr, RecyclingHelpsSecondSolve) {
+  const auto a = poisson2d(16, 16);
+  const index_t n = a.rows();
+  CsrOperator<double> op(a);
+  SolverOptions opts;
+  opts.restart = 20;
+  opts.recycle = 6;
+  opts.tol = 1e-8;
+  opts.same_system = true;
+  opts.max_iterations = 5000;
+  PseudoGcroDr<double> solver(opts);
+  const auto b1 = random_matrix<double>(n, 3, 97);
+  const auto b2 = random_matrix<double>(n, 3, 98);
+  DenseMatrix<double> x1(n, 3), x2(n, 3);
+  const auto s1 = solver.solve(op, nullptr, b1.view(), x1.view());
+  const auto s2 = solver.solve(op, nullptr, b2.view(), x2.view());
+  ASSERT_TRUE(s1.converged);
+  ASSERT_TRUE(s2.converged);
+  // The recycled solve must beat restarted GMRES with the same restart
+  // (the paper's comparison); a fresh GCRO-DR may do better still since
+  // `same_system` freezes the deflation space (section III-B trade-off).
+  DenseMatrix<double> xg(n, 3);
+  const auto sg = pseudo_block_gmres<double>(op, nullptr, b2.view(), xg.view(), opts);
+  ASSERT_TRUE(sg.converged);
+  EXPECT_LT(s2.iterations, sg.iterations);
+}
+
+TEST(PseudoGcroDr, MatchesSingleLaneGcroDr) {
+  // With p = 1, pseudo-block GCRO-DR and GCRO-DR are the same algorithm.
+  const auto a = poisson2d(10, 10);
+  const index_t n = a.rows();
+  CsrOperator<double> op(a);
+  const auto b = poisson2d_rhs(10, 10, 0.1);
+  SolverOptions opts;
+  opts.restart = 12;
+  opts.recycle = 4;
+  opts.tol = 1e-9;
+  std::vector<double> x1(b.size(), 0.0), x2(b.size(), 0.0);
+  GcroDr<double> block(opts);
+  PseudoGcroDr<double> pseudo(opts);
+  const auto s1 = block.solve(op, nullptr, MatrixView<const double>(b.data(), n, 1, n),
+                              MatrixView<double>(x1.data(), n, 1, n));
+  const auto s2 = pseudo.solve(op, nullptr, MatrixView<const double>(b.data(), n, 1, n),
+                               MatrixView<double>(x2.data(), n, 1, n));
+  ASSERT_TRUE(s1.converged);
+  ASSERT_TRUE(s2.converged);
+  EXPECT_EQ(s1.iterations, s2.iterations);
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(x1[size_t(i)], x2[size_t(i)], 1e-7);
+}
+
+TEST(PseudoGcroDr, FusedReductionsBeatSequentialGcroDr) {
+  const auto a = poisson2d(12, 12);
+  const index_t n = a.rows();
+  CsrOperator<double> op(a);
+  const auto b = random_matrix<double>(n, 4, 99);
+  SolverOptions opts;
+  opts.restart = 15;
+  opts.recycle = 5;
+  opts.tol = 1e-8;
+  PseudoGcroDr<double> fused(opts);
+  DenseMatrix<double> x(n, 4);
+  const auto sf = fused.solve(op, nullptr, b.view(), x.view());
+  ASSERT_TRUE(sf.converged);
+  std::int64_t sequential = 0;
+  for (index_t c = 0; c < 4; ++c) {
+    GcroDr<double> single(opts);
+    std::vector<double> bc(b.col(c), b.col(c) + n), xc(static_cast<size_t>(n), 0.0);
+    const auto st = single.solve(op, nullptr, MatrixView<const double>(bc.data(), n, 1, n),
+                                 MatrixView<double>(xc.data(), n, 1, n));
+    ASSERT_TRUE(st.converged);
+    sequential += st.reductions;
+  }
+  EXPECT_LT(sf.reductions, sequential);
+}
+
+}  // namespace
+}  // namespace bkr

@@ -1,0 +1,229 @@
+// Unit tests: CSR matrices, sparse products, graphs, partitioning.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <numeric>
+
+#include "fem/poisson2d.hpp"
+#include "sparse/assembler.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/graph.hpp"
+#include "sparse/partition.hpp"
+#include "test_helpers.hpp"
+
+namespace bkr {
+namespace {
+
+using testing::random_matrix;
+using cplx = std::complex<double>;
+
+TEST(Csr, CooBuilderSumsDuplicates) {
+  CooBuilder<double> b(3, 3);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, 2.0);
+  b.add(1, 2, -1.0);
+  b.add(2, 1, 4.0);
+  const auto a = b.build();
+  EXPECT_EQ(a.nnz(), 3);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 2), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 1), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 2), 0.0);
+}
+
+TEST(Csr, SpmvMatchesDense) {
+  const auto a = poisson2d(5, 4);
+  const auto d = a.to_dense();
+  std::vector<double> x(20), y(20), yd(20);
+  std::iota(x.begin(), x.end(), 1.0);
+  a.spmv(x.data(), y.data());
+  gemv<double>(Trans::N, 1.0, d.view(), x.data(), 0.0, yd.data());
+  for (index_t i = 0; i < 20; ++i) EXPECT_NEAR(y[size_t(i)], yd[size_t(i)], 1e-13);
+}
+
+TEST(Csr, SpmmMatchesColumnwiseSpmv) {
+  const auto a = poisson2d(6, 6);
+  const auto x = random_matrix<double>(36, 5, 51);
+  DenseMatrix<double> y(36, 5), yc(36, 5);
+  a.spmm(x.view(), y.view());
+  for (index_t c = 0; c < 5; ++c) a.spmv(x.col(c), yc.col(c));
+  EXPECT_LT(testing::diff_fro<double>(y.view(), yc.view()), 1e-13);
+}
+
+TEST(Csr, TransposeInvolution) {
+  CooBuilder<double> b(3, 4);
+  b.add(0, 1, 2.0);
+  b.add(2, 3, -1.0);
+  b.add(1, 0, 5.0);
+  const auto a = b.build();
+  const auto att = transpose(transpose(a));
+  ASSERT_EQ(att.rows(), a.rows());
+  for (index_t i = 0; i < 3; ++i)
+    for (index_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(att.at(i, j), a.at(i, j));
+}
+
+TEST(Csr, MultiplyMatchesDense) {
+  const auto a = poisson2d(4, 3);  // 12 x 12
+  const auto b = transpose(a);
+  const auto c = multiply(a, b);
+  const auto cd = c.to_dense();
+  DenseMatrix<double> expected(12, 12);
+  gemm<double>(Trans::N, Trans::N, 1.0, a.to_dense().view(), b.to_dense().view(), 0.0,
+               expected.view());
+  EXPECT_LT(testing::diff_fro<double>(cd.view(), expected.view()), 1e-12);
+}
+
+TEST(Csr, TripleProductGalerkin) {
+  const auto a = poisson2d(4, 4);  // 16 x 16
+  // Simple aggregation prolongator: 2 coarse points.
+  CooBuilder<double> pb(16, 2);
+  for (index_t i = 0; i < 16; ++i) pb.add(i, i < 8 ? 0 : 1, 1.0);
+  const auto p = pb.build();
+  const auto ac = triple_product(p, a);
+  EXPECT_EQ(ac.rows(), 2);
+  DenseMatrix<double> expected(2, 2);
+  const auto pd = p.to_dense();
+  DenseMatrix<double> ap(16, 2);
+  gemm<double>(Trans::N, Trans::N, 1.0, a.to_dense().view(), pd.view(), 0.0, ap.view());
+  gemm<double>(Trans::C, Trans::N, 1.0, pd.view(), ap.view(), 0.0, expected.view());
+  EXPECT_LT(testing::diff_fro<double>(ac.to_dense().view(), expected.view()), 1e-12);
+}
+
+TEST(Csr, ExtractSubmatrixDropsOutside) {
+  const auto a = poisson2d(4, 4);
+  const std::vector<index_t> rows = {0, 1, 4, 5};
+  const auto sub = extract_submatrix(a, rows);
+  EXPECT_EQ(sub.rows(), 4);
+  EXPECT_DOUBLE_EQ(sub.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(sub.at(0, 1), -1.0);  // 0-1 neighbours
+  EXPECT_DOUBLE_EQ(sub.at(0, 2), -1.0);  // 0-4 neighbours
+  EXPECT_DOUBLE_EQ(sub.at(1, 2), 0.0);   // 1-4 not neighbours
+}
+
+TEST(Graph, AdjacencySymmetric) {
+  const auto a = poisson2d(3, 3);
+  const auto g = adjacency_of(a);
+  EXPECT_EQ(g.n, 9);
+  // Corner has 2 neighbours, centre has 4.
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(4), 4);
+}
+
+TEST(Graph, RcmIsAPermutation) {
+  const auto a = poisson2d(7, 5);
+  const auto g = adjacency_of(a);
+  const auto perm = rcm_ordering(g);
+  ASSERT_EQ(index_t(perm.size()), g.n);
+  std::vector<char> seen(perm.size(), 0);
+  for (const auto v : perm) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, g.n);
+    EXPECT_FALSE(seen[size_t(v)]);
+    seen[size_t(v)] = 1;
+  }
+}
+
+TEST(Graph, RcmReducesBandwidth) {
+  // A graph ordered badly on purpose: path graph with scrambled ids.
+  const index_t n = 64;
+  CooBuilder<double> b(n, n);
+  auto scramble = [n](index_t i) { return (i * 37) % n; };
+  for (index_t i = 0; i < n; ++i) b.add(scramble(i), scramble(i), 2.0);
+  for (index_t i = 0; i + 1 < n; ++i) {
+    b.add(scramble(i), scramble(i + 1), -1.0);
+    b.add(scramble(i + 1), scramble(i), -1.0);
+  }
+  const auto a = b.build();
+  const auto g = adjacency_of(a);
+  const auto perm = rcm_ordering(g);
+  const auto pa = permute_symmetric(a, perm);
+  index_t band = 0;
+  for (index_t i = 0; i < n; ++i)
+    for (index_t l = pa.rowptr()[size_t(i)]; l < pa.rowptr()[size_t(i) + 1]; ++l)
+      band = std::max(band, std::abs(pa.colind()[size_t(l)] - i));
+  EXPECT_LE(band, 2);  // a path graph has RCM bandwidth 1 (2 with ties)
+}
+
+TEST(Graph, PermuteSymmetricPreservesSpectrumProxy) {
+  const auto a = poisson2d(4, 4);
+  const auto g = adjacency_of(a);
+  const auto perm = rcm_ordering(g);
+  const auto pa = permute_symmetric(a, perm);
+  // Frobenius norm and diagonal multiset are permutation invariants.
+  double na = 0, npa = 0;
+  for (const auto v : a.values()) na += v * v;
+  for (const auto v : pa.values()) npa += v * v;
+  EXPECT_NEAR(na, npa, 1e-10);
+}
+
+TEST(Partition, GreedyCoversAllVertices) {
+  const auto a = poisson2d(12, 12);
+  const auto g = adjacency_of(a);
+  const auto part = partition_greedy(g, 7);
+  std::vector<index_t> count(7, 0);
+  for (index_t v = 0; v < g.n; ++v) {
+    ASSERT_GE(part.owner[size_t(v)], 0);
+    ASSERT_LT(part.owner[size_t(v)], 7);
+    ++count[size_t(part.owner[size_t(v)])];
+  }
+  index_t total = 0;
+  for (index_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(index_t(part.interior[size_t(i)].size()), count[size_t(i)]);
+    total += count[size_t(i)];
+    EXPECT_GT(count[size_t(i)], 0);  // no empty part on a connected grid
+  }
+  EXPECT_EQ(total, g.n);
+}
+
+TEST(Partition, GreedyRoughlyBalanced) {
+  const auto a = poisson2d(20, 20);
+  const auto g = adjacency_of(a);
+  const auto part = partition_greedy(g, 8);
+  for (index_t i = 0; i < 8; ++i) {
+    const auto size = index_t(part.interior[size_t(i)].size());
+    EXPECT_GE(size, 25);   // 400/8 = 50 target
+    EXPECT_LE(size, 100);
+  }
+}
+
+TEST(Partition, OverlapGrowsByLayers) {
+  const auto a = poisson2d(10, 10);
+  const auto g = adjacency_of(a);
+  const std::vector<index_t> seed = {0};  // corner vertex
+  const auto d0 = grow_overlap(g, seed, 0);
+  const auto d1 = grow_overlap(g, seed, 1);
+  const auto d2 = grow_overlap(g, seed, 2);
+  EXPECT_EQ(d0.size(), 1u);
+  EXPECT_EQ(d1.size(), 3u);  // corner + 2 neighbours
+  EXPECT_EQ(d2.size(), 6u);  // + 3 second-layer vertices
+}
+
+TEST(Partition, PartitionOfUnitySumsToOne) {
+  const auto a = poisson2d(9, 9);
+  const auto g = adjacency_of(a);
+  for (const auto kind : {PouKind::Boolean, PouKind::Multiplicity}) {
+    const auto d = make_decomposition(g, 4, 2, kind);
+    std::vector<double> sum(size_t(g.n), 0.0);
+    for (size_t i = 0; i < d.rows.size(); ++i)
+      for (size_t l = 0; l < d.rows[i].size(); ++l) sum[size_t(d.rows[i][l])] += d.pou[i][l];
+    for (index_t v = 0; v < g.n; ++v) EXPECT_NEAR(sum[size_t(v)], 1.0, 1e-12);
+  }
+}
+
+TEST(Assembler, PatternScatterMatchesCoo) {
+  std::vector<std::vector<index_t>> pattern = {{0, 1}, {0, 1, 2}, {1, 2}};
+  PatternAssembler<double> pa(3, 3, std::move(pattern));
+  pa.add(0, 0, 1.0);
+  pa.add(0, 1, 2.0);
+  pa.add(1, 1, 3.0);
+  pa.add(1, 1, 1.0);
+  pa.add(2, 2, 5.0);
+  const auto a = std::move(pa).build();
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 2), 5.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 0.0);  // in pattern but never written
+}
+
+}  // namespace
+}  // namespace bkr
