@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_artifact_smoke.dir/bench_artifact_smoke.cpp.o"
+  "CMakeFiles/bench_artifact_smoke.dir/bench_artifact_smoke.cpp.o.d"
+  "bench_artifact_smoke"
+  "bench_artifact_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_artifact_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

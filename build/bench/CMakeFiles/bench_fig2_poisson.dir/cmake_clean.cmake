@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_poisson.dir/bench_fig2_poisson.cpp.o"
+  "CMakeFiles/bench_fig2_poisson.dir/bench_fig2_poisson.cpp.o.d"
+  "bench_fig2_poisson"
+  "bench_fig2_poisson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_poisson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_maxwell_precond.dir/bench_fig4_maxwell_precond.cpp.o"
+  "CMakeFiles/bench_fig4_maxwell_precond.dir/bench_fig4_maxwell_precond.cpp.o.d"
+  "bench_fig4_maxwell_precond"
+  "bench_fig4_maxwell_precond.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_maxwell_precond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

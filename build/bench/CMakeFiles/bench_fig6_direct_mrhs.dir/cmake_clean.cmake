@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_direct_mrhs.dir/bench_fig6_direct_mrhs.cpp.o"
+  "CMakeFiles/bench_fig6_direct_mrhs.dir/bench_fig6_direct_mrhs.cpp.o.d"
+  "bench_fig6_direct_mrhs"
+  "bench_fig6_direct_mrhs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_direct_mrhs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_heat_implicit.dir/heat_implicit.cpp.o"
+  "CMakeFiles/example_heat_implicit.dir/heat_implicit.cpp.o.d"
+  "example_heat_implicit"
+  "example_heat_implicit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_heat_implicit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

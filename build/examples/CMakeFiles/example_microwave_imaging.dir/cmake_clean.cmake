@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_microwave_imaging.dir/microwave_imaging.cpp.o"
+  "CMakeFiles/example_microwave_imaging.dir/microwave_imaging.cpp.o.d"
+  "example_microwave_imaging"
+  "example_microwave_imaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_microwave_imaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

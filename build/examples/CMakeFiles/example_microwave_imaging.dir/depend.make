@@ -1,0 +1,2 @@
+# Empty dependencies file for example_microwave_imaging.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_shape_optimization.dir/shape_optimization.cpp.o"
+  "CMakeFiles/example_shape_optimization.dir/shape_optimization.cpp.o.d"
+  "example_shape_optimization"
+  "example_shape_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_shape_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_solver_driver.dir/solver_driver.cpp.o"
+  "CMakeFiles/example_solver_driver.dir/solver_driver.cpp.o.d"
+  "example_solver_driver"
+  "example_solver_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_solver_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capi/bkr_c.cpp" "src/CMakeFiles/bkr.dir/capi/bkr_c.cpp.o" "gcc" "src/CMakeFiles/bkr.dir/capi/bkr_c.cpp.o.d"
+  "/root/repo/src/core/block_cg.cpp" "src/CMakeFiles/bkr.dir/core/block_cg.cpp.o" "gcc" "src/CMakeFiles/bkr.dir/core/block_cg.cpp.o.d"
+  "/root/repo/src/core/cg.cpp" "src/CMakeFiles/bkr.dir/core/cg.cpp.o" "gcc" "src/CMakeFiles/bkr.dir/core/cg.cpp.o.d"
+  "/root/repo/src/core/gcrodr.cpp" "src/CMakeFiles/bkr.dir/core/gcrodr.cpp.o" "gcc" "src/CMakeFiles/bkr.dir/core/gcrodr.cpp.o.d"
+  "/root/repo/src/core/gmres.cpp" "src/CMakeFiles/bkr.dir/core/gmres.cpp.o" "gcc" "src/CMakeFiles/bkr.dir/core/gmres.cpp.o.d"
+  "/root/repo/src/core/lgmres.cpp" "src/CMakeFiles/bkr.dir/core/lgmres.cpp.o" "gcc" "src/CMakeFiles/bkr.dir/core/lgmres.cpp.o.d"
+  "/root/repo/src/core/pseudo_gcrodr.cpp" "src/CMakeFiles/bkr.dir/core/pseudo_gcrodr.cpp.o" "gcc" "src/CMakeFiles/bkr.dir/core/pseudo_gcrodr.cpp.o.d"
+  "/root/repo/src/direct/factor.cpp" "src/CMakeFiles/bkr.dir/direct/factor.cpp.o" "gcc" "src/CMakeFiles/bkr.dir/direct/factor.cpp.o.d"
+  "/root/repo/src/direct/ordering.cpp" "src/CMakeFiles/bkr.dir/direct/ordering.cpp.o" "gcc" "src/CMakeFiles/bkr.dir/direct/ordering.cpp.o.d"
+  "/root/repo/src/fem/elasticity3d.cpp" "src/CMakeFiles/bkr.dir/fem/elasticity3d.cpp.o" "gcc" "src/CMakeFiles/bkr.dir/fem/elasticity3d.cpp.o.d"
+  "/root/repo/src/fem/maxwell3d.cpp" "src/CMakeFiles/bkr.dir/fem/maxwell3d.cpp.o" "gcc" "src/CMakeFiles/bkr.dir/fem/maxwell3d.cpp.o.d"
+  "/root/repo/src/fem/poisson2d.cpp" "src/CMakeFiles/bkr.dir/fem/poisson2d.cpp.o" "gcc" "src/CMakeFiles/bkr.dir/fem/poisson2d.cpp.o.d"
+  "/root/repo/src/la/eig.cpp" "src/CMakeFiles/bkr.dir/la/eig.cpp.o" "gcc" "src/CMakeFiles/bkr.dir/la/eig.cpp.o.d"
+  "/root/repo/src/la/qr.cpp" "src/CMakeFiles/bkr.dir/la/qr.cpp.o" "gcc" "src/CMakeFiles/bkr.dir/la/qr.cpp.o.d"
+  "/root/repo/src/parallel/comm_model.cpp" "src/CMakeFiles/bkr.dir/parallel/comm_model.cpp.o" "gcc" "src/CMakeFiles/bkr.dir/parallel/comm_model.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/CMakeFiles/bkr.dir/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/bkr.dir/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/precond/amg.cpp" "src/CMakeFiles/bkr.dir/precond/amg.cpp.o" "gcc" "src/CMakeFiles/bkr.dir/precond/amg.cpp.o.d"
+  "/root/repo/src/precond/chebyshev.cpp" "src/CMakeFiles/bkr.dir/precond/chebyshev.cpp.o" "gcc" "src/CMakeFiles/bkr.dir/precond/chebyshev.cpp.o.d"
+  "/root/repo/src/precond/schwarz.cpp" "src/CMakeFiles/bkr.dir/precond/schwarz.cpp.o" "gcc" "src/CMakeFiles/bkr.dir/precond/schwarz.cpp.o.d"
+  "/root/repo/src/sparse/graph.cpp" "src/CMakeFiles/bkr.dir/sparse/graph.cpp.o" "gcc" "src/CMakeFiles/bkr.dir/sparse/graph.cpp.o.d"
+  "/root/repo/src/sparse/matrix_market.cpp" "src/CMakeFiles/bkr.dir/sparse/matrix_market.cpp.o" "gcc" "src/CMakeFiles/bkr.dir/sparse/matrix_market.cpp.o.d"
+  "/root/repo/src/sparse/partition.cpp" "src/CMakeFiles/bkr.dir/sparse/partition.cpp.o" "gcc" "src/CMakeFiles/bkr.dir/sparse/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for bkr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_block_cg.cpp" "tests/CMakeFiles/unit_tests.dir/test_block_cg.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_block_cg.cpp.o.d"
+  "/root/repo/tests/test_capi.cpp" "tests/CMakeFiles/unit_tests.dir/test_capi.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_capi.cpp.o.d"
+  "/root/repo/tests/test_complex_solvers.cpp" "tests/CMakeFiles/unit_tests.dir/test_complex_solvers.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_complex_solvers.cpp.o.d"
+  "/root/repo/tests/test_direct.cpp" "tests/CMakeFiles/unit_tests.dir/test_direct.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_direct.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/unit_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_fem.cpp" "tests/CMakeFiles/unit_tests.dir/test_fem.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_fem.cpp.o.d"
+  "/root/repo/tests/test_gcrodr.cpp" "tests/CMakeFiles/unit_tests.dir/test_gcrodr.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_gcrodr.cpp.o.d"
+  "/root/repo/tests/test_gmres.cpp" "tests/CMakeFiles/unit_tests.dir/test_gmres.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_gmres.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/unit_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_invariants.cpp" "tests/CMakeFiles/unit_tests.dir/test_invariants.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_invariants.cpp.o.d"
+  "/root/repo/tests/test_la_dense.cpp" "tests/CMakeFiles/unit_tests.dir/test_la_dense.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_la_dense.cpp.o.d"
+  "/root/repo/tests/test_la_eig.cpp" "tests/CMakeFiles/unit_tests.dir/test_la_eig.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_la_eig.cpp.o.d"
+  "/root/repo/tests/test_la_qr.cpp" "tests/CMakeFiles/unit_tests.dir/test_la_qr.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_la_qr.cpp.o.d"
+  "/root/repo/tests/test_matrix_market.cpp" "tests/CMakeFiles/unit_tests.dir/test_matrix_market.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_matrix_market.cpp.o.d"
+  "/root/repo/tests/test_options_and_sweeps.cpp" "tests/CMakeFiles/unit_tests.dir/test_options_and_sweeps.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_options_and_sweeps.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/unit_tests.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_parallel.cpp.o.d"
+  "/root/repo/tests/test_precond.cpp" "tests/CMakeFiles/unit_tests.dir/test_precond.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_precond.cpp.o.d"
+  "/root/repo/tests/test_solvers_misc.cpp" "tests/CMakeFiles/unit_tests.dir/test_solvers_misc.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_solvers_misc.cpp.o.d"
+  "/root/repo/tests/test_sparse.cpp" "tests/CMakeFiles/unit_tests.dir/test_sparse.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bkr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
