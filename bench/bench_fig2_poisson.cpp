@@ -25,6 +25,7 @@ struct ConfigResult {
   std::vector<double> fgmres_times, fgcrodr_times;
   index_t fgmres_iters = 0, fgcrodr_iters = 0;
   std::vector<double> fgmres_history, fgcrodr_history;
+  obs::SolverTrace fgmres_trace, fgcrodr_trace;
   double setup_seconds = 0;
   double fgmres_total() const {
     double s = 0;
@@ -56,9 +57,11 @@ ConfigResult run_config(const CsrMatrix<double>& a, index_t smoother_its) {
   fopts.tol = 1e-8;
   fopts.side = PrecondSide::Flexible;
   fopts.max_iterations = 2000;
+  fopts.trace = &out.fgmres_trace;
   auto gopts = fopts;
   gopts.recycle = 10;
   gopts.same_system = true;  // one matrix, varying RHS (section III-B)
+  gopts.trace = &out.fgcrodr_trace;
   GcroDr<double> recycler(gopts);
 
   for (const double nu : kPoissonNus) {
@@ -105,6 +108,8 @@ int main() {
   bench::print_gain_rows(strong.fgmres_times, strong.fgcrodr_times);
   bench::print_history("FGMRES(30), strong AMG", strong.fgmres_history);
   bench::print_history("FGCRO-DR(30,10), strong AMG", strong.fgcrodr_history);
+  bench::print_phase_breakdown("FGMRES(30), strong AMG", strong.fgmres_trace);
+  bench::print_phase_breakdown("FGCRO-DR(30,10), strong AMG", strong.fgcrodr_trace);
 
   bench::header("fig. 2c/2d — weak AMG (GMRES(1) smoother)");
   const auto weak = run_config(a, 1);
@@ -115,6 +120,8 @@ int main() {
   bench::print_gain_rows(weak.fgmres_times, weak.fgcrodr_times);
   bench::print_history("FGMRES(30), weak AMG", weak.fgmres_history);
   bench::print_history("FGCRO-DR(30,10), weak AMG", weak.fgcrodr_history);
+  bench::print_phase_breakdown("FGMRES(30), weak AMG", weak.fgmres_trace);
+  bench::print_phase_breakdown("FGCRO-DR(30,10), weak AMG", weak.fgcrodr_trace);
 
   bench::header("cross-configuration observation (paper section IV-B)");
   std::printf(

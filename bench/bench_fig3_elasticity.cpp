@@ -71,9 +71,12 @@ int main() {
     fopts.tol = 1e-8;
     fopts.side = PrecondSide::Flexible;
     fopts.max_iterations = 3000;
+    obs::SolverTrace tr_fgmres, tr_fgcrodr;
+    fopts.trace = &tr_fgmres;
     auto gopts = fopts;
     gopts.recycle = 10;
     gopts.strategy = RecycleStrategy::A;  // the paper's artifact uses A here
+    gopts.trace = &tr_fgcrodr;
     GcroDr<double> recycler(gopts);
     std::vector<double> t_fgmres, t_fgcrodr;
     index_t it_fgmres = 0, it_fgcrodr = 0;
@@ -108,6 +111,8 @@ int main() {
     bench::print_gain_rows(t_fgmres, t_fgcrodr);
     bench::print_history("FGMRES(30), CG(4) smoother", hist_g);
     bench::print_history("FGCRO-DR(30,10), CG(4) smoother", hist_c);
+    bench::print_phase_breakdown("FGMRES(30), CG(4) smoother", tr_fgmres);
+    bench::print_phase_breakdown("FGCRO-DR(30,10), CG(4) smoother", tr_fgcrodr);
   }
 
   // --- fig. 3c/3d: LGMRES vs GCRO-DR, Chebyshev smoother (linear) ------
@@ -119,8 +124,11 @@ int main() {
     lopts.tol = 1e-8;
     lopts.side = PrecondSide::Right;
     lopts.max_iterations = 3000;
+    obs::SolverTrace tr_lgmres, tr_gcrodr;
+    lopts.trace = &tr_lgmres;
     auto gopts = lopts;
     gopts.strategy = RecycleStrategy::A;
+    gopts.trace = &tr_gcrodr;
     GcroDr<double> recycler(gopts);
     std::vector<double> t_lgmres, t_gcrodr;
     index_t it_lgmres = 0, it_gcrodr = 0;
@@ -150,6 +158,8 @@ int main() {
     bench::print_gain_rows(t_lgmres, t_gcrodr);
     bench::print_history("LGMRES(30,10), Chebyshev smoother", hist_l);
     bench::print_history("GCRO-DR(30,10), Chebyshev smoother", hist_c);
+    bench::print_phase_breakdown("LGMRES(30,10), Chebyshev smoother", tr_lgmres);
+    bench::print_phase_breakdown("GCRO-DR(30,10), Chebyshev smoother", tr_gcrodr);
   }
   return 0;
 }

@@ -11,6 +11,7 @@
 
 #include "core/solver.hpp"
 #include "fem/maxwell3d.hpp"
+#include "obs/trace.hpp"
 #include "precond/schwarz.hpp"
 
 namespace bkr::bench {
@@ -45,6 +46,19 @@ inline void print_gain_rows(const std::vector<double>& baseline,
   }
   std::printf("  cumulative gain: %+.1f%%  (baseline %.4f s, candidate %.4f s)\n",
               100.0 * (base_total - cand_total) / base_total, base_total, cand_total);
+}
+
+// Per-phase seconds/counts accumulated by a SolverTrace over a bench
+// series — the "where does the time go" companion to the gain rows.
+inline void print_phase_breakdown(const std::string& label, const obs::SolverTrace& trace) {
+  std::printf("# phase breakdown %s (%.4f s instrumented of %.4f s total)\n", label.c_str(),
+              trace.total_phase_seconds(), trace.total_solve_seconds());
+  for (int ph = 0; ph < obs::kPhaseCount; ++ph) {
+    const auto totals = trace.phase_totals(static_cast<obs::Phase>(ph));
+    if (totals.count == 0 && totals.seconds == 0) continue;
+    std::printf("  %-20s %10.4f s  x%lld\n", obs::phase_name(static_cast<obs::Phase>(ph)),
+                totals.seconds, static_cast<long long>(totals.count));
+  }
 }
 
 // The Maxwell "imaging chamber" analogue used by figs. 4, 7 and 8

@@ -22,6 +22,9 @@
 //   -recycle_same_system     treat the sequence as one matrix
 //   -pc              none | jacobi | amg | oras | asm    (none)
 //   -subdomains N (8)   -overlap d (2)   -impedance beta (0.5)
+//   -trace FILE      write a per-phase/per-iteration telemetry trace
+//                    (JSON; FILE ending in .csv selects CSV) and print
+//                    the phase breakdown after the sequence
 #include <complex>
 #include <cstdio>
 #include <string>
@@ -36,6 +39,7 @@
 #include "fem/elasticity3d.hpp"
 #include "fem/maxwell3d.hpp"
 #include "fem/poisson2d.hpp"
+#include "obs/trace.hpp"
 #include "precond/amg.hpp"
 #include "precond/jacobi.hpp"
 #include "precond/schwarz.hpp"
@@ -91,7 +95,10 @@ template <class T>
 void run_sequence(const Options& opts, const std::vector<CsrMatrix<T>*>& matrices,
                   const std::vector<DenseMatrix<T>>& rhs, MatrixView<const T> near_nullspace) {
   const std::string method = opts.get("krylov_method", std::string("gmres"));
-  const SolverOptions sopts = solver_options(opts);
+  SolverOptions sopts = solver_options(opts);
+  const std::string trace_path = opts.get("trace", std::string(""));
+  obs::SolverTrace trace;
+  if (!trace_path.empty()) sopts.trace = &trace;
   std::printf("%s (m=%lld, k=%lld, tol=%g, %zu solves)\n", method.c_str(),
               static_cast<long long>(sopts.restart), static_cast<long long>(sopts.recycle),
               sopts.tol, rhs.size());
@@ -134,6 +141,21 @@ void run_sequence(const Options& opts, const std::vector<CsrMatrix<T>*>& matrice
   }
   std::printf("  ------------------------\n    %8lld %10.6f\n",
               static_cast<long long>(total_iterations), total_seconds);
+  if (!trace_path.empty()) {
+    std::printf("  phase breakdown (%.6f s of %.6f s instrumented):\n",
+                trace.total_phase_seconds(), trace.total_solve_seconds());
+    for (int ph = 0; ph < obs::kPhaseCount; ++ph) {
+      const auto totals = trace.phase_totals(static_cast<obs::Phase>(ph));
+      std::printf("    %-20s %10.6f s  x%lld\n", obs::phase_name(static_cast<obs::Phase>(ph)),
+                  totals.seconds, static_cast<long long>(totals.count));
+    }
+    const bool csv = trace_path.size() > 4 && trace_path.rfind(".csv") == trace_path.size() - 4;
+    const bool ok = csv ? trace.write_csv(trace_path) : trace.write_json(trace_path);
+    if (ok)
+      std::printf("  trace written to %s\n", trace_path.c_str());
+    else
+      std::printf("  FAILED to write trace to %s\n", trace_path.c_str());
+  }
 }
 
 }  // namespace

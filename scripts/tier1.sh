@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verification (see ROADMAP.md): the release test suite, plus an
+# ASan+UBSan pass over the telemetry/invariant suites so memory errors in
+# the instrumented hot paths fail the gate rather than the field.
+#
+# Usage: scripts/tier1.sh [--full-sanitize]
+#   --full-sanitize  run the ENTIRE suite under ASan+UBSan (slower)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZE_FILTER="Trace|CApi"
+if [[ "${1:-}" == "--full-sanitize" ]]; then
+  SANITIZE_FILTER=""
+fi
+
+echo "==> release build + full test suite"
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+echo "==> ASan+UBSan build + ${SANITIZE_FILTER:-all} tests"
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build build-asan -j --target unit_tests
+if [[ -n "$SANITIZE_FILTER" ]]; then
+  ctest --test-dir build-asan --output-on-failure -j 4 -R "$SANITIZE_FILTER"
+else
+  ctest --test-dir build-asan --output-on-failure -j 4
+fi
+
+echo "==> tier-1 OK"

@@ -5,7 +5,13 @@
 
 #include "core/gcrodr.hpp"
 #include "core/gmres.hpp"
+#include "obs/trace.hpp"
 #include "sparse/csr.hpp"
+
+/* Defined before the helpers so to_cpp can reach through it. */
+struct bkr_trace {
+  bkr::obs::SolverTrace t;
+};
 
 namespace {
 
@@ -35,6 +41,7 @@ SolverOptions to_cpp(const bkr_options* opts) {
       (opts->strategy == BKR_STRATEGY_A) ? bkr::RecycleStrategy::A : bkr::RecycleStrategy::B;
   o.same_system = opts->same_system != 0;
   o.record_history = false;
+  if (opts->trace != nullptr) o.trace = &opts->trace->t;
   return o;
 }
 
@@ -44,6 +51,8 @@ void to_c(const SolveStats& st, bkr_result* result) {
   result->iterations = st.iterations;
   result->cycles = st.cycles;
   result->reductions = st.reductions;
+  result->operator_applies = st.operator_applies;
+  result->precond_applies = st.precond_applies;
   result->seconds = st.seconds;
 }
 
@@ -88,6 +97,39 @@ void bkr_options_default(bkr_options* opts) {
   opts->side = BKR_SIDE_RIGHT;
   opts->strategy = BKR_STRATEGY_B;
   opts->same_system = 0;
+  opts->trace = nullptr;
+}
+
+bkr_trace* bkr_trace_create(void) { return new bkr_trace{}; }
+
+void bkr_trace_destroy(bkr_trace* trace) { delete trace; }
+
+void bkr_trace_clear(bkr_trace* trace) {
+  if (trace != nullptr) trace->t.clear();
+}
+
+int64_t bkr_trace_solve_count(const bkr_trace* trace) {
+  return trace == nullptr ? 0 : int64_t(trace->t.solves().size());
+}
+
+double bkr_trace_phase_seconds(const bkr_trace* trace, bkr_phase phase) {
+  if (trace == nullptr || phase < 0 || phase >= bkr::obs::kPhaseCount) return 0;
+  return trace->t.phase_seconds(static_cast<bkr::obs::Phase>(phase));
+}
+
+int64_t bkr_trace_phase_count(const bkr_trace* trace, bkr_phase phase) {
+  if (trace == nullptr || phase < 0 || phase >= bkr::obs::kPhaseCount) return 0;
+  return trace->t.phase_count(static_cast<bkr::obs::Phase>(phase));
+}
+
+int bkr_trace_write_json(const bkr_trace* trace, const char* path) {
+  if (trace == nullptr || path == nullptr) return 1;
+  return trace->t.write_json(std::string(path)) ? 0 : 1;
+}
+
+int bkr_trace_write_csv(const bkr_trace* trace, const char* path) {
+  if (trace == nullptr || path == nullptr) return 1;
+  return trace->t.write_csv(std::string(path)) ? 0 : 1;
 }
 
 bkr_matrix* bkr_matrix_create(int64_t n, const int64_t* rowptr, const int64_t* colind,

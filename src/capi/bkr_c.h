@@ -23,6 +23,7 @@ typedef struct bkr_matrix bkr_matrix;         /* CSR matrix, double */
 typedef struct bkr_zmatrix bkr_zmatrix;       /* CSR matrix, double complex */
 typedef struct bkr_gcrodr bkr_gcrodr;         /* persistent GCRO-DR solver, double */
 typedef struct bkr_zgcrodr bkr_zgcrodr;       /* persistent GCRO-DR solver, complex */
+typedef struct bkr_trace bkr_trace;           /* solver telemetry sink (src/obs) */
 
 typedef enum bkr_side {
   BKR_SIDE_NONE = 0,
@@ -44,6 +45,9 @@ typedef struct bkr_options {
   bkr_side side;          /* default BKR_SIDE_RIGHT */
   bkr_strategy strategy;  /* default BKR_STRATEGY_B */
   int same_system;        /* nonzero: A_i identical across the sequence */
+  bkr_trace* trace;       /* optional telemetry sink, not owned (default NULL).
+                           * For the persistent GCRO-DR handles the sink is
+                           * captured at create time. */
 } bkr_options;
 
 typedef struct bkr_result {
@@ -51,11 +55,40 @@ typedef struct bkr_result {
   int64_t iterations;
   int64_t cycles;
   int64_t reductions;
+  int64_t operator_applies; /* SpMM count (blocks) */
+  int64_t precond_applies;  /* M^{-1} block applications */
   double seconds;
 } bkr_result;
 
 /* Fill `opts` with the library defaults. */
 void bkr_options_default(bkr_options* opts);
+
+/* --- telemetry --------------------------------------------------------- */
+
+/* Identifiers of the instrumented phases (see src/obs/trace.hpp). */
+typedef enum bkr_phase {
+  BKR_PHASE_SPMM = 0,
+  BKR_PHASE_PRECOND = 1,
+  BKR_PHASE_ORTHO_PROJECTION = 2,
+  BKR_PHASE_ORTHO_NORMALIZATION = 3,
+  BKR_PHASE_REDUCTION = 4,
+  BKR_PHASE_SMALL_DENSE = 5,
+  BKR_PHASE_RESTART_EIG = 6,
+} bkr_phase;
+
+/* A trace accumulates one record per solve it observes; attach it through
+ * bkr_options.trace. Not thread-safe: use one trace per concurrent solver. */
+bkr_trace* bkr_trace_create(void);
+void bkr_trace_destroy(bkr_trace* trace);
+void bkr_trace_clear(bkr_trace* trace);
+/* Number of solves recorded so far. */
+int64_t bkr_trace_solve_count(const bkr_trace* trace);
+/* Totals across all recorded solves. */
+double bkr_trace_phase_seconds(const bkr_trace* trace, bkr_phase phase);
+int64_t bkr_trace_phase_count(const bkr_trace* trace, bkr_phase phase);
+/* Export; return 0 on success, nonzero if the file could not be written. */
+int bkr_trace_write_json(const bkr_trace* trace, const char* path);
+int bkr_trace_write_csv(const bkr_trace* trace, const char* path);
 
 /* --- double-precision real ------------------------------------------- */
 

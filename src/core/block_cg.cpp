@@ -13,26 +13,32 @@ SolveStats block_cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView
   Timer timer;
   SolveStats st;
   const index_t n = a.n(), p = b.cols();
+  obs::TraceSink* const trace = opts.trace;
+  if (trace != nullptr) trace->begin_solve("block_cg", n, p);
 
   std::vector<Real> bnorm(static_cast<size_t>(p)), rnorm(static_cast<size_t>(p));
-  detail::norms<T>(b, bnorm.data(), st, comm);
+  detail::norms<T>(b, bnorm.data(), st, comm, trace);
   for (auto& v : bnorm)
     if (v == Real(0)) v = Real(1);
   st.history.resize(size_t(p));
   st.per_rhs_iterations.assign(size_t(p), 0);
 
   DenseMatrix<T> r(n, p), z(n, p), pdir(n, p), q(n, p);
-  a.apply(MatrixView<const T>(x.data(), n, p, x.ld()), r.view());
-  ++st.operator_applies;
+  {
+    obs::ScopedPhase sp(trace, obs::Phase::Spmm);
+    a.apply(MatrixView<const T>(x.data(), n, p, x.ld()), r.view());
+    ++st.operator_applies;
+  }
   for (index_t c = 0; c < p; ++c)
     for (index_t i = 0; i < n; ++i) r(i, c) = b(i, c) - r(i, c);
-  detail::norms<T>(r.view(), rnorm.data(), st, comm);
+  detail::norms<T>(r.view(), rnorm.data(), st, comm, trace);
   if (opts.record_history)
     for (index_t c = 0; c < p; ++c)
       st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
 
   auto precondition = [&](MatrixView<const T> in, MatrixView<T> out) {
     if (m != nullptr) {
+      obs::ScopedPhase sp(trace, obs::Phase::Precond);
       m->apply(in, out);
       ++st.precond_applies;
     } else {
@@ -49,29 +55,41 @@ SolveStats block_cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView
   copy_into<T>(MatrixView<const T>(z.data(), n, p, z.ld()), pdir.view());
   // rho = Z^H R (p x p); one fused reduction.
   DenseMatrix<T> rho(p, p), rho_new(p, p);
-  gemm<T>(Trans::C, Trans::N, T(1), z.view(), r.view(), T(0), rho.view());
-  st.reductions += 1;
-  if (comm != nullptr) comm->reduction(p * p * 8);
+  {
+    obs::ScopedPhase sp(trace, obs::Phase::Reduction);
+    gemm<T>(Trans::C, Trans::N, T(1), z.view(), r.view(), T(0), rho.view());
+    st.reductions += 1;
+    if (comm != nullptr) comm->reduction(p * p * 8);
+  }
 
   while (!converged() && st.iterations < opts.max_iterations) {
-    a.apply(MatrixView<const T>(pdir.data(), n, p, pdir.ld()), q.view());
-    ++st.operator_applies;
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::Spmm);
+      a.apply(MatrixView<const T>(pdir.data(), n, p, pdir.ld()), q.view());
+      ++st.operator_applies;
+    }
     // alpha solves (P^H Q) alpha = rho; fused with the residual norms.
     DenseMatrix<T> pq(p, p);
-    gemm<T>(Trans::C, Trans::N, T(1), pdir.view(), q.view(), T(0), pq.view());
-    st.reductions += 2;
-    if (comm != nullptr) {
-      comm->reduction(p * p * 8);
-      comm->reduction(p * 8);
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::Reduction, 2);
+      gemm<T>(Trans::C, Trans::N, T(1), pdir.view(), q.view(), T(0), pq.view());
+      st.reductions += 2;
+      if (comm != nullptr) {
+        comm->reduction(p * p * 8);
+        comm->reduction(p * 8);
+      }
     }
     DenseLU<T> lu(copy_of(pq));
     if (lu.singular()) break;  // exact block breakdown: restart semantics not needed for SPD
-    DenseMatrix<T> alpha = copy_of(rho);
-    lu.solve(alpha.view());
-    // X += P alpha; R -= Q alpha.
-    gemm<T>(Trans::N, Trans::N, T(1), pdir.view(), alpha.view(), T(1),
-            MatrixView<T>(x.data(), n, p, x.ld()));
-    gemm<T>(Trans::N, Trans::N, T(-1), q.view(), alpha.view(), T(1), r.view());
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::SmallDense);
+      DenseMatrix<T> alpha = copy_of(rho);
+      lu.solve(alpha.view());
+      // X += P alpha; R -= Q alpha.
+      gemm<T>(Trans::N, Trans::N, T(1), pdir.view(), alpha.view(), T(1),
+              MatrixView<T>(x.data(), n, p, x.ld()));
+      gemm<T>(Trans::N, Trans::N, T(-1), q.view(), alpha.view(), T(1), r.view());
+    }
     column_norms<T>(r.view(), rnorm.data());
     ++st.iterations;
     for (index_t c = 0; c < p; ++c) {
@@ -79,11 +97,25 @@ SolveStats block_cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView
         st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
       if (rnorm[size_t(c)] > opts.tol * bnorm[size_t(c)]) ++st.per_rhs_iterations[size_t(c)];
     }
+    if (trace != nullptr) {
+      obs::IterationEvent ev;
+      ev.cycle = 1;
+      ev.iteration = st.iterations;
+      ev.basis_size = p;
+      ev.residuals.resize(size_t(p));
+      for (index_t c = 0; c < p; ++c)
+        ev.residuals[size_t(c)] = rnorm[size_t(c)] / bnorm[size_t(c)];
+      trace->iteration(ev);
+    }
     if (converged()) break;
     precondition(r.view(), z.view());
-    gemm<T>(Trans::C, Trans::N, T(1), z.view(), r.view(), T(0), rho_new.view());
-    st.reductions += 1;
-    if (comm != nullptr) comm->reduction(p * p * 8);
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::Reduction);
+      gemm<T>(Trans::C, Trans::N, T(1), z.view(), r.view(), T(0), rho_new.view());
+      st.reductions += 1;
+      if (comm != nullptr) comm->reduction(p * p * 8);
+    }
+    obs::ScopedPhase sp(trace, obs::Phase::SmallDense);
     // beta solves rho^H beta = rho_new (the O'Leary block update).
     DenseLU<T> lurho([&] {
       DenseMatrix<T> rt(p, p);
@@ -102,6 +134,7 @@ SolveStats block_cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView
   }
   st.converged = converged();
   st.seconds = timer.seconds();
+  if (trace != nullptr) trace->end_solve(st.converged, st.iterations, st.cycles, st.seconds);
   return st;
 }
 

@@ -14,9 +14,11 @@ SolveStats cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const
   Timer timer;
   SolveStats st;
   const index_t n = a.n(), p = b.cols();
+  obs::TraceSink* const trace = opts.trace;
+  if (trace != nullptr) trace->begin_solve("cg", n, p);
 
   std::vector<Real> bnorm(static_cast<size_t>(p)), rnorm(static_cast<size_t>(p));
-  detail::norms<T>(b, bnorm.data(), st, comm);
+  detail::norms<T>(b, bnorm.data(), st, comm, trace);
   for (auto& v : bnorm)
     if (v == Real(0)) v = Real(1);
   st.history.resize(size_t(p));
@@ -24,17 +26,21 @@ SolveStats cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const
 
   DenseMatrix<T> r(n, p), z(n, p), q(n, p), d(n, p);
   // r = b - A x
-  a.apply(MatrixView<const T>(x.data(), n, p, x.ld()), r.view());
-  ++st.operator_applies;
+  {
+    obs::ScopedPhase sp(trace, obs::Phase::Spmm);
+    a.apply(MatrixView<const T>(x.data(), n, p, x.ld()), r.view());
+    ++st.operator_applies;
+  }
   for (index_t c = 0; c < p; ++c)
     for (index_t i = 0; i < n; ++i) r(i, c) = b(i, c) - r(i, c);
-  detail::norms<T>(r.view(), rnorm.data(), st, comm);
+  detail::norms<T>(r.view(), rnorm.data(), st, comm, trace);
   if (opts.record_history)
     for (index_t c = 0; c < p; ++c)
       st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
 
   auto precondition = [&](MatrixView<const T> in, MatrixView<T> out) {
     if (m != nullptr) {
+      obs::ScopedPhase sp(trace, obs::Phase::Precond);
       m->apply(in, out);
       ++st.precond_applies;
     } else {
@@ -44,9 +50,12 @@ SolveStats cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const
   precondition(r.view(), z.view());
   copy_into<T>(MatrixView<const T>(z.data(), n, p, z.ld()), d.view());
   std::vector<T> rho(static_cast<size_t>(p)), rho_old(static_cast<size_t>(p));
-  for (index_t c = 0; c < p; ++c) rho[size_t(c)] = dot<T>(n, r.col(c), z.col(c));
-  st.reductions += 1;
-  if (comm != nullptr) comm->reduction(p * 8);
+  {
+    obs::ScopedPhase sp(trace, obs::Phase::Reduction);
+    for (index_t c = 0; c < p; ++c) rho[size_t(c)] = dot<T>(n, r.col(c), z.col(c));
+    st.reductions += 1;
+    if (comm != nullptr) comm->reduction(p * 8);
+  }
 
   auto converged = [&] {
     for (index_t c = 0; c < p; ++c)
@@ -55,34 +64,55 @@ SolveStats cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const
   };
 
   while (!converged() && st.iterations < opts.max_iterations) {
-    a.apply(MatrixView<const T>(d.data(), n, p, d.ld()), q.view());
-    ++st.operator_applies;
-    // Fused alpha = rho / (d, q) and (later) residual norms.
-    st.reductions += 2;
-    if (comm != nullptr) {
-      comm->reduction(p * 8);
-      comm->reduction(p * 8);
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::Spmm);
+      a.apply(MatrixView<const T>(d.data(), n, p, d.ld()), q.view());
+      ++st.operator_applies;
     }
-    for (index_t c = 0; c < p; ++c) {
-      const T dq = dot<T>(n, d.col(c), q.col(c));
-      if (dq == T(0)) continue;  // converged/breakdown lane
-      const T alpha = rho[size_t(c)] / dq;
-      axpy<T>(n, alpha, d.col(c), x.col(c));
-      axpy<T>(n, -alpha, q.col(c), r.col(c));
+    // Fused alpha = rho / (d, q) and (later) residual norms: two global
+    // reductions, counted by the scope. The interleaved axpy updates ride
+    // in the same span (separating them would split every column loop).
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::Reduction, 2);
+      st.reductions += 2;
+      if (comm != nullptr) {
+        comm->reduction(p * 8);
+        comm->reduction(p * 8);
+      }
+      for (index_t c = 0; c < p; ++c) {
+        const T dq = dot<T>(n, d.col(c), q.col(c));
+        if (dq == T(0)) continue;  // converged/breakdown lane
+        const T alpha = rho[size_t(c)] / dq;
+        axpy<T>(n, alpha, d.col(c), x.col(c));
+        axpy<T>(n, -alpha, q.col(c), r.col(c));
+      }
+      column_norms<T>(r.view(), rnorm.data());
     }
-    column_norms<T>(r.view(), rnorm.data());
     ++st.iterations;
     for (index_t c = 0; c < p; ++c) {
       if (opts.record_history)
         st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
       if (rnorm[size_t(c)] > opts.tol * bnorm[size_t(c)]) ++st.per_rhs_iterations[size_t(c)];
     }
+    if (trace != nullptr) {
+      obs::IterationEvent ev;
+      ev.cycle = 1;
+      ev.iteration = st.iterations;
+      ev.basis_size = p;
+      ev.residuals.resize(size_t(p));
+      for (index_t c = 0; c < p; ++c)
+        ev.residuals[size_t(c)] = rnorm[size_t(c)] / bnorm[size_t(c)];
+      trace->iteration(ev);
+    }
     if (converged()) break;
     precondition(r.view(), z.view());
     std::swap(rho, rho_old);
-    for (index_t c = 0; c < p; ++c) rho[size_t(c)] = dot<T>(n, r.col(c), z.col(c));
-    st.reductions += 1;
-    if (comm != nullptr) comm->reduction(p * 8);
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::Reduction);
+      for (index_t c = 0; c < p; ++c) rho[size_t(c)] = dot<T>(n, r.col(c), z.col(c));
+      st.reductions += 1;
+      if (comm != nullptr) comm->reduction(p * 8);
+    }
     for (index_t c = 0; c < p; ++c) {
       const T beta = (rho_old[size_t(c)] == T(0)) ? T(0) : rho[size_t(c)] / rho_old[size_t(c)];
       for (index_t i = 0; i < n; ++i) d(i, c) = z(i, c) + beta * d(i, c);
@@ -90,6 +120,7 @@ SolveStats cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const
   }
   st.converged = converged();
   st.seconds = timer.seconds();
+  if (trace != nullptr) trace->end_solve(st.converged, st.iterations, st.cycles, st.seconds);
   return st;
 }
 

@@ -39,7 +39,7 @@ struct ArnoldiCycle {
   index_t run(const LinearOperator<T>& a, Preconditioner<T>* m, PrecondSide side,
               MatrixView<const T> r0, MatrixView<const T> c, index_t max_steps,
               const SolverOptions& opts, const std::vector<real_t<T>>& bnorm, SolveStats& st,
-              CommModel* comm) {
+              CommModel* comm, obs::TraceSink* trace) {
     using Real = real_t<T>;
     const index_t n = r0.rows(), p = r0.cols();
     const index_t kp = c.cols();
@@ -57,7 +57,7 @@ struct ArnoldiCycle {
     DenseMatrix<T> sblock(p, p), ecol(std::max<index_t>(kp, 1), p);
 
     copy_into<T>(r0, v.block(0, 0, n, p));
-    detail::qr_block<T>(v.block(0, 0, n, p), sblock.view(), st, comm);
+    detail::qr_block<T>(v.block(0, 0, n, p), sblock.view(), st, comm, trace);
     ghat.set_zero();
     for (index_t cc = 0; cc < p; ++cc)
       for (index_t rr = 0; rr <= cc; ++rr) ghat(rr, cc) = sblock(rr, cc);
@@ -66,42 +66,57 @@ struct ArnoldiCycle {
     while (j < max_steps && st.iterations < opts.max_iterations) {
       const auto vj = MatrixView<const T>(v.col(j * p), n, p, v.ld());
       MatrixView<T> zj = (side == PrecondSide::Flexible) ? z.block(0, j * p, n, p) : ztmp.view();
-      detail::apply_preconditioned<T>(a, m, side, vj, zj, w.view(), st);
+      detail::apply_preconditioned<T>(a, m, side, vj, zj, w.view(), st, trace);
       if (kp > 0) {
         // Project against the recycled space: E_j = C^H w, w -= C E_j
         // (one additional reduction per iteration — the 2(m-k) vs m count
         // of section III-D).
+        obs::ScopedPhase sp(trace, obs::Phase::OrthoProjection);
         gemm<T>(Trans::C, Trans::N, T(1), c, w.view(), T(0), ecol.block(0, 0, kp, p));
-        st.reductions += 1;
-        if (comm != nullptr) comm->reduction(kp * p * 8);
+        detail::count_reductions(st, comm, trace, 1, kp * p * 8);
         gemm<T>(Trans::N, Trans::N, T(-1), c, ecol.block(0, 0, kp, p), T(1), w.view());
         copy_into<T>(ecol.block(0, 0, kp, p), e.block(0, j * p, kp, p));
       }
       hcol.set_zero();
-      detail::project<T>(v.view(), (j + 1) * p, w.view(), hcol.view(), opts.ortho, p, st, comm);
+      detail::project<T>(v.view(), (j + 1) * p, w.view(), hcol.view(), opts.ortho, p, st, comm,
+                         trace);
       auto vnext = v.block(0, (j + 1) * p, n, p);
       copy_into<T>(w.view(), vnext);
-      const bool full_rank = detail::qr_block<T>(vnext, sblock.view(), st, comm);
+      const bool full_rank = detail::qr_block<T>(vnext, sblock.view(), st, comm, trace);
       for (index_t cc = 0; cc < p; ++cc)
         for (index_t rr = 0; rr <= cc; ++rr) hcol((j + 1) * p + rr, cc) = sblock(rr, cc);
       // Commit the Hessenberg columns even on a (happy) breakdown — the
       // least squares over them may hold the exact solution; the rank-
       // deficient tail is excluded by usable_columns.
-      for (index_t cc = 0; cc < p; ++cc) {
-        for (index_t rr = 0; rr < (j + 2) * p; ++rr) hbar(rr, j * p + cc) = hcol(rr, cc);
-        qr.add_column(hcol.col(cc), (j + 2) * p);
+      {
+        obs::ScopedPhase sp(trace, obs::Phase::SmallDense);
+        for (index_t cc = 0; cc < p; ++cc) {
+          for (index_t rr = 0; rr < (j + 2) * p; ++rr) hbar(rr, j * p + cc) = hcol(rr, cc);
+          qr.add_column(hcol.col(cc), (j + 2) * p);
+        }
+        qr.apply_qt_range(ghat.view(), j * p);
       }
-      qr.apply_qt_range(ghat.view(), j * p);
       ++j;
       ++st.iterations;
       bool all_small = true;
+      std::vector<double> relres(static_cast<size_t>(p));
       for (index_t cc = 0; cc < p; ++cc) {
         const Real est = norm2<T>(p, &ghat(j * p, cc));
+        relres[size_t(cc)] = est / bnorm[size_t(cc)];
         if (opts.record_history) st.history[size_t(cc)].push_back(est / bnorm[size_t(cc)]);
         if (est > opts.tol * bnorm[size_t(cc)]) {
           all_small = false;
           ++st.per_rhs_iterations[size_t(cc)];
         }
+      }
+      if (trace != nullptr) {
+        obs::IterationEvent ev;
+        ev.cycle = st.cycles;
+        ev.iteration = st.iterations;
+        ev.basis_size = (j + 1) * p;
+        ev.recycle_dim = kp;
+        ev.residuals = std::move(relres);
+        trace->iteration(ev);
       }
       steps = j;
       if (all_small) {
@@ -157,6 +172,13 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
   Timer timer;
   SolveStats st;
   const index_t n = a.n(), p = b.cols();
+  obs::TraceSink* const trace = opts_.trace;
+  if (trace != nullptr) trace->begin_solve("gcrodr", n, p);
+  // Several early returns share the closing bookkeeping.
+  auto finish = [&] {
+    st.seconds = timer.seconds();
+    if (trace != nullptr) trace->end_solve(st.converged, st.iterations, st.cycles, st.seconds);
+  };
   PrecondSide side = (m == nullptr) ? PrecondSide::None : opts_.side;
   if (side == PrecondSide::Right && m != nullptr && m->is_variable()) side = PrecondSide::Flexible;
   const index_t mdim = opts_.restart;
@@ -170,11 +192,14 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
   DenseMatrix<T> scratch;
   if (side == PrecondSide::Left) {
     scratch.resize(n, p);
-    m->apply(b, scratch.view());
-    ++st.precond_applies;
-    detail::norms<T>(scratch.view(), bnorm.data(), st, comm);
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::Precond);
+      m->apply(b, scratch.view());
+      ++st.precond_applies;
+    }
+    detail::norms<T>(scratch.view(), bnorm.data(), st, comm, trace);
   } else {
-    detail::norms<T>(b, bnorm.data(), st, comm);
+    detail::norms<T>(b, bnorm.data(), st, comm, trace);
   }
   for (auto& v : bnorm)
     if (v == Real(0)) v = Real(1);
@@ -182,8 +207,8 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
   st.per_rhs_iterations.assign(size_t(p), 0);
 
   DenseMatrix<T> r(n, p);
-  detail::residual<T>(a, m, side, b, x, r.view(), scratch, st);
-  detail::norms<T>(r.view(), rnorm.data(), st, comm);
+  detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace);
+  detail::norms<T>(r.view(), rnorm.data(), st, comm, trace);
   if (opts_.record_history)
     for (index_t c = 0; c < p; ++c)
       st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
@@ -194,7 +219,7 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
   };
   if (converged()) {
     st.converged = true;
-    st.seconds = timer.seconds();
+    finish();
     return st;
   }
 
@@ -206,17 +231,26 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
   auto apply_op = [&](MatrixView<const T> in, MatrixView<T> out) {
     if (side == PrecondSide::Right) {
       DenseMatrix<T> tmp(n, in.cols());
-      m->apply(in, tmp.view());
-      ++st.precond_applies;
+      {
+        obs::ScopedPhase sp(trace, obs::Phase::Precond);
+        m->apply(in, tmp.view());
+        ++st.precond_applies;
+      }
+      obs::ScopedPhase sp(trace, obs::Phase::Spmm);
       a.apply(tmp.view(), out);
       ++st.operator_applies;
     } else if (side == PrecondSide::Left) {
       DenseMatrix<T> tmp(n, in.cols());
-      a.apply(in, tmp.view());
-      ++st.operator_applies;
+      {
+        obs::ScopedPhase sp(trace, obs::Phase::Spmm);
+        a.apply(in, tmp.view());
+        ++st.operator_applies;
+      }
+      obs::ScopedPhase sp(trace, obs::Phase::Precond);
       m->apply(tmp.view(), out);
       ++st.precond_applies;
     } else {  // None, Flexible: U lives in solution space, apply A directly
+      obs::ScopedPhase sp(trace, obs::Phase::Spmm);
       a.apply(in, out);
       ++st.operator_applies;
     }
@@ -225,8 +259,11 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
   // M^{-1}; everything else is direct).
   auto add_update = [&](MatrixView<const T> t) {
     if (side == PrecondSide::Right) {
-      m->apply(t, ztmp.view());
-      ++st.precond_applies;
+      {
+        obs::ScopedPhase sp(trace, obs::Phase::Precond);
+        m->apply(t, ztmp.view());
+        ++st.precond_applies;
+      }
       for (index_t c = 0; c < p; ++c) axpy<T>(n, T(1), ztmp.col(c), x.col(c));
     } else {
       for (index_t c = 0; c < p; ++c) axpy<T>(n, T(1), t.col(c), x.col(c));
@@ -239,22 +276,25 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
       c_.resize(n, u_.cols());
       apply_op(u_.view(), c_.view());
       DenseMatrix<T> rq(u_.cols(), u_.cols());
-      detail::qr_block<T>(c_.view(), rq.view(), st, comm);
+      detail::qr_block<T>(c_.view(), rq.view(), st, comm, trace);
       trsm_right_upper<T>(rq.view(), u_.view());
     }
     // Lines 8-9: X += U C^H R, R -= C C^H R (one fused reduction).
     DenseMatrix<T> y0(u_.cols(), p);
-    gemm<T>(Trans::C, Trans::N, T(1), c_.view(), r.view(), T(0), y0.view());
-    st.reductions += 1;
-    if (comm != nullptr) comm->reduction(u_.cols() * p * 8);
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::Reduction);
+      gemm<T>(Trans::C, Trans::N, T(1), c_.view(), r.view(), T(0), y0.view());
+      st.reductions += 1;
+      if (comm != nullptr) comm->reduction(u_.cols() * p * 8);
+    }
     DenseMatrix<T> t(n, p);
     gemm<T>(Trans::N, Trans::N, T(1), u_.view(), y0.view(), T(0), t.view());
     add_update(t.view());
     gemm<T>(Trans::N, Trans::N, T(-1), c_.view(), y0.view(), T(1), r.view());
-    detail::norms<T>(r.view(), rnorm.data(), st, comm);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace);
     if (converged()) {
       st.converged = true;
-      st.seconds = timer.seconds();
+      finish();
       return st;
     }
   } else {
@@ -263,39 +303,42 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
     ++st.cycles;
     const index_t s =
         cycle.run(a, m, side, r.view(), MatrixView<const T>(nullptr, 0, 0, 0), mdim, opts_, bnorm,
-                  st, comm);
+                  st, comm, trace);
     if (s == 0) {
-      st.seconds = timer.seconds();
+      finish();
       return st;  // complete stagnation
     }
     const DenseMatrix<T> y = cycle.least_squares(s, p);
     DenseMatrix<T> t(n, p);
     gemm<T>(Trans::N, Trans::N, T(1), cycle.update_basis(side, n, s), y.view(), T(0), t.view());
     add_update(t.view());
-    // Harmonic Ritz deflation seeds U_k, C_k (lines 16-20).
-    const index_t k_eff = std::min(kp, s);
-    const DenseMatrix<T> pk = first_cycle_deflation_vectors<T>(cycle, s, k_eff);
-    // [Q, R] = qr(Hbar * Pk); C = V_{m+1} Q; U = basis * Pk * R^{-1}.
-    DenseMatrix<T> hp((cycle.steps + 1) * p, k_eff);
-    gemm<T>(Trans::N, Trans::N, T(1),
-            MatrixView<const T>(cycle.hbar.data(), (cycle.steps + 1) * p, s, cycle.hbar.ld()),
-            pk.view(), T(0), hp.view());
-    HouseholderQR<T> hq(copy_of(hp));
-    const DenseMatrix<T> q = hq.q_thin();
-    const DenseMatrix<T> rq = hq.r();
-    c_.resize(n, k_eff);
-    gemm<T>(Trans::N, Trans::N, T(1),
-            MatrixView<const T>(cycle.v.data(), n, (cycle.steps + 1) * p, cycle.v.ld()), q.view(),
-            T(0), c_.view());
-    u_.resize(n, k_eff);
-    gemm<T>(Trans::N, Trans::N, T(1), cycle.update_basis(side, n, s), pk.view(), T(0), u_.view());
-    trsm_right_upper<T>(rq.view(), u_.view());
+    {
+      // Harmonic Ritz deflation seeds U_k, C_k (lines 16-20).
+      obs::ScopedPhase sp(trace, obs::Phase::RestartEig);
+      const index_t k_eff = std::min(kp, s);
+      const DenseMatrix<T> pk = first_cycle_deflation_vectors<T>(cycle, s, k_eff);
+      // [Q, R] = qr(Hbar * Pk); C = V_{m+1} Q; U = basis * Pk * R^{-1}.
+      DenseMatrix<T> hp((cycle.steps + 1) * p, k_eff);
+      gemm<T>(Trans::N, Trans::N, T(1),
+              MatrixView<const T>(cycle.hbar.data(), (cycle.steps + 1) * p, s, cycle.hbar.ld()),
+              pk.view(), T(0), hp.view());
+      HouseholderQR<T> hq(copy_of(hp));
+      const DenseMatrix<T> q = hq.q_thin();
+      const DenseMatrix<T> rq = hq.r();
+      c_.resize(n, k_eff);
+      gemm<T>(Trans::N, Trans::N, T(1),
+              MatrixView<const T>(cycle.v.data(), n, (cycle.steps + 1) * p, cycle.v.ld()), q.view(),
+              T(0), c_.view());
+      u_.resize(n, k_eff);
+      gemm<T>(Trans::N, Trans::N, T(1), cycle.update_basis(side, n, s), pk.view(), T(0), u_.view());
+      trsm_right_upper<T>(rq.view(), u_.view());
+    }
     // Recompute the true residual for the EPS test (line 15).
-    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st);
-    detail::norms<T>(r.view(), rnorm.data(), st, comm);
+    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace);
     if (converged()) {
       st.converged = true;
-      st.seconds = timer.seconds();
+      finish();
       return st;
     }
   }
@@ -307,31 +350,38 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
     // C^H R_{j-1} for the solution update (line 28; one reduction — this
     // is "the update of the least squares problem" of section III-D).
     DenseMatrix<T> yc(u_.cols(), p);
-    gemm<T>(Trans::C, Trans::N, T(1), c_.view(), r.view(), T(0), yc.view());
-    st.reductions += 1;
-    if (comm != nullptr) comm->reduction(u_.cols() * p * 8);
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::Reduction);
+      gemm<T>(Trans::C, Trans::N, T(1), c_.view(), r.view(), T(0), yc.view());
+      st.reductions += 1;
+      if (comm != nullptr) comm->reduction(u_.cols() * p * 8);
+    }
 
-    const index_t s = cycle.run(a, m, side, r.view(), c_.view(), inner, opts_, bnorm, st, comm);
+    const index_t s =
+        cycle.run(a, m, side, r.view(), c_.view(), inner, opts_, bnorm, st, comm, trace);
     if (s == 0 && !cycle.hit_tolerance) break;  // stagnation
     if (s > 0) {
-      const DenseMatrix<T> ym = cycle.least_squares(s, p);
-      // Y_k = C^H R_{j-1} - E Y_m (line 28).
-      gemm<T>(Trans::N, Trans::N, T(-1),
-              MatrixView<const T>(cycle.e.data(), u_.cols(), s, cycle.e.ld()), ym.view(), T(1),
-              yc.view());
       DenseMatrix<T> t(n, p);
-      gemm<T>(Trans::N, Trans::N, T(1), cycle.update_basis(side, n, s), ym.view(), T(0), t.view());
+      {
+        obs::ScopedPhase sp(trace, obs::Phase::SmallDense);
+        const DenseMatrix<T> ym = cycle.least_squares(s, p);
+        // Y_k = C^H R_{j-1} - E Y_m (line 28).
+        gemm<T>(Trans::N, Trans::N, T(-1),
+                MatrixView<const T>(cycle.e.data(), u_.cols(), s, cycle.e.ld()), ym.view(), T(1),
+                yc.view());
+        gemm<T>(Trans::N, Trans::N, T(1), cycle.update_basis(side, n, s), ym.view(), T(0),
+                t.view());
+        gemm<T>(Trans::N, Trans::N, T(1), u_.view(), yc.view(), T(1), t.view());
+      }
       if (side == PrecondSide::Flexible) {
         // U is in solution space; add U Y_k directly, basis part too.
-        gemm<T>(Trans::N, Trans::N, T(1), u_.view(), yc.view(), T(1), t.view());
         for (index_t c = 0; c < p; ++c) axpy<T>(n, T(1), t.col(c), x.col(c));
       } else {
-        gemm<T>(Trans::N, Trans::N, T(1), u_.view(), yc.view(), T(1), t.view());
         add_update(t.view());
       }
     }
-    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st);
-    detail::norms<T>(r.view(), rnorm.data(), st, comm);
+    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace);
     if (converged()) {
       st.converged = true;
       break;
@@ -346,8 +396,11 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
       const index_t rows = kcur + vcols;
       const index_t cols = kcur + s;
       // Scale U columns to unit norm (line 32; one fused reduction).
+      // The norms run before the RestartEig scope opens so phase scopes
+      // stay non-nested.
       std::vector<Real> unorm(static_cast<size_t>(kcur));
-      detail::norms<T>(u_.view(), unorm.data(), st, comm);
+      detail::norms<T>(u_.view(), unorm.data(), st, comm, trace);
+      obs::ScopedPhase sp_eig(trace, obs::Phase::RestartEig);
       for (index_t c = 0; c < kcur; ++c) {
         const T inv = scalar_traits<T>::from_real(Real(1) / std::max(unorm[size_t(c)], Real(1e-300)));
         scal<T>(n, inv, u_.col(c));
@@ -381,6 +434,8 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
                 cu.block(kcur, 0, vcols, kcur));
         st.reductions += 1;
         if (comm != nullptr) comm->reduction(rows * kcur * 8);
+        // Count-only: the time already lands in the enclosing RestartEig.
+        if (trace != nullptr) trace->phase(obs::Phase::Reduction, 0.0, 1);
         copy_into<T>(MatrixView<const T>(cu.data(), rows, kcur, cu.ld()),
                      inner_mat.block(0, 0, rows, kcur));
         for (index_t j = 0; j < s; ++j) inner_mat(kcur + j, kcur + j) = T(1);
@@ -410,7 +465,7 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
       u_ = std::move(unew);
     }
   }
-  st.seconds = timer.seconds();
+  finish();
   return st;
 }
 

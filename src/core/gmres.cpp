@@ -30,6 +30,8 @@ SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixV
   Timer timer;
   SolveStats st;
   const index_t n = a.n(), p = b.cols();
+  obs::TraceSink* const trace = opts.trace;
+  if (trace != nullptr) trace->begin_solve("block_gmres", n, p);
   PrecondSide side = (m == nullptr) ? PrecondSide::None : opts.side;
   if (side == PrecondSide::Right && m != nullptr && m->is_variable()) side = PrecondSide::Flexible;
   const index_t mdim = opts.restart;
@@ -38,11 +40,14 @@ SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixV
   DenseMatrix<T> scratch;
   if (side == PrecondSide::Left) {
     scratch.resize(n, p);
-    m->apply(b, scratch.view());
-    ++st.precond_applies;
-    detail::norms<T>(scratch.view(), bnorm.data(), st, comm);
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::Precond);
+      m->apply(b, scratch.view());
+      ++st.precond_applies;
+    }
+    detail::norms<T>(scratch.view(), bnorm.data(), st, comm, trace);
   } else {
-    detail::norms<T>(b, bnorm.data(), st, comm);
+    detail::norms<T>(b, bnorm.data(), st, comm, trace);
   }
   for (auto& v : bnorm)
     if (v == Real(0)) v = Real(1);
@@ -60,8 +65,8 @@ SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixV
 
   while (st.iterations < opts.max_iterations) {
     ++st.cycles;
-    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st);
-    detail::norms<T>(r.view(), rnorm.data(), st, comm);
+    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace);
     if (st.cycles == 1 && opts.record_history)
       for (index_t c = 0; c < p; ++c)
         st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
@@ -73,7 +78,7 @@ SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixV
     }
 
     copy_into<T>(r.view(), v.block(0, 0, n, p));
-    detail::qr_block<T>(v.block(0, 0, n, p), sblock.view(), st, comm);
+    detail::qr_block<T>(v.block(0, 0, n, p), sblock.view(), st, comm, trace);
     IncrementalQR<T> qr((mdim + 1) * p, mdim * p);
     ghat.set_zero();
     for (index_t c = 0; c < p; ++c)
@@ -85,21 +90,25 @@ SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixV
       const auto vj = MatrixView<const T>(v.col(j * p), n, p, v.ld());
       MatrixView<T> zj =
           (side == PrecondSide::Flexible) ? z.block(0, j * p, n, p) : ztmp.view();
-      detail::apply_preconditioned<T>(a, m, side, vj, zj, w.view(), st);
+      detail::apply_preconditioned<T>(a, m, side, vj, zj, w.view(), st, trace);
       hcol.set_zero();
-      detail::project<T>(v.view(), (j + 1) * p, w.view(), hcol.view(), opts.ortho, p, st, comm);
+      detail::project<T>(v.view(), (j + 1) * p, w.view(), hcol.view(), opts.ortho, p, st, comm,
+                         trace);
       auto vnext = v.block(0, (j + 1) * p, n, p);
       copy_into<T>(w.view(), vnext);
-      const bool full_rank = detail::qr_block<T>(vnext, sblock.view(), st, comm);
+      const bool full_rank = detail::qr_block<T>(vnext, sblock.view(), st, comm, trace);
       for (index_t c = 0; c < p; ++c)
         for (index_t rr = 0; rr <= c; ++rr) hcol((j + 1) * p + rr, c) = sblock(rr, c);
       // The Hessenberg columns are committed even on a (happy) block
       // breakdown: the projection coefficients are valid and the least
       // squares over them may already contain the exact solution. The
       // rank-deficient trailing rows are excluded by usable_columns.
-      const index_t before = qr.cols();
-      for (index_t c = 0; c < p; ++c) qr.add_column(hcol.col(c), (j + 2) * p);
-      qr.apply_qt_range(ghat.view(), before);
+      {
+        obs::ScopedPhase sp(trace, obs::Phase::SmallDense);
+        const index_t before = qr.cols();
+        for (index_t c = 0; c < p; ++c) qr.add_column(hcol.col(c), (j + 2) * p);
+        qr.apply_qt_range(ghat.view(), before);
+      }
       ++j;
       ++st.iterations;
       bool all_small = true;
@@ -112,6 +121,16 @@ SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixV
           ++st.per_rhs_iterations[size_t(c)];
         }
       }
+      if (trace != nullptr) {
+        obs::IterationEvent ev;
+        ev.cycle = st.cycles;
+        ev.iteration = st.iterations;
+        ev.basis_size = (j + 1) * p;
+        ev.residuals.resize(size_t(p));
+        for (index_t c = 0; c < p; ++c)
+          ev.residuals[size_t(c)] = rnorm[size_t(c)] / bnorm[size_t(c)];
+        trace->iteration(ev);
+      }
       if (all_small) {
         cycle_converged = true;
         break;
@@ -121,18 +140,24 @@ SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixV
 
     const index_t s = usable_columns(qr, j * p);
     if (s > 0) {
-      DenseMatrix<T> y(s, p);
-      copy_into<T>(MatrixView<const T>(ghat.data(), s, p, ghat.ld()), y.view());
-      const DenseMatrix<T> rr = qr.r_matrix();
-      trsm_left_upper<T>(MatrixView<const T>(rr.data(), s, s, rr.ld()), y.view());
       DenseMatrix<T> t(n, p);
-      const auto& basis = (side == PrecondSide::Flexible) ? z : v;
-      gemm<T>(Trans::N, Trans::N, T(1),
-              MatrixView<const T>(basis.data(), n, s, basis.ld()),
-              MatrixView<const T>(y.data(), s, p, y.ld()), T(0), t.view());
+      {
+        obs::ScopedPhase sp(trace, obs::Phase::SmallDense);
+        DenseMatrix<T> y(s, p);
+        copy_into<T>(MatrixView<const T>(ghat.data(), s, p, ghat.ld()), y.view());
+        const DenseMatrix<T> rr = qr.r_matrix();
+        trsm_left_upper<T>(MatrixView<const T>(rr.data(), s, s, rr.ld()), y.view());
+        const auto& basis = (side == PrecondSide::Flexible) ? z : v;
+        gemm<T>(Trans::N, Trans::N, T(1),
+                MatrixView<const T>(basis.data(), n, s, basis.ld()),
+                MatrixView<const T>(y.data(), s, p, y.ld()), T(0), t.view());
+      }
       if (side == PrecondSide::Right) {
-        m->apply(t.view(), ztmp.view());
-        ++st.precond_applies;
+        {
+          obs::ScopedPhase sp(trace, obs::Phase::Precond);
+          m->apply(t.view(), ztmp.view());
+          ++st.precond_applies;
+        }
         for (index_t c = 0; c < p; ++c) axpy<T>(n, T(1), ztmp.col(c), x.col(c));
       } else {
         for (index_t c = 0; c < p; ++c) axpy<T>(n, T(1), t.col(c), x.col(c));
@@ -144,6 +169,7 @@ SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixV
     // flag is only set from that recomputation.
   }
   st.seconds = timer.seconds();
+  if (trace != nullptr) trace->end_solve(st.converged, st.iterations, st.cycles, st.seconds);
   return st;
 }
 
@@ -155,19 +181,32 @@ SolveStats pseudo_block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m,
   Timer timer;
   SolveStats st;
   const index_t n = a.n(), p = b.cols();
+  obs::TraceSink* const trace = opts.trace;
+  if (trace != nullptr) trace->begin_solve("pseudo_block_gmres", n, p);
   PrecondSide side = (m == nullptr) ? PrecondSide::None : opts.side;
   if (side == PrecondSide::Right && m != nullptr && m->is_variable()) side = PrecondSide::Flexible;
   const index_t mdim = opts.restart;
+
+  // Reduction accounting where the fused batch maps to ONE comm-model
+  // all-reduce but `k` paper-count synchronizations (MGS).
+  auto note_reductions = [&](std::int64_t k, std::int64_t bytes) {
+    st.reductions += k;
+    if (comm != nullptr) comm->reduction(bytes);
+    if (trace != nullptr) trace->phase(obs::Phase::Reduction, 0.0, k);
+  };
 
   std::vector<Real> bnorm(static_cast<size_t>(p)), rnorm(static_cast<size_t>(p));
   DenseMatrix<T> scratch;
   if (side == PrecondSide::Left) {
     scratch.resize(n, p);
-    m->apply(b, scratch.view());
-    ++st.precond_applies;
-    detail::norms<T>(scratch.view(), bnorm.data(), st, comm);
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::Precond);
+      m->apply(b, scratch.view());
+      ++st.precond_applies;
+    }
+    detail::norms<T>(scratch.view(), bnorm.data(), st, comm, trace);
   } else {
-    detail::norms<T>(b, bnorm.data(), st, comm);
+    detail::norms<T>(b, bnorm.data(), st, comm, trace);
   }
   for (auto& v : bnorm)
     if (v == Real(0)) v = Real(1);
@@ -187,8 +226,8 @@ SolveStats pseudo_block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m,
   bool done = false;
   while (!done && st.iterations < opts.max_iterations) {
     ++st.cycles;
-    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st);
-    detail::norms<T>(r.view(), rnorm.data(), st, comm);
+    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace);
     if (st.cycles == 1 && opts.record_history)
       for (index_t c = 0; c < p; ++c)
         st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
@@ -225,56 +264,68 @@ SolveStats pseudo_block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m,
       const auto vj = MatrixView<const T>(v.col(j * p), n, p, v.ld());
       MatrixView<T> zj =
           (side == PrecondSide::Flexible) ? z.block(0, j * p, n, p) : ztmp.view();
-      detail::apply_preconditioned<T>(a, m, side, vj, zj, w.view(), st);
+      detail::apply_preconditioned<T>(a, m, side, vj, zj, w.view(), st, trace);
       // Fused CGS projection: every lane's dots batch into one reduction.
       index_t nactive = 0;
       for (index_t l = 0; l < p; ++l) nactive += active[size_t(l)];
       if (nactive == 0) break;
-      hcol.set_zero();
-      for (index_t l = 0; l < p; ++l) {
-        if (!active[size_t(l)]) continue;
-        for (index_t i = 0; i <= j; ++i)
-          hcol(i, l) = dot<T>(n, v.col(i * p + l), w.col(l));
-      }
-      st.reductions += (opts.ortho == Ortho::Mgs) ? (j + 1) : 1;
-      if (comm != nullptr) comm->reduction((j + 1) * nactive * 8);
-      for (index_t l = 0; l < p; ++l) {
-        if (!active[size_t(l)]) continue;
-        for (index_t i = 0; i <= j; ++i) axpy<T>(n, -hcol(i, l), v.col(i * p + l), w.col(l));
-        if (opts.ortho == Ortho::Cgs2) {
-          for (index_t i = 0; i <= j; ++i) {
-            const T h2 = dot<T>(n, v.col(i * p + l), w.col(l));
-            hcol(i, l) += h2;
-            axpy<T>(n, -h2, v.col(i * p + l), w.col(l));
+      {
+        obs::ScopedPhase sp(trace, obs::Phase::OrthoProjection);
+        hcol.set_zero();
+        for (index_t l = 0; l < p; ++l) {
+          if (!active[size_t(l)]) continue;
+          for (index_t i = 0; i <= j; ++i)
+            hcol(i, l) = dot<T>(n, v.col(i * p + l), w.col(l));
+        }
+        note_reductions((opts.ortho == Ortho::Mgs) ? (j + 1) : 1, (j + 1) * nactive * 8);
+        for (index_t l = 0; l < p; ++l) {
+          if (!active[size_t(l)]) continue;
+          for (index_t i = 0; i <= j; ++i) axpy<T>(n, -hcol(i, l), v.col(i * p + l), w.col(l));
+          if (opts.ortho == Ortho::Cgs2) {
+            for (index_t i = 0; i <= j; ++i) {
+              const T h2 = dot<T>(n, v.col(i * p + l), w.col(l));
+              hcol(i, l) += h2;
+              axpy<T>(n, -h2, v.col(i * p + l), w.col(l));
+            }
           }
         }
+        if (opts.ortho == Ortho::Cgs2) note_reductions(1, (j + 1) * nactive * 8);
       }
-      if (opts.ortho == Ortho::Cgs2) {
-        st.reductions += 1;
-        if (comm != nullptr) comm->reduction((j + 1) * nactive * 8);
-      }
-      // Fused normalization.
-      st.reductions += 1;
-      if (comm != nullptr) comm->reduction(nactive * 8);
-      for (index_t l = 0; l < p; ++l) {
-        if (!active[size_t(l)]) continue;
-        const Real hn = norm2<T>(n, w.col(l));
-        hcol(j + 1, l) = scalar_traits<T>::from_real(hn);
-        if (hn > Real(0)) {
-          const T inv = scalar_traits<T>::from_real(Real(1) / hn);
-          for (index_t i = 0; i < n; ++i) v(i, (j + 1) * p + l) = w(i, l) * inv;
+      // Fused normalization (the per-lane Hessenberg QR updates ride in
+      // the same scope; their cost is O(m) per lane).
+      note_reductions(1, nactive * 8);
+      {
+        obs::ScopedPhase sp(trace, obs::Phase::OrthoNormalization);
+        for (index_t l = 0; l < p; ++l) {
+          if (!active[size_t(l)]) continue;
+          const Real hn = norm2<T>(n, w.col(l));
+          hcol(j + 1, l) = scalar_traits<T>::from_real(hn);
+          if (hn > Real(0)) {
+            const T inv = scalar_traits<T>::from_real(Real(1) / hn);
+            for (index_t i = 0; i < n; ++i) v(i, (j + 1) * p + l) = w(i, l) * inv;
+          }
+          qr[size_t(l)].add_column(hcol.col(l), j + 2);
+          qr[size_t(l)].apply_qt_range(ghat.block(0, l, mdim + 1, 1), j);
+          steps[size_t(l)] = j + 1;
+          const Real est = abs_val(ghat(j + 1, l));
+          rnorm[size_t(l)] = est;
+          if (opts.record_history) st.history[size_t(l)].push_back(est / bnorm[size_t(l)]);
+          if (est > opts.tol * bnorm[size_t(l)]) ++st.per_rhs_iterations[size_t(l)];
+          if (est <= opts.tol * bnorm[size_t(l)] || hn == Real(0)) active[size_t(l)] = 0;
         }
-        qr[size_t(l)].add_column(hcol.col(l), j + 2);
-        qr[size_t(l)].apply_qt_range(ghat.block(0, l, mdim + 1, 1), j);
-        steps[size_t(l)] = j + 1;
-        const Real est = abs_val(ghat(j + 1, l));
-        rnorm[size_t(l)] = est;
-        if (opts.record_history) st.history[size_t(l)].push_back(est / bnorm[size_t(l)]);
-        if (est > opts.tol * bnorm[size_t(l)]) ++st.per_rhs_iterations[size_t(l)];
-        if (est <= opts.tol * bnorm[size_t(l)] || hn == Real(0)) active[size_t(l)] = 0;
       }
       ++j;
       ++st.iterations;
+      if (trace != nullptr) {
+        obs::IterationEvent ev;
+        ev.cycle = st.cycles;
+        ev.iteration = st.iterations;
+        ev.basis_size = (j + 1) * p;
+        ev.residuals.resize(size_t(p));
+        for (index_t l = 0; l < p; ++l)
+          ev.residuals[size_t(l)] = rnorm[size_t(l)] / bnorm[size_t(l)];
+        trace->iteration(ev);
+      }
       bool any = false;
       for (index_t l = 0; l < p; ++l) any |= (active[size_t(l)] != 0);
       if (!any) break;
@@ -284,24 +335,30 @@ SolveStats pseudo_block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m,
     DenseMatrix<T> t(n, p);
     t.set_zero();
     bool updated = false;
-    for (index_t l = 0; l < p; ++l) {
-      const index_t s = usable_columns(qr[size_t(l)], steps[size_t(l)]);
-      if (s == 0) continue;
-      updated = true;
-      std::vector<T> y(static_cast<size_t>(s));
-      for (index_t i = 0; i < s; ++i) y[size_t(i)] = ghat(i, l);
-      for (index_t i = s - 1; i >= 0; --i) {
-        T acc = y[size_t(i)];
-        for (index_t c = i + 1; c < s; ++c) acc -= qr[size_t(l)].r(i, c) * y[size_t(c)];
-        y[size_t(i)] = acc / qr[size_t(l)].r(i, i);
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::SmallDense);
+      for (index_t l = 0; l < p; ++l) {
+        const index_t s = usable_columns(qr[size_t(l)], steps[size_t(l)]);
+        if (s == 0) continue;
+        updated = true;
+        std::vector<T> y(static_cast<size_t>(s));
+        for (index_t i = 0; i < s; ++i) y[size_t(i)] = ghat(i, l);
+        for (index_t i = s - 1; i >= 0; --i) {
+          T acc = y[size_t(i)];
+          for (index_t c = i + 1; c < s; ++c) acc -= qr[size_t(l)].r(i, c) * y[size_t(c)];
+          y[size_t(i)] = acc / qr[size_t(l)].r(i, i);
+        }
+        const auto& basis = (side == PrecondSide::Flexible) ? z : v;
+        for (index_t i = 0; i < s; ++i) axpy<T>(n, y[size_t(i)], basis.col(i * p + l), t.col(l));
       }
-      const auto& basis = (side == PrecondSide::Flexible) ? z : v;
-      for (index_t i = 0; i < s; ++i) axpy<T>(n, y[size_t(i)], basis.col(i * p + l), t.col(l));
     }
     if (updated) {
       if (side == PrecondSide::Right) {
-        m->apply(t.view(), ztmp.view());
-        ++st.precond_applies;
+        {
+          obs::ScopedPhase sp(trace, obs::Phase::Precond);
+          m->apply(t.view(), ztmp.view());
+          ++st.precond_applies;
+        }
         for (index_t c = 0; c < p; ++c) axpy<T>(n, T(1), ztmp.col(c), x.col(c));
       } else {
         for (index_t c = 0; c < p; ++c) axpy<T>(n, T(1), t.col(c), x.col(c));
@@ -311,6 +368,7 @@ SolveStats pseudo_block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m,
     }
   }
   st.seconds = timer.seconds();
+  if (trace != nullptr) trace->end_solve(st.converged, st.iterations, st.cycles, st.seconds);
   return st;
 }
 

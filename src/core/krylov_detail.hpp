@@ -1,15 +1,29 @@
 // Shared building blocks of the (block) Krylov implementations: the
 // preconditioned operator application, block orthogonalization schemes and
 // the block QR normalization, all instrumented with the reduction counts
-// of the paper's section III-D.
+// of the paper's section III-D and the per-phase timers of src/obs.
 #pragma once
 
 #include "core/operator.hpp"
 #include "core/solver.hpp"
 #include "la/blas.hpp"
 #include "la/qr.hpp"
+#include "obs/trace.hpp"
 
 namespace bkr::detail {
+
+// Account `k` global reductions at once: the SolveStats counter, the
+// communication model (bytes per reduction) and the trace's reduction
+// phase all stay in lockstep. Every solver routes its synchronization
+// points through here so the counter-accounting tests can assert
+// stats.reductions == trace reduction count exactly.
+inline void count_reductions(SolveStats& stats, CommModel* comm, obs::TraceSink* trace,
+                             std::int64_t k = 1, std::int64_t bytes = 8) {
+  stats.reductions += k;
+  if (comm != nullptr)
+    for (std::int64_t i = 0; i < k; ++i) comm->reduction(bytes);
+  if (trace != nullptr) trace->phase(obs::Phase::Reduction, 0.0, k);
+}
 
 // Z and W outputs of one preconditioned operator application on the block
 // V: W is the vector entering the Arnoldi recurrence; Z is the vector that
@@ -17,25 +31,37 @@ namespace bkr::detail {
 template <class T>
 void apply_preconditioned(const LinearOperator<T>& a, Preconditioner<T>* m, PrecondSide side,
                           MatrixView<const T> v, MatrixView<T> z, MatrixView<T> w,
-                          SolveStats& stats) {
+                          SolveStats& stats, obs::TraceSink* trace = nullptr) {
   switch (side) {
-    case PrecondSide::None:
+    case PrecondSide::None: {
+      obs::ScopedPhase sp(trace, obs::Phase::Spmm);
       a.apply(v, w);
       ++stats.operator_applies;
       break;
+    }
     case PrecondSide::Right:
-    case PrecondSide::Flexible:
-      m->apply(v, z);
-      ++stats.precond_applies;
+    case PrecondSide::Flexible: {
+      {
+        obs::ScopedPhase sp(trace, obs::Phase::Precond);
+        m->apply(v, z);
+        ++stats.precond_applies;
+      }
+      obs::ScopedPhase sp(trace, obs::Phase::Spmm);
       a.apply(MatrixView<const T>(z.data(), z.rows(), z.cols(), z.ld()), w);
       ++stats.operator_applies;
       break;
-    case PrecondSide::Left:
-      a.apply(v, z);  // z used as scratch: z = A v
-      ++stats.operator_applies;
+    }
+    case PrecondSide::Left: {
+      {
+        obs::ScopedPhase sp(trace, obs::Phase::Spmm);
+        a.apply(v, z);  // z used as scratch: z = A v
+        ++stats.operator_applies;
+      }
+      obs::ScopedPhase sp(trace, obs::Phase::Precond);
       m->apply(MatrixView<const T>(z.data(), z.rows(), z.cols(), z.ld()), w);
       ++stats.precond_applies;
       break;
+    }
   }
 }
 
@@ -43,19 +69,26 @@ void apply_preconditioned(const LinearOperator<T>& a, Preconditioner<T>* m, Prec
 template <class T>
 void residual(const LinearOperator<T>& a, Preconditioner<T>* m, PrecondSide side,
               MatrixView<const T> b, MatrixView<const T> x, MatrixView<T> r,
-              DenseMatrix<T>& scratch, SolveStats& stats) {
+              DenseMatrix<T>& scratch, SolveStats& stats, obs::TraceSink* trace = nullptr) {
   const index_t n = b.rows(), p = b.cols();
   if (side == PrecondSide::Left) {
     scratch.resize(n, p);
-    a.apply(x, scratch.view());
-    ++stats.operator_applies;
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::Spmm);
+      a.apply(x, scratch.view());
+      ++stats.operator_applies;
+    }
     for (index_t c = 0; c < p; ++c)
       for (index_t i = 0; i < n; ++i) scratch(i, c) = b(i, c) - scratch(i, c);
+    obs::ScopedPhase sp(trace, obs::Phase::Precond);
     m->apply(scratch.view(), r);
     ++stats.precond_applies;
   } else {
-    a.apply(x, r);
-    ++stats.operator_applies;
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::Spmm);
+      a.apply(x, r);
+      ++stats.operator_applies;
+    }
     for (index_t c = 0; c < p; ++c)
       for (index_t i = 0; i < n; ++i) r(i, c) = b(i, c) - r(i, c);
   }
@@ -67,14 +100,11 @@ void residual(const LinearOperator<T>& a, Preconditioner<T>* m, PrecondSide side
 // global reduction, MGS needs one per basis block.
 template <class T>
 void project(MatrixView<const T> basis, index_t s, MatrixView<T> w, MatrixView<T> h, Ortho ortho,
-             index_t block, SolveStats& stats, CommModel* comm) {
+             index_t block, SolveStats& stats, CommModel* comm, obs::TraceSink* trace = nullptr) {
   if (s == 0) return;
+  obs::ScopedPhase sp(trace, obs::Phase::OrthoProjection);
   const auto v = basis.cols_view(0, s);
-  auto count = [&](std::int64_t k) {
-    stats.reductions += k;
-    if (comm != nullptr)
-      while (k-- > 0) comm->reduction();
-  };
+  auto count = [&](std::int64_t k) { count_reductions(stats, comm, trace, k); };
   const auto wc = MatrixView<const T>(w.data(), w.rows(), w.cols(), w.ld());
   switch (ortho) {
     case Ortho::Cgs:
@@ -113,9 +143,10 @@ void project(MatrixView<const T> basis, index_t s, MatrixView<T> w, MatrixView<T
 // the fallback produced a numerically rank-deficient R (exact block
 // breakdown).
 template <class T>
-bool qr_block(MatrixView<T> w, MatrixView<T> r, SolveStats& stats, CommModel* comm) {
-  stats.reductions += 1;
-  if (comm != nullptr) comm->reduction(w.cols() * w.cols() * 8);
+bool qr_block(MatrixView<T> w, MatrixView<T> r, SolveStats& stats, CommModel* comm,
+              obs::TraceSink* trace = nullptr) {
+  obs::ScopedPhase sp(trace, obs::Phase::OrthoNormalization);
+  count_reductions(stats, comm, trace, 1, w.cols() * w.cols() * 8);
   if (!cholqr<T>(w, r)) householder_tsqr<T>(w, r);
   real_t<T> dmax(0);
   for (index_t c = 0; c < r.cols(); ++c) dmax = std::max(dmax, abs_val(r(c, c)));
@@ -124,9 +155,13 @@ bool qr_block(MatrixView<T> w, MatrixView<T> r, SolveStats& stats, CommModel* co
   return true;
 }
 
-// Per-column norms with reduction accounting (one fused reduction).
+// Per-column norms with reduction accounting (one fused reduction). The
+// compute *is* the global reduction, so its time lands in that phase.
 template <class T>
-void norms(MatrixView<const T> x, real_t<T>* out, SolveStats& stats, CommModel* comm) {
+void norms(MatrixView<const T> x, real_t<T>* out, SolveStats& stats, CommModel* comm,
+           obs::TraceSink* trace = nullptr) {
+  // The ScopedPhase itself contributes the single reduction count.
+  obs::ScopedPhase sp(trace, obs::Phase::Reduction);
   column_norms<T>(x, out);
   stats.reductions += 1;
   if (comm != nullptr) comm->reduction(x.cols() * 8);

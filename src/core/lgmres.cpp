@@ -15,6 +15,8 @@ SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::v
   Timer timer;
   SolveStats st;
   const index_t n = a.n();
+  obs::TraceSink* const trace = opts.trace;
+  if (trace != nullptr) trace->begin_solve("lgmres", n, 1);
   PrecondSide side = (m == nullptr) ? PrecondSide::None : opts.side;
   if (side == PrecondSide::Right && m != nullptr && m->is_variable()) side = PrecondSide::Flexible;
   const index_t total = opts.restart;              // total space per cycle
@@ -25,11 +27,14 @@ SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::v
   const auto bview = MatrixView<const T>(b.data(), n, 1, n);
   if (side == PrecondSide::Left) {
     scratch.resize(n, 1);
-    m->apply(bview, scratch.view());
-    ++st.precond_applies;
-    detail::norms<T>(scratch.view(), &bnorm, st, comm);
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::Precond);
+      m->apply(bview, scratch.view());
+      ++st.precond_applies;
+    }
+    detail::norms<T>(scratch.view(), &bnorm, st, comm, trace);
   } else {
-    detail::norms<T>(bview, &bnorm, st, comm);
+    detail::norms<T>(bview, &bnorm, st, comm, trace);
   }
   if (bnorm == Real(0)) bnorm = Real(1);
   st.history.resize(1);
@@ -44,9 +49,9 @@ SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::v
 
   while (st.iterations < opts.max_iterations) {
     ++st.cycles;
-    detail::residual<T>(a, m, side, bview, xview, r.view(), scratch, st);
+    detail::residual<T>(a, m, side, bview, xview, r.view(), scratch, st, trace);
     Real rnorm;
-    detail::norms<T>(r.view(), &rnorm, st, comm);
+    detail::norms<T>(r.view(), &rnorm, st, comm, trace);
     if (st.cycles == 1 && opts.record_history) st.history[0].push_back(rnorm / bnorm);
     if (rnorm <= opts.tol * bnorm) {
       st.converged = true;
@@ -77,38 +82,59 @@ SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::v
       MatrixView<T> zj = (side == PrecondSide::Flexible) ? zflex.block(0, j, n, 1) : ztmp.view();
       if (is_aug) {
         // Augmentation vectors live in solution space: w = A z directly.
-        a.apply(input, w.view());
-        ++st.operator_applies;
+        {
+          obs::ScopedPhase sp(trace, obs::Phase::Spmm);
+          a.apply(input, w.view());
+          ++st.operator_applies;
+        }
         if (side == PrecondSide::Left) {
+          obs::ScopedPhase sp(trace, obs::Phase::Precond);
           copy_into<T>(MatrixView<const T>(w.data(), n, 1, n), ztmp.view());
           m->apply(ztmp.view(), w.view());
           ++st.precond_applies;
         }
       } else {
-        detail::apply_preconditioned<T>(a, m, side, input, zj, w.view(), st);
+        detail::apply_preconditioned<T>(a, m, side, input, zj, w.view(), st, trace);
       }
       std::fill(hcol.begin(), hcol.end(), T(0));
       detail::project<T>(v.view(), j + 1,
                          MatrixView<T>(w.data(), n, 1, n),
                          MatrixView<T>(hcol.data(), index_t(hcol.size()), 1,
                                        index_t(hcol.size())),
-                         opts.ortho, 1, st, comm);
-      const Real hn = norm2<T>(n, w.col(0));
-      hcol[size_t(j) + 1] = scalar_traits<T>::from_real(hn);
-      st.reductions += 1;
-      if (comm != nullptr) comm->reduction(8);
-      if (hn > Real(0)) {
-        const T hinv = scalar_traits<T>::from_real(Real(1) / hn);
-        for (index_t i = 0; i < n; ++i) v(i, j + 1) = w(i, 0) * hinv;
+                         opts.ortho, 1, st, comm, trace);
+      Real hn;
+      {
+        obs::ScopedPhase sp(trace, obs::Phase::OrthoNormalization);
+        hn = norm2<T>(n, w.col(0));
+        hcol[size_t(j) + 1] = scalar_traits<T>::from_real(hn);
+        st.reductions += 1;
+        if (comm != nullptr) comm->reduction(8);
+        if (trace != nullptr) trace->phase(obs::Phase::Reduction, 0.0, 1);
+        if (hn > Real(0)) {
+          const T hinv = scalar_traits<T>::from_real(Real(1) / hn);
+          for (index_t i = 0; i < n; ++i) v(i, j + 1) = w(i, 0) * hinv;
+        }
       }
-      qr.add_column(hcol.data(), j + 2);
-      qr.apply_qt_range(MatrixView<T>(ghat.data(), index_t(ghat.size()), 1, index_t(ghat.size())),
-                        j);
+      {
+        obs::ScopedPhase sp(trace, obs::Phase::SmallDense);
+        qr.add_column(hcol.data(), j + 2);
+        qr.apply_qt_range(MatrixView<T>(ghat.data(), index_t(ghat.size()), 1, index_t(ghat.size())),
+                          j);
+      }
       ++j;
       ++st.iterations;
       const Real est = abs_val(ghat[size_t(j)]);
       if (opts.record_history) st.history[0].push_back(est / bnorm);
       if (est > opts.tol * bnorm) ++st.per_rhs_iterations[0];
+      if (trace != nullptr) {
+        obs::IterationEvent ev;
+        ev.cycle = st.cycles;
+        ev.iteration = st.iterations;
+        ev.basis_size = j + 1;
+        ev.recycle_dim = naug;
+        ev.residuals.assign(1, est / bnorm);
+        trace->iteration(ev);
+      }
       if (hn == Real(0)) break;
       if (est <= opts.tol * bnorm) {
         hit = true;
@@ -119,24 +145,28 @@ SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::v
     // Least squares over the j columns.
     if (j == 0) break;
     std::vector<T> y(ghat.begin(), ghat.begin() + j);
-    for (index_t i = j - 1; i >= 0; --i) {
-      T acc = y[size_t(i)];
-      for (index_t c = i + 1; c < j; ++c) acc -= qr.r(i, c) * y[size_t(c)];
-      if (abs_val(qr.r(i, i)) == Real(0)) {
-        y[size_t(i)] = T(0);
-        continue;
-      }
-      y[size_t(i)] = acc / qr.r(i, i);
-    }
-    // x update: Krylov part (preconditioned for Right) + augmentation part.
     DenseMatrix<T> t(n, 1);
     const index_t jk = std::min(j, mk);
-    for (index_t i = 0; i < jk; ++i) {
-      const T* col = (side == PrecondSide::Flexible) ? zflex.col(i) : v.col(i);
-      axpy<T>(n, y[size_t(i)], col, t.col(0));
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::SmallDense);
+      for (index_t i = j - 1; i >= 0; --i) {
+        T acc = y[size_t(i)];
+        for (index_t c = i + 1; c < j; ++c) acc -= qr.r(i, c) * y[size_t(c)];
+        if (abs_val(qr.r(i, i)) == Real(0)) {
+          y[size_t(i)] = T(0);
+          continue;
+        }
+        y[size_t(i)] = acc / qr.r(i, i);
+      }
+      // x update: Krylov part (preconditioned for Right) + augmentation part.
+      for (index_t i = 0; i < jk; ++i) {
+        const T* col = (side == PrecondSide::Flexible) ? zflex.col(i) : v.col(i);
+        axpy<T>(n, y[size_t(i)], col, t.col(0));
+      }
     }
     std::vector<T> dx(static_cast<size_t>(n), T(0));
     if (side == PrecondSide::Right) {
+      obs::ScopedPhase sp(trace, obs::Phase::Precond);
       m->apply(t.view(), ztmp.view());
       ++st.precond_applies;
       for (index_t i = 0; i < n; ++i) dx[size_t(i)] = ztmp(i, 0);
@@ -147,9 +177,13 @@ SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::v
       axpy<T>(n, y[size_t(i)], augmented[size_t(i - jk)].data(), dx.data());
     for (index_t i = 0; i < n; ++i) x[size_t(i)] += dx[size_t(i)];
     // Record the error approximation (normalized), newest first.
-    Real dxn = norm2<T>(n, dx.data());
-    st.reductions += 1;
-    if (comm != nullptr) comm->reduction(8);
+    Real dxn;
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::Reduction);
+      dxn = norm2<T>(n, dx.data());
+      st.reductions += 1;
+      if (comm != nullptr) comm->reduction(8);
+    }
     if (dxn > Real(0)) {
       const T dinv = scalar_traits<T>::from_real(Real(1) / dxn);
       for (auto& val : dx) val *= dinv;
@@ -158,6 +192,7 @@ SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::v
     }
   }
   st.seconds = timer.seconds();
+  if (trace != nullptr) trace->end_solve(st.converged, st.iterations, st.cycles, st.seconds);
   return st;
 }
 

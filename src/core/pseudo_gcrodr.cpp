@@ -164,6 +164,8 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
   Timer timer;
   SolveStats st;
   const index_t n = a.n(), p = b.cols();
+  obs::TraceSink* const trace = opts_.trace;
+  if (trace != nullptr) trace->begin_solve("pseudo_gcrodr", n, p);
   PrecondSide side = (m == nullptr) ? PrecondSide::None : opts_.side;
   if (side == PrecondSide::Right && m != nullptr && m->is_variable()) side = PrecondSide::Flexible;
   const index_t mdim = opts_.restart;
@@ -191,18 +193,21 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
   std::vector<Real> bnorm(static_cast<size_t>(p)), rnorm(static_cast<size_t>(p));
   if (side == PrecondSide::Left) {
     scratch.resize(n, p);
-    m->apply(b, scratch.view());
-    ++st.precond_applies;
-    detail::norms<T>(scratch.view(), bnorm.data(), st, comm);
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::Precond);
+      m->apply(b, scratch.view());
+      ++st.precond_applies;
+    }
+    detail::norms<T>(scratch.view(), bnorm.data(), st, comm, trace);
   } else {
-    detail::norms<T>(b, bnorm.data(), st, comm);
+    detail::norms<T>(b, bnorm.data(), st, comm, trace);
   }
   for (auto& v : bnorm)
     if (v == Real(0)) v = Real(1);
 
   DenseMatrix<T> r(n, p), w(n, p), ztmp(n, p);
-  detail::residual<T>(a, m, side, b, x, r.view(), scratch, st);
-  detail::norms<T>(r.view(), rnorm.data(), st, comm);
+  detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace);
+  detail::norms<T>(r.view(), rnorm.data(), st, comm, trace);
   for (index_t l = 0; l < p; ++l) {
     lanes[size_t(l)].bnorm = bnorm[size_t(l)];
     lanes[size_t(l)].rnorm = rnorm[size_t(l)];
@@ -225,23 +230,34 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
         copy_into<T>(lanes[size_t(l)].u.view(), uall.block(0, l * k, n, k));
       if (side == PrecondSide::Right) {
         DenseMatrix<T> tmp(n, k * p);
-        m->apply(uall.view(), tmp.view());
-        ++st.precond_applies;
+        {
+          obs::ScopedPhase sp(trace, obs::Phase::Precond);
+          m->apply(uall.view(), tmp.view());
+          ++st.precond_applies;
+        }
+        obs::ScopedPhase sp(trace, obs::Phase::Spmm);
         a.apply(tmp.view(), wall.view());
         ++st.operator_applies;
       } else if (side == PrecondSide::Left) {
         DenseMatrix<T> tmp(n, k * p);
-        a.apply(uall.view(), tmp.view());
-        ++st.operator_applies;
+        {
+          obs::ScopedPhase sp(trace, obs::Phase::Spmm);
+          a.apply(uall.view(), tmp.view());
+          ++st.operator_applies;
+        }
+        obs::ScopedPhase sp(trace, obs::Phase::Precond);
         m->apply(tmp.view(), wall.view());
         ++st.precond_applies;
       } else {
+        obs::ScopedPhase sp(trace, obs::Phase::Spmm);
         a.apply(uall.view(), wall.view());
         ++st.operator_applies;
       }
       // Per-lane CholQR of its k columns (one fused reduction).
+      obs::ScopedPhase sp(trace, obs::Phase::OrthoNormalization);
       st.reductions += 1;
       if (comm != nullptr) comm->reduction(p * k * k * 8);
+      if (trace != nullptr) trace->phase(obs::Phase::Reduction, 0.0, 1);
       for (index_t l = 0; l < p; ++l) {
         auto wl = wall.block(0, l * k, n, k);
         DenseMatrix<T> rq(k, k);
@@ -251,29 +267,35 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
       }
     }
     // X += U C^H r; r -= C C^H r (fused dots: one reduction).
-    st.reductions += 1;
-    if (comm != nullptr) comm->reduction(p * k * 8);
     DenseMatrix<T> t(n, p);
     t.set_zero();
-    for (index_t l = 0; l < p; ++l) {
-      auto& lane = lanes[size_t(l)];
-      if (lane.converged) continue;
-      std::vector<T> y0(static_cast<size_t>(k));
-      for (index_t i = 0; i < k; ++i) y0[size_t(i)] = dot<T>(n, lane.c.col(i), r.col(l));
-      for (index_t i = 0; i < k; ++i) {
-        axpy<T>(n, y0[size_t(i)], lane.u.col(i), t.col(l));
-        axpy<T>(n, -y0[size_t(i)], lane.c.col(i), r.col(l));
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::Reduction);
+      st.reductions += 1;
+      if (comm != nullptr) comm->reduction(p * k * 8);
+      for (index_t l = 0; l < p; ++l) {
+        auto& lane = lanes[size_t(l)];
+        if (lane.converged) continue;
+        std::vector<T> y0(static_cast<size_t>(k));
+        for (index_t i = 0; i < k; ++i) y0[size_t(i)] = dot<T>(n, lane.c.col(i), r.col(l));
+        for (index_t i = 0; i < k; ++i) {
+          axpy<T>(n, y0[size_t(i)], lane.u.col(i), t.col(l));
+          axpy<T>(n, -y0[size_t(i)], lane.c.col(i), r.col(l));
+        }
       }
     }
     if (side == PrecondSide::Right) {
-      m->apply(t.view(), ztmp.view());
-      ++st.precond_applies;
+      {
+        obs::ScopedPhase sp(trace, obs::Phase::Precond);
+        m->apply(t.view(), ztmp.view());
+        ++st.precond_applies;
+      }
       for (index_t l = 0; l < p; ++l) axpy<T>(n, T(1), ztmp.col(l), x.col(l));
     } else {
       for (index_t l = 0; l < p; ++l) axpy<T>(n, T(1), t.col(l), x.col(l));
     }
     // The projection changed the residual: refresh norms and flags.
-    detail::norms<T>(r.view(), rnorm.data(), st, comm);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace);
     for (index_t l = 0; l < p; ++l) {
       lanes[size_t(l)].rnorm = rnorm[size_t(l)];
       lanes[size_t(l)].converged = rnorm[size_t(l)] <= opts_.tol * bnorm[size_t(l)];
@@ -290,23 +312,26 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
     const bool project = !first_cycle;
     // Cycle start: normalize each lane's residual (norms already known
     // from the last batched residual evaluation) and C^H r.
-    for (index_t l = 0; l < p; ++l) {
-      auto& lane = lanes[size_t(l)];
-      lane.active = !lane.converged;
-      lane.start_cycle(n, max_steps, side, project ? lane.u.cols() : 0);
-      if (!lane.active) continue;
-      const Real beta = lane.rnorm;
-      const T inv = scalar_traits<T>::from_real(Real(1) / beta);
-      for (index_t i = 0; i < n; ++i) lane.v(i, 0) = r(i, l) * inv;
-      lane.ghat[0] = scalar_traits<T>::from_real(beta);
-      if (project) {
-        lane.yc.assign(static_cast<size_t>(lane.u.cols()), T(0));
-        for (index_t i = 0; i < lane.u.cols(); ++i)
-          lane.yc[size_t(i)] = dot<T>(n, lane.c.col(i), r.col(l));
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::Reduction);
+      for (index_t l = 0; l < p; ++l) {
+        auto& lane = lanes[size_t(l)];
+        lane.active = !lane.converged;
+        lane.start_cycle(n, max_steps, side, project ? lane.u.cols() : 0);
+        if (!lane.active) continue;
+        const Real beta = lane.rnorm;
+        const T inv = scalar_traits<T>::from_real(Real(1) / beta);
+        for (index_t i = 0; i < n; ++i) lane.v(i, 0) = r(i, l) * inv;
+        lane.ghat[0] = scalar_traits<T>::from_real(beta);
+        if (project) {
+          lane.yc.assign(static_cast<size_t>(lane.u.cols()), T(0));
+          for (index_t i = 0; i < lane.u.cols(); ++i)
+            lane.yc[size_t(i)] = dot<T>(n, lane.c.col(i), r.col(l));
+        }
       }
+      st.reductions += 1;  // fused residual QR (norms) / C^H r
+      if (comm != nullptr) comm->reduction(p * 8);
     }
-    st.reductions += 1;  // fused residual QR (norms) / C^H r
-    if (comm != nullptr) comm->reduction(p * 8);
 
     index_t j = 0;
     while (j < max_steps && st.iterations < opts_.max_iterations) {
@@ -316,14 +341,16 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
         if (lanes[size_t(l)].active)
           std::copy(lanes[size_t(l)].v.col(j), lanes[size_t(l)].v.col(j) + n, vin.col(l));
       MatrixView<T> zj = ztmp.view();
-      detail::apply_preconditioned<T>(a, m, side, vin.view(), zj, w.view(), st);
+      detail::apply_preconditioned<T>(a, m, side, vin.view(), zj, w.view(), st, trace);
       index_t nactive = 0;
       for (const auto& lane : lanes) nactive += lane.active ? 1 : 0;
       if (nactive == 0) break;
       // Projection against each lane's C (one fused reduction).
       if (project) {
+        obs::ScopedPhase sp(trace, obs::Phase::OrthoProjection);
         st.reductions += 1;
         if (comm != nullptr) comm->reduction(nactive * k * 8);
+        if (trace != nullptr) trace->phase(obs::Phase::Reduction, 0.0, 1);
         for (index_t l = 0; l < p; ++l) {
           auto& lane = lanes[size_t(l)];
           if (!lane.active) continue;
@@ -334,47 +361,64 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
           }
         }
       }
-      // Fused CGS projection + normalization (2 reductions).
+      // Fused CGS projection + normalization (2 reductions). The per-lane
+      // work interleaves both, so the span is attributed to the
+      // projection phase and the reduction counts ride as count-only.
       st.reductions += 2;
       if (comm != nullptr) {
         comm->reduction(nactive * (j + 1) * 8);
         comm->reduction(nactive * 8);
       }
-      for (index_t l = 0; l < p; ++l) {
-        auto& lane = lanes[size_t(l)];
-        if (!lane.active) continue;
-        if (side == PrecondSide::Flexible) std::copy(zj.col(l), zj.col(l) + n, lane.z.col(j));
-        std::vector<T> hcol(static_cast<size_t>(max_steps) + 1, T(0));
-        for (index_t i = 0; i <= j; ++i) hcol[size_t(i)] = dot<T>(n, lane.v.col(i), w.col(l));
-        for (index_t i = 0; i <= j; ++i) axpy<T>(n, -hcol[size_t(i)], lane.v.col(i), w.col(l));
-        if (opts_.ortho == Ortho::Cgs2) {
-          for (index_t i = 0; i <= j; ++i) {
-            const T h2 = dot<T>(n, lane.v.col(i), w.col(l));
-            hcol[size_t(i)] += h2;
-            axpy<T>(n, -h2, lane.v.col(i), w.col(l));
+      if (trace != nullptr) trace->phase(obs::Phase::Reduction, 0.0, 2);
+      {
+        obs::ScopedPhase sp(trace, obs::Phase::OrthoProjection);
+        for (index_t l = 0; l < p; ++l) {
+          auto& lane = lanes[size_t(l)];
+          if (!lane.active) continue;
+          if (side == PrecondSide::Flexible) std::copy(zj.col(l), zj.col(l) + n, lane.z.col(j));
+          std::vector<T> hcol(static_cast<size_t>(max_steps) + 1, T(0));
+          for (index_t i = 0; i <= j; ++i) hcol[size_t(i)] = dot<T>(n, lane.v.col(i), w.col(l));
+          for (index_t i = 0; i <= j; ++i) axpy<T>(n, -hcol[size_t(i)], lane.v.col(i), w.col(l));
+          if (opts_.ortho == Ortho::Cgs2) {
+            for (index_t i = 0; i <= j; ++i) {
+              const T h2 = dot<T>(n, lane.v.col(i), w.col(l));
+              hcol[size_t(i)] += h2;
+              axpy<T>(n, -h2, lane.v.col(i), w.col(l));
+            }
           }
+          const Real hn = norm2<T>(n, w.col(l));
+          hcol[size_t(j) + 1] = scalar_traits<T>::from_real(hn);
+          if (hn > Real(0)) {
+            const T inv = scalar_traits<T>::from_real(Real(1) / hn);
+            for (index_t i = 0; i < n; ++i) lane.v(i, j + 1) = w(i, l) * inv;
+          }
+          for (index_t i = 0; i < j + 2; ++i) lane.hbar(i, j) = hcol[size_t(i)];
+          lane.qr.add_column(hcol.data(), j + 2);
+          lane.qr.apply_qt_range(
+              MatrixView<T>(lane.ghat.data(), index_t(lane.ghat.size()), 1,
+                            index_t(lane.ghat.size())),
+              j);
+          lane.steps = j + 1;
+          const Real est = abs_val(lane.ghat[size_t(j) + 1]);
+          lane.rnorm = est;
+          if (opts_.record_history) st.history[size_t(l)].push_back(est / lane.bnorm);
+          if (est > opts_.tol * lane.bnorm) ++st.per_rhs_iterations[size_t(l)];
+          if (est <= opts_.tol * lane.bnorm || hn == Real(0)) lane.active = false;
         }
-        const Real hn = norm2<T>(n, w.col(l));
-        hcol[size_t(j) + 1] = scalar_traits<T>::from_real(hn);
-        if (hn > Real(0)) {
-          const T inv = scalar_traits<T>::from_real(Real(1) / hn);
-          for (index_t i = 0; i < n; ++i) lane.v(i, j + 1) = w(i, l) * inv;
-        }
-        for (index_t i = 0; i < j + 2; ++i) lane.hbar(i, j) = hcol[size_t(i)];
-        lane.qr.add_column(hcol.data(), j + 2);
-        lane.qr.apply_qt_range(
-            MatrixView<T>(lane.ghat.data(), index_t(lane.ghat.size()), 1,
-                          index_t(lane.ghat.size())),
-            j);
-        lane.steps = j + 1;
-        const Real est = abs_val(lane.ghat[size_t(j) + 1]);
-        lane.rnorm = est;
-        if (opts_.record_history) st.history[size_t(l)].push_back(est / lane.bnorm);
-        if (est > opts_.tol * lane.bnorm) ++st.per_rhs_iterations[size_t(l)];
-        if (est <= opts_.tol * lane.bnorm || hn == Real(0)) lane.active = false;
       }
       ++j;
       ++st.iterations;
+      if (trace != nullptr) {
+        obs::IterationEvent ev;
+        ev.cycle = st.cycles;
+        ev.iteration = st.iterations;
+        ev.basis_size = j + 1;
+        ev.recycle_dim = project ? k : 0;
+        ev.residuals.resize(size_t(p));
+        for (index_t l = 0; l < p; ++l)
+          ev.residuals[size_t(l)] = lanes[size_t(l)].rnorm / lanes[size_t(l)].bnorm;
+        trace->iteration(ev);
+      }
       bool any = false;
       for (const auto& lane : lanes) any |= lane.active;
       if (!any) break;
@@ -384,39 +428,45 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
     DenseMatrix<T> t(n, p);
     t.set_zero();
     bool progress = false;
-    for (index_t l = 0; l < p; ++l) {
-      auto& lane = lanes[size_t(l)];
-      if (lane.converged || lane.steps == 0) continue;
-      const index_t s = usable_scalar_columns(lane.qr, lane.steps);
-      if (s == 0) continue;
-      progress = true;
-      const std::vector<T> y = lane.least_squares(s);
-      const auto& basis = lane.update_basis(side);
-      for (index_t i = 0; i < s; ++i) axpy<T>(n, y[size_t(i)], basis.col(i), t.col(l));
-      if (project) {
-        // Y_k = C^H r - E y (fig. 1 line 28).
-        std::vector<T> yk = lane.yc;
-        for (index_t i = 0; i < lane.u.cols(); ++i)
-          for (index_t cc = 0; cc < s; ++cc) yk[size_t(i)] -= lane.e(i, cc) * y[size_t(cc)];
-        if (side == PrecondSide::Flexible) {
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::SmallDense);
+      for (index_t l = 0; l < p; ++l) {
+        auto& lane = lanes[size_t(l)];
+        if (lane.converged || lane.steps == 0) continue;
+        const index_t s = usable_scalar_columns(lane.qr, lane.steps);
+        if (s == 0) continue;
+        progress = true;
+        const std::vector<T> y = lane.least_squares(s);
+        const auto& basis = lane.update_basis(side);
+        for (index_t i = 0; i < s; ++i) axpy<T>(n, y[size_t(i)], basis.col(i), t.col(l));
+        if (project) {
+          // Y_k = C^H r - E y (fig. 1 line 28).
+          std::vector<T> yk = lane.yc;
           for (index_t i = 0; i < lane.u.cols(); ++i)
-            axpy<T>(n, yk[size_t(i)], lane.u.col(i), x.col(l));
-        } else {
-          for (index_t i = 0; i < lane.u.cols(); ++i)
-            axpy<T>(n, yk[size_t(i)], lane.u.col(i), t.col(l));
+            for (index_t cc = 0; cc < s; ++cc) yk[size_t(i)] -= lane.e(i, cc) * y[size_t(cc)];
+          if (side == PrecondSide::Flexible) {
+            for (index_t i = 0; i < lane.u.cols(); ++i)
+              axpy<T>(n, yk[size_t(i)], lane.u.col(i), x.col(l));
+          } else {
+            for (index_t i = 0; i < lane.u.cols(); ++i)
+              axpy<T>(n, yk[size_t(i)], lane.u.col(i), t.col(l));
+          }
         }
       }
     }
     if (!progress) break;
     if (side == PrecondSide::Right) {
-      m->apply(t.view(), ztmp.view());
-      ++st.precond_applies;
+      {
+        obs::ScopedPhase sp(trace, obs::Phase::Precond);
+        m->apply(t.view(), ztmp.view());
+        ++st.precond_applies;
+      }
       for (index_t l = 0; l < p; ++l) axpy<T>(n, T(1), ztmp.col(l), x.col(l));
     } else {
       for (index_t l = 0; l < p; ++l) axpy<T>(n, T(1), t.col(l), x.col(l));
     }
-    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st);
-    detail::norms<T>(r.view(), rnorm.data(), st, comm);
+    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace);
     for (index_t l = 0; l < p; ++l) {
       lanes[size_t(l)].rnorm = rnorm[size_t(l)];
       lanes[size_t(l)].converged = rnorm[size_t(l)] <= opts_.tol * bnorm[size_t(l)];
@@ -424,9 +474,11 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
     // Refresh the recycled spaces (first cycle always seeds them; later
     // cycles only when the matrix changes — section III-B).
     if (first_cycle || matrix_changed) {
+      obs::ScopedPhase sp(trace, obs::Phase::RestartEig);
       if (!first_cycle) {
         st.reductions += 1;  // fused ||u_i|| scaling norms
         if (comm != nullptr) comm->reduction(p * k * 8);
+        if (trace != nullptr) trace->phase(obs::Phase::Reduction, 0.0, 1);
       }
       for (index_t l = 0; l < p; ++l) {
         auto& lane = lanes[size_t(l)];
@@ -437,6 +489,7 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
       if (opts_.strategy == RecycleStrategy::A && !first_cycle) {
         st.reductions += 1;  // [C V]^H U of eq. 3a (fused over lanes)
         if (comm != nullptr) comm->reduction(p * k * 8);
+        if (trace != nullptr) trace->phase(obs::Phase::Reduction, 0.0, 1);
       }
     }
     first_cycle = false;
@@ -457,6 +510,7 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
   }
   st.converged = all_converged();
   st.seconds = timer.seconds();
+  if (trace != nullptr) trace->end_solve(st.converged, st.iterations, st.cycles, st.seconds);
   return st;
 }
 

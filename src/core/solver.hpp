@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/trace.hpp"
 
 namespace bkr {
 
@@ -48,6 +49,10 @@ struct SolverOptions {
   // a residual-accuracy floor near 1e-8.
   Ortho ortho = Ortho::Cgs2;
   bool record_history = true;
+  // Optional observability sink (not owned). When null — the default —
+  // the instrumentation reduces to pointer tests: no clock reads, no
+  // allocation, no virtual calls on the hot path.
+  obs::TraceSink* trace = nullptr;
 };
 
 struct SolveStats {

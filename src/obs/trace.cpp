@@ -1,0 +1,174 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace bkr::obs {
+
+namespace {
+
+constexpr const char* kPhaseNames[kPhaseCount] = {
+    "spmm",      "precond",     "ortho_projection", "ortho_normalization",
+    "reduction", "small_dense", "restart_eig",
+};
+
+void json_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+// Shortest round-trip-safe double formatting (%.17g keeps bit identity,
+// which the determinism tests rely on).
+void json_double(std::ostream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+const char* phase_name(Phase p) { return kPhaseNames[static_cast<int>(p)]; }
+
+SolverTrace::SolveRecord& SolverTrace::current() {
+  if (!open_) {
+    solves_.emplace_back();
+    solves_.back().method = "unknown";
+    open_ = true;
+  }
+  return solves_.back();
+}
+
+void SolverTrace::begin_solve(const char* method, index_t n, index_t nrhs) {
+  solves_.emplace_back();
+  auto& rec = solves_.back();
+  rec.method = method == nullptr ? "unknown" : method;
+  rec.n = n;
+  rec.nrhs = nrhs;
+  open_ = true;
+}
+
+void SolverTrace::end_solve(bool converged, index_t iterations, index_t cycles, double seconds) {
+  auto& rec = current();
+  rec.converged = converged;
+  rec.iterations = iterations;
+  rec.cycles = cycles;
+  rec.seconds = seconds;
+  open_ = false;
+}
+
+void SolverTrace::phase(Phase p, double seconds, std::int64_t count) {
+  auto& totals = current().phases[static_cast<int>(p)];
+  totals.seconds += seconds;
+  totals.count += count;
+}
+
+void SolverTrace::iteration(const IterationEvent& ev) { current().events.push_back(ev); }
+
+SolverTrace::PhaseTotals SolverTrace::phase_totals(Phase p) const {
+  PhaseTotals out;
+  for (const auto& rec : solves_) {
+    out.seconds += rec.phases[static_cast<int>(p)].seconds;
+    out.count += rec.phases[static_cast<int>(p)].count;
+  }
+  return out;
+}
+
+double SolverTrace::total_phase_seconds() const {
+  double s = 0;
+  for (int p = 0; p < kPhaseCount; ++p) s += phase_totals(static_cast<Phase>(p)).seconds;
+  return s;
+}
+
+double SolverTrace::total_solve_seconds() const {
+  double s = 0;
+  for (const auto& rec : solves_) s += rec.seconds;
+  return s;
+}
+
+void SolverTrace::clear() {
+  solves_.clear();
+  open_ = false;
+}
+
+void SolverTrace::write_json(std::ostream& os) const {
+  os << "{\"schema\":\"bkr-trace-1\",\"solves\":[";
+  for (size_t s = 0; s < solves_.size(); ++s) {
+    const auto& rec = solves_[s];
+    if (s > 0) os << ',';
+    os << "{\"method\":";
+    json_escaped(os, rec.method);
+    os << ",\"n\":" << rec.n << ",\"nrhs\":" << rec.nrhs
+       << ",\"converged\":" << (rec.converged ? "true" : "false")
+       << ",\"iterations\":" << rec.iterations << ",\"cycles\":" << rec.cycles
+       << ",\"seconds\":";
+    json_double(os, rec.seconds);
+    os << ",\"phases\":{";
+    for (int p = 0; p < kPhaseCount; ++p) {
+      if (p > 0) os << ',';
+      os << '"' << kPhaseNames[p] << "\":{\"seconds\":";
+      json_double(os, rec.phases[p].seconds);
+      os << ",\"count\":" << rec.phases[p].count << '}';
+    }
+    os << "},\"iterations_log\":[";
+    for (size_t e = 0; e < rec.events.size(); ++e) {
+      const auto& ev = rec.events[e];
+      if (e > 0) os << ',';
+      os << "{\"cycle\":" << ev.cycle << ",\"iteration\":" << ev.iteration
+         << ",\"basis_size\":" << ev.basis_size << ",\"recycle_dim\":" << ev.recycle_dim
+         << ",\"residuals\":[";
+      for (size_t c = 0; c < ev.residuals.size(); ++c) {
+        if (c > 0) os << ',';
+        json_double(os, ev.residuals[c]);
+      }
+      os << "]}";
+    }
+    os << "]}";
+  }
+  os << "]}";
+}
+
+void SolverTrace::write_csv(std::ostream& os) const {
+  os << "solve,method,phase,seconds,count\n";
+  for (size_t s = 0; s < solves_.size(); ++s) {
+    const auto& rec = solves_[s];
+    for (int p = 0; p < kPhaseCount; ++p) {
+      os << s << ',' << rec.method << ',' << kPhaseNames[p] << ',';
+      json_double(os, rec.phases[p].seconds);
+      os << ',' << rec.phases[p].count << '\n';
+    }
+  }
+}
+
+bool SolverTrace::write_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_json(f);
+  f << '\n';
+  return bool(f);
+}
+
+bool SolverTrace::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_csv(f);
+  return bool(f);
+}
+
+}  // namespace bkr::obs

@@ -2,6 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <complex>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
 #include <vector>
 
 #include "capi/bkr_c.h"
@@ -118,6 +122,48 @@ TEST(CApi, ComplexGmresSolvesMaxwell) {
   EXPECT_EQ(result.converged, 1);
   EXPECT_LT(testing::relative_residual(a, x, b), 1e-6);
   bkr_zmatrix_destroy(m);
+}
+
+TEST(CApi, TraceAttachesAndExports) {
+  const auto a = poisson2d(12, 12);
+  const auto arrays = to_c(a);
+  bkr_matrix* m =
+      bkr_matrix_create(a.rows(), arrays.rowptr.data(), arrays.colind.data(), arrays.values.data());
+  ASSERT_NE(m, nullptr);
+  bkr_trace* trace = bkr_trace_create();
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(bkr_trace_solve_count(trace), 0);
+  bkr_options opts;
+  bkr_options_default(&opts);
+  opts.restart = 60;
+  opts.trace = trace;
+  const auto b = poisson2d_rhs(12, 12, 0.1);
+  std::vector<double> x(b.size(), 0.0);
+  bkr_result result{};
+  ASSERT_EQ(bkr_gmres(m, b.data(), x.data(), &opts, &result), 0);
+  EXPECT_EQ(result.converged, 1);
+  EXPECT_EQ(bkr_trace_solve_count(trace), 1);
+  // The accounting contract is visible through the C surface.
+  EXPECT_EQ(bkr_trace_phase_count(trace, BKR_PHASE_REDUCTION), result.reductions);
+  EXPECT_EQ(bkr_trace_phase_count(trace, BKR_PHASE_SPMM), result.operator_applies);
+  EXPECT_EQ(bkr_trace_phase_count(trace, BKR_PHASE_PRECOND), result.precond_applies);
+  EXPECT_GE(bkr_trace_phase_seconds(trace, BKR_PHASE_SPMM), 0.0);
+  // Out-of-range phases answer zero instead of reading out of bounds.
+  EXPECT_EQ(bkr_trace_phase_count(trace, static_cast<bkr_phase>(99)), 0);
+  const char* json_path = "bkr_capi_trace_test.json";
+  EXPECT_EQ(bkr_trace_write_json(trace, json_path), 0);
+  std::ifstream f(json_path);
+  std::string doc((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  EXPECT_NE(doc.find("\"schema\":\"bkr-trace-1\""), std::string::npos);
+  std::remove(json_path);
+  bkr_trace_clear(trace);
+  EXPECT_EQ(bkr_trace_solve_count(trace), 0);
+  // Null trace handles are tolerated everywhere.
+  EXPECT_EQ(bkr_trace_solve_count(nullptr), 0);
+  EXPECT_NE(bkr_trace_write_json(nullptr, json_path), 0);
+  bkr_trace_destroy(nullptr);
+  bkr_trace_destroy(trace);
+  bkr_matrix_destroy(m);
 }
 
 TEST(CApi, NullArgumentsFailGracefully) {

@@ -1,0 +1,286 @@
+// Counter accounting: SolveStats, the CommModel and the trace's phase
+// counters are three views of the same synchronization/kernel structure
+// and must agree exactly (paper section III-D counts the reductions; the
+// trace must not invent or lose any).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/block_cg.hpp"
+#include "core/cg.hpp"
+#include "core/gcrodr.hpp"
+#include "core/gmres.hpp"
+#include "core/lgmres.hpp"
+#include "fem/poisson2d.hpp"
+#include "parallel/comm_model.hpp"
+#include "precond/jacobi.hpp"
+#include "test_helpers.hpp"
+
+namespace bkr {
+namespace {
+
+using testing::random_matrix;
+
+void expect_trace_matches_stats(const obs::SolverTrace& trace, const SolveStats& st,
+                                const char* label) {
+  EXPECT_EQ(trace.phase_count(obs::Phase::Reduction), st.reductions) << label;
+  EXPECT_EQ(trace.phase_count(obs::Phase::Spmm), st.operator_applies) << label;
+  EXPECT_EQ(trace.phase_count(obs::Phase::Precond), st.precond_applies) << label;
+}
+
+TEST(TraceAccounting, GmresReductionFormulaPerOrtho) {
+  // Single-vector unpreconditioned GMRES converging within one Krylov
+  // cycle of N iterations (the convergence re-check enters a second outer
+  // cycle): 1 bnorm + 2 residual norms + 1 initial normalization, plus per
+  // iteration 1 projection + 1 normalization for CGS, 2 + 1 for CGS2, and
+  // j + 1 for the MGS projection at iteration j (section III-D).
+  const auto a = poisson2d(10, 10);
+  CsrOperator<double> op(a);
+  const auto b = poisson2d_rhs(10, 10, 2.0);
+  for (const Ortho ortho : {Ortho::Cgs, Ortho::Cgs2, Ortho::Mgs}) {
+    obs::SolverTrace trace;
+    SolverOptions opts;
+    opts.restart = 200;
+    opts.tol = 1e-10;
+    opts.ortho = ortho;
+    opts.trace = &trace;
+    std::vector<double> x(b.size(), 0.0);
+    const auto st = gmres<double>(op, nullptr, b, x, opts);
+    ASSERT_TRUE(st.converged);
+    ASSERT_EQ(st.cycles, 2);  // one Krylov cycle + the convergence re-check
+    const std::int64_t n_it = st.iterations;
+    std::int64_t expected = 4;
+    switch (ortho) {
+      case Ortho::Cgs:
+      case Ortho::CholQr: expected += 2 * n_it; break;
+      case Ortho::Cgs2: expected += 3 * n_it; break;
+      case Ortho::Mgs: expected += n_it * (n_it + 1) / 2 + n_it; break;
+    }
+    EXPECT_EQ(st.reductions, expected) << "ortho " << int(ortho);
+    EXPECT_EQ(trace.phase_count(obs::Phase::Reduction), st.reductions) << "ortho " << int(ortho);
+    // Operator applications: one per iteration plus the two residuals.
+    EXPECT_EQ(st.operator_applies, n_it + 2);
+    EXPECT_EQ(trace.phase_count(obs::Phase::Spmm), st.operator_applies);
+  }
+}
+
+TEST(TraceAccounting, TraceCountsMatchStatsAllSolvers) {
+  // The accounting contract holds for every method and preconditioning
+  // side: the trace's Reduction/Spmm/Precond counters equal the
+  // SolveStats counters exactly.
+  const auto a = poisson2d(10, 10);
+  const index_t n = a.rows();
+  CsrOperator<double> op(a);
+  JacobiPreconditioner<double> m(a);
+  const auto bblock = random_matrix<double>(n, 3, 61);
+  const auto b1 = poisson2d_rhs(10, 10, 1.0);
+
+  SolverOptions base;
+  base.restart = 25;
+  base.tol = 1e-8;
+
+  {
+    obs::SolverTrace trace;
+    auto opts = base;
+    opts.side = PrecondSide::Right;
+    opts.trace = &trace;
+    DenseMatrix<double> x(n, 3);
+    x.set_zero();
+    const auto st = block_gmres<double>(op, &m, bblock.view(), x.view(), opts);
+    ASSERT_TRUE(st.converged);
+    expect_trace_matches_stats(trace, st, "block_gmres right");
+  }
+  {
+    obs::SolverTrace trace;
+    auto opts = base;
+    opts.side = PrecondSide::Left;
+    opts.trace = &trace;
+    std::vector<double> x(b1.size(), 0.0);
+    const auto st = gmres<double>(op, &m, b1, x, opts);
+    ASSERT_TRUE(st.converged);
+    expect_trace_matches_stats(trace, st, "gmres left");
+  }
+  {
+    obs::SolverTrace trace;
+    auto opts = base;
+    opts.side = PrecondSide::Flexible;
+    opts.trace = &trace;
+    std::vector<double> x(b1.size(), 0.0);
+    const auto st = gmres<double>(op, &m, b1, x, opts);
+    ASSERT_TRUE(st.converged);
+    expect_trace_matches_stats(trace, st, "gmres flexible");
+  }
+  {
+    obs::SolverTrace trace;
+    auto opts = base;
+    opts.trace = &trace;
+    DenseMatrix<double> x(n, 3);
+    x.set_zero();
+    const auto st = pseudo_block_gmres<double>(op, &m, bblock.view(), x.view(), opts);
+    ASSERT_TRUE(st.converged);
+    expect_trace_matches_stats(trace, st, "pseudo_block_gmres");
+  }
+  for (const Ortho ortho : {Ortho::Cgs, Ortho::Cgs2, Ortho::Mgs}) {
+    obs::SolverTrace trace;
+    auto opts = base;
+    opts.ortho = ortho;
+    opts.recycle = 6;  // LGMRES augmentation count
+    opts.trace = &trace;
+    std::vector<double> x(b1.size(), 0.0);
+    const auto st = lgmres<double>(op, &m, b1, x, opts);
+    ASSERT_TRUE(st.converged);
+    expect_trace_matches_stats(trace, st, "lgmres");
+  }
+  {
+    obs::SolverTrace trace;
+    auto opts = base;
+    opts.trace = &trace;
+    DenseMatrix<double> x(n, 2);
+    x.set_zero();
+    const auto bcg = random_matrix<double>(n, 2, 62);
+    const auto st = cg<double>(op, &m, bcg.view(), x.view(), opts);
+    ASSERT_TRUE(st.converged);
+    expect_trace_matches_stats(trace, st, "cg");
+  }
+  {
+    obs::SolverTrace trace;
+    auto opts = base;
+    opts.trace = &trace;
+    DenseMatrix<double> x(n, 2);
+    x.set_zero();
+    const auto bcg = random_matrix<double>(n, 2, 63);
+    const auto st = block_cg<double>(op, &m, bcg.view(), x.view(), opts);
+    ASSERT_TRUE(st.converged);
+    expect_trace_matches_stats(trace, st, "block_cg");
+  }
+}
+
+TEST(TraceAccounting, TraceCountsMatchStatsRecyclingSequence) {
+  // GCRO-DR (both variants) across a sequence: clear the shared sink
+  // between solves and compare per solve — including the strategy-A
+  // restarts, whose extra reduction is count-only inside the RestartEig
+  // phase.
+  const auto a = poisson2d(11, 11);
+  const index_t n = a.rows();
+  CsrOperator<double> op(a);
+  JacobiPreconditioner<double> m(a);
+  for (const RecycleStrategy strat : {RecycleStrategy::A, RecycleStrategy::B}) {
+    obs::SolverTrace trace;
+    SolverOptions opts;
+    opts.restart = 15;
+    opts.recycle = 5;
+    opts.tol = 1e-8;
+    opts.strategy = strat;
+    opts.trace = &trace;
+    GcroDr<double> solver(opts);
+    Rng rng(71);
+    for (int s = 0; s < 3; ++s) {
+      trace.clear();
+      std::vector<double> b(static_cast<size_t>(n));
+      for (auto& v : b) v = rng.scalar<double>();
+      std::vector<double> x(b.size(), 0.0);
+      const auto st = solver.solve(op, &m, MatrixView<const double>(b.data(), n, 1, n),
+                                   MatrixView<double>(x.data(), n, 1, n), nullptr, false);
+      ASSERT_TRUE(st.converged) << "solve " << s;
+      expect_trace_matches_stats(trace, st, "gcrodr");
+    }
+  }
+  {
+    obs::SolverTrace trace;
+    SolverOptions opts;
+    opts.restart = 20;
+    opts.recycle = 4;
+    opts.tol = 1e-8;
+    opts.trace = &trace;
+    PseudoGcroDr<double> solver(opts);
+    const auto b = random_matrix<double>(n, 3, 72);
+    for (int s = 0; s < 2; ++s) {
+      trace.clear();
+      DenseMatrix<double> x(n, 3);
+      x.set_zero();
+      const auto st = solver.solve(op, &m, b.view(), x.view(), nullptr, false);
+      ASSERT_TRUE(st.converged) << "solve " << s;
+      expect_trace_matches_stats(trace, st, "pseudo_gcrodr");
+    }
+  }
+}
+
+TEST(TraceAccounting, CommModelUnchangedByTrace) {
+  // Attaching a trace must not change the communication structure: the
+  // pseudo-block methods make ONE all-reduce per fused batch regardless of
+  // how many paper-count reductions ride on it, and the comm-model call
+  // count with and without a sink is identical.
+  const auto a = poisson2d(10, 10);
+  const index_t n = a.rows();
+  CsrOperator<double> op(a);
+  JacobiPreconditioner<double> m(a);
+  const auto b = random_matrix<double>(n, 3, 81);
+  SolverOptions opts;
+  opts.restart = 20;
+  opts.tol = 1e-8;
+  // MGS makes the fusion visible: j+1 paper-count reductions ride on one
+  // batched all-reduce at iteration j.
+  opts.ortho = Ortho::Mgs;
+
+  auto run = [&](obs::TraceSink* sink, CommModel& comm) {
+    auto o = opts;
+    o.trace = sink;
+    DenseMatrix<double> x(n, 3);
+    x.set_zero();
+    return pseudo_block_gmres<double>(op, &m, b.view(), x.view(), o, &comm);
+  };
+  CommModel plain, traced;
+  obs::SolverTrace trace;
+  const auto st0 = run(nullptr, plain);
+  const auto st1 = run(&trace, traced);
+  ASSERT_TRUE(st0.converged);
+  EXPECT_EQ(st0.iterations, st1.iterations);
+  EXPECT_EQ(st0.reductions, st1.reductions);
+  EXPECT_EQ(plain.reductions(), traced.reductions());
+  EXPECT_EQ(plain.reduction_bytes(), traced.reduction_bytes());
+  // The fused batches mean fewer all-reduces than paper-count reductions.
+  EXPECT_LT(plain.reductions(), st0.reductions);
+  EXPECT_EQ(trace.phase_count(obs::Phase::Reduction), st1.reductions);
+}
+
+TEST(TraceAccounting, StrategyBNeedsNoExtraRestartReduction) {
+  // Eq. 3b is communication-free at restarts. With a fixed iteration
+  // budget (unreachable tolerance) both strategies traverse the same
+  // cycle structure, so strategy A accounts exactly one extra reduction
+  // per deflation refresh — strictly more than B — and both match their
+  // traces.
+  const auto a = poisson2d(14, 14);
+  const index_t n = a.rows();
+  CsrOperator<double> op(a);
+  std::int64_t reds[2];
+  index_t iters[2], cycles[2];
+  int i = 0;
+  for (const RecycleStrategy strat : {RecycleStrategy::A, RecycleStrategy::B}) {
+    obs::SolverTrace trace;
+    SolverOptions opts;
+    opts.restart = 12;  // small restart: several deflation refreshes
+    opts.recycle = 4;
+    opts.tol = 1e-16;        // unreachable: the budget fixes the structure
+    opts.max_iterations = 60;
+    opts.strategy = strat;
+    opts.trace = &trace;
+    GcroDr<double> solver(opts);
+    const auto b = poisson2d_rhs(14, 14, 3.0);
+    std::vector<double> x(b.size(), 0.0);
+    const auto st = solver.solve(op, nullptr, MatrixView<const double>(b.data(), n, 1, n),
+                                 MatrixView<double>(x.data(), n, 1, n));
+    EXPECT_EQ(st.iterations, 60);
+    ASSERT_GT(st.cycles, 2) << "need restarts for the strategies to differ";
+    EXPECT_EQ(trace.phase_count(obs::Phase::Reduction), st.reductions);
+    reds[i] = st.reductions;
+    iters[i] = st.iterations;
+    cycles[i] = st.cycles;
+    ++i;
+  }
+  ASSERT_EQ(iters[0], iters[1]);
+  ASSERT_EQ(cycles[0], cycles[1]);
+  EXPECT_GT(reds[0], reds[1]);
+}
+
+}  // namespace
+}  // namespace bkr

@@ -1,0 +1,228 @@
+// Determinism: every solver is seeded and branch-free with respect to its
+// environment, so reruns are bit-identical, attaching a trace perturbs
+// nothing, and the JSON export of a given trace is stable.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/block_cg.hpp"
+#include "core/cg.hpp"
+#include "core/gcrodr.hpp"
+#include "core/gmres.hpp"
+#include "core/lgmres.hpp"
+#include "fem/poisson2d.hpp"
+#include "precond/jacobi.hpp"
+#include "test_helpers.hpp"
+
+namespace bkr {
+namespace {
+
+using testing::random_matrix;
+
+std::vector<double> seeded_rhs(index_t n, unsigned seed) {
+  Rng rng(seed);
+  std::vector<double> b(static_cast<size_t>(n));
+  for (auto& v : b) v = rng.scalar<double>();
+  return b;
+}
+
+TEST(TraceDeterminism, SameSeedBitIdenticalSolve) {
+  // Two runs from the same seeded inputs produce bit-identical solutions,
+  // histories and counters.
+  const auto a = poisson2d(12, 12);
+  const index_t n = a.rows();
+  CsrOperator<double> op(a);
+  JacobiPreconditioner<double> m(a);
+  const auto b = seeded_rhs(n, 91);
+  SolverOptions opts;
+  opts.restart = 20;
+  opts.tol = 1e-9;
+  std::vector<double> x1(b.size(), 0.0), x2(b.size(), 0.0);
+  const auto s1 = gmres<double>(op, &m, b, x1, opts);
+  const auto s2 = gmres<double>(op, &m, b, x2, opts);
+  ASSERT_TRUE(s1.converged);
+  EXPECT_EQ(s1.iterations, s2.iterations);
+  EXPECT_EQ(s1.cycles, s2.cycles);
+  EXPECT_EQ(s1.reductions, s2.reductions);
+  EXPECT_EQ(x1, x2);              // bitwise
+  EXPECT_EQ(s1.history, s2.history);  // bitwise
+}
+
+TEST(TraceDeterminism, TraceDoesNotPerturbTheSolve) {
+  // The null-sink zero-overhead claim has a correctness side: running
+  // with a sink attached takes the same code path, so solution, history
+  // and counters are bit-identical to the untraced run.
+  const auto a = poisson2d(12, 12);
+  const index_t n = a.rows();
+  CsrOperator<double> op(a);
+  JacobiPreconditioner<double> m(a);
+  const auto b = random_matrix<double>(n, 3, 92);
+  SolverOptions opts;
+  opts.restart = 18;
+  opts.tol = 1e-9;
+  DenseMatrix<double> x1(n, 3), x2(n, 3);
+  x1.set_zero();
+  x2.set_zero();
+  const auto plain = block_gmres<double>(op, &m, b.view(), x1.view(), opts);
+  obs::SolverTrace trace;
+  auto topts = opts;
+  topts.trace = &trace;
+  const auto traced = block_gmres<double>(op, &m, b.view(), x2.view(), topts);
+  ASSERT_TRUE(plain.converged);
+  EXPECT_EQ(plain.iterations, traced.iterations);
+  EXPECT_EQ(plain.reductions, traced.reductions);
+  EXPECT_EQ(plain.operator_applies, traced.operator_applies);
+  EXPECT_EQ(plain.history, traced.history);  // bitwise
+  for (index_t c = 0; c < 3; ++c)
+    for (index_t i = 0; i < n; ++i) ASSERT_EQ(x1(i, c), x2(i, c)) << "(" << i << "," << c << ")";
+}
+
+TEST(TraceDeterminism, TraceEventsBitIdenticalAcrossRuns) {
+  // Two traced runs agree on every structural field and on the recorded
+  // residuals bit-for-bit; only the measured seconds may differ.
+  const auto a = poisson2d(11, 11);
+  const index_t n = a.rows();
+  CsrOperator<double> op(a);
+  const auto b = seeded_rhs(n, 93);
+  auto run = [&](obs::SolverTrace& trace) {
+    SolverOptions opts;
+    opts.restart = 15;
+    opts.recycle = 5;
+    opts.tol = 1e-9;
+    opts.trace = &trace;
+    GcroDr<double> solver(opts);
+    for (int s = 0; s < 2; ++s) {
+      std::vector<double> x(b.size(), 0.0);
+      ASSERT_TRUE(solver
+                      .solve(op, nullptr, MatrixView<const double>(b.data(), n, 1, n),
+                             MatrixView<double>(x.data(), n, 1, n), nullptr, false)
+                      .converged);
+    }
+  };
+  obs::SolverTrace t1, t2;
+  run(t1);
+  run(t2);
+  ASSERT_EQ(t1.solves().size(), t2.solves().size());
+  for (size_t s = 0; s < t1.solves().size(); ++s) {
+    const auto& r1 = t1.solves()[s];
+    const auto& r2 = t2.solves()[s];
+    EXPECT_EQ(r1.method, r2.method);
+    EXPECT_EQ(r1.n, r2.n);
+    EXPECT_EQ(r1.nrhs, r2.nrhs);
+    EXPECT_EQ(r1.converged, r2.converged);
+    EXPECT_EQ(r1.iterations, r2.iterations);
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    for (int ph = 0; ph < obs::kPhaseCount; ++ph)
+      EXPECT_EQ(r1.phases[ph].count, r2.phases[ph].count) << "solve " << s << " phase " << ph;
+    ASSERT_EQ(r1.events.size(), r2.events.size());
+    for (size_t e = 0; e < r1.events.size(); ++e) {
+      EXPECT_EQ(r1.events[e].cycle, r2.events[e].cycle);
+      EXPECT_EQ(r1.events[e].iteration, r2.events[e].iteration);
+      EXPECT_EQ(r1.events[e].basis_size, r2.events[e].basis_size);
+      EXPECT_EQ(r1.events[e].recycle_dim, r2.events[e].recycle_dim);
+      EXPECT_EQ(r1.events[e].residuals, r2.events[e].residuals);  // bitwise
+    }
+  }
+}
+
+TEST(TraceDeterminism, JsonExportStable) {
+  // Exporting the same trace twice yields identical bytes (the %.17g
+  // doubles round-trip), and the document carries the schema marker.
+  const auto a = poisson2d(10, 10);
+  CsrOperator<double> op(a);
+  const auto b = poisson2d_rhs(10, 10, 4.0);
+  obs::SolverTrace trace;
+  SolverOptions opts;
+  opts.restart = 30;
+  opts.tol = 1e-8;
+  opts.trace = &trace;
+  std::vector<double> x(b.size(), 0.0);
+  ASSERT_TRUE(gmres<double>(op, nullptr, b, x, opts).converged);
+  std::ostringstream o1, o2, csv;
+  trace.write_json(o1);
+  trace.write_json(o2);
+  trace.write_csv(csv);
+  EXPECT_FALSE(o1.str().empty());
+  EXPECT_EQ(o1.str(), o2.str());
+  EXPECT_NE(o1.str().find("\"schema\":\"bkr-trace-1\""), std::string::npos);
+  EXPECT_NE(o1.str().find("\"block_gmres\""), std::string::npos);
+  EXPECT_NE(csv.str().find("solve,method,phase,seconds,count"), std::string::npos);
+}
+
+TEST(TraceDeterminism, RecordHistoryOffLeavesHistoryEmptyEverySolver) {
+  // record_history=false suppresses the per-iteration residual log (the
+  // C API default) in every method, without changing anything else about
+  // the solve.
+  const auto a = poisson2d(12, 12);
+  const index_t n = a.rows();
+  CsrOperator<double> op(a);
+  JacobiPreconditioner<double> m(a);
+  const auto bm = random_matrix<double>(n, 2, 94);
+  const auto b1 = seeded_rhs(n, 95);
+  SolverOptions base;
+  base.restart = 30;
+  base.recycle = 4;
+  base.tol = 1e-9;
+  base.record_history = false;
+
+  auto check = [&](const SolveStats& st, const char* label) {
+    ASSERT_TRUE(st.converged) << label;
+    ASSERT_FALSE(st.history.empty()) << label;
+    for (const auto& h : st.history) EXPECT_TRUE(h.empty()) << label;
+  };
+  {
+    DenseMatrix<double> x(n, 2);
+    x.set_zero();
+    check(block_gmres<double>(op, &m, bm.view(), x.view(), base), "block_gmres");
+  }
+  {
+    DenseMatrix<double> x(n, 2);
+    x.set_zero();
+    check(pseudo_block_gmres<double>(op, &m, bm.view(), x.view(), base), "pseudo_block_gmres");
+  }
+  {
+    std::vector<double> x(b1.size(), 0.0);
+    check(lgmres<double>(op, &m, b1, x, base), "lgmres");
+  }
+  {
+    DenseMatrix<double> x(n, 2);
+    x.set_zero();
+    check(cg<double>(op, &m, bm.view(), x.view(), base), "cg");
+  }
+  {
+    DenseMatrix<double> x(n, 2);
+    x.set_zero();
+    check(block_cg<double>(op, &m, bm.view(), x.view(), base), "block_cg");
+  }
+  {
+    GcroDr<double> solver(base);
+    std::vector<double> x(b1.size(), 0.0);
+    check(solver.solve(op, &m, MatrixView<const double>(b1.data(), n, 1, n),
+                       MatrixView<double>(x.data(), n, 1, n)),
+          "gcrodr");
+  }
+  {
+    PseudoGcroDr<double> solver(base);
+    DenseMatrix<double> x(n, 2);
+    x.set_zero();
+    check(solver.solve(op, &m, bm.view(), x.view()), "pseudo_gcrodr");
+  }
+  // And the flag changes nothing else: the solution is bit-identical.
+  auto hopts = base;
+  hopts.record_history = true;
+  DenseMatrix<double> x1(n, 2), x2(n, 2);
+  x1.set_zero();
+  x2.set_zero();
+  const auto with = block_gmres<double>(op, &m, bm.view(), x1.view(), hopts);
+  const auto without = block_gmres<double>(op, &m, bm.view(), x2.view(), base);
+  ASSERT_TRUE(with.converged);
+  EXPECT_EQ(with.iterations, without.iterations);
+  EXPECT_EQ(with.reductions, without.reductions);
+  for (const auto& h : with.history) EXPECT_FALSE(h.empty());
+  for (index_t c = 0; c < 2; ++c)
+    for (index_t i = 0; i < n; ++i) ASSERT_EQ(x1(i, c), x2(i, c));
+}
+
+}  // namespace
+}  // namespace bkr
