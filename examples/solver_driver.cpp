@@ -6,7 +6,7 @@
 //
 //   ./example_solver_driver -problem poisson -grid 64
 //       (continued:)
-//       -krylov_method gcrodr -gmres_restart 30 -recycle 10 \
+//       -krylov_method gcrodr -gmres_restart 30 -recycle 10
 //       -recycle_same_system -tol 1e-8 -pc jacobi
 //
 // Options (defaults in parentheses):

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Static analysis and sanitizer matrix for the bkrylov tree.
+#
+# Stages (all run by default; flags select a subset):
+#   --lint   bkr-lint self-test + project scan against the committed baseline
+#   --tidy   clang-tidy over src/ using .clang-tidy (skipped with a notice
+#            when clang-tidy is not installed — the container ships g++ only)
+#   --asan   ASan+UBSan build + full test suite (build-asan/)
+#   --tsan   TSan build + concurrency stress suites (build-tsan/)
+#
+# Usage: scripts/analyze.sh [--lint] [--tidy] [--asan] [--tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUN_LINT=0 RUN_TIDY=0 RUN_ASAN=0 RUN_TSAN=0
+if [[ $# -eq 0 ]]; then
+  RUN_LINT=1 RUN_TIDY=1 RUN_ASAN=1 RUN_TSAN=1
+fi
+for arg in "$@"; do
+  case "$arg" in
+    --lint) RUN_LINT=1 ;;
+    --tidy) RUN_TIDY=1 ;;
+    --asan) RUN_ASAN=1 ;;
+    --tsan) RUN_TSAN=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+if [[ $RUN_LINT -eq 1 ]]; then
+  echo "==> bkr-lint"
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build --target bkr_lint -j
+  ./build/tools/bkr_lint --self-test
+  ./build/tools/bkr_lint --baseline tools/bkr_lint_baseline.txt .
+fi
+
+if [[ $RUN_TIDY -eq 1 ]]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "==> clang-tidy"
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null  # refresh compile_commands.json
+    mapfile -t TIDY_SOURCES < <(find src -name '*.cpp' | sort)
+    clang-tidy -p build --quiet "${TIDY_SOURCES[@]}"
+  else
+    echo "==> clang-tidy not installed; skipping (config in .clang-tidy applies when available)"
+  fi
+fi
+
+if [[ $RUN_ASAN -eq 1 ]]; then
+  echo "==> ASan+UBSan suite"
+  cmake --preset asan-ubsan >/dev/null
+  cmake --build --preset asan-ubsan -j --target unit_tests
+  ctest --preset asan-ubsan
+fi
+
+if [[ $RUN_TSAN -eq 1 ]]; then
+  echo "==> TSan concurrency stress"
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j --target unit_tests
+  ctest --preset tsan
+fi
+
+echo "==> analyze OK"

@@ -30,4 +30,7 @@ else
   ctest --test-dir build-asan --output-on-failure -j 4
 fi
 
+echo "==> static analysis (bkr-lint) + TSan concurrency stress"
+scripts/analyze.sh --lint --tsan
+
 echo "==> tier-1 OK"

@@ -1,0 +1,15 @@
+#include "common/contracts.hpp"
+
+namespace bkr::contracts {
+
+void fail(Kind kind, const char* condition, const char* file, long line,
+          const std::string& operands) {
+  std::ostringstream os;
+  os << kind_name(kind) << " violated at " << file << ":" << line << ": " << condition;
+  if (!operands.empty()) os << " [" << operands << "]";
+  throw ContractViolation(kind, os.str());
+}
+
+bool library_checks_enabled() noexcept { return BKR_CONTRACTS_ACTIVE != 0; }
+
+}  // namespace bkr::contracts

@@ -1,0 +1,154 @@
+// Contract checking for kernel and solver entry points.
+//
+// The dense LA kernels, the sparse kernels and the solver drivers silently
+// corrupt results when a dimension, leading dimension or factorization
+// status code is mishandled; in checked builds every such entry point
+// validates its contract and throws ContractViolation (with file:line and
+// the offending operand values) instead. In release builds the macros
+// compile to nothing — the operands are not even evaluated — so the hot
+// paths carry zero overhead.
+//
+// Activation, per translation unit, in priority order:
+//   1. BKR_FORCE_CONTRACTS (0/1)  — per-TU override, used by the tests;
+//   2. BKR_ENABLE_CONTRACTS (0/1) — build-level switch (CMake -DBKR_CONTRACTS=ON,
+//      always on for the unit-test target and the sanitizer presets);
+//   3. default: on when NDEBUG is not defined (plain Debug builds).
+//
+// Macro summary (all variadic arguments are name/value pairs reported in
+// the exception message, e.g. BKR_REQUIRE(n > 0, "n", n)):
+//   BKR_REQUIRE(cond, ...)            — precondition on caller-supplied data
+//   BKR_ENSURE(cond, ...)             — postcondition on produced data
+//   BKR_ASSERT(cond, ...)             — internal invariant
+//   BKR_ASSERT_SHAPE(view, rows, cols) — matrix/view dimension check
+//
+// Like <cassert>, the macro section below sits outside the include guard:
+// a TU may re-include this header with a different BKR_FORCE_CONTRACTS to
+// switch checking on or off mid-file (the contract tests use this to prove
+// the compiled-out form evaluates nothing).
+#ifndef BKR_COMMON_CONTRACTS_HPP_
+#define BKR_COMMON_CONTRACTS_HPP_
+
+#include <complex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bkr::contracts {
+
+enum class Kind { Precondition, Postcondition, Invariant, Shape };
+
+inline const char* kind_name(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::Precondition: return "precondition";
+    case Kind::Postcondition: return "postcondition";
+    case Kind::Invariant: return "invariant";
+    case Kind::Shape: return "shape contract";
+  }
+  return "contract";
+}
+
+// Thrown by every failed contract. Derives from logic_error: a violation
+// is a programming error in the caller, unlike the std::runtime_error
+// family used for numerical failures (singular pivots, non-convergence).
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(Kind kind, const std::string& what)
+      : std::logic_error(what), kind_(kind) {}
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+template <class V>
+std::string repr(const V& value) {
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+// Operand formatting: describe("m", m, "n", n) -> "m=3, n=4".
+inline std::string describe() { return {}; }
+template <class V, class... Rest>
+std::string describe(const char* name, const V& value, const Rest&... rest) {
+  std::string out = std::string(name) + "=" + repr(value);
+  const std::string tail = describe(rest...);
+  if (!tail.empty()) {
+    out += ", ";
+    out += tail;
+  }
+  return out;
+}
+
+[[noreturn]] void fail(Kind kind, const char* condition, const char* file, long line,
+                       const std::string& operands);
+
+// True when the bkr library objects themselves were compiled with checks
+// (tests use this to skip firing expectations against an unchecked lib).
+[[nodiscard]] bool library_checks_enabled() noexcept;
+
+}  // namespace bkr::contracts
+
+#endif  // BKR_COMMON_CONTRACTS_HPP_
+
+// ---------------------------------------------------------------------------
+// Macro layer. Deliberately OUTSIDE the include guard (assert.h-style) so a
+// re-include with a different BKR_FORCE_CONTRACTS re-selects the macros.
+// ---------------------------------------------------------------------------
+
+#undef BKR_CONTRACTS_ACTIVE
+#if defined(BKR_FORCE_CONTRACTS)
+#if BKR_FORCE_CONTRACTS
+#define BKR_CONTRACTS_ACTIVE 1
+#else
+#define BKR_CONTRACTS_ACTIVE 0
+#endif
+#elif defined(BKR_ENABLE_CONTRACTS) && BKR_ENABLE_CONTRACTS
+#define BKR_CONTRACTS_ACTIVE 1
+#elif !defined(NDEBUG)
+#define BKR_CONTRACTS_ACTIVE 1
+#else
+#define BKR_CONTRACTS_ACTIVE 0
+#endif
+
+#undef BKR_REQUIRE
+#undef BKR_ENSURE
+#undef BKR_ASSERT
+#undef BKR_ASSERT_SHAPE
+#undef BKR_CONTRACT_DETAIL_CHECK
+
+#if BKR_CONTRACTS_ACTIVE
+
+#define BKR_CONTRACT_DETAIL_CHECK(kind, cond, ...)                                       \
+  do {                                                                                   \
+    if (!(cond))                                                                         \
+      ::bkr::contracts::fail(kind, #cond, __FILE__, __LINE__,                            \
+                             ::bkr::contracts::describe(__VA_ARGS__));                   \
+  } while (false)
+
+#define BKR_REQUIRE(cond, ...) \
+  BKR_CONTRACT_DETAIL_CHECK(::bkr::contracts::Kind::Precondition, cond, __VA_ARGS__)
+#define BKR_ENSURE(cond, ...) \
+  BKR_CONTRACT_DETAIL_CHECK(::bkr::contracts::Kind::Postcondition, cond, __VA_ARGS__)
+#define BKR_ASSERT(cond, ...) \
+  BKR_CONTRACT_DETAIL_CHECK(::bkr::contracts::Kind::Invariant, cond, __VA_ARGS__)
+
+#define BKR_ASSERT_SHAPE(view, expected_rows, expected_cols)                             \
+  do {                                                                                   \
+    if ((view).rows() != (expected_rows) || (view).cols() != (expected_cols))            \
+      ::bkr::contracts::fail(                                                            \
+          ::bkr::contracts::Kind::Shape, #view, __FILE__, __LINE__,                      \
+          ::bkr::contracts::describe("rows", (view).rows(), "cols", (view).cols(),       \
+                                     "expected_rows", (expected_rows), "expected_cols",  \
+                                     (expected_cols)));                                  \
+  } while (false)
+
+#else  // compiled out: type-check the condition, evaluate nothing
+
+#define BKR_REQUIRE(cond, ...) static_cast<void>(sizeof(!(cond)))
+#define BKR_ENSURE(cond, ...) static_cast<void>(sizeof(!(cond)))
+#define BKR_ASSERT(cond, ...) static_cast<void>(sizeof(!(cond)))
+#define BKR_ASSERT_SHAPE(view, expected_rows, expected_cols) \
+  static_cast<void>(sizeof((view).rows() + (expected_rows) + (expected_cols)))
+
+#endif  // BKR_CONTRACTS_ACTIVE

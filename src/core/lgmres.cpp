@@ -12,6 +12,9 @@ template <class T>
 SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::vector<T>& b,
                   std::vector<T>& x, const SolverOptions& opts, CommModel* comm) {
   using Real = real_t<T>;
+  detail::check_solve_entry<T>(
+      a, m, MatrixView<const T>(b.data(), index_t(b.size()), 1, index_t(b.size())),
+      MatrixView<T>(x.data(), index_t(x.size()), 1, index_t(x.size())), opts);
   Timer timer;
   SolveStats st;
   const index_t n = a.n();

@@ -108,7 +108,14 @@ void refresh_lane_recycle(Lane<T>& lane, index_t n, index_t k, index_t s, Precon
     DenseMatrix<T> wmat(s, s);
     for (index_t j = 0; j < s; ++j)
       for (index_t i = 0; i < s; ++i) wmat(i, j) = conj(lane.hbar(j, i));
-    pk = smallest_gen_eig_vectors<T>(tmat, wmat, knew);
+    try {
+      pk = smallest_gen_eig_vectors<T>(tmat, wmat, knew);
+    } catch (const std::runtime_error&) {
+      // Harmonic Ritz extraction failed: seed with leading Krylov
+      // directions (see the block GCRO-DR fallback).
+      pk.resize(s, knew);
+      for (index_t j = 0; j < knew; ++j) pk(j, j) = T(1);
+    }
   } else {
     DenseMatrix<T> tmat(cols, cols);
     gemm<T>(Trans::C, Trans::N, T(1), g.view(), g.view(), T(0), tmat.view());
@@ -128,7 +135,14 @@ void refresh_lane_recycle(Lane<T>& lane, index_t n, index_t k, index_t s, Precon
       for (index_t j = 0; j < s; ++j) inner_mat(kcur + j, kcur + j) = T(1);
       gemm<T>(Trans::C, Trans::N, T(1), g.view(), inner_mat.view(), T(0), wmat.view());
     }
-    pk = smallest_gen_eig_vectors<T>(tmat, wmat, knew);
+    try {
+      pk = smallest_gen_eig_vectors<T>(tmat, wmat, knew);
+    } catch (const std::runtime_error&) {
+      // Deflation pencil failed: keep the leading columns of [U, basis],
+      // re-orthonormalized below.
+      pk.resize(cols, knew);
+      for (index_t j = 0; j < knew; ++j) pk(j, j) = T(1);
+    }
   }
   // [Q, R] = qr(G Pk); C = [C V] Q; U = [U basis] Pk R^{-1}.
   DenseMatrix<T> gp(rows, knew);
@@ -161,6 +175,7 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
                                   MatrixView<const T> b, MatrixView<T> x, CommModel* comm,
                                   bool new_matrix) {
   using Real = real_t<T>;
+  detail::check_solve_entry<T>(a, m, b, x, opts_);
   Timer timer;
   SolveStats st;
   const index_t n = a.n(), p = b.cols();

@@ -8,9 +8,9 @@
 // back to the paper's cost analysis.
 #pragma once
 
-#include <cassert>
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "la/dense.hpp"
 
 namespace bkr {
@@ -23,9 +23,12 @@ void gemm(Trans ta, Trans tb, T alpha, MatrixView<const T> a, MatrixView<const T
           MatrixView<T> c) {
   const index_t m = c.rows(), n = c.cols();
   const index_t k = (ta == Trans::N) ? a.cols() : a.rows();
-  assert(((ta == Trans::N) ? a.rows() : a.cols()) == m);
-  assert(((tb == Trans::N) ? b.rows() : b.cols()) == k);
-  assert(((tb == Trans::N) ? b.cols() : b.rows()) == n);
+  BKR_REQUIRE(((ta == Trans::N) ? a.rows() : a.cols()) == m, "op(a).rows",
+              (ta == Trans::N) ? a.rows() : a.cols(), "c.rows", m);
+  BKR_REQUIRE(((tb == Trans::N) ? b.rows() : b.cols()) == k, "op(b).rows",
+              (tb == Trans::N) ? b.rows() : b.cols(), "op(a).cols", k);
+  BKR_REQUIRE(((tb == Trans::N) ? b.cols() : b.rows()) == n, "op(b).cols",
+              (tb == Trans::N) ? b.cols() : b.rows(), "c.cols", n);
 
   if (beta == T(0)) {
     c.set_zero();
@@ -157,7 +160,7 @@ real_t<T> norm_fro(MatrixView<const T> a) {
 template <class T>
 void trsm_left_upper(MatrixView<const T> r, MatrixView<T> x) {
   const index_t n = r.rows();
-  assert(r.cols() == n && x.rows() == n);
+  BKR_REQUIRE(r.cols() == n && x.rows() == n, "r.rows", n, "r.cols", r.cols(), "x.rows", x.rows());
   for (index_t j = 0; j < x.cols(); ++j) {
     T* xj = x.col(j);
     for (index_t i = n - 1; i >= 0; --i) {
@@ -173,7 +176,7 @@ void trsm_left_upper(MatrixView<const T> r, MatrixView<T> x) {
 template <class T>
 void trsm_left_upper_conj(MatrixView<const T> r, MatrixView<T> x) {
   const index_t n = r.rows();
-  assert(r.cols() == n && x.rows() == n);
+  BKR_REQUIRE(r.cols() == n && x.rows() == n, "r.rows", n, "r.cols", r.cols(), "x.rows", x.rows());
   for (index_t j = 0; j < x.cols(); ++j) {
     T* xj = x.col(j);
     for (index_t i = 0; i < n; ++i) {
@@ -188,7 +191,7 @@ void trsm_left_upper_conj(MatrixView<const T> r, MatrixView<T> x) {
 template <class T>
 void trsm_right_upper(MatrixView<const T> r, MatrixView<T> x) {
   const index_t p = r.rows();
-  assert(r.cols() == p && x.cols() == p);
+  BKR_REQUIRE(r.cols() == p && x.cols() == p, "r.rows", p, "r.cols", r.cols(), "x.cols", x.cols());
   const index_t n = x.rows();
   for (index_t j = 0; j < p; ++j) {
     T* xj = x.col(j);
@@ -208,7 +211,7 @@ void trsm_right_upper(MatrixView<const T> r, MatrixView<T> x) {
 template <class T>
 void gram(MatrixView<const T> v, MatrixView<T> g) {
   const index_t p = v.cols();
-  assert(g.rows() == p && g.cols() == p);
+  BKR_ASSERT_SHAPE(g, p, p);
   for (index_t j = 0; j < p; ++j)
     for (index_t i = 0; i <= j; ++i) {
       const T s = dot(v.rows(), v.col(i), v.col(j));

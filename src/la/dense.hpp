@@ -12,6 +12,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "common/types.hpp"
 
 namespace bkr {
@@ -132,7 +133,7 @@ DenseMatrix<T> copy_of(const DenseMatrix<T>& a) {
 
 template <class T>
 void copy_into(MatrixView<const T> src, MatrixView<T> dst) {
-  assert(src.rows() == dst.rows() && src.cols() == dst.cols());
+  BKR_ASSERT_SHAPE(dst, src.rows(), src.cols());
   for (index_t j = 0; j < src.cols(); ++j)
     std::copy(src.col(j), src.col(j) + src.rows(), dst.col(j));
 }

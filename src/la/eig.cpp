@@ -6,6 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
 #include "la/blas.hpp"
 #include "la/factor.hpp"
 
@@ -288,23 +289,27 @@ EigDecomposition eig_generalized(const DenseMatrix<cplx>& t, const DenseMatrix<c
 
 template <>
 DenseMatrix<double> smallest_eig_vectors<double>(const DenseMatrix<double>& a, index_t k) {
+  BKR_REQUIRE(k >= 0 && k <= a.rows(), "k", k, "a.rows", a.rows());
   return select_real(eig_general(to_complex(a)), k);
 }
 
 template <>
 DenseMatrix<cplx> smallest_eig_vectors<cplx>(const DenseMatrix<cplx>& a, index_t k) {
+  BKR_REQUIRE(k >= 0 && k <= a.rows(), "k", k, "a.rows", a.rows());
   return select_complex(eig_general(copy_of(a)), k);
 }
 
 template <>
 DenseMatrix<double> smallest_gen_eig_vectors<double>(const DenseMatrix<double>& t,
                                                      const DenseMatrix<double>& w, index_t k) {
+  BKR_REQUIRE(k >= 0 && k <= t.rows(), "k", k, "t.rows", t.rows());
   return select_real(eig_generalized(to_complex(t), to_complex(w)), k);
 }
 
 template <>
 DenseMatrix<cplx> smallest_gen_eig_vectors<cplx>(const DenseMatrix<cplx>& t,
                                                  const DenseMatrix<cplx>& w, index_t k) {
+  BKR_REQUIRE(k >= 0 && k <= t.rows(), "k", k, "t.rows", t.rows());
   return select_complex(eig_generalized(t, w), k);
 }
 

@@ -10,6 +10,7 @@
 #include <numeric>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "la/blas.hpp"
 #include "la/dense.hpp"
 
@@ -21,6 +22,7 @@ namespace bkr {
 template <class T>
 bool cholesky_upper(MatrixView<T> a) {
   const index_t n = a.rows();
+  BKR_REQUIRE(a.cols() == n, "a.rows", n, "a.cols", a.cols());
   for (index_t j = 0; j < n; ++j) {
     real_t<T> d = real_part(a(j, j));
     for (index_t l = 0; l < j; ++l) {
@@ -48,6 +50,8 @@ bool cholesky_upper(MatrixView<T> a) {
 template <class T>
 index_t pivoted_cholesky(MatrixView<T> a, std::vector<index_t>& perm, real_t<T> tol) {
   const index_t n = a.rows();
+  BKR_REQUIRE(a.cols() == n, "a.rows", n, "a.cols", a.cols());
+  BKR_REQUIRE(tol >= real_t<T>(0), "tol", tol);
   perm.resize(size_t(n));
   std::iota(perm.begin(), perm.end(), index_t(0));
   std::vector<real_t<T>> d(static_cast<size_t>(n));
@@ -94,6 +98,7 @@ class DenseLU {
  public:
   explicit DenseLU(DenseMatrix<T> a) : a_(std::move(a)), piv_(size_t(a_.rows())) {
     const index_t n = a_.rows();
+    BKR_REQUIRE(a_.cols() == n, "a.rows", n, "a.cols", a_.cols());
     singular_ = false;
     for (index_t j = 0; j < n; ++j) {
       index_t piv = j;
@@ -126,6 +131,7 @@ class DenseLU {
   // Solve A X = B in place.
   void solve(MatrixView<T> b) const {
     const index_t n = a_.rows();
+    BKR_REQUIRE(b.rows() == n, "b.rows", b.rows(), "lu.n", n);
     for (index_t j = 0; j < b.cols(); ++j) {
       T* x = b.col(j);
       for (index_t i = 0; i < n; ++i)

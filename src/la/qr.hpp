@@ -15,6 +15,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "la/blas.hpp"
 #include "la/dense.hpp"
 #include "la/factor.hpp"
@@ -80,6 +81,7 @@ class HouseholderQR {
  public:
   explicit HouseholderQR(DenseMatrix<T> a) : a_(std::move(a)), tau_(size_t(a_.cols())) {
     const index_t m = a_.rows(), n = a_.cols();
+    BKR_REQUIRE(m >= n, "a.rows", m, "a.cols", n);
     for (index_t j = 0; j < n && j < m; ++j) {
       tau_[size_t(j)] = detail::make_reflector(m - j, &a_(j, j));
       if (j + 1 < n)
@@ -157,7 +159,8 @@ class IncrementalQR {
   // Append one column whose first `height` entries are in `col`.
   void add_column(const T* col, index_t height) {
     const index_t j = ncols_;
-    assert(height <= fact_.rows() && j < fact_.cols());
+    BKR_REQUIRE(height <= fact_.rows() && j < fact_.cols(), "height", height, "max_rows",
+                fact_.rows(), "ncols", j, "max_cols", fact_.cols());
     for (index_t i = 0; i < height; ++i) fact_(i, j) = col[i];
     for (index_t i = height; i < fact_.rows(); ++i) fact_(i, j) = T(0);
     // Apply previous reflectors.
@@ -244,7 +247,8 @@ class IncrementalQR {
 template <class T>
 bool cholqr(MatrixView<T> v, MatrixView<T> r) {
   const index_t p = v.cols();
-  assert(r.rows() == p && r.cols() == p);
+  BKR_REQUIRE(v.rows() >= p, "v.rows", v.rows(), "v.cols", p);
+  BKR_ASSERT_SHAPE(r, p, p);
   gram<T>(MatrixView<const T>(v.data(), v.rows(), v.cols(), v.ld()), r);
   if (!cholesky_upper(r)) return false;
   trsm_right_upper<T>(MatrixView<const T>(r.data(), p, p, r.ld()), v);
@@ -267,6 +271,8 @@ index_t cholqr_rank(MatrixView<const T> v, real_t<T> tol = real_t<T>(1e-12)) {
 // V): V := Q (thin), r := R.
 template <class T>
 void householder_tsqr(MatrixView<T> v, MatrixView<T> r) {
+  BKR_REQUIRE(v.rows() >= v.cols(), "v.rows", v.rows(), "v.cols", v.cols());
+  BKR_ASSERT_SHAPE(r, v.cols(), v.cols());
   HouseholderQR<T> qr(copy_of(MatrixView<const T>(v.data(), v.rows(), v.cols(), v.ld())));
   DenseMatrix<T> rr = qr.r();
   copy_into<T>(rr.view(), r);

@@ -4,30 +4,89 @@
 
 namespace bkr {
 
+namespace {
+
+// Depth of parallel_for frames on the current thread. Nonzero means we
+// are inside a loop body (submitting thread or worker); nested loops then
+// run serially inline instead of deadlocking on the submission mutex.
+thread_local int pool_nesting = 0;
+
+struct NestingGuard {
+  NestingGuard() { ++pool_nesting; }
+  ~NestingGuard() { --pool_nesting; }
+  NestingGuard(const NestingGuard&) = delete;
+  NestingGuard& operator=(const NestingGuard&) = delete;
+};
+
+index_t resolve_thread_count(index_t threads) {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return index_t(hw > 0 ? hw : 1);
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(index_t threads) {
-  if (threads <= 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    threads = index_t(hw > 0 ? hw : 1);
-  }
-  const size_t workers = size_t(threads) - 1;  // the caller is worker 0
-  tasks_.resize(workers);
-  workers_.reserve(workers);
-  for (size_t i = 0; i < workers; ++i) workers_.emplace_back([this, i] { worker_loop(i); });
+  std::lock_guard<std::mutex> submit(submit_mutex_);
+  spawn_workers(size_t(resolve_thread_count(threads)) - 1);
 }
 
 ThreadPool::~ThreadPool() {
+  std::lock_guard<std::mutex> submit(submit_mutex_);
+  join_workers();
+}
+
+void ThreadPool::spawn_workers(size_t count) {
+  tasks_.assign(count, Task{});
+  workers_.reserve(count);
+  // Workers must start with `seen` at the current generation so a worker
+  // spawned after earlier loops ran does not replay a stale task slot.
+  // submit_mutex_ is held, so generation_ cannot advance underneath us.
+  const unsigned long start_gen = generation_;
+  for (size_t i = 0; i < count; ++i)
+    workers_.emplace_back([this, i, start_gen] { worker_loop(i, start_gen); });
+  thread_count_.store(index_t(count) + 1, std::memory_order_release);
+}
+
+void ThreadPool::join_workers() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
   }
   cv_start_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = false;
+  }
+  thread_count_.store(1, std::memory_order_release);
+}
+
+void ThreadPool::resize(index_t threads) {
+  std::lock_guard<std::mutex> submit(submit_mutex_);
+  join_workers();
+  spawn_workers(size_t(resolve_thread_count(threads)) - 1);
+}
+
+void ThreadPool::record_error() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!first_error_) first_error_ = std::current_exception();
 }
 
 void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& fn) {
   if (n <= 0) return;
-  const index_t nthreads = size();
-  if (nthreads == 1 || n == 1) {
+  if (pool_nesting > 0 || n == 1) {
+    // Nested (or trivially small) loop: run inline on this thread. Any
+    // exception propagates directly to the enclosing frame.
+    NestingGuard guard;
+    for (index_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> submit(submit_mutex_);
+  const index_t nthreads = index_t(workers_.size()) + 1;
+  if (nthreads == 1) {
+    NestingGuard guard;
     for (index_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -35,6 +94,7 @@ void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& fn)
   index_t launched = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    first_error_ = nullptr;
     for (size_t w = 0; w < workers_.size(); ++w) {
       const index_t begin = chunk * index_t(w + 1);
       const index_t end = std::min(n, begin + chunk);
@@ -50,14 +110,27 @@ void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& fn)
   }
   cv_start_.notify_all();
   // The calling thread takes the first chunk.
-  const index_t end0 = std::min(n, chunk);
-  for (index_t i = 0; i < end0; ++i) fn(i);
+  {
+    NestingGuard guard;
+    const index_t end0 = std::min(n, chunk);
+    try {
+      for (index_t i = 0; i < end0; ++i) fn(i);
+    } catch (...) {
+      record_error();
+    }
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   cv_done_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err;
+    std::swap(err, first_error_);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
-void ThreadPool::worker_loop(size_t id) {
-  unsigned long seen = 0;
+void ThreadPool::worker_loop(size_t id, unsigned long start_generation) {
+  unsigned long seen = start_generation;
   for (;;) {
     Task task;
     {
@@ -68,7 +141,14 @@ void ThreadPool::worker_loop(size_t id) {
       task = tasks_[id];
     }
     if (task.fn != nullptr) {
-      for (index_t i = task.begin; i < task.end; ++i) (*task.fn)(i);
+      {
+        NestingGuard guard;
+        try {
+          for (index_t i = task.begin; i < task.end; ++i) (*task.fn)(i);
+        } catch (...) {
+          record_error();
+        }
+      }
       std::lock_guard<std::mutex> lock(mutex_);
       if (--pending_ == 0) cv_done_.notify_all();
     }

@@ -5,9 +5,19 @@
 // subdomain work (Schwarz local solves, direct-solver RHS panels) in
 // parallel when hardware threads are available. The pool degrades to
 // serial execution on a single-core host.
+//
+// Concurrency contract:
+//  * parallel_for may be called from several threads at once; calls are
+//    serialized on a submission mutex, each runs to completion.
+//  * parallel_for called from inside a parallel_for body (nested
+//    parallelism) runs the inner loop serially on the calling thread.
+//  * The first exception thrown by an iteration is captured and rethrown
+//    on the submitting thread once the loop has drained.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -25,12 +35,20 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  [[nodiscard]] index_t size() const { return index_t(workers_.size()) + 1; }
+  // Total lanes (workers plus the calling thread). Lock-free so it can be
+  // queried from inside a parallel_for body.
+  [[nodiscard]] index_t size() const { return thread_count_.load(std::memory_order_acquire); }
 
   // Run fn(i) for i in [0, n), statically chunked over the pool plus the
-  // calling thread. Blocks until all iterations are done. Exceptions in
-  // workers terminate (HPC convention: a failed local solve is fatal).
+  // calling thread. Blocks until all iterations are done. If any
+  // iteration throws, remaining iterations of that chunk are skipped and
+  // the first exception is rethrown here after the loop drains.
   void parallel_for(index_t n, const std::function<void(index_t)>& fn);
+
+  // Replace the worker set with `threads` - 1 fresh workers (0 picks
+  // hardware concurrency). Blocks until in-flight loops finish; safe to
+  // call concurrently with parallel_for from other threads.
+  void resize(index_t threads);
 
   // Process-wide pool sized from the BKR_THREADS environment variable
   // (default: hardware concurrency).
@@ -41,16 +59,26 @@ class ThreadPool {
     const std::function<void(index_t)>* fn = nullptr;
     index_t begin = 0, end = 0;
   };
-  void worker_loop(size_t id);
+  void worker_loop(size_t id, unsigned long start_generation);
+  // Both require submit_mutex_ to be held.
+  void spawn_workers(size_t count);
+  void join_workers();
+  void record_error();
 
+  // Serializes submitting threads (parallel_for) and structural changes
+  // (resize, destruction) against each other. Always acquired before
+  // mutex_ when both are needed.
+  std::mutex submit_mutex_;
   std::vector<std::thread> workers_;
   std::vector<Task> tasks_;        // one slot per worker
+  std::atomic<index_t> thread_count_{1};
   std::mutex mutex_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
   index_t pending_ = 0;
   unsigned long generation_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;  // guarded by mutex_
 };
 
 // Convenience wrapper over the global pool.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
 #include "common/timer.hpp"
 #include "direct/factor.hpp"
 #include "la/factor.hpp"
@@ -202,10 +203,13 @@ AmgPreconditioner<T>::AmgPreconditioner(const CsrMatrix<T>& a, AmgOptions opts,
     level->op = std::make_unique<CsrOperator<T>>(al);
     const bool coarsest = al.rows() <= opts_.coarse_size || lvl + 1 == opts_.max_levels;
     if (coarsest) {
-      if (al.rows() <= std::max<index_t>(opts_.coarse_size, 1500))
+      if (al.rows() <= std::max<index_t>(opts_.coarse_size, 1500)) {
         level->coarse_solver = std::make_unique<DenseLU<T>>(al.to_dense());
-      else
+        if (level->coarse_solver->singular())
+          throw std::runtime_error("amg: coarsest-grid matrix is singular");
+      } else {
         level->coarse_sparse = std::make_unique<SparseLDLT<T>>(al);
+      }
       levels_.push_back(std::move(level));
       break;
     }
@@ -244,10 +248,13 @@ AmgPreconditioner<T>::AmgPreconditioner(const CsrMatrix<T>& a, AmgOptions opts,
     if (nagg * nb >= al.rows()) {
       // Coarsening stalled: stop here with a direct solve.
       level->smoother.reset();
-      if (al.rows() <= std::max<index_t>(opts_.coarse_size, 1500))
+      if (al.rows() <= std::max<index_t>(opts_.coarse_size, 1500)) {
         level->coarse_solver = std::make_unique<DenseLU<T>>(al.to_dense());
-      else
+        if (level->coarse_solver->singular())
+          throw std::runtime_error("amg: coarsest-grid matrix is singular");
+      } else {
         level->coarse_sparse = std::make_unique<SparseLDLT<T>>(al);
+      }
       levels_.push_back(std::move(level));
       break;
     }
@@ -367,6 +374,8 @@ void AmgPreconditioner<T>::vcycle(index_t lvl, MatrixView<const T> r, MatrixView
 
 template <class T>
 void AmgPreconditioner<T>::apply(MatrixView<const T> r, MatrixView<T> z) {
+  BKR_REQUIRE(r.rows() == this->n(), "r.rows", r.rows(), "n", this->n());
+  BKR_ASSERT_SHAPE(z, r.rows(), r.cols());
   z.set_zero();
   vcycle(0, r, z);
 }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/contracts.hpp"
 #include "common/rng.hpp"
 #include "la/blas.hpp"
 
@@ -32,6 +33,8 @@ ChebyshevSmoother::ChebyshevSmoother(const CsrMatrix<double>& a, index_t degree,
 }
 
 void ChebyshevSmoother::apply(MatrixView<const double> r, MatrixView<double> z) {
+  BKR_REQUIRE(r.rows() == a_->rows(), "r.rows", r.rows(), "n", a_->rows());
+  BKR_ASSERT_SHAPE(z, r.rows(), r.cols());
   // Standard Chebyshev iteration (Saad, "Iterative Methods", alg. 12.1)
   // on the Jacobi-preconditioned operator, z0 = 0.
   const index_t n = a_->rows(), p = r.cols();

@@ -1,6 +1,7 @@
 // (Damped) Jacobi preconditioner / smoother.
 #pragma once
 
+#include "common/contracts.hpp"
 #include "core/operator.hpp"
 #include "sparse/csr.hpp"
 
@@ -16,6 +17,8 @@ class JacobiPreconditioner final : public Preconditioner<T> {
 
   [[nodiscard]] index_t n() const override { return index_t(inv_diag_.size()); }
   void apply(MatrixView<const T> r, MatrixView<T> z) override {
+    BKR_REQUIRE(r.rows() == n(), "r.rows", r.rows(), "n", n());
+    BKR_ASSERT_SHAPE(z, r.rows(), r.cols());
     for (index_t c = 0; c < r.cols(); ++c)
       for (index_t i = 0; i < r.rows(); ++i) z(i, c) = inv_diag_[size_t(i)] * r(i, c);
   }

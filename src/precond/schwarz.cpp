@@ -4,6 +4,7 @@
 #include <atomic>
 #include <mutex>
 
+#include "common/contracts.hpp"
 #include "common/timer.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sparse/graph.hpp"
@@ -79,6 +80,8 @@ SchwarzPreconditioner<T>::SchwarzPreconditioner(const CsrMatrix<T>& a, SchwarzOp
 
 template <class T>
 void SchwarzPreconditioner<T>::apply(MatrixView<const T> r, MatrixView<T> z) {
+  BKR_REQUIRE(r.rows() == n_, "r.rows", r.rows(), "n", n_);
+  BKR_ASSERT_SHAPE(z, r.rows(), r.cols());
   const index_t p = r.cols();
   z.set_zero();
   const index_t nsub = index_t(locals_.size());
@@ -115,9 +118,16 @@ void SchwarzPreconditioner<T>::apply(MatrixView<const T> r, MatrixView<T> z) {
     sum += t;
     mx = std::max(mx, t);
   }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
   stats_.apply_seconds_sum += sum;
   stats_.apply_seconds_max += mx;
   ++stats_.applications;
+}
+
+template <class T>
+SchwarzStats SchwarzPreconditioner<T>::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
 }
 
 template class SchwarzPreconditioner<double>;

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/operator.hpp"
@@ -57,7 +58,9 @@ class SchwarzPreconditioner final : public Preconditioner<T> {
   [[nodiscard]] index_t n() const override { return n_; }
   void apply(MatrixView<const T> r, MatrixView<T> z) override;
 
-  [[nodiscard]] const SchwarzStats& stats() const { return stats_; }
+  // Snapshot of the accumulated counters (thread-safe; apply() may be
+  // running concurrently on other threads).
+  [[nodiscard]] SchwarzStats stats() const;
   [[nodiscard]] index_t subdomains() const { return index_t(locals_.size()); }
 
  private:
@@ -70,7 +73,8 @@ class SchwarzPreconditioner final : public Preconditioner<T> {
   index_t n_ = 0;
   SchwarzOptions opts_;
   std::vector<Local> locals_;
-  SchwarzStats stats_;
+  mutable std::mutex stats_mutex_;
+  SchwarzStats stats_;  // guarded by stats_mutex_
 };
 
 extern template class SchwarzPreconditioner<double>;

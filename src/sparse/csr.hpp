@@ -13,6 +13,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "common/types.hpp"
 #include "la/dense.hpp"
 
@@ -29,8 +30,10 @@ class CsrMatrix {
         rowptr_(std::move(rowptr)),
         colind_(std::move(colind)),
         values_(std::move(values)) {
-    assert(index_t(rowptr_.size()) == rows_ + 1);
-    assert(colind_.size() == values_.size());
+    BKR_REQUIRE(index_t(rowptr_.size()) == rows_ + 1, "rowptr.size", index_t(rowptr_.size()),
+                "rows+1", rows_ + 1);
+    BKR_REQUIRE(colind_.size() == values_.size(), "colind.size", colind_.size(), "values.size",
+                values_.size());
   }
 
   [[nodiscard]] index_t rows() const { return rows_; }
@@ -55,7 +58,8 @@ class CsrMatrix {
   // accumulations per nonzero (the BLAS-3-like fused kernel).
   void spmm(MatrixView<const T> x, MatrixView<T> y) const {
     const index_t p = x.cols();
-    assert(x.rows() == cols_ && y.rows() == rows_ && y.cols() == p);
+    BKR_REQUIRE(x.rows() == cols_, "x.rows", x.rows(), "a.cols", cols_);
+    BKR_ASSERT_SHAPE(y, rows_, p);
     if (p == 1) {
       spmv(x.col(0), y.col(0));
       return;
@@ -182,7 +186,7 @@ CsrMatrix<T> transpose(const CsrMatrix<T>& a) {
 // C = A * B (row-merge sparse product with a dense workspace).
 template <class T>
 CsrMatrix<T> multiply(const CsrMatrix<T>& a, const CsrMatrix<T>& b) {
-  assert(a.cols() == b.rows());
+  BKR_REQUIRE(a.cols() == b.rows(), "a.cols", a.cols(), "b.rows", b.rows());
   const index_t rows = a.rows(), cols = b.cols();
   std::vector<index_t> rowptr(size_t(rows) + 1, 0);
   std::vector<index_t> colind;
@@ -226,6 +230,7 @@ CsrMatrix<T> triple_product(const CsrMatrix<T>& p, const CsrMatrix<T>& a) {
 // truncation used by ASM subdomain matrices).
 template <class T>
 CsrMatrix<T> extract_submatrix(const CsrMatrix<T>& a, const std::vector<index_t>& rows) {
+  BKR_REQUIRE(a.rows() == a.cols(), "a.rows", a.rows(), "a.cols", a.cols());
   std::vector<index_t> g2l(size_t(a.cols()), -1);
   for (size_t l = 0; l < rows.size(); ++l) g2l[size_t(rows[l])] = index_t(l);
   const index_t n = index_t(rows.size());

@@ -1,0 +1,220 @@
+// Unit tests: the contract macro layer (src/common/contracts.hpp).
+//
+// The unit_tests target compiles with BKR_ENABLE_CONTRACTS=1, so the
+// header-level kernel contracts are active here regardless of how the
+// library objects were built. Tests that exercise contracts compiled into
+// the library (.cpp solver entry points) skip themselves when the library
+// was built unchecked (the release tier-1 configuration).
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "core/cg.hpp"
+#include "core/gmres.hpp"
+#include "core/operator.hpp"
+#include "core/solver.hpp"
+#include "la/blas.hpp"
+#include "la/dense.hpp"
+#include "la/factor.hpp"
+#include "la/qr.hpp"
+#include "fem/poisson2d.hpp"
+#include "sparse/csr.hpp"
+
+namespace bkr {
+namespace {
+
+using contracts::ContractViolation;
+using contracts::Kind;
+
+TEST(Contracts, RequireFiresWithKindFileLineAndOperands) {
+  const index_t m = 3, n = 7;
+  try {
+    BKR_REQUIRE(m == n, "m", m, "n", n);
+    FAIL() << "BKR_REQUIRE did not throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_EQ(e.kind(), Kind::Precondition);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos) << what;
+    EXPECT_NE(what.find("m == n"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("m=3"), std::string::npos) << what;
+    EXPECT_NE(what.find("n=7"), std::string::npos) << what;
+    // file:line — a colon followed by a digit after the file name.
+    const size_t file = what.find("test_contracts.cpp:");
+    ASSERT_NE(file, std::string::npos) << what;
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(
+        what[file + std::string("test_contracts.cpp:").size()])))
+        << what;
+  }
+}
+
+TEST(Contracts, EnsureAndAssertReportTheirKind) {
+  try {
+    BKR_ENSURE(false, "v", 1);
+    FAIL();
+  } catch (const ContractViolation& e) {
+    EXPECT_EQ(e.kind(), Kind::Postcondition);
+  }
+  try {
+    BKR_ASSERT(false);
+    FAIL();
+  } catch (const ContractViolation& e) {
+    EXPECT_EQ(e.kind(), Kind::Invariant);
+  }
+}
+
+TEST(Contracts, ShapeMacroReportsBothActualAndExpected) {
+  DenseMatrix<double> a(2, 3);
+  try {
+    BKR_ASSERT_SHAPE(a.view(), 4, 5);
+    FAIL();
+  } catch (const ContractViolation& e) {
+    EXPECT_EQ(e.kind(), Kind::Shape);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rows=2"), std::string::npos) << what;
+    EXPECT_NE(what.find("cols=3"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected_rows=4"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected_cols=5"), std::string::npos) << what;
+  }
+  // Matching shape passes.
+  EXPECT_NO_THROW(BKR_ASSERT_SHAPE(a.view(), 2, 3));
+}
+
+TEST(Contracts, PassingContractsEvaluateQuietly) {
+  EXPECT_NO_THROW(BKR_REQUIRE(1 + 1 == 2, "lhs", 1 + 1));
+  EXPECT_NO_THROW(BKR_ENSURE(true));
+  EXPECT_NO_THROW(BKR_ASSERT(true, "x", 0));
+}
+
+// --- kernel contracts (header templates, instantiated in this checked TU) --
+
+TEST(Contracts, GemmRejectsMismatchedInnerDimension) {
+  DenseMatrix<double> a(3, 4), b(5, 2), c(3, 2);  // a.cols != b.rows
+  EXPECT_THROW(gemm<double>(Trans::N, Trans::N, 1.0, a.view(), b.view(), 0.0, c.view()),
+               ContractViolation);
+}
+
+TEST(Contracts, GemmRejectsWrongOutputShape) {
+  DenseMatrix<double> a(3, 4), b(4, 2), c(3, 3);  // c.cols != b.cols
+  EXPECT_THROW(gemm<double>(Trans::N, Trans::N, 1.0, a.view(), b.view(), 0.0, c.view()),
+               ContractViolation);
+}
+
+TEST(Contracts, CholeskyRejectsNonSquareInput) {
+  DenseMatrix<double> a(3, 4);
+  EXPECT_THROW(cholesky_upper(a.view()), ContractViolation);
+}
+
+TEST(Contracts, CholQrRejectsWideBlocksAndWrongRShape) {
+  DenseMatrix<double> v(2, 5), r(5, 5);  // fewer rows than columns
+  EXPECT_THROW(cholqr<double>(v.view(), r.view()), ContractViolation);
+  DenseMatrix<double> v2(6, 3), r2(2, 3);  // R not p x p
+  EXPECT_THROW(cholqr<double>(v2.view(), r2.view()), ContractViolation);
+}
+
+TEST(Contracts, RankDeficientCholQrReportsBreakdownNotViolation) {
+  // Two identical columns: the Gram matrix is singular. That is a
+  // *numerical* condition — cholqr must return false, not throw.
+  DenseMatrix<double> v(4, 2), r(2, 2);
+  for (index_t i = 0; i < 4; ++i) v(i, 0) = v(i, 1) = double(i + 1);
+  EXPECT_FALSE(cholqr<double>(v.view(), r.view()));
+}
+
+TEST(Contracts, TrsmAndCopyIntoValidateShapes) {
+  DenseMatrix<double> r(3, 3), x(4, 2);  // x.rows != 3
+  EXPECT_THROW(trsm_left_upper<double>(r.view(), x.view()), ContractViolation);
+  DenseMatrix<double> src(2, 2), dst(3, 2);
+  EXPECT_THROW(copy_into<double>(src.view(), dst.view()), ContractViolation);
+}
+
+TEST(Contracts, SpmmValidatesOperandShapes) {
+  const CsrMatrix<double> a = poisson2d(4, 4);  // 16 x 16
+  DenseMatrix<double> x(5, 2), y(16, 2);
+  EXPECT_THROW(a.spmm(x.view(), y.view()), ContractViolation);
+  DenseMatrix<double> x2(16, 2), y2(16, 3);
+  EXPECT_THROW(a.spmm(x2.view(), y2.view()), ContractViolation);
+}
+
+TEST(Contracts, CsrConstructorValidatesArraySizes) {
+  EXPECT_THROW(CsrMatrix<double>(2, 2, {0, 1}, {0}, {1.0}), ContractViolation);     // rowptr
+  EXPECT_THROW(CsrMatrix<double>(1, 1, {0, 1}, {0}, {1.0, 2.0}), ContractViolation);  // values
+}
+
+// --- solver entry contracts (compiled into the library objects) -----------
+
+TEST(Contracts, SolverEntryRejectsMismatchedSystem) {
+  if (!contracts::library_checks_enabled())
+    GTEST_SKIP() << "library built without contracts (release tier-1)";
+  const CsrMatrix<double> a = poisson2d(4, 4);
+  CsrOperator<double> op(a);
+  SolverOptions opts;
+  opts.max_iterations = 5;
+  DenseMatrix<double> b(12, 1), x(12, 1);  // wrong rows for a 16-dof system
+  EXPECT_THROW(cg<double>(op, nullptr, b.view(), x.view(), opts, nullptr), ContractViolation);
+  DenseMatrix<double> b2(16, 1), x2(16, 2);  // x shape != b shape
+  EXPECT_THROW(block_gmres<double>(op, nullptr, b2.view(), x2.view(), opts, nullptr),
+               ContractViolation);
+}
+
+TEST(Contracts, SolverEntryRejectsBadOptions) {
+  if (!contracts::library_checks_enabled())
+    GTEST_SKIP() << "library built without contracts (release tier-1)";
+  const CsrMatrix<double> a = poisson2d(4, 4);
+  CsrOperator<double> op(a);
+  DenseMatrix<double> b(16, 1), x(16, 1);
+  SolverOptions opts;
+  opts.restart = 0;  // restart must be >= 1
+  EXPECT_THROW(block_gmres<double>(op, nullptr, b.view(), x.view(), opts, nullptr),
+               ContractViolation);
+  SolverOptions opts2;
+  opts2.tol = 0.0;  // tolerance must be positive
+  EXPECT_THROW(cg<double>(op, nullptr, b.view(), x.view(), opts2, nullptr), ContractViolation);
+}
+
+}  // namespace
+}  // namespace bkr
+
+// ---------------------------------------------------------------------------
+// Compiled-out form: re-include the header with checking forced off (the
+// assert.h idiom) and prove the disabled macros evaluate neither the
+// condition nor the operands.
+// ---------------------------------------------------------------------------
+#define BKR_FORCE_CONTRACTS 0
+#include "common/contracts.hpp"  // NOLINT(build/include) re-include is intentional
+
+namespace bkr {
+namespace {
+
+TEST(Contracts, CompiledOutMacrosEvaluateNothing) {
+  int evaluations = 0;
+  auto touch = [&evaluations]() {
+    ++evaluations;
+    return false;
+  };
+  BKR_REQUIRE(touch(), "count", ++evaluations);
+  BKR_ENSURE(touch());
+  BKR_ASSERT(touch(), "count", ++evaluations);
+  DenseMatrix<double> a(1, 1);
+  auto shape_rows = [&evaluations]() {
+    ++evaluations;
+    return index_t(9);
+  };
+  BKR_ASSERT_SHAPE(a.view(), shape_rows(), 9);
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Contracts, CompiledOutRequireDoesNotThrow) {
+  EXPECT_NO_THROW(BKR_REQUIRE(false, "always", 0));
+}
+
+}  // namespace
+}  // namespace bkr
+
+// Restore the active form for anything included later in this TU.
+#undef BKR_FORCE_CONTRACTS
+#define BKR_FORCE_CONTRACTS 1
+#include "common/contracts.hpp"  // NOLINT(build/include) re-include is intentional
+#undef BKR_FORCE_CONTRACTS

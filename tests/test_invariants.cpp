@@ -19,7 +19,6 @@ TEST(Invariants, GmresEstimateEqualsTrueResidual) {
   // Within one (unrestarted) cycle the least-squares residual estimate is
   // the true residual: run to several tolerances and compare.
   const auto a = poisson2d(10, 10);
-  const index_t n = a.rows();
   CsrOperator<double> op(a);
   const auto b = poisson2d_rhs(10, 10, 10.0);
   for (const double tol : {1e-4, 1e-8, 1e-12}) {

@@ -1,0 +1,526 @@
+// bkr-lint: the project's own static analysis pass.
+//
+// Scans the C++ sources for patterns this codebase bans by convention:
+//
+//   raw-new-delete     raw `new` / `delete` expressions (ownership must go
+//                      through std::unique_ptr / containers; the C API
+//                      boundary is baselined)
+//   using-namespace-header
+//                      `using namespace` at header scope leaks names into
+//                      every includer
+//   unchecked-factor   the boolean/status result of a factorization kernel
+//                      (cholqr, cholesky_upper, pivoted_cholesky, qr_block)
+//                      discarded at statement level — breakdown would pass
+//                      silently
+//   non-central-rng    direct <random> engine/distribution use outside
+//                      src/common/rng.hpp (all randomness must be seeded
+//                      through the central helpers for reproducibility)
+//   missing-include-guard
+//                      header without `#pragma once` or a classic #ifndef
+//                      guard ahead of the first declaration
+//   float-literal      `float` type or f-suffixed literal in a library that
+//                      computes exclusively in double/complex<double> —
+//                      a stray float silently truncates
+//
+// The scanner is a small lexer, not a regex pass: comments, string
+// literals (including raw strings) and character literals are blanked
+// before matching, so prose and printf formats never trip a rule.
+//
+// Suppression:
+//   * inline:   a `// bkr-lint: allow(rule)` comment on the offending line
+//   * baseline: `--baseline FILE` with tab-separated lines
+//               `rule<TAB>relative/path<TAB>normalized line content`
+//               (line-number independent, survives unrelated edits)
+//
+// Exit code 0 when no unsuppressed finding remains, 1 otherwise.
+// `--self-test` runs the scanner against embedded fixtures with one
+// planted violation per rule and must find exactly those.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string rule;
+  std::string path;  // relative to the scan root
+  long line = 0;
+  std::string content;  // normalized offending line
+};
+
+// Collapse runs of whitespace and trim, so baseline entries survive
+// reformatting of the surrounding file.
+std::string normalize(const std::string& line) {
+  std::string out;
+  bool in_space = true;
+  for (const char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (!in_space && !out.empty()) out.push_back(' ');
+      in_space = true;
+    } else {
+      out.push_back(c);
+      in_space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+// Replace the contents of comments, string literals (ordinary and raw)
+// and character literals with spaces, preserving newlines so line numbers
+// keep meaning. Returns the blanked text.
+std::string blank_non_code(const std::string& src) {
+  std::string out = src;
+  enum class State { Code, LineComment, BlockComment, String, Char, RawString };
+  State state = State::Code;
+  std::string raw_delim;  // the )delim" closer of the active raw string
+  for (size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (std::isalnum(static_cast<unsigned char>(src[i - 1])) == 0 &&
+                               src[i - 1] != '_'))) {
+          size_t j = i + 2;
+          while (j < src.size() && src[j] != '(') ++j;
+          raw_delim = ")" + src.substr(i + 2, j - (i + 2)) + "\"";
+          for (size_t k = i; k <= j && k < src.size(); ++k) out[k] = ' ';
+          i = j;
+          state = State::RawString;
+        } else if (c == '"') {
+          state = State::String;
+        } else if (c == '\'') {
+          // Digit separators (1'000'000) are not character literals.
+          const bool sep = i > 0 && std::isalnum(static_cast<unsigned char>(src[i - 1])) != 0 &&
+                           i + 1 < src.size() &&
+                           std::isalnum(static_cast<unsigned char>(src[i + 1])) != 0;
+          if (!sep) state = State::Char;
+        }
+        break;
+      case State::LineComment:
+        if (c == '\n')
+          state = State::Code;
+        else
+          out[i] = ' ';
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+          state = State::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::String:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::Char:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::RawString:
+        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t k = 0; k < raw_delim.size(); ++k) out[i + k] = ' ';
+          i += raw_delim.size() - 1;
+          state = State::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Find `word` as a whole token in `line`, starting at `from`.
+size_t find_token(const std::string& line, const std::string& word, size_t from = 0) {
+  for (size_t pos = line.find(word, from); pos != std::string::npos;
+       pos = line.find(word, pos + 1)) {
+    const bool left_ok = pos == 0 || !is_ident(line[pos - 1]);
+    const size_t end = pos + word.size();
+    const bool right_ok = end >= line.size() || !is_ident(line[end]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string::npos;
+}
+
+// The last non-whitespace character before (file-offset semantics across
+// lines): used to decide whether a call result is discarded.
+char prev_significant(const std::vector<std::string>& lines, size_t line_idx, size_t col) {
+  for (size_t li = line_idx + 1; li-- > 0;) {
+    const std::string& l = lines[li];
+    size_t end = li == line_idx ? col : l.size();
+    for (size_t ci = end; ci-- > 0;) {
+      if (std::isspace(static_cast<unsigned char>(l[ci])) == 0) return l[ci];
+    }
+  }
+  return '\0';
+}
+
+// f/F-suffixed floating literal: digits with a '.' or exponent then f.
+bool has_float_literal(const std::string& line, size_t* where) {
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(line[i])) == 0) continue;
+    if (i > 0 && is_ident(line[i - 1])) continue;  // inside an identifier / hex
+    size_t j = i;
+    bool fractional = false;
+    while (j < line.size() &&
+           (std::isdigit(static_cast<unsigned char>(line[j])) != 0 || line[j] == '.')) {
+      if (line[j] == '.') fractional = true;
+      ++j;
+    }
+    if (j < line.size() && (line[j] == 'e' || line[j] == 'E')) {
+      fractional = true;
+      ++j;
+      if (j < line.size() && (line[j] == '+' || line[j] == '-')) ++j;
+      while (j < line.size() && std::isdigit(static_cast<unsigned char>(line[j])) != 0) ++j;
+    }
+    if (fractional && j < line.size() && (line[j] == 'f' || line[j] == 'F') &&
+        (j + 1 >= line.size() || !is_ident(line[j + 1]))) {
+      *where = i;
+      return true;
+    }
+    i = j;
+  }
+  return false;
+}
+
+const char* const kFactorCalls[] = {"cholqr", "cholesky_upper", "pivoted_cholesky", "qr_block"};
+
+const char* const kRngTokens[] = {"mt19937",
+                                  "mt19937_64",
+                                  "minstd_rand",
+                                  "random_device",
+                                  "uniform_int_distribution",
+                                  "uniform_real_distribution",
+                                  "normal_distribution",
+                                  "bernoulli_distribution",
+                                  "srand",
+                                  "drand48"};
+
+struct FileReport {
+  std::vector<Finding> findings;
+};
+
+bool is_header(const std::string& path) {
+  return path.size() > 4 && (path.rfind(".hpp") == path.size() - 4 ||
+                             (path.size() > 2 && path.rfind(".h") == path.size() - 2));
+}
+
+// Per-line inline suppressions harvested from the *raw* text before
+// blanking: `// bkr-lint: allow(rule1, rule2)`.
+std::map<long, std::set<std::string>> harvest_allows(const std::vector<std::string>& raw_lines) {
+  std::map<long, std::set<std::string>> allows;
+  for (size_t li = 0; li < raw_lines.size(); ++li) {
+    const std::string& l = raw_lines[li];
+    const size_t marker = l.find("bkr-lint: allow(");
+    if (marker == std::string::npos) continue;
+    const size_t open = l.find('(', marker);
+    const size_t close = l.find(')', open);
+    if (open == std::string::npos || close == std::string::npos) continue;
+    std::stringstream list(l.substr(open + 1, close - open - 1));
+    std::string rule;
+    while (std::getline(list, rule, ',')) {
+      allows[long(li) + 1].insert(normalize(rule));
+    }
+  }
+  return allows;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::stringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) lines.push_back(line);
+  return lines;
+}
+
+FileReport scan_content(const std::string& rel_path, const std::string& content) {
+  FileReport report;
+  const std::vector<std::string> raw_lines = split_lines(content);
+  const std::string blanked = blank_non_code(content);
+  const std::vector<std::string> lines = split_lines(blanked);
+  const auto allows = harvest_allows(raw_lines);
+
+  auto add = [&](const std::string& rule, size_t line_idx) {
+    const long line_no = long(line_idx) + 1;
+    const auto it = allows.find(line_no);
+    if (it != allows.end() && it->second.count(rule) != 0) return;
+    const std::string& raw =
+        line_idx < raw_lines.size() ? raw_lines[line_idx] : std::string();
+    report.findings.push_back(Finding{rule, rel_path, line_no, normalize(raw)});
+  };
+
+  const bool header = is_header(rel_path);
+  const bool rng_central = rel_path.size() >= 14 &&
+                           rel_path.rfind("common/rng.hpp") == rel_path.size() - 14;
+
+  for (size_t li = 0; li < lines.size(); ++li) {
+    const std::string& line = lines[li];
+
+    // raw-new-delete
+    if (find_token(line, "new") != std::string::npos) add("raw-new-delete", li);
+    for (size_t pos = find_token(line, "delete"); pos != std::string::npos;
+         pos = find_token(line, "delete", pos + 1)) {
+      // `= delete` (deleted functions) and `operator delete` are fine.
+      const char prev = prev_significant(lines, li, pos);
+      if (prev != '=' && prev != 'r') {  // 'r' = trailing char of `operator`
+        add("raw-new-delete", li);
+        break;
+      }
+    }
+
+    // using-namespace-header
+    if (header && line.find("using namespace") != std::string::npos)
+      add("using-namespace-header", li);
+
+    // unchecked-factor: call token whose preceding significant character
+    // ends a statement (result discarded).
+    for (const char* fn : kFactorCalls) {
+      const size_t pos = find_token(line, fn);
+      if (pos == std::string::npos) continue;
+      // Allow qualified discard-position names: walk back over `detail::`
+      // style qualifiers to the true statement start.
+      size_t stmt = pos;
+      while (stmt >= 2 && lines[li][stmt - 1] == ':' && lines[li][stmt - 2] == ':') {
+        stmt -= 2;
+        while (stmt > 0 && is_ident(lines[li][stmt - 1])) --stmt;
+      }
+      const char prev = prev_significant(lines, li, stmt);
+      if (prev == ';' || prev == '{' || prev == '}' || prev == '\0') add("unchecked-factor", li);
+    }
+
+    // non-central-rng
+    if (!rng_central) {
+      for (const char* tok : kRngTokens) {
+        if (find_token(line, tok) != std::string::npos) {
+          add("non-central-rng", li);
+          break;
+        }
+      }
+    }
+
+    // float-literal
+    size_t where = 0;
+    if (find_token(line, "float") != std::string::npos || has_float_literal(line, &where))
+      add("float-literal", li);
+  }
+
+  // missing-include-guard: first significant line of a header must open a
+  // `#pragma once` or an #ifndef/#define guard.
+  if (header) {
+    bool guarded = false;
+    for (const std::string& line : lines) {
+      const std::string norm = normalize(line);
+      if (norm.empty()) continue;
+      guarded = norm.rfind("#pragma once", 0) == 0 || norm.rfind("#ifndef", 0) == 0;
+      break;
+    }
+    if (!guarded) add("missing-include-guard", 0);
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Baseline handling.
+
+std::set<std::string> load_baseline(const std::string& path) {
+  std::set<std::string> entries;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    entries.insert(line);
+  }
+  return entries;
+}
+
+std::string baseline_key(const Finding& f) {
+  return f.rule + "\t" + f.path + "\t" + f.content;
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+
+bool should_scan(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+std::vector<Finding> scan_tree(const fs::path& root, const std::vector<std::string>& subdirs) {
+  std::vector<Finding> all;
+  for (const std::string& sub : subdirs) {
+    const fs::path dir = root / sub;
+    if (!fs::exists(dir)) continue;
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::recursive_directory_iterator(dir))
+      if (entry.is_regular_file() && should_scan(entry.path())) files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    for (const fs::path& file : files) {
+      std::ifstream in(file, std::ios::binary);
+      std::stringstream ss;
+      ss << in.rdbuf();
+      const std::string rel = fs::relative(file, root).generic_string();
+      FileReport report = scan_content(rel, ss.str());
+      all.insert(all.end(), report.findings.begin(), report.findings.end());
+    }
+  }
+  return all;
+}
+
+// ---------------------------------------------------------------------------
+// Self-test: one planted violation per rule plus clean fixtures that must
+// stay silent.
+
+int self_test() {
+  struct Case {
+    const char* name;
+    const char* content;
+    const char* expect_rule;  // nullptr = expect clean
+  };
+  const Case cases[] = {
+      {"plant-new.cpp", "void f() { int* p = new int(3); }\n", "raw-new-delete"},
+      {"plant-delete.cpp", "void f(int* p) { delete p; }\n", "raw-new-delete"},
+      {"plant-using.hpp", "#pragma once\nusing namespace std;\n", "using-namespace-header"},
+      {"plant-factor.cpp", "void f() { cholqr<double>(v, r); }\n", "unchecked-factor"},
+      {"plant-factor-qualified.cpp", "void f() { bkr::detail::qr_block<double>(w, r, s, c); }\n",
+       "unchecked-factor"},
+      {"plant-rng.cpp", "#include <random>\nstd::mt19937 gen(42);\n", "non-central-rng"},
+      {"plant-guard.hpp", "inline int f() { return 1; }\n", "missing-include-guard"},
+      {"plant-float.cpp", "double x = 1.5f;\n", "float-literal"},
+      {"plant-float-type.cpp", "float y = 2.0;\n", "float-literal"},
+      // Clean fixtures: constructs that look like violations but are not.
+      {"clean-deleted-fn.hpp", "#pragma once\nstruct S { S(const S&) = delete; };\n", nullptr},
+      {"clean-comment.cpp", "// new delete mt19937 using namespace cholqr( 1.0f\nint a;\n",
+       nullptr},
+      {"clean-string.cpp", "const char* s = \"new 1.5f mt19937 delete\";\n", nullptr},
+      {"clean-checked-factor.cpp", "void f() { if (!cholqr<double>(v, r)) g(); bool ok = "
+                                   "cholesky_upper(a); (void)ok; }\n",
+       nullptr},
+      {"clean-allow.cpp",
+       "void f() { cholqr<double>(v, r); }  // bkr-lint: allow(unchecked-factor)\n", nullptr},
+      {"clean-guard-comment.hpp", "// leading comment\n// more comment\n#pragma once\nint f();\n",
+       nullptr},
+      {"clean-ifndef.hpp", "#ifndef X_H_\n#define X_H_\n#endif\n", nullptr},
+      {"clean-double.cpp", "double x = 1.5; double y = 1e-14; auto z = 0.0;\n", nullptr},
+      {"clean-raw-string.cpp", "const char* s = R\"(new delete 1.0f)\";\n", nullptr},
+  };
+  int failures = 0;
+  for (const Case& c : cases) {
+    const FileReport report = scan_content(c.name, c.content);
+    if (c.expect_rule == nullptr) {
+      if (!report.findings.empty()) {
+        std::printf("SELF-TEST FAIL %s: expected clean, got %s at line %ld\n", c.name,
+                    report.findings[0].rule.c_str(), report.findings[0].line);
+        ++failures;
+      }
+    } else {
+      const bool hit = std::any_of(report.findings.begin(), report.findings.end(),
+                                   [&](const Finding& f) { return f.rule == c.expect_rule; });
+      if (!hit) {
+        std::printf("SELF-TEST FAIL %s: rule %s not detected\n", c.name, c.expect_rule);
+        ++failures;
+      }
+    }
+  }
+  if (failures == 0) {
+    std::printf("bkr-lint self-test: %zu fixtures OK\n", std::size(cases));
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string root = ".";
+  bool run_self_test = false;
+  bool update_baseline = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") {
+      run_self_test = true;
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--update-baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+      update_baseline = true;
+    } else if (arg == "--help") {
+      std::printf("usage: bkr_lint [--self-test] [--baseline FILE | --update-baseline FILE] "
+                  "[ROOT]\n");
+      return 0;
+    } else {
+      root = arg;
+    }
+  }
+  if (run_self_test) return self_test();
+
+  const std::vector<std::string> subdirs = {"src", "bench", "tests"};
+  std::vector<Finding> findings = scan_tree(root, subdirs);
+
+  if (update_baseline) {
+    std::ofstream out(baseline_path);
+    out << "# bkr-lint baseline: rule<TAB>path<TAB>normalized line content.\n"
+        << "# Every entry needs a justification comment above it.\n";
+    for (const Finding& f : findings) out << baseline_key(f) << "\n";
+    std::printf("bkr-lint: wrote %zu baseline entries to %s\n", findings.size(),
+                baseline_path.c_str());
+    return 0;
+  }
+
+  std::set<std::string> baseline;
+  if (!baseline_path.empty()) baseline = load_baseline(baseline_path);
+  int unsuppressed = 0;
+  for (const Finding& f : findings) {
+    if (baseline.count(baseline_key(f)) != 0) continue;
+    std::printf("%s:%ld: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(), f.content.c_str());
+    ++unsuppressed;
+  }
+  if (unsuppressed == 0) {
+    std::printf("bkr-lint: clean (%zu finding(s) baselined)\n", findings.size());
+    return 0;
+  }
+  std::printf("bkr-lint: %d unsuppressed finding(s)\n", unsuppressed);
+  return 1;
+}
