@@ -1,131 +1,187 @@
-// Section V-B2 kernel study (google-benchmark): the arithmetic-intensity
-// advantage of fused multi-RHS kernels.
+// Hot-kernel trajectory bench: serial (legacy, no executor) vs the
+// KernelExecutor paths at 1/2/4/hardware lanes, per kernel and shape.
 //
-//  * SpMM with p columns vs p separate SpMV sweeps — the sparse
-//    matrix-dense matrix product of the paper's cost analysis;
-//  * batched dot products (one pass for p lanes) vs p separate passes —
-//    the fused reductions of pseudo-block methods;
-//  * multi-RHS triangular solves of the sparse factor vs one-by-one — the
-//    fig. 6 effect in isolation.
-#include <benchmark/benchmark.h>
+// This is the machine-readable companion of the section V-B2 kernel
+// study: the same fused multi-RHS kernels (SpMM, batched reductions,
+// block trsm), now also the thread fan-out of the parallel kernel layer.
+// Output is BENCH_kernels.json (schema "bkr-bench-kernels-1", see
+// bench_util.hpp); tools/bench_check validates the schema and gates
+// regressions against the committed baseline.
+//
+// On a single-core host the parallel rows land at or slightly above the
+// serial ones (pool dispatch overhead, nothing to fan out to); the
+// speedup column only becomes meaningful on multi-core hardware. The
+// committed baseline records the calibration probe so the checker can
+// normalize across hosts either way.
+//
+// Usage: bench_kernels [--smoke] [--reps K] [--out FILE]
+//   --smoke   fewer repetitions (tier-1 gate); identical shapes and keys,
+//             so the smoke run compares against the full-mode baseline
+//   --reps K  override the repetition count
+//   --out     write the JSON there instead of BENCH_kernels.json
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
 
-#include <complex>
-
+#include "bench_util.hpp"
 #include "common/rng.hpp"
-#include "direct/factor.hpp"
-#include "fem/maxwell3d.hpp"
 #include "fem/poisson2d.hpp"
 #include "la/blas.hpp"
+#include "la/qr.hpp"
+#include "parallel/kernel_executor.hpp"
+#include "sparse/csr.hpp"
 
 namespace {
 
 using namespace bkr;
-using cd = std::complex<double>;
 
-const CsrMatrix<double>& poisson_matrix() {
-  static const CsrMatrix<double> a = poisson2d(128, 128);
-  return a;
+// Lane counts benchmarked on top of the legacy serial row (threads == 0).
+std::vector<index_t> bench_lanes() {
+  std::vector<index_t> lanes{1, 2, 4};
+  const index_t hw = index_t(std::thread::hardware_concurrency());
+  if (hw > 0 && hw != 1 && hw != 2 && hw != 4) lanes.push_back(hw);
+  return lanes;
 }
 
-const MaxwellProblem& maxwell_problem() {
-  static const MaxwellProblem prob = [] {
-    MaxwellConfig cfg;
-    cfg.n = 10;
-    cfg.wavelengths = 1.0;
-    cfg.loss = 0.3;
-    return maxwell3d(cfg);
-  }();
-  return prob;
-}
+struct Bench {
+  int reps;
+  std::vector<bench::KernelBenchEntry> entries;
 
-const SparseLDLT<cd>& maxwell_factor() {
-  static const SparseLDLT<cd> f(maxwell_problem().matrix);
-  return f;
-}
-
-void BM_SpmmFused(benchmark::State& state) {
-  const auto& a = poisson_matrix();
-  const index_t n = a.rows(), p = state.range(0);
-  DenseMatrix<double> x(n, p), y(n, p);
-  Rng rng(1);
-  for (index_t c = 0; c < p; ++c)
-    for (index_t i = 0; i < n; ++i) x(i, c) = rng.scalar<double>();
-  for (auto _ : state) {
-    a.spmm(x.view(), y.view());
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(state.iterations() * a.nnz() * p);
-}
-BENCHMARK(BM_SpmmFused)->Arg(1)->Arg(4)->Arg(16)->Arg(32);
-
-void BM_SpmvColumnwise(benchmark::State& state) {
-  const auto& a = poisson_matrix();
-  const index_t n = a.rows(), p = state.range(0);
-  DenseMatrix<double> x(n, p), y(n, p);
-  Rng rng(1);
-  for (index_t c = 0; c < p; ++c)
-    for (index_t i = 0; i < n; ++i) x(i, c) = rng.scalar<double>();
-  for (auto _ : state) {
-    for (index_t c = 0; c < p; ++c) a.spmv(x.col(c), y.col(c));
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(state.iterations() * a.nnz() * p);
-}
-BENCHMARK(BM_SpmvColumnwise)->Arg(4)->Arg(16)->Arg(32);
-
-void BM_BatchedDots(benchmark::State& state) {
-  const index_t n = 1 << 16, p = state.range(0);
-  DenseMatrix<double> x(n, p), y(n, p);
-  Rng rng(2);
-  for (index_t c = 0; c < p; ++c)
-    for (index_t i = 0; i < n; ++i) {
-      x(i, c) = rng.scalar<double>();
-      y(i, c) = rng.scalar<double>();
+  // Time `fn(ex)` once per thread count: ex == nullptr for the legacy
+  // serial row, then one executor per lane count. Cutoffs are forced low
+  // so the executor path is what gets measured, not the cutoff fallback.
+  template <class Fn>
+  void kernel(const std::string& name, const std::string& shape, Fn&& fn) {
+    entries.push_back({name, shape, 0, bench::time_median(reps, [&] { fn(nullptr); }), reps});
+    for (const index_t lanes : bench_lanes()) {
+      KernelExecutor ex(lanes, KernelCutoffs{1, 1, 1});
+      entries.push_back({name, shape, lanes, bench::time_median(reps, [&] { fn(&ex); }), reps});
     }
-  std::vector<double> out(static_cast<size_t>(p));
-  for (auto _ : state) {
-    for (index_t c = 0; c < p; ++c) out[size_t(c)] = real_part(dot<double>(n, x.col(c), y.col(c)));
-    benchmark::DoNotOptimize(out.data());
   }
-  state.SetItemsProcessed(state.iterations() * n * p);
-}
-BENCHMARK(BM_BatchedDots)->Arg(1)->Arg(8)->Arg(32);
+};
 
-void BM_DirectSolveBlock(benchmark::State& state) {
-  const auto& f = maxwell_factor();
-  const index_t n = f.n(), p = state.range(0);
-  DenseMatrix<cd> b(n, p);
-  Rng rng(3);
+DenseMatrix<double> random_block(index_t n, index_t p, unsigned seed) {
+  DenseMatrix<double> m(n, p);
+  Rng rng(seed);
   for (index_t c = 0; c < p; ++c)
-    for (index_t i = 0; i < n; ++i) b(i, c) = rng.scalar<cd>();
-  DenseMatrix<cd> x(n, p);
-  for (auto _ : state) {
-    copy_into<cd>(b.view(), x.view());
-    f.solve(x.view());
-    benchmark::DoNotOptimize(x.data());
-  }
-  // RHS solved per second is the fig. 6 efficiency axis.
-  state.SetItemsProcessed(state.iterations() * p);
+    for (index_t i = 0; i < n; ++i) m(i, c) = rng.scalar<double>();
+  return m;
 }
-BENCHMARK(BM_DirectSolveBlock)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
-
-void BM_DirectSolveOneByOne(benchmark::State& state) {
-  const auto& f = maxwell_factor();
-  const index_t n = f.n(), p = state.range(0);
-  DenseMatrix<cd> b(n, p);
-  Rng rng(3);
-  for (index_t c = 0; c < p; ++c)
-    for (index_t i = 0; i < n; ++i) b(i, c) = rng.scalar<cd>();
-  DenseMatrix<cd> x(n, p);
-  for (auto _ : state) {
-    copy_into<cd>(b.view(), x.view());
-    for (index_t c = 0; c < p; ++c) f.solve(x.block(0, c, n, 1));
-    benchmark::DoNotOptimize(x.data());
-  }
-  state.SetItemsProcessed(state.iterations() * p);
-}
-BENCHMARK(BM_DirectSolveOneByOne)->Arg(4)->Arg(16)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_kernels.json";
+  bool smoke = false;
+  int reps = 9;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_kernels [--smoke] [--reps K] [--out FILE]\n");
+      return 2;
+    }
+  }
+  if (smoke && reps == 9) reps = 3;
+  if (reps < 1) reps = 1;
+
+  // Calibration probe: a fixed serial reduction, so the checker can
+  // normalize medians by relative machine speed across hosts.
+  const index_t cal_n = 1 << 20;
+  std::vector<double> cx(size_t(cal_n), 1.000000059604645), cy(size_t(cal_n), 0.999999940395355);
+  const double calibration = bench::time_median(5, [&] {
+    volatile double s = real_part(dot<double>(cal_n, cx.data(), cy.data()));
+    (void)s;
+  });
+
+  Bench b{reps, {}};
+
+  // SpMV / SpMM: fig-2 Poisson operator, single and fused multi-RHS.
+  const CsrMatrix<double> a = poisson2d(96, 96);
+  const index_t n = a.rows();
+  {
+    const DenseMatrix<double> x1 = random_block(n, 1, 1);
+    DenseMatrix<double> y1(n, 1);
+    b.kernel("spmv", "poisson96 p=1",
+             [&](const KernelExecutor* ex) { a.spmv(x1.col(0), y1.col(0), ex); });
+    const DenseMatrix<double> x8 = random_block(n, 8, 2);
+    DenseMatrix<double> y8(n, 8);
+    b.kernel("spmm", "poisson96 p=8",
+             [&](const KernelExecutor* ex) { a.spmm(x8.view(), y8.view(), ex); });
+  }
+
+  // gemm: the two shapes on every solver's hot path — the CGS projection
+  // coefficients (C^H x, tall-skinny inputs) and the basis/solution
+  // update (tall-skinny times small square).
+  {
+    const index_t s = 16, p = 8;
+    const DenseMatrix<double> v = random_block(n, s, 3);
+    const DenseMatrix<double> w = random_block(n, p, 4);
+    DenseMatrix<double> h(s, p);
+    b.kernel("gemm", "proj CN n=9216 s=16 p=8", [&](const KernelExecutor* ex) {
+      gemm<double>(Trans::C, Trans::N, 1.0, v.view(), w.view(), 0.0, h.view(), ex);
+    });
+    const DenseMatrix<double> coef = random_block(s, p, 5);
+    DenseMatrix<double> upd(n, p);
+    b.kernel("gemm", "update NN n=9216 s=16 p=8", [&](const KernelExecutor* ex) {
+      gemm<double>(Trans::N, Trans::N, 1.0, v.view(), coef.view(), 0.0, upd.view(), ex);
+    });
+  }
+
+  // herk (the CholQR gram matrix) and the paired triangular solve.
+  {
+    const index_t p = 8;
+    const DenseMatrix<double> v = random_block(n, p, 6);
+    DenseMatrix<double> g(p, p);
+    b.kernel("herk", "gram n=9216 p=8",
+             [&](const KernelExecutor* ex) { gram<double>(v.view(), g.view(), ex); });
+    DenseMatrix<double> r = random_block(p, p, 7);
+    for (index_t j = 0; j < p; ++j) {
+      r(j, j) = 4.0 + r(j, j);
+      for (index_t i = j + 1; i < p; ++i) r(i, j) = 0.0;
+    }
+    DenseMatrix<double> xr = random_block(n, p, 8);
+    b.kernel("trsm", "right n=9216 p=8", [&](const KernelExecutor* ex) {
+      trsm_right_upper<double>(r.view(), xr.view(), ex);
+    });
+  }
+
+  // Fused reductions: batched dot and per-column norms.
+  {
+    const index_t rn = 1 << 19;
+    std::vector<double> x(static_cast<size_t>(rn)), y(static_cast<size_t>(rn));
+    Rng rng(9);
+    for (auto& v : x) v = rng.scalar<double>();
+    for (auto& v : y) v = rng.scalar<double>();
+    b.kernel("dot", "n=524288", [&](const KernelExecutor* ex) {
+      volatile double s = real_part(dot<double>(rn, x.data(), y.data(), ex));
+      (void)s;
+    });
+    const index_t p = 8;
+    const DenseMatrix<double> m = random_block(n, p, 10);
+    std::vector<double> norms(static_cast<size_t>(p));
+    b.kernel("norms", "cols n=9216 p=8", [&](const KernelExecutor* ex) {
+      column_norms<double>(m.view(), norms.data(), ex);
+    });
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_kernels: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  bench::write_kernel_bench_json(out, smoke ? "smoke" : "full",
+                                 index_t(std::thread::hardware_concurrency()), calibration,
+                                 b.entries);
+  std::printf("bench_kernels: wrote %zu entries (%s, reps=%d, calibration %.3e s) to %s\n",
+              b.entries.size(), smoke ? "smoke" : "full", reps, calibration, out_path.c_str());
+  return 0;
+}

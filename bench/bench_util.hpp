@@ -5,7 +5,10 @@
 // the output format consistent so EXPERIMENTS.md can quote it directly.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -77,6 +80,67 @@ inline MaxwellProblem chamber_problem(index_t grid, bool with_plastic_cylinder =
     cfg.inclusion_eps_r = 3.0;
   }
   return maxwell3d(cfg);
+}
+
+// --- machine-readable kernel-bench trajectory (BENCH_kernels.json) --------
+//
+// bench_kernels emits one JSON document per run under the schema
+// "bkr-bench-kernels-1"; tools/bench_check validates it and gates wall-time
+// regressions against the committed baseline. Entries are keyed by
+// (kernel, shape, threads) — threads == 0 is the legacy serial path with
+// no executor attached — so runs at different sizes never collide.
+// `calibration_seconds` (a fixed serial probe timed alongside the
+// kernels) lets the checker normalize away absolute machine speed and
+// compare trajectories across hosts.
+
+struct KernelBenchEntry {
+  std::string kernel;  // "spmv", "spmm", "gemm", "herk", "dot", "norms", "trsm"
+  std::string shape;   // stable human-readable case id, part of the match key
+  index_t threads = 0;  // executor lanes; 0 = legacy serial (ex == nullptr)
+  double median_seconds = 0;
+  int reps = 0;
+};
+
+inline double median_of(std::vector<double> samples) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const size_t mid = samples.size() / 2;
+  return samples.size() % 2 == 1 ? samples[mid] : 0.5 * (samples[mid - 1] + samples[mid]);
+}
+
+// Median wall time of `reps` runs of fn() (one untimed warmup first).
+template <class Fn>
+double time_median(int reps, Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  fn();
+  std::vector<double> samples;
+  samples.reserve(size_t(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = clock::now();
+    fn();
+    samples.push_back(std::chrono::duration<double>(clock::now() - t0).count());
+  }
+  return median_of(std::move(samples));
+}
+
+inline void write_kernel_bench_json(std::ostream& os, const std::string& mode,
+                                    index_t hardware_lanes, double calibration_seconds,
+                                    const std::vector<KernelBenchEntry>& entries) {
+  char buf[64];
+  os << "{\n  \"schema\": \"bkr-bench-kernels-1\",\n";
+  os << "  \"mode\": \"" << mode << "\",\n";
+  os << "  \"hardware_lanes\": " << hardware_lanes << ",\n";
+  std::snprintf(buf, sizeof buf, "%.9e", calibration_seconds);
+  os << "  \"calibration_seconds\": " << buf << ",\n";
+  os << "  \"entries\": [\n";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const KernelBenchEntry& e = entries[i];
+    std::snprintf(buf, sizeof buf, "%.9e", e.median_seconds);
+    os << "    {\"kernel\": \"" << e.kernel << "\", \"shape\": \"" << e.shape
+       << "\", \"threads\": " << e.threads << ", \"median_seconds\": " << buf
+       << ", \"reps\": " << e.reps << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
 }
 
 inline SchwarzOptions chamber_oras(index_t subdomains, index_t overlap = 2,

@@ -30,6 +30,12 @@ else
   ctest --test-dir build-asan --output-on-failure -j 4
 fi
 
+echo "==> bench smoke: kernel trajectory schema + regression gate"
+cmake --build build -j --target bench_kernels bench_check
+./build/bench/bench_kernels --smoke --out build/BENCH_kernels_smoke.json
+./build/tools/bench_check build/BENCH_kernels_smoke.json \
+  --baseline BENCH_kernels.json --max-regression 0.25
+
 echo "==> static analysis (bkr-lint) + TSan concurrency stress"
 scripts/analyze.sh --lint --tsan
 

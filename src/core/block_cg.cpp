@@ -15,10 +15,11 @@ SolveStats block_cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView
   SolveStats st;
   const index_t n = a.n(), p = b.cols();
   obs::TraceSink* const trace = opts.trace;
+  const KernelExecutor* const ex = opts.exec;
   if (trace != nullptr) trace->begin_solve("block_cg", n, p);
 
   std::vector<Real> bnorm(static_cast<size_t>(p)), rnorm(static_cast<size_t>(p));
-  detail::norms<T>(b, bnorm.data(), st, comm, trace);
+  detail::norms<T>(b, bnorm.data(), st, comm, trace, ex);
   for (auto& v : bnorm)
     if (v == Real(0)) v = Real(1);
   st.history.resize(size_t(p));
@@ -32,7 +33,7 @@ SolveStats block_cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView
   }
   for (index_t c = 0; c < p; ++c)
     for (index_t i = 0; i < n; ++i) r(i, c) = b(i, c) - r(i, c);
-  detail::norms<T>(r.view(), rnorm.data(), st, comm, trace);
+  detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
   if (opts.record_history)
     for (index_t c = 0; c < p; ++c)
       st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
@@ -58,7 +59,7 @@ SolveStats block_cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView
   DenseMatrix<T> rho(p, p), rho_new(p, p);
   {
     obs::ScopedPhase sp(trace, obs::Phase::Reduction);
-    gemm<T>(Trans::C, Trans::N, T(1), z.view(), r.view(), T(0), rho.view());
+    gemm<T>(Trans::C, Trans::N, T(1), z.view(), r.view(), T(0), rho.view(), ex);
     st.reductions += 1;
     if (comm != nullptr) comm->reduction(p * p * 8);
   }
@@ -73,7 +74,7 @@ SolveStats block_cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView
     DenseMatrix<T> pq(p, p);
     {
       obs::ScopedPhase sp(trace, obs::Phase::Reduction, 2);
-      gemm<T>(Trans::C, Trans::N, T(1), pdir.view(), q.view(), T(0), pq.view());
+      gemm<T>(Trans::C, Trans::N, T(1), pdir.view(), q.view(), T(0), pq.view(), ex);
       st.reductions += 2;
       if (comm != nullptr) {
         comm->reduction(p * p * 8);
@@ -88,10 +89,10 @@ SolveStats block_cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView
       lu.solve(alpha.view());
       // X += P alpha; R -= Q alpha.
       gemm<T>(Trans::N, Trans::N, T(1), pdir.view(), alpha.view(), T(1),
-              MatrixView<T>(x.data(), n, p, x.ld()));
-      gemm<T>(Trans::N, Trans::N, T(-1), q.view(), alpha.view(), T(1), r.view());
+              MatrixView<T>(x.data(), n, p, x.ld()), ex);
+      gemm<T>(Trans::N, Trans::N, T(-1), q.view(), alpha.view(), T(1), r.view(), ex);
     }
-    column_norms<T>(r.view(), rnorm.data());
+    column_norms<T>(r.view(), rnorm.data(), ex);
     ++st.iterations;
     for (index_t c = 0; c < p; ++c) {
       if (opts.record_history)
@@ -112,7 +113,7 @@ SolveStats block_cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView
     precondition(r.view(), z.view());
     {
       obs::ScopedPhase sp(trace, obs::Phase::Reduction);
-      gemm<T>(Trans::C, Trans::N, T(1), z.view(), r.view(), T(0), rho_new.view());
+      gemm<T>(Trans::C, Trans::N, T(1), z.view(), r.view(), T(0), rho_new.view(), ex);
       st.reductions += 1;
       if (comm != nullptr) comm->reduction(p * p * 8);
     }
@@ -129,7 +130,7 @@ SolveStats block_cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView
     lurho.solve(beta.view());
     // P = Z + P beta.
     DenseMatrix<T> pnext = copy_of(z);
-    gemm<T>(Trans::N, Trans::N, T(1), pdir.view(), beta.view(), T(1), pnext.view());
+    gemm<T>(Trans::N, Trans::N, T(1), pdir.view(), beta.view(), T(1), pnext.view(), ex);
     pdir = std::move(pnext);
     rho = rho_new;
   }

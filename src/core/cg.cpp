@@ -16,10 +16,11 @@ SolveStats cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const
   SolveStats st;
   const index_t n = a.n(), p = b.cols();
   obs::TraceSink* const trace = opts.trace;
+  const KernelExecutor* const ex = opts.exec;
   if (trace != nullptr) trace->begin_solve("cg", n, p);
 
   std::vector<Real> bnorm(static_cast<size_t>(p)), rnorm(static_cast<size_t>(p));
-  detail::norms<T>(b, bnorm.data(), st, comm, trace);
+  detail::norms<T>(b, bnorm.data(), st, comm, trace, ex);
   for (auto& v : bnorm)
     if (v == Real(0)) v = Real(1);
   st.history.resize(size_t(p));
@@ -34,7 +35,7 @@ SolveStats cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const
   }
   for (index_t c = 0; c < p; ++c)
     for (index_t i = 0; i < n; ++i) r(i, c) = b(i, c) - r(i, c);
-  detail::norms<T>(r.view(), rnorm.data(), st, comm, trace);
+  detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
   if (opts.record_history)
     for (index_t c = 0; c < p; ++c)
       st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
@@ -53,7 +54,7 @@ SolveStats cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const
   std::vector<T> rho(static_cast<size_t>(p)), rho_old(static_cast<size_t>(p));
   {
     obs::ScopedPhase sp(trace, obs::Phase::Reduction);
-    for (index_t c = 0; c < p; ++c) rho[size_t(c)] = dot<T>(n, r.col(c), z.col(c));
+    for (index_t c = 0; c < p; ++c) rho[size_t(c)] = dot<T>(n, r.col(c), z.col(c), ex);
     st.reductions += 1;
     if (comm != nullptr) comm->reduction(p * 8);
   }
@@ -81,13 +82,13 @@ SolveStats cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const
         comm->reduction(p * 8);
       }
       for (index_t c = 0; c < p; ++c) {
-        const T dq = dot<T>(n, d.col(c), q.col(c));
+        const T dq = dot<T>(n, d.col(c), q.col(c), ex);
         if (dq == T(0)) continue;  // converged/breakdown lane
         const T alpha = rho[size_t(c)] / dq;
         axpy<T>(n, alpha, d.col(c), x.col(c));
         axpy<T>(n, -alpha, q.col(c), r.col(c));
       }
-      column_norms<T>(r.view(), rnorm.data());
+      column_norms<T>(r.view(), rnorm.data(), ex);
     }
     ++st.iterations;
     for (index_t c = 0; c < p; ++c) {
@@ -110,7 +111,7 @@ SolveStats cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const
     std::swap(rho, rho_old);
     {
       obs::ScopedPhase sp(trace, obs::Phase::Reduction);
-      for (index_t c = 0; c < p; ++c) rho[size_t(c)] = dot<T>(n, r.col(c), z.col(c));
+      for (index_t c = 0; c < p; ++c) rho[size_t(c)] = dot<T>(n, r.col(c), z.col(c), ex);
       st.reductions += 1;
       if (comm != nullptr) comm->reduction(p * 8);
     }

@@ -41,6 +41,7 @@ struct ArnoldiCycle {
               const SolverOptions& opts, const std::vector<real_t<T>>& bnorm, SolveStats& st,
               CommModel* comm, obs::TraceSink* trace) {
     using Real = real_t<T>;
+    const KernelExecutor* const ex = opts.exec;
     const index_t n = r0.rows(), p = r0.cols();
     const index_t kp = c.cols();
     v.resize(n, (max_steps + 1) * p);
@@ -60,7 +61,7 @@ struct ArnoldiCycle {
     // Rank-deficient residual blocks are tolerated here: breakdown is
     // detected per-column through usable_columns further down the cycle.
     detail::qr_block<T>(v.block(0, 0, n, p), sblock.view(),  // bkr-lint: allow(unchecked-factor)
-                        st, comm, trace);
+                        st, comm, trace, ex);
     ghat.set_zero();
     for (index_t cc = 0; cc < p; ++cc)
       for (index_t rr = 0; rr <= cc; ++rr) ghat(rr, cc) = sblock(rr, cc);
@@ -75,17 +76,17 @@ struct ArnoldiCycle {
         // (one additional reduction per iteration — the 2(m-k) vs m count
         // of section III-D).
         obs::ScopedPhase sp(trace, obs::Phase::OrthoProjection);
-        gemm<T>(Trans::C, Trans::N, T(1), c, w.view(), T(0), ecol.block(0, 0, kp, p));
+        gemm<T>(Trans::C, Trans::N, T(1), c, w.view(), T(0), ecol.block(0, 0, kp, p), ex);
         detail::count_reductions(st, comm, trace, 1, kp * p * 8);
-        gemm<T>(Trans::N, Trans::N, T(-1), c, ecol.block(0, 0, kp, p), T(1), w.view());
+        gemm<T>(Trans::N, Trans::N, T(-1), c, ecol.block(0, 0, kp, p), T(1), w.view(), ex);
         copy_into<T>(ecol.block(0, 0, kp, p), e.block(0, j * p, kp, p));
       }
       hcol.set_zero();
       detail::project<T>(v.view(), (j + 1) * p, w.view(), hcol.view(), opts.ortho, p, st, comm,
-                         trace);
+                         trace, ex);
       auto vnext = v.block(0, (j + 1) * p, n, p);
       copy_into<T>(w.view(), vnext);
-      const bool full_rank = detail::qr_block<T>(vnext, sblock.view(), st, comm, trace);
+      const bool full_rank = detail::qr_block<T>(vnext, sblock.view(), st, comm, trace, ex);
       for (index_t cc = 0; cc < p; ++cc)
         for (index_t rr = 0; rr <= cc; ++rr) hcol((j + 1) * p + rr, cc) = sblock(rr, cc);
       // Commit the Hessenberg columns even on a (happy) breakdown — the
@@ -177,6 +178,7 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
   SolveStats st;
   const index_t n = a.n(), p = b.cols();
   obs::TraceSink* const trace = opts_.trace;
+  const KernelExecutor* const ex = opts_.exec;
   if (trace != nullptr) trace->begin_solve("gcrodr", n, p);
   // Several early returns share the closing bookkeeping.
   auto finish = [&] {
@@ -201,9 +203,9 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
       m->apply(b, scratch.view());
       ++st.precond_applies;
     }
-    detail::norms<T>(scratch.view(), bnorm.data(), st, comm, trace);
+    detail::norms<T>(scratch.view(), bnorm.data(), st, comm, trace, ex);
   } else {
-    detail::norms<T>(b, bnorm.data(), st, comm, trace);
+    detail::norms<T>(b, bnorm.data(), st, comm, trace, ex);
   }
   for (auto& v : bnorm)
     if (v == Real(0)) v = Real(1);
@@ -212,7 +214,7 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
 
   DenseMatrix<T> r(n, p);
   detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace);
-  detail::norms<T>(r.view(), rnorm.data(), st, comm, trace);
+  detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
   if (opts_.record_history)
     for (index_t c = 0; c < p; ++c)
       st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
@@ -282,22 +284,22 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
       DenseMatrix<T> rq(u_.cols(), u_.cols());
       // A rank-deficient recycled space only degrades the deflation; the
       // subsequent trsm keeps U consistent with whatever rank survived.
-      detail::qr_block<T>(c_.view(), rq.view(), st, comm, trace);  // bkr-lint: allow(unchecked-factor)
-      trsm_right_upper<T>(rq.view(), u_.view());
+      detail::qr_block<T>(c_.view(), rq.view(), st, comm, trace, ex);  // bkr-lint: allow(unchecked-factor)
+      trsm_right_upper<T>(rq.view(), u_.view(), ex);
     }
     // Lines 8-9: X += U C^H R, R -= C C^H R (one fused reduction).
     DenseMatrix<T> y0(u_.cols(), p);
     {
       obs::ScopedPhase sp(trace, obs::Phase::Reduction);
-      gemm<T>(Trans::C, Trans::N, T(1), c_.view(), r.view(), T(0), y0.view());
+      gemm<T>(Trans::C, Trans::N, T(1), c_.view(), r.view(), T(0), y0.view(), ex);
       st.reductions += 1;
       if (comm != nullptr) comm->reduction(u_.cols() * p * 8);
     }
     DenseMatrix<T> t(n, p);
-    gemm<T>(Trans::N, Trans::N, T(1), u_.view(), y0.view(), T(0), t.view());
+    gemm<T>(Trans::N, Trans::N, T(1), u_.view(), y0.view(), T(0), t.view(), ex);
     add_update(t.view());
-    gemm<T>(Trans::N, Trans::N, T(-1), c_.view(), y0.view(), T(1), r.view());
-    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace);
+    gemm<T>(Trans::N, Trans::N, T(-1), c_.view(), y0.view(), T(1), r.view(), ex);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
     if (converged()) {
       st.converged = true;
       finish();
@@ -316,7 +318,7 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
     }
     const DenseMatrix<T> y = cycle.least_squares(s, p);
     DenseMatrix<T> t(n, p);
-    gemm<T>(Trans::N, Trans::N, T(1), cycle.update_basis(side, n, s), y.view(), T(0), t.view());
+    gemm<T>(Trans::N, Trans::N, T(1), cycle.update_basis(side, n, s), y.view(), T(0), t.view(), ex);
     add_update(t.view());
     {
       // Harmonic Ritz deflation seeds U_k, C_k (lines 16-20).
@@ -343,14 +345,14 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
       c_.resize(n, k_eff);
       gemm<T>(Trans::N, Trans::N, T(1),
               MatrixView<const T>(cycle.v.data(), n, (cycle.steps + 1) * p, cycle.v.ld()), q.view(),
-              T(0), c_.view());
+              T(0), c_.view(), ex);
       u_.resize(n, k_eff);
-      gemm<T>(Trans::N, Trans::N, T(1), cycle.update_basis(side, n, s), pk.view(), T(0), u_.view());
-      trsm_right_upper<T>(rq.view(), u_.view());
+      gemm<T>(Trans::N, Trans::N, T(1), cycle.update_basis(side, n, s), pk.view(), T(0), u_.view(), ex);
+      trsm_right_upper<T>(rq.view(), u_.view(), ex);
     }
     // Recompute the true residual for the EPS test (line 15).
     detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace);
-    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
     if (converged()) {
       st.converged = true;
       finish();
@@ -367,7 +369,7 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
     DenseMatrix<T> yc(u_.cols(), p);
     {
       obs::ScopedPhase sp(trace, obs::Phase::Reduction);
-      gemm<T>(Trans::C, Trans::N, T(1), c_.view(), r.view(), T(0), yc.view());
+      gemm<T>(Trans::C, Trans::N, T(1), c_.view(), r.view(), T(0), yc.view(), ex);
       st.reductions += 1;
       if (comm != nullptr) comm->reduction(u_.cols() * p * 8);
     }
@@ -385,8 +387,8 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
                 MatrixView<const T>(cycle.e.data(), u_.cols(), s, cycle.e.ld()), ym.view(), T(1),
                 yc.view());
         gemm<T>(Trans::N, Trans::N, T(1), cycle.update_basis(side, n, s), ym.view(), T(0),
-                t.view());
-        gemm<T>(Trans::N, Trans::N, T(1), u_.view(), yc.view(), T(1), t.view());
+                t.view(), ex);
+        gemm<T>(Trans::N, Trans::N, T(1), u_.view(), yc.view(), T(1), t.view(), ex);
       }
       if (side == PrecondSide::Flexible) {
         // U is in solution space; add U Y_k directly, basis part too.
@@ -396,7 +398,7 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
       }
     }
     detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace);
-    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
     if (converged()) {
       st.converged = true;
       break;
@@ -414,7 +416,7 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
       // The norms run before the RestartEig scope opens so phase scopes
       // stay non-nested.
       std::vector<Real> unorm(static_cast<size_t>(kcur));
-      detail::norms<T>(u_.view(), unorm.data(), st, comm, trace);
+      detail::norms<T>(u_.view(), unorm.data(), st, comm, trace, ex);
       obs::ScopedPhase sp_eig(trace, obs::Phase::RestartEig);
       for (index_t c = 0; c < kcur; ++c) {
         const T inv = scalar_traits<T>::from_real(Real(1) / std::max(unorm[size_t(c)], Real(1e-300)));
@@ -443,10 +445,10 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
         DenseMatrix<T> cu(rows, kcur);
         // [C V]^H U in two gemms sharing one reduction.
         gemm<T>(Trans::C, Trans::N, T(1), c_.view(), u_.view(), T(0),
-                cu.block(0, 0, kcur, kcur));
+                cu.block(0, 0, kcur, kcur), ex);
         gemm<T>(Trans::C, Trans::N, T(1),
                 MatrixView<const T>(cycle.v.data(), n, vcols, cycle.v.ld()), u_.view(), T(0),
-                cu.block(kcur, 0, vcols, kcur));
+                cu.block(kcur, 0, vcols, kcur), ex);
         st.reductions += 1;
         if (comm != nullptr) comm->reduction(rows * kcur * 8);
         // Count-only: the time already lands in the enclosing RestartEig.
@@ -479,13 +481,13 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
       copy_into<T>(c_.view(), cv.block(0, 0, n, kcur));
       copy_into<T>(MatrixView<const T>(cycle.v.data(), n, vcols, cycle.v.ld()),
                    cv.block(0, kcur, n, vcols));
-      gemm<T>(Trans::N, Trans::N, T(1), cv.view(), q.view(), T(0), cnew.view());
+      gemm<T>(Trans::N, Trans::N, T(1), cv.view(), q.view(), T(0), cnew.view(), ex);
       DenseMatrix<T> ub(n, cols);
       copy_into<T>(u_.view(), ub.block(0, 0, n, kcur));
       copy_into<T>(cycle.update_basis(side, n, s), ub.block(0, kcur, n, s));
       DenseMatrix<T> unew(n, knew);
-      gemm<T>(Trans::N, Trans::N, T(1), ub.view(), pk.view(), T(0), unew.view());
-      trsm_right_upper<T>(rq.view(), unew.view());
+      gemm<T>(Trans::N, Trans::N, T(1), ub.view(), pk.view(), T(0), unew.view(), ex);
+      trsm_right_upper<T>(rq.view(), unew.view(), ex);
       c_ = std::move(cnew);
       u_ = std::move(unew);
     }

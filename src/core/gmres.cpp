@@ -32,6 +32,7 @@ SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixV
   SolveStats st;
   const index_t n = a.n(), p = b.cols();
   obs::TraceSink* const trace = opts.trace;
+  const KernelExecutor* const ex = opts.exec;
   if (trace != nullptr) trace->begin_solve("block_gmres", n, p);
   PrecondSide side = (m == nullptr) ? PrecondSide::None : opts.side;
   if (side == PrecondSide::Right && m != nullptr && m->is_variable()) side = PrecondSide::Flexible;
@@ -46,9 +47,9 @@ SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixV
       m->apply(b, scratch.view());
       ++st.precond_applies;
     }
-    detail::norms<T>(scratch.view(), bnorm.data(), st, comm, trace);
+    detail::norms<T>(scratch.view(), bnorm.data(), st, comm, trace, ex);
   } else {
-    detail::norms<T>(b, bnorm.data(), st, comm, trace);
+    detail::norms<T>(b, bnorm.data(), st, comm, trace, ex);
   }
   for (auto& v : bnorm)
     if (v == Real(0)) v = Real(1);
@@ -67,7 +68,7 @@ SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixV
   while (st.iterations < opts.max_iterations) {
     ++st.cycles;
     detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace);
-    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
     if (st.cycles == 1 && opts.record_history)
       for (index_t c = 0; c < p; ++c)
         st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
@@ -82,7 +83,7 @@ SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixV
     // Rank-deficient residual blocks are tolerated here: breakdown is
     // detected per-column through usable_columns further down the cycle.
     detail::qr_block<T>(v.block(0, 0, n, p), sblock.view(),  // bkr-lint: allow(unchecked-factor)
-                        st, comm, trace);
+                        st, comm, trace, ex);
     IncrementalQR<T> qr((mdim + 1) * p, mdim * p);
     ghat.set_zero();
     for (index_t c = 0; c < p; ++c)
@@ -97,10 +98,10 @@ SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixV
       detail::apply_preconditioned<T>(a, m, side, vj, zj, w.view(), st, trace);
       hcol.set_zero();
       detail::project<T>(v.view(), (j + 1) * p, w.view(), hcol.view(), opts.ortho, p, st, comm,
-                         trace);
+                         trace, ex);
       auto vnext = v.block(0, (j + 1) * p, n, p);
       copy_into<T>(w.view(), vnext);
-      const bool full_rank = detail::qr_block<T>(vnext, sblock.view(), st, comm, trace);
+      const bool full_rank = detail::qr_block<T>(vnext, sblock.view(), st, comm, trace, ex);
       for (index_t c = 0; c < p; ++c)
         for (index_t rr = 0; rr <= c; ++rr) hcol((j + 1) * p + rr, c) = sblock(rr, c);
       // The Hessenberg columns are committed even on a (happy) block
@@ -154,7 +155,7 @@ SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixV
         const auto& basis = (side == PrecondSide::Flexible) ? z : v;
         gemm<T>(Trans::N, Trans::N, T(1),
                 MatrixView<const T>(basis.data(), n, s, basis.ld()),
-                MatrixView<const T>(y.data(), s, p, y.ld()), T(0), t.view());
+                MatrixView<const T>(y.data(), s, p, y.ld()), T(0), t.view(), ex);
       }
       if (side == PrecondSide::Right) {
         {
@@ -187,6 +188,7 @@ SolveStats pseudo_block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m,
   SolveStats st;
   const index_t n = a.n(), p = b.cols();
   obs::TraceSink* const trace = opts.trace;
+  const KernelExecutor* const ex = opts.exec;
   if (trace != nullptr) trace->begin_solve("pseudo_block_gmres", n, p);
   PrecondSide side = (m == nullptr) ? PrecondSide::None : opts.side;
   if (side == PrecondSide::Right && m != nullptr && m->is_variable()) side = PrecondSide::Flexible;
@@ -209,9 +211,9 @@ SolveStats pseudo_block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m,
       m->apply(b, scratch.view());
       ++st.precond_applies;
     }
-    detail::norms<T>(scratch.view(), bnorm.data(), st, comm, trace);
+    detail::norms<T>(scratch.view(), bnorm.data(), st, comm, trace, ex);
   } else {
-    detail::norms<T>(b, bnorm.data(), st, comm, trace);
+    detail::norms<T>(b, bnorm.data(), st, comm, trace, ex);
   }
   for (auto& v : bnorm)
     if (v == Real(0)) v = Real(1);
@@ -232,7 +234,7 @@ SolveStats pseudo_block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m,
   while (!done && st.iterations < opts.max_iterations) {
     ++st.cycles;
     detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace);
-    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
     if (st.cycles == 1 && opts.record_history)
       for (index_t c = 0; c < p; ++c)
         st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
@@ -280,7 +282,7 @@ SolveStats pseudo_block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m,
         for (index_t l = 0; l < p; ++l) {
           if (!active[size_t(l)]) continue;
           for (index_t i = 0; i <= j; ++i)
-            hcol(i, l) = dot<T>(n, v.col(i * p + l), w.col(l));
+            hcol(i, l) = dot<T>(n, v.col(i * p + l), w.col(l), ex);
         }
         note_reductions((opts.ortho == Ortho::Mgs) ? (j + 1) : 1, (j + 1) * nactive * 8);
         for (index_t l = 0; l < p; ++l) {
@@ -288,7 +290,7 @@ SolveStats pseudo_block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m,
           for (index_t i = 0; i <= j; ++i) axpy<T>(n, -hcol(i, l), v.col(i * p + l), w.col(l));
           if (opts.ortho == Ortho::Cgs2) {
             for (index_t i = 0; i <= j; ++i) {
-              const T h2 = dot<T>(n, v.col(i * p + l), w.col(l));
+              const T h2 = dot<T>(n, v.col(i * p + l), w.col(l), ex);
               hcol(i, l) += h2;
               axpy<T>(n, -h2, v.col(i * p + l), w.col(l));
             }
@@ -303,7 +305,7 @@ SolveStats pseudo_block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m,
         obs::ScopedPhase sp(trace, obs::Phase::OrthoNormalization);
         for (index_t l = 0; l < p; ++l) {
           if (!active[size_t(l)]) continue;
-          const Real hn = norm2<T>(n, w.col(l));
+          const Real hn = norm2<T>(n, w.col(l), ex);
           hcol(j + 1, l) = scalar_traits<T>::from_real(hn);
           if (hn > Real(0)) {
             const T inv = scalar_traits<T>::from_real(Real(1) / hn);

@@ -117,7 +117,8 @@ void residual(const LinearOperator<T>& a, Preconditioner<T>* m, PrecondSide side
 // global reduction, MGS needs one per basis block.
 template <class T>
 void project(MatrixView<const T> basis, index_t s, MatrixView<T> w, MatrixView<T> h, Ortho ortho,
-             index_t block, SolveStats& stats, CommModel* comm, obs::TraceSink* trace = nullptr) {
+             index_t block, SolveStats& stats, CommModel* comm, obs::TraceSink* trace = nullptr,
+             const KernelExecutor* ex = nullptr) {
   if (s == 0) return;
   obs::ScopedPhase sp(trace, obs::Phase::OrthoProjection);
   const auto v = basis.cols_view(0, s);
@@ -126,17 +127,17 @@ void project(MatrixView<const T> basis, index_t s, MatrixView<T> w, MatrixView<T
   switch (ortho) {
     case Ortho::Cgs:
     case Ortho::CholQr: {
-      gemm<T>(Trans::C, Trans::N, T(1), v, wc, T(0), h.block(0, 0, s, w.cols()));
+      gemm<T>(Trans::C, Trans::N, T(1), v, wc, T(0), h.block(0, 0, s, w.cols()), ex);
       count(1);
-      gemm<T>(Trans::N, Trans::N, T(-1), v, h.block(0, 0, s, w.cols()), T(1), w);
+      gemm<T>(Trans::N, Trans::N, T(-1), v, h.block(0, 0, s, w.cols()), T(1), w, ex);
       break;
     }
     case Ortho::Cgs2: {
-      gemm<T>(Trans::C, Trans::N, T(1), v, wc, T(0), h.block(0, 0, s, w.cols()));
-      gemm<T>(Trans::N, Trans::N, T(-1), v, h.block(0, 0, s, w.cols()), T(1), w);
+      gemm<T>(Trans::C, Trans::N, T(1), v, wc, T(0), h.block(0, 0, s, w.cols()), ex);
+      gemm<T>(Trans::N, Trans::N, T(-1), v, h.block(0, 0, s, w.cols()), T(1), w, ex);
       DenseMatrix<T> h2(s, w.cols());
-      gemm<T>(Trans::C, Trans::N, T(1), v, wc, T(0), h2.view());
-      gemm<T>(Trans::N, Trans::N, T(-1), v, h2.view(), T(1), w);
+      gemm<T>(Trans::C, Trans::N, T(1), v, wc, T(0), h2.view(), ex);
+      gemm<T>(Trans::N, Trans::N, T(-1), v, h2.view(), T(1), w, ex);
       for (index_t c = 0; c < w.cols(); ++c)
         for (index_t i = 0; i < s; ++i) h(i, c) += h2(i, c);
       count(2);
@@ -146,8 +147,8 @@ void project(MatrixView<const T> basis, index_t s, MatrixView<T> w, MatrixView<T
       for (index_t i0 = 0; i0 < s; i0 += block) {
         const index_t width = std::min(block, s - i0);
         const auto vi = basis.cols_view(i0, width);
-        gemm<T>(Trans::C, Trans::N, T(1), vi, wc, T(0), h.block(i0, 0, width, w.cols()));
-        gemm<T>(Trans::N, Trans::N, T(-1), vi, h.block(i0, 0, width, w.cols()), T(1), w);
+        gemm<T>(Trans::C, Trans::N, T(1), vi, wc, T(0), h.block(i0, 0, width, w.cols()), ex);
+        gemm<T>(Trans::N, Trans::N, T(-1), vi, h.block(i0, 0, width, w.cols()), T(1), w, ex);
         count(1);
       }
       break;
@@ -161,10 +162,10 @@ void project(MatrixView<const T> basis, index_t s, MatrixView<T> w, MatrixView<T
 // breakdown).
 template <class T>
 bool qr_block(MatrixView<T> w, MatrixView<T> r, SolveStats& stats, CommModel* comm,
-              obs::TraceSink* trace = nullptr) {
+              obs::TraceSink* trace = nullptr, const KernelExecutor* ex = nullptr) {
   obs::ScopedPhase sp(trace, obs::Phase::OrthoNormalization);
   count_reductions(stats, comm, trace, 1, w.cols() * w.cols() * 8);
-  if (!cholqr<T>(w, r)) householder_tsqr<T>(w, r);
+  if (!cholqr<T>(w, r, ex)) householder_tsqr<T>(w, r);
   real_t<T> dmax(0);
   for (index_t c = 0; c < r.cols(); ++c) dmax = std::max(dmax, abs_val(r(c, c)));
   for (index_t c = 0; c < r.cols(); ++c)
@@ -176,10 +177,10 @@ bool qr_block(MatrixView<T> w, MatrixView<T> r, SolveStats& stats, CommModel* co
 // compute *is* the global reduction, so its time lands in that phase.
 template <class T>
 void norms(MatrixView<const T> x, real_t<T>* out, SolveStats& stats, CommModel* comm,
-           obs::TraceSink* trace = nullptr) {
+           obs::TraceSink* trace = nullptr, const KernelExecutor* ex = nullptr) {
   // The ScopedPhase itself contributes the single reduction count.
   obs::ScopedPhase sp(trace, obs::Phase::Reduction);
-  column_norms<T>(x, out);
+  column_norms<T>(x, out, ex);
   stats.reductions += 1;
   if (comm != nullptr) comm->reduction(x.cols() * 8);
 }

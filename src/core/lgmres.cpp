@@ -19,6 +19,7 @@ SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::v
   SolveStats st;
   const index_t n = a.n();
   obs::TraceSink* const trace = opts.trace;
+  const KernelExecutor* const ex = opts.exec;
   if (trace != nullptr) trace->begin_solve("lgmres", n, 1);
   PrecondSide side = (m == nullptr) ? PrecondSide::None : opts.side;
   if (side == PrecondSide::Right && m != nullptr && m->is_variable()) side = PrecondSide::Flexible;
@@ -35,9 +36,9 @@ SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::v
       m->apply(bview, scratch.view());
       ++st.precond_applies;
     }
-    detail::norms<T>(scratch.view(), &bnorm, st, comm, trace);
+    detail::norms<T>(scratch.view(), &bnorm, st, comm, trace, ex);
   } else {
-    detail::norms<T>(bview, &bnorm, st, comm, trace);
+    detail::norms<T>(bview, &bnorm, st, comm, trace, ex);
   }
   if (bnorm == Real(0)) bnorm = Real(1);
   st.history.resize(1);
@@ -54,7 +55,7 @@ SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::v
     ++st.cycles;
     detail::residual<T>(a, m, side, bview, xview, r.view(), scratch, st, trace);
     Real rnorm;
-    detail::norms<T>(r.view(), &rnorm, st, comm, trace);
+    detail::norms<T>(r.view(), &rnorm, st, comm, trace, ex);
     if (st.cycles == 1 && opts.record_history) st.history[0].push_back(rnorm / bnorm);
     if (rnorm <= opts.tol * bnorm) {
       st.converged = true;
@@ -104,11 +105,11 @@ SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::v
                          MatrixView<T>(w.data(), n, 1, n),
                          MatrixView<T>(hcol.data(), index_t(hcol.size()), 1,
                                        index_t(hcol.size())),
-                         opts.ortho, 1, st, comm, trace);
+                         opts.ortho, 1, st, comm, trace, ex);
       Real hn;
       {
         obs::ScopedPhase sp(trace, obs::Phase::OrthoNormalization);
-        hn = norm2<T>(n, w.col(0));
+        hn = norm2<T>(n, w.col(0), ex);
         hcol[size_t(j) + 1] = scalar_traits<T>::from_real(hn);
         st.reductions += 1;
         if (comm != nullptr) comm->reduction(8);
@@ -183,7 +184,7 @@ SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::v
     Real dxn;
     {
       obs::ScopedPhase sp(trace, obs::Phase::Reduction);
-      dxn = norm2<T>(n, dx.data());
+      dxn = norm2<T>(n, dx.data(), ex);
       st.reductions += 1;
       if (comm != nullptr) comm->reduction(8);
     }

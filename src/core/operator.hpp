@@ -24,14 +24,18 @@ class LinearOperator {
 
 // CSR-backed operator; records one halo-exchange round per application in
 // the communication model (the traffic a distributed SpMM would incur).
+// An optional executor (not owned) parallelizes the SpMM row-partitioned;
+// the result is bitwise identical to the serial apply at any thread count.
 template <class T>
 class CsrOperator final : public LinearOperator<T> {
  public:
-  explicit CsrOperator(const CsrMatrix<T>& a, CommModel* comm = nullptr) : a_(&a), comm_(comm) {}
+  explicit CsrOperator(const CsrMatrix<T>& a, CommModel* comm = nullptr,
+                       const KernelExecutor* exec = nullptr)
+      : a_(&a), comm_(comm), exec_(exec) {}
 
   [[nodiscard]] index_t n() const override { return a_->rows(); }
   void apply(MatrixView<const T> x, MatrixView<T> y) const override {
-    a_->spmm(x, y);
+    a_->spmm(x, y, exec_);
     if (comm_ != nullptr) comm_->halo_exchange(x.cols() * 8);
   }
   [[nodiscard]] const CsrMatrix<T>& matrix() const { return *a_; }
@@ -39,6 +43,7 @@ class CsrOperator final : public LinearOperator<T> {
  private:
   const CsrMatrix<T>* a_;
   CommModel* comm_;
+  const KernelExecutor* exec_;
 };
 
 template <class T>

@@ -74,7 +74,8 @@ struct Lane {
 // coupling block E and the scaled U).
 template <class T>
 void refresh_lane_recycle(Lane<T>& lane, index_t n, index_t k, index_t s, PrecondSide side,
-                          RecycleStrategy strategy, bool with_projection) {
+                          RecycleStrategy strategy, bool with_projection,
+                          const KernelExecutor* ex) {
   using Real = real_t<T>;
   if (s <= 0) return;
   const index_t vcols = lane.steps + 1;
@@ -85,7 +86,7 @@ void refresh_lane_recycle(Lane<T>& lane, index_t n, index_t k, index_t s, Precon
   DenseMatrix<T> g(rows, cols);
   if (with_projection) {
     for (index_t cc = 0; cc < kcur; ++cc) {
-      const Real un = std::max(norm2<T>(n, lane.u.col(cc)), Real(1e-300));
+      const Real un = std::max(norm2<T>(n, lane.u.col(cc), ex), Real(1e-300));
       scal<T>(n, scalar_traits<T>::from_real(Real(1) / un), lane.u.col(cc));
       g(cc, cc) = scalar_traits<T>::from_real(Real(1) / un);
     }
@@ -128,9 +129,9 @@ void refresh_lane_recycle(Lane<T>& lane, index_t n, index_t k, index_t s, Precon
       // [C V]^H U (k columns).
       for (index_t cc = 0; cc < kcur; ++cc) {
         for (index_t i = 0; i < kcur; ++i)
-          inner_mat(i, cc) = dot<T>(n, lane.c.col(i), lane.u.col(cc));
+          inner_mat(i, cc) = dot<T>(n, lane.c.col(i), lane.u.col(cc), ex);
         for (index_t i = 0; i < vcols; ++i)
-          inner_mat(kcur + i, cc) = dot<T>(n, lane.v.col(i), lane.u.col(cc));
+          inner_mat(kcur + i, cc) = dot<T>(n, lane.v.col(i), lane.u.col(cc), ex);
       }
       for (index_t j = 0; j < s; ++j) inner_mat(kcur + j, kcur + j) = T(1);
       gemm<T>(Trans::C, Trans::N, T(1), g.view(), inner_mat.view(), T(0), wmat.view());
@@ -155,15 +156,15 @@ void refresh_lane_recycle(Lane<T>& lane, index_t n, index_t k, index_t s, Precon
   copy_into<T>(MatrixView<const T>(lane.v.data(), n, vcols, lane.v.ld()),
                cv.block(0, kcur, n, vcols));
   DenseMatrix<T> cnew(n, knew);
-  gemm<T>(Trans::N, Trans::N, T(1), cv.view(), q.view(), T(0), cnew.view());
+  gemm<T>(Trans::N, Trans::N, T(1), cv.view(), q.view(), T(0), cnew.view(), ex);
   DenseMatrix<T> ub(n, cols);
   if (kcur > 0) copy_into<T>(lane.u.view(), ub.block(0, 0, n, kcur));
   copy_into<T>(MatrixView<const T>(lane.update_basis(side).data(), n, s,
                                    lane.update_basis(side).ld()),
                ub.block(0, kcur, n, s));
   DenseMatrix<T> unew(n, knew);
-  gemm<T>(Trans::N, Trans::N, T(1), ub.view(), pk.view(), T(0), unew.view());
-  trsm_right_upper<T>(rq.view(), unew.view());
+  gemm<T>(Trans::N, Trans::N, T(1), ub.view(), pk.view(), T(0), unew.view(), ex);
+  trsm_right_upper<T>(rq.view(), unew.view(), ex);
   lane.c = std::move(cnew);
   lane.u = std::move(unew);
 }
@@ -180,6 +181,7 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
   SolveStats st;
   const index_t n = a.n(), p = b.cols();
   obs::TraceSink* const trace = opts_.trace;
+  const KernelExecutor* const ex = opts_.exec;
   if (trace != nullptr) trace->begin_solve("pseudo_gcrodr", n, p);
   PrecondSide side = (m == nullptr) ? PrecondSide::None : opts_.side;
   if (side == PrecondSide::Right && m != nullptr && m->is_variable()) side = PrecondSide::Flexible;
@@ -213,16 +215,16 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
       m->apply(b, scratch.view());
       ++st.precond_applies;
     }
-    detail::norms<T>(scratch.view(), bnorm.data(), st, comm, trace);
+    detail::norms<T>(scratch.view(), bnorm.data(), st, comm, trace, ex);
   } else {
-    detail::norms<T>(b, bnorm.data(), st, comm, trace);
+    detail::norms<T>(b, bnorm.data(), st, comm, trace, ex);
   }
   for (auto& v : bnorm)
     if (v == Real(0)) v = Real(1);
 
   DenseMatrix<T> r(n, p), w(n, p), ztmp(n, p);
   detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace);
-  detail::norms<T>(r.view(), rnorm.data(), st, comm, trace);
+  detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
   for (index_t l = 0; l < p; ++l) {
     lanes[size_t(l)].bnorm = bnorm[size_t(l)];
     lanes[size_t(l)].rnorm = rnorm[size_t(l)];
@@ -276,9 +278,9 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
       for (index_t l = 0; l < p; ++l) {
         auto wl = wall.block(0, l * k, n, k);
         DenseMatrix<T> rq(k, k);
-        if (!cholqr<T>(wl, rq.view())) householder_tsqr<T>(wl, rq.view());
+        if (!cholqr<T>(wl, rq.view(), ex)) householder_tsqr<T>(wl, rq.view());
         copy_into<T>(MatrixView<const T>(wl.data(), n, k, wl.ld()), lanes[size_t(l)].c.view());
-        trsm_right_upper<T>(rq.view(), lanes[size_t(l)].u.view());
+        trsm_right_upper<T>(rq.view(), lanes[size_t(l)].u.view(), ex);
       }
     }
     // X += U C^H r; r -= C C^H r (fused dots: one reduction).
@@ -292,7 +294,7 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
         auto& lane = lanes[size_t(l)];
         if (lane.converged) continue;
         std::vector<T> y0(static_cast<size_t>(k));
-        for (index_t i = 0; i < k; ++i) y0[size_t(i)] = dot<T>(n, lane.c.col(i), r.col(l));
+        for (index_t i = 0; i < k; ++i) y0[size_t(i)] = dot<T>(n, lane.c.col(i), r.col(l), ex);
         for (index_t i = 0; i < k; ++i) {
           axpy<T>(n, y0[size_t(i)], lane.u.col(i), t.col(l));
           axpy<T>(n, -y0[size_t(i)], lane.c.col(i), r.col(l));
@@ -310,7 +312,7 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
       for (index_t l = 0; l < p; ++l) axpy<T>(n, T(1), t.col(l), x.col(l));
     }
     // The projection changed the residual: refresh norms and flags.
-    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
     for (index_t l = 0; l < p; ++l) {
       lanes[size_t(l)].rnorm = rnorm[size_t(l)];
       lanes[size_t(l)].converged = rnorm[size_t(l)] <= opts_.tol * bnorm[size_t(l)];
@@ -341,7 +343,7 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
         if (project) {
           lane.yc.assign(static_cast<size_t>(lane.u.cols()), T(0));
           for (index_t i = 0; i < lane.u.cols(); ++i)
-            lane.yc[size_t(i)] = dot<T>(n, lane.c.col(i), r.col(l));
+            lane.yc[size_t(i)] = dot<T>(n, lane.c.col(i), r.col(l), ex);
         }
       }
       st.reductions += 1;  // fused residual QR (norms) / C^H r
@@ -370,7 +372,7 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
           auto& lane = lanes[size_t(l)];
           if (!lane.active) continue;
           for (index_t i = 0; i < lane.u.cols(); ++i) {
-            const T ei = dot<T>(n, lane.c.col(i), w.col(l));
+            const T ei = dot<T>(n, lane.c.col(i), w.col(l), ex);
             lane.e(i, j) = ei;
             axpy<T>(n, -ei, lane.c.col(i), w.col(l));
           }
@@ -392,16 +394,16 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
           if (!lane.active) continue;
           if (side == PrecondSide::Flexible) std::copy(zj.col(l), zj.col(l) + n, lane.z.col(j));
           std::vector<T> hcol(static_cast<size_t>(max_steps) + 1, T(0));
-          for (index_t i = 0; i <= j; ++i) hcol[size_t(i)] = dot<T>(n, lane.v.col(i), w.col(l));
+          for (index_t i = 0; i <= j; ++i) hcol[size_t(i)] = dot<T>(n, lane.v.col(i), w.col(l), ex);
           for (index_t i = 0; i <= j; ++i) axpy<T>(n, -hcol[size_t(i)], lane.v.col(i), w.col(l));
           if (opts_.ortho == Ortho::Cgs2) {
             for (index_t i = 0; i <= j; ++i) {
-              const T h2 = dot<T>(n, lane.v.col(i), w.col(l));
+              const T h2 = dot<T>(n, lane.v.col(i), w.col(l), ex);
               hcol[size_t(i)] += h2;
               axpy<T>(n, -h2, lane.v.col(i), w.col(l));
             }
           }
-          const Real hn = norm2<T>(n, w.col(l));
+          const Real hn = norm2<T>(n, w.col(l), ex);
           hcol[size_t(j) + 1] = scalar_traits<T>::from_real(hn);
           if (hn > Real(0)) {
             const T inv = scalar_traits<T>::from_real(Real(1) / hn);
@@ -481,7 +483,7 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
       for (index_t l = 0; l < p; ++l) axpy<T>(n, T(1), t.col(l), x.col(l));
     }
     detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace);
-    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
     for (index_t l = 0; l < p; ++l) {
       lanes[size_t(l)].rnorm = rnorm[size_t(l)];
       lanes[size_t(l)].converged = rnorm[size_t(l)] <= opts_.tol * bnorm[size_t(l)];
@@ -499,7 +501,7 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
         auto& lane = lanes[size_t(l)];
         if (lane.steps == 0) continue;
         const index_t s = usable_scalar_columns(lane.qr, lane.steps);
-        refresh_lane_recycle<T>(lane, n, k, s, side, opts_.strategy, !first_cycle);
+        refresh_lane_recycle<T>(lane, n, k, s, side, opts_.strategy, !first_cycle, ex);
       }
       if (opts_.strategy == RecycleStrategy::A && !first_cycle) {
         st.reductions += 1;  // [C V]^H U of eq. 3a (fused over lanes)

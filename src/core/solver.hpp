@@ -10,6 +10,8 @@
 
 namespace bkr {
 
+class KernelExecutor;  // parallel/kernel_executor.hpp
+
 // Where the preconditioner enters the iteration (paper: "right, left, or
 // variable preconditioning" are all supported uniformly).
 enum class PrecondSide {
@@ -53,6 +55,13 @@ struct SolverOptions {
   // the instrumentation reduces to pointer tests: no clock reads, no
   // allocation, no virtual calls on the hot path.
   obs::TraceSink* trace = nullptr;
+  // Optional kernel executor (not owned). When null — the default — every
+  // hot kernel runs its legacy serial path unchanged. When set, SpMM,
+  // gemm, CholQR and the fused reductions fan out over the executor's
+  // thread pool under the determinism contract of kernel_executor.hpp:
+  // iteration counts, residual histories and solutions are identical at
+  // every thread count.
+  const KernelExecutor* exec = nullptr;
 };
 
 struct SolveStats {

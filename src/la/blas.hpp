@@ -6,21 +6,79 @@
 // methods (Hessenberg matrices of order p*(m+1) <= ~2000, Gram matrices of
 // order p*k <= ~320). The naming follows BLAS so readers can map calls
 // back to the paper's cost analysis.
+//
+// Every kernel that appears on a solver hot path takes an optional
+// KernelExecutor. With a null executor (the default) the legacy serial
+// loops run unchanged. With an executor, the kernel fans out over the
+// thread pool under the determinism contract of kernel_executor.hpp:
+//  * partition-type kernels (gemm panels, trsm blocks) keep the exact
+//    per-output-element operation order of the serial code, so they are
+//    bitwise identical to it at every thread count;
+//  * reduction-type kernels (dot, norm2, column_norms) switch to a
+//    fixed-order chunked summation (kReduceChunk elements per partial,
+//    partials combined in chunk-index order) whose result is bitwise
+//    identical at every thread count but differs from the legacy straight
+//    sum in rounding. The switch is decided by problem size only.
 #pragma once
 
 #include <cmath>
+#include <vector>
 
 #include "common/contracts.hpp"
 #include "la/dense.hpp"
+#include "parallel/kernel_executor.hpp"
 
 namespace bkr {
 
 enum class Trans { N, C };  // no-transpose / conjugate-transpose
 
+// Elements per partial sum of the deterministic chunked reductions. Fixed
+// (never derived from the thread count) so the summation tree depends on
+// the problem size only.
+inline constexpr index_t kReduceChunk = 2048;
+
+namespace detail {
+
+// Straight conjugated dot over a contiguous range; the single compiled
+// body shared by the serial and pooled schedules of every reduction.
+template <class T>
+T chunk_dot(index_t n, const T* x, const T* y) {
+  T s(0);
+  for (index_t i = 0; i < n; ++i) s += conj(x[i]) * y[i];
+  return s;
+}
+
+template <class T>
+real_t<T> chunk_sumsq(index_t n, const T* x) {
+  real_t<T> s(0);
+  for (index_t i = 0; i < n; ++i) {
+    const auto a = abs_val(x[i]);
+    s += a * a;
+  }
+  return s;
+}
+
+inline index_t reduce_chunks(index_t n) { return (n + kReduceChunk - 1) / kReduceChunk; }
+
+// Evenly split [0, n) into `parts` contiguous ranges; boundary i of the
+// split depends on (n, parts) only.
+inline index_t even_split(index_t n, index_t parts, index_t i) {
+  return (n / parts) * i + std::min(i, n % parts);
+}
+
+// Tasks per pooled dispatch: a small multiple of the lane count so the
+// static chunking of ThreadPool::parallel_for stays load-balanced.
+inline index_t fanout_tasks(const KernelExecutor* ex, index_t n) {
+  const index_t want = ex->lanes() * 4;
+  return n < want ? (n > 0 ? n : 1) : want;
+}
+
+}  // namespace detail
+
 // C = alpha * op(A) * op(B) + beta * C.
 template <class T>
 void gemm(Trans ta, Trans tb, T alpha, MatrixView<const T> a, MatrixView<const T> b, T beta,
-          MatrixView<T> c) {
+          MatrixView<T> c, const KernelExecutor* ex = nullptr) {
   const index_t m = c.rows(), n = c.cols();
   const index_t k = (ta == Trans::N) ? a.cols() : a.rows();
   BKR_REQUIRE(((ta == Trans::N) ? a.rows() : a.cols()) == m, "op(a).rows",
@@ -36,47 +94,79 @@ void gemm(Trans ta, Trans tb, T alpha, MatrixView<const T> a, MatrixView<const T
     for (index_t j = 0; j < n; ++j)
       for (index_t i = 0; i < m; ++i) c(i, j) *= beta;
   }
-  if (alpha == T(0) || k == 0) return;
+  if (alpha == T(0) || k == 0 || m == 0 || n == 0) return;
+
+  const bool fan = ex != nullptr && ex->engage(obs::Kernel::Gemm, m * n * k);
 
   if (ta == Trans::N && tb == Trans::N) {
-    // C(:,j) += alpha * A * B(:,j) — rank-1 update loop order, unit-stride in A.
-    for (index_t j = 0; j < n; ++j) {
-      T* cj = c.col(j);
-      for (index_t l = 0; l < k; ++l) {
-        const T blj = alpha * b(l, j);
-        if (blj == T(0)) continue;
-        const T* al = a.col(l);
-        for (index_t i = 0; i < m; ++i) cj[i] += al[i] * blj;
+    // C(:,j) += alpha * A * B(:,j) — rank-1 update loop order, unit-stride
+    // in A. Parallel over output column panels; the per-element
+    // accumulation order over l is unchanged, so panels are bitwise
+    // independent of the partition.
+    auto panel = [&](index_t j0, index_t j1) {
+      for (index_t j = j0; j < j1; ++j) {
+        T* cj = c.col(j);
+        for (index_t l = 0; l < k; ++l) {
+          const T blj = alpha * b(l, j);
+          if (blj == T(0)) continue;
+          const T* al = a.col(l);
+          for (index_t i = 0; i < m; ++i) cj[i] += al[i] * blj;
+        }
       }
+    };
+    if (!fan || n == 1) {
+      panel(0, n);
+    } else {
+      const index_t parts = detail::fanout_tasks(ex, n);
+      ex->run(obs::Kernel::Gemm, parts, [&](index_t t) {
+        panel(detail::even_split(n, parts, t), detail::even_split(n, parts, t + 1));
+      });
     }
   } else if (ta == Trans::C && tb == Trans::N) {
-    // C(i,j) += alpha * A(:,i)^H B(:,j) — dot products, unit stride in both.
-    for (index_t j = 0; j < n; ++j) {
-      const T* bj = b.col(j);
-      for (index_t i = 0; i < m; ++i) {
-        const T* ai = a.col(i);
-        T s(0);
-        for (index_t l = 0; l < k; ++l) s += conj(ai[l]) * bj[l];
-        c(i, j) += alpha * s;
-      }
+    // C(i,j) += alpha * A(:,i)^H B(:,j) — dot products, unit stride in
+    // both. Parallel over output entries (each entry is one independent
+    // dot, computed in the same l order either way).
+    auto entry = [&](index_t i, index_t j) {
+      c(i, j) += alpha * detail::chunk_dot(k, a.col(i), b.col(j));
+    };
+    if (!fan || m * n == 1) {
+      for (index_t j = 0; j < n; ++j)
+        for (index_t i = 0; i < m; ++i) entry(i, j);
+    } else {
+      ex->run(obs::Kernel::Gemm, m * n, [&](index_t t) { entry(t % m, t / m); });
     }
   } else if (ta == Trans::N && tb == Trans::C) {
-    for (index_t l = 0; l < k; ++l) {
-      const T* al = a.col(l);
-      for (index_t j = 0; j < n; ++j) {
-        const T blj = alpha * conj(b(j, l));
-        if (blj == T(0)) continue;
-        T* cj = c.col(j);
-        for (index_t i = 0; i < m; ++i) cj[i] += al[i] * blj;
+    auto panel = [&](index_t j0, index_t j1) {
+      for (index_t l = 0; l < k; ++l) {
+        const T* al = a.col(l);
+        for (index_t j = j0; j < j1; ++j) {
+          const T blj = alpha * conj(b(j, l));
+          if (blj == T(0)) continue;
+          T* cj = c.col(j);
+          for (index_t i = 0; i < m; ++i) cj[i] += al[i] * blj;
+        }
       }
+    };
+    if (!fan || n == 1) {
+      panel(0, n);
+    } else {
+      const index_t parts = detail::fanout_tasks(ex, n);
+      ex->run(obs::Kernel::Gemm, parts, [&](index_t t) {
+        panel(detail::even_split(n, parts, t), detail::even_split(n, parts, t + 1));
+      });
     }
   } else {  // C^H * B^H
-    for (index_t j = 0; j < n; ++j)
-      for (index_t i = 0; i < m; ++i) {
-        T s(0);
-        for (index_t l = 0; l < k; ++l) s += conj(a(l, i)) * conj(b(j, l));
-        c(i, j) += alpha * s;
-      }
+    auto entry = [&](index_t i, index_t j) {
+      T s(0);
+      for (index_t l = 0; l < k; ++l) s += conj(a(l, i)) * conj(b(j, l));
+      c(i, j) += alpha * s;
+    };
+    if (!fan || m * n == 1) {
+      for (index_t j = 0; j < n; ++j)
+        for (index_t i = 0; i < m; ++i) entry(i, j);
+    } else {
+      ex->run(obs::Kernel::Gemm, m * n, [&](index_t t) { entry(t % m, t / m); });
+    }
   }
 }
 
@@ -106,29 +196,78 @@ void gemv(Trans ta, T alpha, MatrixView<const T> a, const T* x, T beta, T* y) {
   }
 }
 
-// Conjugated dot product x^H y over n entries.
+// Conjugated dot product x^H y over n entries (legacy straight sum).
 template <class T>
 T dot(index_t n, const T* x, const T* y) {
+  return detail::chunk_dot(n, x, y);
+}
+
+// Deterministic chunked dot: fixed kReduceChunk partials combined in chunk
+// order. The result is independent of the executor's lane count.
+template <class T>
+T dot(index_t n, const T* x, const T* y, const KernelExecutor* ex) {
+  if (ex == nullptr || !ex->engage(obs::Kernel::Dot, n)) return detail::chunk_dot(n, x, y);
+  const index_t nchunks = detail::reduce_chunks(n);
+  std::vector<T> partial(static_cast<size_t>(nchunks));
+  ex->run(obs::Kernel::Dot, nchunks, [&](index_t cidx) {
+    const index_t begin = cidx * kReduceChunk;
+    partial[size_t(cidx)] =
+        detail::chunk_dot(std::min(kReduceChunk, n - begin), x + begin, y + begin);
+  });
   T s(0);
-  for (index_t i = 0; i < n; ++i) s += conj(x[i]) * y[i];
+  for (index_t cidx = 0; cidx < nchunks; ++cidx) s += partial[size_t(cidx)];
   return s;
 }
 
 template <class T>
 real_t<T> norm2(index_t n, const T* x) {
+  return std::sqrt(detail::chunk_sumsq(n, x));
+}
+
+// Deterministic chunked 2-norm (same contract as the 4-argument dot).
+template <class T>
+real_t<T> norm2(index_t n, const T* x, const KernelExecutor* ex) {
+  if (ex == nullptr || !ex->engage(obs::Kernel::Norms, n))
+    return std::sqrt(detail::chunk_sumsq(n, x));
+  const index_t nchunks = detail::reduce_chunks(n);
+  std::vector<real_t<T>> partial(static_cast<size_t>(nchunks));
+  ex->run(obs::Kernel::Norms, nchunks, [&](index_t cidx) {
+    const index_t begin = cidx * kReduceChunk;
+    partial[size_t(cidx)] = detail::chunk_sumsq(std::min(kReduceChunk, n - begin), x + begin);
+  });
   real_t<T> s(0);
-  for (index_t i = 0; i < n; ++i) {
-    const auto a = abs_val(x[i]);
-    s += a * a;
-  }
+  for (index_t cidx = 0; cidx < nchunks; ++cidx) s += partial[size_t(cidx)];
   return std::sqrt(s);
 }
 
 // Per-column 2-norms of an n x p block: the batched reduction that pseudo-
-// block methods fuse into a single global synchronization.
+// block methods fuse into a single global synchronization. With an
+// executor, all p columns' chunk partials form one task grid (the fused
+// multi-lane reduction); each column combines its own partials in order.
 template <class T>
-void column_norms(MatrixView<const T> x, real_t<T>* out) {
-  for (index_t j = 0; j < x.cols(); ++j) out[j] = norm2(x.rows(), x.col(j));
+void column_norms(MatrixView<const T> x, real_t<T>* out, const KernelExecutor* ex = nullptr) {
+  const index_t n = x.rows(), p = x.cols();
+  if (ex == nullptr || p == 0 || !ex->engage(obs::Kernel::Norms, n * p)) {
+    for (index_t j = 0; j < p; ++j) out[j] = norm2(n, x.col(j));
+    return;
+  }
+  const index_t nchunks = detail::reduce_chunks(n);
+  if (nchunks == 0) {
+    for (index_t j = 0; j < p; ++j) out[j] = real_t<T>(0);
+    return;
+  }
+  std::vector<real_t<T>> partial(static_cast<size_t>(nchunks * p));
+  ex->run(obs::Kernel::Norms, nchunks * p, [&](index_t t) {
+    const index_t j = t / nchunks, cidx = t % nchunks;
+    const index_t begin = cidx * kReduceChunk;
+    partial[size_t(t)] =
+        detail::chunk_sumsq(std::min(kReduceChunk, n - begin), x.col(j) + begin);
+  });
+  for (index_t j = 0; j < p; ++j) {
+    real_t<T> s(0);
+    for (index_t cidx = 0; cidx < nchunks; ++cidx) s += partial[size_t(j * nchunks + cidx)];
+    out[j] = std::sqrt(s);
+  }
 }
 
 template <class T>
@@ -156,68 +295,119 @@ real_t<T> norm_fro(MatrixView<const T> a) {
 // Triangular solves with an upper-triangular matrix R (as produced by the
 // QR and Cholesky factorizations).
 
-// X := R^{-1} X (left solve, back substitution).
+// X := R^{-1} X (left solve, back substitution). Columns are independent;
+// with an executor they fan out, each solved in the serial order.
 template <class T>
-void trsm_left_upper(MatrixView<const T> r, MatrixView<T> x) {
+void trsm_left_upper(MatrixView<const T> r, MatrixView<T> x, const KernelExecutor* ex = nullptr) {
   const index_t n = r.rows();
   BKR_REQUIRE(r.cols() == n && x.rows() == n, "r.rows", n, "r.cols", r.cols(), "x.rows", x.rows());
-  for (index_t j = 0; j < x.cols(); ++j) {
+  auto solve_col = [&](index_t j) {
     T* xj = x.col(j);
     for (index_t i = n - 1; i >= 0; --i) {
       T s = xj[i];
       for (index_t l = i + 1; l < n; ++l) s -= r(i, l) * xj[l];
       xj[i] = s / r(i, i);
     }
+  };
+  if (ex != nullptr && x.cols() > 1 && ex->engage(obs::Kernel::Trsm, n * n * x.cols())) {
+    ex->run(obs::Kernel::Trsm, x.cols(), solve_col);
+  } else {
+    for (index_t j = 0; j < x.cols(); ++j) solve_col(j);
   }
 }
 
 // X := R^{-H} X (left solve with the conjugate transpose; forward
 // substitution since R^H is lower triangular).
 template <class T>
-void trsm_left_upper_conj(MatrixView<const T> r, MatrixView<T> x) {
+void trsm_left_upper_conj(MatrixView<const T> r, MatrixView<T> x,
+                          const KernelExecutor* ex = nullptr) {
   const index_t n = r.rows();
   BKR_REQUIRE(r.cols() == n && x.rows() == n, "r.rows", n, "r.cols", r.cols(), "x.rows", x.rows());
-  for (index_t j = 0; j < x.cols(); ++j) {
+  auto solve_col = [&](index_t j) {
     T* xj = x.col(j);
     for (index_t i = 0; i < n; ++i) {
       T s = xj[i];
       for (index_t l = 0; l < i; ++l) s -= conj(r(l, i)) * xj[l];
       xj[i] = s / conj(r(i, i));
     }
+  };
+  if (ex != nullptr && x.cols() > 1 && ex->engage(obs::Kernel::Trsm, n * n * x.cols())) {
+    ex->run(obs::Kernel::Trsm, x.cols(), solve_col);
+  } else {
+    for (index_t j = 0; j < x.cols(); ++j) solve_col(j);
   }
 }
 
-// X := X R^{-1} (right solve; used by CholQR to form Q = V R^{-1}).
+// X := X R^{-1} (right solve; used by CholQR to form Q = V R^{-1}). Every
+// row of X transforms independently through the same (j, l) elimination
+// order, so the parallel row blocks are bitwise identical to the serial
+// sweep.
 template <class T>
-void trsm_right_upper(MatrixView<const T> r, MatrixView<T> x) {
+void trsm_right_upper(MatrixView<const T> r, MatrixView<T> x, const KernelExecutor* ex = nullptr) {
   const index_t p = r.rows();
   BKR_REQUIRE(r.cols() == p && x.cols() == p, "r.rows", p, "r.cols", r.cols(), "x.cols", x.cols());
   const index_t n = x.rows();
-  for (index_t j = 0; j < p; ++j) {
-    T* xj = x.col(j);
-    for (index_t l = 0; l < j; ++l) {
-      const T rlj = r(l, j);
-      if (rlj == T(0)) continue;
-      const T* xl = x.col(l);
-      for (index_t i = 0; i < n; ++i) xj[i] -= xl[i] * rlj;
+  auto rows = [&](index_t i0, index_t i1) {
+    for (index_t j = 0; j < p; ++j) {
+      T* xj = x.col(j);
+      for (index_t l = 0; l < j; ++l) {
+        const T rlj = r(l, j);
+        if (rlj == T(0)) continue;
+        const T* xl = x.col(l);
+        for (index_t i = i0; i < i1; ++i) xj[i] -= xl[i] * rlj;
+      }
+      const T inv = T(1) / r(j, j);
+      for (index_t i = i0; i < i1; ++i) xj[i] *= inv;
     }
-    const T inv = T(1) / r(j, j);
-    for (index_t i = 0; i < n; ++i) xj[i] *= inv;
+  };
+  if (ex != nullptr && n > 1 && ex->engage(obs::Kernel::Trsm, n * p * p)) {
+    const index_t parts = detail::fanout_tasks(ex, n);
+    ex->run(obs::Kernel::Trsm, parts, [&](index_t t) {
+      rows(detail::even_split(n, parts, t), detail::even_split(n, parts, t + 1));
+    });
+  } else {
+    rows(0, n);
+  }
+}
+
+// Hermitian rank-k update C := alpha * A^H A + beta * C (only the
+// conjugate-transpose form the CholQR Gram matrix needs). Each (i, j)
+// pair is one independent column dot, so the pair-parallel schedule is
+// bitwise identical to the serial sweep at any thread count.
+template <class T>
+void herk(Trans trans, T alpha, MatrixView<const T> a, T beta, MatrixView<T> c,
+          const KernelExecutor* ex = nullptr) {
+  BKR_REQUIRE(trans == Trans::C, "trans==C", index_t(trans == Trans::C ? 1 : 0));
+  const index_t p = a.cols(), n = a.rows();
+  BKR_ASSERT_SHAPE(c, p, p);
+  auto pair = [&](index_t i, index_t j) {  // i <= j
+    const T d = detail::chunk_dot(n, a.col(i), a.col(j));
+    const T s = (alpha == T(1)) ? d : alpha * d;
+    const T upper = (beta == T(0)) ? s : s + beta * c(i, j);
+    const T lower = (beta == T(0)) ? conj(s) : conj(s) + beta * c(j, i);
+    c(i, j) = upper;
+    c(j, i) = lower;  // on the diagonal this leaves conj(s), matching gram()
+  };
+  const index_t npairs = p * (p + 1) / 2;
+  if (ex != nullptr && npairs > 1 && ex->engage(obs::Kernel::Herk, n * npairs)) {
+    ex->run(obs::Kernel::Herk, npairs, [&](index_t t) {
+      // Unrank t over the upper triangle, column-major: pairs of column j
+      // occupy [j(j+1)/2, (j+1)(j+2)/2).
+      index_t j = 0;
+      while ((j + 1) * (j + 2) / 2 <= t) ++j;
+      pair(t - j * (j + 1) / 2, j);
+    });
+  } else {
+    for (index_t j = 0; j < p; ++j)
+      for (index_t i = 0; i <= j; ++i) pair(i, j);
   }
 }
 
 // Gram matrix G = V^H V (Hermitian, order p). One pass; in a distributed
 // run this is the single-reduction kernel of CholQR.
 template <class T>
-void gram(MatrixView<const T> v, MatrixView<T> g) {
-  const index_t p = v.cols();
-  BKR_ASSERT_SHAPE(g, p, p);
-  for (index_t j = 0; j < p; ++j)
-    for (index_t i = 0; i <= j; ++i) {
-      const T s = dot(v.rows(), v.col(i), v.col(j));
-      g(i, j) = s;
-      g(j, i) = conj(s);
-    }
+void gram(MatrixView<const T> v, MatrixView<T> g, const KernelExecutor* ex = nullptr) {
+  herk<T>(Trans::C, T(1), v, T(0), g, ex);
 }
 
 }  // namespace bkr

@@ -9,9 +9,10 @@ template class HouseholderQR<std::complex<double>>;
 template class IncrementalQR<double>;
 template class IncrementalQR<std::complex<double>>;
 
-template bool cholqr<double>(MatrixView<double>, MatrixView<double>);
+template bool cholqr<double>(MatrixView<double>, MatrixView<double>, const KernelExecutor*);
 template bool cholqr<std::complex<double>>(MatrixView<std::complex<double>>,
-                                           MatrixView<std::complex<double>>);
+                                           MatrixView<std::complex<double>>,
+                                           const KernelExecutor*);
 template index_t cholqr_rank<double>(MatrixView<const double>, double);
 template index_t cholqr_rank<std::complex<double>>(MatrixView<const std::complex<double>>, double);
 template void householder_tsqr<double>(MatrixView<double>, MatrixView<double>);

@@ -245,13 +245,15 @@ class IncrementalQR {
 // if the Gram matrix is numerically indefinite (block breakdown); callers
 // fall back to Householder in that case.
 template <class T>
-bool cholqr(MatrixView<T> v, MatrixView<T> r) {
+bool cholqr(MatrixView<T> v, MatrixView<T> r, const KernelExecutor* ex = nullptr) {
   const index_t p = v.cols();
   BKR_REQUIRE(v.rows() >= p, "v.rows", v.rows(), "v.cols", p);
   BKR_ASSERT_SHAPE(r, p, p);
-  gram<T>(MatrixView<const T>(v.data(), v.rows(), v.cols(), v.ld()), r);
+  // Fused block reduction: the Gram matrix is one herk pass (pair-parallel
+  // with an executor); the small p x p Cholesky stays serial.
+  gram<T>(MatrixView<const T>(v.data(), v.rows(), v.cols(), v.ld()), r, ex);
   if (!cholesky_upper(r)) return false;
-  trsm_right_upper<T>(MatrixView<const T>(r.data(), p, p, r.ld()), v);
+  trsm_right_upper<T>(MatrixView<const T>(r.data(), p, p, r.ld()), v, ex);
   return true;
 }
 

@@ -1,0 +1,53 @@
+#include "obs/kernel_stats.hpp"
+
+#include <cmath>
+#include <ostream>
+
+namespace bkr::obs {
+
+namespace {
+const char* const kKernelNames[kKernelCount] = {"spmv", "spmm", "gemm", "herk",
+                                                "dot",  "norms", "trsm"};
+}  // namespace
+
+const char* kernel_name(Kernel k) { return kKernelNames[static_cast<int>(k)]; }
+
+void KernelStats::record(Kernel k, bool parallel, double seconds) {
+  const int i = static_cast<int>(k);
+  calls_[i].fetch_add(1, std::memory_order_relaxed);
+  if (parallel) parallel_calls_[i].fetch_add(1, std::memory_order_relaxed);
+  nanos_[i].fetch_add(std::int64_t(std::llround(seconds * 1e9)), std::memory_order_relaxed);
+}
+
+KernelStats::Totals KernelStats::totals(Kernel k) const {
+  const int i = static_cast<int>(k);
+  Totals t;
+  t.calls = calls_[i].load(std::memory_order_relaxed);
+  t.parallel_calls = parallel_calls_[i].load(std::memory_order_relaxed);
+  t.seconds = double(nanos_[i].load(std::memory_order_relaxed)) * 1e-9;
+  return t;
+}
+
+void KernelStats::reset() {
+  for (int i = 0; i < kKernelCount; ++i) {
+    calls_[i].store(0, std::memory_order_relaxed);
+    parallel_calls_[i].store(0, std::memory_order_relaxed);
+    nanos_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void KernelStats::write_json(std::ostream& os) const {
+  os << "{\"kernels\":[";
+  bool first = true;
+  for (int i = 0; i < kKernelCount; ++i) {
+    const Totals t = totals(static_cast<Kernel>(i));
+    if (t.calls == 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"kernel\":\"" << kKernelNames[i] << "\",\"calls\":" << t.calls
+       << ",\"parallel_calls\":" << t.parallel_calls << ",\"seconds\":" << t.seconds << "}";
+  }
+  os << "]}";
+}
+
+}  // namespace bkr::obs

@@ -1,0 +1,62 @@
+// Kernel-level timing counters for the parallel kernel layer.
+//
+// The solver-level trace (trace.hpp) partitions a solve into seven phases;
+// the kernels underneath those phases (SpMV panels, gemm tiles, chunked
+// reductions) report here instead, so phase totals and kernel totals never
+// double-count the same span. A KernelStats instance is owned by a
+// KernelExecutor (src/parallel); collection is off by default so the hot
+// path pays one relaxed atomic load per kernel call, no clock reads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+
+namespace bkr::obs {
+
+// The kernel families the executor dispatches. Kept in sync with
+// kKernelNames in kernel_stats.cpp.
+enum class Kernel : int {
+  Spmv = 0,     // CSR y = A x, row-partitioned
+  Spmm,         // CSR Y = A X (multi-RHS), row-partitioned
+  Gemm,         // dense C = op(A) op(B), panel-parallel
+  Herk,         // Hermitian rank-k update / Gram matrix, pair-parallel
+  Dot,          // chunked deterministic dot product
+  Norms,        // fused per-column norm reductions
+  Trsm,         // triangular solves, row/column partitioned
+};
+
+inline constexpr int kKernelCount = 7;
+
+// Stable lowercase identifier ("spmv", "gemm", ...) used in JSON.
+const char* kernel_name(Kernel k);
+
+// Thread-safe accumulation of per-kernel call counts and wall time.
+// Disabled (the default) it records nothing.
+class KernelStats {
+ public:
+  struct Totals {
+    std::int64_t calls = 0;           // total dispatches
+    std::int64_t parallel_calls = 0;  // dispatches that fanned out on the pool
+    double seconds = 0;               // wall time inside the kernel
+  };
+
+  void enable(bool on) { enabled_.store(on, std::memory_order_release); }
+  [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  void record(Kernel k, bool parallel, double seconds);
+  [[nodiscard]] Totals totals(Kernel k) const;
+  void reset();
+
+  // {"kernels":[{"kernel":"spmv","calls":..,"parallel_calls":..,"seconds":..},...]}
+  // Kernels with zero calls are omitted.
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::int64_t> calls_[kKernelCount] = {};
+  std::atomic<std::int64_t> parallel_calls_[kKernelCount] = {};
+  std::atomic<std::int64_t> nanos_[kKernelCount] = {};
+};
+
+}  // namespace bkr::obs

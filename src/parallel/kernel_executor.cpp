@@ -1,0 +1,24 @@
+#include "parallel/kernel_executor.hpp"
+
+namespace bkr {
+
+void KernelExecutor::run(obs::Kernel kind, index_t ntasks,
+                         const std::function<void(index_t)>& fn) const {
+  if (ntasks <= 0) return;
+  const bool fan_out = pool_ != nullptr && pool_->size() > 1 && ntasks > 1;
+  ScopedKernelTimer timer(this, kind, fan_out);
+  if (fan_out) {
+    pool_->parallel_for(ntasks, fn);
+  } else {
+    // Inline execution: identical task bodies in identical order, so the
+    // result matches the pooled schedule bitwise (tasks are disjoint).
+    for (index_t i = 0; i < ntasks; ++i) fn(i);
+  }
+}
+
+KernelExecutor& KernelExecutor::global() {
+  static KernelExecutor ex(&ThreadPool::global());
+  return ex;
+}
+
+}  // namespace bkr

@@ -105,8 +105,19 @@ void ThreadPool::parallel_for(index_t n, const std::function<void(index_t)>& fn)
       tasks_[w] = Task{&fn, begin, end};
       ++launched;
     }
-    pending_ = launched;
-    ++generation_;
+    if (launched > 0) {
+      pending_ = launched;
+      ++generation_;
+    }
+  }
+  if (launched == 0) {
+    // Every worker range came out empty (n <= chunk): the calling thread's
+    // chunk covers [0, n) by itself. Skip the generation bump and the
+    // notify so no worker wakes for an empty round-trip, and let any
+    // exception propagate directly like the other inline paths.
+    NestingGuard guard;
+    for (index_t i = 0; i < n; ++i) fn(i);
+    return;
   }
   cv_start_.notify_all();
   // The calling thread takes the first chunk.

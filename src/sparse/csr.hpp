@@ -16,8 +16,29 @@
 #include "common/contracts.hpp"
 #include "common/types.hpp"
 #include "la/dense.hpp"
+#include "parallel/kernel_executor.hpp"
 
 namespace bkr {
+
+// Partition [0, rows) into `parts` contiguous ranges with approximately
+// equal nonzero counts (binary search on the rowptr prefix sums). Returns
+// parts+1 monotone boundaries; used to load-balance row-parallel sparse
+// kernels on matrices with irregular row lengths.
+inline std::vector<index_t> balanced_row_splits(const std::vector<index_t>& rowptr, index_t rows,
+                                                index_t parts) {
+  BKR_REQUIRE(parts > 0 && index_t(rowptr.size()) >= rows + 1, "parts", parts, "rowptr.size",
+              index_t(rowptr.size()), "rows", rows);
+  std::vector<index_t> splits(size_t(parts) + 1, 0);
+  splits[size_t(parts)] = rows;
+  const index_t total = rowptr[size_t(rows)];
+  for (index_t t = 1; t < parts; ++t) {
+    const index_t target = (total / parts) * t + (total % parts) * t / parts;
+    const auto it = std::lower_bound(rowptr.begin(), rowptr.begin() + rows + 1, target);
+    const index_t cut = index_t(it - rowptr.begin());
+    splits[size_t(t)] = std::min(rows, std::max(cut, splits[size_t(t) - 1]));
+  }
+  return splits;
+}
 
 template <class T>
 class CsrMatrix {
@@ -44,35 +65,41 @@ class CsrMatrix {
   [[nodiscard]] const std::vector<T>& values() const { return values_; }
   [[nodiscard]] std::vector<T>& values() { return values_; }
 
-  // y = A x.
-  void spmv(const T* x, T* y) const {
-    for (index_t i = 0; i < rows_; ++i) {
-      T s(0);
-      for (index_t l = rowptr_[size_t(i)]; l < rowptr_[size_t(i) + 1]; ++l)
-        s += values_[size_t(l)] * x[colind_[size_t(l)]];
-      y[i] = s;
+  // y = A x. Rows write disjoint outputs in an unchanged per-row order, so
+  // the executor's row-partitioned schedule is bitwise identical to the
+  // serial sweep at every thread count.
+  void spmv(const T* x, T* y, const KernelExecutor* ex = nullptr) const {
+    if (ex == nullptr || rows_ <= 1 || !ex->engage(obs::Kernel::Spmv, nnz())) {
+      spmv_rows(0, rows_, x, y);
+      return;
     }
+    const index_t parts = std::min(rows_, ex->lanes() * 4);
+    const std::vector<index_t> splits = balanced_row_splits(rowptr_, rows_, parts);
+    ex->run(obs::Kernel::Spmv, parts, [&](index_t t) {
+      spmv_rows(splits[size_t(t)], splits[size_t(t) + 1], x, y);
+    });
   }
 
   // Y = A X for a block of p columns: one sweep over the matrix, all p
-  // accumulations per nonzero (the BLAS-3-like fused kernel).
-  void spmm(MatrixView<const T> x, MatrixView<T> y) const {
+  // accumulations per nonzero (the BLAS-3-like fused kernel). Same
+  // row-partitioned parallel contract as spmv.
+  void spmm(MatrixView<const T> x, MatrixView<T> y, const KernelExecutor* ex = nullptr) const {
     const index_t p = x.cols();
     BKR_REQUIRE(x.rows() == cols_, "x.rows", x.rows(), "a.cols", cols_);
     BKR_ASSERT_SHAPE(y, rows_, p);
     if (p == 1) {
-      spmv(x.col(0), y.col(0));
+      spmv(x.col(0), y.col(0), ex);
       return;
     }
-    for (index_t i = 0; i < rows_; ++i) {
-      // Accumulate the row against every column of X.
-      for (index_t j = 0; j < p; ++j) y(i, j) = T(0);
-      for (index_t l = rowptr_[size_t(i)]; l < rowptr_[size_t(i) + 1]; ++l) {
-        const T a = values_[size_t(l)];
-        const index_t c = colind_[size_t(l)];
-        for (index_t j = 0; j < p; ++j) y(i, j) += a * x(c, j);
-      }
+    if (ex == nullptr || rows_ <= 1 || !ex->engage(obs::Kernel::Spmm, nnz() * p)) {
+      spmm_rows(0, rows_, x, y);
+      return;
     }
+    const index_t parts = std::min(rows_, ex->lanes() * 4);
+    const std::vector<index_t> splits = balanced_row_splits(rowptr_, rows_, parts);
+    ex->run(obs::Kernel::Spmm, parts, [&](index_t t) {
+      spmm_rows(splits[size_t(t)], splits[size_t(t) + 1], x, y);
+    });
   }
 
   [[nodiscard]] std::vector<T> diagonal() const {
@@ -98,6 +125,30 @@ class CsrMatrix {
   }
 
  private:
+  // Shared row-range workers: the single compiled body behind both the
+  // serial and the pooled schedules.
+  void spmv_rows(index_t i0, index_t i1, const T* x, T* y) const {
+    for (index_t i = i0; i < i1; ++i) {
+      T s(0);
+      for (index_t l = rowptr_[size_t(i)]; l < rowptr_[size_t(i) + 1]; ++l)
+        s += values_[size_t(l)] * x[colind_[size_t(l)]];
+      y[i] = s;
+    }
+  }
+
+  void spmm_rows(index_t i0, index_t i1, MatrixView<const T>& x, MatrixView<T>& y) const {
+    const index_t p = x.cols();
+    for (index_t i = i0; i < i1; ++i) {
+      // Accumulate the row against every column of X.
+      for (index_t j = 0; j < p; ++j) y(i, j) = T(0);
+      for (index_t l = rowptr_[size_t(i)]; l < rowptr_[size_t(i) + 1]; ++l) {
+        const T a = values_[size_t(l)];
+        const index_t c = colind_[size_t(l)];
+        for (index_t j = 0; j < p; ++j) y(i, j) += a * x(c, j);
+      }
+    }
+  }
+
   index_t rows_ = 0, cols_ = 0;
   std::vector<index_t> rowptr_;
   std::vector<index_t> colind_;

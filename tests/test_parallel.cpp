@@ -33,6 +33,50 @@ TEST(ThreadPool, HandlesEmptyAndSingleIteration) {
   EXPECT_EQ(count.load(), 1);
 }
 
+TEST(ThreadPool, EmptyRangeIsANoOpRoundTrip) {
+  // Regression: an empty (or negative) range must return without waking
+  // any worker or advancing the loop generation. Interleaving many empty
+  // loops with a real one proves the start/done protocol is undisturbed —
+  // before the fix, a zero-launch round could bump the generation with
+  // pending_ == 0 and wake every worker for nothing.
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(0, [&](index_t) { count.fetch_add(1); });
+    pool.parallel_for(-3, [&](index_t) { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 0);
+  pool.parallel_for(8, [&](index_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, SmallRangeBoundarySweepRunsExactlyOnce) {
+  // Every n around the workers-per-chunk boundaries (the region where
+  // worker ranges come out empty) must run each iteration exactly once.
+  for (const index_t threads : {index_t(1), index_t(2), index_t(3), index_t(8)}) {
+    ThreadPool pool(threads);
+    for (index_t n = 0; n <= 2 * threads + 3; ++n) {
+      std::vector<std::atomic<int>> hits(static_cast<size_t>(n));
+      pool.parallel_for(n, [&](index_t i) { hits[size_t(i)].fetch_add(1); });
+      for (index_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[size_t(i)].load(), 1) << "threads=" << threads << " n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, InlineSmallRangeExceptionPropagates) {
+  // n == 1 (and any range the calling thread covers alone) runs inline;
+  // its exception must reach the submitter directly and leave the pool
+  // usable for the next loop.
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(1, [](index_t) { throw std::runtime_error("inline iteration failed"); }),
+      std::runtime_error);
+  std::atomic<int> count{0};
+  pool.parallel_for(12, [&](index_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 12);
+}
+
 TEST(ThreadPool, SerialPoolWorks) {
   ThreadPool pool(1);
   index_t sum = 0;  // no atomics needed: serial execution

@@ -1,0 +1,306 @@
+// Solver-level thread-count conformance: with a KernelExecutor attached
+// via SolverOptions::exec, every solver must produce identical iteration
+// counts, residual histories and solutions at 1 lane and at N lanes.
+// This is the end-to-end face of the determinism contract in
+// src/parallel/kernel_executor.hpp: the oracle suite proves it per
+// kernel; this suite proves the composition through all six solvers on
+// the fig-2 Poisson fixture (single and multi RHS) and the complex
+// Maxwell fixture. Cutoffs are forced to 1 so every kernel dispatch takes
+// the executor path even at these small test sizes.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <thread>
+#include <vector>
+
+#include "core/block_cg.hpp"
+#include "core/cg.hpp"
+#include "core/gcrodr.hpp"
+#include "core/gmres.hpp"
+#include "core/lgmres.hpp"
+#include "fem/maxwell3d.hpp"
+#include "fem/poisson2d.hpp"
+#include "parallel/kernel_executor.hpp"
+#include "test_helpers.hpp"
+
+namespace bkr {
+namespace {
+
+using cplx = std::complex<double>;
+
+constexpr KernelCutoffs kForceParallel{1, 1, 1};
+
+std::vector<index_t> lane_counts() {
+  std::vector<index_t> lanes{1, 2, 7};
+  const index_t hw = index_t(std::thread::hardware_concurrency());
+  if (hw > 0 && hw != 1 && hw != 2 && hw != 7) lanes.push_back(hw);
+  return lanes;
+}
+
+// One solver run at a given lane count: the stats and the flattened
+// solution (one or more solves concatenated).
+template <class T>
+struct Outcome {
+  std::vector<SolveStats> stats;
+  std::vector<T> x;
+};
+
+template <class T>
+void expect_same_outcome(const Outcome<T>& got, const Outcome<T>& ref, index_t lanes,
+                         const char* what) {
+  ASSERT_EQ(got.stats.size(), ref.stats.size()) << what;
+  for (size_t s = 0; s < ref.stats.size(); ++s) {
+    const SolveStats& a = got.stats[s];
+    const SolveStats& b = ref.stats[s];
+    EXPECT_EQ(a.converged, b.converged) << what << " lanes=" << lanes;
+    EXPECT_EQ(a.iterations, b.iterations) << what << " lanes=" << lanes;
+    EXPECT_EQ(a.cycles, b.cycles) << what << " lanes=" << lanes;
+    EXPECT_EQ(a.reductions, b.reductions) << what << " lanes=" << lanes;
+    EXPECT_EQ(a.operator_applies, b.operator_applies) << what << " lanes=" << lanes;
+    EXPECT_EQ(a.per_rhs_iterations, b.per_rhs_iterations) << what << " lanes=" << lanes;
+    ASSERT_EQ(a.history.size(), b.history.size()) << what << " lanes=" << lanes;
+    for (size_t c = 0; c < b.history.size(); ++c)
+      EXPECT_EQ(a.history[c], b.history[c])
+          << what << " lanes=" << lanes << " rhs=" << c << " (residual history diverged)";
+  }
+  ASSERT_EQ(got.x.size(), ref.x.size()) << what;
+  for (size_t i = 0; i < ref.x.size(); ++i)
+    EXPECT_EQ(got.x[i], ref.x[i]) << what << " lanes=" << lanes << " x[" << i << "]";
+}
+
+// Run `run` once per lane count and demand bitwise-identical outcomes.
+// The 1-lane executor is the reference: ISSUE semantics "1 vs N threads".
+template <class T, class Run>
+void check_lane_invariance(Run run, const char* what) {
+  Outcome<T> ref;
+  bool have_ref = false;
+  for (index_t lanes : lane_counts()) {
+    KernelExecutor ex(lanes, kForceParallel);
+    Outcome<T> got = run(ex);
+    for (const SolveStats& st : got.stats)
+      EXPECT_TRUE(st.converged) << what << " lanes=" << lanes;
+    if (!have_ref) {
+      ref = std::move(got);
+      have_ref = true;
+      continue;
+    }
+    expect_same_outcome<T>(got, ref, lanes, what);
+  }
+}
+
+// Multi-RHS block: the Poisson RHS in column 0 plus deterministic
+// perturbed copies (stand-in for the paper's fig-6 many-RHS sequence).
+DenseMatrix<double> poisson_rhs_block(index_t nx, index_t ny, index_t p) {
+  const auto base = poisson2d_rhs(nx, ny, 0.1);
+  const index_t n = index_t(base.size());
+  DenseMatrix<double> b(n, p);
+  for (index_t c = 0; c < p; ++c)
+    for (index_t i = 0; i < n; ++i)
+      b(i, c) = base[size_t(i)] + 0.05 * double(c) * std::sin(double(i + 1) * double(c + 1));
+  return b;
+}
+
+SolverOptions base_opts() {
+  SolverOptions opts;
+  opts.restart = 50;
+  opts.tol = 1e-9;
+  return opts;
+}
+
+TEST(SolverThreads, CgPoisson) {
+  const auto a = poisson2d(12, 12);
+  const auto b = poisson_rhs_block(12, 12, 1);
+  check_lane_invariance<double>(
+      [&](const KernelExecutor& ex) {
+        SolverOptions opts = base_opts();
+        opts.exec = &ex;
+        CsrOperator<double> op(a, nullptr, &ex);
+        Outcome<double> out;
+        DenseMatrix<double> x(a.rows(), 1);
+        out.stats.push_back(cg<double>(op, nullptr, b.view(), x.view(), opts));
+        out.x.assign(x.data(), x.data() + a.rows());
+        return out;
+      },
+      "cg");
+}
+
+TEST(SolverThreads, BlockCgPoissonMultiRhs) {
+  const auto a = poisson2d(12, 12);
+  const auto b = poisson_rhs_block(12, 12, 4);
+  check_lane_invariance<double>(
+      [&](const KernelExecutor& ex) {
+        SolverOptions opts = base_opts();
+        opts.exec = &ex;
+        CsrOperator<double> op(a, nullptr, &ex);
+        Outcome<double> out;
+        DenseMatrix<double> x(a.rows(), 4);
+        out.stats.push_back(block_cg<double>(op, nullptr, b.view(), x.view(), opts));
+        out.x.assign(x.data(), x.data() + a.rows() * 4);
+        return out;
+      },
+      "block_cg");
+}
+
+TEST(SolverThreads, BlockGmresPoissonMultiRhs) {
+  const auto a = poisson2d(12, 12);
+  const auto b = poisson_rhs_block(12, 12, 4);
+  for (Ortho ortho : {Ortho::Cgs, Ortho::Cgs2, Ortho::Mgs}) {
+    check_lane_invariance<double>(
+        [&](const KernelExecutor& ex) {
+          SolverOptions opts = base_opts();
+          opts.ortho = ortho;
+          opts.exec = &ex;
+          CsrOperator<double> op(a, nullptr, &ex);
+          Outcome<double> out;
+          DenseMatrix<double> x(a.rows(), 4);
+          out.stats.push_back(block_gmres<double>(op, nullptr, b.view(), x.view(), opts));
+          out.x.assign(x.data(), x.data() + a.rows() * 4);
+          return out;
+        },
+        "block_gmres");
+  }
+}
+
+TEST(SolverThreads, PseudoBlockGmresPoissonMultiRhs) {
+  const auto a = poisson2d(12, 12);
+  const auto b = poisson_rhs_block(12, 12, 3);
+  check_lane_invariance<double>(
+      [&](const KernelExecutor& ex) {
+        SolverOptions opts = base_opts();
+        opts.exec = &ex;
+        CsrOperator<double> op(a, nullptr, &ex);
+        Outcome<double> out;
+        DenseMatrix<double> x(a.rows(), 3);
+        out.stats.push_back(pseudo_block_gmres<double>(op, nullptr, b.view(), x.view(), opts));
+        out.x.assign(x.data(), x.data() + a.rows() * 3);
+        return out;
+      },
+      "pseudo_block_gmres");
+}
+
+TEST(SolverThreads, LgmresPoisson) {
+  const auto a = poisson2d(12, 12);
+  const auto b = poisson2d_rhs(12, 12, 0.1);
+  check_lane_invariance<double>(
+      [&](const KernelExecutor& ex) {
+        SolverOptions opts = base_opts();
+        opts.restart = 30;
+        opts.recycle = 2;  // augmentation vectors
+        opts.exec = &ex;
+        CsrOperator<double> op(a, nullptr, &ex);
+        Outcome<double> out;
+        std::vector<double> x(b.size(), 0.0);
+        out.stats.push_back(lgmres<double>(op, nullptr, b, x, opts));
+        out.x = std::move(x);
+        return out;
+      },
+      "lgmres");
+}
+
+// GCRO-DR over a two-solve sequence: the second solve consumes the
+// recycled space built by the first, so the deflation refresh (harmonic
+// Ritz eigenproblem, C/U rebuild) is also covered by the invariance check.
+TEST(SolverThreads, GcroDrPoissonSequence) {
+  const auto a = poisson2d(12, 12);
+  const auto b1 = poisson_rhs_block(12, 12, 2);
+  const auto b2 = poisson_rhs_block(12, 12, 2);
+  check_lane_invariance<double>(
+      [&](const KernelExecutor& ex) {
+        SolverOptions opts = base_opts();
+        opts.restart = 20;
+        opts.recycle = 2;
+        opts.exec = &ex;
+        CsrOperator<double> op(a, nullptr, &ex);
+        GcroDr<double> solver(opts);
+        Outcome<double> out;
+        DenseMatrix<double> x1(a.rows(), 2), x2(a.rows(), 2);
+        out.stats.push_back(solver.solve(op, nullptr, b1.view(), x1.view()));
+        out.stats.push_back(solver.solve(op, nullptr, b2.view(), x2.view(), nullptr, false));
+        out.x.assign(x1.data(), x1.data() + a.rows() * 2);
+        out.x.insert(out.x.end(), x2.data(), x2.data() + a.rows() * 2);
+        return out;
+      },
+      "gcrodr");
+}
+
+TEST(SolverThreads, PseudoGcroDrPoissonSequence) {
+  const auto a = poisson2d(12, 12);
+  const auto b1 = poisson_rhs_block(12, 12, 3);
+  const auto b2 = poisson_rhs_block(12, 12, 3);
+  check_lane_invariance<double>(
+      [&](const KernelExecutor& ex) {
+        SolverOptions opts = base_opts();
+        opts.restart = 20;
+        opts.recycle = 2;
+        opts.exec = &ex;
+        CsrOperator<double> op(a, nullptr, &ex);
+        PseudoGcroDr<double> solver(opts);
+        Outcome<double> out;
+        DenseMatrix<double> x1(a.rows(), 3), x2(a.rows(), 3);
+        out.stats.push_back(solver.solve(op, nullptr, b1.view(), x1.view()));
+        out.stats.push_back(solver.solve(op, nullptr, b2.view(), x2.view(), nullptr, false));
+        out.x.assign(x1.data(), x1.data() + a.rows() * 3);
+        out.x.insert(out.x.end(), x2.data(), x2.data() + a.rows() * 3);
+        return out;
+      },
+      "pseudo_gcrodr");
+}
+
+TEST(SolverThreads, ComplexBlockGmresMaxwell) {
+  MaxwellConfig cfg;
+  cfg.n = 5;
+  cfg.wavelengths = 0.8;
+  cfg.loss = 0.3;
+  const auto prob = maxwell3d(cfg);
+  const index_t p = 2;
+  DenseMatrix<cplx> b(prob.nfree, p);
+  for (index_t c = 0; c < p; ++c) {
+    const auto col = antenna_rhs(prob, c, 4);
+    std::copy(col.begin(), col.end(), b.col(c));
+  }
+  check_lane_invariance<cplx>(
+      [&](const KernelExecutor& ex) {
+        SolverOptions opts;
+        opts.restart = 150;
+        opts.tol = 1e-7;
+        opts.exec = &ex;
+        CsrOperator<cplx> op(prob.matrix, nullptr, &ex);
+        Outcome<cplx> out;
+        DenseMatrix<cplx> x(prob.nfree, p);
+        out.stats.push_back(block_gmres<cplx>(op, nullptr, b.view(), x.view(), opts));
+        out.x.assign(x.data(), x.data() + prob.nfree * p);
+        return out;
+      },
+      "complex block_gmres");
+}
+
+// Null executor and 1-lane executor with huge cutoffs must reproduce the
+// legacy serial solver bit for bit: below the cutoff there is no chunked
+// reduction anywhere, so opting in to the executor is numerically free
+// until a kernel actually crosses its threshold.
+TEST(SolverThreads, BelowCutoffMatchesLegacyBitwise) {
+  const auto a = poisson2d(10, 10);
+  const auto b = poisson_rhs_block(10, 10, 2);
+  SolverOptions opts = base_opts();
+  CsrOperator<double> op(a);
+  DenseMatrix<double> xref(a.rows(), 2);
+  const auto sref = block_gmres<double>(op, nullptr, b.view(), xref.view(), opts);
+
+  const KernelCutoffs huge{index_t(1) << 40, index_t(1) << 40, index_t(1) << 40};
+  for (index_t lanes : lane_counts()) {
+    KernelExecutor ex(lanes, huge);
+    SolverOptions o2 = base_opts();
+    o2.exec = &ex;
+    CsrOperator<double> op2(a, nullptr, &ex);
+    DenseMatrix<double> x(a.rows(), 2);
+    const auto st = block_gmres<double>(op2, nullptr, b.view(), x.view(), o2);
+    EXPECT_EQ(st.iterations, sref.iterations);
+    ASSERT_EQ(st.history.size(), sref.history.size());
+    for (size_t c = 0; c < sref.history.size(); ++c) EXPECT_EQ(st.history[c], sref.history[c]);
+    for (index_t j = 0; j < 2; ++j)
+      for (index_t i = 0; i < a.rows(); ++i) EXPECT_EQ(x(i, j), xref(i, j));
+  }
+}
+
+}  // namespace
+}  // namespace bkr

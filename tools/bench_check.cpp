@@ -1,0 +1,384 @@
+// bench-check: validator and regression gate for the kernel-bench
+// trajectory (BENCH_kernels.json, schema "bkr-bench-kernels-1").
+//
+// Modes:
+//   bench_check FILE
+//       schema validation only: well-formed JSON, required fields,
+//       known kernel names, positive calibration, non-empty entries.
+//   bench_check FILE --baseline BASE [--max-regression 0.25]
+//                     [--min-median-seconds 1e-4]
+//       additionally compares FILE against BASE entry by entry. Entries
+//       match on (kernel, shape, threads); medians are normalized by each
+//       file's calibration_seconds so a slower host does not read as a
+//       regression. A matched entry fails the gate when its normalized
+//       median exceeds the baseline's by more than --max-regression AND
+//       the baseline median is at least --min-median-seconds (microsecond
+//       timings are too noisy to gate on).
+//
+// The parser below handles exactly the JSON subset our writer emits
+// (objects, arrays, strings without escapes we generate, numbers, bools)
+// — deliberately dependency-free, like bkr-lint.
+//
+// Exit code: 0 valid (and no gated regression), 1 otherwise, 2 usage.
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// --- minimal JSON ----------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> fields;
+
+  [[nodiscard]] const JsonValue* get(const std::string& key) const {
+    const auto it = fields.find(key);
+    return it == fields.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(JsonValue* out) {
+    const bool ok = value(out);
+    skip_ws();
+    return ok && pos_ == s_.size();
+  }
+
+  [[nodiscard]] std::string error() const { return error_; }
+
+ private:
+  const std::string& s_;
+  size_t pos_ = 0;
+  std::string error_;
+
+  bool fail(const std::string& what) {
+    if (error_.empty()) {
+      std::ostringstream os;
+      os << what << " at offset " << pos_;
+      error_ = os.str();
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) ++pos_;
+  }
+
+  bool literal(const char* word) {
+    const size_t len = std::strlen(word);
+    if (s_.compare(pos_, len, word) != 0) return fail("bad literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool value(JsonValue* out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("unexpected end");
+    const char c = s_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::String;
+      return string(&out->text);
+    }
+    if (c == 't' || c == 'f') {
+      out->kind = JsonValue::Kind::Bool;
+      out->boolean = c == 't';
+      return literal(c == 't' ? "true" : "false");
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::Null;
+      return literal("null");
+    }
+    return number(out);
+  }
+
+  bool string(std::string* out) {
+    if (s_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        // Writer-side strings never need escapes beyond these.
+        ++pos_;
+        if (pos_ >= s_.size()) return fail("bad escape");
+        const char e = s_[pos_];
+        if (e == 'n')
+          out->push_back('\n');
+        else if (e == 't')
+          out->push_back('\t');
+        else
+          out->push_back(e);
+      } else {
+        out->push_back(s_[pos_]);
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number(JsonValue* out) {
+    const size_t start = pos_;
+    while (pos_ < s_.size() && (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+                                std::strchr("+-.eE", s_[pos_]) != nullptr))
+      ++pos_;
+    if (pos_ == start) return fail("expected number");
+    char* end = nullptr;
+    const std::string tok = s_.substr(start, pos_ - start);
+    out->number = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("bad number");
+    out->kind = JsonValue::Kind::Number;
+    return true;
+  }
+
+  bool array(JsonValue* out) {
+    out->kind = JsonValue::Kind::Array;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue item;
+      if (!value(&item)) return false;
+      out->items.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated array");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected , or ]");
+    }
+  }
+
+  bool object(JsonValue* out) {
+    out->kind = JsonValue::Kind::Object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!string(&key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected :");
+      ++pos_;
+      JsonValue val;
+      if (!value(&val)) return false;
+      out->fields.emplace(std::move(key), std::move(val));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated object");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected , or }");
+    }
+  }
+};
+
+// --- schema ----------------------------------------------------------------
+
+const char* const kSchema = "bkr-bench-kernels-1";
+const char* const kKernels[] = {"spmv", "spmm", "gemm", "herk", "dot", "norms", "trsm"};
+
+struct BenchEntry {
+  std::string kernel;
+  std::string shape;
+  long threads = 0;
+  double median_seconds = 0;
+};
+
+struct BenchDoc {
+  double calibration_seconds = 0;
+  std::map<std::string, BenchEntry> by_key;  // "kernel|shape|threads"
+};
+
+bool known_kernel(const std::string& name) {
+  for (const char* k : kKernels)
+    if (name == k) return true;
+  return false;
+}
+
+bool load_doc(const std::string& path, BenchDoc* doc, std::string* err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *err = "cannot open " + path;
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  JsonValue root;
+  JsonParser parser(text);
+  if (!parser.parse(&root) || root.kind != JsonValue::Kind::Object) {
+    *err = path + ": not a JSON object (" + parser.error() + ")";
+    return false;
+  }
+  const JsonValue* schema = root.get("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::String || schema->text != kSchema) {
+    *err = path + ": missing or unknown schema (want \"" + std::string(kSchema) + "\")";
+    return false;
+  }
+  const JsonValue* cal = root.get("calibration_seconds");
+  if (cal == nullptr || cal->kind != JsonValue::Kind::Number || !(cal->number > 0) ||
+      !std::isfinite(cal->number)) {
+    *err = path + ": calibration_seconds must be a positive finite number";
+    return false;
+  }
+  doc->calibration_seconds = cal->number;
+  const JsonValue* entries = root.get("entries");
+  if (entries == nullptr || entries->kind != JsonValue::Kind::Array || entries->items.empty()) {
+    *err = path + ": entries must be a non-empty array";
+    return false;
+  }
+  for (size_t i = 0; i < entries->items.size(); ++i) {
+    const JsonValue& e = entries->items[i];
+    const std::string at = path + ": entries[" + std::to_string(i) + "]";
+    if (e.kind != JsonValue::Kind::Object) {
+      *err = at + " is not an object";
+      return false;
+    }
+    const JsonValue* kernel = e.get("kernel");
+    const JsonValue* shape = e.get("shape");
+    const JsonValue* threads = e.get("threads");
+    const JsonValue* median = e.get("median_seconds");
+    const JsonValue* reps = e.get("reps");
+    if (kernel == nullptr || kernel->kind != JsonValue::Kind::String ||
+        !known_kernel(kernel->text)) {
+      *err = at + ": kernel missing or unknown";
+      return false;
+    }
+    if (shape == nullptr || shape->kind != JsonValue::Kind::String || shape->text.empty()) {
+      *err = at + ": shape missing";
+      return false;
+    }
+    if (threads == nullptr || threads->kind != JsonValue::Kind::Number || threads->number < 0) {
+      *err = at + ": threads missing or negative";
+      return false;
+    }
+    if (median == nullptr || median->kind != JsonValue::Kind::Number || median->number < 0 ||
+        !std::isfinite(median->number)) {
+      *err = at + ": median_seconds missing or invalid";
+      return false;
+    }
+    if (reps == nullptr || reps->kind != JsonValue::Kind::Number || reps->number < 1) {
+      *err = at + ": reps missing or < 1";
+      return false;
+    }
+    BenchEntry entry{kernel->text, shape->text, long(threads->number), median->number};
+    const std::string key =
+        entry.kernel + "|" + entry.shape + "|" + std::to_string(entry.threads);
+    if (doc->by_key.count(key) != 0) {
+      *err = at + ": duplicate entry key " + key;
+      return false;
+    }
+    doc->by_key.emplace(key, std::move(entry));
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string baseline_path;
+  double max_regression = 0.25;
+  double min_median = 1e-4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--max-regression" && i + 1 < argc) {
+      max_regression = std::atof(argv[++i]);
+    } else if (arg == "--min-median-seconds" && i + 1 < argc) {
+      min_median = std::atof(argv[++i]);
+    } else if (arg == "--help") {
+      std::printf("usage: bench_check FILE [--baseline BASE] [--max-regression R] "
+                  "[--min-median-seconds S]\n");
+      return 0;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "bench_check: unexpected argument %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: bench_check FILE [--baseline BASE] ...\n");
+    return 2;
+  }
+
+  std::string err;
+  BenchDoc doc;
+  if (!load_doc(path, &doc, &err)) {
+    std::fprintf(stderr, "bench_check: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("bench_check: %s valid (%zu entries, calibration %.3e s)\n", path.c_str(),
+              doc.by_key.size(), doc.calibration_seconds);
+  if (baseline_path.empty()) return 0;
+
+  BenchDoc base;
+  if (!load_doc(baseline_path, &base, &err)) {
+    std::fprintf(stderr, "bench_check: %s\n", err.c_str());
+    return 1;
+  }
+  // Normalized comparison: medians divided by the calibration probe of
+  // their own run, so host speed cancels and only the trajectory counts.
+  int compared = 0, regressed = 0, skipped_noise = 0;
+  for (const auto& [key, cur] : doc.by_key) {
+    const auto it = base.by_key.find(key);
+    if (it == base.by_key.end()) continue;
+    const BenchEntry& ref = it->second;
+    if (ref.median_seconds < min_median) {
+      ++skipped_noise;
+      continue;
+    }
+    ++compared;
+    const double cur_norm = cur.median_seconds / doc.calibration_seconds;
+    const double ref_norm = ref.median_seconds / base.calibration_seconds;
+    const double ratio = ref_norm > 0 ? cur_norm / ref_norm : 1.0;
+    if (ratio > 1.0 + max_regression) {
+      std::printf("  REGRESSION %s: normalized %.3f -> %.3f (%+.0f%%, gate %+.0f%%)\n",
+                  key.c_str(), ref_norm, cur_norm, 100.0 * (ratio - 1.0),
+                  100.0 * max_regression);
+      ++regressed;
+    }
+  }
+  std::printf("bench_check: %d compared, %d below noise floor, %d regression(s) vs %s\n",
+              compared, skipped_noise, regressed, baseline_path.c_str());
+  return regressed == 0 ? 0 : 1;
+}

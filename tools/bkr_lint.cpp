@@ -21,6 +21,11 @@
 //   float-literal      `float` type or f-suffixed literal in a library that
 //                      computes exclusively in double/complex<double> —
 //                      a stray float silently truncates
+//   unpooled-thread    raw `std::thread` construction/ownership outside
+//                      src/parallel/ — all concurrency must go through
+//                      bkr::ThreadPool so kernels inherit its nesting and
+//                      error protocol (`std::thread::` scope accesses such
+//                      as hardware_concurrency() stay legal)
 //
 // The scanner is a small lexer, not a regex pass: comments, string
 // literals (including raw strings) and character literals are blanked
@@ -294,6 +299,7 @@ FileReport scan_content(const std::string& rel_path, const std::string& content)
   const bool header = is_header(rel_path);
   const bool rng_central = rel_path.size() >= 14 &&
                            rel_path.rfind("common/rng.hpp") == rel_path.size() - 14;
+  const bool pool_home = rel_path.rfind("src/parallel/", 0) == 0;
 
   for (size_t li = 0; li < lines.size(); ++li) {
     const std::string& line = lines[li];
@@ -335,6 +341,25 @@ FileReport scan_content(const std::string& rel_path, const std::string& content)
       for (const char* tok : kRngTokens) {
         if (find_token(line, tok) != std::string::npos) {
           add("non-central-rng", li);
+          break;
+        }
+      }
+    }
+
+    // unpooled-thread: the literal `std::thread` type outside the pool's
+    // home directory. A following `::` is a scope access (static members
+    // like hardware_concurrency), not thread ownership, and stays legal.
+    if (!pool_home) {
+      constexpr size_t kLen = sizeof("std::thread") - 1;
+      for (size_t pos = line.find("std::thread"); pos != std::string::npos;
+           pos = line.find("std::thread", pos + 1)) {
+        const bool left_ok = pos == 0 || !is_ident(line[pos - 1]);
+        const size_t end = pos + kLen;
+        const bool right_ok = end >= line.size() || !is_ident(line[end]);
+        const bool scope_access =
+            end + 1 < line.size() && line[end] == ':' && line[end + 1] == ':';
+        if (left_ok && right_ok && !scope_access) {
+          add("unpooled-thread", li);
           break;
         }
       }
@@ -429,6 +454,8 @@ int self_test() {
       {"plant-guard.hpp", "inline int f() { return 1; }\n", "missing-include-guard"},
       {"plant-float.cpp", "double x = 1.5f;\n", "float-literal"},
       {"plant-float-type.cpp", "float y = 2.0;\n", "float-literal"},
+      {"plant-thread.cpp", "void f() { std::thread t([] {}); t.join(); }\n", "unpooled-thread"},
+      {"plant-thread-vec.cpp", "std::vector<std::thread> workers;\n", "unpooled-thread"},
       // Clean fixtures: constructs that look like violations but are not.
       {"clean-deleted-fn.hpp", "#pragma once\nstruct S { S(const S&) = delete; };\n", nullptr},
       {"clean-comment.cpp", "// new delete mt19937 using namespace cholqr( 1.0f\nint a;\n",
@@ -444,6 +471,12 @@ int self_test() {
       {"clean-ifndef.hpp", "#ifndef X_H_\n#define X_H_\n#endif\n", nullptr},
       {"clean-double.cpp", "double x = 1.5; double y = 1e-14; auto z = 0.0;\n", nullptr},
       {"clean-raw-string.cpp", "const char* s = R\"(new delete 1.0f)\";\n", nullptr},
+      {"src/parallel/clean-pool-home.cpp", "std::thread worker([] {});\n", nullptr},
+      {"clean-thread-scope.cpp", "const auto hw = std::thread::hardware_concurrency();\n",
+       nullptr},
+      {"clean-thread-comment.cpp", "// std::thread is banned here\nint a;\n", nullptr},
+      {"clean-thread-allow.cpp",
+       "std::thread t([] {});  // bkr-lint: allow(unpooled-thread)\n", nullptr},
   };
   int failures = 0;
   for (const Case& c : cases) {
