@@ -2,7 +2,8 @@
 # Static analysis and sanitizer matrix for the bkrylov tree.
 #
 # Stages (all run by default; flags select a subset):
-#   --lint   bkr-lint self-test + project scan against the committed baseline
+#   --lint   bkr-lint self-test + project scan + bkr-analyze cross-TU
+#            project model, all against the committed baseline
 #   --tidy   clang-tidy over src/ using .clang-tidy (skipped with a notice
 #            when clang-tidy is not installed — the container ships g++ only)
 #   --asan   ASan+UBSan build + full test suite (build-asan/)
@@ -32,6 +33,8 @@ if [[ $RUN_LINT -eq 1 ]]; then
   cmake --build build --target bkr_lint -j
   ./build/tools/bkr_lint --self-test
   ./build/tools/bkr_lint --baseline tools/bkr_lint_baseline.txt .
+  echo "==> bkr-analyze (cross-TU project model)"
+  ./build/tools/bkr_lint --analyze --baseline tools/bkr_lint_baseline.txt .
 fi
 
 if [[ $RUN_TIDY -eq 1 ]]; then

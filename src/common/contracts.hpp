@@ -89,6 +89,37 @@ std::string describe(const char* name, const V& value, const Rest&... rest) {
 
 }  // namespace bkr::contracts
 
+// ---------------------------------------------------------------------------
+// Concurrency annotations (DESIGN.md §7, "bkr-analyze"). Unconditional
+// no-ops in every build mode — they exist purely as machine-readable
+// source markers for the cross-TU project-model stage of tools/bkr_lint:
+//
+//   BKR_GUARDED_BY(mu)       on a data member: every access must happen in
+//                            a scope that visibly holds `mu` (lock_guard /
+//                            unique_lock / scoped_lock / .lock()), or in a
+//                            function annotated BKR_REQUIRES_LOCK(mu).
+//   BKR_ACQUIRED_BEFORE(mu)  on a mutex member: this mutex is always
+//                            acquired before `mu`; the analyzer flags any
+//                            observed reverse nesting (lock-order check).
+//   BKR_REQUIRES_LOCK(mu)    after a function declarator: callers must hold
+//                            `mu`; the analyzer seeds the function's lock
+//                            set with it instead of flagging its accesses.
+//   BKR_LOCK_FREE            on a member synchronized by its own atomicity;
+//                            the analyzer verifies the declared type is a
+//                            std::atomic so the marker cannot go stale.
+//   BKR_THREAD_CONFINED      on a member owned by the attaching thread by
+//                            protocol (e.g. a per-solve trace sink); the
+//                            analyzer flags any access from inside a lambda
+//                            handed to parallel_for/KernelExecutor::run.
+//
+// Placement convention: directly after the declarator name, before any
+// initializer — `SchwarzStats stats_ BKR_GUARDED_BY(stats_mutex_);`.
+#define BKR_GUARDED_BY(mu)
+#define BKR_ACQUIRED_BEFORE(mu)
+#define BKR_REQUIRES_LOCK(mu)
+#define BKR_LOCK_FREE
+#define BKR_THREAD_CONFINED
+
 #endif  // BKR_COMMON_CONTRACTS_HPP_
 
 // ---------------------------------------------------------------------------

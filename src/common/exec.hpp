@@ -1,0 +1,114 @@
+// Kernel-execution interface: the facade the hot kernels are parameterized
+// by, placed at the bottom of the module DAG.
+//
+// The dense/sparse kernel headers (la/blas.hpp, sparse/csr.hpp) sit below
+// the parallel runtime in the layering spec (DESIGN.md §7: common → la →
+// sparse → {direct,parallel,obs} → …), yet their hot loops fan out over
+// the thread pool. This header resolves that inversion the textbook way:
+// the *interface* (Kernel kinds, cutoffs, the KernelExecutor type with its
+// lane-independent engage() predicate) lives here in common, while every
+// member that needs the pool or the stats sink is declared out-of-line and
+// defined in src/parallel/kernel_executor.cpp. Low layers compile against
+// this header only; the linker binds them to the runtime above.
+//
+// The determinism contract (DESIGN.md §8) is owned by this interface: a
+// kernel handed an executor must produce a result that depends only on the
+// problem, never on lanes(). engage() therefore compares work against
+// KernelCutoffs and never against the lane count, so the same algorithm
+// (and the same floating-point result) is selected at every thread count.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/types.hpp"
+
+namespace bkr {
+
+class ThreadPool;  // parallel/thread_pool.hpp
+
+namespace obs {
+class KernelStats;  // obs/kernel_stats.hpp
+}  // namespace obs
+
+// The kernel families the executor dispatches. Kept in sync with
+// kKernelNames in obs/kernel_stats.cpp.
+enum class Kernel : int {
+  Spmv = 0,     // CSR y = A x, row-partitioned
+  Spmm,         // CSR Y = A X (multi-RHS), row-partitioned
+  Gemm,         // dense C = op(A) op(B), panel-parallel
+  Herk,         // Hermitian rank-k update / Gram matrix, pair-parallel
+  Dot,          // chunked deterministic dot product
+  Norms,        // fused per-column norm reductions
+  Trsm,         // triangular solves, row/column partitioned
+};
+
+inline constexpr int kKernelCount = 7;
+
+// Work floors below which kernels stay on the legacy serial path. The
+// floors are deliberately coarse: fanning out a 100-element dot costs more
+// in wake-up latency than the arithmetic saves.
+struct KernelCutoffs {
+  index_t spmv_nnz = 8192;      // nonzeros before a sparse apply fans out
+  index_t gemm_work = 16384;    // output-elements x inner-length for dense kernels
+  index_t reduce_elems = 8192;  // scalar elements before chunked reductions kick in
+};
+
+class KernelExecutor {
+ public:
+  // Wrap an existing pool (not owned; must outlive the executor). A null
+  // pool behaves like a 1-lane executor: the executor code paths (and
+  // their deterministic reduction orders) are taken, executed inline.
+  explicit KernelExecutor(ThreadPool* pool, KernelCutoffs cutoffs = {});
+
+  // Own a private pool of `threads` lanes (0 picks hardware concurrency).
+  explicit KernelExecutor(index_t threads, KernelCutoffs cutoffs = {});
+
+  ~KernelExecutor();
+  KernelExecutor(const KernelExecutor&) = delete;
+  KernelExecutor& operator=(const KernelExecutor&) = delete;
+
+  [[nodiscard]] index_t lanes() const;
+  [[nodiscard]] const KernelCutoffs& cutoffs() const { return cutoffs_; }
+
+  // True when a kernel with `work` units should leave the legacy serial
+  // path. Depends on the work size only — NOT on lanes() — so the same
+  // algorithm (and the same floating-point result) is selected at every
+  // thread count.
+  [[nodiscard]] bool engage(Kernel kind, index_t work) const {
+    switch (kind) {
+      case Kernel::Spmv:
+      case Kernel::Spmm:
+        return work >= cutoffs_.spmv_nnz;
+      case Kernel::Gemm:
+      case Kernel::Herk:
+      case Kernel::Trsm:
+        return work >= cutoffs_.gemm_work;
+      case Kernel::Dot:
+      case Kernel::Norms:
+        return work >= cutoffs_.reduce_elems;
+    }
+    return false;
+  }
+
+  // Run fn(i) for i in [0, ntasks): on the pool when more than one lane is
+  // available, inline otherwise. Tasks must write disjoint state; the
+  // caller owns any ordered combine step.
+  void run(Kernel kind, index_t ntasks, const std::function<void(index_t)>& fn) const;
+
+  // Mutable so kernels taking `const KernelExecutor*` can account.
+  // (Dereferencing through the incomplete type is fine; member calls need
+  // obs/kernel_stats.hpp, which only the layers above la may include.)
+  [[nodiscard]] obs::KernelStats& stats() const { return *stats_; }
+
+  // Process-wide executor over ThreadPool::global() (BKR_THREADS-sized).
+  static KernelExecutor& global();
+
+ private:
+  std::unique_ptr<ThreadPool> owned_;
+  ThreadPool* pool_ = nullptr;
+  KernelCutoffs cutoffs_;
+  mutable std::unique_ptr<obs::KernelStats> stats_;
+};
+
+}  // namespace bkr

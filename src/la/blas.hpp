@@ -10,7 +10,7 @@
 // Every kernel that appears on a solver hot path takes an optional
 // KernelExecutor. With a null executor (the default) the legacy serial
 // loops run unchanged. With an executor, the kernel fans out over the
-// thread pool under the determinism contract of kernel_executor.hpp:
+// thread pool under the determinism contract of common/exec.hpp:
 //  * partition-type kernels (gemm panels, trsm blocks) keep the exact
 //    per-output-element operation order of the serial code, so they are
 //    bitwise identical to it at every thread count;
@@ -25,8 +25,8 @@
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "common/exec.hpp"
 #include "la/dense.hpp"
-#include "parallel/kernel_executor.hpp"
 
 namespace bkr {
 
@@ -96,7 +96,7 @@ void gemm(Trans ta, Trans tb, T alpha, MatrixView<const T> a, MatrixView<const T
   }
   if (alpha == T(0) || k == 0 || m == 0 || n == 0) return;
 
-  const bool fan = ex != nullptr && ex->engage(obs::Kernel::Gemm, m * n * k);
+  const bool fan = ex != nullptr && ex->engage(Kernel::Gemm, m * n * k);
 
   if (ta == Trans::N && tb == Trans::N) {
     // C(:,j) += alpha * A * B(:,j) — rank-1 update loop order, unit-stride
@@ -118,7 +118,7 @@ void gemm(Trans ta, Trans tb, T alpha, MatrixView<const T> a, MatrixView<const T
       panel(0, n);
     } else {
       const index_t parts = detail::fanout_tasks(ex, n);
-      ex->run(obs::Kernel::Gemm, parts, [&](index_t t) {
+      ex->run(Kernel::Gemm, parts, [&](index_t t) {
         panel(detail::even_split(n, parts, t), detail::even_split(n, parts, t + 1));
       });
     }
@@ -133,7 +133,7 @@ void gemm(Trans ta, Trans tb, T alpha, MatrixView<const T> a, MatrixView<const T
       for (index_t j = 0; j < n; ++j)
         for (index_t i = 0; i < m; ++i) entry(i, j);
     } else {
-      ex->run(obs::Kernel::Gemm, m * n, [&](index_t t) { entry(t % m, t / m); });
+      ex->run(Kernel::Gemm, m * n, [&](index_t t) { entry(t % m, t / m); });
     }
   } else if (ta == Trans::N && tb == Trans::C) {
     auto panel = [&](index_t j0, index_t j1) {
@@ -151,7 +151,7 @@ void gemm(Trans ta, Trans tb, T alpha, MatrixView<const T> a, MatrixView<const T
       panel(0, n);
     } else {
       const index_t parts = detail::fanout_tasks(ex, n);
-      ex->run(obs::Kernel::Gemm, parts, [&](index_t t) {
+      ex->run(Kernel::Gemm, parts, [&](index_t t) {
         panel(detail::even_split(n, parts, t), detail::even_split(n, parts, t + 1));
       });
     }
@@ -165,7 +165,7 @@ void gemm(Trans ta, Trans tb, T alpha, MatrixView<const T> a, MatrixView<const T
       for (index_t j = 0; j < n; ++j)
         for (index_t i = 0; i < m; ++i) entry(i, j);
     } else {
-      ex->run(obs::Kernel::Gemm, m * n, [&](index_t t) { entry(t % m, t / m); });
+      ex->run(Kernel::Gemm, m * n, [&](index_t t) { entry(t % m, t / m); });
     }
   }
 }
@@ -206,10 +206,10 @@ T dot(index_t n, const T* x, const T* y) {
 // order. The result is independent of the executor's lane count.
 template <class T>
 T dot(index_t n, const T* x, const T* y, const KernelExecutor* ex) {
-  if (ex == nullptr || !ex->engage(obs::Kernel::Dot, n)) return detail::chunk_dot(n, x, y);
+  if (ex == nullptr || !ex->engage(Kernel::Dot, n)) return detail::chunk_dot(n, x, y);
   const index_t nchunks = detail::reduce_chunks(n);
   std::vector<T> partial(static_cast<size_t>(nchunks));
-  ex->run(obs::Kernel::Dot, nchunks, [&](index_t cidx) {
+  ex->run(Kernel::Dot, nchunks, [&](index_t cidx) {
     const index_t begin = cidx * kReduceChunk;
     partial[size_t(cidx)] =
         detail::chunk_dot(std::min(kReduceChunk, n - begin), x + begin, y + begin);
@@ -227,11 +227,11 @@ real_t<T> norm2(index_t n, const T* x) {
 // Deterministic chunked 2-norm (same contract as the 4-argument dot).
 template <class T>
 real_t<T> norm2(index_t n, const T* x, const KernelExecutor* ex) {
-  if (ex == nullptr || !ex->engage(obs::Kernel::Norms, n))
+  if (ex == nullptr || !ex->engage(Kernel::Norms, n))
     return std::sqrt(detail::chunk_sumsq(n, x));
   const index_t nchunks = detail::reduce_chunks(n);
   std::vector<real_t<T>> partial(static_cast<size_t>(nchunks));
-  ex->run(obs::Kernel::Norms, nchunks, [&](index_t cidx) {
+  ex->run(Kernel::Norms, nchunks, [&](index_t cidx) {
     const index_t begin = cidx * kReduceChunk;
     partial[size_t(cidx)] = detail::chunk_sumsq(std::min(kReduceChunk, n - begin), x + begin);
   });
@@ -247,7 +247,7 @@ real_t<T> norm2(index_t n, const T* x, const KernelExecutor* ex) {
 template <class T>
 void column_norms(MatrixView<const T> x, real_t<T>* out, const KernelExecutor* ex = nullptr) {
   const index_t n = x.rows(), p = x.cols();
-  if (ex == nullptr || p == 0 || !ex->engage(obs::Kernel::Norms, n * p)) {
+  if (ex == nullptr || p == 0 || !ex->engage(Kernel::Norms, n * p)) {
     for (index_t j = 0; j < p; ++j) out[j] = norm2(n, x.col(j));
     return;
   }
@@ -257,7 +257,7 @@ void column_norms(MatrixView<const T> x, real_t<T>* out, const KernelExecutor* e
     return;
   }
   std::vector<real_t<T>> partial(static_cast<size_t>(nchunks * p));
-  ex->run(obs::Kernel::Norms, nchunks * p, [&](index_t t) {
+  ex->run(Kernel::Norms, nchunks * p, [&](index_t t) {
     const index_t j = t / nchunks, cidx = t % nchunks;
     const index_t begin = cidx * kReduceChunk;
     partial[size_t(t)] =
@@ -309,8 +309,8 @@ void trsm_left_upper(MatrixView<const T> r, MatrixView<T> x, const KernelExecuto
       xj[i] = s / r(i, i);
     }
   };
-  if (ex != nullptr && x.cols() > 1 && ex->engage(obs::Kernel::Trsm, n * n * x.cols())) {
-    ex->run(obs::Kernel::Trsm, x.cols(), solve_col);
+  if (ex != nullptr && x.cols() > 1 && ex->engage(Kernel::Trsm, n * n * x.cols())) {
+    ex->run(Kernel::Trsm, x.cols(), solve_col);
   } else {
     for (index_t j = 0; j < x.cols(); ++j) solve_col(j);
   }
@@ -331,8 +331,8 @@ void trsm_left_upper_conj(MatrixView<const T> r, MatrixView<T> x,
       xj[i] = s / conj(r(i, i));
     }
   };
-  if (ex != nullptr && x.cols() > 1 && ex->engage(obs::Kernel::Trsm, n * n * x.cols())) {
-    ex->run(obs::Kernel::Trsm, x.cols(), solve_col);
+  if (ex != nullptr && x.cols() > 1 && ex->engage(Kernel::Trsm, n * n * x.cols())) {
+    ex->run(Kernel::Trsm, x.cols(), solve_col);
   } else {
     for (index_t j = 0; j < x.cols(); ++j) solve_col(j);
   }
@@ -360,9 +360,9 @@ void trsm_right_upper(MatrixView<const T> r, MatrixView<T> x, const KernelExecut
       for (index_t i = i0; i < i1; ++i) xj[i] *= inv;
     }
   };
-  if (ex != nullptr && n > 1 && ex->engage(obs::Kernel::Trsm, n * p * p)) {
+  if (ex != nullptr && n > 1 && ex->engage(Kernel::Trsm, n * p * p)) {
     const index_t parts = detail::fanout_tasks(ex, n);
-    ex->run(obs::Kernel::Trsm, parts, [&](index_t t) {
+    ex->run(Kernel::Trsm, parts, [&](index_t t) {
       rows(detail::even_split(n, parts, t), detail::even_split(n, parts, t + 1));
     });
   } else {
@@ -389,8 +389,8 @@ void herk(Trans trans, T alpha, MatrixView<const T> a, T beta, MatrixView<T> c,
     c(j, i) = lower;  // on the diagonal this leaves conj(s), matching gram()
   };
   const index_t npairs = p * (p + 1) / 2;
-  if (ex != nullptr && npairs > 1 && ex->engage(obs::Kernel::Herk, n * npairs)) {
-    ex->run(obs::Kernel::Herk, npairs, [&](index_t t) {
+  if (ex != nullptr && npairs > 1 && ex->engage(Kernel::Herk, n * npairs)) {
+    ex->run(Kernel::Herk, npairs, [&](index_t t) {
       // Unrank t over the upper triangle, column-major: pairs of column j
       // occupy [j(j+1)/2, (j+1)(j+2)/2).
       index_t j = 0;

@@ -12,21 +12,16 @@
 #include <cstdint>
 #include <iosfwd>
 
+#include "common/contracts.hpp"
+#include "common/exec.hpp"
+
 namespace bkr::obs {
 
-// The kernel families the executor dispatches. Kept in sync with
-// kKernelNames in kernel_stats.cpp.
-enum class Kernel : int {
-  Spmv = 0,     // CSR y = A x, row-partitioned
-  Spmm,         // CSR Y = A X (multi-RHS), row-partitioned
-  Gemm,         // dense C = op(A) op(B), panel-parallel
-  Herk,         // Hermitian rank-k update / Gram matrix, pair-parallel
-  Dot,          // chunked deterministic dot product
-  Norms,        // fused per-column norm reductions
-  Trsm,         // triangular solves, row/column partitioned
-};
-
-inline constexpr int kKernelCount = 7;
+// The kernel-family enum lives with the execution interface at the bottom
+// of the module DAG (common/exec.hpp); re-exported here so the telemetry
+// surface keeps its historical obs::Kernel spelling.
+using Kernel = ::bkr::Kernel;
+using ::bkr::kKernelCount;
 
 // Stable lowercase identifier ("spmv", "gemm", ...) used in JSON.
 const char* kernel_name(Kernel k);
@@ -53,10 +48,10 @@ class KernelStats {
   void write_json(std::ostream& os) const;
 
  private:
-  std::atomic<bool> enabled_{false};
-  std::atomic<std::int64_t> calls_[kKernelCount] = {};
-  std::atomic<std::int64_t> parallel_calls_[kKernelCount] = {};
-  std::atomic<std::int64_t> nanos_[kKernelCount] = {};
+  std::atomic<bool> enabled_ BKR_LOCK_FREE{false};
+  std::atomic<std::int64_t> calls_ BKR_LOCK_FREE[kKernelCount] = {};
+  std::atomic<std::int64_t> parallel_calls_ BKR_LOCK_FREE[kKernelCount] = {};
+  std::atomic<std::int64_t> nanos_ BKR_LOCK_FREE[kKernelCount] = {};
 };
 
 }  // namespace bkr::obs

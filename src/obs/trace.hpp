@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "common/types.hpp"
 
 namespace bkr::obs {
@@ -145,8 +146,8 @@ class SolverTrace final : public TraceSink {
   // misattached sink never drops data.
   SolveRecord& current();
 
-  std::vector<SolveRecord> solves_;
-  bool open_ = false;
+  std::vector<SolveRecord> solves_ BKR_THREAD_CONFINED;
+  bool open_ BKR_THREAD_CONFINED = false;
 };
 
 }  // namespace bkr::obs

@@ -1,8 +1,25 @@
+// Implementation side of the kernel-execution interface declared in
+// common/exec.hpp: everything that needs the complete ThreadPool or
+// KernelStats types is defined here, so the low-layer kernel headers can
+// compile against the interface alone.
 #include "parallel/kernel_executor.hpp"
 
 namespace bkr {
 
-void KernelExecutor::run(obs::Kernel kind, index_t ntasks,
+KernelExecutor::KernelExecutor(ThreadPool* pool, KernelCutoffs cutoffs)
+    : pool_(pool), cutoffs_(cutoffs), stats_(std::make_unique<obs::KernelStats>()) {}
+
+KernelExecutor::KernelExecutor(index_t threads, KernelCutoffs cutoffs)
+    : owned_(std::make_unique<ThreadPool>(threads)),
+      pool_(owned_.get()),
+      cutoffs_(cutoffs),
+      stats_(std::make_unique<obs::KernelStats>()) {}
+
+KernelExecutor::~KernelExecutor() = default;
+
+index_t KernelExecutor::lanes() const { return pool_ != nullptr ? pool_->size() : 1; }
+
+void KernelExecutor::run(Kernel kind, index_t ntasks,
                          const std::function<void(index_t)>& fn) const {
   if (ntasks <= 0) return;
   const bool fan_out = pool_ != nullptr && pool_->size() > 1 && ntasks > 1;

@@ -1,6 +1,13 @@
 // KernelExecutor: the facade the hot kernels use to fan work out over the
 // ThreadPool.
 //
+// The interface (Kernel kinds, KernelCutoffs, the KernelExecutor type and
+// its lane-independent engage() predicate) lives in common/exec.hpp at the
+// bottom of the module DAG so la/sparse kernel headers can consume it
+// without an upward include; this header binds the implementation side —
+// the pool, the stats sink, and the scoped timer — for the layers that may
+// depend on src/parallel.
+//
 // The determinism contract (DESIGN.md "Parallel kernel layer") is the
 // load-bearing property: a kernel handed an executor must produce a result
 // that depends only on the problem, never on lanes(). Partition-type
@@ -20,79 +27,12 @@
 #pragma once
 
 #include <chrono>
-#include <functional>
-#include <memory>
 
-#include "common/types.hpp"
+#include "common/exec.hpp"
 #include "obs/kernel_stats.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace bkr {
-
-// Work floors below which kernels stay on the legacy serial path. The
-// floors are deliberately coarse: fanning out a 100-element dot costs more
-// in wake-up latency than the arithmetic saves.
-struct KernelCutoffs {
-  index_t spmv_nnz = 8192;      // nonzeros before a sparse apply fans out
-  index_t gemm_work = 16384;    // output-elements x inner-length for dense kernels
-  index_t reduce_elems = 8192;  // scalar elements before chunked reductions kick in
-};
-
-class KernelExecutor {
- public:
-  // Wrap an existing pool (not owned; must outlive the executor). A null
-  // pool behaves like a 1-lane executor: the executor code paths (and
-  // their deterministic reduction orders) are taken, executed inline.
-  explicit KernelExecutor(ThreadPool* pool, KernelCutoffs cutoffs = {})
-      : pool_(pool), cutoffs_(cutoffs) {}
-
-  // Own a private pool of `threads` lanes (0 picks hardware concurrency).
-  explicit KernelExecutor(index_t threads, KernelCutoffs cutoffs = {})
-      : owned_(std::make_unique<ThreadPool>(threads)), pool_(owned_.get()), cutoffs_(cutoffs) {}
-
-  KernelExecutor(const KernelExecutor&) = delete;
-  KernelExecutor& operator=(const KernelExecutor&) = delete;
-
-  [[nodiscard]] index_t lanes() const { return pool_ != nullptr ? pool_->size() : 1; }
-  [[nodiscard]] const KernelCutoffs& cutoffs() const { return cutoffs_; }
-
-  // True when a kernel with `work` units should leave the legacy serial
-  // path. Depends on the work size only — NOT on lanes() — so the same
-  // algorithm (and the same floating-point result) is selected at every
-  // thread count.
-  [[nodiscard]] bool engage(obs::Kernel kind, index_t work) const {
-    switch (kind) {
-      case obs::Kernel::Spmv:
-      case obs::Kernel::Spmm:
-        return work >= cutoffs_.spmv_nnz;
-      case obs::Kernel::Gemm:
-      case obs::Kernel::Herk:
-      case obs::Kernel::Trsm:
-        return work >= cutoffs_.gemm_work;
-      case obs::Kernel::Dot:
-      case obs::Kernel::Norms:
-        return work >= cutoffs_.reduce_elems;
-    }
-    return false;
-  }
-
-  // Run fn(i) for i in [0, ntasks): on the pool when more than one lane is
-  // available, inline otherwise. Tasks must write disjoint state; the
-  // caller owns any ordered combine step.
-  void run(obs::Kernel kind, index_t ntasks, const std::function<void(index_t)>& fn) const;
-
-  // Mutable so kernels taking `const KernelExecutor*` can account.
-  [[nodiscard]] obs::KernelStats& stats() const { return stats_; }
-
-  // Process-wide executor over ThreadPool::global() (BKR_THREADS-sized).
-  static KernelExecutor& global();
-
- private:
-  std::unique_ptr<ThreadPool> owned_;
-  ThreadPool* pool_ = nullptr;
-  KernelCutoffs cutoffs_;
-  mutable obs::KernelStats stats_;
-};
 
 // Scoped stats recorder used inside kernels; a no-op (one relaxed atomic
 // load) unless collection was enabled on the executor's stats.

@@ -37,12 +37,18 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::spawn_workers(size_t count) {
-  tasks_.assign(count, Task{});
-  workers_.reserve(count);
   // Workers must start with `seen` at the current generation so a worker
   // spawned after earlier loops ran does not replay a stale task slot.
-  // submit_mutex_ is held, so generation_ cannot advance underneath us.
-  const unsigned long start_gen = generation_;
+  // No worker threads exist here (fresh pool, or join_workers just ran),
+  // but tasks_ and generation_ are mutex_ state, so touch them under the
+  // lock anyway — the new workers read both as soon as they start.
+  unsigned long start_gen = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.assign(count, Task{});
+    start_gen = generation_;
+  }
+  workers_.reserve(count);
   for (size_t i = 0; i < count; ++i)
     workers_.emplace_back([this, i, start_gen] { worker_loop(i, start_gen); });
   thread_count_.store(index_t(count) + 1, std::memory_order_release);

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "common/types.hpp"
 
 namespace bkr {
@@ -60,25 +61,23 @@ class ThreadPool {
     index_t begin = 0, end = 0;
   };
   void worker_loop(size_t id, unsigned long start_generation);
-  // Both require submit_mutex_ to be held.
-  void spawn_workers(size_t count);
-  void join_workers();
+  void spawn_workers(size_t count) BKR_REQUIRES_LOCK(submit_mutex_);
+  void join_workers() BKR_REQUIRES_LOCK(submit_mutex_);
   void record_error();
 
   // Serializes submitting threads (parallel_for) and structural changes
-  // (resize, destruction) against each other. Always acquired before
-  // mutex_ when both are needed.
-  std::mutex submit_mutex_;
-  std::vector<std::thread> workers_;
-  std::vector<Task> tasks_;        // one slot per worker
-  std::atomic<index_t> thread_count_{1};
+  // (resize, destruction) against each other.
+  std::mutex submit_mutex_ BKR_ACQUIRED_BEFORE(mutex_);
+  std::vector<std::thread> workers_ BKR_GUARDED_BY(submit_mutex_);
+  std::vector<Task> tasks_ BKR_GUARDED_BY(mutex_);  // one slot per worker
+  std::atomic<index_t> thread_count_ BKR_LOCK_FREE{1};
   std::mutex mutex_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
-  index_t pending_ = 0;
-  unsigned long generation_ = 0;
-  bool stop_ = false;
-  std::exception_ptr first_error_;  // guarded by mutex_
+  index_t pending_ BKR_GUARDED_BY(mutex_) = 0;
+  unsigned long generation_ BKR_GUARDED_BY(mutex_) = 0;
+  bool stop_ BKR_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ BKR_GUARDED_BY(mutex_);
 };
 
 // Convenience wrapper over the global pool.

@@ -19,7 +19,6 @@ SchwarzPreconditioner<T>::SchwarzPreconditioner(const CsrMatrix<T>& a, SchwarzOp
   OverlappingDecomposition dec = make_decomposition(g, opts_.subdomains, opts_.overlap, pou);
   locals_.resize(static_cast<size_t>(opts_.subdomains));
   std::vector<double> setup_times(static_cast<size_t>(opts_.subdomains), 0.0);
-  std::mutex mutex;
 
   auto build_one = [&](index_t i) {
     Timer timer;
@@ -62,9 +61,12 @@ SchwarzPreconditioner<T>::SchwarzPreconditioner(const CsrMatrix<T>& a, SchwarzOp
     }
     local.factor = std::make_unique<SparseLDLT<T>>(sub, opts_.ordering);
     setup_times[size_t(i)] = timer.seconds();
-    std::lock_guard<std::mutex> lock(mutex);
-    stats_.factor_nnz_total += local.factor->factor_nnz();
-    stats_.largest_subdomain = std::max(stats_.largest_subdomain, index_t(local.rows.size()));
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.factor_nnz_total += local.factor->factor_nnz();
+      stats_.largest_subdomain = std::max(stats_.largest_subdomain, index_t(local.rows.size()));
+    }
+    // Each iteration owns its slot, so the move needs no lock.
     locals_[size_t(i)] = std::move(local);
   };
   if (opts_.parallel) {
@@ -72,6 +74,7 @@ SchwarzPreconditioner<T>::SchwarzPreconditioner(const CsrMatrix<T>& a, SchwarzOp
   } else {
     for (index_t i = 0; i < opts_.subdomains; ++i) build_one(i);
   }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
   for (const double t : setup_times) {
     stats_.setup_seconds_sum += t;
     stats_.setup_seconds_max = std::max(stats_.setup_seconds_max, t);

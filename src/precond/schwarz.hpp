@@ -23,6 +23,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "core/operator.hpp"
 #include "direct/factor.hpp"
 #include "sparse/partition.hpp"
@@ -74,7 +75,7 @@ class SchwarzPreconditioner final : public Preconditioner<T> {
   SchwarzOptions opts_;
   std::vector<Local> locals_;
   mutable std::mutex stats_mutex_;
-  SchwarzStats stats_;  // guarded by stats_mutex_
+  SchwarzStats stats_ BKR_GUARDED_BY(stats_mutex_);
 };
 
 extern template class SchwarzPreconditioner<double>;

@@ -16,7 +16,7 @@
 #include "common/contracts.hpp"
 #include "common/types.hpp"
 #include "la/dense.hpp"
-#include "parallel/kernel_executor.hpp"
+#include "common/exec.hpp"
 
 namespace bkr {
 
@@ -69,13 +69,13 @@ class CsrMatrix {
   // the executor's row-partitioned schedule is bitwise identical to the
   // serial sweep at every thread count.
   void spmv(const T* x, T* y, const KernelExecutor* ex = nullptr) const {
-    if (ex == nullptr || rows_ <= 1 || !ex->engage(obs::Kernel::Spmv, nnz())) {
+    if (ex == nullptr || rows_ <= 1 || !ex->engage(Kernel::Spmv, nnz())) {
       spmv_rows(0, rows_, x, y);
       return;
     }
     const index_t parts = std::min(rows_, ex->lanes() * 4);
     const std::vector<index_t> splits = balanced_row_splits(rowptr_, rows_, parts);
-    ex->run(obs::Kernel::Spmv, parts, [&](index_t t) {
+    ex->run(Kernel::Spmv, parts, [&](index_t t) {
       spmv_rows(splits[size_t(t)], splits[size_t(t) + 1], x, y);
     });
   }
@@ -91,13 +91,13 @@ class CsrMatrix {
       spmv(x.col(0), y.col(0), ex);
       return;
     }
-    if (ex == nullptr || rows_ <= 1 || !ex->engage(obs::Kernel::Spmm, nnz() * p)) {
+    if (ex == nullptr || rows_ <= 1 || !ex->engage(Kernel::Spmm, nnz() * p)) {
       spmm_rows(0, rows_, x, y);
       return;
     }
     const index_t parts = std::min(rows_, ex->lanes() * 4);
     const std::vector<index_t> splits = balanced_row_splits(rowptr_, rows_, parts);
-    ex->run(obs::Kernel::Spmm, parts, [&](index_t t) {
+    ex->run(Kernel::Spmm, parts, [&](index_t t) {
       spmm_rows(splits[size_t(t)], splits[size_t(t) + 1], x, y);
     });
   }

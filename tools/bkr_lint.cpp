@@ -31,22 +31,61 @@
 // literals (including raw strings) and character literals are blanked
 // before matching, so prose and printf formats never trip a rule.
 //
-// Suppression:
+// A second stage, `--analyze` ("bkr-analyze"), builds a cross-TU project
+// model of src/ — include graph, annotation index, per-scope lock sets —
+// and checks project-wide rules the line scanner cannot see:
+//
+//   layer-upward-include   an #include that points at a strictly higher
+//                          rank of the module DAG (common < la < sparse <
+//                          {direct,parallel,obs} < core < precond < fem <
+//                          capi); same-rank includes are legal
+//   include-cycle          a cycle in the file-level include graph
+//   unguarded-member-access  a BKR_GUARDED_BY(mu) member accessed in a
+//                          scope that does not visibly hold mu
+//   requires-lock-not-held a BKR_REQUIRES_LOCK(mu) function called without
+//                          mu held
+//   lock-order-inversion   two mutexes nested against a declared
+//                          BKR_ACQUIRED_BEFORE order
+//   lock-free-not-atomic   BKR_LOCK_FREE on a declaration that is not a
+//                          std::atomic
+//   confined-member-in-parallel  a BKR_THREAD_CONFINED member accessed
+//                          inside a lambda dispatched to run()/parallel_for
+//   lane-dependent-body    lanes()/hardware_concurrency/thread_count_ read
+//                          inside a dispatched task body (determinism
+//                          scope: src/parallel, la/blas.hpp, sparse/csr.hpp)
+//   nonshared-reduce-chunk reduction task body whose chunking does not come
+//                          from the shared la/blas.hpp kReduceChunk
+//   float-atomic-accumulation  std::atomic<double|float> in the determinism
+//                          scope (floating-point sums must never be built
+//                          from atomics — ordering would be scheduling-
+//                          dependent)
+//   contract-coverage      share of public header entries taking data-plane
+//                          arguments whose definition (or a callee) checks
+//                          a contract fell below the gated floor
+//
+// The annotation vocabulary (no-op macros) lives in common/contracts.hpp;
+// DESIGN.md §7 documents the model and the normative DAG.
+//
+// Suppression (both stages):
 //   * inline:   a `// bkr-lint: allow(rule)` comment on the offending line
 //   * baseline: `--baseline FILE` with tab-separated lines
 //               `rule<TAB>relative/path<TAB>normalized line content`
 //               (line-number independent, survives unrelated edits)
 //
 // Exit code 0 when no unsuppressed finding remains, 1 otherwise.
-// `--self-test` runs the scanner against embedded fixtures with one
+// `--json` emits one JSON object per finding (rule/file/line/content)
+// instead of the human lines; exit codes are unchanged.
+// `--self-test` runs both stages against embedded fixtures with one
 // planted violation per rule and must find exactly those.
 
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <set>
 #include <sstream>
@@ -247,9 +286,14 @@ struct FileReport {
   std::vector<Finding> findings;
 };
 
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Extension-exact: ".hpp" and ".h" files of any path length (a bare "a.h"
+// is a header too — the old size guard silently skipped short paths).
 bool is_header(const std::string& path) {
-  return path.size() > 4 && (path.rfind(".hpp") == path.size() - 4 ||
-                             (path.size() > 2 && path.rfind(".h") == path.size() - 2));
+  return ends_with(path, ".hpp") || ends_with(path, ".h");
 }
 
 // Per-line inline suppressions harvested from the *raw* text before
@@ -387,6 +431,977 @@ FileReport scan_content(const std::string& rel_path, const std::string& content)
 }
 
 // ---------------------------------------------------------------------------
+// bkr-analyze: the cross-TU project-model stage.
+//
+// The model is built from blanked text only (comments and strings never
+// participate), with a statement/scope walker shared by two passes: a
+// harvest pass that indexes the annotation vocabulary per class, and a
+// check pass that tracks the visibly-held lock set through every scope and
+// validates accesses, ordering, dispatch-lambda bodies and contract
+// coverage against the index.
+
+struct SourceFile {
+  std::string path;  // relative to the scan root, e.g. "src/la/blas.hpp"
+  std::vector<std::string> raw_lines;
+  std::string blanked;
+  std::vector<std::string> lines;
+  std::map<long, std::set<std::string>> allows;
+};
+
+SourceFile make_source(const std::string& path, const std::string& content) {
+  SourceFile f;
+  f.path = path;
+  f.raw_lines = split_lines(content);
+  f.blanked = blank_non_code(content);
+  f.lines = split_lines(f.blanked);
+  f.allows = harvest_allows(f.raw_lines);
+  return f;
+}
+
+// The normative module DAG (DESIGN.md §7). Same-rank includes are legal;
+// an include must never point at a strictly higher rank.
+int module_rank(const std::string& mod) {
+  static const std::map<std::string, int> kRanks = {
+      {"common", 0}, {"la", 1},   {"sparse", 2},  {"direct", 3}, {"parallel", 3},
+      {"obs", 3},    {"core", 4}, {"precond", 5}, {"fem", 6},    {"capi", 7}};
+  const auto it = kRanks.find(mod);
+  return it == kRanks.end() ? -1 : it->second;
+}
+
+std::string module_of(const std::string& rel) {
+  std::string p = rel;
+  if (p.rfind("src/", 0) == 0) p = p.substr(4);
+  const size_t slash = p.find('/');
+  return slash == std::string::npos ? std::string() : p.substr(0, slash);
+}
+
+// Files whose parallel task bodies carry the determinism contract.
+bool determinism_scope(const std::string& path) {
+  return path.rfind("src/parallel/", 0) == 0 || path == "src/la/blas.hpp" ||
+         path == "src/sparse/csr.hpp";
+}
+
+// Parameter types that mark a public function as a data-plane entry point
+// for the contract-coverage rule.
+const char* const kDataPlaneTypes[] = {"MatrixView",  "DenseMatrix",    "CsrMatrix",
+                                       "MultiVector", "LinearOperator", "Preconditioner",
+                                       "SolverOptions"};
+
+const char* const kContractTokens[] = {"BKR_REQUIRE", "BKR_ENSURE", "BKR_ASSERT",
+                                       "BKR_ASSERT_SHAPE", "check_solve_entry"};
+
+bool is_cxx_keyword(const std::string& w) {
+  static const std::set<std::string> kw = {
+      "if",     "for",   "while",  "switch", "catch",   "return", "sizeof", "new",
+      "delete", "throw", "void",   "int",    "long",    "bool",   "char",   "double",
+      "float",  "auto",  "const",  "static", "virtual", "case",   "do",     "else",
+      "try",    "using", "friend", "public", "private", "protected"};
+  return kw.count(w) != 0;
+}
+
+class Analyzer {
+ public:
+  Analyzer(std::vector<SourceFile> files, double coverage_floor)
+      : files_(std::move(files)), coverage_floor_(coverage_floor) {}
+
+  std::vector<Finding> run() {
+    scan_includes();
+    find_cycles();
+    for (size_t i = 0; i < files_.size(); ++i) walk_file(i, Mode::Harvest);
+    for (size_t i = 0; i < files_.size(); ++i) walk_file(i, Mode::Check);
+    check_lock_order();
+    scan_float_atomics();
+    check_coverage();
+    return std::move(findings_);
+  }
+
+ private:
+  enum class Mode { Harvest, Check };
+  enum class ScopeKind { Namespace, Class, Function, Lambda, Control, Block };
+
+  struct Guarded {
+    std::string cls, member, mu;
+  };
+  struct Confined {
+    std::string cls, member;
+  };
+  struct OrderDecl {
+    std::string first, second;  // `first` is declared ACQUIRED_BEFORE `second`
+  };
+  struct ObservedPair {
+    std::string held, acquired;
+    size_t file;
+    long line;
+  };
+  struct Edge {
+    size_t to;
+    long line;
+  };
+  struct Candidate {
+    std::string cls, name;
+    size_t file;
+    long line;
+  };
+  struct Scope {
+    ScopeKind kind = ScopeKind::Block;
+    std::string cls;
+    std::string fn_name;
+    int access = 1;  // Class scopes: 1 = public region
+    bool in_function = false;
+    bool dispatch = false;   // lexically inside a run()/parallel_for lambda
+    bool reduction = false;  // the dispatch named Kernel::Dot / Kernel::Norms
+    size_t body_start = 0;
+    long open_line = 0;
+    std::string saved_buf;  // Lambda: the suspended outer statement
+    std::vector<long> saved_buf_lines;
+    int saved_paren = 0;
+    std::vector<std::string> acquired;                      // release at close
+    std::map<std::string, std::vector<std::string>> guards;  // RAII var -> mutexes
+  };
+  struct OpenInfo {
+    ScopeKind kind = ScopeKind::Block;
+    std::string name;       // function or class name
+    std::string qualifier;  // Class of a `Ret Class::name(...)` definition
+    std::string head;       // normalized statement head
+    bool struct_like = false;
+    std::vector<std::string> seeds;  // BKR_REQUIRES_LOCK on the definition
+  };
+
+  void add(size_t file, const std::string& rule, long line_no) {
+    const SourceFile& f = files_[file];
+    const auto it = f.allows.find(line_no);
+    if (it != f.allows.end() && it->second.count(rule) != 0) return;
+    const std::string raw = (line_no >= 1 && size_t(line_no) <= f.raw_lines.size())
+                                ? f.raw_lines[size_t(line_no) - 1]
+                                : std::string();
+    findings_.push_back(Finding{rule, f.path, line_no, normalize(raw)});
+  }
+
+  // ---- include graph: layering and cycles ----
+
+  void scan_includes() {
+    std::map<std::string, size_t> by_path;
+    for (size_t i = 0; i < files_.size(); ++i) {
+      by_path[files_[i].path] = i;
+      if (files_[i].path.rfind("src/", 0) == 0) by_path[files_[i].path.substr(4)] = i;
+    }
+    edges_.assign(files_.size(), {});
+    for (size_t i = 0; i < files_.size(); ++i) {
+      const SourceFile& f = files_[i];
+      for (size_t li = 0; li < f.lines.size(); ++li) {
+        if (f.lines[li].find("#include") == std::string::npos) continue;
+        // The include path itself was blanked with the string literal;
+        // recover it from the raw line.
+        const std::string& raw = li < f.raw_lines.size() ? f.raw_lines[li] : std::string();
+        const size_t q1 = raw.find('"');
+        const size_t q2 = q1 == std::string::npos ? std::string::npos : raw.find('"', q1 + 1);
+        if (q2 == std::string::npos) continue;  // <system> include
+        const std::string target = raw.substr(q1 + 1, q2 - q1 - 1);
+        const long line_no = long(li) + 1;
+        const int from_rank = module_rank(module_of(f.path));
+        const int to_rank = module_rank(module_of("src/" + target));
+        if (from_rank >= 0 && to_rank >= 0 && to_rank > from_rank)
+          add(i, "layer-upward-include", line_no);
+        const auto tgt = by_path.find(target);
+        if (tgt != by_path.end() && tgt->second != i)
+          edges_[i].push_back(Edge{tgt->second, line_no});
+      }
+    }
+  }
+
+  void find_cycles() {
+    std::vector<int> color(files_.size(), 0);  // 0 white, 1 on stack, 2 done
+    std::function<void(size_t)> dfs = [&](size_t u) {
+      color[u] = 1;
+      for (const Edge& e : edges_[u]) {
+        if (color[e.to] == 1)
+          add(u, "include-cycle", e.line);
+        else if (color[e.to] == 0)
+          dfs(e.to);
+      }
+      color[u] = 2;
+    };
+    for (size_t i = 0; i < files_.size(); ++i)
+      if (color[i] == 0) dfs(i);
+  }
+
+  // ---- determinism: float accumulation through atomics ----
+
+  void scan_float_atomics() {
+    for (size_t i = 0; i < files_.size(); ++i) {
+      if (!determinism_scope(files_[i].path)) continue;
+      for (size_t li = 0; li < files_[i].lines.size(); ++li) {
+        std::string dense;
+        for (const char c : files_[i].lines[li])
+          if (std::isspace(static_cast<unsigned char>(c)) == 0) dense.push_back(c);
+        if (dense.find("atomic<double>") != std::string::npos ||
+            dense.find("atomic<float>") != std::string::npos)
+          add(i, "float-atomic-accumulation", long(li) + 1);
+      }
+    }
+  }
+
+  // ---- small token helpers over normalized statement text ----
+
+  static std::string ident_before(const std::string& s, size_t pos) {
+    size_t e = pos;
+    while (e > 0 && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+    size_t b = e;
+    while (b > 0 && is_ident(s[b - 1])) --b;
+    return s.substr(b, e - b);
+  }
+
+  static std::string macro_arg(const std::string& s, size_t macro_end) {
+    const size_t open = s.find('(', macro_end);
+    if (open == std::string::npos) return {};
+    const size_t close = s.find(')', open);
+    if (close == std::string::npos) return {};
+    return normalize(s.substr(open + 1, close - open - 1));
+  }
+
+  // Matching '(' for the ')' at `close` (walking left).
+  static size_t match_open_paren(const std::string& s, size_t close) {
+    int depth = 0;
+    for (size_t i = close + 1; i-- > 0;) {
+      if (s[i] == ')') ++depth;
+      if (s[i] == '(') {
+        --depth;
+        if (depth == 0) return i;
+      }
+    }
+    return std::string::npos;
+  }
+
+  static size_t last_significant(const std::string& s) {
+    for (size_t i = s.size(); i-- > 0;)
+      if (std::isspace(static_cast<unsigned char>(s[i])) == 0) return i;
+    return std::string::npos;
+  }
+
+  // ---- statement-head classification at '{' ----
+
+  OpenInfo classify_open(const std::string& raw_head) {
+    OpenInfo info;
+    std::string h = normalize(raw_head);
+    if (h.empty()) return info;  // bare block
+
+    // Strip leading `template <...>` clauses.
+    while (h.rfind("template", 0) == 0) {
+      const size_t lt = h.find('<');
+      if (lt == std::string::npos) break;
+      int depth = 0;
+      size_t gt = lt;
+      for (; gt < h.size(); ++gt) {
+        if (h[gt] == '<') ++depth;
+        if (h[gt] == '>' && --depth == 0) break;
+      }
+      if (gt >= h.size()) break;
+      h = normalize(h.substr(gt + 1));
+    }
+
+    // Leading storage-class / declaration keywords, then type-introducers.
+    std::stringstream ts(h);
+    std::string tok;
+    while (ts >> tok) {
+      if (tok == "typedef" || tok == "inline" || tok == "static" || tok == "constexpr" ||
+          tok == "friend" || tok == "mutable" || tok == "virtual" || tok == "explicit")
+        continue;
+      break;
+    }
+    if (tok == "namespace" || tok == "extern") {
+      info.kind = ScopeKind::Namespace;
+      return info;
+    }
+    if (tok == "class" || tok == "struct" || tok == "union") {
+      info.kind = ScopeKind::Class;
+      info.struct_like = tok != "class";
+      ts >> info.name;  // first identifier after the keyword
+      return info;
+    }
+    if (tok == "do" || tok == "else" || tok == "try") {
+      info.kind = ScopeKind::Control;
+      return info;
+    }
+
+    // Constructor initializer list: truncate at a top-level single ':'.
+    {
+      int depth = 0;
+      for (size_t i = 0; i < h.size(); ++i) {
+        const char c = h[i];
+        if (c == '(' || c == '[') ++depth;
+        if (c == ')' || c == ']') --depth;
+        if (c == ':' && depth == 0) {
+          const bool dbl = (i + 1 < h.size() && h[i + 1] == ':') || (i > 0 && h[i - 1] == ':');
+          if (!dbl && h.find('(') < i) {
+            h = normalize(h.substr(0, i));
+            break;
+          }
+        }
+      }
+    }
+
+    // Trailing lambda return type: `...) -> T` / `...] -> T`.
+    {
+      const size_t arrow = h.rfind("->");
+      if (arrow != std::string::npos && arrow > 0) {
+        const std::string before = normalize(h.substr(0, arrow));
+        if (!before.empty() && (before.back() == ')' || before.back() == ']'))
+          h = before;
+      }
+    }
+
+    // Trailing qualifiers: const / noexcept / override / final / mutable /
+    // ref-qualifiers / noexcept(...) / BKR_REQUIRES_LOCK(mu).
+    for (;;) {
+      const size_t last = last_significant(h);
+      if (last == std::string::npos) break;
+      if (h[last] == '&') {
+        h = normalize(h.substr(0, last));
+        continue;
+      }
+      if (is_ident(h[last])) {
+        const std::string w = ident_before(h, last + 1);
+        if (w == "const" || w == "noexcept" || w == "override" || w == "final" ||
+            w == "mutable") {
+          h = normalize(h.substr(0, last + 1 - w.size()));
+          continue;
+        }
+        break;
+      }
+      if (h[last] == ')') {
+        const size_t open = match_open_paren(h, last);
+        if (open == std::string::npos) break;
+        const std::string w = ident_before(h, open);
+        if (w == "noexcept") {
+          h = normalize(h.substr(0, open - w.size()));
+          continue;
+        }
+        if (w == "BKR_REQUIRES_LOCK") {
+          info.seeds.push_back(normalize(h.substr(open + 1, last - open - 1)));
+          h = normalize(h.substr(0, open - w.size()));
+          continue;
+        }
+        break;
+      }
+      break;
+    }
+
+    const size_t last = last_significant(h);
+    if (last == std::string::npos) return info;
+    if (h[last] == ']') {
+      info.kind = ScopeKind::Lambda;
+      return info;
+    }
+    if (h[last] != ')') return info;  // brace-init / enum body etc.
+
+    const size_t open = match_open_paren(h, last);
+    if (open == std::string::npos) return info;
+    const std::string before = normalize(h.substr(0, open));
+    if (!before.empty() && before.back() == ']') {
+      info.kind = ScopeKind::Lambda;
+      return info;
+    }
+    std::string name = ident_before(h, open);
+    if (name.empty()) return info;
+    if (name == "if" || name == "for" || name == "while" || name == "switch" ||
+        name == "catch") {
+      info.kind = ScopeKind::Control;
+      return info;
+    }
+    info.kind = ScopeKind::Function;
+    info.name = name;
+    info.head = h;
+    // `Ret Class::name(...)` — the qualifier immediately before the name
+    // (skipping a destructor '~' and template arguments) is the class.
+    size_t b = open;
+    while (b > 0 && std::isspace(static_cast<unsigned char>(h[b - 1])) != 0) --b;
+    b -= name.size();
+    while (b > 0 && std::isspace(static_cast<unsigned char>(h[b - 1])) != 0) --b;
+    if (b > 0 && h[b - 1] == '~') --b;
+    if (b >= 2 && h[b - 1] == ':' && h[b - 2] == ':') {
+      b -= 2;
+      if (b > 0 && h[b - 1] == '>') {  // Class<T>::
+        int depth = 0;
+        while (b-- > 0) {
+          if (h[b] == '>') ++depth;
+          if (h[b] == '<' && --depth == 0) break;
+        }
+      }
+      info.qualifier = ident_before(h, b);
+    }
+    return info;
+  }
+
+  // ---- lock-set bookkeeping ----
+
+  bool holds(const std::string& mu) const {
+    return std::find(held_.begin(), held_.end(), mu) != held_.end();
+  }
+
+  void acquire(std::vector<Scope>& st, const std::string& mu, size_t file, long line) {
+    for (const std::string& h : held_)
+      observed_.push_back(ObservedPair{h, mu, file, line});
+    held_.push_back(mu);
+    st.back().acquired.push_back(mu);
+  }
+
+  void release(std::vector<Scope>& st, const std::string& mu) {
+    const auto it = std::find(held_.begin(), held_.end(), mu);
+    if (it != held_.end()) held_.erase(it);
+    for (size_t si = st.size(); si-- > 0;) {
+      auto& acq = st[si].acquired;
+      const auto a = std::find(acq.begin(), acq.end(), mu);
+      if (a != acq.end()) {
+        acq.erase(a);
+        break;
+      }
+    }
+  }
+
+  // Mutexes named by a guard declaration's argument list.
+  static std::vector<std::string> guard_args(const std::string& args, bool* defer) {
+    std::vector<std::string> mus;
+    *defer = false;
+    int depth = 0;
+    std::string cur;
+    auto flush = [&] {
+      const std::string a = normalize(cur);
+      cur.clear();
+      if (a.empty()) return;
+      if (a.find("defer_lock") != std::string::npos) {
+        *defer = true;
+        return;
+      }
+      if (a.find("adopt_lock") != std::string::npos || a.find("try_to_lock") != std::string::npos)
+        return;
+      const std::string mu = ident_before(a, a.size());
+      if (!mu.empty()) mus.push_back(mu);
+    };
+    for (const char c : args) {
+      if (c == '(' || c == '<' || c == '[') ++depth;
+      if (c == ')' || c == '>' || c == ']') --depth;
+      if (c == ',' && depth == 0) {
+        flush();
+        continue;
+      }
+      cur.push_back(c);
+    }
+    flush();
+    return mus;
+  }
+
+  void handle_guard_decls(std::vector<Scope>& st, const std::string& b,
+                          const std::vector<long>& bl, size_t file) {
+    for (const char* kw : {"lock_guard", "unique_lock", "scoped_lock"}) {
+      const size_t pos = find_token(b, kw);
+      if (pos == std::string::npos) continue;
+      size_t j = pos + std::strlen(kw);
+      while (j < b.size() && std::isspace(static_cast<unsigned char>(b[j])) != 0) ++j;
+      if (j < b.size() && b[j] == '<') {  // template arguments
+        int depth = 0;
+        for (; j < b.size(); ++j) {
+          if (b[j] == '<') ++depth;
+          if (b[j] == '>' && --depth == 0) {
+            ++j;
+            break;
+          }
+        }
+      }
+      while (j < b.size() && std::isspace(static_cast<unsigned char>(b[j])) != 0) ++j;
+      std::string var;
+      while (j < b.size() && is_ident(b[j])) var.push_back(b[j++]);
+      while (j < b.size() && std::isspace(static_cast<unsigned char>(b[j])) != 0) ++j;
+      if (j >= b.size() || b[j] != '(') continue;
+      int depth = 1;
+      const size_t arg_begin = ++j;
+      for (; j < b.size() && depth > 0; ++j) {
+        if (b[j] == '(') ++depth;
+        if (b[j] == ')') --depth;
+      }
+      const std::string args = b.substr(arg_begin, j - 1 - arg_begin);
+      bool defer = false;
+      const std::vector<std::string> mus = guard_args(args, &defer);
+      if (!var.empty()) st.back().guards[var] = mus;
+      if (!defer)
+        for (const std::string& mu : mus) acquire(st, mu, file, bl[pos]);
+    }
+  }
+
+  const std::vector<std::string>* lookup_guard(const std::vector<Scope>& st,
+                                               const std::string& var) const {
+    for (size_t si = st.size(); si-- > 0;) {
+      const auto it = st[si].guards.find(var);
+      if (it != st[si].guards.end()) return &it->second;
+    }
+    return nullptr;
+  }
+
+  void handle_lock_calls(std::vector<Scope>& st, const std::string& b,
+                         const std::vector<long>& bl, size_t file) {
+    for (const char* kw : {"unlock", "lock"}) {
+      for (size_t pos = find_token(b, kw); pos != std::string::npos;
+           pos = find_token(b, kw, pos + 1)) {
+        if (pos == 0 || b[pos - 1] != '.') continue;
+        size_t j = pos + std::strlen(kw);
+        while (j < b.size() && std::isspace(static_cast<unsigned char>(b[j])) != 0) ++j;
+        if (j >= b.size() || b[j] != '(') continue;
+        const std::string obj = ident_before(b, pos - 1);
+        if (obj.empty()) continue;
+        const std::vector<std::string>* mapped = lookup_guard(st, obj);
+        const std::vector<std::string> mus = mapped != nullptr ? *mapped
+                                                               : std::vector<std::string>{obj};
+        if (std::strcmp(kw, "lock") == 0)
+          for (const std::string& mu : mus) acquire(st, mu, file, bl[pos]);
+        else
+          for (const std::string& mu : mus) release(st, mu);
+      }
+    }
+  }
+
+  // ---- candidates / definitions for contract coverage ----
+
+  static bool has_data_plane(const std::string& text) {
+    for (const char* t : kDataPlaneTypes)
+      if (find_token(text, t) != std::string::npos) return true;
+    return false;
+  }
+
+  void maybe_candidate(const std::vector<Scope>& st, const std::string& stmt, size_t file,
+                       long line) {
+    const std::string h = normalize(stmt);
+    if (h.empty() || h.find('(') == std::string::npos) return;
+    if (find_token(h, "operator") != std::string::npos) return;
+    if (ends_with(h, "= 0") || h.find("= delete") != std::string::npos ||
+        h.find("= default") != std::string::npos)
+      return;
+    std::stringstream ts(h);
+    std::string first;
+    ts >> first;
+    if (first == "using" || first == "typedef" || first == "friend" || first == "return" ||
+        first == "static_assert" || first == "#define")
+      return;
+    // The parameter-list '(' is the first one outside template arguments.
+    int angle = 0;
+    size_t open = std::string::npos;
+    for (size_t i = 0; i < h.size(); ++i) {
+      if (h[i] == '<') ++angle;
+      if (h[i] == '>' && angle > 0) --angle;
+      if (h[i] == '(' && angle == 0) {
+        open = i;
+        break;
+      }
+    }
+    if (open == std::string::npos) return;
+    const std::string name = ident_before(h, open);
+    if (name.empty() || is_cxx_keyword(name) || name.rfind("BKR_", 0) == 0) return;
+    if (!has_data_plane(h.substr(open))) return;
+    candidates_.push_back(Candidate{st.back().cls, name, file, line});
+  }
+
+  // ---- the statement/scope walker ----
+
+  void statement(std::vector<Scope>& st, Mode mode, size_t file, const std::string& b,
+                 const std::vector<long>& bl) {
+    if (b.empty() || bl.empty()) return;
+    const SourceFile& f = files_[file];
+    if (mode == Mode::Harvest) {
+      if (st.back().kind != ScopeKind::Class) return;
+      harvest_stmt(st, file, b, bl);
+      return;
+    }
+    if (!st.back().in_function) {
+      // Pure declarations at public class scope / namespace scope of a
+      // header are contract-coverage candidates.
+      const bool decl_scope =
+          (st.back().kind == ScopeKind::Class && st.back().access == 1) ||
+          st.back().kind == ScopeKind::Namespace;
+      if (decl_scope && is_header(f.path) && ends_with(normalize(b), ")"))
+        maybe_candidate(st, b, file, bl.front());
+      return;
+    }
+
+    handle_guard_decls(st, b, bl, file);
+    handle_lock_calls(st, b, bl, file);
+
+    const std::string& cls = st.back().cls;
+    for (const Guarded& g : guarded_) {
+      if (g.cls != cls) continue;
+      const size_t pos = find_token(b, g.member);
+      if (pos != std::string::npos && !holds(g.mu)) add(file, "unguarded-member-access", bl[pos]);
+    }
+    for (const auto& [key, mus] : requires_lock_) {
+      const size_t sep = key.find("::");
+      if (key.substr(0, sep) != cls) continue;
+      const std::string& fn = key.substr(sep + 2);
+      if (fn == st.back().fn_name) continue;  // the function's own body
+      const size_t pos = find_token(b, fn);
+      if (pos == std::string::npos) continue;
+      size_t j = pos + fn.size();
+      while (j < b.size() && std::isspace(static_cast<unsigned char>(b[j])) != 0) ++j;
+      if (j >= b.size() || b[j] != '(') continue;
+      for (const std::string& mu : mus)
+        if (!holds(mu)) add(file, "requires-lock-not-held", bl[pos]);
+    }
+    if (st.back().dispatch) {
+      for (const Confined& cm : confined_) {
+        if (cm.cls != cls) continue;
+        const size_t pos = find_token(b, cm.member);
+        if (pos != std::string::npos) add(file, "confined-member-in-parallel", bl[pos]);
+      }
+      if (determinism_scope(f.path)) {
+        for (const char* tok : {"lanes", "hardware_concurrency", "thread_count_"}) {
+          const size_t pos = find_token(b, tok);
+          if (pos != std::string::npos) add(file, "lane-dependent-body", bl[pos]);
+        }
+      }
+    }
+  }
+
+  void harvest_stmt(std::vector<Scope>& st, size_t file, const std::string& b,
+                    const std::vector<long>& bl) {
+    const std::string& cls = st.back().cls;
+    struct MacroHit {
+      const char* name;
+      size_t pos;
+    };
+    for (const char* m : {"BKR_GUARDED_BY", "BKR_ACQUIRED_BEFORE", "BKR_THREAD_CONFINED",
+                          "BKR_LOCK_FREE", "BKR_REQUIRES_LOCK"}) {
+      const size_t pos = find_token(b, m);
+      if (pos == std::string::npos) continue;
+      const std::string subject = ident_before(b, pos);
+      const std::string arg = macro_arg(b, pos + std::strlen(m));
+      if (std::strcmp(m, "BKR_GUARDED_BY") == 0 && !subject.empty() && !arg.empty()) {
+        guarded_.push_back(Guarded{cls, subject, arg});
+      } else if (std::strcmp(m, "BKR_ACQUIRED_BEFORE") == 0 && !subject.empty() &&
+                 !arg.empty()) {
+        order_.push_back(OrderDecl{subject, arg});
+      } else if (std::strcmp(m, "BKR_THREAD_CONFINED") == 0 && !subject.empty()) {
+        confined_.push_back(Confined{cls, subject});
+      } else if (std::strcmp(m, "BKR_LOCK_FREE") == 0) {
+        if (find_token(b.substr(0, pos), "atomic") == std::string::npos)
+          add(file, "lock-free-not-atomic", bl[pos]);
+      } else if (std::strcmp(m, "BKR_REQUIRES_LOCK") == 0 && !arg.empty()) {
+        // `Ret name(params) BKR_REQUIRES_LOCK(mu);` — the declarator name
+        // is the identifier before the parameter list's '('.
+        const size_t close = b.rfind(')', pos);
+        if (close == std::string::npos) continue;
+        const size_t open = match_open_paren(b, close);
+        if (open == std::string::npos) continue;
+        const std::string fn = ident_before(b, open);
+        if (!fn.empty()) requires_lock_[cls + "::" + fn].push_back(arg);
+      }
+    }
+  }
+
+  void walk_file(size_t file, Mode mode) {
+    const SourceFile& f = files_[file];
+    const std::string& s = f.blanked;
+    std::vector<Scope> st(1);
+    st[0].kind = ScopeKind::Namespace;
+    held_.clear();
+    std::string buf;
+    std::vector<long> bl;
+    int paren = 0;
+    int init_depth = 0;
+    long line = 1;
+    bool line_has_code = false;
+    auto push_char = [&](char c) {
+      buf.push_back(c);
+      bl.push_back(line);
+    };
+    for (size_t i = 0; i < s.size(); ++i) {
+      const char c = s[i];
+      if (c == '\n') {
+        ++line;
+        line_has_code = false;
+        push_char(' ');
+        continue;
+      }
+      if (c == '#' && !line_has_code) {
+        // Preprocessor directive: consume (including continuation lines).
+        while (i < s.size()) {
+          if (s[i] == '\n') {
+            bool cont = false;
+            for (size_t k = i; k-- > 0 && s[k] != '\n';) {
+              if (std::isspace(static_cast<unsigned char>(s[k])) == 0) {
+                cont = s[k] == '\\';
+                break;
+              }
+            }
+            ++line;
+            if (!cont) break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) == 0) line_has_code = true;
+      if (init_depth > 0) {
+        if (c == '{') ++init_depth;
+        if (c == '}') --init_depth;
+        push_char(c);
+        continue;
+      }
+      switch (c) {
+        case '(':
+          ++paren;
+          push_char(c);
+          break;
+        case ')':
+          --paren;
+          push_char(c);
+          break;
+        case ';':
+          if (paren > 0) {
+            push_char(c);
+          } else {
+            statement(st, mode, file, buf, bl);
+            buf.clear();
+            bl.clear();
+          }
+          break;
+        case ':': {
+          // Access specifiers and switch labels terminate without ';'.
+          const bool dbl = (i + 1 < s.size() && s[i + 1] == ':') || (i > 0 && s[i - 1] == ':');
+          if (!dbl && paren == 0) {
+            const std::string t = ident_before(buf, buf.size());
+            const std::string h = normalize(buf);
+            if (t == "public" || t == "private" || t == "protected") {
+              if (st.back().kind == ScopeKind::Class) st.back().access = t == "public" ? 1 : 0;
+              buf.clear();
+              bl.clear();
+              break;
+            }
+            if (t == "default" || h.rfind("case ", 0) == 0 || h == "case") {
+              buf.clear();
+              bl.clear();
+              break;
+            }
+          }
+          push_char(c);
+          break;
+        }
+        case '{': {
+          const OpenInfo info = classify_open(buf);
+          if (info.kind == ScopeKind::Block && !normalize(buf).empty()) {
+            // Brace initializer (or enum body): stay inside the statement.
+            init_depth = 1;
+            push_char(c);
+            break;
+          }
+          Scope sc;
+          sc.kind = info.kind;
+          sc.cls = st.back().cls;
+          sc.access = st.back().access;
+          sc.in_function = st.back().in_function;
+          sc.dispatch = st.back().dispatch;
+          sc.reduction = st.back().reduction;
+          sc.body_start = i + 1;
+          sc.open_line = line;
+          switch (info.kind) {
+            case ScopeKind::Class:
+              sc.cls = info.name;
+              sc.access = info.struct_like ? 1 : 0;
+              sc.in_function = false;
+              sc.dispatch = sc.reduction = false;
+              break;
+            case ScopeKind::Function: {
+              sc.in_function = true;
+              sc.fn_name = info.name;
+              sc.dispatch = sc.reduction = false;
+              if (!info.qualifier.empty()) sc.cls = info.qualifier;
+              if (mode == Mode::Check) {
+                // Inline definitions at public class scope / namespace
+                // scope of a header are coverage candidates too.
+                const bool decl_scope =
+                    (st.back().kind == ScopeKind::Class && st.back().access == 1) ||
+                    st.back().kind == ScopeKind::Namespace;
+                if (decl_scope && is_header(f.path)) maybe_candidate(st, info.head, file, line);
+                std::vector<std::string> seeds = info.seeds;
+                const auto rl = requires_lock_.find(sc.cls + "::" + info.name);
+                if (rl != requires_lock_.end())
+                  seeds.insert(seeds.end(), rl->second.begin(), rl->second.end());
+                for (const std::string& mu : seeds) {
+                  held_.push_back(mu);
+                  sc.acquired.push_back(mu);
+                }
+              }
+              break;
+            }
+            case ScopeKind::Lambda: {
+              sc.in_function = true;
+              sc.saved_buf = buf;
+              sc.saved_buf_lines = bl;
+              sc.saved_paren = paren;
+              if (find_token(buf, "run") != std::string::npos ||
+                  find_token(buf, "parallel_for") != std::string::npos) {
+                sc.dispatch = true;
+                sc.reduction = find_token(buf, "Dot") != std::string::npos ||
+                               find_token(buf, "Norms") != std::string::npos;
+              }
+              paren = 0;
+              break;
+            }
+            case ScopeKind::Control:
+              statement(st, mode, file, buf, bl);
+              break;
+            default:
+              break;
+          }
+          st.push_back(std::move(sc));
+          buf.clear();
+          bl.clear();
+          break;
+        }
+        case '}': {
+          statement(st, mode, file, buf, bl);
+          buf.clear();
+          bl.clear();
+          if (st.size() <= 1) break;  // stray close (unbalanced input)
+          Scope sc = std::move(st.back());
+          st.pop_back();
+          for (const std::string& mu : sc.acquired) {
+            const auto it = std::find(held_.begin(), held_.end(), mu);
+            if (it != held_.end()) held_.erase(it);
+          }
+          if (sc.kind == ScopeKind::Lambda) {
+            if (mode == Mode::Check && sc.dispatch && sc.reduction &&
+                determinism_scope(f.path)) {
+              const std::string body = s.substr(sc.body_start, i - sc.body_start);
+              if (find_token(body, "kReduceChunk") == std::string::npos)
+                add(file, "nonshared-reduce-chunk", sc.open_line);
+            }
+            buf = std::move(sc.saved_buf);
+            bl = std::move(sc.saved_buf_lines);
+            paren = sc.saved_paren;
+          } else if (sc.kind == ScopeKind::Function && mode == Mode::Check) {
+            defs_.emplace(sc.cls + "::" + sc.fn_name,
+                          s.substr(sc.body_start, i - sc.body_start));
+          }
+          break;
+        }
+        default:
+          push_char(c);
+          break;
+      }
+    }
+  }
+
+  // ---- post passes ----
+
+  void check_lock_order() {
+    for (const OrderDecl& d : order_)
+      for (const ObservedPair& p : observed_)
+        if (p.held == d.second && p.acquired == d.first)
+          add(p.file, "lock-order-inversion", p.line);
+  }
+
+  static bool body_has_contract(const std::string& body) {
+    for (const char* t : kContractTokens)
+      if (find_token(body, t) != std::string::npos) return true;
+    return false;
+  }
+
+  void check_coverage() {
+    if (candidates_.empty()) return;
+    // Collapse overloads / re-declarations onto one entry per class::name.
+    std::map<std::string, Candidate> uniq;
+    for (const Candidate& c : candidates_) uniq.emplace(c.cls + "::" + c.name, c);
+    std::map<std::string, bool> covered;
+    for (const auto& [key, c] : uniq) {
+      bool cov = false;
+      const auto range = defs_.equal_range(key);
+      for (auto it = range.first; it != range.second; ++it)
+        cov = cov || body_has_contract(it->second);
+      covered[key] = cov;
+    }
+    // Delegation fixed point: an entry whose definition calls an already
+    // covered entry inherits its checks.
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (const auto& [key, c] : uniq) {
+        if (covered[key]) continue;
+        const auto range = defs_.equal_range(key);
+        for (auto it = range.first; it != range.second && !covered[key]; ++it) {
+          for (const auto& [key2, c2] : uniq) {
+            if (key2 == key || !covered[key2]) continue;
+            const size_t pos = find_token(it->second, c2.name);
+            if (pos == std::string::npos) continue;
+            size_t j = pos + c2.name.size();
+            const std::string& b = it->second;
+            while (j < b.size() && std::isspace(static_cast<unsigned char>(b[j])) != 0) ++j;
+            if (j < b.size() && (b[j] == '(' || b[j] == '<')) {
+              covered[key] = true;
+              changed = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+    size_t total = uniq.size(), cov = 0;
+    for (const auto& [key, c] : covered) cov += c ? 1 : 0;
+    const double coverage = double(cov) / double(total);
+    measured_coverage_ = coverage;
+    if (coverage + 1e-9 < coverage_floor_) {
+      char msg[160];
+      std::snprintf(msg, sizeof(msg),
+                    "public data-plane entry contract coverage %.0f%% (%zu/%zu) below floor %.0f%%",
+                    100.0 * coverage, cov, total, 100.0 * coverage_floor_);
+      findings_.push_back(Finding{"contract-coverage", "src", 0, msg});
+    }
+  }
+
+ public:
+  [[nodiscard]] double measured_coverage() const { return measured_coverage_; }
+
+ private:
+  std::vector<SourceFile> files_;
+  double coverage_floor_;
+  double measured_coverage_ = 0.0;
+  std::vector<Finding> findings_;
+  std::vector<std::vector<Edge>> edges_;
+  std::vector<Guarded> guarded_;
+  std::vector<Confined> confined_;
+  std::vector<OrderDecl> order_;
+  std::vector<ObservedPair> observed_;
+  std::map<std::string, std::vector<std::string>> requires_lock_;  // cls::fn -> mus
+  std::multimap<std::string, std::string> defs_;                   // cls::fn -> body
+  std::vector<Candidate> candidates_;
+  std::vector<std::string> held_;
+};
+
+// The coverage floor baked against the current tree (measured 42/68 = 62%;
+// losing a single covered entry drops to 60%). Raise it as coverage grows,
+// never lower it (override for experiments via --coverage-floor).
+constexpr double kDefaultCoverageFloor = 0.61;
+
+std::vector<Finding> analyze_files(std::vector<SourceFile> files, double floor_value) {
+  Analyzer an(std::move(files), floor_value);
+  return an.run();
+}
+
+bool should_scan(const fs::path& p);
+
+std::vector<Finding> analyze_tree(const fs::path& root, double floor_value) {
+  std::vector<SourceFile> files;
+  const fs::path dir = root / "src";
+  if (fs::exists(dir)) {
+    std::vector<fs::path> paths;
+    for (const auto& entry : fs::recursive_directory_iterator(dir))
+      if (entry.is_regular_file() && should_scan(entry.path())) paths.push_back(entry.path());
+    std::sort(paths.begin(), paths.end());
+    for (const fs::path& p : paths) {
+      std::ifstream in(p, std::ios::binary);
+      std::stringstream ss;
+      ss << in.rdbuf();
+      files.push_back(make_source(fs::relative(p, root).generic_string(), ss.str()));
+    }
+  }
+  return analyze_files(std::move(files), floor_value);
+}
+
+// ---------------------------------------------------------------------------
 // Baseline handling.
 
 std::set<std::string> load_baseline(const std::string& path) {
@@ -477,6 +1492,9 @@ int self_test() {
       {"clean-thread-comment.cpp", "// std::thread is banned here\nint a;\n", nullptr},
       {"clean-thread-allow.cpp",
        "std::thread t([] {});  // bkr-lint: allow(unpooled-thread)\n", nullptr},
+      // .h files are headers too (regression for the short-path skip).
+      {"a.h", "int f();\n", "missing-include-guard"},
+      {"clean-short.h", "#pragma once\nint f();\n", nullptr},
   };
   int failures = 0;
   for (const Case& c : cases) {
@@ -496,11 +1514,197 @@ int self_test() {
       }
     }
   }
+  // Project-model fixtures: each is a miniature multi-file src/ tree with
+  // one planted cross-TU violation (or a near-miss that must stay clean).
+  struct AnalyzeCase {
+    const char* name;
+    std::vector<std::pair<std::string, std::string>> files;
+    const char* expect_rule;  // nullptr = expect clean
+    double floor_value;
+  };
+  const char* kGuardedHeader =
+      "#pragma once\nclass S {\n public:\n  void bump();\n private:\n  std::mutex mu_;\n"
+      "  long count_ BKR_GUARDED_BY(mu_);\n};\n";
+  const char* kConfinedHeader =
+      "#pragma once\nclass THolder {\n public:\n  void tick();\n private:\n"
+      "  long hits_ BKR_THREAD_CONFINED;\n};\n";
+  const char* kCovHeader =
+      "#pragma once\nclass Cov {\n public:\n  void apply(MatrixView<const double> r);\n};\n";
+  const std::vector<AnalyzeCase> pcases = {
+      {"layer-upward",
+       {{"src/la/up.hpp", "#pragma once\n#include \"core/solver.hpp\"\nint f();\n"}},
+       "layer-upward-include", 0.0},
+      {"layer-downward-clean",
+       {{"src/core/down.hpp", "#pragma once\n#include \"la/blas.hpp\"\nint f();\n"}},
+       nullptr, 0.0},
+      {"layer-same-rank-clean",
+       {{"src/parallel/x.hpp", "#pragma once\n#include \"obs/trace.hpp\"\nint f();\n"}},
+       nullptr, 0.0},
+      {"include-cycle",
+       {{"src/la/a.hpp", "#pragma once\n#include \"la/b.hpp\"\n"},
+        {"src/la/b.hpp", "#pragma once\n#include \"la/a.hpp\"\n"}},
+       "include-cycle", 0.0},
+      {"unguarded-member",
+       {{"src/core/s.hpp", kGuardedHeader},
+        {"src/core/s.cpp", "#include \"core/s.hpp\"\nvoid S::bump() { ++count_; }\n"}},
+       "unguarded-member-access", 0.0},
+      {"guarded-clean",
+       {{"src/core/s.hpp", kGuardedHeader},
+        {"src/core/s.cpp",
+         "#include \"core/s.hpp\"\nvoid S::bump() {\n"
+         "  std::lock_guard<std::mutex> lock(mu_);\n  ++count_;\n}\n"}},
+       nullptr, 0.0},
+      {"requires-lock-seed-clean",
+       {{"src/core/s.hpp",
+         "#pragma once\nclass S {\n public:\n  void bump() BKR_REQUIRES_LOCK(mu_);\n"
+         " private:\n  std::mutex mu_;\n  long count_ BKR_GUARDED_BY(mu_);\n};\n"},
+        {"src/core/s.cpp", "#include \"core/s.hpp\"\nvoid S::bump() { ++count_; }\n"}},
+       nullptr, 0.0},
+      {"requires-lock-not-held",
+       {{"src/core/s.hpp",
+         "#pragma once\nclass S {\n public:\n  void bump() BKR_REQUIRES_LOCK(mu_);\n"
+         "  void outer();\n private:\n  std::mutex mu_;\n};\n"},
+        {"src/core/s.cpp", "#include \"core/s.hpp\"\nvoid S::outer() { bump(); }\n"}},
+       "requires-lock-not-held", 0.0},
+      {"unlock-then-access",
+       {{"src/core/s.hpp", kGuardedHeader},
+        {"src/core/s.cpp",
+         "#include \"core/s.hpp\"\nvoid S::bump() {\n"
+         "  std::unique_lock<std::mutex> lk(mu_);\n  ++count_;\n  lk.unlock();\n  ++count_;\n}\n"}},
+       "unguarded-member-access", 0.0},
+      {"lock-order-inversion",
+       {{"src/core/p.hpp",
+         "#pragma once\nclass P {\n public:\n  void work();\n private:\n"
+         "  std::mutex a_ BKR_ACQUIRED_BEFORE(b_);\n  std::mutex b_;\n};\n"},
+        {"src/core/p.cpp",
+         "#include \"core/p.hpp\"\nvoid P::work() {\n  std::lock_guard<std::mutex> l1(b_);\n"
+         "  std::lock_guard<std::mutex> l2(a_);\n}\n"}},
+       "lock-order-inversion", 0.0},
+      {"lock-order-clean",
+       {{"src/core/p.hpp",
+         "#pragma once\nclass P {\n public:\n  void work();\n private:\n"
+         "  std::mutex a_ BKR_ACQUIRED_BEFORE(b_);\n  std::mutex b_;\n};\n"},
+        {"src/core/p.cpp",
+         "#include \"core/p.hpp\"\nvoid P::work() {\n  std::lock_guard<std::mutex> l1(a_);\n"
+         "  std::lock_guard<std::mutex> l2(b_);\n}\n"}},
+       nullptr, 0.0},
+      {"lock-free-not-atomic",
+       {{"src/core/q.hpp", "#pragma once\nclass Q {\n  long n_ BKR_LOCK_FREE;\n};\n"}},
+       "lock-free-not-atomic", 0.0},
+      {"lock-free-atomic-clean",
+       {{"src/core/q.hpp",
+         "#pragma once\nclass Q {\n  std::atomic<long> n_ BKR_LOCK_FREE{0};\n};\n"}},
+       nullptr, 0.0},
+      {"lane-dependent-body",
+       {{"src/parallel/k.cpp",
+         "void f(KernelExecutor* ex) {\n  ex->run(Kernel::Spmv, 8, [&](index_t t) {\n"
+         "    index_t w = ex->lanes() * 2;\n    use(w, t);\n  });\n}\n"}},
+       "lane-dependent-body", 0.0},
+      {"lane-clean",
+       {{"src/parallel/k.cpp",
+         "void f(KernelExecutor* ex) {\n  ex->run(Kernel::Spmv, 8, [&](index_t t) {\n"
+         "    use(t);\n  });\n}\n"}},
+       nullptr, 0.0},
+      {"nonshared-reduce-chunk",
+       {{"src/parallel/r.cpp",
+         "void g(KernelExecutor* ex) {\n  ex->run(Kernel::Dot, 4, [&](index_t c) {\n"
+         "    index_t chunk = 1024;\n    use(chunk, c);\n  });\n}\n"}},
+       "nonshared-reduce-chunk", 0.0},
+      {"reduce-chunk-clean",
+       {{"src/parallel/r.cpp",
+         "void g(KernelExecutor* ex) {\n  ex->run(Kernel::Dot, 4, [&](index_t c) {\n"
+         "    const index_t begin = c * kReduceChunk;\n    use(begin);\n  });\n}\n"}},
+       nullptr, 0.0},
+      {"float-atomic",
+       {{"src/parallel/fa.cpp", "std::atomic<double> sum{0};\n"}},
+       "float-atomic-accumulation", 0.0},
+      {"float-atomic-outside-scope-clean",
+       {{"src/core/fa.cpp", "std::atomic<double> sum{0};\n"}},
+       nullptr, 0.0},
+      {"confined-member-in-parallel",
+       {{"src/core/t.hpp", kConfinedHeader},
+        {"src/core/t.cpp",
+         "#include \"core/t.hpp\"\nvoid THolder::tick() {\n"
+         "  pool.parallel_for(4, [&](index_t i) {\n    ++hits_;\n    use(i);\n  });\n}\n"}},
+       "confined-member-in-parallel", 0.0},
+      {"confined-serial-clean",
+       {{"src/core/t.hpp", kConfinedHeader},
+        {"src/core/t.cpp",
+         "#include \"core/t.hpp\"\nvoid THolder::tick() { ++hits_; }\n"}},
+       nullptr, 0.0},
+      {"contract-coverage-below-floor",
+       {{"src/la/cov.hpp", kCovHeader}},
+       "contract-coverage", 0.9},
+      {"contract-coverage-met",
+       {{"src/la/cov.hpp", kCovHeader},
+        {"src/la/cov.cpp",
+         "#include \"la/cov.hpp\"\nvoid Cov::apply(MatrixView<const double> r) {\n"
+         "  BKR_REQUIRE(r.rows() >= 0, \"rows\");\n}\n"}},
+       nullptr, 0.9},
+      {"contract-coverage-delegation",
+       {{"src/la/cov.hpp",
+         "#pragma once\nclass Cov {\n public:\n  void apply(MatrixView<const double> r);\n"
+         "  void apply_impl(MatrixView<const double> r);\n};\n"},
+        {"src/la/cov.cpp",
+         "#include \"la/cov.hpp\"\nvoid Cov::apply(MatrixView<const double> r) { apply_impl(r); }\n"
+         "void Cov::apply_impl(MatrixView<const double> r) {\n"
+         "  BKR_REQUIRE(r.rows() >= 0, \"rows\");\n}\n"}},
+       nullptr, 0.9},
+  };
+  for (const AnalyzeCase& c : pcases) {
+    std::vector<SourceFile> fv;
+    fv.reserve(c.files.size());
+    for (const auto& [p, content] : c.files) fv.push_back(make_source(p, content));
+    const std::vector<Finding> fnd = analyze_files(std::move(fv), c.floor_value);
+    if (c.expect_rule == nullptr) {
+      if (!fnd.empty()) {
+        std::printf("SELF-TEST FAIL %s: expected clean, got %s at %s:%ld\n", c.name,
+                    fnd[0].rule.c_str(), fnd[0].path.c_str(), fnd[0].line);
+        ++failures;
+      }
+    } else {
+      const bool hit = std::any_of(fnd.begin(), fnd.end(),
+                                   [&](const Finding& f) { return f.rule == c.expect_rule; });
+      if (!hit) {
+        std::printf("SELF-TEST FAIL %s: rule %s not detected\n", c.name, c.expect_rule);
+        ++failures;
+      }
+    }
+  }
   if (failures == 0) {
-    std::printf("bkr-lint self-test: %zu fixtures OK\n", std::size(cases));
+    std::printf("bkr-lint self-test: %zu fixtures OK\n", std::size(cases) + pcases.size());
     return 0;
   }
   return 1;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -510,18 +1714,29 @@ int main(int argc, char** argv) {
   std::string root = ".";
   bool run_self_test = false;
   bool update_baseline = false;
+  bool analyze_only = false;
+  bool json = false;
+  double coverage_floor = kDefaultCoverageFloor;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--self-test") {
       run_self_test = true;
+    } else if (arg == "--analyze") {
+      analyze_only = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--coverage-floor" && i + 1 < argc) {
+      coverage_floor = std::strtod(argv[++i], nullptr);
     } else if (arg == "--baseline" && i + 1 < argc) {
       baseline_path = argv[++i];
     } else if (arg == "--update-baseline" && i + 1 < argc) {
       baseline_path = argv[++i];
       update_baseline = true;
     } else if (arg == "--help") {
-      std::printf("usage: bkr_lint [--self-test] [--baseline FILE | --update-baseline FILE] "
-                  "[ROOT]\n");
+      std::printf("usage: bkr_lint [--self-test] [--analyze] [--json] [--coverage-floor F] "
+                  "[--baseline FILE | --update-baseline FILE] [ROOT]\n"
+                  "  default: per-file rules over src/ bench/ tests/ plus the cross-TU\n"
+                  "  project model over src/; --analyze restricts to the project model.\n");
       return 0;
     } else {
       root = arg;
@@ -529,15 +1744,23 @@ int main(int argc, char** argv) {
   }
   if (run_self_test) return self_test();
 
-  const std::vector<std::string> subdirs = {"src", "bench", "tests"};
-  std::vector<Finding> findings = scan_tree(root, subdirs);
+  std::vector<Finding> findings;
+  if (!analyze_only) {
+    const std::vector<std::string> subdirs = {"src", "bench", "tests"};
+    findings = scan_tree(root, subdirs);
+  }
+  {
+    const std::vector<Finding> project = analyze_tree(root, coverage_floor);
+    findings.insert(findings.end(), project.begin(), project.end());
+  }
+  const char* stage = analyze_only ? "bkr-analyze" : "bkr-lint";
 
   if (update_baseline) {
     std::ofstream out(baseline_path);
     out << "# bkr-lint baseline: rule<TAB>path<TAB>normalized line content.\n"
         << "# Every entry needs a justification comment above it.\n";
     for (const Finding& f : findings) out << baseline_key(f) << "\n";
-    std::printf("bkr-lint: wrote %zu baseline entries to %s\n", findings.size(),
+    std::printf("%s: wrote %zu baseline entries to %s\n", stage, findings.size(),
                 baseline_path.c_str());
     return 0;
   }
@@ -547,13 +1770,21 @@ int main(int argc, char** argv) {
   int unsuppressed = 0;
   for (const Finding& f : findings) {
     if (baseline.count(baseline_key(f)) != 0) continue;
-    std::printf("%s:%ld: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(), f.content.c_str());
+    if (json)
+      std::printf("{\"rule\":\"%s\",\"file\":\"%s\",\"line\":%ld,\"content\":\"%s\"}\n",
+                  json_escape(f.rule).c_str(), json_escape(f.path).c_str(), f.line,
+                  json_escape(f.content).c_str());
+    else
+      std::printf("%s:%ld: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
+                  f.content.c_str());
     ++unsuppressed;
   }
+  // In --json mode the summary goes to stderr so stdout stays pure JSONL.
+  std::FILE* sum = json ? stderr : stdout;
   if (unsuppressed == 0) {
-    std::printf("bkr-lint: clean (%zu finding(s) baselined)\n", findings.size());
+    std::fprintf(sum, "%s: clean (%zu finding(s) baselined)\n", stage, findings.size());
     return 0;
   }
-  std::printf("bkr-lint: %d unsuppressed finding(s)\n", unsuppressed);
+  std::fprintf(sum, "%s: %d unsuppressed finding(s)\n", stage, unsuppressed);
   return 1;
 }
