@@ -30,6 +30,11 @@ else
   ctest --test-dir build-asan --output-on-failure -j 4
 fi
 
+echo "==> chaos smoke: fault-injection sweep under ASan+UBSan"
+# The resilience suites drive every solver through injected faults; running
+# them sanitized proves recovery paths never trade a crash for a leak or UB.
+ctest --test-dir build-asan --output-on-failure -j 4 -R "Resilience|Chaos"
+
 echo "==> bench smoke: kernel trajectory schema + regression gate"
 cmake --build build -j --target bench_kernels bench_check
 ./build/bench/bench_kernels --smoke --out build/BENCH_kernels_smoke.json

@@ -42,6 +42,11 @@ SolverOptions to_cpp(const bkr_options* opts) {
   o.same_system = opts->same_system != 0;
   o.record_history = false;
   if (opts->trace != nullptr) o.trace = &opts->trace->t;
+  if (opts->no_recovery != 0) {
+    o.recovery.block_recovery = false;
+    o.recovery.shrink_recycle = false;
+    o.recovery.early_restart = false;
+  }
   return o;
 }
 
@@ -54,6 +59,18 @@ void to_c(const SolveStats& st, bkr_result* result) {
   result->operator_applies = st.operator_applies;
   result->precond_applies = st.precond_applies;
   result->seconds = st.seconds;
+  result->status = static_cast<bkr_status>(st.status);
+  result->recoveries = st.recoveries;
+}
+
+/* A hard failure escaped the solver (throw_on_failure, or a breakdown that
+ * crossed the persistent-handle boundary): report its specific status. */
+int hard_failure(const bkr::BreakdownError& e, bkr_result* result) {
+  if (result != nullptr) {
+    result->converged = 0;
+    result->status = static_cast<bkr_status>(e.status());
+  }
+  return 3;
 }
 
 template <class T>
@@ -98,6 +115,7 @@ void bkr_options_default(bkr_options* opts) {
   opts->strategy = BKR_STRATEGY_B;
   opts->same_system = 0;
   opts->trace = nullptr;
+  opts->no_recovery = 0;
 }
 
 bkr_trace* bkr_trace_create(void) { return new bkr_trace{}; }
@@ -178,6 +196,8 @@ int bkr_gcrodr_solve(bkr_gcrodr* solver, const bkr_matrix* a, const double* b, d
     const auto st = solver->s->solve(op, nullptr, MatrixView<const double>(b, n, 1, n),
                                      MatrixView<double>(x, n, 1, n), nullptr, new_matrix != 0);
     to_c(st, result);
+  } catch (const bkr::BreakdownError& e) {
+    return hard_failure(e, result);
   } catch (const std::exception&) {
     return 2;
   }
@@ -234,6 +254,8 @@ int bkr_zgcrodr_solve(bkr_zgcrodr* solver, const bkr_zmatrix* a, const double* b
         op, nullptr, MatrixView<const cd>(reinterpret_cast<const cd*>(b_interleaved), n, 1, n),
         MatrixView<cd>(reinterpret_cast<cd*>(x_interleaved), n, 1, n), nullptr, new_matrix != 0);
     to_c(st, result);
+  } catch (const bkr::BreakdownError& e) {
+    return hard_failure(e, result);
   } catch (const std::exception&) {
     return 2;
   }

@@ -37,6 +37,24 @@ typedef enum bkr_strategy {
   BKR_STRATEGY_B = 1, /* eq. 3b */
 } bkr_strategy;
 
+/* Termination taxonomy, mirroring the C++ SolveStatus (core/solver.hpp).
+ * `converged` in bkr_result stays the primary success flag; the status
+ * refines every non-converged exit into a diagnosable cause. */
+typedef enum bkr_status {
+  BKR_STATUS_CONVERGED = 0,              /* residual target met */
+  BKR_STATUS_MAX_ITERATIONS = 1,         /* iteration budget exhausted */
+  BKR_STATUS_STAGNATED = 2,              /* no progress possible (null update /
+                                          * exhausted space) */
+  BKR_STATUS_BREAKDOWN = 3,              /* structural breakdown (singular block
+                                          * pivot, rank collapse) */
+  BKR_STATUS_NON_FINITE_RESIDUAL = 4,    /* NaN/Inf entered the recurrence */
+  BKR_STATUS_PRECONDITIONER_FAILURE = 5, /* preconditioner apply failed */
+  BKR_STATUS_EIG_SOLVE_FAILURE = 6,      /* deflation eigensolve failed and
+                                          * recovery was disabled */
+  BKR_STATUS_FAULTED = 7,                /* external fault (injected or
+                                          * operator-side) */
+} bkr_status;
+
 typedef struct bkr_options {
   int64_t restart;        /* m  (default 30) */
   int64_t recycle;        /* k  (GCRO-DR only; default 10) */
@@ -48,6 +66,10 @@ typedef struct bkr_options {
   bkr_trace* trace;       /* optional telemetry sink, not owned (default NULL).
                            * For the persistent GCRO-DR handles the sink is
                            * captured at create time. */
+  int no_recovery;        /* nonzero: disable the recovery-escalation ladder
+                           * (orthogonalization repair, recycle shrinking,
+                           * early restart); failures then surface directly
+                           * as their bkr_status (default 0) */
 } bkr_options;
 
 typedef struct bkr_result {
@@ -58,6 +80,8 @@ typedef struct bkr_result {
   int64_t operator_applies; /* SpMM count (blocks) */
   int64_t precond_applies;  /* M^{-1} block applications */
   double seconds;
+  bkr_status status;        /* refined termination cause */
+  int64_t recoveries;       /* escalation-ladder actions taken during the solve */
 } bkr_result;
 
 /* Fill `opts` with the library defaults. */
@@ -106,7 +130,12 @@ int bkr_gmres(const bkr_matrix* a, const double* b, double* x, const bkr_options
 
 /* Persistent GCRO-DR: the recycled subspace lives in the handle across
  * calls, as in the paper's sequence API (eq. 1). `new_matrix` marks
- * A_i != A_{i-1}. */
+ * A_i != A_{i-1}.
+ *
+ * Solve return codes: 0 = the solve ran (inspect result->converged and
+ * result->status for the outcome), 1 = invalid input, 2 = internal error,
+ * 3 = hard solver failure (breakdown family) — result->status carries the
+ * specific bkr_status. */
 bkr_gcrodr* bkr_gcrodr_create(const bkr_options* opts);
 void bkr_gcrodr_destroy(bkr_gcrodr* solver);
 int bkr_gcrodr_solve(bkr_gcrodr* solver, const bkr_matrix* a, const double* b, double* x,

@@ -1,22 +1,20 @@
 #include "core/block_cg.hpp"
 
-#include "common/timer.hpp"
 #include "core/krylov_detail.hpp"
 #include "la/factor.hpp"
 
 namespace bkr {
 
+namespace {
+
 template <class T>
-SolveStats block_cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const T> b,
-                    MatrixView<T> x, const SolverOptions& opts, CommModel* comm) {
+void block_cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const T> b,
+                   MatrixView<T> x, const SolverOptions& opts, CommModel* comm, SolveStats& st) {
   using Real = real_t<T>;
-  detail::check_solve_entry<T>(a, m, b, x, opts);
-  Timer timer;
-  SolveStats st;
   const index_t n = a.n(), p = b.cols();
   obs::TraceSink* const trace = opts.trace;
   const KernelExecutor* const ex = opts.exec;
-  if (trace != nullptr) trace->begin_solve("block_cg", n, p);
+  detail::Resilience<T> rz{opts.recovery, opts.fault};
 
   std::vector<Real> bnorm(static_cast<size_t>(p)), rnorm(static_cast<size_t>(p));
   detail::norms<T>(b, bnorm.data(), st, comm, trace, ex);
@@ -30,6 +28,7 @@ SolveStats block_cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView
     obs::ScopedPhase sp(trace, obs::Phase::Spmm);
     a.apply(MatrixView<const T>(x.data(), n, p, x.ld()), r.view());
     ++st.operator_applies;
+    detail::fault_hook(&rz, resilience::FaultSite::OperatorApply, r.view());
   }
   for (index_t c = 0; c < p; ++c)
     for (index_t i = 0; i < n; ++i) r(i, c) = b(i, c) - r(i, c);
@@ -37,12 +36,17 @@ SolveStats block_cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView
   if (opts.record_history)
     for (index_t c = 0; c < p; ++c)
       st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
+  if (!detail::finite_norms(bnorm.data(), p) || !detail::finite_norms(rnorm.data(), p)) {
+    st.status = SolveStatus::NonFiniteResidual;
+    return;
+  }
 
   auto precondition = [&](MatrixView<const T> in, MatrixView<T> out) {
     if (m != nullptr) {
       obs::ScopedPhase sp(trace, obs::Phase::Precond);
       m->apply(in, out);
       ++st.precond_applies;
+      detail::fault_hook(&rz, resilience::FaultSite::PrecondApply, out);
     } else {
       copy_into<T>(in, out);
     }
@@ -69,6 +73,7 @@ SolveStats block_cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView
       obs::ScopedPhase sp(trace, obs::Phase::Spmm);
       a.apply(MatrixView<const T>(pdir.data(), n, p, pdir.ld()), q.view());
       ++st.operator_applies;
+      detail::fault_hook(&rz, resilience::FaultSite::OperatorApply, q.view());
     }
     // alpha solves (P^H Q) alpha = rho; fused with the residual norms.
     DenseMatrix<T> pq(p, p);
@@ -82,7 +87,12 @@ SolveStats block_cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView
       }
     }
     DenseLU<T> lu(copy_of(pq));
-    if (lu.singular()) break;  // exact block breakdown: restart semantics not needed for SPD
+    if (lu.singular()) {
+      // Exact block breakdown (rank-collapsed direction block, e.g. a zero
+      // or duplicated RHS column): restart semantics not needed for SPD.
+      st.status = SolveStatus::Breakdown;
+      break;
+    }
     {
       obs::ScopedPhase sp(trace, obs::Phase::SmallDense);
       DenseMatrix<T> alpha = copy_of(rho);
@@ -109,6 +119,10 @@ SolveStats block_cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView
         ev.residuals[size_t(c)] = rnorm[size_t(c)] / bnorm[size_t(c)];
       trace->iteration(ev);
     }
+    if (!detail::finite_norms(rnorm.data(), p)) {
+      st.status = SolveStatus::NonFiniteResidual;
+      break;
+    }
     if (converged()) break;
     precondition(r.view(), z.view());
     {
@@ -125,7 +139,10 @@ SolveStats block_cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView
         for (index_t i = 0; i < p; ++i) rt(i, j) = conj(rho(j, i));
       return rt;
     }());
-    if (lurho.singular()) break;
+    if (lurho.singular()) {
+      st.status = SolveStatus::Breakdown;
+      break;
+    }
     DenseMatrix<T> beta = copy_of(rho_new);
     lurho.solve(beta.view());
     // P = Z + P beta.
@@ -134,10 +151,38 @@ SolveStats block_cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView
     pdir = std::move(pnext);
     rho = rho_new;
   }
-  st.converged = converged();
-  st.seconds = timer.seconds();
-  if (trace != nullptr) trace->end_solve(st.converged, st.iterations, st.cycles, st.seconds);
-  return st;
+  st.converged = detail::finite_norms(rnorm.data(), p) && converged();
+  if (st.converged && (opts.fault != nullptr || opts.recovery.final_check)) {
+    // Like CG, the block recursion can be lied to by a faulted operator:
+    // confirm against the true residual before reporting success.
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::Spmm);
+      a.apply(MatrixView<const T>(x.data(), n, p, x.ld()), q.view());
+      ++st.operator_applies;
+    }
+    for (index_t c = 0; c < p; ++c)
+      for (index_t i = 0; i < n; ++i) q(i, c) = b(i, c) - q(i, c);
+    detail::norms<T>(MatrixView<const T>(q.data(), n, p, q.ld()), rnorm.data(), st, comm, trace,
+                     ex);
+    for (index_t c = 0; c < p; ++c) {
+      if (rnorm[size_t(c)] <= Real(10) * opts.tol * bnorm[size_t(c)]) continue;
+      st.converged = false;
+      st.status = detail::finite_norms(&rnorm[size_t(c)], 1) ? SolveStatus::Faulted
+                                                             : SolveStatus::NonFiniteResidual;
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+template <class T>
+SolveStats block_cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const T> b,
+                    MatrixView<T> x, const SolverOptions& opts, CommModel* comm) {
+  detail::check_solve_entry<T>(a, m, b, x, opts);
+  return detail::run_solver("block_cg", a.n(), b.cols(), opts, [&](SolveStats& st) {
+    block_cg_body<T>(a, m, b, x, opts, comm, st);
+  });
 }
 
 template SolveStats block_cg<double>(const LinearOperator<double>&, Preconditioner<double>*,

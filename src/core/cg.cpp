@@ -1,23 +1,22 @@
 #include "core/cg.hpp"
 
 #include <algorithm>
+#include <cmath>
 
-#include "common/timer.hpp"
 #include "core/krylov_detail.hpp"
 
 namespace bkr {
 
+namespace {
+
 template <class T>
-SolveStats cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const T> b,
-              MatrixView<T> x, const SolverOptions& opts, CommModel* comm) {
+void cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const T> b,
+             MatrixView<T> x, const SolverOptions& opts, CommModel* comm, SolveStats& st) {
   using Real = real_t<T>;
-  detail::check_solve_entry<T>(a, m, b, x, opts);
-  Timer timer;
-  SolveStats st;
   const index_t n = a.n(), p = b.cols();
   obs::TraceSink* const trace = opts.trace;
   const KernelExecutor* const ex = opts.exec;
-  if (trace != nullptr) trace->begin_solve("cg", n, p);
+  detail::Resilience<T> rz{opts.recovery, opts.fault};
 
   std::vector<Real> bnorm(static_cast<size_t>(p)), rnorm(static_cast<size_t>(p));
   detail::norms<T>(b, bnorm.data(), st, comm, trace, ex);
@@ -32,6 +31,7 @@ SolveStats cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const
     obs::ScopedPhase sp(trace, obs::Phase::Spmm);
     a.apply(MatrixView<const T>(x.data(), n, p, x.ld()), r.view());
     ++st.operator_applies;
+    detail::fault_hook(&rz, resilience::FaultSite::OperatorApply, r.view());
   }
   for (index_t c = 0; c < p; ++c)
     for (index_t i = 0; i < n; ++i) r(i, c) = b(i, c) - r(i, c);
@@ -39,12 +39,17 @@ SolveStats cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const
   if (opts.record_history)
     for (index_t c = 0; c < p; ++c)
       st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
+  if (!detail::finite_norms(bnorm.data(), p) || !detail::finite_norms(rnorm.data(), p)) {
+    st.status = SolveStatus::NonFiniteResidual;
+    return;
+  }
 
   auto precondition = [&](MatrixView<const T> in, MatrixView<T> out) {
     if (m != nullptr) {
       obs::ScopedPhase sp(trace, obs::Phase::Precond);
       m->apply(in, out);
       ++st.precond_applies;
+      detail::fault_hook(&rz, resilience::FaultSite::PrecondApply, out);
     } else {
       copy_into<T>(in, out);
     }
@@ -64,12 +69,22 @@ SolveStats cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const
       if (rnorm[size_t(c)] > opts.tol * bnorm[size_t(c)]) return false;
     return true;
   };
+  // A lane whose search direction exposed an indefinite or non-finite
+  // curvature is frozen: it can make no further progress and would
+  // otherwise loop to max_iterations.
+  std::vector<char> lane_dead(static_cast<size_t>(p), 0);
+  auto live_work = [&] {
+    for (index_t c = 0; c < p; ++c)
+      if (lane_dead[size_t(c)] == 0 && rnorm[size_t(c)] > opts.tol * bnorm[size_t(c)]) return true;
+    return false;
+  };
 
-  while (!converged() && st.iterations < opts.max_iterations) {
+  while (live_work() && st.iterations < opts.max_iterations) {
     {
       obs::ScopedPhase sp(trace, obs::Phase::Spmm);
       a.apply(MatrixView<const T>(d.data(), n, p, d.ld()), q.view());
       ++st.operator_applies;
+      detail::fault_hook(&rz, resilience::FaultSite::OperatorApply, q.view());
     }
     // Fused alpha = rho / (d, q) and (later) residual norms: two global
     // reductions, counted by the scope. The interleaved axpy updates ride
@@ -82,7 +97,16 @@ SolveStats cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const
         comm->reduction(p * 8);
       }
       for (index_t c = 0; c < p; ++c) {
+        if (lane_dead[size_t(c)] != 0) continue;
         const T dq = dot<T>(n, d.col(c), q.col(c), ex);
+        const Real dqr = real_part(dq);
+        if (!std::isfinite(static_cast<double>(dqr)) || dqr < Real(0)) {
+          // Indefinite operator (negative curvature) or numerical poison.
+          lane_dead[size_t(c)] = 1;
+          st.status = std::isfinite(static_cast<double>(dqr)) ? SolveStatus::Breakdown
+                                                              : SolveStatus::NonFiniteResidual;
+          continue;
+        }
         if (dq == T(0)) continue;  // converged/breakdown lane
         const T alpha = rho[size_t(c)] / dq;
         axpy<T>(n, alpha, d.col(c), x.col(c));
@@ -106,6 +130,10 @@ SolveStats cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const
         ev.residuals[size_t(c)] = rnorm[size_t(c)] / bnorm[size_t(c)];
       trace->iteration(ev);
     }
+    if (!detail::finite_norms(rnorm.data(), p)) {
+      st.status = SolveStatus::NonFiniteResidual;
+      break;
+    }
     if (converged()) break;
     precondition(r.view(), z.view());
     std::swap(rho, rho_old);
@@ -120,10 +148,38 @@ SolveStats cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const
       for (index_t i = 0; i < n; ++i) d(i, c) = z(i, c) + beta * d(i, c);
     }
   }
-  st.converged = converged();
-  st.seconds = timer.seconds();
-  if (trace != nullptr) trace->end_solve(st.converged, st.iterations, st.cycles, st.seconds);
-  return st;
+  st.converged = detail::finite_norms(rnorm.data(), p) && converged();
+  if (st.converged && (opts.fault != nullptr || opts.recovery.final_check)) {
+    // The CG recursion can be lied to by a faulted operator: the recursive
+    // residual drifts away from b - A x. Confirm against the true residual
+    // before reporting success.
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::Spmm);
+      a.apply(MatrixView<const T>(x.data(), n, p, x.ld()), q.view());
+      ++st.operator_applies;
+    }
+    for (index_t c = 0; c < p; ++c)
+      for (index_t i = 0; i < n; ++i) q(i, c) = b(i, c) - q(i, c);
+    detail::norms<T>(MatrixView<const T>(q.data(), n, p, q.ld()), rnorm.data(), st, comm, trace,
+                     ex);
+    for (index_t c = 0; c < p; ++c) {
+      if (rnorm[size_t(c)] <= Real(10) * opts.tol * bnorm[size_t(c)]) continue;
+      st.converged = false;
+      st.status = detail::finite_norms(&rnorm[size_t(c)], 1) ? SolveStatus::Faulted
+                                                             : SolveStatus::NonFiniteResidual;
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+template <class T>
+SolveStats cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const T> b,
+              MatrixView<T> x, const SolverOptions& opts, CommModel* comm) {
+  detail::check_solve_entry<T>(a, m, b, x, opts);
+  return detail::run_solver("cg", a.n(), b.cols(), opts,
+                            [&](SolveStats& st) { cg_body<T>(a, m, b, x, opts, comm, st); });
 }
 
 template SolveStats cg<double>(const LinearOperator<double>&, Preconditioner<double>*,

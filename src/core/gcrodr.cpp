@@ -1,24 +1,15 @@
 #include "core/gcrodr.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
-#include "common/timer.hpp"
 #include "core/krylov_detail.hpp"
 #include "la/eig.hpp"
 
 namespace bkr {
 
 namespace {
-
-template <class T>
-index_t usable_columns(const IncrementalQR<T>& qr, index_t s) {
-  real_t<T> dmax(0);
-  for (index_t c = 0; c < s; ++c) dmax = std::max(dmax, abs_val(qr.r(c, c)));
-  for (index_t c = 0; c < s; ++c)
-    if (abs_val(qr.r(c, c)) <= real_t<T>(1e-14) * std::max(dmax, real_t<T>(1e-300))) return c;
-  return s;
-}
 
 // One (block) Arnoldi cycle, optionally on the projected operator
 // (I - C C^H) op. Collects the raw block Hessenberg (hbar), its
@@ -34,12 +25,13 @@ struct ArnoldiCycle {
   IncrementalQR<T> qr{1, 1};
   index_t steps = 0;
   bool hit_tolerance = false;
+  bool fatal = false;  // a residual estimate went non-finite mid-cycle
 
   // Returns the usable Krylov dimension (0 on immediate breakdown).
   index_t run(const LinearOperator<T>& a, Preconditioner<T>* m, PrecondSide side,
               MatrixView<const T> r0, MatrixView<const T> c, index_t max_steps,
               const SolverOptions& opts, const std::vector<real_t<T>>& bnorm, SolveStats& st,
-              CommModel* comm, obs::TraceSink* trace) {
+              CommModel* comm, obs::TraceSink* trace, detail::Resilience<T>* rz) {
     using Real = real_t<T>;
     const KernelExecutor* const ex = opts.exec;
     const index_t n = r0.rows(), p = r0.cols();
@@ -52,6 +44,7 @@ struct ArnoldiCycle {
     qr = IncrementalQR<T>((max_steps + 1) * p, max_steps * p);
     steps = 0;
     hit_tolerance = false;
+    fatal = false;
 
     DenseMatrix<T> ztmp(n, p), w(n, p);
     DenseMatrix<T> hcol((max_steps + 2) * p, p);
@@ -59,18 +52,26 @@ struct ArnoldiCycle {
 
     copy_into<T>(r0, v.block(0, 0, n, p));
     // Rank-deficient residual blocks are tolerated here: breakdown is
-    // detected per-column through usable_columns further down the cycle.
+    // detected per-column through usable_columns further down the cycle
+    // (or repaired by the recovery ladder when it is enabled).
+    rz->prior = MatrixView<const T>();
+    rz->iteration = st.iterations;
     detail::qr_block<T>(v.block(0, 0, n, p), sblock.view(),  // bkr-lint: allow(unchecked-factor)
-                        st, comm, trace, ex);
+                        st, comm, trace, ex, rz);
     ghat.set_zero();
     for (index_t cc = 0; cc < p; ++cc)
       for (index_t rr = 0; rr <= cc; ++rr) ghat(rr, cc) = sblock(rr, cc);
 
+    // Stagnation-triggered early restart: within a cycle the worst-column
+    // estimate is monotone non-increasing, so a long flat run means the
+    // space is wedged and restarting from the true residual is cheaper.
+    Real stag_best = std::numeric_limits<Real>::infinity();
+    index_t stag_count = 0;
     index_t j = 0;
     while (j < max_steps && st.iterations < opts.max_iterations) {
       const auto vj = MatrixView<const T>(v.col(j * p), n, p, v.ld());
       MatrixView<T> zj = (side == PrecondSide::Flexible) ? z.block(0, j * p, n, p) : ztmp.view();
-      detail::apply_preconditioned<T>(a, m, side, vj, zj, w.view(), st, trace);
+      detail::apply_preconditioned<T>(a, m, side, vj, zj, w.view(), st, trace, rz);
       if (kp > 0) {
         // Project against the recycled space: E_j = C^H w, w -= C E_j
         // (one additional reduction per iteration — the 2(m-k) vs m count
@@ -86,7 +87,9 @@ struct ArnoldiCycle {
                          trace, ex);
       auto vnext = v.block(0, (j + 1) * p, n, p);
       copy_into<T>(w.view(), vnext);
-      const bool full_rank = detail::qr_block<T>(vnext, sblock.view(), st, comm, trace, ex);
+      rz->prior = MatrixView<const T>(v.data(), n, (j + 1) * p, v.ld());
+      rz->iteration = st.iterations;
+      const bool full_rank = detail::qr_block<T>(vnext, sblock.view(), st, comm, trace, ex, rz);
       for (index_t cc = 0; cc < p; ++cc)
         for (index_t rr = 0; rr <= cc; ++rr) hcol((j + 1) * p + rr, cc) = sblock(rr, cc);
       // Commit the Hessenberg columns even on a (happy) breakdown — the
@@ -103,10 +106,13 @@ struct ArnoldiCycle {
       ++j;
       ++st.iterations;
       bool all_small = true;
+      Real worst(0);
       std::vector<double> relres(static_cast<size_t>(p));
       for (index_t cc = 0; cc < p; ++cc) {
         const Real est = norm2<T>(p, &ghat(j * p, cc));
         relres[size_t(cc)] = est / bnorm[size_t(cc)];
+        worst = std::max(worst, est / bnorm[size_t(cc)]);
+        if (!std::isfinite(static_cast<double>(est))) fatal = true;
         if (opts.record_history) st.history[size_t(cc)].push_back(est / bnorm[size_t(cc)]);
         if (est > opts.tol * bnorm[size_t(cc)]) {
           all_small = false;
@@ -123,14 +129,24 @@ struct ArnoldiCycle {
         trace->iteration(ev);
       }
       steps = j;
+      if (fatal) break;
       if (all_small) {
         hit_tolerance = true;
         break;
       }
       if (!full_rank) break;
+      if (worst < stag_best * (Real(1) - Real(1e-12))) {
+        stag_best = worst;
+        stag_count = 0;
+      } else if (opts.recovery.early_restart && ++stag_count >= opts.recovery.stagnation_window) {
+        ++st.recoveries;
+        if (trace != nullptr)
+          trace->recovery(obs::RecoveryEvent{st.iterations, "cycle", "early-restart", 0});
+        break;
+      }
     }
     steps = j;
-    return usable_columns(qr, steps * p);
+    return detail::usable_columns(qr, steps * p);
   }
 
   // Least-squares solution Y over the first s Krylov columns.
@@ -174,17 +190,9 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
                             bool new_matrix) {
   using Real = real_t<T>;
   detail::check_solve_entry<T>(a, m, b, x, opts_);
-  Timer timer;
-  SolveStats st;
   const index_t n = a.n(), p = b.cols();
   obs::TraceSink* const trace = opts_.trace;
   const KernelExecutor* const ex = opts_.exec;
-  if (trace != nullptr) trace->begin_solve("gcrodr", n, p);
-  // Several early returns share the closing bookkeeping.
-  auto finish = [&] {
-    st.seconds = timer.seconds();
-    if (trace != nullptr) trace->end_solve(st.converged, st.iterations, st.cycles, st.seconds);
-  };
   PrecondSide side = (m == nullptr) ? PrecondSide::None : opts_.side;
   if (side == PrecondSide::Right && m != nullptr && m->is_variable()) side = PrecondSide::Flexible;
   const index_t mdim = opts_.restart;
@@ -193,6 +201,9 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
   const index_t kp = k * p;
   const bool matrix_changed = (solves_ == 0) || (new_matrix && !opts_.same_system);
   ++solves_;
+
+  return detail::run_solver("gcrodr", n, p, opts_, [&](SolveStats& st) {
+  detail::Resilience<T> rz{opts_.recovery, opts_.fault};
 
   std::vector<Real> bnorm(static_cast<size_t>(p)), rnorm(static_cast<size_t>(p));
   DenseMatrix<T> scratch;
@@ -213,11 +224,15 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
   st.per_rhs_iterations.assign(size_t(p), 0);
 
   DenseMatrix<T> r(n, p);
-  detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace);
+  detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace, &rz);
   detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
   if (opts_.record_history)
     for (index_t c = 0; c < p; ++c)
       st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
+  if (!detail::finite_norms(bnorm.data(), p) || !detail::finite_norms(rnorm.data(), p)) {
+    st.status = SolveStatus::NonFiniteResidual;
+    return;
+  }
   auto converged = [&] {
     for (index_t c = 0; c < p; ++c)
       if (rnorm[size_t(c)] > opts_.tol * bnorm[size_t(c)]) return false;
@@ -225,8 +240,7 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
   };
   if (converged()) {
     st.converged = true;
-    finish();
-    return st;
+    return;
   }
 
   DenseMatrix<T> ztmp(n, p);
@@ -241,24 +255,29 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
         obs::ScopedPhase sp(trace, obs::Phase::Precond);
         m->apply(in, tmp.view());
         ++st.precond_applies;
+        detail::fault_hook(&rz, resilience::FaultSite::PrecondApply, tmp.view());
       }
       obs::ScopedPhase sp(trace, obs::Phase::Spmm);
       a.apply(tmp.view(), out);
       ++st.operator_applies;
+      detail::fault_hook(&rz, resilience::FaultSite::OperatorApply, out);
     } else if (side == PrecondSide::Left) {
       DenseMatrix<T> tmp(n, in.cols());
       {
         obs::ScopedPhase sp(trace, obs::Phase::Spmm);
         a.apply(in, tmp.view());
         ++st.operator_applies;
+        detail::fault_hook(&rz, resilience::FaultSite::OperatorApply, tmp.view());
       }
       obs::ScopedPhase sp(trace, obs::Phase::Precond);
       m->apply(tmp.view(), out);
       ++st.precond_applies;
+      detail::fault_hook(&rz, resilience::FaultSite::PrecondApply, out);
     } else {  // None, Flexible: U lives in solution space, apply A directly
       obs::ScopedPhase sp(trace, obs::Phase::Spmm);
       a.apply(in, out);
       ++st.operator_applies;
+      detail::fault_hook(&rz, resilience::FaultSite::OperatorApply, out);
     }
   };
   // Add a solution update that lives in Krylov space (Right needs one
@@ -269,6 +288,7 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
         obs::ScopedPhase sp(trace, obs::Phase::Precond);
         m->apply(t, ztmp.view());
         ++st.precond_applies;
+        detail::fault_hook(&rz, resilience::FaultSite::PrecondApply, ztmp.view());
       }
       for (index_t c = 0; c < p; ++c) axpy<T>(n, T(1), ztmp.col(c), x.col(c));
     } else {
@@ -300,10 +320,13 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
     add_update(t.view());
     gemm<T>(Trans::N, Trans::N, T(-1), c_.view(), y0.view(), T(1), r.view(), ex);
     detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
+    if (!detail::finite_norms(rnorm.data(), p)) {
+      st.status = SolveStatus::NonFiniteResidual;
+      return;
+    }
     if (converged()) {
       st.converged = true;
-      finish();
-      return st;
+      return;
     }
   } else {
     // First cycle of the sequence: m steps of plain (block) GMRES
@@ -311,10 +334,16 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
     ++st.cycles;
     const index_t s =
         cycle.run(a, m, side, r.view(), MatrixView<const T>(nullptr, 0, 0, 0), mdim, opts_, bnorm,
-                  st, comm, trace);
+                  st, comm, trace, &rz);
+    if (cycle.fatal) {
+      // The least squares over a poisoned Hessenberg would corrupt x;
+      // leave the iterate as it was.
+      st.status = SolveStatus::NonFiniteResidual;
+      return;
+    }
     if (s == 0) {
-      finish();
-      return st;  // complete stagnation
+      st.status = SolveStatus::Stagnated;
+      return;  // complete stagnation
     }
     const DenseMatrix<T> y = cycle.least_squares(s, p);
     DenseMatrix<T> t(n, p);
@@ -327,12 +356,19 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
       DenseMatrix<T> pk;
       try {
         pk = first_cycle_deflation_vectors<T>(cycle, s, k_eff);
-      } catch (const std::runtime_error&) {
+      } catch (const EigFailure&) {
         // Harmonic Ritz extraction failed (QR iteration non-convergence
         // or a singular pencil): seed the recycle space with the leading
-        // Krylov directions instead of aborting the solve.
+        // Krylov directions instead of aborting the solve — unless the
+        // policy demands a hard failure.
+        if (!opts_.recovery.shrink_recycle)
+          throw BreakdownError(SolveStatus::EigSolveFailure,
+                               "gcrodr: harmonic Ritz extraction failed");
         pk.resize(s, k_eff);
         for (index_t j = 0; j < k_eff; ++j) pk(j, j) = T(1);
+        ++st.recoveries;
+        if (trace != nullptr)
+          trace->recovery(obs::RecoveryEvent{st.iterations, "deflation", "identity-pk", k_eff});
       }
       // [Q, R] = qr(Hbar * Pk); C = V_{m+1} Q; U = basis * Pk * R^{-1}.
       DenseMatrix<T> hp((cycle.steps + 1) * p, k_eff);
@@ -351,12 +387,15 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
       trsm_right_upper<T>(rq.view(), u_.view(), ex);
     }
     // Recompute the true residual for the EPS test (line 15).
-    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace);
+    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace, &rz);
     detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
+    if (!detail::finite_norms(rnorm.data(), p)) {
+      st.status = SolveStatus::NonFiniteResidual;
+      return;
+    }
     if (converged()) {
       st.converged = true;
-      finish();
-      return st;
+      return;
     }
   }
 
@@ -375,8 +414,15 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
     }
 
     const index_t s =
-        cycle.run(a, m, side, r.view(), c_.view(), inner, opts_, bnorm, st, comm, trace);
-    if (s == 0 && !cycle.hit_tolerance) break;  // stagnation
+        cycle.run(a, m, side, r.view(), c_.view(), inner, opts_, bnorm, st, comm, trace, &rz);
+    if (cycle.fatal) {
+      st.status = SolveStatus::NonFiniteResidual;
+      break;
+    }
+    if (s == 0 && !cycle.hit_tolerance) {
+      st.status = SolveStatus::Stagnated;
+      break;  // stagnation
+    }
     if (s > 0) {
       DenseMatrix<T> t(n, p);
       {
@@ -397,13 +443,20 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
         add_update(t.view());
       }
     }
-    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace);
+    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace, &rz);
     detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
+    if (!detail::finite_norms(rnorm.data(), p)) {
+      st.status = SolveStatus::NonFiniteResidual;
+      break;
+    }
     if (converged()) {
       st.converged = true;
       break;
     }
-    if (s == 0) break;
+    if (s == 0) {
+      st.status = SolveStatus::Stagnated;
+      break;
+    }
 
     if (matrix_changed) {
       // Lines 31-38: refresh the recycled space through the generalized
@@ -461,13 +514,20 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
       DenseMatrix<T> pk;
       try {
         pk = smallest_gen_eig_vectors<T>(tmat, wmat, std::min(kp, cols));
-      } catch (const std::runtime_error&) {
+      } catch (const EigFailure&) {
         // Deflation pencil failed to converge: fall back to retaining the
         // leading columns of [U, basis] (still re-orthonormalized below)
-        // rather than crashing a solve that is otherwise progressing.
+        // rather than crashing a solve that is otherwise progressing —
+        // unless the policy demands a hard failure.
+        if (!opts_.recovery.shrink_recycle)
+          throw BreakdownError(SolveStatus::EigSolveFailure,
+                               "gcrodr: deflation pencil eigensolve failed");
         const index_t kfall = std::min(kp, cols);
         pk.resize(cols, kfall);
         for (index_t j = 0; j < kfall; ++j) pk(j, j) = T(1);
+        ++st.recoveries;
+        if (trace != nullptr)
+          trace->recovery(obs::RecoveryEvent{st.iterations, "deflation", "identity-pk", kfall});
       }
       const index_t knew = pk.cols();
       // [Q, R] = qr(G Pk); C = [C V] Q; U = [U basis] Pk R^{-1}.
@@ -492,8 +552,8 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
       u_ = std::move(unew);
     }
   }
-  finish();
-  return st;
+  detail::final_residual_check<T>(a, b, x, opts_, st, comm);
+  });
 }
 
 template class GcroDr<double>;

@@ -2,41 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
-#include "common/timer.hpp"
 #include "core/krylov_detail.hpp"
 
 namespace bkr {
 
 namespace {
 
-// Leading Krylov columns with a safely invertible R factor; stagnated
-// directions past the first tiny diagonal are discarded.
 template <class T>
-index_t usable_columns(const IncrementalQR<T>& qr, index_t s) {
-  real_t<T> dmax(0);
-  for (index_t c = 0; c < s; ++c) dmax = std::max(dmax, abs_val(qr.r(c, c)));
-  for (index_t c = 0; c < s; ++c)
-    if (abs_val(qr.r(c, c)) <= real_t<T>(1e-14) * std::max(dmax, real_t<T>(1e-300))) return c;
-  return s;
-}
-
-}  // namespace
-
-template <class T>
-SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const T> b,
-                       MatrixView<T> x, const SolverOptions& opts, CommModel* comm) {
+void block_gmres_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const T> b,
+                      MatrixView<T> x, const SolverOptions& opts, CommModel* comm,
+                      SolveStats& st) {
   using Real = real_t<T>;
-  detail::check_solve_entry<T>(a, m, b, x, opts);
-  Timer timer;
-  SolveStats st;
   const index_t n = a.n(), p = b.cols();
   obs::TraceSink* const trace = opts.trace;
   const KernelExecutor* const ex = opts.exec;
-  if (trace != nullptr) trace->begin_solve("block_gmres", n, p);
   PrecondSide side = (m == nullptr) ? PrecondSide::None : opts.side;
   if (side == PrecondSide::Right && m != nullptr && m->is_variable()) side = PrecondSide::Flexible;
   const index_t mdim = opts.restart;
+  detail::Resilience<T> rz{opts.recovery, opts.fault};
 
   std::vector<Real> bnorm(static_cast<size_t>(p)), rnorm(static_cast<size_t>(p));
   DenseMatrix<T> scratch;
@@ -53,6 +38,10 @@ SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixV
   }
   for (auto& v : bnorm)
     if (v == Real(0)) v = Real(1);
+  if (!detail::finite_norms(bnorm.data(), p)) {
+    st.status = SolveStatus::NonFiniteResidual;
+    return;
+  }
   st.history.resize(size_t(p));
   st.per_rhs_iterations.assign(size_t(p), 0);
 
@@ -67,11 +56,15 @@ SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixV
 
   while (st.iterations < opts.max_iterations) {
     ++st.cycles;
-    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace);
+    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace, &rz);
     detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
     if (st.cycles == 1 && opts.record_history)
       for (index_t c = 0; c < p; ++c)
         st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
+    if (!detail::finite_norms(rnorm.data(), p)) {
+      st.status = SolveStatus::NonFiniteResidual;
+      break;
+    }
     bool conv = true;
     for (index_t c = 0; c < p; ++c) conv &= rnorm[size_t(c)] <= opts.tol * bnorm[size_t(c)];
     if (conv) {
@@ -81,9 +74,12 @@ SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixV
 
     copy_into<T>(r.view(), v.block(0, 0, n, p));
     // Rank-deficient residual blocks are tolerated here: breakdown is
-    // detected per-column through usable_columns further down the cycle.
+    // detected per-column through usable_columns further down the cycle
+    // (or repaired by the recovery ladder when it is enabled).
+    rz.prior = MatrixView<const T>();
+    rz.iteration = st.iterations;
     detail::qr_block<T>(v.block(0, 0, n, p), sblock.view(),  // bkr-lint: allow(unchecked-factor)
-                        st, comm, trace, ex);
+                        st, comm, trace, ex, &rz);
     IncrementalQR<T> qr((mdim + 1) * p, mdim * p);
     ghat.set_zero();
     for (index_t c = 0; c < p; ++c)
@@ -91,17 +87,26 @@ SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixV
 
     index_t j = 0;
     bool cycle_converged = false;
+    bool fatal = false;
+    // Worst-column progress tracking for the stagnation-triggered early
+    // restart: GMRES residual estimates are monotone non-increasing, so a
+    // long flat stretch means the cycle is wedged and a restart from the
+    // true residual is the better use of the budget.
+    Real stag_best = std::numeric_limits<Real>::infinity();
+    index_t stag_count = 0;
     while (j < mdim && st.iterations < opts.max_iterations) {
       const auto vj = MatrixView<const T>(v.col(j * p), n, p, v.ld());
       MatrixView<T> zj =
           (side == PrecondSide::Flexible) ? z.block(0, j * p, n, p) : ztmp.view();
-      detail::apply_preconditioned<T>(a, m, side, vj, zj, w.view(), st, trace);
+      detail::apply_preconditioned<T>(a, m, side, vj, zj, w.view(), st, trace, &rz);
       hcol.set_zero();
       detail::project<T>(v.view(), (j + 1) * p, w.view(), hcol.view(), opts.ortho, p, st, comm,
                          trace, ex);
       auto vnext = v.block(0, (j + 1) * p, n, p);
       copy_into<T>(w.view(), vnext);
-      const bool full_rank = detail::qr_block<T>(vnext, sblock.view(), st, comm, trace, ex);
+      rz.prior = MatrixView<const T>(v.data(), n, (j + 1) * p, v.ld());
+      rz.iteration = st.iterations;
+      const bool full_rank = detail::qr_block<T>(vnext, sblock.view(), st, comm, trace, ex, &rz);
       for (index_t c = 0; c < p; ++c)
         for (index_t rr = 0; rr <= c; ++rr) hcol((j + 1) * p + rr, c) = sblock(rr, c);
       // The Hessenberg columns are committed even on a (happy) block
@@ -120,6 +125,7 @@ SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixV
       for (index_t c = 0; c < p; ++c) {
         const Real est = norm2<T>(p, &ghat(j * p, c));
         rnorm[size_t(c)] = est;
+        if (!std::isfinite(static_cast<double>(est))) fatal = true;
         if (opts.record_history) st.history[size_t(c)].push_back(est / bnorm[size_t(c)]);
         if (est > opts.tol * bnorm[size_t(c)]) {
           all_small = false;
@@ -136,22 +142,46 @@ SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixV
           ev.residuals[size_t(c)] = rnorm[size_t(c)] / bnorm[size_t(c)];
         trace->iteration(ev);
       }
+      if (fatal) {
+        st.status = SolveStatus::NonFiniteResidual;
+        break;
+      }
       if (all_small) {
         cycle_converged = true;
         break;
       }
       if (!full_rank) break;  // block breakdown: close the cycle and restart
+      Real worst(0);
+      for (index_t c = 0; c < p; ++c)
+        worst = std::max(worst, rnorm[size_t(c)] / bnorm[size_t(c)]);
+      if (worst < stag_best * (Real(1) - Real(1e-12))) {
+        stag_best = worst;
+        stag_count = 0;
+      } else if (opts.recovery.early_restart && ++stag_count >= opts.recovery.stagnation_window) {
+        ++st.recoveries;
+        if (trace != nullptr)
+          trace->recovery(obs::RecoveryEvent{st.iterations, "cycle", "early-restart", 0});
+        break;
+      }
     }
+    if (fatal) break;
 
-    const index_t s = usable_columns(qr, j * p);
+    const index_t s = detail::usable_columns(qr, j * p);
     if (s > 0) {
       DenseMatrix<T> t(n, p);
+      bool null_update = true;
       {
         obs::ScopedPhase sp(trace, obs::Phase::SmallDense);
         DenseMatrix<T> y(s, p);
         copy_into<T>(MatrixView<const T>(ghat.data(), s, p, ghat.ld()), y.view());
         const DenseMatrix<T> rr = qr.r_matrix();
         trsm_left_upper<T>(MatrixView<const T>(rr.data(), s, s, rr.ld()), y.view());
+        for (index_t c = 0; c < p && null_update; ++c)
+          for (index_t i = 0; i < s; ++i)
+            if (y(i, c) != T(0)) {
+              null_update = false;
+              break;
+            }
         const auto& basis = (side == PrecondSide::Flexible) ? z : v;
         gemm<T>(Trans::N, Trans::N, T(1),
                 MatrixView<const T>(basis.data(), n, s, basis.ld()),
@@ -167,32 +197,34 @@ SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixV
       } else {
         for (index_t c = 0; c < p; ++c) axpy<T>(n, T(1), t.col(c), x.col(c));
       }
+      if (null_update && !cycle_converged && side != PrecondSide::Flexible) {
+        // An exactly zero update means the next cycle replays this one
+        // from an identical state (the restart is deterministic for a
+        // fixed preconditioner): provably wedged, so stop now.
+        st.status = SolveStatus::Stagnated;
+        break;
+      }
     } else if (!cycle_converged) {
+      st.status = SolveStatus::Stagnated;
       break;  // stagnation: no usable direction was produced
     }
     // Loop re-enters with a freshly computed true residual; the converged
     // flag is only set from that recomputation.
   }
-  st.seconds = timer.seconds();
-  if (trace != nullptr) trace->end_solve(st.converged, st.iterations, st.cycles, st.seconds);
-  return st;
 }
 
 template <class T>
-SolveStats pseudo_block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m,
-                              MatrixView<const T> b, MatrixView<T> x, const SolverOptions& opts,
-                              CommModel* comm) {
+void pseudo_block_gmres_body(const LinearOperator<T>& a, Preconditioner<T>* m,
+                             MatrixView<const T> b, MatrixView<T> x, const SolverOptions& opts,
+                             CommModel* comm, SolveStats& st) {
   using Real = real_t<T>;
-  detail::check_solve_entry<T>(a, m, b, x, opts);
-  Timer timer;
-  SolveStats st;
   const index_t n = a.n(), p = b.cols();
   obs::TraceSink* const trace = opts.trace;
   const KernelExecutor* const ex = opts.exec;
-  if (trace != nullptr) trace->begin_solve("pseudo_block_gmres", n, p);
   PrecondSide side = (m == nullptr) ? PrecondSide::None : opts.side;
   if (side == PrecondSide::Right && m != nullptr && m->is_variable()) side = PrecondSide::Flexible;
   const index_t mdim = opts.restart;
+  detail::Resilience<T> rz{opts.recovery, opts.fault};
 
   // Reduction accounting where the fused batch maps to ONE comm-model
   // all-reduce but `k` paper-count synchronizations (MGS).
@@ -217,6 +249,10 @@ SolveStats pseudo_block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m,
   }
   for (auto& v : bnorm)
     if (v == Real(0)) v = Real(1);
+  if (!detail::finite_norms(bnorm.data(), p)) {
+    st.status = SolveStatus::NonFiniteResidual;
+    return;
+  }
   st.history.resize(size_t(p));
   st.per_rhs_iterations.assign(size_t(p), 0);
 
@@ -231,13 +267,18 @@ SolveStats pseudo_block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m,
   DenseMatrix<T> hcol(mdim + 2, p);   // lane l's new Hessenberg column in column l
 
   bool done = false;
-  while (!done && st.iterations < opts.max_iterations) {
+  bool fatal = false;
+  while (!done && !fatal && st.iterations < opts.max_iterations) {
     ++st.cycles;
-    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace);
+    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace, &rz);
     detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
     if (st.cycles == 1 && opts.record_history)
       for (index_t c = 0; c < p; ++c)
         st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
+    if (!detail::finite_norms(rnorm.data(), p)) {
+      st.status = SolveStatus::NonFiniteResidual;
+      break;
+    }
     bool conv = true;
     for (index_t c = 0; c < p; ++c) conv &= rnorm[size_t(c)] <= opts.tol * bnorm[size_t(c)];
     if (conv) {
@@ -271,7 +312,7 @@ SolveStats pseudo_block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m,
       const auto vj = MatrixView<const T>(v.col(j * p), n, p, v.ld());
       MatrixView<T> zj =
           (side == PrecondSide::Flexible) ? z.block(0, j * p, n, p) : ztmp.view();
-      detail::apply_preconditioned<T>(a, m, side, vj, zj, w.view(), st, trace);
+      detail::apply_preconditioned<T>(a, m, side, vj, zj, w.view(), st, trace, &rz);
       // Fused CGS projection: every lane's dots batch into one reduction.
       index_t nactive = 0;
       for (index_t l = 0; l < p; ++l) nactive += active[size_t(l)];
@@ -303,6 +344,7 @@ SolveStats pseudo_block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m,
       note_reductions(1, nactive * 8);
       {
         obs::ScopedPhase sp(trace, obs::Phase::OrthoNormalization);
+        detail::fault_hook(&rz, resilience::FaultSite::Orthogonalization, w.view());
         for (index_t l = 0; l < p; ++l) {
           if (!active[size_t(l)]) continue;
           const Real hn = norm2<T>(n, w.col(l), ex);
@@ -316,6 +358,11 @@ SolveStats pseudo_block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m,
           steps[size_t(l)] = j + 1;
           const Real est = abs_val(ghat(j + 1, l));
           rnorm[size_t(l)] = est;
+          if (!std::isfinite(static_cast<double>(est)) ||
+              !std::isfinite(static_cast<double>(hn))) {
+            fatal = true;
+            active[size_t(l)] = 0;
+          }
           if (opts.record_history) st.history[size_t(l)].push_back(est / bnorm[size_t(l)]);
           if (est > opts.tol * bnorm[size_t(l)]) ++st.per_rhs_iterations[size_t(l)];
           if (est <= opts.tol * bnorm[size_t(l)] || hn == Real(0)) active[size_t(l)] = 0;
@@ -333,9 +380,16 @@ SolveStats pseudo_block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m,
           ev.residuals[size_t(l)] = rnorm[size_t(l)] / bnorm[size_t(l)];
         trace->iteration(ev);
       }
+      if (fatal) break;
       bool any = false;
       for (index_t l = 0; l < p; ++l) any |= (active[size_t(l)] != 0);
       if (!any) break;
+    }
+    if (fatal) {
+      // A poisoned lane would feed NaN into the shared least-squares
+      // update; stop with the last consistent iterate.
+      st.status = SolveStatus::NonFiniteResidual;
+      break;
     }
 
     // Per-lane least squares and solution update.
@@ -345,7 +399,7 @@ SolveStats pseudo_block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m,
     {
       obs::ScopedPhase sp(trace, obs::Phase::SmallDense);
       for (index_t l = 0; l < p; ++l) {
-        const index_t s = usable_columns(qr[size_t(l)], steps[size_t(l)]);
+        const index_t s = detail::usable_columns(qr[size_t(l)], steps[size_t(l)]);
         if (s == 0) continue;
         updated = true;
         std::vector<T> y(static_cast<size_t>(s));
@@ -371,12 +425,33 @@ SolveStats pseudo_block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m,
         for (index_t c = 0; c < p; ++c) axpy<T>(n, T(1), t.col(c), x.col(c));
       }
     } else {
+      st.status = SolveStatus::Stagnated;
       done = true;  // stagnation everywhere
     }
   }
-  st.seconds = timer.seconds();
-  if (trace != nullptr) trace->end_solve(st.converged, st.iterations, st.cycles, st.seconds);
-  return st;
+}
+
+}  // namespace
+
+template <class T>
+SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const T> b,
+                       MatrixView<T> x, const SolverOptions& opts, CommModel* comm) {
+  detail::check_solve_entry<T>(a, m, b, x, opts);
+  return detail::run_solver("block_gmres", a.n(), b.cols(), opts, [&](SolveStats& st) {
+    block_gmres_body<T>(a, m, b, x, opts, comm, st);
+    detail::final_residual_check<T>(a, b, x, opts, st, comm);
+  });
+}
+
+template <class T>
+SolveStats pseudo_block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m,
+                              MatrixView<const T> b, MatrixView<T> x, const SolverOptions& opts,
+                              CommModel* comm) {
+  detail::check_solve_entry<T>(a, m, b, x, opts);
+  return detail::run_solver("pseudo_block_gmres", a.n(), b.cols(), opts, [&](SolveStats& st) {
+    pseudo_block_gmres_body<T>(a, m, b, x, opts, comm, st);
+    detail::final_residual_check<T>(a, b, x, opts, st, comm);
+  });
 }
 
 template SolveStats block_gmres<double>(const LinearOperator<double>&, Preconditioner<double>*,

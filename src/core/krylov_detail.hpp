@@ -4,12 +4,18 @@
 // of the paper's section III-D and the per-phase timers of src/obs.
 #pragma once
 
+#include <cmath>
+#include <vector>
+
 #include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
 #include "core/operator.hpp"
 #include "core/solver.hpp"
 #include "la/blas.hpp"
 #include "la/qr.hpp"
 #include "obs/trace.hpp"
+#include "resilience/fault_injector.hpp"
 
 namespace bkr::detail {
 
@@ -29,6 +35,95 @@ void check_solve_entry(const LinearOperator<T>& a, const Preconditioner<T>* m,
   BKR_REQUIRE(opts.tol > 0, "opts.tol", opts.tol);
 }
 
+// Per-solve resilience context threaded through the shared kernels. Owns
+// nothing; a null pointer (the default of every `rz` parameter below)
+// keeps each kernel on its legacy code path with zero added work.
+template <class T>
+struct Resilience {
+  const RecoveryPolicy& policy;
+  resilience::FaultInjector* fault = nullptr;
+  // Orthonormal basis columns preceding the block being normalized; the
+  // replacement ladder re-orthogonalizes substitute columns against it.
+  MatrixView<const T> prior{};
+  // Solver-maintained global (block) iteration count, for event records.
+  index_t iteration = 0;
+  // Block-recovery engagements consumed this solve (vs policy.max_recoveries).
+  index_t used = 0;
+};
+
+// Fault-injection hook: a pointer test when no injector is attached.
+template <class T>
+inline void fault_hook(Resilience<T>* rz, resilience::FaultSite site, MatrixView<T> block) {
+  if (rz != nullptr && rz->fault != nullptr) rz->fault->at(site, block);
+}
+
+// True when every entry of a residual-norm array is finite.
+template <class R>
+inline bool finite_norms(const R* v, index_t k) {
+  for (index_t i = 0; i < k; ++i)
+    if (!std::isfinite(static_cast<double>(v[i]))) return false;
+  return true;
+}
+
+// Leading Krylov columns with a safely invertible R factor; stagnated
+// directions past the first tiny (or non-finite: NaN compares false
+// against every threshold, so it must be cut explicitly) diagonal are
+// discarded. Shared by GMRES / GCRO-DR / pseudo-GCRO-DR.
+template <class T>
+index_t usable_columns(const IncrementalQR<T>& qr, index_t s) {
+  real_t<T> dmax(0);
+  for (index_t c = 0; c < s; ++c) {
+    const real_t<T> d = abs_val(qr.r(c, c));
+    if (std::isfinite(static_cast<double>(d))) dmax = std::max(dmax, d);
+  }
+  for (index_t c = 0; c < s; ++c) {
+    const real_t<T> d = abs_val(qr.r(c, c));
+    if (!std::isfinite(static_cast<double>(d)) ||
+        d <= real_t<T>(1e-14) * std::max(dmax, real_t<T>(1e-300)))
+      return c;
+  }
+  return s;
+}
+
+// Uniform solver entry wrapper: owns the wall clock, the begin/end trace
+// pairing, the terminal-status resolution and the translation of the two
+// structured abort exceptions into SolveStats. `body` is the solver's
+// iteration loop; it fills `st` and returns, setting st.status only on
+// explicit failure exits (the default covers budget exhaustion, the
+// wrapper covers success).
+template <class F>
+SolveStats run_solver(const char* method, index_t n, index_t nrhs, const SolverOptions& opts,
+                      F&& body) {
+  BKR_REQUIRE(n > 0, "n", n);
+  BKR_REQUIRE(nrhs >= 1, "nrhs", nrhs);
+  BKR_REQUIRE(opts.recovery.max_recoveries >= 0, "opts.recovery.max_recoveries",
+              opts.recovery.max_recoveries);
+  BKR_REQUIRE(opts.recovery.stagnation_window >= 1, "opts.recovery.stagnation_window",
+              opts.recovery.stagnation_window);
+  Timer timer;
+  SolveStats st;
+  obs::TraceSink* const trace = opts.trace;
+  if (trace != nullptr) trace->begin_solve(method, n, nrhs);
+  try {
+    body(st);
+  } catch (const resilience::InjectedFault& f) {
+    st.converged = false;
+    st.status = f.site() == resilience::FaultSite::PrecondApply
+                    ? SolveStatus::PreconditionerFailure
+                    : SolveStatus::Faulted;
+  } catch (const BreakdownError& e) {
+    st.converged = false;
+    st.status = e.status();
+  }
+  if (st.converged) st.status = SolveStatus::Converged;
+  st.seconds = timer.seconds();
+  if (trace != nullptr) trace->end_solve(st.converged, st.iterations, st.cycles, st.seconds);
+  if (opts.recovery.throw_on_failure && !st.converged &&
+      st.status != SolveStatus::MaxIterations && st.status != SolveStatus::Stagnated)
+    throw BreakdownError(st.status, std::string(method) + ": " + status_name(st.status));
+  return st;
+}
+
 // Account `k` global reductions at once: the SolveStats counter, the
 // communication model (bytes per reduction) and the trace's reduction
 // phase all stay in lockstep. Every solver routes its synchronization
@@ -42,18 +137,61 @@ inline void count_reductions(SolveStats& stats, CommModel* comm, obs::TraceSink*
   if (trace != nullptr) trace->phase(obs::Phase::Reduction, 0.0, k);
 }
 
+template <class T>
+void norms(MatrixView<const T> x, real_t<T>* out, SolveStats& stats, CommModel* comm,
+           obs::TraceSink* trace = nullptr, const KernelExecutor* ex = nullptr);
+
+// Fault-gated epilogue: a corrupted recurrence can drive the *estimated*
+// residual below tolerance while the true residual is arbitrary (the
+// estimate converges against the faulted operator, not A). When an
+// injector is attached — or the caller opts in via final_check — recompute
+// b - A x and demote `converged` to Faulted / NonFiniteResidual if they
+// disagree. The factor is looser than the tolerance itself because left
+// preconditioning converges on M^{-1}(b - A x); it only has to catch
+// corruption, which is orders of magnitude, not a rounding factor.
+template <class T>
+void final_residual_check(const LinearOperator<T>& a, MatrixView<const T> b, MatrixView<T> x,
+                          const SolverOptions& opts, SolveStats& st, CommModel* comm) {
+  using Real = real_t<T>;
+  if (!st.converged || (opts.fault == nullptr && !opts.recovery.final_check)) return;
+  obs::TraceSink* const trace = opts.trace;
+  const KernelExecutor* const ex = opts.exec;
+  const index_t n = b.rows(), p = b.cols();
+  DenseMatrix<T> q(n, p);
+  {
+    obs::ScopedPhase sp(trace, obs::Phase::Spmm);
+    a.apply(MatrixView<const T>(x.data(), n, p, x.ld()), q.view());
+    ++st.operator_applies;
+  }
+  for (index_t c = 0; c < p; ++c)
+    for (index_t i = 0; i < n; ++i) q(i, c) = b(i, c) - q(i, c);
+  std::vector<Real> rn(static_cast<size_t>(p)), bn(static_cast<size_t>(p));
+  norms<T>(MatrixView<const T>(q.data(), n, p, q.ld()), rn.data(), st, comm, trace, ex);
+  norms<T>(b, bn.data(), st, comm, trace, ex);
+  for (index_t c = 0; c < p; ++c) {
+    const Real scale = bn[size_t(c)] > Real(0) ? bn[size_t(c)] : Real(1);
+    if (rn[size_t(c)] <= Real(100) * opts.tol * scale) continue;
+    st.converged = false;
+    st.status = finite_norms(&rn[size_t(c)], 1) ? SolveStatus::Faulted
+                                                : SolveStatus::NonFiniteResidual;
+    break;
+  }
+}
+
 // Z and W outputs of one preconditioned operator application on the block
 // V: W is the vector entering the Arnoldi recurrence; Z is the vector that
 // reconstructs the solution update (Z = M^{-1}V for right/flexible).
 template <class T>
 void apply_preconditioned(const LinearOperator<T>& a, Preconditioner<T>* m, PrecondSide side,
                           MatrixView<const T> v, MatrixView<T> z, MatrixView<T> w,
-                          SolveStats& stats, obs::TraceSink* trace = nullptr) {
+                          SolveStats& stats, obs::TraceSink* trace = nullptr,
+                          Resilience<T>* rz = nullptr) {
   switch (side) {
     case PrecondSide::None: {
       obs::ScopedPhase sp(trace, obs::Phase::Spmm);
       a.apply(v, w);
       ++stats.operator_applies;
+      fault_hook(rz, resilience::FaultSite::OperatorApply, w);
       break;
     }
     case PrecondSide::Right:
@@ -62,10 +200,12 @@ void apply_preconditioned(const LinearOperator<T>& a, Preconditioner<T>* m, Prec
         obs::ScopedPhase sp(trace, obs::Phase::Precond);
         m->apply(v, z);
         ++stats.precond_applies;
+        fault_hook(rz, resilience::FaultSite::PrecondApply, z);
       }
       obs::ScopedPhase sp(trace, obs::Phase::Spmm);
       a.apply(MatrixView<const T>(z.data(), z.rows(), z.cols(), z.ld()), w);
       ++stats.operator_applies;
+      fault_hook(rz, resilience::FaultSite::OperatorApply, w);
       break;
     }
     case PrecondSide::Left: {
@@ -73,10 +213,12 @@ void apply_preconditioned(const LinearOperator<T>& a, Preconditioner<T>* m, Prec
         obs::ScopedPhase sp(trace, obs::Phase::Spmm);
         a.apply(v, z);  // z used as scratch: z = A v
         ++stats.operator_applies;
+        fault_hook(rz, resilience::FaultSite::OperatorApply, z);
       }
       obs::ScopedPhase sp(trace, obs::Phase::Precond);
       m->apply(MatrixView<const T>(z.data(), z.rows(), z.cols(), z.ld()), w);
       ++stats.precond_applies;
+      fault_hook(rz, resilience::FaultSite::PrecondApply, w);
       break;
     }
   }
@@ -86,7 +228,8 @@ void apply_preconditioned(const LinearOperator<T>& a, Preconditioner<T>* m, Prec
 template <class T>
 void residual(const LinearOperator<T>& a, Preconditioner<T>* m, PrecondSide side,
               MatrixView<const T> b, MatrixView<const T> x, MatrixView<T> r,
-              DenseMatrix<T>& scratch, SolveStats& stats, obs::TraceSink* trace = nullptr) {
+              DenseMatrix<T>& scratch, SolveStats& stats, obs::TraceSink* trace = nullptr,
+              Resilience<T>* rz = nullptr) {
   const index_t n = b.rows(), p = b.cols();
   if (side == PrecondSide::Left) {
     scratch.resize(n, p);
@@ -94,17 +237,20 @@ void residual(const LinearOperator<T>& a, Preconditioner<T>* m, PrecondSide side
       obs::ScopedPhase sp(trace, obs::Phase::Spmm);
       a.apply(x, scratch.view());
       ++stats.operator_applies;
+      fault_hook(rz, resilience::FaultSite::OperatorApply, scratch.view());
     }
     for (index_t c = 0; c < p; ++c)
       for (index_t i = 0; i < n; ++i) scratch(i, c) = b(i, c) - scratch(i, c);
     obs::ScopedPhase sp(trace, obs::Phase::Precond);
     m->apply(scratch.view(), r);
     ++stats.precond_applies;
+    fault_hook(rz, resilience::FaultSite::PrecondApply, r);
   } else {
     {
       obs::ScopedPhase sp(trace, obs::Phase::Spmm);
       a.apply(x, r);
       ++stats.operator_applies;
+      fault_hook(rz, resilience::FaultSite::OperatorApply, r);
     }
     for (index_t c = 0; c < p; ++c)
       for (index_t i = 0; i < n; ++i) r(i, c) = b(i, c) - r(i, c);
@@ -159,17 +305,94 @@ void project(MatrixView<const T> basis, index_t s, MatrixView<T> w, MatrixView<T
 // Normalize a block in place: W = Q R via CholQR (single reduction),
 // falling back to Householder TSQR on breakdown. Returns false when even
 // the fallback produced a numerically rank-deficient R (exact block
-// breakdown).
+// breakdown) — unless a Resilience context with block recovery is
+// attached, in which case the final ladder rung replaces the dead columns
+// with seeded random directions re-orthogonalized against the basis and
+// reports success (the caller's cycle continues on a full-rank block; the
+// next restart recomputes the true residual, so a stale Hessenberg column
+// can only cost iterations, never correctness).
 template <class T>
 bool qr_block(MatrixView<T> w, MatrixView<T> r, SolveStats& stats, CommModel* comm,
-              obs::TraceSink* trace = nullptr, const KernelExecutor* ex = nullptr) {
+              obs::TraceSink* trace = nullptr, const KernelExecutor* ex = nullptr,
+              Resilience<T>* rz = nullptr) {
   obs::ScopedPhase sp(trace, obs::Phase::OrthoNormalization);
+  fault_hook(rz, resilience::FaultSite::Orthogonalization, w);
+  const index_t n = w.rows(), p = w.cols();
+  const bool recover = rz != nullptr && rz->policy.block_recovery;
+  if (recover) {
+    // Zero poisoned columns before the Gram matrix: one non-finite entry
+    // would otherwise contaminate every factor column through CholQR's
+    // triangular solve. The zeroed columns surface as dead below.
+    for (index_t c = 0; c < p; ++c) {
+      bool finite = true;
+      for (index_t i = 0; i < n; ++i)
+        if (!std::isfinite(static_cast<double>(abs_val(w(i, c))))) {
+          finite = false;
+          break;
+        }
+      if (!finite)
+        for (index_t i = 0; i < n; ++i) w(i, c) = T(0);
+    }
+  }
   count_reductions(stats, comm, trace, 1, w.cols() * w.cols() * 8);
   if (!cholqr<T>(w, r, ex)) householder_tsqr<T>(w, r);
   real_t<T> dmax(0);
-  for (index_t c = 0; c < r.cols(); ++c) dmax = std::max(dmax, abs_val(r(c, c)));
-  for (index_t c = 0; c < r.cols(); ++c)
-    if (abs_val(r(c, c)) <= real_t<T>(1e-14) * std::max(dmax, real_t<T>(1e-300))) return false;
+  for (index_t c = 0; c < r.cols(); ++c) {
+    const real_t<T> d = abs_val(r(c, c));
+    if (std::isfinite(static_cast<double>(d))) dmax = std::max(dmax, d);
+  }
+  const real_t<T> cutoff = real_t<T>(1e-14) * std::max(dmax, real_t<T>(1e-300));
+  auto is_dead = [&](index_t c) {
+    const real_t<T> d = abs_val(r(c, c));
+    return !std::isfinite(static_cast<double>(d)) || d <= cutoff;
+  };
+  bool any_dead = false;
+  for (index_t c = 0; c < p && !any_dead; ++c) any_dead = is_dead(c);
+  if (!any_dead) return true;
+  if (!recover || rz->used >= rz->policy.max_recoveries) return false;
+  ++rz->used;
+  ++stats.recoveries;
+  std::vector<index_t> alive, dead;
+  for (index_t c = 0; c < p; ++c) (is_dead(c) ? dead : alive).push_back(c);
+  // Seed varies per engagement so a second breakdown in the same solve
+  // draws fresh directions, but reruns stay bit-identical.
+  Rng rng(static_cast<unsigned>(rz->policy.seed + 0x9e3779b9ULL *
+                                                      static_cast<std::uint64_t>(rz->used)));
+  for (size_t di = 0; di < dead.size(); ++di) {
+    const index_t c = dead[di];
+    for (index_t i = 0; i < n; ++i) w(i, c) = rng.scalar<T>();
+    // Two classical Gram-Schmidt passes against the prior basis, the
+    // surviving block columns and the already-replaced ones; serial dots
+    // keep the replacement deterministic at any thread count.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (index_t q = 0; q < rz->prior.cols(); ++q) {
+        const T h = dot<T>(n, rz->prior.col(q), w.col(c));
+        axpy<T>(n, -h, rz->prior.col(q), w.col(c));
+      }
+      for (const index_t q : alive) {
+        const T h = dot<T>(n, w.col(q), w.col(c));
+        axpy<T>(n, -h, w.col(q), w.col(c));
+      }
+      for (size_t dj = 0; dj < di; ++dj) {
+        const T h = dot<T>(n, w.col(dead[dj]), w.col(c));
+        axpy<T>(n, -h, w.col(dead[dj]), w.col(c));
+      }
+    }
+    const real_t<T> nrm = norm2<T>(n, w.col(c));
+    if (!(nrm > real_t<T>(0)) || !std::isfinite(static_cast<double>(nrm))) return false;
+    scal<T>(n, scalar_traits<T>::from_real(real_t<T>(1) / nrm), w.col(c));
+  }
+  // The replacement dots amount to one more fused synchronization.
+  count_reductions(stats, comm, trace, 1, p * p * 8);
+  // R still factors the *original* block over the surviving columns (its
+  // dead diagonals are ~0, so backsolves keep excluding them); only
+  // non-finite entries are scrubbed so Hessenberg assembly stays finite.
+  for (index_t i = 0; i < r.rows(); ++i)
+    for (index_t c = 0; c < r.cols(); ++c)
+      if (!std::isfinite(static_cast<double>(abs_val(r(i, c))))) r(i, c) = T(0);
+  if (trace != nullptr)
+    trace->recovery(obs::RecoveryEvent{rz->iteration, "ortho", "replace-columns",
+                                       static_cast<index_t>(dead.size())});
   return true;
 }
 
@@ -177,7 +400,7 @@ bool qr_block(MatrixView<T> w, MatrixView<T> r, SolveStats& stats, CommModel* co
 // compute *is* the global reduction, so its time lands in that phase.
 template <class T>
 void norms(MatrixView<const T> x, real_t<T>* out, SolveStats& stats, CommModel* comm,
-           obs::TraceSink* trace = nullptr, const KernelExecutor* ex = nullptr) {
+           obs::TraceSink* trace, const KernelExecutor* ex) {
   // The ScopedPhase itself contributes the single reduction count.
   obs::ScopedPhase sp(trace, obs::Phase::Reduction);
   column_norms<T>(x, out, ex);

@@ -1,30 +1,28 @@
 #include "core/lgmres.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
+#include <limits>
 
-#include "common/timer.hpp"
 #include "core/krylov_detail.hpp"
 
 namespace bkr {
 
+namespace {
+
 template <class T>
-SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::vector<T>& b,
-                  std::vector<T>& x, const SolverOptions& opts, CommModel* comm) {
+void lgmres_body(const LinearOperator<T>& a, Preconditioner<T>* m, const std::vector<T>& b,
+                 std::vector<T>& x, const SolverOptions& opts, CommModel* comm, SolveStats& st) {
   using Real = real_t<T>;
-  detail::check_solve_entry<T>(
-      a, m, MatrixView<const T>(b.data(), index_t(b.size()), 1, index_t(b.size())),
-      MatrixView<T>(x.data(), index_t(x.size()), 1, index_t(x.size())), opts);
-  Timer timer;
-  SolveStats st;
   const index_t n = a.n();
   obs::TraceSink* const trace = opts.trace;
   const KernelExecutor* const ex = opts.exec;
-  if (trace != nullptr) trace->begin_solve("lgmres", n, 1);
   PrecondSide side = (m == nullptr) ? PrecondSide::None : opts.side;
   if (side == PrecondSide::Right && m != nullptr && m->is_variable()) side = PrecondSide::Flexible;
   const index_t total = opts.restart;              // total space per cycle
   const index_t aug_max = std::min(opts.recycle, total - 1);
+  detail::Resilience<T> rz{opts.recovery, opts.fault};
 
   Real bnorm;
   DenseMatrix<T> scratch;
@@ -41,6 +39,10 @@ SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::v
     detail::norms<T>(bview, &bnorm, st, comm, trace, ex);
   }
   if (bnorm == Real(0)) bnorm = Real(1);
+  if (!detail::finite_norms(&bnorm, 1)) {
+    st.status = SolveStatus::NonFiniteResidual;
+    return;
+  }
   st.history.resize(1);
   st.per_rhs_iterations.assign(1, 0);
 
@@ -53,10 +55,14 @@ SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::v
 
   while (st.iterations < opts.max_iterations) {
     ++st.cycles;
-    detail::residual<T>(a, m, side, bview, xview, r.view(), scratch, st, trace);
+    detail::residual<T>(a, m, side, bview, xview, r.view(), scratch, st, trace, &rz);
     Real rnorm;
     detail::norms<T>(r.view(), &rnorm, st, comm, trace, ex);
     if (st.cycles == 1 && opts.record_history) st.history[0].push_back(rnorm / bnorm);
+    if (!detail::finite_norms(&rnorm, 1)) {
+      st.status = SolveStatus::NonFiniteResidual;
+      break;
+    }
     if (rnorm <= opts.tol * bnorm) {
       st.converged = true;
       break;
@@ -78,6 +84,12 @@ SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::v
     index_t j = 0;
     std::vector<T> hcol(static_cast<size_t>(total) + 1);
     bool hit = false;
+    bool fatal = false;
+    // Single-RHS early-restart tracking: the residual estimate is monotone
+    // non-increasing within a cycle, so a long flat run means the space is
+    // exhausted and restarting (refreshing the augmentation set) is better.
+    Real stag_best = std::numeric_limits<Real>::infinity();
+    index_t stag_count = 0;
     while (j < total && st.iterations < opts.max_iterations) {
       const bool is_aug = j >= mk;
       MatrixView<const T> input =
@@ -90,15 +102,17 @@ SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::v
           obs::ScopedPhase sp(trace, obs::Phase::Spmm);
           a.apply(input, w.view());
           ++st.operator_applies;
+          detail::fault_hook(&rz, resilience::FaultSite::OperatorApply, w.view());
         }
         if (side == PrecondSide::Left) {
           obs::ScopedPhase sp(trace, obs::Phase::Precond);
           copy_into<T>(MatrixView<const T>(w.data(), n, 1, n), ztmp.view());
           m->apply(ztmp.view(), w.view());
           ++st.precond_applies;
+          detail::fault_hook(&rz, resilience::FaultSite::PrecondApply, w.view());
         }
       } else {
-        detail::apply_preconditioned<T>(a, m, side, input, zj, w.view(), st, trace);
+        detail::apply_preconditioned<T>(a, m, side, input, zj, w.view(), st, trace, &rz);
       }
       std::fill(hcol.begin(), hcol.end(), T(0));
       detail::project<T>(v.view(), j + 1,
@@ -109,6 +123,7 @@ SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::v
       Real hn;
       {
         obs::ScopedPhase sp(trace, obs::Phase::OrthoNormalization);
+        detail::fault_hook(&rz, resilience::FaultSite::Orthogonalization, w.view());
         hn = norm2<T>(n, w.col(0), ex);
         hcol[size_t(j) + 1] = scalar_traits<T>::from_real(hn);
         st.reductions += 1;
@@ -139,15 +154,37 @@ SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::v
         ev.residuals.assign(1, est / bnorm);
         trace->iteration(ev);
       }
+      if (!std::isfinite(static_cast<double>(est)) ||
+          !std::isfinite(static_cast<double>(hn))) {
+        fatal = true;
+        break;
+      }
       if (hn == Real(0)) break;
       if (est <= opts.tol * bnorm) {
         hit = true;
         break;
       }
+      if (est / bnorm < stag_best * (Real(1) - Real(1e-12))) {
+        stag_best = est / bnorm;
+        stag_count = 0;
+      } else if (opts.recovery.early_restart && ++stag_count >= opts.recovery.stagnation_window) {
+        ++st.recoveries;
+        if (trace != nullptr)
+          trace->recovery(obs::RecoveryEvent{st.iterations, "cycle", "early-restart", 0});
+        break;
+      }
     }
-    (void)hit;
+    if (fatal) {
+      // A poisoned basis would feed NaN into the least squares; stop with
+      // the last consistent iterate.
+      st.status = SolveStatus::NonFiniteResidual;
+      break;
+    }
     // Least squares over the j columns.
-    if (j == 0) break;
+    if (j == 0) {
+      st.status = SolveStatus::Stagnated;
+      break;
+    }
     std::vector<T> y(ghat.begin(), ghat.begin() + j);
     DenseMatrix<T> t(n, 1);
     const index_t jk = std::min(j, mk);
@@ -193,11 +230,28 @@ SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::v
       for (auto& val : dx) val *= dinv;
       augmented.push_front(std::move(dx));
       if (index_t(augmented.size()) > aug_max) augmented.pop_back();
+    } else if (!hit && side != PrecondSide::Flexible) {
+      // Exactly null update with a fixed preconditioner: the next cycle
+      // replays this one from an identical state, so stop now.
+      st.status = SolveStatus::Stagnated;
+      break;
     }
   }
-  st.seconds = timer.seconds();
-  if (trace != nullptr) trace->end_solve(st.converged, st.iterations, st.cycles, st.seconds);
-  return st;
+}
+
+}  // namespace
+
+template <class T>
+SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::vector<T>& b,
+                  std::vector<T>& x, const SolverOptions& opts, CommModel* comm) {
+  detail::check_solve_entry<T>(
+      a, m, MatrixView<const T>(b.data(), index_t(b.size()), 1, index_t(b.size())),
+      MatrixView<T>(x.data(), index_t(x.size()), 1, index_t(x.size())), opts);
+  return detail::run_solver("lgmres", a.n(), 1, opts, [&](SolveStats& st) {
+    lgmres_body<T>(a, m, b, x, opts, comm, st);
+    detail::final_residual_check<T>(a, MatrixView<const T>(b.data(), a.n(), 1, a.n()),
+                                    MatrixView<T>(x.data(), a.n(), 1, a.n()), opts, st, comm);
+  });
 }
 
 template SolveStats lgmres<double>(const LinearOperator<double>&, Preconditioner<double>*,

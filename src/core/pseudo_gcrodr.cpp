@@ -3,9 +3,9 @@
 // reduction per global step), each lane owning its own k-column recycled
 // subspace. This is the method of the paper's fig. 8 alternatives 5-6.
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
-#include "common/timer.hpp"
 #include "core/gcrodr.hpp"
 #include "core/krylov_detail.hpp"
 #include "la/eig.hpp"
@@ -13,15 +13,6 @@
 namespace bkr {
 
 namespace {
-
-template <class T>
-index_t usable_scalar_columns(const IncrementalQR<T>& qr, index_t s) {
-  real_t<T> dmax(0);
-  for (index_t c = 0; c < s; ++c) dmax = std::max(dmax, abs_val(qr.r(c, c)));
-  for (index_t c = 0; c < s; ++c)
-    if (abs_val(qr.r(c, c)) <= real_t<T>(1e-14) * std::max(dmax, real_t<T>(1e-300))) return c;
-  return s;
-}
 
 // Per-RHS lane of a fused GCRO-DR run (single-vector, contiguous storage).
 template <class T>
@@ -75,7 +66,8 @@ struct Lane {
 template <class T>
 void refresh_lane_recycle(Lane<T>& lane, index_t n, index_t k, index_t s, PrecondSide side,
                           RecycleStrategy strategy, bool with_projection,
-                          const KernelExecutor* ex) {
+                          const KernelExecutor* ex, const RecoveryPolicy& policy, SolveStats& st,
+                          obs::TraceSink* trace) {
   using Real = real_t<T>;
   if (s <= 0) return;
   const index_t vcols = lane.steps + 1;
@@ -111,11 +103,18 @@ void refresh_lane_recycle(Lane<T>& lane, index_t n, index_t k, index_t s, Precon
       for (index_t i = 0; i < s; ++i) wmat(i, j) = conj(lane.hbar(j, i));
     try {
       pk = smallest_gen_eig_vectors<T>(tmat, wmat, knew);
-    } catch (const std::runtime_error&) {
+    } catch (const EigFailure&) {
       // Harmonic Ritz extraction failed: seed with leading Krylov
-      // directions (see the block GCRO-DR fallback).
+      // directions (see the block GCRO-DR fallback) — unless the policy
+      // demands a hard failure.
+      if (!policy.shrink_recycle)
+        throw BreakdownError(SolveStatus::EigSolveFailure,
+                             "pseudo_gcrodr: harmonic Ritz extraction failed");
       pk.resize(s, knew);
       for (index_t j = 0; j < knew; ++j) pk(j, j) = T(1);
+      ++st.recoveries;
+      if (trace != nullptr)
+        trace->recovery(obs::RecoveryEvent{st.iterations, "deflation", "identity-pk", knew});
     }
   } else {
     DenseMatrix<T> tmat(cols, cols);
@@ -138,11 +137,18 @@ void refresh_lane_recycle(Lane<T>& lane, index_t n, index_t k, index_t s, Precon
     }
     try {
       pk = smallest_gen_eig_vectors<T>(tmat, wmat, knew);
-    } catch (const std::runtime_error&) {
+    } catch (const EigFailure&) {
       // Deflation pencil failed: keep the leading columns of [U, basis],
-      // re-orthonormalized below.
+      // re-orthonormalized below — unless the policy demands a hard
+      // failure.
+      if (!policy.shrink_recycle)
+        throw BreakdownError(SolveStatus::EigSolveFailure,
+                             "pseudo_gcrodr: deflation pencil eigensolve failed");
       pk.resize(cols, knew);
       for (index_t j = 0; j < knew; ++j) pk(j, j) = T(1);
+      ++st.recoveries;
+      if (trace != nullptr)
+        trace->recovery(obs::RecoveryEvent{st.iterations, "deflation", "identity-pk", knew});
     }
   }
   // [Q, R] = qr(G Pk); C = [C V] Q; U = [U basis] Pk R^{-1}.
@@ -177,12 +183,9 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
                                   bool new_matrix) {
   using Real = real_t<T>;
   detail::check_solve_entry<T>(a, m, b, x, opts_);
-  Timer timer;
-  SolveStats st;
   const index_t n = a.n(), p = b.cols();
   obs::TraceSink* const trace = opts_.trace;
   const KernelExecutor* const ex = opts_.exec;
-  if (trace != nullptr) trace->begin_solve("pseudo_gcrodr", n, p);
   PrecondSide side = (m == nullptr) ? PrecondSide::None : opts_.side;
   if (side == PrecondSide::Right && m != nullptr && m->is_variable()) side = PrecondSide::Flexible;
   const index_t mdim = opts_.restart;
@@ -191,6 +194,9 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
   const bool matrix_changed = (solves_ == 0) || (new_matrix && !opts_.same_system);
   const bool had_recycle = u_.cols() > 0 && lanes_ == p;
   ++solves_;
+
+  return detail::run_solver("pseudo_gcrodr", n, p, opts_, [&](SolveStats& st) {
+  detail::Resilience<T> rz{opts_.recovery, opts_.fault};
 
   std::vector<Lane<T>> lanes(static_cast<size_t>(p));
   if (had_recycle) {
@@ -223,7 +229,7 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
     if (v == Real(0)) v = Real(1);
 
   DenseMatrix<T> r(n, p), w(n, p), ztmp(n, p);
-  detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace);
+  detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace, &rz);
   detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
   for (index_t l = 0; l < p; ++l) {
     lanes[size_t(l)].bnorm = bnorm[size_t(l)];
@@ -231,6 +237,10 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
     lanes[size_t(l)].converged = rnorm[size_t(l)] <= opts_.tol * bnorm[size_t(l)];
     if (opts_.record_history)
       st.history[size_t(l)].push_back(rnorm[size_t(l)] / bnorm[size_t(l)]);
+  }
+  if (!detail::finite_norms(bnorm.data(), p) || !detail::finite_norms(rnorm.data(), p)) {
+    st.status = SolveStatus::NonFiniteResidual;
+    return;
   }
   auto all_converged = [&] {
     for (const auto& lane : lanes)
@@ -251,24 +261,29 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
           obs::ScopedPhase sp(trace, obs::Phase::Precond);
           m->apply(uall.view(), tmp.view());
           ++st.precond_applies;
+          detail::fault_hook(&rz, resilience::FaultSite::PrecondApply, tmp.view());
         }
         obs::ScopedPhase sp(trace, obs::Phase::Spmm);
         a.apply(tmp.view(), wall.view());
         ++st.operator_applies;
+        detail::fault_hook(&rz, resilience::FaultSite::OperatorApply, wall.view());
       } else if (side == PrecondSide::Left) {
         DenseMatrix<T> tmp(n, k * p);
         {
           obs::ScopedPhase sp(trace, obs::Phase::Spmm);
           a.apply(uall.view(), tmp.view());
           ++st.operator_applies;
+          detail::fault_hook(&rz, resilience::FaultSite::OperatorApply, tmp.view());
         }
         obs::ScopedPhase sp(trace, obs::Phase::Precond);
         m->apply(tmp.view(), wall.view());
         ++st.precond_applies;
+        detail::fault_hook(&rz, resilience::FaultSite::PrecondApply, wall.view());
       } else {
         obs::ScopedPhase sp(trace, obs::Phase::Spmm);
         a.apply(uall.view(), wall.view());
         ++st.operator_applies;
+        detail::fault_hook(&rz, resilience::FaultSite::OperatorApply, wall.view());
       }
       // Per-lane CholQR of its k columns (one fused reduction).
       obs::ScopedPhase sp(trace, obs::Phase::OrthoNormalization);
@@ -306,6 +321,7 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
         obs::ScopedPhase sp(trace, obs::Phase::Precond);
         m->apply(t.view(), ztmp.view());
         ++st.precond_applies;
+        detail::fault_hook(&rz, resilience::FaultSite::PrecondApply, ztmp.view());
       }
       for (index_t l = 0; l < p; ++l) axpy<T>(n, T(1), ztmp.col(l), x.col(l));
     } else {
@@ -313,6 +329,10 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
     }
     // The projection changed the residual: refresh norms and flags.
     detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
+    if (!detail::finite_norms(rnorm.data(), p)) {
+      st.status = SolveStatus::NonFiniteResidual;
+      return;
+    }
     for (index_t l = 0; l < p; ++l) {
       lanes[size_t(l)].rnorm = rnorm[size_t(l)];
       lanes[size_t(l)].converged = rnorm[size_t(l)] <= opts_.tol * bnorm[size_t(l)];
@@ -323,6 +343,7 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
   // steps (and seeds the recycled spaces); every later pass runs m - k
   // projected steps.
   bool first_cycle = !had_recycle;
+  bool fatal = false;
   while (!all_converged() && st.iterations < opts_.max_iterations) {
     ++st.cycles;
     const index_t max_steps = first_cycle ? mdim : (mdim - k);
@@ -358,7 +379,7 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
         if (lanes[size_t(l)].active)
           std::copy(lanes[size_t(l)].v.col(j), lanes[size_t(l)].v.col(j) + n, vin.col(l));
       MatrixView<T> zj = ztmp.view();
-      detail::apply_preconditioned<T>(a, m, side, vin.view(), zj, w.view(), st, trace);
+      detail::apply_preconditioned<T>(a, m, side, vin.view(), zj, w.view(), st, trace, &rz);
       index_t nactive = 0;
       for (const auto& lane : lanes) nactive += lane.active ? 1 : 0;
       if (nactive == 0) break;
@@ -389,6 +410,7 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
       if (trace != nullptr) trace->phase(obs::Phase::Reduction, 0.0, 2);
       {
         obs::ScopedPhase sp(trace, obs::Phase::OrthoProjection);
+        detail::fault_hook(&rz, resilience::FaultSite::Orthogonalization, w.view());
         for (index_t l = 0; l < p; ++l) {
           auto& lane = lanes[size_t(l)];
           if (!lane.active) continue;
@@ -418,6 +440,11 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
           lane.steps = j + 1;
           const Real est = abs_val(lane.ghat[size_t(j) + 1]);
           lane.rnorm = est;
+          if (!std::isfinite(static_cast<double>(est)) ||
+              !std::isfinite(static_cast<double>(hn))) {
+            fatal = true;
+            lane.active = false;
+          }
           if (opts_.record_history) st.history[size_t(l)].push_back(est / lane.bnorm);
           if (est > opts_.tol * lane.bnorm) ++st.per_rhs_iterations[size_t(l)];
           if (est <= opts_.tol * lane.bnorm || hn == Real(0)) lane.active = false;
@@ -436,9 +463,16 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
           ev.residuals[size_t(l)] = lanes[size_t(l)].rnorm / lanes[size_t(l)].bnorm;
         trace->iteration(ev);
       }
+      if (fatal) break;
       bool any = false;
       for (const auto& lane : lanes) any |= lane.active;
       if (!any) break;
+    }
+    if (fatal) {
+      // A poisoned lane would corrupt the shared update and the recycle
+      // refresh: stop with the last consistent iterate and recycle data.
+      st.status = SolveStatus::NonFiniteResidual;
+      break;
     }
 
     // Per-lane least squares, solution update, recycle refresh.
@@ -450,7 +484,7 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
       for (index_t l = 0; l < p; ++l) {
         auto& lane = lanes[size_t(l)];
         if (lane.converged || lane.steps == 0) continue;
-        const index_t s = usable_scalar_columns(lane.qr, lane.steps);
+        const index_t s = detail::usable_columns(lane.qr, lane.steps);
         if (s == 0) continue;
         progress = true;
         const std::vector<T> y = lane.least_squares(s);
@@ -471,19 +505,29 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
         }
       }
     }
-    if (!progress) break;
+    if (!progress) {
+      if (st.iterations < opts_.max_iterations) st.status = SolveStatus::Stagnated;
+      break;
+    }
     if (side == PrecondSide::Right) {
       {
         obs::ScopedPhase sp(trace, obs::Phase::Precond);
         m->apply(t.view(), ztmp.view());
         ++st.precond_applies;
+        detail::fault_hook(&rz, resilience::FaultSite::PrecondApply, ztmp.view());
       }
       for (index_t l = 0; l < p; ++l) axpy<T>(n, T(1), ztmp.col(l), x.col(l));
     } else {
       for (index_t l = 0; l < p; ++l) axpy<T>(n, T(1), t.col(l), x.col(l));
     }
-    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace);
+    detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace, &rz);
     detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
+    if (!detail::finite_norms(rnorm.data(), p)) {
+      // Break before refreshing the recycled spaces so they keep the last
+      // consistent state.
+      st.status = SolveStatus::NonFiniteResidual;
+      break;
+    }
     for (index_t l = 0; l < p; ++l) {
       lanes[size_t(l)].rnorm = rnorm[size_t(l)];
       lanes[size_t(l)].converged = rnorm[size_t(l)] <= opts_.tol * bnorm[size_t(l)];
@@ -500,8 +544,9 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
       for (index_t l = 0; l < p; ++l) {
         auto& lane = lanes[size_t(l)];
         if (lane.steps == 0) continue;
-        const index_t s = usable_scalar_columns(lane.qr, lane.steps);
-        refresh_lane_recycle<T>(lane, n, k, s, side, opts_.strategy, !first_cycle, ex);
+        const index_t s = detail::usable_columns(lane.qr, lane.steps);
+        refresh_lane_recycle<T>(lane, n, k, s, side, opts_.strategy, !first_cycle, ex,
+                                opts_.recovery, st, trace);
       }
       if (opts_.strategy == RecycleStrategy::A && !first_cycle) {
         st.reductions += 1;  // [C V]^H U of eq. 3a (fused over lanes)
@@ -526,9 +571,8 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
       }
   }
   st.converged = all_converged();
-  st.seconds = timer.seconds();
-  if (trace != nullptr) trace->end_solve(st.converged, st.iterations, st.cycles, st.seconds);
-  return st;
+  detail::final_residual_check<T>(a, b, x, opts_, st, comm);
+  });
 }
 
 template class PseudoGcroDr<double>;

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,99 @@
 namespace bkr {
 
 class KernelExecutor;  // parallel/kernel_executor.hpp
+
+namespace resilience {
+class FaultInjector;  // resilience/fault_injector.hpp
+}
+
+// Failure taxonomy: why a solve stopped. Every solver reports exactly one
+// terminal status in SolveStats::status; `Converged` if and only if
+// SolveStats::converged. The non-converged values diagnose the *first*
+// unrecoverable condition encountered:
+enum class SolveStatus : int {
+  Converged = 0,         // relative residual target met for every RHS column
+  MaxIterations,         // iteration budget exhausted while still making progress
+  Stagnated,             // no usable new direction / provably wedged restart cycle
+  Breakdown,             // block rank collapse or indefinite-operator breakdown
+                         // that the recovery ladder could not (or was not
+                         // allowed to) repair
+  NonFiniteResidual,     // NaN/Inf reached a residual norm or Hessenberg entry
+  PreconditionerFailure, // the preconditioner apply threw
+  EigSolveFailure,       // deflation eigenproblem failed and recycling recovery
+                         // was disabled (RecoveryPolicy::shrink_recycle = false)
+  Faulted,               // an injected fault terminated the solve, or the final
+                         // true-residual check caught a corrupted recursion
+};
+
+inline constexpr int kSolveStatusCount = 8;
+
+// Stable lowercase identifier ("converged", "max-iterations", ...).
+inline const char* status_name(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::Converged: return "converged";
+    case SolveStatus::MaxIterations: return "max-iterations";
+    case SolveStatus::Stagnated: return "stagnated";
+    case SolveStatus::Breakdown: return "breakdown";
+    case SolveStatus::NonFiniteResidual: return "non-finite-residual";
+    case SolveStatus::PreconditionerFailure: return "preconditioner-failure";
+    case SolveStatus::EigSolveFailure: return "eig-solve-failure";
+    case SolveStatus::Faulted: return "faulted";
+  }
+  return "unknown";
+}
+
+// Structured solver failure. Used two ways: internally, deep solver code
+// throws it to abort a solve with a precise status (the solver entry point
+// catches it and finalizes SolveStats); externally, it is what callers see
+// when RecoveryPolicy::throw_on_failure is set and a solve ends in a hard
+// failure. It deliberately does NOT derive from the types the legacy
+// blanket catches used, so ContractViolation (std::logic_error) and
+// unrelated runtime errors keep propagating.
+class BreakdownError : public std::runtime_error {
+ public:
+  BreakdownError(SolveStatus status, const std::string& what)
+      : std::runtime_error(what), status_(status) {}
+  [[nodiscard]] SolveStatus status() const noexcept { return status_; }
+
+ private:
+  SolveStatus status_;
+};
+
+// Bounded recovery-escalation ladder applied when a solver hits a fragile
+// moment. Every rung is deterministic (seeded) and every engagement is
+// counted in SolveStats::recoveries and emitted as an obs::RecoveryEvent,
+// so a "recovered" solve is always distinguishable from a clean one. With
+// the defaults, a solve that never hits a fragile moment takes bitwise
+// identical steps to a build without the resilience layer.
+struct RecoveryPolicy {
+  // Block breakdown (rank-deficient Arnoldi block): after the built-in
+  // CholQR -> Householder TSQR escalation, replace dead basis columns with
+  // seeded random vectors re-orthogonalized against the basis. Off: the
+  // cycle is truncated at the breakdown (legacy behavior).
+  bool block_recovery = true;
+  // Total block-recovery engagements allowed per solve before the solver
+  // gives up with SolveStatus::Breakdown.
+  index_t max_recoveries = 8;
+  // Deflation eigenproblem failure at a GCRO-DR restart: keep the current
+  // recycle space via the identity-coefficient fallback (drop the refresh)
+  // instead of failing the solve with EigSolveFailure.
+  bool shrink_recycle = true;
+  // Close a restart cycle early when the worst-column residual estimate
+  // has not improved for `stagnation_window` consecutive iterations; the
+  // restart re-seeds the basis from the true residual.
+  bool early_restart = true;
+  index_t stagnation_window = 15;
+  // Seed for the random replacement columns.
+  std::uint64_t seed = 0x5eedb10cULL;
+  // Re-verify the true residual before reporting convergence (CG-family
+  // recursions can be lied to by a faulted operator). Automatically on
+  // whenever a FaultInjector is attached.
+  bool final_check = false;
+  // Surface hard failures (Breakdown, NonFiniteResidual,
+  // PreconditionerFailure, EigSolveFailure, Faulted — not MaxIterations or
+  // Stagnated) as a thrown BreakdownError after SolveStats is finalized.
+  bool throw_on_failure = false;
+};
 
 // Where the preconditioner enters the iteration (paper: "right, left, or
 // variable preconditioning" are all supported uniformly).
@@ -62,10 +156,23 @@ struct SolverOptions {
   // iteration counts, residual histories and solutions are identical at
   // every thread count.
   const KernelExecutor* exec = nullptr;
+  // Recovery-escalation policy; the defaults keep fault-free solves
+  // bitwise identical to the pre-resilience code paths.
+  RecoveryPolicy recovery;
+  // Optional deterministic fault injector (not owned). When null — the
+  // default — the hooks at operator applies, preconditioner applies and
+  // orthogonalization reduce to pointer tests.
+  resilience::FaultInjector* fault = nullptr;
 };
 
 struct SolveStats {
   bool converged = false;
+  // Terminal status (== Converged exactly when `converged`). The default
+  // covers the one exit no solver marks explicitly: budget exhaustion.
+  SolveStatus status = SolveStatus::MaxIterations;
+  // Recovery-ladder engagements during this solve (column replacements,
+  // identity-pk deflation fallbacks, early restarts). 0 on a clean solve.
+  std::int64_t recoveries = 0;
   index_t iterations = 0;  // (block) Arnoldi steps performed
   index_t cycles = 0;      // restarts + 1
   std::int64_t reductions = 0;       // global synchronizations

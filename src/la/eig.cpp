@@ -86,7 +86,7 @@ void hessenberg_schur(DenseMatrix<cplx>& h, DenseMatrix<cplx>& q) {
   index_t iterations_left = 60 * std::max<index_t>(n, 1);
   while (hi > 0) {
     if (iterations_left-- <= 0)
-      throw std::runtime_error("eig: Hessenberg QR iteration failed to converge");
+      throw EigFailure("eig: Hessenberg QR iteration failed to converge");
     // Deflate small subdiagonals.
     index_t lo = hi;
     while (lo > 0) {
@@ -281,7 +281,7 @@ EigDecomposition eig_generalized(const DenseMatrix<cplx>& t, const DenseMatrix<c
     throw std::invalid_argument("eig_generalized: dimension mismatch");
   DenseLU<cplx> lu(copy_of(w));
   if (lu.singular())
-    throw std::runtime_error("eig_generalized: W is singular; use the other recycle strategy");
+    throw EigFailure("eig_generalized: W is singular; use the other recycle strategy");
   DenseMatrix<cplx> c = copy_of(t);
   lu.solve(c.view());
   return eig_general(std::move(c));

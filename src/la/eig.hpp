@@ -12,6 +12,8 @@
 #pragma once
 
 #include <complex>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "la/dense.hpp"
@@ -20,9 +22,19 @@ namespace bkr {
 
 using cplx = std::complex<double>;
 
+// Thrown when a dense eigensolve cannot produce a usable decomposition:
+// QR-iteration non-convergence, or a singular pencil right-hand side W. A
+// distinct type so solver-level recovery (GCRO-DR's identity-pk fallback)
+// can catch eigensolve failures specifically without swallowing contract
+// violations or unrelated runtime errors.
+class EigFailure : public std::runtime_error {
+ public:
+  explicit EigFailure(const std::string& what) : std::runtime_error(what) {}
+};
+
 // Eigen decomposition of a general complex matrix (values unordered,
-// right eigenvectors as unit-norm columns). Throws std::runtime_error if
-// the QR iteration fails to converge.
+// right eigenvectors as unit-norm columns). Throws EigFailure if the QR
+// iteration fails to converge.
 struct EigDecomposition {
   std::vector<cplx> values;
   DenseMatrix<cplx> vectors;
@@ -31,7 +43,8 @@ EigDecomposition eig_general(DenseMatrix<cplx> a);
 
 // Eigen decomposition of the pencil T z = theta W z, reduced to standard
 // form through an LU solve with W (the paper notes W is invertible for
-// both strategy A and B right-hand sides).
+// both strategy A and B right-hand sides). Throws EigFailure if W is
+// singular (e.g. a stagnating cycle leaves H_m rank deficient).
 EigDecomposition eig_generalized(const DenseMatrix<cplx>& t, const DenseMatrix<cplx>& w);
 
 // --- selection helpers used by (B)GCRO-DR -------------------------------

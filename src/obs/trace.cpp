@@ -81,6 +81,14 @@ void SolverTrace::phase(Phase p, double seconds, std::int64_t count) {
 
 void SolverTrace::iteration(const IterationEvent& ev) { current().events.push_back(ev); }
 
+void SolverTrace::recovery(const RecoveryEvent& ev) { current().recoveries.push_back(ev); }
+
+std::int64_t SolverTrace::recovery_count() const {
+  std::int64_t n = 0;
+  for (const auto& rec : solves_) n += static_cast<std::int64_t>(rec.recoveries.size());
+  return n;
+}
+
 SolverTrace::PhaseTotals SolverTrace::phase_totals(Phase p) const {
   PhaseTotals out;
   for (const auto& rec : solves_) {
@@ -138,6 +146,16 @@ void SolverTrace::write_json(std::ostream& os) const {
         json_double(os, ev.residuals[c]);
       }
       os << "]}";
+    }
+    os << "],\"recoveries\":[";
+    for (size_t e = 0; e < rec.recoveries.size(); ++e) {
+      const auto& ev = rec.recoveries[e];
+      if (e > 0) os << ',';
+      os << "{\"iteration\":" << ev.iteration << ",\"site\":";
+      json_escaped(os, ev.site);
+      os << ",\"action\":";
+      json_escaped(os, ev.action);
+      os << ",\"columns\":" << ev.columns << '}';
     }
     os << "]}";
   }

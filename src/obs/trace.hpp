@@ -53,6 +53,16 @@ struct IterationEvent {
   std::vector<double> residuals;
 };
 
+// One record per recovery-ladder engagement (resilience layer): a
+// "recovered" solve is distinguishable from a clean one in the trace, and
+// the chaos suite can assert exactly which rung fired.
+struct RecoveryEvent {
+  index_t iteration = 0;  // global (block) iteration count when it fired
+  std::string site;       // "ortho" | "deflation" | "cycle"
+  std::string action;     // "replace-columns" | "identity-pk" | "early-restart"
+  index_t columns = 0;    // basis columns affected (0 when not applicable)
+};
+
 // Consumer interface. Implementations must tolerate any call order the
 // solvers produce: phases and iterations arrive between begin_solve /
 // end_solve pairs; a sink may be reused across many solves (the sequence
@@ -66,6 +76,9 @@ class TraceSink {
   // Reduction, the number of global synchronizations the span fused).
   virtual void phase(Phase p, double seconds, std::int64_t count = 1) = 0;
   virtual void iteration(const IterationEvent& ev) = 0;
+  // Recovery-escalation event. Default no-op so pre-existing sinks stay
+  // source compatible.
+  virtual void recovery(const RecoveryEvent&) {}
 };
 
 // RAII phase timer: no-op (a single pointer test, no clock read) when the
@@ -113,14 +126,18 @@ class SolverTrace final : public TraceSink {
     double seconds = 0;
     PhaseTotals phases[kPhaseCount];
     std::vector<IterationEvent> events;
+    std::vector<RecoveryEvent> recoveries;
   };
 
   void begin_solve(const char* method, index_t n, index_t nrhs) override;
   void end_solve(bool converged, index_t iterations, index_t cycles, double seconds) override;
   void phase(Phase p, double seconds, std::int64_t count = 1) override;
   void iteration(const IterationEvent& ev) override;
+  void recovery(const RecoveryEvent& ev) override;
 
   [[nodiscard]] const std::vector<SolveRecord>& solves() const { return solves_; }
+  // Recovery events across every recorded solve.
+  [[nodiscard]] std::int64_t recovery_count() const;
 
   // Totals across every recorded solve.
   [[nodiscard]] PhaseTotals phase_totals(Phase p) const;

@@ -1,0 +1,83 @@
+#include "resilience/fault_injector.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace bkr::resilience {
+
+const char* site_name(FaultSite s) {
+  switch (s) {
+    case FaultSite::OperatorApply: return "operator-apply";
+    case FaultSite::PrecondApply: return "precond-apply";
+    case FaultSite::Orthogonalization: return "orthogonalization";
+  }
+  return "unknown";
+}
+
+const char* kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::InjectNan: return "inject-nan";
+    case FaultKind::ZeroColumn: return "zero-column";
+    case FaultKind::PerturbBlock: return "perturb-block";
+    case FaultKind::Throw: return "throw";
+  }
+  return "unknown";
+}
+
+void FaultInjector::reset() {
+  for (auto& armed : plans_) armed.fired = false;
+  for (auto& v : visits_) v = 0;
+  injected_ = 0;
+}
+
+void FaultInjector::clear() {
+  plans_.clear();
+  for (auto& v : visits_) v = 0;
+  injected_ = 0;
+}
+
+template <class T>
+void FaultInjector::at(FaultSite site, MatrixView<T> block) {
+  BKR_REQUIRE(block.rows() >= 0 && block.cols() >= 0, "block.rows", block.rows(), "block.cols",
+              block.cols());
+  BKR_REQUIRE(block.ld() >= block.rows(), "block.ld", block.ld(), "block.rows", block.rows());
+  const std::int64_t visit = ++visits_[static_cast<int>(site)];
+  for (auto& armed : plans_) {
+    if (armed.fired || armed.plan.site != site || armed.plan.at_visit != visit) continue;
+    armed.fired = true;
+    const index_t rows = block.rows();
+    const index_t cols = block.cols();
+    if (rows == 0 || cols == 0) continue;
+    ++injected_;
+    const index_t c = std::min<index_t>(std::max<index_t>(armed.plan.column, 0), cols - 1);
+    switch (armed.plan.kind) {
+      case FaultKind::InjectNan:
+        block(rows / 2, c) =
+            scalar_traits<T>::from_real(std::numeric_limits<real_t<T>>::quiet_NaN());
+        break;
+      case FaultKind::ZeroColumn:
+        for (index_t i = 0; i < rows; ++i) block(i, c) = T(0);
+        break;
+      case FaultKind::PerturbBlock: {
+        // Visit-indexed seed: a plan re-armed for a later solve perturbs
+        // identically only when it fires at the same visit.
+        Rng rng(static_cast<unsigned>(seed_ + 0x9e3779b9ULL * static_cast<std::uint64_t>(visit)));
+        const T scale = scalar_traits<T>::from_real(real_t<T>(armed.plan.magnitude));
+        for (index_t i = 0; i < rows; ++i) block(i, c) += scale * rng.scalar<T>();
+        break;
+      }
+      case FaultKind::Throw:
+        throw InjectedFault(site, std::string("injected fault at ") + site_name(site) +
+                                      " visit " + std::to_string(visit));
+    }
+  }
+}
+
+template void FaultInjector::at<double>(FaultSite, MatrixView<double>);
+template void FaultInjector::at<std::complex<double>>(FaultSite,
+                                                      MatrixView<std::complex<double>>);
+
+}  // namespace bkr::resilience

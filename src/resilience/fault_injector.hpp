@@ -1,0 +1,110 @@
+// Deterministic fault injection for the resilience chaos suite.
+//
+// The solvers expose three hook sites — operator applies, preconditioner
+// applies and block orthogonalization — through the same not-owned-pointer
+// pattern as SolverOptions::trace and ::exec: a null injector (the
+// default) reduces every hook to a pointer test, so production solves pay
+// nothing. An attached injector counts visits per site and fires each
+// scheduled FaultPlan exactly once, on the plan's N-th visit to its site,
+// mutating the in-flight block (NaN / zeroed column / random perturbation)
+// or throwing InjectedFault. Everything is seeded and visit-indexed, so a
+// given (plan, solver, system) cell reproduces bit-for-bit — the chaos
+// suite's assertions are deterministic, never flaky.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "la/dense.hpp"
+
+namespace bkr::resilience {
+
+// Hook sites instrumented in the solvers (krylov_detail.hpp).
+enum class FaultSite : int {
+  OperatorApply = 0,   // block A·V (also residual recomputations)
+  PrecondApply,        // block M^{-1}·R
+  Orthogonalization,   // the block entering CholQR/TSQR normalization
+};
+
+inline constexpr int kFaultSiteCount = 3;
+
+const char* site_name(FaultSite s);
+
+enum class FaultKind : int {
+  InjectNan = 0,  // overwrite one entry of the target column with quiet NaN
+  ZeroColumn,     // zero the target column (exact rank deficiency)
+  PerturbBlock,   // add magnitude-scaled random noise to the target column
+  Throw,          // throw InjectedFault from inside the hook
+};
+
+inline constexpr int kFaultKindCount = 4;
+
+const char* kind_name(FaultKind k);
+
+// Thrown by FaultKind::Throw; carries the site so the solver entry point
+// can map it to PreconditionerFailure vs Faulted.
+class InjectedFault : public std::runtime_error {
+ public:
+  InjectedFault(FaultSite site, const std::string& what)
+      : std::runtime_error(what), site_(site) {}
+  [[nodiscard]] FaultSite site() const noexcept { return site_; }
+
+ private:
+  FaultSite site_;
+};
+
+struct FaultPlan {
+  FaultSite site = FaultSite::OperatorApply;
+  FaultKind kind = FaultKind::InjectNan;
+  // Fire on the N-th hook visit to `site` (1-based), once.
+  std::int64_t at_visit = 1;
+  // Target column, clamped to the observed block width.
+  index_t column = 0;
+  // PerturbBlock noise scale.
+  double magnitude = 1e6;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0xb10c5eedULL) : seed_(seed) {}
+
+  void schedule(const FaultPlan& plan) { plans_.push_back(Armed{plan, false}); }
+
+  // Re-arm every plan and zero the visit counters (call between solves to
+  // replay the same fault scenario).
+  void reset();
+  // Drop all plans and counters.
+  void clear();
+
+  // Hook entry point: counts the visit and applies any plan scheduled for
+  // (site, visit). Called by the solvers with the in-flight block.
+  template <class T>
+  void at(FaultSite site, MatrixView<T> block);
+
+  [[nodiscard]] std::int64_t visits(FaultSite site) const {
+    return visits_[static_cast<int>(site)];
+  }
+  // Total plans fired so far.
+  [[nodiscard]] std::int64_t injected() const { return injected_; }
+
+ private:
+  struct Armed {
+    FaultPlan plan;
+    bool fired = false;
+  };
+
+  std::vector<Armed> plans_;
+  std::int64_t visits_[kFaultSiteCount] = {0, 0, 0};
+  std::int64_t injected_ = 0;
+  std::uint64_t seed_;
+};
+
+extern template void FaultInjector::at<double>(FaultSite, MatrixView<double>);
+extern template void FaultInjector::at<std::complex<double>>(FaultSite,
+                                                             MatrixView<std::complex<double>>);
+
+}  // namespace bkr::resilience

@@ -37,6 +37,38 @@ TEST(CApi, DefaultsArePopulated) {
   EXPECT_EQ(opts.recycle, 10);
   EXPECT_DOUBLE_EQ(opts.tol, 1e-8);
   EXPECT_EQ(opts.side, BKR_SIDE_RIGHT);
+  EXPECT_EQ(opts.no_recovery, 0);
+}
+
+TEST(CApi, ResultCarriesStatusTaxonomy) {
+  const auto a = poisson2d(8, 8);
+  const auto arrays = to_c(a);
+  bkr_matrix* mat = bkr_matrix_create(a.rows(), arrays.rowptr.data(), arrays.colind.data(),
+                                      arrays.values.data());
+  ASSERT_NE(mat, nullptr);
+  const auto b = poisson2d_rhs(8, 8, 0.1);
+  std::vector<double> x(b.size(), 0.0);
+  bkr_options opts;
+  bkr_options_default(&opts);
+  bkr_result result;
+  ASSERT_EQ(bkr_gmres(mat, b.data(), x.data(), &opts, &result), 0);
+  EXPECT_EQ(result.converged, 1);
+  EXPECT_EQ(result.status, BKR_STATUS_CONVERGED);
+  EXPECT_EQ(result.recoveries, 0);
+  // Unreachable tolerance with a tiny budget: the refined status says why.
+  opts.tol = 1e-15;
+  opts.max_iterations = 5;
+  std::fill(x.begin(), x.end(), 0.0);
+  ASSERT_EQ(bkr_gmres(mat, b.data(), x.data(), &opts, &result), 0);
+  EXPECT_EQ(result.converged, 0);
+  EXPECT_EQ(result.status, BKR_STATUS_MAX_ITERATIONS);
+  // no_recovery is accepted and still solves the healthy system.
+  bkr_options_default(&opts);
+  opts.no_recovery = 1;
+  std::fill(x.begin(), x.end(), 0.0);
+  ASSERT_EQ(bkr_gmres(mat, b.data(), x.data(), &opts, &result), 0);
+  EXPECT_EQ(result.status, BKR_STATUS_CONVERGED);
+  bkr_matrix_destroy(mat);
 }
 
 TEST(CApi, RejectsInvalidMatrices) {

@@ -3,6 +3,7 @@
 
 #include <complex>
 
+#include "core/block_cg.hpp"
 #include "core/cg.hpp"
 #include "direct/factor.hpp"
 #include "core/gcrodr.hpp"
@@ -254,6 +255,121 @@ TEST(EdgeCases, NonZeroInitialGuessGcroDr) {
                                MatrixView<double>(x.data(), n, 1, n));
   EXPECT_TRUE(st.converged);
   EXPECT_LT(testing::relative_residual(a, x, b), 1e-7);
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate inputs: every solver entry point must handle a zero RHS
+// column, duplicated RHS columns, and a singular operator by terminating
+// with either success or a precise SolveStatus — never a crash or hang.
+
+// One nx2 solve per entry point, sharing the dispatch with the chaos suite.
+template <class Fn>
+void for_each_block_entry(Fn&& fn) {
+  fn("cg", [](const CsrMatrix<double>& a, MatrixView<const double> b, MatrixView<double> x,
+              const SolverOptions& o) {
+    CsrOperator<double> op(a);
+    return cg<double>(op, nullptr, b, x, o);
+  });
+  fn("block_cg", [](const CsrMatrix<double>& a, MatrixView<const double> b, MatrixView<double> x,
+                    const SolverOptions& o) {
+    CsrOperator<double> op(a);
+    return block_cg<double>(op, nullptr, b, x, o);
+  });
+  fn("block_gmres", [](const CsrMatrix<double>& a, MatrixView<const double> b,
+                       MatrixView<double> x, const SolverOptions& o) {
+    CsrOperator<double> op(a);
+    return block_gmres<double>(op, nullptr, b, x, o);
+  });
+  fn("pseudo_block_gmres", [](const CsrMatrix<double>& a, MatrixView<const double> b,
+                              MatrixView<double> x, const SolverOptions& o) {
+    CsrOperator<double> op(a);
+    return pseudo_block_gmres<double>(op, nullptr, b, x, o);
+  });
+  fn("gcrodr", [](const CsrMatrix<double>& a, MatrixView<const double> b, MatrixView<double> x,
+                  const SolverOptions& o) {
+    CsrOperator<double> op(a);
+    GcroDr<double> solver(o);
+    return solver.solve(op, nullptr, b, x);
+  });
+  fn("pseudo_gcrodr", [](const CsrMatrix<double>& a, MatrixView<const double> b,
+                         MatrixView<double> x, const SolverOptions& o) {
+    CsrOperator<double> op(a);
+    PseudoGcroDr<double> solver(o);
+    return solver.solve(op, nullptr, b, x);
+  });
+}
+
+TEST(EdgeCases, ZeroRhsColumnAcrossSolvers) {
+  const auto a = poisson2d(8, 8);
+  const index_t n = a.rows();
+  DenseMatrix<double> b(n, 2);
+  const auto f = poisson2d_rhs(8, 8, 0.1);
+  std::copy(f.begin(), f.end(), b.col(0));  // column 1 stays exactly zero
+  for_each_block_entry([&](const char* name, auto run) {
+    SCOPED_TRACE(name);
+    SolverOptions opts;
+    opts.restart = 20;
+    opts.recycle = 4;
+    opts.max_iterations = 500;
+    DenseMatrix<double> x(n, 2);
+    SolveStats st;
+    ASSERT_NO_THROW(st = run(a, b.view(), x.view(), opts));
+    EXPECT_EQ(st.converged, st.status == SolveStatus::Converged);
+    if (st.converged) {
+      // The zero column's solution must stay (numerically) zero.
+      for (index_t i = 0; i < n; ++i) EXPECT_LT(std::abs(x(i, 1)), 1e-8);
+    }
+  });
+}
+
+TEST(EdgeCases, DuplicatedRhsColumnsAcrossSolvers) {
+  const auto a = poisson2d(8, 8);
+  const index_t n = a.rows();
+  DenseMatrix<double> b(n, 2);
+  const auto f = poisson2d_rhs(8, 8, 1.0);
+  std::copy(f.begin(), f.end(), b.col(0));
+  std::copy(f.begin(), f.end(), b.col(1));
+  for_each_block_entry([&](const char* name, auto run) {
+    SCOPED_TRACE(name);
+    SolverOptions opts;
+    opts.restart = 30;
+    opts.recycle = 4;
+    opts.max_iterations = 500;
+    DenseMatrix<double> x(n, 2);
+    SolveStats st;
+    ASSERT_NO_THROW(st = run(a, b.view(), x.view(), opts));
+    EXPECT_EQ(st.converged, st.status == SolveStatus::Converged);
+    EXPECT_LE(st.iterations, opts.max_iterations);
+    if (st.converged)
+      for (index_t i = 0; i < n; ++i) EXPECT_NEAR(x(i, 0), x(i, 1), 1e-5);
+  });
+}
+
+TEST(EdgeCases, SingularOperatorInconsistentRhsAcrossSolvers) {
+  // diag(1, ..., 1, 0) with b touching the null space: no solution exists.
+  // Acceptable outcomes are only the precise failure statuses.
+  const index_t n = 16;
+  CooBuilder<double> builder(n, n);
+  for (index_t i = 0; i < n; ++i) builder.add(i, i, i + 1 < n ? 1.0 : 0.0);
+  const auto a = builder.build();
+  DenseMatrix<double> b(n, 2);
+  for (index_t i = 0; i < n; ++i) b(i, 0) = b(i, 1) = 1.0;  // last row inconsistent
+  b(0, 1) = 2.0;  // keep the block full rank
+  for_each_block_entry([&](const char* name, auto run) {
+    SCOPED_TRACE(name);
+    SolverOptions opts;
+    opts.restart = 8;
+    opts.recycle = 2;
+    opts.max_iterations = 60;
+    DenseMatrix<double> x(n, 2);
+    SolveStats st;
+    ASSERT_NO_THROW(st = run(a, b.view(), x.view(), opts));
+    EXPECT_FALSE(st.converged);
+    EXPECT_TRUE(st.status == SolveStatus::MaxIterations || st.status == SolveStatus::Stagnated ||
+                st.status == SolveStatus::Breakdown ||
+                st.status == SolveStatus::NonFiniteResidual)
+        << "status = " << status_name(st.status);
+  });
 }
 
 }  // namespace

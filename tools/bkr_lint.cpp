@@ -26,6 +26,11 @@
 //                      bkr::ThreadPool so kernels inherit its nesting and
 //                      error protocol (`std::thread::` scope accesses such
 //                      as hardware_concurrency() stay legal)
+//   broad-catch        `catch (std::runtime_error)` or `catch (...)` inside
+//                      src/core/ — solver recovery must name the specific
+//                      failure types (EigFailure, BreakdownError,
+//                      InjectedFault) so contract violations and unknown
+//                      errors keep propagating to the caller
 //
 // The scanner is a small lexer, not a regex pass: comments, string
 // literals (including raw strings) and character literals are blanked
@@ -37,8 +42,9 @@
 //
 //   layer-upward-include   an #include that points at a strictly higher
 //                          rank of the module DAG (common < la < sparse <
-//                          {direct,parallel,obs} < core < precond < fem <
-//                          capi); same-rank includes are legal
+//                          {direct,parallel,obs,resilience} < core <
+//                          precond < fem < capi); same-rank includes are
+//                          legal
 //   include-cycle          a cycle in the file-level include graph
 //   unguarded-member-access  a BKR_GUARDED_BY(mu) member accessed in a
 //                          scope that does not visibly hold mu
@@ -344,6 +350,7 @@ FileReport scan_content(const std::string& rel_path, const std::string& content)
   const bool rng_central = rel_path.size() >= 14 &&
                            rel_path.rfind("common/rng.hpp") == rel_path.size() - 14;
   const bool pool_home = rel_path.rfind("src/parallel/", 0) == 0;
+  const bool core_scope = rel_path.rfind("src/core/", 0) == 0;
 
   for (size_t li = 0; li < lines.size(); ++li) {
     const std::string& line = lines[li];
@@ -409,6 +416,22 @@ FileReport scan_content(const std::string& rel_path, const std::string& content)
       }
     }
 
+    // broad-catch: a catch clause in src/core that swallows whole exception
+    // families. Recovery paths must name the specific type they handle.
+    if (core_scope) {
+      const size_t pos = find_token(line, "catch");
+      if (pos != std::string::npos) {
+        const size_t open = line.find('(', pos);
+        const size_t close = open == std::string::npos ? std::string::npos : line.find(')', open);
+        if (open != std::string::npos && close != std::string::npos) {
+          const std::string inside = line.substr(open + 1, close - open - 1);
+          if (inside.find("runtime_error") != std::string::npos ||
+              inside.find("...") != std::string::npos)
+            add("broad-catch", li);
+        }
+      }
+    }
+
     // float-literal
     size_t where = 0;
     if (find_token(line, "float") != std::string::npos || has_float_literal(line, &where))
@@ -462,8 +485,9 @@ SourceFile make_source(const std::string& path, const std::string& content) {
 // an include must never point at a strictly higher rank.
 int module_rank(const std::string& mod) {
   static const std::map<std::string, int> kRanks = {
-      {"common", 0}, {"la", 1},   {"sparse", 2},  {"direct", 3}, {"parallel", 3},
-      {"obs", 3},    {"core", 4}, {"precond", 5}, {"fem", 6},    {"capi", 7}};
+      {"common", 0},  {"la", 1},         {"sparse", 2}, {"direct", 3}, {"parallel", 3},
+      {"obs", 3},     {"resilience", 3}, {"core", 4},   {"precond", 5}, {"fem", 6},
+      {"capi", 7}};
   const auto it = kRanks.find(mod);
   return it == kRanks.end() ? -1 : it->second;
 }
@@ -1341,6 +1365,7 @@ class Analyzer {
     }
     size_t total = uniq.size(), cov = 0;
     for (const auto& [key, c] : covered) cov += c ? 1 : 0;
+    coverage_detail_ = covered;
     const double coverage = double(cov) / double(total);
     measured_coverage_ = coverage;
     if (coverage + 1e-9 < coverage_floor_) {
@@ -1354,11 +1379,15 @@ class Analyzer {
 
  public:
   [[nodiscard]] double measured_coverage() const { return measured_coverage_; }
+  [[nodiscard]] const std::map<std::string, bool>& coverage_detail() const {
+    return coverage_detail_;
+  }
 
  private:
   std::vector<SourceFile> files_;
   double coverage_floor_;
   double measured_coverage_ = 0.0;
+  std::map<std::string, bool> coverage_detail_;  // cls::fn -> has a contract
   std::vector<Finding> findings_;
   std::vector<std::vector<Edge>> edges_;
   std::vector<Guarded> guarded_;
@@ -1383,7 +1412,7 @@ std::vector<Finding> analyze_files(std::vector<SourceFile> files, double floor_v
 
 bool should_scan(const fs::path& p);
 
-std::vector<Finding> analyze_tree(const fs::path& root, double floor_value) {
+std::vector<SourceFile> load_project_files(const fs::path& root) {
   std::vector<SourceFile> files;
   const fs::path dir = root / "src";
   if (fs::exists(dir)) {
@@ -1398,7 +1427,27 @@ std::vector<Finding> analyze_tree(const fs::path& root, double floor_value) {
       files.push_back(make_source(fs::relative(p, root).generic_string(), ss.str()));
     }
   }
-  return analyze_files(std::move(files), floor_value);
+  return files;
+}
+
+std::vector<Finding> analyze_tree(const fs::path& root, double floor_value) {
+  return analyze_files(load_project_files(root), floor_value);
+}
+
+// --coverage-report: dump every public data-plane entry with its covered
+// status, so a failing contract-coverage gate points at concrete names.
+int coverage_report_tree(const fs::path& root, double floor_value) {
+  Analyzer an(load_project_files(root), floor_value);
+  (void)an.run();
+  size_t cov = 0;
+  for (const auto& [key, covered] : an.coverage_detail()) {
+    std::printf("%-9s %s\n", covered ? "covered" : "UNCOVERED", key.c_str());
+    cov += covered ? 1 : 0;
+  }
+  const size_t total = an.coverage_detail().size();
+  std::printf("coverage: %zu/%zu = %.1f%% (floor %.0f%%)\n", cov, total,
+              total == 0 ? 0.0 : 100.0 * double(cov) / double(total), 100.0 * floor_value);
+  return an.measured_coverage() + 1e-9 < floor_value ? 1 : 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -1471,6 +1520,10 @@ int self_test() {
       {"plant-float-type.cpp", "float y = 2.0;\n", "float-literal"},
       {"plant-thread.cpp", "void f() { std::thread t([] {}); t.join(); }\n", "unpooled-thread"},
       {"plant-thread-vec.cpp", "std::vector<std::thread> workers;\n", "unpooled-thread"},
+      {"src/core/plant-catch.cpp",
+       "void f() { try { g(); } catch (const std::runtime_error& e) { h(); } }\n", "broad-catch"},
+      {"src/core/plant-catch-all.cpp", "void f() { try { g(); } catch (...) { h(); } }\n",
+       "broad-catch"},
       // Clean fixtures: constructs that look like violations but are not.
       {"clean-deleted-fn.hpp", "#pragma once\nstruct S { S(const S&) = delete; };\n", nullptr},
       {"clean-comment.cpp", "// new delete mt19937 using namespace cholqr( 1.0f\nint a;\n",
@@ -1492,6 +1545,11 @@ int self_test() {
       {"clean-thread-comment.cpp", "// std::thread is banned here\nint a;\n", nullptr},
       {"clean-thread-allow.cpp",
        "std::thread t([] {});  // bkr-lint: allow(unpooled-thread)\n", nullptr},
+      {"src/core/clean-typed-catch.cpp",
+       "void f() { try { g(); } catch (const EigFailure& e) { h(); } }\n", nullptr},
+      {"src/capi/clean-catch-outside-core.cpp",
+       "void f() { try { g(); } catch (...) { h(); } }\n", nullptr},
+      {"src/core/clean-catch-comment.cpp", "// catch (...) is banned in core\nint a;\n", nullptr},
       // .h files are headers too (regression for the short-path skip).
       {"a.h", "int f();\n", "missing-include-guard"},
       {"clean-short.h", "#pragma once\nint f();\n", nullptr},
@@ -1715,6 +1773,7 @@ int main(int argc, char** argv) {
   bool run_self_test = false;
   bool update_baseline = false;
   bool analyze_only = false;
+  bool coverage_report = false;
   bool json = false;
   double coverage_floor = kDefaultCoverageFloor;
   for (int i = 1; i < argc; ++i) {
@@ -1723,6 +1782,8 @@ int main(int argc, char** argv) {
       run_self_test = true;
     } else if (arg == "--analyze") {
       analyze_only = true;
+    } else if (arg == "--coverage-report") {
+      coverage_report = true;
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--coverage-floor" && i + 1 < argc) {
@@ -1733,8 +1794,8 @@ int main(int argc, char** argv) {
       baseline_path = argv[++i];
       update_baseline = true;
     } else if (arg == "--help") {
-      std::printf("usage: bkr_lint [--self-test] [--analyze] [--json] [--coverage-floor F] "
-                  "[--baseline FILE | --update-baseline FILE] [ROOT]\n"
+      std::printf("usage: bkr_lint [--self-test] [--analyze] [--coverage-report] [--json] "
+                  "[--coverage-floor F] [--baseline FILE | --update-baseline FILE] [ROOT]\n"
                   "  default: per-file rules over src/ bench/ tests/ plus the cross-TU\n"
                   "  project model over src/; --analyze restricts to the project model.\n");
       return 0;
@@ -1743,6 +1804,7 @@ int main(int argc, char** argv) {
     }
   }
   if (run_self_test) return self_test();
+  if (coverage_report) return coverage_report_tree(root, coverage_floor);
 
   std::vector<Finding> findings;
   if (!analyze_only) {
