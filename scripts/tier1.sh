@@ -35,6 +35,20 @@ echo "==> chaos smoke: fault-injection sweep under ASan+UBSan"
 # them sanitized proves recovery paths never trade a crash for a leak or UB.
 ctest --test-dir build-asan --output-on-failure -j 4 -R "Resilience|Chaos"
 
+echo "==> session smoke: recycle-cache warm start across processes"
+# The sequence driver replays a frequency-sweep workload through the
+# session/cache service layer: once without a cache, once populating a
+# fresh cache file, once loading it back — the latter two assert that
+# warm-started sessions beat their cold reference on iterations.
+cmake --build build -j --target example_sequence_driver
+SESSION_CACHE="build/tier1_session_cache.bkrc"
+rm -f "$SESSION_CACHE"
+./build/examples/example_sequence_driver -grid 48 -no_cache > /dev/null
+./build/examples/example_sequence_driver -grid 48 \
+  -cache_file "$SESSION_CACHE" -assert_improvement > /dev/null
+./build/examples/example_sequence_driver -grid 48 -method pbgcrodr \
+  -cache_file "$SESSION_CACHE" -assert_improvement > /dev/null
+
 echo "==> bench smoke: kernel trajectory schema + regression gate"
 cmake --build build -j --target bench_kernels bench_check
 ./build/bench/bench_kernels --smoke --out build/BENCH_kernels_smoke.json

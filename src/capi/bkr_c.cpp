@@ -1,10 +1,13 @@
 #include "capi/bkr_c.h"
 
 #include <complex>
+#include <cstring>
 #include <vector>
 
 #include "core/gcrodr.hpp"
 #include "core/gmres.hpp"
+#include "core/recycle_cache.hpp"
+#include "core/session.hpp"
 #include "obs/trace.hpp"
 #include "sparse/csr.hpp"
 
@@ -20,8 +23,12 @@ using bkr::CsrOperator;
 using bkr::GcroDr;
 using bkr::index_t;
 using bkr::MatrixView;
+using bkr::RecycleCache;
+using bkr::SessionConfig;
+using bkr::SessionMethod;
 using bkr::SolveStats;
 using bkr::SolverOptions;
+using bkr::SolverSession;
 using cd = std::complex<double>;
 
 SolverOptions to_cpp(const bkr_options* opts) {
@@ -61,6 +68,36 @@ void to_c(const SolveStats& st, bkr_result* result) {
   result->seconds = st.seconds;
   result->status = static_cast<bkr_status>(st.status);
   result->recoveries = st.recoveries;
+  result->cache_hits = 0;
+  result->cache_misses = 0;
+  result->cache_evictions = 0;
+  result->cache_bytes = 0;
+  result->warm_start = 0;
+}
+
+/* Overlay the attached cache's counters and the session warm-start flag
+ * onto a result already filled by to_c. */
+void fill_cache_stats(const RecycleCache* cache, bool warm, bkr_result* result) {
+  if (result == nullptr) return;
+  result->warm_start = warm ? 1 : 0;
+  if (cache == nullptr) return;
+  const auto c = cache->counters();
+  result->cache_hits = c.hits;
+  result->cache_misses = c.misses;
+  result->cache_evictions = c.evictions;
+  result->cache_bytes = int64_t(c.bytes);
+}
+
+/* C callers can store any integer in the enum-typed options field, and
+ * loading an out-of-range value through the enum lvalue is UB; read the raw
+ * bytes so a bad value is rejected instead of tripping the sanitizer. */
+bool to_session_method(const bkr_method* m, SessionMethod* out) {
+  static_assert(sizeof(bkr_method) == sizeof(int), "bkr_method must be int-sized");
+  int v = 0;
+  std::memcpy(&v, m, sizeof v);
+  if (v < 0 || v >= bkr::kSessionMethodCount) return false;
+  *out = static_cast<SessionMethod>(v);
+  return true;
 }
 
 /* A hard failure escaped the solver (throw_on_failure, or a breakdown that
@@ -102,6 +139,18 @@ struct bkr_gcrodr {
 struct bkr_zgcrodr {
   GcroDr<cd>* s;
 };
+struct bkr_cache {
+  explicit bkr_cache(size_t budget) : c(budget) {}
+  RecycleCache c;
+};
+struct bkr_session {
+  SolverSession<double>* s;
+  RecycleCache* cache;
+};
+struct bkr_zsession {
+  SolverSession<cd>* s;
+  RecycleCache* cache;
+};
 
 extern "C" {
 
@@ -116,6 +165,50 @@ void bkr_options_default(bkr_options* opts) {
   opts->same_system = 0;
   opts->trace = nullptr;
   opts->no_recovery = 0;
+  opts->method = BKR_METHOD_GMRES;
+}
+
+/* --- recycle-space cache ---------------------------------------------- */
+
+bkr_cache* bkr_cache_create(size_t byte_budget) {
+  return new bkr_cache(byte_budget == 0 ? RecycleCache::kDefaultBudget  // bkr-lint: allow(raw-new-delete)
+                                        : byte_budget);
+}
+
+void bkr_cache_destroy(bkr_cache* cache) { delete cache; }  // bkr-lint: allow(raw-new-delete)
+
+void bkr_cache_clear(bkr_cache* cache) {
+  if (cache != nullptr) cache->c.clear();
+}
+
+int64_t bkr_cache_hits(const bkr_cache* cache) {
+  return cache == nullptr ? 0 : cache->c.counters().hits;
+}
+
+int64_t bkr_cache_misses(const bkr_cache* cache) {
+  return cache == nullptr ? 0 : cache->c.counters().misses;
+}
+
+int64_t bkr_cache_evictions(const bkr_cache* cache) {
+  return cache == nullptr ? 0 : cache->c.counters().evictions;
+}
+
+int64_t bkr_cache_entries(const bkr_cache* cache) {
+  return cache == nullptr ? 0 : int64_t(cache->c.counters().entries);
+}
+
+int64_t bkr_cache_bytes(const bkr_cache* cache) {
+  return cache == nullptr ? 0 : int64_t(cache->c.counters().bytes);
+}
+
+int bkr_cache_save(const bkr_cache* cache, const char* path) {
+  if (cache == nullptr || path == nullptr) return 1;
+  return cache->c.save(std::string(path)) ? 0 : 1;
+}
+
+int bkr_cache_load(bkr_cache* cache, const char* path) {
+  if (cache == nullptr || path == nullptr) return 1;
+  return cache->c.load(std::string(path)) ? 0 : 1;
 }
 
 bkr_trace* bkr_trace_create(void) { return new bkr_trace{}; }
@@ -204,6 +297,54 @@ int bkr_gcrodr_solve(bkr_gcrodr* solver, const bkr_matrix* a, const double* b, d
   return 0;
 }
 
+bkr_session* bkr_session_create(const bkr_matrix* a, const bkr_options* opts, bkr_cache* cache) {
+  if (a == nullptr) return nullptr;
+  SessionMethod method = SessionMethod::BlockGmres;
+  if (opts != nullptr && !to_session_method(&opts->method, &method)) return nullptr;
+  SessionConfig cfg;
+  cfg.method = method;
+  cfg.options = to_cpp(opts);
+  if (bkr::session_method_recycles(method) && cfg.options.recycle <= 0) cfg.options.recycle = 10;
+  cfg.cache = cache == nullptr ? nullptr : &cache->c;
+  auto* s = new SolverSession<double>(*a->m, nullptr, cfg);  // bkr-lint: allow(raw-new-delete)
+  return new bkr_session{s, cfg.cache};  // bkr-lint: allow(raw-new-delete)
+}
+
+void bkr_session_destroy(bkr_session* session) {
+  if (session == nullptr) return;
+  delete session->s;  // bkr-lint: allow(raw-new-delete)
+  delete session;     // bkr-lint: allow(raw-new-delete)
+}
+
+int bkr_session_solve(bkr_session* session, const double* b, double* x, int64_t nrhs,
+                      bkr_result* result) {
+  if (session == nullptr || b == nullptr || x == nullptr || nrhs <= 0) return 1;
+  const index_t n = session->s->rows();
+  try {
+    const auto st = session->s->solve(MatrixView<const double>(b, n, nrhs, n),
+                                      MatrixView<double>(x, n, nrhs, n));
+    to_c(st, result);
+    fill_cache_stats(session->cache, session->s->warm_started(), result);
+  } catch (const bkr::BreakdownError& e) {
+    return hard_failure(e, result);
+  } catch (const std::exception&) {
+    return 2;
+  }
+  return 0;
+}
+
+int bkr_session_flush(bkr_session* session) {
+  return (session != nullptr && session->s->flush()) ? 1 : 0;
+}
+
+int64_t bkr_session_solves(const bkr_session* session) {
+  return session == nullptr ? 0 : int64_t(session->s->solves());
+}
+
+int bkr_session_warm_started(const bkr_session* session) {
+  return (session != nullptr && session->s->warm_started()) ? 1 : 0;
+}
+
 bkr_zmatrix* bkr_zmatrix_create(int64_t n, const int64_t* rowptr, const int64_t* colind,
                                 const double* values_interleaved) {
   auto* m = make_matrix<cd>(n, rowptr, colind,
@@ -260,6 +401,57 @@ int bkr_zgcrodr_solve(bkr_zgcrodr* solver, const bkr_zmatrix* a, const double* b
     return 2;
   }
   return 0;
+}
+
+bkr_zsession* bkr_zsession_create(const bkr_zmatrix* a, const bkr_options* opts,
+                                  bkr_cache* cache) {
+  if (a == nullptr) return nullptr;
+  SessionMethod method = SessionMethod::BlockGmres;
+  if (opts != nullptr && !to_session_method(&opts->method, &method)) return nullptr;
+  SessionConfig cfg;
+  cfg.method = method;
+  cfg.options = to_cpp(opts);
+  if (bkr::session_method_recycles(method) && cfg.options.recycle <= 0) cfg.options.recycle = 10;
+  cfg.cache = cache == nullptr ? nullptr : &cache->c;
+  auto* s = new SolverSession<cd>(*a->m, nullptr, cfg);  // bkr-lint: allow(raw-new-delete)
+  return new bkr_zsession{s, cfg.cache};  // bkr-lint: allow(raw-new-delete)
+}
+
+void bkr_zsession_destroy(bkr_zsession* session) {
+  if (session == nullptr) return;
+  delete session->s;  // bkr-lint: allow(raw-new-delete)
+  delete session;     // bkr-lint: allow(raw-new-delete)
+}
+
+int bkr_zsession_solve(bkr_zsession* session, const double* b_interleaved,
+                       double* x_interleaved, int64_t nrhs, bkr_result* result) {
+  if (session == nullptr || b_interleaved == nullptr || x_interleaved == nullptr || nrhs <= 0)
+    return 1;
+  const index_t n = session->s->rows();
+  try {
+    const auto st = session->s->solve(
+        MatrixView<const cd>(reinterpret_cast<const cd*>(b_interleaved), n, nrhs, n),
+        MatrixView<cd>(reinterpret_cast<cd*>(x_interleaved), n, nrhs, n));
+    to_c(st, result);
+    fill_cache_stats(session->cache, session->s->warm_started(), result);
+  } catch (const bkr::BreakdownError& e) {
+    return hard_failure(e, result);
+  } catch (const std::exception&) {
+    return 2;
+  }
+  return 0;
+}
+
+int bkr_zsession_flush(bkr_zsession* session) {
+  return (session != nullptr && session->s->flush()) ? 1 : 0;
+}
+
+int64_t bkr_zsession_solves(const bkr_zsession* session) {
+  return session == nullptr ? 0 : int64_t(session->s->solves());
+}
+
+int bkr_zsession_warm_started(const bkr_zsession* session) {
+  return (session != nullptr && session->s->warm_started()) ? 1 : 0;
 }
 
 }  // extern "C"

@@ -24,6 +24,9 @@ typedef struct bkr_zmatrix bkr_zmatrix;       /* CSR matrix, double complex */
 typedef struct bkr_gcrodr bkr_gcrodr;         /* persistent GCRO-DR solver, double */
 typedef struct bkr_zgcrodr bkr_zgcrodr;       /* persistent GCRO-DR solver, complex */
 typedef struct bkr_trace bkr_trace;           /* solver telemetry sink (src/obs) */
+typedef struct bkr_cache bkr_cache;           /* recycle-space cache (src/core) */
+typedef struct bkr_session bkr_session;       /* solver session, double */
+typedef struct bkr_zsession bkr_zsession;     /* solver session, double complex */
 
 typedef enum bkr_side {
   BKR_SIDE_NONE = 0,
@@ -36,6 +39,18 @@ typedef enum bkr_strategy {
   BKR_STRATEGY_A = 0, /* eq. 3a */
   BKR_STRATEGY_B = 1, /* eq. 3b */
 } bkr_strategy;
+
+/* Krylov method selector for the session API (mirrors the C++
+ * SessionMethod in core/session.hpp). */
+typedef enum bkr_method {
+  BKR_METHOD_CG = 0,
+  BKR_METHOD_BLOCK_CG = 1,
+  BKR_METHOD_GMRES = 2,          /* (block) GMRES */
+  BKR_METHOD_PSEUDO_GMRES = 3,   /* pseudo-block GMRES */
+  BKR_METHOD_LGMRES = 4,
+  BKR_METHOD_GCRODR = 5,         /* (block) GCRO-DR */
+  BKR_METHOD_PSEUDO_GCRODR = 6,  /* pseudo-block GCRO-DR */
+} bkr_method;
 
 /* Termination taxonomy, mirroring the C++ SolveStatus (core/solver.hpp).
  * `converged` in bkr_result stays the primary success flag; the status
@@ -70,6 +85,9 @@ typedef struct bkr_options {
                            * (orthogonalization repair, recycle shrinking,
                            * early restart); failures then surface directly
                            * as their bkr_status (default 0) */
+  bkr_method method;      /* Krylov method used by the session API
+                           * (default BKR_METHOD_GMRES; ignored by the
+                           * method-specific entry points) */
 } bkr_options;
 
 typedef struct bkr_result {
@@ -82,6 +100,15 @@ typedef struct bkr_result {
   double seconds;
   bkr_status status;        /* refined termination cause */
   int64_t recoveries;       /* escalation-ladder actions taken during the solve */
+  /* Recycle-cache statistics (session API only; zero elsewhere). The
+   * counters are cumulative totals of the cache attached to the session
+   * at the time the solve returned. */
+  int64_t cache_hits;
+  int64_t cache_misses;
+  int64_t cache_evictions;
+  int64_t cache_bytes;      /* payload bytes currently held by the cache */
+  int warm_start;           /* nonzero: the session was warm-started from
+                             * a cached recycle space */
 } bkr_result;
 
 /* Fill `opts` with the library defaults. */
@@ -114,6 +141,28 @@ int64_t bkr_trace_phase_count(const bkr_trace* trace, bkr_phase phase);
 int bkr_trace_write_json(const bkr_trace* trace, const char* path);
 int bkr_trace_write_csv(const bkr_trace* trace, const char* path);
 
+/* --- recycle-space cache ---------------------------------------------- */
+
+/* A process-wide cache of recycled deflation spaces keyed by operator
+ * fingerprint. Share one cache across sessions (it is thread-safe) so a
+ * session over a previously-seen operator warm-starts from the space a
+ * prior session deposited. `byte_budget` bounds the payload bytes held;
+ * least-recently-used entries are evicted past it. Pass 0 for the
+ * default budget (64 MiB). */
+bkr_cache* bkr_cache_create(size_t byte_budget);
+void bkr_cache_destroy(bkr_cache* cache);
+void bkr_cache_clear(bkr_cache* cache);
+int64_t bkr_cache_hits(const bkr_cache* cache);
+int64_t bkr_cache_misses(const bkr_cache* cache);
+int64_t bkr_cache_evictions(const bkr_cache* cache);
+int64_t bkr_cache_entries(const bkr_cache* cache);
+int64_t bkr_cache_bytes(const bkr_cache* cache);
+/* Binary snapshot of the cache contents (checksummed; a corrupted or
+ * truncated file loads as a smaller / empty cache, never as bad data).
+ * Return 0 on success, nonzero on failure. */
+int bkr_cache_save(const bkr_cache* cache, const char* path);
+int bkr_cache_load(bkr_cache* cache, const char* path);
+
 /* --- double-precision real ------------------------------------------- */
 
 /* Take ownership of nothing: the CSR arrays are copied. Returns NULL on
@@ -141,6 +190,27 @@ void bkr_gcrodr_destroy(bkr_gcrodr* solver);
 int bkr_gcrodr_solve(bkr_gcrodr* solver, const bkr_matrix* a, const double* b, double* x,
                      int new_matrix, bkr_result* result);
 
+/* A session binds one matrix (not owned; it must outlive the session)
+ * and one method (opts->method) for its whole life; right-hand sides
+ * arrive through bkr_session_solve. Recycling methods (GCRODR /
+ * PSEUDO_GCRODR) carry their deflation space across solves; with a cache
+ * attached they warm-start from it at create and deposit their final
+ * space back at destroy. `cache` may be NULL. Returns NULL on invalid
+ * input. */
+bkr_session* bkr_session_create(const bkr_matrix* a, const bkr_options* opts, bkr_cache* cache);
+void bkr_session_destroy(bkr_session* session);
+/* Solve A X = B for nrhs right-hand sides stored column-major with
+ * leading dimension n (x holds the initial guess on entry, the solution
+ * on return). Same return codes as bkr_gcrodr_solve. */
+int bkr_session_solve(bkr_session* session, const double* b, double* x, int64_t nrhs,
+                      bkr_result* result);
+/* Deposit the current recycle space into the cache now; returns 1 if a
+ * space was stored, 0 otherwise. */
+int bkr_session_flush(bkr_session* session);
+int64_t bkr_session_solves(const bkr_session* session);
+/* 1 when the session was warm-started from a cached recycle space. */
+int bkr_session_warm_started(const bkr_session* session);
+
 /* --- double-precision complex (interleaved re/im) --------------------- */
 
 bkr_zmatrix* bkr_zmatrix_create(int64_t n, const int64_t* rowptr, const int64_t* colind,
@@ -155,6 +225,16 @@ bkr_zgcrodr* bkr_zgcrodr_create(const bkr_options* opts);
 void bkr_zgcrodr_destroy(bkr_zgcrodr* solver);
 int bkr_zgcrodr_solve(bkr_zgcrodr* solver, const bkr_zmatrix* a, const double* b_interleaved,
                       double* x_interleaved, int new_matrix, bkr_result* result);
+
+/* Complex sessions; semantics mirror bkr_session_*. */
+bkr_zsession* bkr_zsession_create(const bkr_zmatrix* a, const bkr_options* opts,
+                                  bkr_cache* cache);
+void bkr_zsession_destroy(bkr_zsession* session);
+int bkr_zsession_solve(bkr_zsession* session, const double* b_interleaved,
+                       double* x_interleaved, int64_t nrhs, bkr_result* result);
+int bkr_zsession_flush(bkr_zsession* session);
+int64_t bkr_zsession_solves(const bkr_zsession* session);
+int bkr_zsession_warm_started(const bkr_zsession* session);
 
 #ifdef __cplusplus
 } /* extern "C" */

@@ -556,6 +556,16 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
   });
 }
 
+template <class T>
+void GcroDr<T>::install_recycled(DenseMatrix<T> u, DenseMatrix<T> c) {
+  BKR_REQUIRE(u.rows() > 0 && u.cols() > 0 && u.rows() == c.rows() && u.cols() == c.cols(),
+              "u.rows", u.rows(), "u.cols", u.cols(), "c.rows", c.rows(), "c.cols", c.cols());
+  u_ = std::move(u);
+  c_ = std::move(c);
+  // solves_ stays untouched: the first solve still sees matrix_changed and
+  // requalifies the seeded space through the distributed QR.
+}
+
 template class GcroDr<double>;
 template class GcroDr<std::complex<double>>;
 

@@ -50,6 +50,13 @@ class GcroDr {
     solves_ = 0;
   }
 
+  // Seed the recycled space before the first solve (warm start from a
+  // RecycleCache deposit). The pair is treated exactly like the space
+  // carried over from a previous system of a sequence: the next solve
+  // requalifies it through the distributed QR of A·U (fig. 1 lines 3-7),
+  // so a stale pair degrades convergence but never correctness.
+  void install_recycled(DenseMatrix<T> u, DenseMatrix<T> c);
+
   [[nodiscard]] bool has_recycled_space() const { return u_.cols() > 0; }
   [[nodiscard]] index_t recycle_dim() const { return u_.cols(); }
   [[nodiscard]] const DenseMatrix<T>& recycled_u() const { return u_; }
@@ -80,7 +87,15 @@ class PseudoGcroDr {
     solves_ = 0;
   }
 
+  // Warm-start seed, lane-interleaved layout (column i*lanes + l holds
+  // lane l's i-th recycled vector). Consumed only when a solve's RHS
+  // count matches `lanes`; requalified like a next-system space.
+  void install_recycled(DenseMatrix<T> u, DenseMatrix<T> c, index_t lanes);
+
   [[nodiscard]] bool has_recycled_space() const { return u_.cols() > 0; }
+  [[nodiscard]] const DenseMatrix<T>& recycled_u() const { return u_; }
+  [[nodiscard]] const DenseMatrix<T>& recycled_c() const { return c_; }
+  [[nodiscard]] index_t recycle_lanes() const { return lanes_; }
   [[nodiscard]] const SolverOptions& options() const { return opts_; }
 
  private:

@@ -575,6 +575,18 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
   });
 }
 
+template <class T>
+void PseudoGcroDr<T>::install_recycled(DenseMatrix<T> u, DenseMatrix<T> c, index_t lanes) {
+  BKR_REQUIRE(u.rows() > 0 && u.cols() > 0 && u.rows() == c.rows() && u.cols() == c.cols(),
+              "u.rows", u.rows(), "u.cols", u.cols(), "c.rows", c.rows(), "c.cols", c.cols());
+  BKR_REQUIRE(lanes > 0 && u.cols() % lanes == 0, "lanes", lanes, "u.cols", u.cols());
+  u_ = std::move(u);
+  c_ = std::move(c);
+  lanes_ = lanes;
+  // solves_ stays untouched; a first solve whose RHS count matches `lanes`
+  // requalifies the space (matrix_changed path), any other count ignores it.
+}
+
 template class PseudoGcroDr<double>;
 template class PseudoGcroDr<std::complex<double>>;
 

@@ -1,0 +1,186 @@
+#include "core/recycle_cache.hpp"
+
+#include <fstream>
+
+namespace bkr {
+
+namespace {
+
+constexpr char kMagic[4] = {'B', 'K', 'R', 'C'};
+constexpr std::uint32_t kFormatVersion = 1;
+// Entries are rejected before any allocation when their declared shape is
+// implausible; keeps a corrupted header from turning into a huge resize.
+constexpr std::uint64_t kMaxDim = std::uint64_t(1) << 40;
+
+// Field order avoids padding so the struct can be hashed and (de)serialized
+// as raw bytes without indeterminate gaps.
+struct EntryHeader {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t n = 0;
+  std::uint64_t cols = 0;
+  std::uint64_t lanes = 0;
+  std::uint64_t doubles = 0;  // length of each of u and c
+  std::uint32_t method = 0;
+  std::uint32_t scalar = 0;
+  std::uint32_t is_complex = 0;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(EntryHeader) == 56, "EntryHeader must be packed");
+
+template <class V>
+bool write_pod(std::ofstream& os, const V& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+  return bool(os);
+}
+
+template <class V>
+bool read_pod(std::ifstream& is, V* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof *v);
+  return is.gcount() == std::streamsize(sizeof *v);
+}
+
+std::uint64_t entry_checksum(const EntryHeader& h, const std::vector<double>& u,
+                             const std::vector<double>& c) {
+  std::uint64_t sum = fnv1a64(&h, sizeof h);
+  sum = fnv1a64(u.data(), u.size() * sizeof(double), sum);
+  sum = fnv1a64(c.data(), c.size() * sizeof(double), sum);
+  return sum;
+}
+
+}  // namespace
+
+void RecycleCache::emit(obs::TraceSink* sink, const char* action, const CacheKey& key,
+                        std::size_t bytes) const {
+  if (sink != nullptr)
+    sink->cache(obs::CacheEvent{action, key.fingerprint, std::int64_t(bytes)});
+}
+
+void RecycleCache::evict_to_budget(obs::TraceSink* sink) {
+  while (bytes_ > budget_ && !entries_.empty()) {
+    auto oldest = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it)
+      if (it->second.tick < oldest->second.tick) oldest = it;
+    const std::size_t freed = oldest->second.space.bytes();
+    emit(sink, "evict", oldest->first, freed);
+    bytes_ -= freed;
+    ++counters_.evictions;
+    entries_.erase(oldest);
+  }
+}
+
+bool RecycleCache::fetch(const CacheKey& key, RecycleSpace* out, obs::TraceSink* sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++counters_.misses;
+    emit(sink, "miss", key, 0);
+    return false;
+  }
+  it->second.tick = ++tick_;
+  ++counters_.hits;
+  emit(sink, "hit", key, it->second.space.bytes());
+  if (out != nullptr) *out = it->second.space;
+  return true;
+}
+
+void RecycleCache::store(const CacheKey& key, RecycleSpace space, obs::TraceSink* sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t incoming = space.bytes();
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    bytes_ -= it->second.space.bytes();
+    it->second.space = std::move(space);
+    it->second.tick = ++tick_;
+  } else {
+    entries_.emplace(key, Entry{std::move(space), ++tick_});
+  }
+  bytes_ += incoming;
+  ++counters_.stores;
+  emit(sink, "store", key, incoming);
+  evict_to_budget(sink);
+}
+
+RecycleCache::Counters RecycleCache::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Counters out = counters_;
+  out.bytes = bytes_;
+  out.entries = entries_.size();
+  return out;
+}
+
+void RecycleCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  bytes_ = 0;
+}
+
+bool RecycleCache::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  os.write(kMagic, sizeof kMagic);
+  if (!write_pod(os, kFormatVersion)) return false;
+  const std::uint64_t count = entries_.size();
+  if (!write_pod(os, count)) return false;
+  for (const auto& [key, entry] : entries_) {
+    const RecycleSpace& s = entry.space;
+    EntryHeader h;
+    h.fingerprint = key.fingerprint;
+    h.method = key.method;
+    h.scalar = key.scalar;
+    h.n = std::uint64_t(s.n);
+    h.cols = std::uint64_t(s.cols);
+    h.lanes = std::uint64_t(s.lanes);
+    h.is_complex = s.is_complex ? 1 : 0;
+    h.doubles = s.u.size();
+    if (!write_pod(os, h)) return false;
+    os.write(reinterpret_cast<const char*>(s.u.data()),
+             std::streamsize(s.u.size() * sizeof(double)));
+    os.write(reinterpret_cast<const char*>(s.c.data()),
+             std::streamsize(s.c.size() * sizeof(double)));
+    if (!write_pod(os, entry_checksum(h, s.u, s.c))) return false;
+  }
+  return bool(os);
+}
+
+bool RecycleCache::load(const std::string& path, obs::TraceSink* sink) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  char magic[4] = {0, 0, 0, 0};
+  is.read(magic, sizeof magic);
+  if (is.gcount() != std::streamsize(sizeof magic) ||
+      std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+    return false;
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  if (!read_pod(is, &version) || version != kFormatVersion) return false;
+  if (!read_pod(is, &count)) return false;
+  for (std::uint64_t e = 0; e < count; ++e) {
+    EntryHeader h;
+    if (!read_pod(is, &h)) return false;
+    // Shape sanity before any allocation: the declared payload length must
+    // match the declared dimensions exactly.
+    if (h.n == 0 || h.cols == 0 || h.n > kMaxDim || h.cols > kMaxDim || h.lanes > kMaxDim ||
+        h.is_complex > 1)
+      return false;
+    const std::uint64_t expect = h.n * h.cols * (h.is_complex != 0 ? 2 : 1);
+    if (h.doubles != expect) return false;
+    RecycleSpace s;
+    s.n = index_t(h.n);
+    s.cols = index_t(h.cols);
+    s.lanes = index_t(h.lanes);
+    s.is_complex = h.is_complex != 0;
+    s.u.resize(std::size_t(h.doubles));
+    s.c.resize(std::size_t(h.doubles));
+    is.read(reinterpret_cast<char*>(s.u.data()), std::streamsize(s.u.size() * sizeof(double)));
+    if (is.gcount() != std::streamsize(s.u.size() * sizeof(double))) return false;
+    is.read(reinterpret_cast<char*>(s.c.data()), std::streamsize(s.c.size() * sizeof(double)));
+    if (is.gcount() != std::streamsize(s.c.size() * sizeof(double))) return false;
+    std::uint64_t sum = 0;
+    if (!read_pod(is, &sum) || sum != entry_checksum(h, s.u, s.c)) return false;
+    store(CacheKey{h.fingerprint, h.method, h.scalar}, std::move(s), sink);
+  }
+  return true;
+}
+
+}  // namespace bkr

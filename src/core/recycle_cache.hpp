@@ -1,0 +1,193 @@
+// RecycleCache: deflation/recycle spaces keyed by operator fingerprint.
+//
+// Soodhalter (arXiv:1412.0393) motivates reusing a recycle space across
+// systems that share an operator but have unrelated right-hand sides; the
+// cache is the serving-side face of that idea. A SolverSession that ends
+// with a recycled (U_k, C_k) deposits it here under a fingerprint of the
+// exact CSR operator (structure + values); a later session over the same
+// operator withdraws it and warm-starts — the next-system path of the
+// paper's fig. 1 (lines 3-9) requalifies the space, so a stale or
+// mismatched deposit can degrade convergence but never correctness.
+//
+// Policy: least-recently-used eviction under a byte budget, a binary
+// save/load format with per-entry checksums (a corrupted or truncated
+// file degrades to a cold start, never to a wrong answer), and hit /
+// miss / store / eviction counters exported as obs::CacheEvent trace
+// events on the caller's sink.
+//
+// Thread safety: every public member is safe to call concurrently; the
+// internal map, counters and LRU clock are guarded by one mutex. The
+// optional TraceSink argument is the *caller's* per-session sink and is
+// only touched on the calling thread (under the cache mutex, so events
+// from concurrent sessions are serialized but land on their own sinks).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "la/dense.hpp"
+#include "obs/trace.hpp"
+#include "sparse/csr.hpp"
+
+namespace bkr {
+
+// FNV-1a, the 64-bit offset-basis/prime pair.
+inline std::uint64_t fnv1a64(const void* data, std::size_t bytes,
+                             std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Fingerprint of the exact assembled operator: dimensions, CSR structure
+// and the raw value bytes all feed the hash, so a perturbation of a single
+// nonzero yields a different key while a bit-identical rebuild of the same
+// matrix yields the same one.
+template <class T>
+std::uint64_t operator_fingerprint(const CsrMatrix<T>& a) {
+  BKR_REQUIRE(a.rows() > 0 && index_t(a.rowptr().size()) == a.rows() + 1, "rows", a.rows(),
+              "rowptr.size", index_t(a.rowptr().size()));
+  const std::int64_t dims[3] = {std::int64_t(a.rows()), std::int64_t(a.cols()),
+                                std::int64_t(a.nnz())};
+  std::uint64_t h = fnv1a64(dims, sizeof dims);
+  h = fnv1a64(a.rowptr().data(), a.rowptr().size() * sizeof(index_t), h);
+  h = fnv1a64(a.colind().data(), a.colind().size() * sizeof(index_t), h);
+  h = fnv1a64(a.values().data(), a.values().size() * sizeof(T), h);
+  return h;
+}
+
+// Cache key: the operator fingerprint plus the method family and scalar
+// type that produced the space (a pseudo-block lane-interleaved space is
+// not a valid seed for the block method and vice versa).
+struct CacheKey {
+  std::uint64_t fingerprint = 0;
+  std::uint32_t method = 0;  // SessionMethod underlying value
+  std::uint32_t scalar = 0;  // 0 = double, 1 = complex<double>
+
+  friend bool operator<(const CacheKey& a, const CacheKey& b) {
+    if (a.fingerprint != b.fingerprint) return a.fingerprint < b.fingerprint;
+    if (a.method != b.method) return a.method < b.method;
+    return a.scalar < b.scalar;
+  }
+  friend bool operator==(const CacheKey& a, const CacheKey& b) {
+    return a.fingerprint == b.fingerprint && a.method == b.method && a.scalar == b.scalar;
+  }
+};
+
+// Type-erased recycled subspace payload (U_k, C_k), stored as raw doubles
+// (complex scalars interleaved re/im, the std::complex<double> layout).
+// `lanes` carries the pseudo-block lane interleaving (0 for the block
+// layout of GcroDr).
+struct RecycleSpace {
+  index_t n = 0;
+  index_t cols = 0;
+  index_t lanes = 0;
+  bool is_complex = false;
+  std::vector<double> u, c;  // column-major, ld == n
+
+  template <class T>
+  static RecycleSpace pack(const DenseMatrix<T>& u, const DenseMatrix<T>& c, index_t lanes) {
+    BKR_REQUIRE(u.rows() == c.rows() && u.cols() == c.cols(), "u.rows", u.rows(), "c.rows",
+                c.rows(), "u.cols", u.cols(), "c.cols", c.cols());
+    RecycleSpace s;
+    s.n = u.rows();
+    s.cols = u.cols();
+    s.lanes = lanes;
+    s.is_complex = is_complex_v<T>;
+    const std::size_t doubles =
+        std::size_t(u.rows()) * std::size_t(u.cols()) * (is_complex_v<T> ? 2 : 1);
+    s.u.resize(doubles);
+    s.c.resize(doubles);
+    if (doubles > 0) {
+      // std::complex<double> is layout-compatible with double[2], so the
+      // scalar buffers reinterpret as raw double arrays.
+      const auto* up = reinterpret_cast<const double*>(u.data());
+      const auto* cp = reinterpret_cast<const double*>(c.data());
+      std::copy(up, up + doubles, s.u.data());
+      std::copy(cp, cp + doubles, s.c.data());
+    }
+    return s;
+  }
+
+  template <class T>
+  bool unpack(DenseMatrix<T>* u_out, DenseMatrix<T>* c_out) const {
+    BKR_REQUIRE(u_out != nullptr && c_out != nullptr, "n", n, "cols", cols);
+    if (is_complex != is_complex_v<T> || n <= 0 || cols <= 0) return false;
+    const std::size_t doubles = std::size_t(n) * std::size_t(cols) * width();
+    if (u.size() != doubles || c.size() != doubles) return false;
+    u_out->resize(n, cols);
+    c_out->resize(n, cols);
+    std::copy(u.data(), u.data() + doubles, reinterpret_cast<double*>(u_out->data()));
+    std::copy(c.data(), c.data() + doubles, reinterpret_cast<double*>(c_out->data()));
+    return true;
+  }
+
+  [[nodiscard]] std::size_t bytes() const { return (u.size() + c.size()) * sizeof(double); }
+  [[nodiscard]] std::size_t width() const { return is_complex ? 2 : 1; }
+};
+
+class RecycleCache {
+ public:
+  struct Counters {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t stores = 0;
+    std::int64_t evictions = 0;
+    std::size_t bytes = 0;    // payload bytes currently held
+    std::size_t entries = 0;  // entries currently held
+  };
+
+  static constexpr std::size_t kDefaultBudget = std::size_t(64) << 20;  // 64 MiB
+
+  explicit RecycleCache(std::size_t byte_budget = kDefaultBudget) : budget_(byte_budget) {}
+  RecycleCache(const RecycleCache&) = delete;
+  RecycleCache& operator=(const RecycleCache&) = delete;
+
+  // Copy the cached space for `key` into `*out`; false (and a "miss"
+  // event) when absent. A hit refreshes the entry's LRU stamp.
+  bool fetch(const CacheKey& key, RecycleSpace* out, obs::TraceSink* sink = nullptr);
+
+  // Insert or replace the space under `key`, then evict least-recently-
+  // used entries until the byte budget is met (the new entry is the most
+  // recent, so it is evicted only if it alone exceeds the budget).
+  void store(const CacheKey& key, RecycleSpace space, obs::TraceSink* sink = nullptr);
+
+  [[nodiscard]] Counters counters() const;
+  [[nodiscard]] std::size_t byte_budget() const { return budget_; }
+  void clear();
+
+  // Binary serialization ("BKRC" magic, versioned, per-entry FNV-1a
+  // checksum). load() keeps every entry that validates and returns false
+  // on the first malformed one — a truncated or corrupted file yields a
+  // smaller (possibly empty) cache, i.e. a cold start, never bad data.
+  bool save(const std::string& path) const;
+  bool load(const std::string& path, obs::TraceSink* sink = nullptr);
+
+ private:
+  struct Entry {
+    RecycleSpace space;
+    std::uint64_t tick = 0;
+  };
+
+  void emit(obs::TraceSink* sink, const char* action, const CacheKey& key,
+            std::size_t bytes) const BKR_REQUIRES_LOCK(mutex_);
+  void evict_to_budget(obs::TraceSink* sink) BKR_REQUIRES_LOCK(mutex_);
+
+  mutable std::mutex mutex_;
+  std::map<CacheKey, Entry> entries_ BKR_GUARDED_BY(mutex_);
+  Counters counters_ BKR_GUARDED_BY(mutex_);
+  std::uint64_t tick_ BKR_GUARDED_BY(mutex_) = 0;
+  std::size_t bytes_ BKR_GUARDED_BY(mutex_) = 0;
+  const std::size_t budget_;
+};
+
+}  // namespace bkr

@@ -83,6 +83,14 @@ void SolverTrace::iteration(const IterationEvent& ev) { current().events.push_ba
 
 void SolverTrace::recovery(const RecoveryEvent& ev) { current().recoveries.push_back(ev); }
 
+void SolverTrace::cache(const CacheEvent& ev) { cache_events_.push_back(ev); }
+
+std::int64_t SolverTrace::cache_event_count(const std::string& action) const {
+  std::int64_t n = 0;
+  for (const auto& ev : cache_events_) n += ev.action == action ? 1 : 0;
+  return n;
+}
+
 std::int64_t SolverTrace::recovery_count() const {
   std::int64_t n = 0;
   for (const auto& rec : solves_) n += static_cast<std::int64_t>(rec.recoveries.size());
@@ -112,6 +120,7 @@ double SolverTrace::total_solve_seconds() const {
 
 void SolverTrace::clear() {
   solves_.clear();
+  cache_events_.clear();
   open_ = false;
 }
 

@@ -53,6 +53,15 @@ struct IterationEvent {
   std::vector<double> residuals;
 };
 
+// One record per RecycleCache interaction observed by a session: the
+// cache's hit/miss/store/evict traffic keyed by operator fingerprint, so
+// a warm-started solve is distinguishable from a cold one in the trace.
+struct CacheEvent {
+  std::string action;         // "hit" | "miss" | "store" | "evict"
+  std::uint64_t key = 0;      // operator fingerprint of the entry
+  std::int64_t bytes = 0;     // payload bytes moved (0 for a miss)
+};
+
 // One record per recovery-ladder engagement (resilience layer): a
 // "recovered" solve is distinguishable from a clean one in the trace, and
 // the chaos suite can assert exactly which rung fired.
@@ -79,6 +88,10 @@ class TraceSink {
   // Recovery-escalation event. Default no-op so pre-existing sinks stay
   // source compatible.
   virtual void recovery(const RecoveryEvent&) {}
+  // RecycleCache event (sessions layer). Default no-op, like recovery():
+  // cache traffic happens outside begin/end solve pairs, so sinks that only
+  // model per-solve records can ignore it.
+  virtual void cache(const CacheEvent&) {}
 };
 
 // RAII phase timer: no-op (a single pointer test, no clock read) when the
@@ -134,10 +147,16 @@ class SolverTrace final : public TraceSink {
   void phase(Phase p, double seconds, std::int64_t count = 1) override;
   void iteration(const IterationEvent& ev) override;
   void recovery(const RecoveryEvent& ev) override;
+  void cache(const CacheEvent& ev) override;
 
   [[nodiscard]] const std::vector<SolveRecord>& solves() const { return solves_; }
   // Recovery events across every recorded solve.
   [[nodiscard]] std::int64_t recovery_count() const;
+  // Cache traffic is accumulated at trace level, not per solve record
+  // (it happens between solves and the bkr-trace-1 JSON schema stays
+  // unchanged); counters filter by action ("hit", "miss", "store", ...).
+  [[nodiscard]] const std::vector<CacheEvent>& cache_events() const { return cache_events_; }
+  [[nodiscard]] std::int64_t cache_event_count(const std::string& action) const;
 
   // Totals across every recorded solve.
   [[nodiscard]] PhaseTotals phase_totals(Phase p) const;
@@ -164,6 +183,7 @@ class SolverTrace final : public TraceSink {
   SolveRecord& current();
 
   std::vector<SolveRecord> solves_ BKR_THREAD_CONFINED;
+  std::vector<CacheEvent> cache_events_ BKR_THREAD_CONFINED;
   bool open_ BKR_THREAD_CONFINED = false;
 };
 

@@ -202,10 +202,175 @@ TEST(CApi, NullArgumentsFailGracefully) {
   bkr_result result{};
   EXPECT_NE(bkr_gmres(nullptr, nullptr, nullptr, nullptr, &result), 0);
   EXPECT_NE(bkr_gcrodr_solve(nullptr, nullptr, nullptr, nullptr, 0, &result), 0);
+  EXPECT_NE(bkr_session_solve(nullptr, nullptr, nullptr, 1, &result), 0);
+  EXPECT_EQ(bkr_session_create(nullptr, nullptr, nullptr), nullptr);
   bkr_matrix_destroy(nullptr);   // must be no-ops
   bkr_gcrodr_destroy(nullptr);
   bkr_zmatrix_destroy(nullptr);
   bkr_zgcrodr_destroy(nullptr);
+  bkr_session_destroy(nullptr);
+  bkr_zsession_destroy(nullptr);
+  bkr_cache_destroy(nullptr);
+  bkr_cache_clear(nullptr);
+  EXPECT_EQ(bkr_cache_hits(nullptr), 0);
+  EXPECT_EQ(bkr_session_solves(nullptr), 0);
+  EXPECT_EQ(bkr_session_warm_started(nullptr), 0);
+  EXPECT_NE(bkr_cache_save(nullptr, "x"), 0);
+  EXPECT_NE(bkr_cache_load(nullptr, "x"), 0);
+}
+
+TEST(CApi, SessionDefaultsAndMethodField) {
+  bkr_options opts;
+  bkr_options_default(&opts);
+  EXPECT_EQ(opts.method, BKR_METHOD_GMRES);
+  // An out-of-range method is rejected at create, not at solve.
+  const auto a = poisson2d(6, 6);
+  const auto arrays = to_c(a);
+  bkr_matrix* m = bkr_matrix_create(a.rows(), arrays.rowptr.data(), arrays.colind.data(),
+                                    arrays.values.data());
+  ASSERT_NE(m, nullptr);
+  opts.method = static_cast<bkr_method>(99);
+  EXPECT_EQ(bkr_session_create(m, &opts, nullptr), nullptr);
+  bkr_matrix_destroy(m);
+}
+
+TEST(CApi, SessionWarmStartsThroughCache) {
+  // The session service loop over the C boundary: a cold session
+  // populates the shared cache, a fresh session over the same matrix
+  // warm-starts from it and converges in fewer first-solve iterations.
+  const auto a = poisson2d(16, 16);
+  const auto arrays = to_c(a);
+  bkr_matrix* m = bkr_matrix_create(a.rows(), arrays.rowptr.data(), arrays.colind.data(),
+                                    arrays.values.data());
+  ASSERT_NE(m, nullptr);
+  bkr_options opts;
+  bkr_options_default(&opts);
+  opts.method = BKR_METHOD_GCRODR;
+  opts.restart = 25;
+  opts.recycle = 8;
+  bkr_cache* cache = bkr_cache_create(0);
+  ASSERT_NE(cache, nullptr);
+
+  auto run_sequence = [&](int64_t* first_iters, int* warm) {
+    bkr_session* session = bkr_session_create(m, &opts, cache);
+    ASSERT_NE(session, nullptr);
+    *warm = bkr_session_warm_started(session);
+    for (size_t s = 0; s < 4; ++s) {
+      const auto b = poisson2d_rhs(16, 16, kPoissonNus[s]);
+      std::vector<double> x(b.size(), 0.0);
+      bkr_result result{};
+      ASSERT_EQ(bkr_session_solve(session, b.data(), x.data(), 1, &result), 0);
+      EXPECT_EQ(result.converged, 1);
+      EXPECT_EQ(result.warm_start, *warm);
+      EXPECT_LT(testing::relative_residual(a, x, b), 1e-7);
+      if (s == 0) *first_iters = result.iterations;
+    }
+    EXPECT_EQ(bkr_session_solves(session), 4);
+    bkr_session_destroy(session);  // deposits the final space
+  };
+
+  int64_t cold_first = 0, warm_first = 0;
+  int warm = 1;
+  run_sequence(&cold_first, &warm);
+  EXPECT_EQ(warm, 0);
+  EXPECT_EQ(bkr_cache_entries(cache), 1);
+  EXPECT_GT(bkr_cache_bytes(cache), 0);
+  run_sequence(&warm_first, &warm);
+  EXPECT_EQ(warm, 1);
+  EXPECT_LT(warm_first, cold_first);
+  EXPECT_GE(bkr_cache_hits(cache), 1);
+  EXPECT_GE(bkr_cache_misses(cache), 1);
+
+  // The result struct mirrors the cache counters after a solve.
+  bkr_session* session = bkr_session_create(m, &opts, cache);
+  const auto b = poisson2d_rhs(16, 16, 0.1);
+  std::vector<double> x(b.size(), 0.0);
+  bkr_result result{};
+  ASSERT_EQ(bkr_session_solve(session, b.data(), x.data(), 1, &result), 0);
+  EXPECT_EQ(result.cache_hits, bkr_cache_hits(cache));
+  EXPECT_EQ(result.cache_misses, bkr_cache_misses(cache));
+  EXPECT_EQ(result.cache_bytes, bkr_cache_bytes(cache));
+  bkr_session_destroy(session);
+  bkr_cache_destroy(cache);
+  bkr_matrix_destroy(m);
+}
+
+TEST(CApi, SessionMultiRhsAndNonRecyclingMethods) {
+  const auto a = poisson2d(10, 10);
+  const index_t n = a.rows();
+  const auto arrays = to_c(a);
+  bkr_matrix* m = bkr_matrix_create(n, arrays.rowptr.data(), arrays.colind.data(),
+                                    arrays.values.data());
+  ASSERT_NE(m, nullptr);
+  for (const bkr_method method : {BKR_METHOD_CG, BKR_METHOD_BLOCK_CG, BKR_METHOD_GMRES,
+                                  BKR_METHOD_PSEUDO_GMRES, BKR_METHOD_LGMRES}) {
+    bkr_options opts;
+    bkr_options_default(&opts);
+    opts.method = method;
+    opts.restart = 40;
+    bkr_session* session = bkr_session_create(m, &opts, nullptr);
+    ASSERT_NE(session, nullptr) << "method " << method;
+    const int64_t nrhs = (method == BKR_METHOD_CG || method == BKR_METHOD_LGMRES) ? 1 : 3;
+    std::vector<double> b(size_t(n * nrhs)), x(size_t(n * nrhs), 0.0);
+    const auto col = poisson2d_rhs(10, 10, 0.1);
+    for (int64_t c = 0; c < nrhs; ++c)
+      for (index_t i = 0; i < n; ++i)
+        b[size_t(c * n + i)] =
+            col[size_t(i)] + 0.05 * double(c) * std::sin(double(i + 1) * double(c + 1));
+    bkr_result result{};
+    ASSERT_EQ(bkr_session_solve(session, b.data(), x.data(), nrhs, &result), 0)
+        << "method " << method;
+    EXPECT_EQ(result.converged, 1) << "method " << method;
+    EXPECT_EQ(result.warm_start, 0);
+    EXPECT_EQ(bkr_session_flush(session), 0);  // nothing to deposit
+    bkr_session_destroy(session);
+  }
+  bkr_matrix_destroy(m);
+}
+
+TEST(CApi, ZSessionSolvesComplexSequence) {
+  MaxwellConfig cfg;
+  cfg.n = 5;
+  cfg.wavelengths = 0.8;
+  cfg.loss = 0.5;
+  const auto prob = maxwell3d(cfg);
+  const auto& a = prob.matrix;
+  std::vector<int64_t> rowptr(a.rowptr().begin(), a.rowptr().end());
+  std::vector<int64_t> colind(a.colind().begin(), a.colind().end());
+  bkr_zmatrix* m = bkr_zmatrix_create(a.rows(), rowptr.data(), colind.data(),
+                                      reinterpret_cast<const double*>(a.values().data()));
+  ASSERT_NE(m, nullptr);
+  bkr_options opts;
+  bkr_options_default(&opts);
+  opts.method = BKR_METHOD_GCRODR;
+  opts.restart = 60;
+  opts.recycle = 10;
+  opts.max_iterations = 5000;
+  opts.tol = 1e-7;
+  bkr_cache* cache = bkr_cache_create(0);
+  bkr_zsession* session = bkr_zsession_create(m, &opts, cache);
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(bkr_zsession_warm_started(session), 0);
+  for (index_t s = 0; s < 2; ++s) {
+    const auto b = antenna_rhs(prob, s, 4);
+    std::vector<std::complex<double>> x(b.size(), std::complex<double>(0));
+    bkr_result result{};
+    ASSERT_EQ(bkr_zsession_solve(session, reinterpret_cast<const double*>(b.data()),
+                                 reinterpret_cast<double*>(x.data()), 1, &result),
+              0);
+    EXPECT_EQ(result.converged, 1);
+    EXPECT_LT(testing::relative_residual(a, x, b), 1e-6);
+  }
+  EXPECT_EQ(bkr_zsession_solves(session), 2);
+  EXPECT_EQ(bkr_zsession_flush(session), 1);
+  bkr_zsession_destroy(session);
+  // The complex space landed under the complex scalar key.
+  EXPECT_EQ(bkr_cache_entries(cache), 1);
+  bkr_zsession* warm = bkr_zsession_create(m, &opts, cache);
+  EXPECT_EQ(bkr_zsession_warm_started(warm), 1);
+  bkr_zsession_destroy(warm);
+  bkr_cache_destroy(cache);
+  bkr_zmatrix_destroy(m);
 }
 
 }  // namespace

@@ -1,0 +1,281 @@
+// RecycleCache unit tests: fingerprint stability, LRU eviction under a
+// byte budget, serialization round trips, and the corrupted-file cold
+// start (a bad snapshot must degrade to an empty cache, never bad data).
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>  // bkr-lint: allow(unpooled-thread)
+#include <vector>
+
+#include "core/recycle_cache.hpp"
+#include "fem/poisson2d.hpp"
+#include "obs/trace.hpp"
+#include "test_helpers.hpp"
+
+namespace bkr {
+namespace {
+
+using cplx = std::complex<double>;
+using testing::random_matrix;
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+RecycleSpace make_space(index_t n, index_t cols, unsigned seed, index_t lanes = 0) {
+  const auto u = random_matrix<double>(n, cols, seed);
+  const auto c = random_matrix<double>(n, cols, seed + 1);
+  return RecycleSpace::pack(u, c, lanes);
+}
+
+TEST(RecycleCache, FingerprintStableAcrossRebuilds) {
+  const auto a1 = poisson2d(10, 10);
+  const auto a2 = poisson2d(10, 10);
+  EXPECT_EQ(operator_fingerprint(a1), operator_fingerprint(a2));
+}
+
+TEST(RecycleCache, FingerprintSeesValuePerturbation) {
+  const auto a = poisson2d(10, 10);
+  auto b = a;
+  b.values()[7] += 1e-13;  // one ulp-scale nudge of one nonzero
+  EXPECT_NE(operator_fingerprint(a), operator_fingerprint(b));
+}
+
+TEST(RecycleCache, FingerprintSeesShapeAndStructure) {
+  EXPECT_NE(operator_fingerprint(poisson2d(10, 10)), operator_fingerprint(poisson2d(10, 11)));
+  EXPECT_NE(operator_fingerprint(poisson2d(10, 10)),
+            operator_fingerprint(poisson2d_varcoef(10, 10, 100.0, 4)));
+}
+
+TEST(RecycleCache, PackUnpackRoundTripReal) {
+  const auto u = random_matrix<double>(13, 4, 11);
+  const auto c = random_matrix<double>(13, 4, 12);
+  const RecycleSpace s = RecycleSpace::pack(u, c, 2);
+  EXPECT_EQ(s.n, 13);
+  EXPECT_EQ(s.cols, 4);
+  EXPECT_EQ(s.lanes, 2);
+  EXPECT_FALSE(s.is_complex);
+  DenseMatrix<double> u2, c2;
+  ASSERT_TRUE(s.unpack(&u2, &c2));
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 13; ++i) {
+      EXPECT_EQ(u2(i, j), u(i, j));
+      EXPECT_EQ(c2(i, j), c(i, j));
+    }
+  // Scalar-kind mismatch is rejected, not reinterpreted.
+  DenseMatrix<cplx> uz, cz;
+  EXPECT_FALSE(s.unpack(&uz, &cz));
+}
+
+TEST(RecycleCache, PackUnpackRoundTripComplex) {
+  DenseMatrix<cplx> u(7, 3), c(7, 3);
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 7; ++i) {
+      u(i, j) = cplx(double(i + 1), double(j) - 0.5);
+      c(i, j) = cplx(-double(j + 1), double(i) * 0.25);
+    }
+  const RecycleSpace s = RecycleSpace::pack(u, c, 0);
+  EXPECT_TRUE(s.is_complex);
+  EXPECT_EQ(s.bytes(), std::size_t(2 * 7 * 3 * 2) * sizeof(double));
+  DenseMatrix<cplx> u2, c2;
+  ASSERT_TRUE(s.unpack(&u2, &c2));
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 7; ++i) {
+      EXPECT_EQ(u2(i, j), u(i, j));
+      EXPECT_EQ(c2(i, j), c(i, j));
+    }
+}
+
+TEST(RecycleCache, FetchMissThenStoreThenHit) {
+  RecycleCache cache;
+  const CacheKey key{0x1234, 5, 0};
+  RecycleSpace out;
+  EXPECT_FALSE(cache.fetch(key, &out));
+  cache.store(key, make_space(8, 2, 21));
+  EXPECT_TRUE(cache.fetch(key, &out));
+  EXPECT_EQ(out.n, 8);
+  EXPECT_EQ(out.cols, 2);
+  const auto c = cache.counters();
+  EXPECT_EQ(c.hits, 1);
+  EXPECT_EQ(c.misses, 1);
+  EXPECT_EQ(c.stores, 1);
+  EXPECT_EQ(c.entries, 1u);
+  EXPECT_EQ(c.bytes, out.bytes());
+}
+
+TEST(RecycleCache, KeysSeparateMethodAndScalar) {
+  RecycleCache cache;
+  cache.store(CacheKey{1, 5, 0}, make_space(6, 2, 31));
+  RecycleSpace out;
+  EXPECT_FALSE(cache.fetch(CacheKey{1, 6, 0}, &out));  // other method
+  EXPECT_FALSE(cache.fetch(CacheKey{1, 5, 1}, &out));  // other scalar
+  EXPECT_TRUE(cache.fetch(CacheKey{1, 5, 0}, &out));
+}
+
+TEST(RecycleCache, LruEvictionUnderTightBudget) {
+  // Each space is 2 * 8*2 doubles = 256 bytes; budget fits exactly two.
+  const std::size_t one = make_space(8, 2, 0).bytes();
+  RecycleCache cache(2 * one);
+  const CacheKey k1{1, 5, 0}, k2{2, 5, 0}, k3{3, 5, 0};
+  cache.store(k1, make_space(8, 2, 41));
+  cache.store(k2, make_space(8, 2, 42));
+  RecycleSpace out;
+  ASSERT_TRUE(cache.fetch(k1, &out));  // refresh k1: k2 is now the LRU entry
+  cache.store(k3, make_space(8, 2, 43));
+  EXPECT_FALSE(cache.fetch(k2, &out));
+  EXPECT_TRUE(cache.fetch(k1, &out));
+  EXPECT_TRUE(cache.fetch(k3, &out));
+  const auto c = cache.counters();
+  EXPECT_EQ(c.evictions, 1);
+  EXPECT_EQ(c.entries, 2u);
+  EXPECT_LE(c.bytes, cache.byte_budget());
+}
+
+TEST(RecycleCache, ReplacingAnEntryKeepsByteAccounting) {
+  RecycleCache cache;
+  const CacheKey key{9, 5, 0};
+  cache.store(key, make_space(8, 2, 51));
+  cache.store(key, make_space(8, 4, 52));  // replace with a wider space
+  const auto c = cache.counters();
+  EXPECT_EQ(c.entries, 1u);
+  EXPECT_EQ(c.bytes, make_space(8, 4, 52).bytes());
+}
+
+TEST(RecycleCache, SaveLoadRoundTrip) {
+  const std::string path = temp_path("bkr_cache_roundtrip.bkrc");
+  RecycleCache cache;
+  const CacheKey kd{0xaaa, 5, 0}, kz{0xbbb, 6, 1};
+  cache.store(kd, make_space(12, 3, 61, 0));
+  DenseMatrix<cplx> uz(5, 2), cz(5, 2);
+  for (index_t j = 0; j < 2; ++j)
+    for (index_t i = 0; i < 5; ++i) {
+      uz(i, j) = cplx(double(i), double(j));
+      cz(i, j) = cplx(double(j), -double(i));
+    }
+  cache.store(kz, RecycleSpace::pack(uz, cz, 2));
+  ASSERT_TRUE(cache.save(path));
+
+  RecycleCache loaded;
+  ASSERT_TRUE(loaded.load(path));
+  EXPECT_EQ(loaded.counters().entries, 2u);
+  RecycleSpace a, b;
+  ASSERT_TRUE(loaded.fetch(kd, &a));
+  ASSERT_TRUE(loaded.fetch(kz, &b));
+  RecycleSpace ra, rb;
+  ASSERT_TRUE(cache.fetch(kd, &ra));
+  ASSERT_TRUE(cache.fetch(kz, &rb));
+  EXPECT_EQ(a.u, ra.u);
+  EXPECT_EQ(a.c, ra.c);
+  EXPECT_EQ(a.lanes, ra.lanes);
+  EXPECT_EQ(b.u, rb.u);
+  EXPECT_EQ(b.c, rb.c);
+  EXPECT_EQ(b.lanes, rb.lanes);
+  EXPECT_TRUE(b.is_complex);
+  std::remove(path.c_str());
+}
+
+TEST(RecycleCache, CorruptedPayloadLoadsAsColdStart) {
+  const std::string path = temp_path("bkr_cache_corrupt.bkrc");
+  RecycleCache cache;
+  cache.store(CacheKey{0xccc, 5, 0}, make_space(10, 2, 71));
+  ASSERT_TRUE(cache.save(path));
+  {
+    // Flip one byte inside the first entry's u payload (after the
+    // 4-byte magic, 4-byte version, 8-byte count, 56-byte header).
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(bool(f));
+    f.seekp(4 + 4 + 8 + 56 + 17);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(4 + 4 + 8 + 56 + 17);
+    byte = char(byte ^ 0x5a);
+    f.write(&byte, 1);
+  }
+  RecycleCache loaded;
+  EXPECT_FALSE(loaded.load(path));  // checksum catches the flip
+  EXPECT_EQ(loaded.counters().entries, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(RecycleCache, TruncatedFileLoadsAsColdStart) {
+  const std::string path = temp_path("bkr_cache_truncated.bkrc");
+  RecycleCache cache;
+  cache.store(CacheKey{0xddd, 5, 0}, make_space(10, 2, 81));
+  ASSERT_TRUE(cache.save(path));
+  std::vector<char> bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), std::streamsize(bytes.size() / 2));
+  }
+  RecycleCache loaded;
+  EXPECT_FALSE(loaded.load(path));
+  EXPECT_EQ(loaded.counters().entries, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(RecycleCache, RejectsMissingAndForeignFiles) {
+  RecycleCache cache;
+  EXPECT_FALSE(cache.load(temp_path("bkr_cache_does_not_exist.bkrc")));
+  const std::string path = temp_path("bkr_cache_foreign.bkrc");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "definitely not a cache snapshot";
+  }
+  EXPECT_FALSE(cache.load(path));
+  EXPECT_EQ(cache.counters().entries, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(RecycleCache, EmitsTraceEvents) {
+  obs::SolverTrace trace;
+  RecycleCache cache;
+  const CacheKey key{0xeee, 5, 0};
+  RecycleSpace out;
+  EXPECT_FALSE(cache.fetch(key, &out, &trace));
+  cache.store(key, make_space(8, 2, 91), &trace);
+  EXPECT_TRUE(cache.fetch(key, &out, &trace));
+  EXPECT_EQ(trace.cache_event_count("miss"), 1);
+  EXPECT_EQ(trace.cache_event_count("store"), 1);
+  EXPECT_EQ(trace.cache_event_count("hit"), 1);
+  EXPECT_EQ(trace.cache_event_count("evict"), 0);
+}
+
+// Contention stress for the TSan preset: several threads hammer a shared
+// cache with interleaved stores, fetches and counter reads under a budget
+// small enough to force concurrent evictions.
+TEST(RecycleCacheThreads, ConcurrentStoreFetchEvict) {
+  const std::size_t one = make_space(8, 2, 0).bytes();
+  RecycleCache cache(4 * one);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 200;
+  std::vector<std::thread> workers;  // bkr-lint: allow(unpooled-thread)
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {  // bkr-lint: allow(unpooled-thread)
+      for (int i = 0; i < kOps; ++i) {
+        const CacheKey key{std::uint64_t(1 + (t + i) % 7), 5, 0};
+        if (i % 3 == 0) {
+          cache.store(key, make_space(8, 2, unsigned(t * kOps + i)));
+        } else {
+          RecycleSpace out;
+          cache.fetch(key, &out);
+        }
+        if (i % 17 == 0) (void)cache.counters();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto c = cache.counters();
+  EXPECT_EQ(c.stores, kThreads * ((kOps + 2) / 3));
+  EXPECT_LE(c.bytes, cache.byte_budget());
+  EXPECT_LE(c.entries, 7u);
+}
+
+}  // namespace
+}  // namespace bkr

@@ -1,0 +1,524 @@
+// SolverSession conformance and warm-start suite.
+//
+// The contract under test (core/session.hpp): a cold session's first
+// solve is bitwise identical to the corresponding one-shot entry point at
+// every lane count; later solves of the recycling methods get cheaper;
+// a session warm-started from a RecycleCache beats its cold reference on
+// first-solve iterations (the PR's acceptance assertion); SolveStats
+// resets per call while SessionStats accumulates.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <thread>  // bkr-lint: allow(unpooled-thread)
+#include <vector>
+
+#include "core/session.hpp"
+#include "fem/poisson2d.hpp"
+#include "obs/trace.hpp"
+#include "parallel/kernel_executor.hpp"
+#include "test_helpers.hpp"
+
+namespace bkr {
+namespace {
+
+using cplx = std::complex<double>;
+
+constexpr KernelCutoffs kForceParallel{1, 1, 1};
+
+// Multi-RHS block: fig-2 source in column 0 plus perturbed copies.
+DenseMatrix<double> poisson_rhs_block(index_t nx, index_t ny, index_t p) {
+  const auto base = poisson2d_rhs(nx, ny, 0.1);
+  const index_t n = index_t(base.size());
+  DenseMatrix<double> b(n, p);
+  for (index_t c = 0; c < p; ++c)
+    for (index_t i = 0; i < n; ++i)
+      b(i, c) = base[size_t(i)] + 0.05 * double(c) * std::sin(double(i + 1) * double(c + 1));
+  return b;
+}
+
+SolverOptions base_opts() {
+  SolverOptions opts;
+  opts.restart = 50;
+  opts.tol = 1e-9;
+  return opts;
+}
+
+void expect_same_stats(const SolveStats& got, const SolveStats& ref, index_t lanes,
+                       const char* what) {
+  EXPECT_EQ(got.converged, ref.converged) << what << " lanes=" << lanes;
+  EXPECT_EQ(got.status, ref.status) << what << " lanes=" << lanes;
+  EXPECT_EQ(got.iterations, ref.iterations) << what << " lanes=" << lanes;
+  EXPECT_EQ(got.cycles, ref.cycles) << what << " lanes=" << lanes;
+  EXPECT_EQ(got.reductions, ref.reductions) << what << " lanes=" << lanes;
+  EXPECT_EQ(got.operator_applies, ref.operator_applies) << what << " lanes=" << lanes;
+  EXPECT_EQ(got.precond_applies, ref.precond_applies) << what << " lanes=" << lanes;
+  EXPECT_EQ(got.per_rhs_iterations, ref.per_rhs_iterations) << what << " lanes=" << lanes;
+  ASSERT_EQ(got.history.size(), ref.history.size()) << what << " lanes=" << lanes;
+  for (size_t c = 0; c < ref.history.size(); ++c)
+    EXPECT_EQ(got.history[c], ref.history[c])
+        << what << " lanes=" << lanes << " rhs=" << c << " (residual history diverged)";
+}
+
+template <class T>
+void expect_same_solution(const DenseMatrix<T>& got, const DenseMatrix<T>& ref, index_t lanes,
+                          const char* what) {
+  ASSERT_EQ(got.rows(), ref.rows());
+  ASSERT_EQ(got.cols(), ref.cols());
+  for (index_t j = 0; j < ref.cols(); ++j)
+    for (index_t i = 0; i < ref.rows(); ++i)
+      EXPECT_EQ(got(i, j), ref(i, j)) << what << " lanes=" << lanes << " x(" << i << "," << j
+                                      << ")";
+}
+
+// Conformance harness: at 1 lane and N lanes (cutoffs forced to 1 so the
+// executor path is always exercised), a cold session's solves must match
+// the one-shot reference produced by `oneshot(op, b, x, opts)` bitwise.
+template <class T, class OneShot>
+void check_conformance(const CsrMatrix<T>& a, const std::vector<DenseMatrix<T>>& rhs,
+                       SessionMethod method, SolverOptions opts, OneShot oneshot,
+                       const char* what) {
+  for (index_t lanes : {index_t(1), index_t(4)}) {
+    KernelExecutor ex(lanes, kForceParallel);
+    SolverOptions lopts = opts;
+    lopts.exec = &ex;
+
+    CsrOperator<T> op(a, nullptr, &ex);
+    std::vector<SolveStats> ref_stats;
+    std::vector<DenseMatrix<T>> ref_x;
+    for (size_t s = 0; s < rhs.size(); ++s) {
+      ref_x.emplace_back(a.rows(), rhs[s].cols());
+      ref_stats.push_back(oneshot(op, rhs[s], ref_x.back(), lopts, s));
+    }
+
+    SessionConfig cfg;
+    cfg.method = method;
+    cfg.options = lopts;
+    SolverSession<T> session(a, nullptr, cfg);
+    EXPECT_FALSE(session.warm_started());
+    for (size_t s = 0; s < rhs.size(); ++s) {
+      DenseMatrix<T> x(a.rows(), rhs[s].cols());
+      const SolveStats st = session.solve(rhs[s].view(), x.view());
+      EXPECT_TRUE(st.converged) << what << " lanes=" << lanes;
+      expect_same_stats(st, ref_stats[s], lanes, what);
+      expect_same_solution(x, ref_x[s], lanes, what);
+    }
+  }
+}
+
+TEST(SessionConformance, Cg) {
+  const auto a = poisson2d(12, 12);
+  check_conformance<double>(
+      a, {poisson_rhs_block(12, 12, 1)}, SessionMethod::Cg, base_opts(),
+      [](CsrOperator<double>& op, const DenseMatrix<double>& b, DenseMatrix<double>& x,
+         const SolverOptions& o, size_t) { return cg<double>(op, nullptr, b.view(), x.view(), o); },
+      "cg");
+}
+
+TEST(SessionConformance, BlockCg) {
+  const auto a = poisson2d(12, 12);
+  check_conformance<double>(
+      a, {poisson_rhs_block(12, 12, 4)}, SessionMethod::BlockCg, base_opts(),
+      [](CsrOperator<double>& op, const DenseMatrix<double>& b, DenseMatrix<double>& x,
+         const SolverOptions& o, size_t) {
+        return block_cg<double>(op, nullptr, b.view(), x.view(), o);
+      },
+      "block_cg");
+}
+
+TEST(SessionConformance, BlockGmres) {
+  const auto a = poisson2d(12, 12);
+  check_conformance<double>(
+      a, {poisson_rhs_block(12, 12, 4)}, SessionMethod::BlockGmres, base_opts(),
+      [](CsrOperator<double>& op, const DenseMatrix<double>& b, DenseMatrix<double>& x,
+         const SolverOptions& o, size_t) {
+        return block_gmres<double>(op, nullptr, b.view(), x.view(), o);
+      },
+      "block_gmres");
+}
+
+TEST(SessionConformance, PseudoBlockGmres) {
+  const auto a = poisson2d(12, 12);
+  check_conformance<double>(
+      a, {poisson_rhs_block(12, 12, 3)}, SessionMethod::PseudoBlockGmres, base_opts(),
+      [](CsrOperator<double>& op, const DenseMatrix<double>& b, DenseMatrix<double>& x,
+         const SolverOptions& o, size_t) {
+        return pseudo_block_gmres<double>(op, nullptr, b.view(), x.view(), o);
+      },
+      "pseudo_block_gmres");
+}
+
+TEST(SessionConformance, Lgmres) {
+  const auto a = poisson2d(12, 12);
+  SolverOptions opts = base_opts();
+  opts.restart = 30;
+  opts.recycle = 2;  // augmentation vectors
+  check_conformance<double>(
+      a, {poisson_rhs_block(12, 12, 1)}, SessionMethod::Lgmres, opts,
+      [](CsrOperator<double>& op, const DenseMatrix<double>& b, DenseMatrix<double>& x,
+         const SolverOptions& o, size_t) {
+        const index_t n = b.rows();
+        std::vector<double> bv(b.col(0), b.col(0) + n), xv(size_t(n), 0.0);
+        const SolveStats st = lgmres<double>(op, nullptr, bv, xv, o);
+        std::copy(xv.begin(), xv.end(), x.col(0));
+        return st;
+      },
+      "lgmres");
+}
+
+TEST(SessionConformance, GcroDrSequence) {
+  const auto a = poisson2d(12, 12);
+  SolverOptions opts = base_opts();
+  opts.restart = 20;
+  opts.recycle = 2;
+  GcroDr<double> oneshot(opts);
+  bool oneshot_ready = false;
+  check_conformance<double>(
+      a, {poisson_rhs_block(12, 12, 2), poisson_rhs_block(12, 12, 2)}, SessionMethod::GcroDr,
+      opts,
+      [&](CsrOperator<double>& op, const DenseMatrix<double>& b, DenseMatrix<double>& x,
+          const SolverOptions& o, size_t s) {
+        if (s == 0) {
+          // Fresh reference solver per lane count, rebuilt with the
+          // lane-local executor options.
+          oneshot = GcroDr<double>(o);
+          oneshot_ready = true;
+        }
+        EXPECT_TRUE(oneshot_ready);
+        return oneshot.solve(op, nullptr, b.view(), x.view(), nullptr, /*new_matrix=*/s == 0);
+      },
+      "gcrodr");
+}
+
+TEST(SessionConformance, PseudoGcroDrSequence) {
+  const auto a = poisson2d(12, 12);
+  SolverOptions opts = base_opts();
+  opts.restart = 20;
+  opts.recycle = 2;
+  PseudoGcroDr<double> oneshot(opts);
+  check_conformance<double>(
+      a, {poisson_rhs_block(12, 12, 3), poisson_rhs_block(12, 12, 3)},
+      SessionMethod::PseudoGcroDr, opts,
+      [&](CsrOperator<double>& op, const DenseMatrix<double>& b, DenseMatrix<double>& x,
+          const SolverOptions& o, size_t s) {
+        if (s == 0) oneshot = PseudoGcroDr<double>(o);
+        return oneshot.solve(op, nullptr, b.view(), x.view(), nullptr, /*new_matrix=*/s == 0);
+      },
+      "pseudo_gcrodr");
+}
+
+TEST(SessionConformance, LgmresMultiRhsMatchesColumnRuns) {
+  // The session's multi-RHS LGMRES batch is defined as back-to-back
+  // column solves; pin the merged record against manual column runs.
+  const auto a = poisson2d(10, 10);
+  const index_t n = a.rows();
+  const auto b = poisson_rhs_block(10, 10, 3);
+  SolverOptions opts = base_opts();
+  opts.restart = 25;
+  opts.recycle = 2;
+
+  CsrOperator<double> op(a);
+  DenseMatrix<double> xref(n, 3);
+  std::vector<SolveStats> cols;
+  for (index_t c = 0; c < 3; ++c) {
+    std::vector<double> bv(b.col(c), b.col(c) + n), xv(size_t(n), 0.0);
+    cols.push_back(lgmres<double>(op, nullptr, bv, xv, opts));
+    std::copy(xv.begin(), xv.end(), xref.col(c));
+  }
+
+  SessionConfig cfg;
+  cfg.method = SessionMethod::Lgmres;
+  cfg.options = opts;
+  SolverSession<double> session(a, nullptr, cfg);
+  DenseMatrix<double> x(n, 3);
+  const SolveStats st = session.solve(b.view(), x.view());
+  EXPECT_TRUE(st.converged);
+  expect_same_solution(x, xref, 0, "lgmres batch");
+  index_t worst = 0;
+  std::int64_t applies = 0;
+  ASSERT_EQ(st.per_rhs_iterations.size(), 3u);
+  ASSERT_EQ(st.history.size(), 3u);
+  for (index_t c = 0; c < 3; ++c) {
+    worst = std::max(worst, cols[size_t(c)].iterations);
+    applies += cols[size_t(c)].operator_applies;
+    EXPECT_EQ(st.per_rhs_iterations[size_t(c)], cols[size_t(c)].iterations);
+    EXPECT_EQ(st.history[size_t(c)], cols[size_t(c)].history[0]);
+  }
+  EXPECT_EQ(st.iterations, worst);
+  EXPECT_EQ(st.operator_applies, applies);
+}
+
+TEST(Session, SecondSolveUsesRecycledSpace) {
+  // The fig-2 scenario through the session: one operator, the four nu
+  // sources; every later solve must beat the cold first one.
+  const auto a = poisson2d(16, 16);
+  const index_t n = a.rows();
+  for (SessionMethod method : {SessionMethod::GcroDr, SessionMethod::PseudoGcroDr}) {
+    SolverOptions opts;
+    opts.restart = 25;
+    opts.recycle = 8;
+    opts.tol = 1e-9;
+    SessionConfig cfg;
+    cfg.method = method;
+    cfg.options = opts;
+    SolverSession<double> session(a, nullptr, cfg);
+    std::vector<index_t> iters;
+    for (const double nu : kPoissonNus) {
+      const auto f = poisson2d_rhs(16, 16, nu);
+      DenseMatrix<double> b(n, 1), x(n, 1);
+      std::copy(f.begin(), f.end(), b.col(0));
+      const auto st = session.solve(b.view(), x.view());
+      ASSERT_TRUE(st.converged) << session_method_name(method);
+      iters.push_back(st.iterations);
+    }
+    EXPECT_LT(iters[1], iters[0]) << session_method_name(method);
+    EXPECT_LT(iters[2], iters[0]) << session_method_name(method);
+    EXPECT_LT(iters[3], iters[0]) << session_method_name(method);
+  }
+}
+
+// The acceptance assertion of this PR: a fresh session warm-started from
+// the cache takes strictly fewer first-solve iterations than the cold
+// session that populated it — for both recycling methods.
+TEST(SessionWarmStart, WarmFirstSolveBeatsColdFirstSolve) {
+  const auto a = poisson2d(20, 20);
+  const index_t n = a.rows();
+  for (SessionMethod method : {SessionMethod::GcroDr, SessionMethod::PseudoGcroDr}) {
+    SolverOptions opts;
+    opts.restart = 20;
+    opts.recycle = 8;
+    opts.tol = 1e-8;
+    auto run_sequence = [&](RecycleCache* cache, bool* warm) {
+      SessionConfig cfg;
+      cfg.method = method;
+      cfg.options = opts;
+      cfg.cache = cache;
+      SolverSession<double> session(a, nullptr, cfg);
+      *warm = session.warm_started();
+      index_t first = 0;
+      for (size_t s = 0; s < 4; ++s) {
+        const auto f = poisson2d_rhs(20, 20, kPoissonNus[s]);
+        DenseMatrix<double> b(n, 1), x(n, 1);
+        std::copy(f.begin(), f.end(), b.col(0));
+        const auto st = session.solve(b.view(), x.view());
+        EXPECT_TRUE(st.converged) << session_method_name(method);
+        if (s == 0) first = st.iterations;
+      }
+      return first;  // session deposits its space on destruction
+    };
+    RecycleCache cache;
+    bool warm = true;
+    const index_t cold_first = run_sequence(&cache, &warm);
+    EXPECT_FALSE(warm) << session_method_name(method);
+    EXPECT_EQ(cache.counters().entries, 1u) << session_method_name(method);
+    const index_t warm_first = run_sequence(&cache, &warm);
+    EXPECT_TRUE(warm) << session_method_name(method);
+    EXPECT_LT(warm_first, cold_first) << session_method_name(method);
+  }
+}
+
+TEST(SessionWarmStart, MismatchedOperatorStaysCold) {
+  // A cache populated by one operator must not warm-start a session on a
+  // different operator (the fingerprint separates them).
+  const auto a1 = poisson2d(14, 14);
+  const auto a2 = poisson2d_varcoef(14, 14, 100.0, 4);
+  SolverOptions opts;
+  opts.restart = 20;
+  opts.recycle = 6;
+  RecycleCache cache;
+  {
+    SessionConfig cfg;
+    cfg.method = SessionMethod::GcroDr;
+    cfg.options = opts;
+    cfg.cache = &cache;
+    SolverSession<double> session(a1, nullptr, cfg);
+    const auto f = poisson2d_rhs(14, 14, 0.1);
+    DenseMatrix<double> b(a1.rows(), 1), x(a1.rows(), 1);
+    std::copy(f.begin(), f.end(), b.col(0));
+    ASSERT_TRUE(session.solve(b.view(), x.view()).converged);
+  }
+  SessionConfig cfg;
+  cfg.method = SessionMethod::GcroDr;
+  cfg.options = opts;
+  cfg.cache = &cache;
+  SolverSession<double> other(a2, nullptr, cfg);
+  EXPECT_FALSE(other.warm_started());
+  EXPECT_GE(cache.counters().misses, 1);
+}
+
+TEST(Session, StatsAccumulateWhilePerCallStatsReset) {
+  // Satellite contract: SessionStats ACCUMULATES across solves;
+  // the SolveStats returned by each call covers that call only.
+  const auto a = poisson2d(12, 12);
+  const index_t n = a.rows();
+  SessionConfig cfg;
+  cfg.method = SessionMethod::GcroDr;
+  cfg.options.restart = 20;
+  cfg.options.recycle = 4;
+  SolverSession<double> session(a, nullptr, cfg);
+  std::vector<SolveStats> calls;
+  for (const double nu : {0.1, 10.0}) {
+    const auto f = poisson2d_rhs(12, 12, nu);
+    DenseMatrix<double> b(n, 1), x(n, 1);
+    std::copy(f.begin(), f.end(), b.col(0));
+    calls.push_back(session.solve(b.view(), x.view()));
+    ASSERT_TRUE(calls.back().converged);
+  }
+  // Per-call reset: the second record is not a running total.
+  EXPECT_LT(calls[1].iterations, calls[0].iterations + calls[1].iterations);
+  EXPECT_GT(calls[1].iterations, 0);
+  // Session accumulation: totals are the sum of the per-call records.
+  const SessionStats& st = session.stats();
+  EXPECT_EQ(st.solves, 2);
+  EXPECT_EQ(st.converged_solves, 2);
+  EXPECT_EQ(st.iterations, calls[0].iterations + calls[1].iterations);
+  EXPECT_EQ(st.cycles, calls[0].cycles + calls[1].cycles);
+  EXPECT_EQ(st.reductions, calls[0].reductions + calls[1].reductions);
+  EXPECT_EQ(st.operator_applies, calls[0].operator_applies + calls[1].operator_applies);
+  EXPECT_EQ(st.last_status, SolveStatus::Converged);
+  session.reset_stats();
+  EXPECT_EQ(session.stats().solves, 0);
+  EXPECT_EQ(session.stats().iterations, 0);
+  EXPECT_EQ(session.solves(), 0);
+}
+
+TEST(Session, FlushSemantics) {
+  const auto a = poisson2d(12, 12);
+  const index_t n = a.rows();
+  RecycleCache cache;
+  // No cache attached: flush is a no-op.
+  {
+    SessionConfig cfg;
+    cfg.method = SessionMethod::GcroDr;
+    cfg.options.recycle = 4;
+    SolverSession<double> session(a, nullptr, cfg);
+    EXPECT_FALSE(session.flush());
+  }
+  // Non-recycling method: nothing to deposit even with a cache.
+  {
+    SessionConfig cfg;
+    cfg.method = SessionMethod::BlockGmres;
+    cfg.cache = &cache;
+    SolverSession<double> session(a, nullptr, cfg);
+    EXPECT_FALSE(session.flush());
+  }
+  EXPECT_EQ(cache.counters().entries, 0u);
+  // Recycling method: no space before the first solve, a space after.
+  SessionConfig cfg;
+  cfg.method = SessionMethod::GcroDr;
+  cfg.options.recycle = 4;
+  cfg.cache = &cache;
+  cfg.store_on_destroy = false;
+  SolverSession<double> session(a, nullptr, cfg);
+  EXPECT_FALSE(session.flush());
+  const auto f = poisson2d_rhs(12, 12, 0.1);
+  DenseMatrix<double> b(n, 1), x(n, 1);
+  std::copy(f.begin(), f.end(), b.col(0));
+  ASSERT_TRUE(session.solve(b.view(), x.view()).converged);
+  EXPECT_TRUE(session.flush());
+  EXPECT_EQ(cache.counters().entries, 1u);
+}
+
+TEST(Session, CacheTraceEventsFlow) {
+  // The cold create misses, the destroy stores, the warm create hits —
+  // all visible on the session's own trace sink.
+  const auto a = poisson2d(12, 12);
+  const index_t n = a.rows();
+  obs::SolverTrace trace;
+  RecycleCache cache;
+  SolverOptions opts;
+  opts.recycle = 4;
+  opts.trace = &trace;
+  auto run = [&] {
+    SessionConfig cfg;
+    cfg.method = SessionMethod::GcroDr;
+    cfg.options = opts;
+    cfg.cache = &cache;
+    SolverSession<double> session(a, nullptr, cfg);
+    const auto f = poisson2d_rhs(12, 12, 0.1);
+    DenseMatrix<double> b(n, 1), x(n, 1);
+    std::copy(f.begin(), f.end(), b.col(0));
+    ASSERT_TRUE(session.solve(b.view(), x.view()).converged);
+  };
+  run();
+  EXPECT_EQ(trace.cache_event_count("miss"), 1);
+  EXPECT_EQ(trace.cache_event_count("store"), 1);
+  EXPECT_EQ(trace.cache_event_count("hit"), 0);
+  run();
+  EXPECT_EQ(trace.cache_event_count("hit"), 1);
+  EXPECT_EQ(trace.cache_event_count("store"), 2);
+}
+
+TEST(SessionThreads, TwoSessionsSharedExecutorMatchSerial) {
+  // Two sessions over different operators driven from two threads on one
+  // shared KernelExecutor must reproduce their serial runs bitwise, and
+  // concurrent deposits into the shared cache must be safe.
+  const auto a1 = poisson2d(12, 12);
+  const auto a2 = poisson2d_varcoef(12, 12, 50.0, 4);
+  const auto b1 = poisson_rhs_block(12, 12, 2);
+  const auto b2 = poisson_rhs_block(12, 12, 2);
+  SolverOptions opts;
+  opts.restart = 20;
+  opts.recycle = 3;
+  opts.tol = 1e-9;
+
+  auto run = [&](const CsrMatrix<double>& a, const DenseMatrix<double>& b,
+                 const KernelExecutor& ex, RecycleCache* cache, DenseMatrix<double>* x) {
+    SolverOptions lopts = opts;
+    lopts.exec = &ex;
+    SessionConfig cfg;
+    cfg.method = SessionMethod::GcroDr;
+    cfg.options = lopts;
+    cfg.cache = cache;
+    SolverSession<double> session(a, nullptr, cfg);
+    x->resize(a.rows(), b.cols());
+    return session.solve(b.view(), x->view());
+  };
+
+  KernelExecutor ex(4, kForceParallel);
+  DenseMatrix<double> ref1, ref2;
+  const SolveStats sref1 = run(a1, b1, ex, nullptr, &ref1);
+  const SolveStats sref2 = run(a2, b2, ex, nullptr, &ref2);
+  ASSERT_TRUE(sref1.converged);
+  ASSERT_TRUE(sref2.converged);
+
+  RecycleCache cache;
+  DenseMatrix<double> x1, x2;
+  SolveStats s1, s2;
+  std::thread t1([&] { s1 = run(a1, b1, ex, &cache, &x1); });  // bkr-lint: allow(unpooled-thread)
+  std::thread t2([&] { s2 = run(a2, b2, ex, &cache, &x2); });  // bkr-lint: allow(unpooled-thread)
+  t1.join();
+  t2.join();
+  expect_same_stats(s1, sref1, 4, "threaded session a1");
+  expect_same_stats(s2, sref2, 4, "threaded session a2");
+  expect_same_solution(x1, ref1, 4, "threaded session a1");
+  expect_same_solution(x2, ref2, 4, "threaded session a2");
+  EXPECT_EQ(cache.counters().entries, 2u);
+}
+
+TEST(SessionConformance, ComplexBlockGmres) {
+  // Complex shifted Poisson through a complex session (the zsession
+  // path of the C API shares this instantiation).
+  const auto ar = poisson2d(10, 10);
+  const index_t n = ar.rows();
+  CooBuilder<cplx> builder(n, n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t l = ar.rowptr()[size_t(i)]; l < ar.rowptr()[size_t(i) + 1]; ++l)
+      builder.add(i, ar.colind()[size_t(l)],
+                  cplx(ar.values()[size_t(l)], 0) -
+                      (ar.colind()[size_t(l)] == i ? cplx(0.05, -0.05) : cplx(0)));
+  const auto a = builder.build();
+  Rng rng(97);
+  DenseMatrix<cplx> b(n, 2);
+  for (index_t j = 0; j < 2; ++j)
+    for (index_t i = 0; i < n; ++i) b(i, j) = rng.scalar<cplx>();
+  check_conformance<cplx>(
+      a, {b}, SessionMethod::BlockGmres, base_opts(),
+      [](CsrOperator<cplx>& op, const DenseMatrix<cplx>& bb, DenseMatrix<cplx>& x,
+         const SolverOptions& o, size_t) {
+        return block_gmres<cplx>(op, nullptr, bb.view(), x.view(), o);
+      },
+      "complex block_gmres");
+}
+
+}  // namespace
+}  // namespace bkr

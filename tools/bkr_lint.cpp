@@ -1708,6 +1708,44 @@ int self_test() {
          "void Cov::apply_impl(MatrixView<const double> r) {\n"
          "  BKR_REQUIRE(r.rows() >= 0, \"rows\");\n}\n"}},
        nullptr, 0.9},
+      // The session/recycle-cache service layer lives in src/core and fans
+      // out over sparse (CSR fingerprinting), la (dense payloads) and obs
+      // (cache trace events) — all strictly downward includes, so the model
+      // must accept the shape the real session.hpp / recycle_cache.hpp use.
+      {"session-core-layer-clean",
+       {{"src/core/sess.hpp",
+         "#pragma once\n#include \"la/dense.hpp\"\n#include \"obs/trace.hpp\"\n"
+         "#include \"sparse/csr.hpp\"\nclass Sess {\n public:\n  int solve();\n};\n"},
+        {"src/core/sess.cpp", "#include \"core/sess.hpp\"\nint Sess::solve() { return 0; }\n"}},
+       nullptr, 0.0},
+      // ...and the reverse direction stays illegal: the data-plane layers
+      // must never reach up into the session service.
+      {"session-upward-from-sparse",
+       {{"src/sparse/bad.hpp", "#pragma once\n#include \"core/recycle_cache.hpp\"\nint f();\n"}},
+       "layer-upward-include", 0.0},
+      {"session-upward-from-obs",
+       {{"src/obs/bad.hpp", "#pragma once\n#include \"core/session.hpp\"\nint f();\n"}},
+       "layer-upward-include", 0.0},
+      // The cache's lock discipline as the scope walker sees it: the map is
+      // guarded, every touch goes through a lock_guard, and the private
+      // helpers carry BKR_REQUIRES_LOCK instead of re-locking.
+      {"session-cache-lock-clean",
+       {{"src/core/rc.hpp",
+         "#pragma once\nclass Rc {\n public:\n  bool fetch(int k);\n private:\n"
+         "  void emit(int k) BKR_REQUIRES_LOCK(mu_);\n  mutable std::mutex mu_;\n"
+         "  long hits_ BKR_GUARDED_BY(mu_);\n};\n"},
+        {"src/core/rc.cpp",
+         "#include \"core/rc.hpp\"\nbool Rc::fetch(int k) {\n"
+         "  std::lock_guard<std::mutex> lock(mu_);\n  ++hits_;\n  emit(k);\n  return true;\n}\n"
+         "void Rc::emit(int k) { use(k, hits_); }\n"}},
+       nullptr, 0.0},
+      {"session-cache-unlocked-counter",
+       {{"src/core/rc.hpp",
+         "#pragma once\nclass Rc {\n public:\n  bool fetch(int k);\n private:\n"
+         "  mutable std::mutex mu_;\n  long hits_ BKR_GUARDED_BY(mu_);\n};\n"},
+        {"src/core/rc.cpp",
+         "#include \"core/rc.hpp\"\nbool Rc::fetch(int k) { ++hits_; return k != 0; }\n"}},
+       "unguarded-member-access", 0.0},
   };
   for (const AnalyzeCase& c : pcases) {
     std::vector<SourceFile> fv;
