@@ -19,24 +19,69 @@
 //             so the smoke run compares against the full-mode baseline
 //   --reps K  override the repetition count
 //   --out     write the JSON there instead of BENCH_kernels.json
+#include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <new>  // bkr-lint: allow(raw-new-delete) replaceable allocation hooks
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "core/gcrodr.hpp"
+#include "core/gmres.hpp"
+#include "core/workspace.hpp"
 #include "fem/poisson2d.hpp"
 #include "la/blas.hpp"
 #include "la/qr.hpp"
 #include "parallel/kernel_executor.hpp"
 #include "sparse/csr.hpp"
 
+// Process-wide allocation counter behind the alloc_churn rows: replaceable
+// global operator new/delete that count every heap allocation, so a solver
+// iterate loop that touches the allocator cannot hide. The hooks stay
+// installed for the timing rows too; one relaxed fetch_add is noise next to
+// malloc itself.
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* operator new(std::size_t sz) {  // bkr-lint: allow(raw-new-delete) counting hook
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(sz == 0 ? 1 : sz);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t sz) { return ::operator new(sz); }  // bkr-lint: allow(raw-new-delete) counting hook
+void operator delete(void* p) noexcept { std::free(p); }  // bkr-lint: allow(raw-new-delete) counting hook
+void operator delete[](void* p) noexcept { std::free(p); }  // bkr-lint: allow(raw-new-delete) counting hook
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }  // bkr-lint: allow(raw-new-delete) counting hook
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }  // bkr-lint: allow(raw-new-delete) counting hook
+
 namespace {
 
 using namespace bkr;
+
+// Steady-state allocations per solver iteration (DESIGN.md §11): run the
+// same solve three times against one warmed workspace, varying only the
+// iteration budget — warm-up at the larger budget so every workspace slot
+// reaches its per-cycle maximum shape, then count a short and a long solve.
+// The budget difference stays inside one restart cycle, so per-solve and
+// per-cycle costs appear identically in both counted runs and cancel; what
+// remains is the allocator traffic of the extra iterations alone. The gate
+// in bench_check requires exactly zero.
+template <class SolveFn>
+double alloc_churn_per_iteration(SolveFn&& solve, index_t short_budget, index_t long_budget) {
+  solve(long_budget);  // warm-up
+  const std::uint64_t a0 = g_alloc_count.load();
+  solve(short_budget);
+  const std::uint64_t a1 = g_alloc_count.load();
+  solve(long_budget);
+  const std::uint64_t a2 = g_alloc_count.load();
+  const std::int64_t extra = std::int64_t(a2 - a1) - std::int64_t(a1 - a0);
+  return double(extra) / double(long_budget - short_budget);
+}
 
 // Lane counts benchmarked on top of the legacy serial row (threads == 0).
 std::vector<index_t> bench_lanes() {
@@ -171,6 +216,57 @@ int main(int argc, char** argv) {
     b.kernel("norms", "cols n=9216 p=8", [&](const KernelExecutor* ex) {
       column_norms<double>(m.view(), norms.data(), ex);
     });
+  }
+
+  // Alloc churn: the workspace-hoisting claim of DESIGN.md §11, measured.
+  // Both rows must be exactly 0 allocations per steady-state iteration;
+  // bench_check fails the gate on anything else. Budgets are chosen so the
+  // short and long runs end inside the same restart cycle (restart 30,
+  // GCRO-DR cycle 2 has 30 - 4 = 26 steps): the counted difference is
+  // 20 interior iterations with no cycle boundary in it.
+  {
+    const CsrOperator<double> op(a);
+    const DenseMatrix<double> rhs = random_block(n, 2, 11);
+    const index_t short_budget = 35, long_budget = 55;
+
+    SolverWorkspace<double> ws_gmres;
+    const double gmres_churn = alloc_churn_per_iteration(
+        [&](index_t budget) {
+          SolverOptions o;
+          o.restart = 30;
+          o.tol = 0.0;  // never converges: the budget decides the length
+          o.max_iterations = budget;
+          o.record_history = false;
+          o.recovery.early_restart = false;  // keep cycle boundaries fixed
+          o.workspace = &ws_gmres;
+          DenseMatrix<double> x(n, 2);
+          block_gmres<double>(op, nullptr, rhs.view(), x.view(), o);
+        },
+        short_budget, long_budget);
+    b.entries.push_back(
+        {"alloc_churn", "gmres(30) steady p=2", 0, gmres_churn, int(long_budget - short_budget)});
+
+    SolverWorkspace<double> ws_gcrodr;
+    const double gcrodr_churn = alloc_churn_per_iteration(
+        [&](index_t budget) {
+          SolverOptions o;
+          o.restart = 30;
+          o.recycle = 4;
+          o.tol = 0.0;
+          o.max_iterations = budget;
+          o.record_history = false;
+          o.recovery.early_restart = false;
+          o.workspace = &ws_gcrodr;
+          // A fresh solver per run keeps the counted solves structurally
+          // identical (first cycle + Ritz seed + projected cycle); the
+          // workspace outside carries the steady-state capacity.
+          GcroDr<double> solver(o);
+          DenseMatrix<double> x(n, 2);
+          solver.solve(op, nullptr, rhs.view(), x.view());
+        },
+        short_budget, long_budget);
+    b.entries.push_back({"alloc_churn", "gcrodr(30,4) steady p=2", 0, gcrodr_churn,
+                         int(long_budget - short_budget)});
   }
 
   std::ofstream out(out_path);

@@ -3,7 +3,8 @@
 #
 # Stages (all run by default; flags select a subset):
 #   --lint   bkr-lint self-test + project scan + bkr-analyze cross-TU
-#            project model, all against the committed baseline
+#            project model + bkr-hotpath call-graph hot-path discipline,
+#            all against the committed baseline
 #   --tidy   clang-tidy over src/ using .clang-tidy (skipped with a notice
 #            when clang-tidy is not installed — the container ships g++ only)
 #   --asan   ASan+UBSan build + full test suite (build-asan/)
@@ -35,6 +36,8 @@ if [[ $RUN_LINT -eq 1 ]]; then
   ./build/tools/bkr_lint --baseline tools/bkr_lint_baseline.txt .
   echo "==> bkr-analyze (cross-TU project model)"
   ./build/tools/bkr_lint --analyze --baseline tools/bkr_lint_baseline.txt .
+  echo "==> bkr-hotpath (call-graph hot-path discipline)"
+  ./build/tools/bkr_lint --hotpath --baseline tools/bkr_lint_baseline.txt .
 fi
 
 if [[ $RUN_TIDY -eq 1 ]]; then

@@ -55,7 +55,7 @@ cmake --build build -j --target bench_kernels bench_check
 ./build/tools/bench_check build/BENCH_kernels_smoke.json \
   --baseline BENCH_kernels.json --max-regression 0.25
 
-echo "==> static analysis (bkr-lint + bkr-analyze) + TSan concurrency stress"
+echo "==> static analysis (bkr-lint + bkr-analyze + bkr-hotpath) + TSan concurrency stress"
 scripts/analyze.sh --lint --tsan
 
 echo "==> tier-1 OK"

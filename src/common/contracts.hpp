@@ -120,6 +120,36 @@ std::string describe(const char* name, const V& value, const Rest&... rest) {
 #define BKR_LOCK_FREE
 #define BKR_THREAD_CONFINED
 
+// ---------------------------------------------------------------------------
+// Hot-path annotations (DESIGN.md §11, "bkr-hotpath"). Unconditional no-ops
+// like the concurrency markers above — they seed the call-graph hot-path
+// stage of tools/bkr_lint:
+//
+//   BKR_HOT       in a function head: the function is per-iteration work
+//                 (a kernel, an orthogonalization step). Hotness propagates
+//                 transitively to every project function it calls, and the
+//                 hot-path discipline rules (no allocation growth without a
+//                 visible reserve, no locks, no I/O, no throw outside the
+//                 breakdown protocol) apply to the whole hot region.
+//   BKR_COLD      in a function head or before a bare `{` block inside hot
+//                 code: a slow path (recovery ladder, restart eigenproblem,
+//                 setup). The rules are suspended inside it and calls made
+//                 from it do not spread hotness. On a class head it exempts
+//                 that interface's virtual methods from hot-path-virtual
+//                 (observational interfaces such as trace sinks, whose
+//                 hot-path cost is a null-pointer test).
+//   BKR_HOT_LOOP  directly before a loop statement: the per-iteration
+//                 iterate loop of a solver. Inside its body two stricter
+//                 rules also fire: no container/matrix construction at all
+//                 (hot-path-alloc) and no virtual dispatch through a
+//                 project interface (hot-path-virtual).
+//
+// Placement convention: `BKR_HOT void gemm(...)` / `class BKR_COLD Sink` /
+// `BKR_HOT_LOOP while (it < max) { ... }`.
+#define BKR_HOT
+#define BKR_COLD
+#define BKR_HOT_LOOP
+
 #endif  // BKR_COMMON_CONTRACTS_HPP_
 
 // ---------------------------------------------------------------------------

@@ -1,5 +1,7 @@
 #include "core/block_cg.hpp"
 
+#include <algorithm>
+
 #include "core/krylov_detail.hpp"
 #include "la/factor.hpp"
 
@@ -7,9 +9,13 @@ namespace bkr {
 
 namespace {
 
+// Workspace slot map (mats_ slot kWsProjectScratch is detail::project's).
+enum : int { kWsPq = kWsSolverBase, kWsAlpha, kWsBeta, kWsRt, kWsPnext };
+
 template <class T>
 void block_cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const T> b,
-                   MatrixView<T> x, const SolverOptions& opts, CommModel* comm, SolveStats& st) {
+                   MatrixView<T> x, const SolverOptions& opts, CommModel* comm, SolveStats& st,
+                   SolverWorkspace<T>& ws) {
   using Real = real_t<T>;
   const index_t n = a.n(), p = b.cols();
   obs::TraceSink* const trace = opts.trace;
@@ -68,7 +74,18 @@ void block_cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<
     if (comm != nullptr) comm->reduction(p * p * 8);
   }
 
-  while (!converged() && st.iterations < opts.max_iterations) {
+  // Iterate-loop scratch: workspace slots and persistent factor objects, so
+  // the block recursion reaches its steady state with zero heap traffic.
+  DenseMatrix<T>& pnext = ws.mat(kWsPnext, n, p);
+  DenseLU<T> lu, lurho;
+  obs::IterationEvent ev;
+  if (trace != nullptr) ev.residuals.reserve(static_cast<size_t>(p));
+  if (opts.record_history) {
+    const size_t hint = static_cast<size_t>(std::min<index_t>(opts.max_iterations, 256)) + 1;
+    for (index_t c = 0; c < p; ++c) st.history[size_t(c)].reserve(hint);
+  }
+
+  BKR_HOT_LOOP while (!converged() && st.iterations < opts.max_iterations) {
     {
       obs::ScopedPhase sp(trace, obs::Phase::Spmm);
       a.apply(MatrixView<const T>(pdir.data(), n, p, pdir.ld()), q.view());
@@ -76,7 +93,7 @@ void block_cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<
       detail::fault_hook(&rz, resilience::FaultSite::OperatorApply, q.view());
     }
     // alpha solves (P^H Q) alpha = rho; fused with the residual norms.
-    DenseMatrix<T> pq(p, p);
+    DenseMatrix<T>& pq = ws.mat(kWsPq, p, p);
     {
       obs::ScopedPhase sp(trace, obs::Phase::Reduction, 2);
       gemm<T>(Trans::C, Trans::N, T(1), pdir.view(), q.view(), T(0), pq.view(), ex);
@@ -86,7 +103,7 @@ void block_cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<
         comm->reduction(p * 8);
       }
     }
-    DenseLU<T> lu(copy_of(pq));
+    lu.factor(MatrixView<const T>(pq.data(), p, p, pq.ld()));
     if (lu.singular()) {
       // Exact block breakdown (rank-collapsed direction block, e.g. a zero
       // or duplicated RHS column): restart semantics not needed for SPD.
@@ -95,7 +112,8 @@ void block_cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<
     }
     {
       obs::ScopedPhase sp(trace, obs::Phase::SmallDense);
-      DenseMatrix<T> alpha = copy_of(rho);
+      DenseMatrix<T>& alpha = ws.mat(kWsAlpha, p, p);
+      copy_into<T>(MatrixView<const T>(rho.data(), p, p, rho.ld()), alpha.view());
       lu.solve(alpha.view());
       // X += P alpha; R -= Q alpha.
       gemm<T>(Trans::N, Trans::N, T(1), pdir.view(), alpha.view(), T(1),
@@ -110,7 +128,6 @@ void block_cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<
       if (rnorm[size_t(c)] > opts.tol * bnorm[size_t(c)]) ++st.per_rhs_iterations[size_t(c)];
     }
     if (trace != nullptr) {
-      obs::IterationEvent ev;
       ev.cycle = 1;
       ev.iteration = st.iterations;
       ev.basis_size = p;
@@ -133,22 +150,21 @@ void block_cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<
     }
     obs::ScopedPhase sp(trace, obs::Phase::SmallDense);
     // beta solves rho^H beta = rho_new (the O'Leary block update).
-    DenseLU<T> lurho([&] {
-      DenseMatrix<T> rt(p, p);
-      for (index_t j = 0; j < p; ++j)
-        for (index_t i = 0; i < p; ++i) rt(i, j) = conj(rho(j, i));
-      return rt;
-    }());
+    DenseMatrix<T>& rt = ws.mat(kWsRt, p, p);
+    for (index_t j = 0; j < p; ++j)
+      for (index_t i = 0; i < p; ++i) rt(i, j) = conj(rho(j, i));
+    lurho.factor(MatrixView<const T>(rt.data(), p, p, rt.ld()));
     if (lurho.singular()) {
       st.status = SolveStatus::Breakdown;
       break;
     }
-    DenseMatrix<T> beta = copy_of(rho_new);
+    DenseMatrix<T>& beta = ws.mat(kWsBeta, p, p);
+    copy_into<T>(MatrixView<const T>(rho_new.data(), p, p, rho_new.ld()), beta.view());
     lurho.solve(beta.view());
-    // P = Z + P beta.
-    DenseMatrix<T> pnext = copy_of(z);
+    // P = Z + P beta (swap keeps both direction buffers live for reuse).
+    copy_into<T>(MatrixView<const T>(z.data(), n, p, z.ld()), pnext.view());
     gemm<T>(Trans::N, Trans::N, T(1), pdir.view(), beta.view(), T(1), pnext.view(), ex);
-    pdir = std::move(pnext);
+    std::swap(pdir, pnext);
     rho = rho_new;
   }
   st.converged = detail::finite_norms(rnorm.data(), p) && converged();
@@ -180,9 +196,10 @@ template <class T>
 SolveStats block_cg(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const T> b,
                     MatrixView<T> x, const SolverOptions& opts, CommModel* comm) {
   detail::check_solve_entry<T>(a, m, b, x, opts);
-  return detail::run_solver("block_cg", a.n(), b.cols(), opts, [&](SolveStats& st) {
-    block_cg_body<T>(a, m, b, x, opts, comm, st);
-  });
+  return detail::run_solver_ws<T>(
+      "block_cg", a.n(), b.cols(), opts, [&](SolveStats& st, SolverWorkspace<T>& ws) {
+        block_cg_body<T>(a, m, b, x, opts, comm, st, ws);
+      });
 }
 
 template SolveStats block_cg<double>(const LinearOperator<double>&, Preconditioner<double>*,

@@ -79,7 +79,14 @@ void cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const 
     return false;
   };
 
-  while (live_work() && st.iterations < opts.max_iterations) {
+  obs::IterationEvent ev;
+  if (trace != nullptr) ev.residuals.reserve(static_cast<size_t>(p));
+  if (opts.record_history) {
+    const size_t hint = static_cast<size_t>(std::min<index_t>(opts.max_iterations, 256)) + 1;
+    for (index_t c = 0; c < p; ++c) st.history[size_t(c)].reserve(hint);
+  }
+
+  BKR_HOT_LOOP while (live_work() && st.iterations < opts.max_iterations) {
     {
       obs::ScopedPhase sp(trace, obs::Phase::Spmm);
       a.apply(MatrixView<const T>(d.data(), n, p, d.ld()), q.view());
@@ -121,7 +128,6 @@ void cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const 
       if (rnorm[size_t(c)] > opts.tol * bnorm[size_t(c)]) ++st.per_rhs_iterations[size_t(c)];
     }
     if (trace != nullptr) {
-      obs::IterationEvent ev;
       ev.cycle = 1;
       ev.iteration = st.iterations;
       ev.basis_size = p;

@@ -11,6 +11,9 @@ namespace bkr {
 
 namespace {
 
+// Workspace slot map (mats_ slot kWsProjectScratch is detail::project's).
+enum : int { kWsUpdateT = kWsSolverBase, kWsYc };
+
 // One (block) Arnoldi cycle, optionally on the projected operator
 // (I - C C^H) op. Collects the raw block Hessenberg (hbar), its
 // incremental QR, the least-squares RHS image (ghat), and — when
@@ -22,16 +25,22 @@ struct ArnoldiCycle {
   DenseMatrix<T> hbar;  // raw block Hessenberg
   DenseMatrix<T> ghat;
   DenseMatrix<T> e;  // kp x max_steps*p
-  IncrementalQR<T> qr{1, 1};
+  IncrementalQR<T> qr;
   index_t steps = 0;
   bool hit_tolerance = false;
   bool fatal = false;  // a residual estimate went non-finite mid-cycle
+  // Iterate-loop scratch, reset (storage-reusing) at the top of run() so a
+  // steady-state cycle touches the allocator nowhere inside the j-loop.
+  DenseMatrix<T> ztmp, w, hcol, sblock, ecol;
+  std::vector<double> relres;
+  obs::IterationEvent ev;
 
   // Returns the usable Krylov dimension (0 on immediate breakdown).
   index_t run(const LinearOperator<T>& a, Preconditioner<T>* m, PrecondSide side,
               MatrixView<const T> r0, MatrixView<const T> c, index_t max_steps,
               const SolverOptions& opts, const std::vector<real_t<T>>& bnorm, SolveStats& st,
-              CommModel* comm, obs::TraceSink* trace, detail::Resilience<T>* rz) {
+              CommModel* comm, obs::TraceSink* trace, detail::Resilience<T>* rz,
+              SolverWorkspace<T>& ws) {
     using Real = real_t<T>;
     const KernelExecutor* const ex = opts.exec;
     const index_t n = r0.rows(), p = r0.cols();
@@ -41,14 +50,22 @@ struct ArnoldiCycle {
     hbar.resize((max_steps + 1) * p, max_steps * p);
     ghat.resize((max_steps + 1) * p, p);
     if (kp > 0) e.resize(kp, max_steps * p);
-    qr = IncrementalQR<T>((max_steps + 1) * p, max_steps * p);
+    qr.reshape((max_steps + 1) * p, max_steps * p);
     steps = 0;
     hit_tolerance = false;
     fatal = false;
 
-    DenseMatrix<T> ztmp(n, p), w(n, p);
-    DenseMatrix<T> hcol((max_steps + 2) * p, p);
-    DenseMatrix<T> sblock(p, p), ecol(std::max<index_t>(kp, 1), p);
+    ztmp.resize(n, p);
+    w.resize(n, p);
+    hcol.resize((max_steps + 2) * p, p);
+    sblock.resize(p, p);
+    ecol.resize(std::max<index_t>(kp, 1), p);
+    relres.reserve(static_cast<size_t>(p));
+    ev.residuals.reserve(static_cast<size_t>(p));
+    if (opts.record_history)
+      for (index_t cc = 0; cc < p; ++cc)
+        st.history[size_t(cc)].reserve(st.history[size_t(cc)].size() +
+                                       static_cast<size_t>(max_steps));
 
     copy_into<T>(r0, v.block(0, 0, n, p));
     // Rank-deficient residual blocks are tolerated here: breakdown is
@@ -68,7 +85,7 @@ struct ArnoldiCycle {
     Real stag_best = std::numeric_limits<Real>::infinity();
     index_t stag_count = 0;
     index_t j = 0;
-    while (j < max_steps && st.iterations < opts.max_iterations) {
+    BKR_HOT_LOOP while (j < max_steps && st.iterations < opts.max_iterations) {
       const auto vj = MatrixView<const T>(v.col(j * p), n, p, v.ld());
       MatrixView<T> zj = (side == PrecondSide::Flexible) ? z.block(0, j * p, n, p) : ztmp.view();
       detail::apply_preconditioned<T>(a, m, side, vj, zj, w.view(), st, trace, rz);
@@ -84,7 +101,7 @@ struct ArnoldiCycle {
       }
       hcol.set_zero();
       detail::project<T>(v.view(), (j + 1) * p, w.view(), hcol.view(), opts.ortho, p, st, comm,
-                         trace, ex);
+                         ws, trace, ex);
       auto vnext = v.block(0, (j + 1) * p, n, p);
       copy_into<T>(w.view(), vnext);
       rz->prior = MatrixView<const T>(v.data(), n, (j + 1) * p, v.ld());
@@ -107,7 +124,7 @@ struct ArnoldiCycle {
       ++st.iterations;
       bool all_small = true;
       Real worst(0);
-      std::vector<double> relres(static_cast<size_t>(p));
+      relres.assign(static_cast<size_t>(p), 0.0);
       for (index_t cc = 0; cc < p; ++cc) {
         const Real est = norm2<T>(p, &ghat(j * p, cc));
         relres[size_t(cc)] = est / bnorm[size_t(cc)];
@@ -120,12 +137,11 @@ struct ArnoldiCycle {
         }
       }
       if (trace != nullptr) {
-        obs::IterationEvent ev;
         ev.cycle = st.cycles;
         ev.iteration = st.iterations;
         ev.basis_size = (j + 1) * p;
         ev.recycle_dim = kp;
-        ev.residuals = std::move(relres);
+        ev.residuals.assign(relres.begin(), relres.end());
         trace->iteration(ev);
       }
       steps = j;
@@ -169,9 +185,10 @@ struct ArnoldiCycle {
 // Harmonic Ritz deflation after the first (unprojected) cycle: the k
 // smallest harmonic Ritz pairs of the Hessenberg, via the generalized
 // form (R^H R) z = theta H_m^H z assembled from the incremental QR
-// (fig. 1 line 16 / the paper's eq. 2 reformulation).
+// (fig. 1 line 16 / the paper's eq. 2 reformulation). Restart-only work.
 template <class T>
-DenseMatrix<T> first_cycle_deflation_vectors(const ArnoldiCycle<T>& cycle, index_t s, index_t k) {
+BKR_COLD DenseMatrix<T> first_cycle_deflation_vectors(const ArnoldiCycle<T>& cycle, index_t s,
+                                                      index_t k) {
   DenseMatrix<T> r = cycle.qr.r_matrix();  // steps*p square
   DenseMatrix<T> t(s, s);
   gemm<T>(Trans::C, Trans::N, T(1), MatrixView<const T>(r.data(), s, s, r.ld()),
@@ -202,7 +219,8 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
   const bool matrix_changed = (solves_ == 0) || (new_matrix && !opts_.same_system);
   ++solves_;
 
-  return detail::run_solver("gcrodr", n, p, opts_, [&](SolveStats& st) {
+  return detail::run_solver_ws<T>("gcrodr", n, p, opts_,
+                                  [&](SolveStats& st, SolverWorkspace<T>& ws) {
   detail::Resilience<T> rz{opts_.recovery, opts_.fault};
 
   std::vector<Real> bnorm(static_cast<size_t>(p)), rnorm(static_cast<size_t>(p));
@@ -315,7 +333,7 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
       st.reductions += 1;
       if (comm != nullptr) comm->reduction(u_.cols() * p * 8);
     }
-    DenseMatrix<T> t(n, p);
+    DenseMatrix<T>& t = ws.mat(kWsUpdateT, n, p);
     gemm<T>(Trans::N, Trans::N, T(1), u_.view(), y0.view(), T(0), t.view(), ex);
     add_update(t.view());
     gemm<T>(Trans::N, Trans::N, T(-1), c_.view(), y0.view(), T(1), r.view(), ex);
@@ -334,7 +352,7 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
     ++st.cycles;
     const index_t s =
         cycle.run(a, m, side, r.view(), MatrixView<const T>(nullptr, 0, 0, 0), mdim, opts_, bnorm,
-                  st, comm, trace, &rz);
+                  st, comm, trace, &rz, ws);
     if (cycle.fatal) {
       // The least squares over a poisoned Hessenberg would corrupt x;
       // leave the iterate as it was.
@@ -346,7 +364,7 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
       return;  // complete stagnation
     }
     const DenseMatrix<T> y = cycle.least_squares(s, p);
-    DenseMatrix<T> t(n, p);
+    DenseMatrix<T>& t = ws.mat(kWsUpdateT, n, p);
     gemm<T>(Trans::N, Trans::N, T(1), cycle.update_basis(side, n, s), y.view(), T(0), t.view(), ex);
     add_update(t.view());
     {
@@ -405,7 +423,7 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
     ++st.cycles;
     // C^H R_{j-1} for the solution update (line 28; one reduction — this
     // is "the update of the least squares problem" of section III-D).
-    DenseMatrix<T> yc(u_.cols(), p);
+    DenseMatrix<T>& yc = ws.mat(kWsYc, u_.cols(), p);
     {
       obs::ScopedPhase sp(trace, obs::Phase::Reduction);
       gemm<T>(Trans::C, Trans::N, T(1), c_.view(), r.view(), T(0), yc.view(), ex);
@@ -414,7 +432,7 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
     }
 
     const index_t s =
-        cycle.run(a, m, side, r.view(), c_.view(), inner, opts_, bnorm, st, comm, trace, &rz);
+        cycle.run(a, m, side, r.view(), c_.view(), inner, opts_, bnorm, st, comm, trace, &rz, ws);
     if (cycle.fatal) {
       st.status = SolveStatus::NonFiniteResidual;
       break;
@@ -424,7 +442,7 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
       break;  // stagnation
     }
     if (s > 0) {
-      DenseMatrix<T> t(n, p);
+      DenseMatrix<T>& t = ws.mat(kWsUpdateT, n, p);
       {
         obs::ScopedPhase sp(trace, obs::Phase::SmallDense);
         const DenseMatrix<T> ym = cycle.least_squares(s, p);

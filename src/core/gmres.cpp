@@ -10,10 +10,16 @@ namespace bkr {
 
 namespace {
 
+// Workspace slot map (mats_ slot kWsProjectScratch belongs to
+// detail::project; each pool numbers independently from kWsSolverBase).
+enum : int { kWsUpdate = kWsSolverBase, kWsSmallY };  // mats_
+enum : int { kWsCycleQr = kWsSolverBase };            // qrs_
+enum : int { kWsLaneY = kWsSolverBase };              // vecs_
+
 template <class T>
 void block_gmres_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const T> b,
                       MatrixView<T> x, const SolverOptions& opts, CommModel* comm,
-                      SolveStats& st) {
+                      SolveStats& st, SolverWorkspace<T>& ws) {
   using Real = real_t<T>;
   const index_t n = a.n(), p = b.cols();
   obs::TraceSink* const trace = opts.trace;
@@ -53,6 +59,8 @@ void block_gmres_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixVi
   DenseMatrix<T> ghat((mdim + 1) * p, p);
   DenseMatrix<T> hcol((mdim + 2) * p, p);
   DenseMatrix<T> sblock(p, p);
+  obs::IterationEvent ev;
+  if (trace != nullptr) ev.residuals.reserve(static_cast<size_t>(p));
 
   while (st.iterations < opts.max_iterations) {
     ++st.cycles;
@@ -80,10 +88,13 @@ void block_gmres_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixVi
     rz.iteration = st.iterations;
     detail::qr_block<T>(v.block(0, 0, n, p), sblock.view(),  // bkr-lint: allow(unchecked-factor)
                         st, comm, trace, ex, &rz);
-    IncrementalQR<T> qr((mdim + 1) * p, mdim * p);
+    IncrementalQR<T>& qr = ws.qr(kWsCycleQr, (mdim + 1) * p, mdim * p);
     ghat.set_zero();
     for (index_t c = 0; c < p; ++c)
       for (index_t rr = 0; rr <= c; ++rr) ghat(rr, c) = sblock(rr, c);
+    if (opts.record_history)
+      for (index_t c = 0; c < p; ++c)
+        st.history[size_t(c)].reserve(st.history[size_t(c)].size() + static_cast<size_t>(mdim));
 
     index_t j = 0;
     bool cycle_converged = false;
@@ -94,14 +105,14 @@ void block_gmres_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixVi
     // true residual is the better use of the budget.
     Real stag_best = std::numeric_limits<Real>::infinity();
     index_t stag_count = 0;
-    while (j < mdim && st.iterations < opts.max_iterations) {
+    BKR_HOT_LOOP while (j < mdim && st.iterations < opts.max_iterations) {
       const auto vj = MatrixView<const T>(v.col(j * p), n, p, v.ld());
       MatrixView<T> zj =
           (side == PrecondSide::Flexible) ? z.block(0, j * p, n, p) : ztmp.view();
       detail::apply_preconditioned<T>(a, m, side, vj, zj, w.view(), st, trace, &rz);
       hcol.set_zero();
       detail::project<T>(v.view(), (j + 1) * p, w.view(), hcol.view(), opts.ortho, p, st, comm,
-                         trace, ex);
+                         ws, trace, ex);
       auto vnext = v.block(0, (j + 1) * p, n, p);
       copy_into<T>(w.view(), vnext);
       rz.prior = MatrixView<const T>(v.data(), n, (j + 1) * p, v.ld());
@@ -133,7 +144,6 @@ void block_gmres_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixVi
         }
       }
       if (trace != nullptr) {
-        obs::IterationEvent ev;
         ev.cycle = st.cycles;
         ev.iteration = st.iterations;
         ev.basis_size = (j + 1) * p;
@@ -168,11 +178,11 @@ void block_gmres_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixVi
 
     const index_t s = detail::usable_columns(qr, j * p);
     if (s > 0) {
-      DenseMatrix<T> t(n, p);
+      DenseMatrix<T>& t = ws.mat(kWsUpdate, n, p);
       bool null_update = true;
       {
         obs::ScopedPhase sp(trace, obs::Phase::SmallDense);
-        DenseMatrix<T> y(s, p);
+        DenseMatrix<T>& y = ws.mat(kWsSmallY, s, p);
         copy_into<T>(MatrixView<const T>(ghat.data(), s, p, ghat.ld()), y.view());
         const DenseMatrix<T> rr = qr.r_matrix();
         trsm_left_upper<T>(MatrixView<const T>(rr.data(), s, s, rr.ld()), y.view());
@@ -216,7 +226,7 @@ void block_gmres_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixVi
 template <class T>
 void pseudo_block_gmres_body(const LinearOperator<T>& a, Preconditioner<T>* m,
                              MatrixView<const T> b, MatrixView<T> x, const SolverOptions& opts,
-                             CommModel* comm, SolveStats& st) {
+                             CommModel* comm, SolveStats& st, SolverWorkspace<T>& ws) {
   using Real = real_t<T>;
   const index_t n = a.n(), p = b.cols();
   obs::TraceSink* const trace = opts.trace;
@@ -261,10 +271,16 @@ void pseudo_block_gmres_body(const LinearOperator<T>& a, Preconditioner<T>* m,
   if (side == PrecondSide::Flexible) z.resize(n, mdim * p);
   DenseMatrix<T> ztmp(n, p);
   DenseMatrix<T> w(n, p), r(n, p);
-  // Per-lane small least-squares state.
-  std::vector<IncrementalQR<T>> qr;
+  // Per-lane small least-squares state. The QR objects are constructed
+  // once per solve and reshaped (storage-reusing) at each cycle.
+  std::vector<IncrementalQR<T>> qr(static_cast<size_t>(p));
   DenseMatrix<T> ghat(mdim + 1, p);   // lane l's Q^H g in column l
   DenseMatrix<T> hcol(mdim + 2, p);   // lane l's new Hessenberg column in column l
+  DenseMatrix<T> t(n, p);             // per-cycle solution update
+  std::vector<char> active(static_cast<size_t>(p), 1);
+  std::vector<index_t> steps(static_cast<size_t>(p), 0);
+  obs::IterationEvent ev;
+  if (trace != nullptr) ev.residuals.reserve(static_cast<size_t>(p));
 
   bool done = false;
   bool fatal = false;
@@ -288,10 +304,13 @@ void pseudo_block_gmres_body(const LinearOperator<T>& a, Preconditioner<T>* m,
 
     // Lane setup: v0 = r / ||r|| (the norms above double as the "QR" of
     // the p separate residual vectors — one fused reduction total).
-    qr.assign(size_t(p), IncrementalQR<T>(mdim + 1, mdim));
+    for (index_t l = 0; l < p; ++l) qr[size_t(l)].reshape(mdim + 1, mdim);
     ghat.set_zero();
-    std::vector<char> active(size_t(p), 1);
-    std::vector<index_t> steps(size_t(p), 0);
+    active.assign(size_t(p), 1);
+    steps.assign(size_t(p), 0);
+    if (opts.record_history)
+      for (index_t c = 0; c < p; ++c)
+        st.history[size_t(c)].reserve(st.history[size_t(c)].size() + static_cast<size_t>(mdim));
     for (index_t l = 0; l < p; ++l) {
       const Real beta = rnorm[size_t(l)];
       if (beta <= opts.tol * bnorm[size_t(l)]) {
@@ -304,7 +323,7 @@ void pseudo_block_gmres_body(const LinearOperator<T>& a, Preconditioner<T>* m,
     }
 
     index_t j = 0;
-    while (j < mdim && st.iterations < opts.max_iterations) {
+    BKR_HOT_LOOP while (j < mdim && st.iterations < opts.max_iterations) {
       // Zero the inputs of locked lanes so inner (block) preconditioners
       // never see stale data.
       for (index_t l = 0; l < p; ++l)
@@ -371,7 +390,6 @@ void pseudo_block_gmres_body(const LinearOperator<T>& a, Preconditioner<T>* m,
       ++j;
       ++st.iterations;
       if (trace != nullptr) {
-        obs::IterationEvent ev;
         ev.cycle = st.cycles;
         ev.iteration = st.iterations;
         ev.basis_size = (j + 1) * p;
@@ -393,7 +411,6 @@ void pseudo_block_gmres_body(const LinearOperator<T>& a, Preconditioner<T>* m,
     }
 
     // Per-lane least squares and solution update.
-    DenseMatrix<T> t(n, p);
     t.set_zero();
     bool updated = false;
     {
@@ -402,7 +419,7 @@ void pseudo_block_gmres_body(const LinearOperator<T>& a, Preconditioner<T>* m,
         const index_t s = detail::usable_columns(qr[size_t(l)], steps[size_t(l)]);
         if (s == 0) continue;
         updated = true;
-        std::vector<T> y(static_cast<size_t>(s));
+        std::vector<T>& y = ws.vec(kWsLaneY, s);
         for (index_t i = 0; i < s; ++i) y[size_t(i)] = ghat(i, l);
         for (index_t i = s - 1; i >= 0; --i) {
           T acc = y[size_t(i)];
@@ -437,10 +454,11 @@ template <class T>
 SolveStats block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const T> b,
                        MatrixView<T> x, const SolverOptions& opts, CommModel* comm) {
   detail::check_solve_entry<T>(a, m, b, x, opts);
-  return detail::run_solver("block_gmres", a.n(), b.cols(), opts, [&](SolveStats& st) {
-    block_gmres_body<T>(a, m, b, x, opts, comm, st);
-    detail::final_residual_check<T>(a, b, x, opts, st, comm);
-  });
+  return detail::run_solver_ws<T>(
+      "block_gmres", a.n(), b.cols(), opts, [&](SolveStats& st, SolverWorkspace<T>& ws) {
+        block_gmres_body<T>(a, m, b, x, opts, comm, st, ws);
+        detail::final_residual_check<T>(a, b, x, opts, st, comm);
+      });
 }
 
 template <class T>
@@ -448,10 +466,11 @@ SolveStats pseudo_block_gmres(const LinearOperator<T>& a, Preconditioner<T>* m,
                               MatrixView<const T> b, MatrixView<T> x, const SolverOptions& opts,
                               CommModel* comm) {
   detail::check_solve_entry<T>(a, m, b, x, opts);
-  return detail::run_solver("pseudo_block_gmres", a.n(), b.cols(), opts, [&](SolveStats& st) {
-    pseudo_block_gmres_body<T>(a, m, b, x, opts, comm, st);
-    detail::final_residual_check<T>(a, b, x, opts, st, comm);
-  });
+  return detail::run_solver_ws<T>(
+      "pseudo_block_gmres", a.n(), b.cols(), opts, [&](SolveStats& st, SolverWorkspace<T>& ws) {
+        pseudo_block_gmres_body<T>(a, m, b, x, opts, comm, st, ws);
+        detail::final_residual_check<T>(a, b, x, opts, st, comm);
+      });
 }
 
 template SolveStats block_gmres<double>(const LinearOperator<double>&, Preconditioner<double>*,

@@ -12,6 +12,7 @@
 #include "common/timer.hpp"
 #include "core/operator.hpp"
 #include "core/solver.hpp"
+#include "core/workspace.hpp"
 #include "la/blas.hpp"
 #include "la/qr.hpp"
 #include "obs/trace.hpp"
@@ -124,6 +125,27 @@ SolveStats run_solver(const char* method, index_t n, index_t nrhs, const SolverO
   return st;
 }
 
+// Downcast the type-erased SolverOptions::workspace to the solve's scalar
+// type; a null or mismatched attachment falls back to `fallback` (the
+// per-solve one-shot workspace) so it can never corrupt a solve.
+template <class T>
+SolverWorkspace<T>* resolve_workspace(SolverWorkspaceBase* base, SolverWorkspace<T>* fallback) {
+  if (base != nullptr)
+    if (auto* typed = dynamic_cast<SolverWorkspace<T>*>(base)) return typed;
+  return fallback;
+}
+
+// run_solver with workspace plumbing: resolves the session workspace (or
+// owns a one-shot fallback for the duration of the solve) and hands it to
+// the body alongside the stats record.
+template <class T, class F>
+SolveStats run_solver_ws(const char* method, index_t n, index_t nrhs, const SolverOptions& opts,
+                         F&& body) {
+  SolverWorkspace<T> one_shot;
+  SolverWorkspace<T>& ws = *resolve_workspace<T>(opts.workspace, &one_shot);
+  return run_solver(method, n, nrhs, opts, [&](SolveStats& st) { body(st, ws); });
+}
+
 // Account `k` global reductions at once: the SolveStats counter, the
 // communication model (bytes per reduction) and the trace's reduction
 // phase all stay in lockstep. Every solver routes its synchronization
@@ -150,8 +172,9 @@ void norms(MatrixView<const T> x, real_t<T>* out, SolveStats& stats, CommModel* 
 // preconditioning converges on M^{-1}(b - A x); it only has to catch
 // corruption, which is orders of magnitude, not a rounding factor.
 template <class T>
-void final_residual_check(const LinearOperator<T>& a, MatrixView<const T> b, MatrixView<T> x,
-                          const SolverOptions& opts, SolveStats& st, CommModel* comm) {
+BKR_COLD void final_residual_check(const LinearOperator<T>& a, MatrixView<const T> b,
+                                   MatrixView<T> x, const SolverOptions& opts, SolveStats& st,
+                                   CommModel* comm) {
   using Real = real_t<T>;
   if (!st.converged || (opts.fault == nullptr && !opts.recovery.final_check)) return;
   obs::TraceSink* const trace = opts.trace;
@@ -182,10 +205,10 @@ void final_residual_check(const LinearOperator<T>& a, MatrixView<const T> b, Mat
 // V: W is the vector entering the Arnoldi recurrence; Z is the vector that
 // reconstructs the solution update (Z = M^{-1}V for right/flexible).
 template <class T>
-void apply_preconditioned(const LinearOperator<T>& a, Preconditioner<T>* m, PrecondSide side,
-                          MatrixView<const T> v, MatrixView<T> z, MatrixView<T> w,
-                          SolveStats& stats, obs::TraceSink* trace = nullptr,
-                          Resilience<T>* rz = nullptr) {
+BKR_HOT void apply_preconditioned(const LinearOperator<T>& a, Preconditioner<T>* m,
+                                  PrecondSide side, MatrixView<const T> v, MatrixView<T> z,
+                                  MatrixView<T> w, SolveStats& stats,
+                                  obs::TraceSink* trace = nullptr, Resilience<T>* rz = nullptr) {
   switch (side) {
     case PrecondSide::None: {
       obs::ScopedPhase sp(trace, obs::Phase::Spmm);
@@ -260,11 +283,14 @@ void residual(const LinearOperator<T>& a, Preconditioner<T>* m, PrecondSide side
 // Project W against the first `s` columns of the basis, writing the
 // coefficients into the first s rows of `h` (s x p view). Reduction
 // accounting follows section III-D: CGS fuses the projection into one
-// global reduction, MGS needs one per basis block.
+// global reduction, MGS needs one per basis block. `ws` provides the CGS2
+// reprojection scratch (legacy code constructed it fresh per call — one
+// heap allocation on every block iteration of the default Cgs2 scheme).
 template <class T>
-void project(MatrixView<const T> basis, index_t s, MatrixView<T> w, MatrixView<T> h, Ortho ortho,
-             index_t block, SolveStats& stats, CommModel* comm, obs::TraceSink* trace = nullptr,
-             const KernelExecutor* ex = nullptr) {
+BKR_HOT void project(MatrixView<const T> basis, index_t s, MatrixView<T> w, MatrixView<T> h,
+                     Ortho ortho, index_t block, SolveStats& stats, CommModel* comm,
+                     SolverWorkspace<T>& ws, obs::TraceSink* trace = nullptr,
+                     const KernelExecutor* ex = nullptr) {
   if (s == 0) return;
   obs::ScopedPhase sp(trace, obs::Phase::OrthoProjection);
   const auto v = basis.cols_view(0, s);
@@ -281,7 +307,7 @@ void project(MatrixView<const T> basis, index_t s, MatrixView<T> w, MatrixView<T
     case Ortho::Cgs2: {
       gemm<T>(Trans::C, Trans::N, T(1), v, wc, T(0), h.block(0, 0, s, w.cols()), ex);
       gemm<T>(Trans::N, Trans::N, T(-1), v, h.block(0, 0, s, w.cols()), T(1), w, ex);
-      DenseMatrix<T> h2(s, w.cols());
+      DenseMatrix<T>& h2 = ws.mat(kWsProjectScratch, s, w.cols());
       gemm<T>(Trans::C, Trans::N, T(1), v, wc, T(0), h2.view(), ex);
       gemm<T>(Trans::N, Trans::N, T(-1), v, h2.view(), T(1), w, ex);
       for (index_t c = 0; c < w.cols(); ++c)
@@ -312,9 +338,9 @@ void project(MatrixView<const T> basis, index_t s, MatrixView<T> w, MatrixView<T
 // next restart recomputes the true residual, so a stale Hessenberg column
 // can only cost iterations, never correctness).
 template <class T>
-bool qr_block(MatrixView<T> w, MatrixView<T> r, SolveStats& stats, CommModel* comm,
-              obs::TraceSink* trace = nullptr, const KernelExecutor* ex = nullptr,
-              Resilience<T>* rz = nullptr) {
+BKR_HOT bool qr_block(MatrixView<T> w, MatrixView<T> r, SolveStats& stats, CommModel* comm,
+                      obs::TraceSink* trace = nullptr, const KernelExecutor* ex = nullptr,
+                      Resilience<T>* rz = nullptr) {
   obs::ScopedPhase sp(trace, obs::Phase::OrthoNormalization);
   fault_hook(rz, resilience::FaultSite::Orthogonalization, w);
   const index_t n = w.rows(), p = w.cols();
@@ -350,57 +376,62 @@ bool qr_block(MatrixView<T> w, MatrixView<T> r, SolveStats& stats, CommModel* co
   for (index_t c = 0; c < p && !any_dead; ++c) any_dead = is_dead(c);
   if (!any_dead) return true;
   if (!recover || rz->used >= rz->policy.max_recoveries) return false;
-  ++rz->used;
-  ++stats.recoveries;
-  std::vector<index_t> alive, dead;
-  for (index_t c = 0; c < p; ++c) (is_dead(c) ? dead : alive).push_back(c);
-  // Seed varies per engagement so a second breakdown in the same solve
-  // draws fresh directions, but reruns stay bit-identical.
-  Rng rng(static_cast<unsigned>(rz->policy.seed + 0x9e3779b9ULL *
-                                                      static_cast<std::uint64_t>(rz->used)));
-  for (size_t di = 0; di < dead.size(); ++di) {
-    const index_t c = dead[di];
-    for (index_t i = 0; i < n; ++i) w(i, c) = rng.scalar<T>();
-    // Two classical Gram-Schmidt passes against the prior basis, the
-    // surviving block columns and the already-replaced ones; serial dots
-    // keep the replacement deterministic at any thread count.
-    for (int pass = 0; pass < 2; ++pass) {
-      for (index_t q = 0; q < rz->prior.cols(); ++q) {
-        const T h = dot<T>(n, rz->prior.col(q), w.col(c));
-        axpy<T>(n, -h, rz->prior.col(q), w.col(c));
+  // Replacement ladder: off the iterate fast path by construction — it
+  // only runs on an actual block breakdown, at most max_recoveries times
+  // per solve — so allocation and trace construction are acceptable here.
+  BKR_COLD {
+    ++rz->used;
+    ++stats.recoveries;
+    std::vector<index_t> alive, dead;
+    for (index_t c = 0; c < p; ++c) (is_dead(c) ? dead : alive).push_back(c);
+    // Seed varies per engagement so a second breakdown in the same solve
+    // draws fresh directions, but reruns stay bit-identical.
+    Rng rng(static_cast<unsigned>(rz->policy.seed + 0x9e3779b9ULL *
+                                                        static_cast<std::uint64_t>(rz->used)));
+    for (size_t di = 0; di < dead.size(); ++di) {
+      const index_t c = dead[di];
+      for (index_t i = 0; i < n; ++i) w(i, c) = rng.scalar<T>();
+      // Two classical Gram-Schmidt passes against the prior basis, the
+      // surviving block columns and the already-replaced ones; serial dots
+      // keep the replacement deterministic at any thread count.
+      for (int pass = 0; pass < 2; ++pass) {
+        for (index_t q = 0; q < rz->prior.cols(); ++q) {
+          const T h = dot<T>(n, rz->prior.col(q), w.col(c));
+          axpy<T>(n, -h, rz->prior.col(q), w.col(c));
+        }
+        for (const index_t q : alive) {
+          const T h = dot<T>(n, w.col(q), w.col(c));
+          axpy<T>(n, -h, w.col(q), w.col(c));
+        }
+        for (size_t dj = 0; dj < di; ++dj) {
+          const T h = dot<T>(n, w.col(dead[dj]), w.col(c));
+          axpy<T>(n, -h, w.col(dead[dj]), w.col(c));
+        }
       }
-      for (const index_t q : alive) {
-        const T h = dot<T>(n, w.col(q), w.col(c));
-        axpy<T>(n, -h, w.col(q), w.col(c));
-      }
-      for (size_t dj = 0; dj < di; ++dj) {
-        const T h = dot<T>(n, w.col(dead[dj]), w.col(c));
-        axpy<T>(n, -h, w.col(dead[dj]), w.col(c));
-      }
+      const real_t<T> nrm = norm2<T>(n, w.col(c));
+      if (!(nrm > real_t<T>(0)) || !std::isfinite(static_cast<double>(nrm))) return false;
+      scal<T>(n, scalar_traits<T>::from_real(real_t<T>(1) / nrm), w.col(c));
     }
-    const real_t<T> nrm = norm2<T>(n, w.col(c));
-    if (!(nrm > real_t<T>(0)) || !std::isfinite(static_cast<double>(nrm))) return false;
-    scal<T>(n, scalar_traits<T>::from_real(real_t<T>(1) / nrm), w.col(c));
+    // The replacement dots amount to one more fused synchronization.
+    count_reductions(stats, comm, trace, 1, p * p * 8);
+    // R still factors the *original* block over the surviving columns (its
+    // dead diagonals are ~0, so backsolves keep excluding them); only
+    // non-finite entries are scrubbed so Hessenberg assembly stays finite.
+    for (index_t i = 0; i < r.rows(); ++i)
+      for (index_t c = 0; c < r.cols(); ++c)
+        if (!std::isfinite(static_cast<double>(abs_val(r(i, c))))) r(i, c) = T(0);
+    if (trace != nullptr)
+      trace->recovery(obs::RecoveryEvent{rz->iteration, "ortho", "replace-columns",
+                                         static_cast<index_t>(dead.size())});
   }
-  // The replacement dots amount to one more fused synchronization.
-  count_reductions(stats, comm, trace, 1, p * p * 8);
-  // R still factors the *original* block over the surviving columns (its
-  // dead diagonals are ~0, so backsolves keep excluding them); only
-  // non-finite entries are scrubbed so Hessenberg assembly stays finite.
-  for (index_t i = 0; i < r.rows(); ++i)
-    for (index_t c = 0; c < r.cols(); ++c)
-      if (!std::isfinite(static_cast<double>(abs_val(r(i, c))))) r(i, c) = T(0);
-  if (trace != nullptr)
-    trace->recovery(obs::RecoveryEvent{rz->iteration, "ortho", "replace-columns",
-                                       static_cast<index_t>(dead.size())});
   return true;
 }
 
 // Per-column norms with reduction accounting (one fused reduction). The
 // compute *is* the global reduction, so its time lands in that phase.
 template <class T>
-void norms(MatrixView<const T> x, real_t<T>* out, SolveStats& stats, CommModel* comm,
-           obs::TraceSink* trace, const KernelExecutor* ex) {
+BKR_HOT void norms(MatrixView<const T> x, real_t<T>* out, SolveStats& stats, CommModel* comm,
+                   obs::TraceSink* trace, const KernelExecutor* ex) {
   // The ScopedPhase itself contributes the single reduction count.
   obs::ScopedPhase sp(trace, obs::Phase::Reduction);
   column_norms<T>(x, out, ex);

@@ -11,9 +11,14 @@ namespace bkr {
 
 namespace {
 
+// Workspace slot map (mats_ slot kWsProjectScratch is detail::project's).
+enum : int { kWsCycleQr = kWsSolverBase };  // qrs_
+enum : int { kWsSmallY = kWsSolverBase };   // vecs_
+
 template <class T>
 void lgmres_body(const LinearOperator<T>& a, Preconditioner<T>* m, const std::vector<T>& b,
-                 std::vector<T>& x, const SolverOptions& opts, CommModel* comm, SolveStats& st) {
+                 std::vector<T>& x, const SolverOptions& opts, CommModel* comm, SolveStats& st,
+                 SolverWorkspace<T>& ws) {
   using Real = real_t<T>;
   const index_t n = a.n();
   obs::TraceSink* const trace = opts.trace;
@@ -52,6 +57,15 @@ void lgmres_body(const LinearOperator<T>& a, Preconditioner<T>* m, const std::ve
   DenseMatrix<T> ztmp(n, 1), w(n, 1), r(n, 1);
   std::deque<std::vector<T>> augmented;  // error approximations, newest first
   auto xview = MatrixView<T>(x.data(), n, 1, n);
+  // Cycle-lifetime scratch hoisted out of the restart loop; `dx` is donated
+  // into `augmented` each cycle and its storage recycled from the evicted
+  // augmentation vector once the deque is full.
+  std::vector<T> ghat(static_cast<size_t>(total) + 1);
+  std::vector<T> hcol(static_cast<size_t>(total) + 1);
+  std::vector<T> dx;
+  DenseMatrix<T> t(n, 1);
+  obs::IterationEvent ev;
+  if (trace != nullptr) ev.residuals.reserve(1);
 
   while (st.iterations < opts.max_iterations) {
     ++st.cycles;
@@ -70,19 +84,16 @@ void lgmres_body(const LinearOperator<T>& a, Preconditioner<T>* m, const std::ve
 
     const index_t naug = std::min<index_t>(index_t(augmented.size()), aug_max);
     const index_t mk = total - naug;  // pure Krylov steps this cycle
-    IncrementalQR<T> qr(total + 1, total);
-    std::vector<T> ghat(static_cast<size_t>(total) + 1, T(0));
+    IncrementalQR<T>& qr = ws.qr(kWsCycleQr, total + 1, total);
+    ghat.assign(static_cast<size_t>(total) + 1, T(0));
     ghat[0] = scalar_traits<T>::from_real(rnorm);
     const T inv = scalar_traits<T>::from_real(Real(1) / rnorm);
     for (index_t i = 0; i < n; ++i) v(i, 0) = r(i, 0) * inv;
     st.reductions += 0;  // the residual norm above doubles as the QR
-
-    const std::vector<T>* x_before = nullptr;
-    std::vector<T> xsnap(x);  // for the error approximation
-    (void)x_before;
+    if (opts.record_history)
+      st.history[0].reserve(st.history[0].size() + static_cast<size_t>(total));
 
     index_t j = 0;
-    std::vector<T> hcol(static_cast<size_t>(total) + 1);
     bool hit = false;
     bool fatal = false;
     // Single-RHS early-restart tracking: the residual estimate is monotone
@@ -90,7 +101,7 @@ void lgmres_body(const LinearOperator<T>& a, Preconditioner<T>* m, const std::ve
     // exhausted and restarting (refreshing the augmentation set) is better.
     Real stag_best = std::numeric_limits<Real>::infinity();
     index_t stag_count = 0;
-    while (j < total && st.iterations < opts.max_iterations) {
+    BKR_HOT_LOOP while (j < total && st.iterations < opts.max_iterations) {
       const bool is_aug = j >= mk;
       MatrixView<const T> input =
           is_aug ? MatrixView<const T>(augmented[size_t(j - mk)].data(), n, 1, n)
@@ -119,7 +130,7 @@ void lgmres_body(const LinearOperator<T>& a, Preconditioner<T>* m, const std::ve
                          MatrixView<T>(w.data(), n, 1, n),
                          MatrixView<T>(hcol.data(), index_t(hcol.size()), 1,
                                        index_t(hcol.size())),
-                         opts.ortho, 1, st, comm, trace, ex);
+                         opts.ortho, 1, st, comm, ws, trace, ex);
       Real hn;
       {
         obs::ScopedPhase sp(trace, obs::Phase::OrthoNormalization);
@@ -146,7 +157,6 @@ void lgmres_body(const LinearOperator<T>& a, Preconditioner<T>* m, const std::ve
       if (opts.record_history) st.history[0].push_back(est / bnorm);
       if (est > opts.tol * bnorm) ++st.per_rhs_iterations[0];
       if (trace != nullptr) {
-        obs::IterationEvent ev;
         ev.cycle = st.cycles;
         ev.iteration = st.iterations;
         ev.basis_size = j + 1;
@@ -185,8 +195,9 @@ void lgmres_body(const LinearOperator<T>& a, Preconditioner<T>* m, const std::ve
       st.status = SolveStatus::Stagnated;
       break;
     }
-    std::vector<T> y(ghat.begin(), ghat.begin() + j);
-    DenseMatrix<T> t(n, 1);
+    std::vector<T>& y = ws.vec(kWsSmallY, j);
+    for (index_t i = 0; i < j; ++i) y[size_t(i)] = ghat[size_t(i)];
+    t.set_zero();
     const index_t jk = std::min(j, mk);
     {
       obs::ScopedPhase sp(trace, obs::Phase::SmallDense);
@@ -205,7 +216,7 @@ void lgmres_body(const LinearOperator<T>& a, Preconditioner<T>* m, const std::ve
         axpy<T>(n, y[size_t(i)], col, t.col(0));
       }
     }
-    std::vector<T> dx(static_cast<size_t>(n), T(0));
+    dx.assign(static_cast<size_t>(n), T(0));
     if (side == PrecondSide::Right) {
       obs::ScopedPhase sp(trace, obs::Phase::Precond);
       m->apply(t.view(), ztmp.view());
@@ -229,7 +240,10 @@ void lgmres_body(const LinearOperator<T>& a, Preconditioner<T>* m, const std::ve
       const T dinv = scalar_traits<T>::from_real(Real(1) / dxn);
       for (auto& val : dx) val *= dinv;
       augmented.push_front(std::move(dx));
-      if (index_t(augmented.size()) > aug_max) augmented.pop_back();
+      if (index_t(augmented.size()) > aug_max) {
+        dx = std::move(augmented.back());  // recycle the evicted storage
+        augmented.pop_back();
+      }
     } else if (!hit && side != PrecondSide::Flexible) {
       // Exactly null update with a fixed preconditioner: the next cycle
       // replays this one from an identical state, so stop now.
@@ -247,11 +261,12 @@ SolveStats lgmres(const LinearOperator<T>& a, Preconditioner<T>* m, const std::v
   detail::check_solve_entry<T>(
       a, m, MatrixView<const T>(b.data(), index_t(b.size()), 1, index_t(b.size())),
       MatrixView<T>(x.data(), index_t(x.size()), 1, index_t(x.size())), opts);
-  return detail::run_solver("lgmres", a.n(), 1, opts, [&](SolveStats& st) {
-    lgmres_body<T>(a, m, b, x, opts, comm, st);
-    detail::final_residual_check<T>(a, MatrixView<const T>(b.data(), a.n(), 1, a.n()),
-                                    MatrixView<T>(x.data(), a.n(), 1, a.n()), opts, st, comm);
-  });
+  return detail::run_solver_ws<T>(
+      "lgmres", a.n(), 1, opts, [&](SolveStats& st, SolverWorkspace<T>& ws) {
+        lgmres_body<T>(a, m, b, x, opts, comm, st, ws);
+        detail::final_residual_check<T>(a, MatrixView<const T>(b.data(), a.n(), 1, a.n()),
+                                        MatrixView<T>(x.data(), a.n(), 1, a.n()), opts, st, comm);
+      });
 }
 
 template SolveStats lgmres<double>(const LinearOperator<double>&, Preconditioner<double>*,

@@ -14,6 +14,10 @@ namespace bkr {
 
 namespace {
 
+// Workspace slot map (mats_ slot kWsProjectScratch is detail::project's).
+enum : int { kWsVin = kWsSolverBase, kWsUpdateT };  // mats_
+enum : int { kWsHcol = kWsSolverBase };             // vecs_
+
 // Per-RHS lane of a fused GCRO-DR run (single-vector, contiguous storage).
 template <class T>
 struct Lane {
@@ -24,7 +28,7 @@ struct Lane {
   DenseMatrix<T> hbar;  // (m+1) x m
   DenseMatrix<T> e;     // k x m coupling with the recycled space
   std::vector<T> ghat;
-  IncrementalQR<T> qr{1, 1};
+  IncrementalQR<T> qr;
   DenseMatrix<T> u, c;  // n x k_l recycled space (persists across solves)
 
   index_t steps = 0;    // steps completed in the current cycle
@@ -39,7 +43,7 @@ struct Lane {
     hbar.resize(max_steps + 1, max_steps);
     if (k > 0) e.resize(k, max_steps);
     ghat.assign(static_cast<size_t>(max_steps) + 1, T(0));
-    qr = IncrementalQR<T>(max_steps + 1, max_steps);
+    qr.reshape(max_steps + 1, max_steps);
     steps = 0;
   }
 
@@ -64,10 +68,11 @@ struct Lane {
 // plain Hessenberg) from later cycles (generalized pencil with the
 // coupling block E and the scaled U).
 template <class T>
-void refresh_lane_recycle(Lane<T>& lane, index_t n, index_t k, index_t s, PrecondSide side,
-                          RecycleStrategy strategy, bool with_projection,
-                          const KernelExecutor* ex, const RecoveryPolicy& policy, SolveStats& st,
-                          obs::TraceSink* trace) {
+BKR_COLD void refresh_lane_recycle(Lane<T>& lane, index_t n, index_t k, index_t s,
+                                   PrecondSide side, RecycleStrategy strategy,
+                                   bool with_projection, const KernelExecutor* ex,
+                                   const RecoveryPolicy& policy, SolveStats& st,
+                                   obs::TraceSink* trace) {
   using Real = real_t<T>;
   if (s <= 0) return;
   const index_t vcols = lane.steps + 1;
@@ -195,7 +200,8 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
   const bool had_recycle = u_.cols() > 0 && lanes_ == p;
   ++solves_;
 
-  return detail::run_solver("pseudo_gcrodr", n, p, opts_, [&](SolveStats& st) {
+  return detail::run_solver_ws<T>("pseudo_gcrodr", n, p, opts_,
+                                  [&](SolveStats& st, SolverWorkspace<T>& ws) {
   detail::Resilience<T> rz{opts_.recovery, opts_.fault};
 
   std::vector<Lane<T>> lanes(static_cast<size_t>(p));
@@ -341,7 +347,11 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
 
   // Main loop. The first pass of a fresh sequence runs m unprojected
   // steps (and seeds the recycled spaces); every later pass runs m - k
-  // projected steps.
+  // projected steps. Iterate-loop scratch comes from workspace slots so
+  // steady-state steps stay off the allocator.
+  DenseMatrix<T>& vin = ws.mat(kWsVin, n, p);
+  obs::IterationEvent ev;
+  if (trace != nullptr) ev.residuals.reserve(static_cast<size_t>(p));
   bool first_cycle = !had_recycle;
   bool fatal = false;
   while (!all_converged() && st.iterations < opts_.max_iterations) {
@@ -370,11 +380,16 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
       st.reductions += 1;  // fused residual QR (norms) / C^H r
       if (comm != nullptr) comm->reduction(p * 8);
     }
+    if (opts_.record_history)
+      for (index_t l = 0; l < p; ++l)
+        st.history[size_t(l)].reserve(st.history[size_t(l)].size() +
+                                      static_cast<size_t>(max_steps));
 
     index_t j = 0;
-    while (j < max_steps && st.iterations < opts_.max_iterations) {
-      // Assemble the batched operator input.
-      DenseMatrix<T> vin(n, p);
+    BKR_HOT_LOOP while (j < max_steps && st.iterations < opts_.max_iterations) {
+      // Assemble the batched operator input (zeroing locked lanes so inner
+      // block preconditioners never see stale data).
+      vin.set_zero();
       for (index_t l = 0; l < p; ++l)
         if (lanes[size_t(l)].active)
           std::copy(lanes[size_t(l)].v.col(j), lanes[size_t(l)].v.col(j) + n, vin.col(l));
@@ -415,7 +430,7 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
           auto& lane = lanes[size_t(l)];
           if (!lane.active) continue;
           if (side == PrecondSide::Flexible) std::copy(zj.col(l), zj.col(l) + n, lane.z.col(j));
-          std::vector<T> hcol(static_cast<size_t>(max_steps) + 1, T(0));
+          std::vector<T>& hcol = ws.vec(kWsHcol, max_steps + 1);
           for (index_t i = 0; i <= j; ++i) hcol[size_t(i)] = dot<T>(n, lane.v.col(i), w.col(l), ex);
           for (index_t i = 0; i <= j; ++i) axpy<T>(n, -hcol[size_t(i)], lane.v.col(i), w.col(l));
           if (opts_.ortho == Ortho::Cgs2) {
@@ -453,7 +468,6 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
       ++j;
       ++st.iterations;
       if (trace != nullptr) {
-        obs::IterationEvent ev;
         ev.cycle = st.cycles;
         ev.iteration = st.iterations;
         ev.basis_size = j + 1;
@@ -476,8 +490,7 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
     }
 
     // Per-lane least squares, solution update, recycle refresh.
-    DenseMatrix<T> t(n, p);
-    t.set_zero();
+    DenseMatrix<T>& t = ws.mat(kWsUpdateT, n, p);
     bool progress = false;
     {
       obs::ScopedPhase sp(trace, obs::Phase::SmallDense);

@@ -30,6 +30,14 @@ void merge_column(SolveStats& acc, const SolveStats& col) {
   acc.per_rhs_iterations.push_back(col.iterations);
 }
 
+// Attach the session-owned workspace before the config is stored (and
+// before gcro_/pgcro_ copy the options), keeping a caller-attached
+// workspace if one is already present.
+SessionConfig bind_workspace(SessionConfig config, SolverWorkspaceBase* ws) {
+  if (config.options.workspace == nullptr) config.options.workspace = ws;
+  return config;
+}
+
 }  // namespace
 
 const char* session_method_name(SessionMethod m) {
@@ -42,7 +50,7 @@ SolverSession<T>::SolverSession(const CsrMatrix<T>& a, Preconditioner<T>* m, Ses
                                 CommModel* comm)
     : a_(&a),
       m_(m),
-      cfg_(std::move(config)),
+      cfg_(bind_workspace(std::move(config), &ws_)),
       comm_(comm),
       op_(a, comm, cfg_.options.exec),
       gcro_(cfg_.options),

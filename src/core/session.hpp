@@ -38,6 +38,7 @@
 #include "core/gmres.hpp"
 #include "core/lgmres.hpp"
 #include "core/recycle_cache.hpp"
+#include "core/workspace.hpp"
 
 namespace bkr {
 
@@ -142,6 +143,11 @@ class SolverSession {
 
   const CsrMatrix<T>* a_;
   Preconditioner<T>* m_;
+  // Session-lifetime scratch for the solver iterate loops: bound into
+  // cfg_.options.workspace (unless the caller attached one) so repeated
+  // solves reach a zero-allocation steady state. Declared before cfg_ so
+  // the binding in the constructor's initializer list sees a live object.
+  SolverWorkspace<T> ws_;
   SessionConfig cfg_;
   CommModel* comm_;
   CsrOperator<T> op_;

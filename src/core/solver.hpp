@@ -12,6 +12,7 @@
 namespace bkr {
 
 class KernelExecutor;  // parallel/kernel_executor.hpp
+class SolverWorkspaceBase;  // core/workspace.hpp
 
 namespace resilience {
 class FaultInjector;  // resilience/fault_injector.hpp
@@ -163,6 +164,15 @@ struct SolverOptions {
   // default — the hooks at operator applies, preconditioner applies and
   // orthogonalization reduce to pointer tests.
   resilience::FaultInjector* fault = nullptr;
+  // Optional preallocated solver workspace (not owned; must be a
+  // SolverWorkspace<T> matching the solve's scalar type — a SolverSession
+  // attaches its own). When null — the default — each solve carries a
+  // private one-shot workspace, so iterate loops never allocate either
+  // way; an attached workspace additionally reuses capacity *across*
+  // solves. Value semantics are unchanged in both modes: workspace slots
+  // acquire with fresh zero-initialized semantics, so histories and
+  // solutions are bitwise identical to the legacy allocating code.
+  SolverWorkspaceBase* workspace = nullptr;
 };
 
 struct SolveStats {

@@ -77,7 +77,7 @@ inline index_t fanout_tasks(const KernelExecutor* ex, index_t n) {
 
 // C = alpha * op(A) * op(B) + beta * C.
 template <class T>
-void gemm(Trans ta, Trans tb, T alpha, MatrixView<const T> a, MatrixView<const T> b, T beta,
+BKR_HOT void gemm(Trans ta, Trans tb, T alpha, MatrixView<const T> a, MatrixView<const T> b, T beta,
           MatrixView<T> c, const KernelExecutor* ex = nullptr) {
   const index_t m = c.rows(), n = c.cols();
   const index_t k = (ta == Trans::N) ? a.cols() : a.rows();
@@ -172,7 +172,7 @@ void gemm(Trans ta, Trans tb, T alpha, MatrixView<const T> a, MatrixView<const T
 
 // y = alpha * op(A) * x + beta * y.
 template <class T>
-void gemv(Trans ta, T alpha, MatrixView<const T> a, const T* x, T beta, T* y) {
+BKR_HOT void gemv(Trans ta, T alpha, MatrixView<const T> a, const T* x, T beta, T* y) {
   const index_t m = (ta == Trans::N) ? a.rows() : a.cols();
   const index_t k = (ta == Trans::N) ? a.cols() : a.rows();
   if (beta == T(0)) {
@@ -198,14 +198,14 @@ void gemv(Trans ta, T alpha, MatrixView<const T> a, const T* x, T beta, T* y) {
 
 // Conjugated dot product x^H y over n entries (legacy straight sum).
 template <class T>
-T dot(index_t n, const T* x, const T* y) {
+BKR_HOT T dot(index_t n, const T* x, const T* y) {
   return detail::chunk_dot(n, x, y);
 }
 
 // Deterministic chunked dot: fixed kReduceChunk partials combined in chunk
 // order. The result is independent of the executor's lane count.
 template <class T>
-T dot(index_t n, const T* x, const T* y, const KernelExecutor* ex) {
+BKR_HOT T dot(index_t n, const T* x, const T* y, const KernelExecutor* ex) {
   if (ex == nullptr || !ex->engage(Kernel::Dot, n)) return detail::chunk_dot(n, x, y);
   const index_t nchunks = detail::reduce_chunks(n);
   std::vector<T> partial(static_cast<size_t>(nchunks));
@@ -220,13 +220,13 @@ T dot(index_t n, const T* x, const T* y, const KernelExecutor* ex) {
 }
 
 template <class T>
-real_t<T> norm2(index_t n, const T* x) {
+BKR_HOT real_t<T> norm2(index_t n, const T* x) {
   return std::sqrt(detail::chunk_sumsq(n, x));
 }
 
 // Deterministic chunked 2-norm (same contract as the 4-argument dot).
 template <class T>
-real_t<T> norm2(index_t n, const T* x, const KernelExecutor* ex) {
+BKR_HOT real_t<T> norm2(index_t n, const T* x, const KernelExecutor* ex) {
   if (ex == nullptr || !ex->engage(Kernel::Norms, n))
     return std::sqrt(detail::chunk_sumsq(n, x));
   const index_t nchunks = detail::reduce_chunks(n);
@@ -245,7 +245,7 @@ real_t<T> norm2(index_t n, const T* x, const KernelExecutor* ex) {
 // executor, all p columns' chunk partials form one task grid (the fused
 // multi-lane reduction); each column combines its own partials in order.
 template <class T>
-void column_norms(MatrixView<const T> x, real_t<T>* out, const KernelExecutor* ex = nullptr) {
+BKR_HOT void column_norms(MatrixView<const T> x, real_t<T>* out, const KernelExecutor* ex = nullptr) {
   const index_t n = x.rows(), p = x.cols();
   if (ex == nullptr || p == 0 || !ex->engage(Kernel::Norms, n * p)) {
     for (index_t j = 0; j < p; ++j) out[j] = norm2(n, x.col(j));
@@ -271,18 +271,18 @@ void column_norms(MatrixView<const T> x, real_t<T>* out, const KernelExecutor* e
 }
 
 template <class T>
-void axpy(index_t n, T alpha, const T* x, T* y) {
+BKR_HOT void axpy(index_t n, T alpha, const T* x, T* y) {
   for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
 
 template <class T>
-void scal(index_t n, T alpha, T* x) {
+BKR_HOT void scal(index_t n, T alpha, T* x) {
   for (index_t i = 0; i < n; ++i) x[i] *= alpha;
 }
 
 // Frobenius norm of a view.
 template <class T>
-real_t<T> norm_fro(MatrixView<const T> a) {
+BKR_HOT real_t<T> norm_fro(MatrixView<const T> a) {
   real_t<T> s(0);
   for (index_t j = 0; j < a.cols(); ++j)
     for (index_t i = 0; i < a.rows(); ++i) {
@@ -298,7 +298,8 @@ real_t<T> norm_fro(MatrixView<const T> a) {
 // X := R^{-1} X (left solve, back substitution). Columns are independent;
 // with an executor they fan out, each solved in the serial order.
 template <class T>
-void trsm_left_upper(MatrixView<const T> r, MatrixView<T> x, const KernelExecutor* ex = nullptr) {
+BKR_HOT void trsm_left_upper(MatrixView<const T> r, MatrixView<T> x,
+                             const KernelExecutor* ex = nullptr) {
   const index_t n = r.rows();
   BKR_REQUIRE(r.cols() == n && x.rows() == n, "r.rows", n, "r.cols", r.cols(), "x.rows", x.rows());
   auto solve_col = [&](index_t j) {
@@ -319,7 +320,7 @@ void trsm_left_upper(MatrixView<const T> r, MatrixView<T> x, const KernelExecuto
 // X := R^{-H} X (left solve with the conjugate transpose; forward
 // substitution since R^H is lower triangular).
 template <class T>
-void trsm_left_upper_conj(MatrixView<const T> r, MatrixView<T> x,
+BKR_HOT void trsm_left_upper_conj(MatrixView<const T> r, MatrixView<T> x,
                           const KernelExecutor* ex = nullptr) {
   const index_t n = r.rows();
   BKR_REQUIRE(r.cols() == n && x.rows() == n, "r.rows", n, "r.cols", r.cols(), "x.rows", x.rows());
@@ -343,7 +344,8 @@ void trsm_left_upper_conj(MatrixView<const T> r, MatrixView<T> x,
 // order, so the parallel row blocks are bitwise identical to the serial
 // sweep.
 template <class T>
-void trsm_right_upper(MatrixView<const T> r, MatrixView<T> x, const KernelExecutor* ex = nullptr) {
+BKR_HOT void trsm_right_upper(MatrixView<const T> r, MatrixView<T> x,
+                              const KernelExecutor* ex = nullptr) {
   const index_t p = r.rows();
   BKR_REQUIRE(r.cols() == p && x.cols() == p, "r.rows", p, "r.cols", r.cols(), "x.cols", x.cols());
   const index_t n = x.rows();
@@ -375,7 +377,7 @@ void trsm_right_upper(MatrixView<const T> r, MatrixView<T> x, const KernelExecut
 // pair is one independent column dot, so the pair-parallel schedule is
 // bitwise identical to the serial sweep at any thread count.
 template <class T>
-void herk(Trans trans, T alpha, MatrixView<const T> a, T beta, MatrixView<T> c,
+BKR_HOT void herk(Trans trans, T alpha, MatrixView<const T> a, T beta, MatrixView<T> c,
           const KernelExecutor* ex = nullptr) {
   BKR_REQUIRE(trans == Trans::C, "trans==C", index_t(trans == Trans::C ? 1 : 0));
   const index_t p = a.cols(), n = a.rows();
@@ -406,7 +408,7 @@ void herk(Trans trans, T alpha, MatrixView<const T> a, T beta, MatrixView<T> c,
 // Gram matrix G = V^H V (Hermitian, order p). One pass; in a distributed
 // run this is the single-reduction kernel of CholQR.
 template <class T>
-void gram(MatrixView<const T> v, MatrixView<T> g, const KernelExecutor* ex = nullptr) {
+BKR_HOT void gram(MatrixView<const T> v, MatrixView<T> g, const KernelExecutor* ex = nullptr) {
   herk<T>(Trans::C, T(1), v, T(0), g, ex);
 }
 

@@ -96,7 +96,48 @@ index_t pivoted_cholesky(MatrixView<T> a, std::vector<index_t>& perm, real_t<T> 
 template <class T>
 class DenseLU {
  public:
+  DenseLU() = default;  // empty; factor() before solve()
   explicit DenseLU(DenseMatrix<T> a) : a_(std::move(a)), piv_(size_t(a_.rows())) {
+    eliminate();
+  }
+
+  // Refactor a new matrix reusing the existing storage (no allocation once
+  // capacity has grown to the problem size); identical elimination order,
+  // so the factors are bitwise equal to a freshly constructed DenseLU.
+  BKR_HOT void factor(MatrixView<const T> a) {
+    BKR_REQUIRE(a.cols() == a.rows(), "a.rows", a.rows(), "a.cols", a.cols());
+    a_.resize(a.rows(), a.cols());       // bkr-lint: allow(hot-path-alloc) capacity-reusing
+    copy_into<T>(a, a_.view());
+    piv_.assign(size_t(a.rows()), 0);    // bkr-lint: allow(hot-path-alloc) capacity-reusing
+    eliminate();
+  }
+
+  [[nodiscard]] bool singular() const { return singular_; }
+  [[nodiscard]] index_t n() const { return a_.rows(); }
+
+  // Solve A X = B in place.
+  BKR_HOT void solve(MatrixView<T> b) const {
+    const index_t n = a_.rows();
+    BKR_REQUIRE(b.rows() == n, "b.rows", b.rows(), "lu.n", n);
+    for (index_t j = 0; j < b.cols(); ++j) {
+      T* x = b.col(j);
+      for (index_t i = 0; i < n; ++i)
+        if (piv_[size_t(i)] != i) std::swap(x[i], x[piv_[size_t(i)]]);
+      for (index_t i = 1; i < n; ++i) {
+        T s = x[i];
+        for (index_t l = 0; l < i; ++l) s -= a_(i, l) * x[l];
+        x[i] = s;
+      }
+      for (index_t i = n - 1; i >= 0; --i) {
+        T s = x[i];
+        for (index_t l = i + 1; l < n; ++l) s -= a_(i, l) * x[l];
+        x[i] = s / a_(i, i);
+      }
+    }
+  }
+
+ private:
+  void eliminate() {
     const index_t n = a_.rows();
     BKR_REQUIRE(a_.cols() == n, "a.rows", n, "a.cols", a_.cols());
     singular_ = false;
@@ -125,31 +166,6 @@ class DenseLU {
     }
   }
 
-  [[nodiscard]] bool singular() const { return singular_; }
-  [[nodiscard]] index_t n() const { return a_.rows(); }
-
-  // Solve A X = B in place.
-  void solve(MatrixView<T> b) const {
-    const index_t n = a_.rows();
-    BKR_REQUIRE(b.rows() == n, "b.rows", b.rows(), "lu.n", n);
-    for (index_t j = 0; j < b.cols(); ++j) {
-      T* x = b.col(j);
-      for (index_t i = 0; i < n; ++i)
-        if (piv_[size_t(i)] != i) std::swap(x[i], x[piv_[size_t(i)]]);
-      for (index_t i = 1; i < n; ++i) {
-        T s = x[i];
-        for (index_t l = 0; l < i; ++l) s -= a_(i, l) * x[l];
-        x[i] = s;
-      }
-      for (index_t i = n - 1; i >= 0; --i) {
-        T s = x[i];
-        for (index_t l = i + 1; l < n; ++l) s -= a_(i, l) * x[l];
-        x[i] = s / a_(i, i);
-      }
-    }
-  }
-
- private:
   DenseMatrix<T> a_;
   std::vector<index_t> piv_;
   bool singular_ = false;

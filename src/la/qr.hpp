@@ -145,19 +145,32 @@ class HouseholderQR {
 template <class T>
 class IncrementalQR {
  public:
+  IncrementalQR() = default;  // empty; reshape() before use
   IncrementalQR(index_t max_rows, index_t max_cols)
       : fact_(max_rows, max_cols), heights_(size_t(max_cols)), tau_(size_t(max_cols)) {}
 
   [[nodiscard]] index_t cols() const { return ncols_; }
   [[nodiscard]] index_t max_rows() const { return fact_.rows(); }
+  [[nodiscard]] index_t max_cols() const { return fact_.cols(); }
 
   void reset() {
     ncols_ = 0;
     fact_.set_zero();
   }
 
+  // Restore the state of a freshly constructed IncrementalQR(max_rows,
+  // max_cols) while reusing the existing storage (capacity only grows).
+  // This is what lets a restart cycle rebuild its Hessenberg QR without
+  // touching the allocator once the workspace has warmed up.
+  void reshape(index_t max_rows, index_t max_cols) {
+    fact_.resize(max_rows, max_cols);
+    heights_.assign(size_t(max_cols), 0);
+    tau_.assign(size_t(max_cols), T(0));
+    ncols_ = 0;
+  }
+
   // Append one column whose first `height` entries are in `col`.
-  void add_column(const T* col, index_t height) {
+  BKR_HOT void add_column(const T* col, index_t height) {
     const index_t j = ncols_;
     BKR_REQUIRE(height <= fact_.rows() && j < fact_.cols(), "height", height, "max_rows",
                 fact_.rows(), "ncols", j, "max_cols", fact_.cols());
@@ -245,7 +258,7 @@ class IncrementalQR {
 // if the Gram matrix is numerically indefinite (block breakdown); callers
 // fall back to Householder in that case.
 template <class T>
-bool cholqr(MatrixView<T> v, MatrixView<T> r, const KernelExecutor* ex = nullptr) {
+BKR_HOT bool cholqr(MatrixView<T> v, MatrixView<T> r, const KernelExecutor* ex = nullptr) {
   const index_t p = v.cols();
   BKR_REQUIRE(v.rows() >= p, "v.rows", v.rows(), "v.cols", p);
   BKR_ASSERT_SHAPE(r, p, p);
@@ -270,9 +283,10 @@ index_t cholqr_rank(MatrixView<const T> v, real_t<T> tol = real_t<T>(1e-12)) {
 }
 
 // Householder-based tall-skinny QR fallback (always succeeds for full-rank
-// V): V := Q (thin), r := R.
+// V): V := Q (thin), r := R. Only reached on a CholQR breakdown, so it is
+// a cold recovery rung despite its hot caller.
 template <class T>
-void householder_tsqr(MatrixView<T> v, MatrixView<T> r) {
+BKR_COLD void householder_tsqr(MatrixView<T> v, MatrixView<T> r) {
   BKR_REQUIRE(v.rows() >= v.cols(), "v.rows", v.rows(), "v.cols", v.cols());
   BKR_ASSERT_SHAPE(r, v.cols(), v.cols());
   HouseholderQR<T> qr(copy_of(MatrixView<const T>(v.data(), v.rows(), v.cols(), v.ld())));

@@ -61,6 +61,10 @@ void SolverTrace::begin_solve(const char* method, index_t n, index_t nrhs) {
   rec.method = method == nullptr ? "unknown" : method;
   rec.n = n;
   rec.nrhs = nrhs;
+  // Amortize the per-iteration push_back growth: a typical solve logs a
+  // few dozen block iterations, so one up-front reservation keeps the
+  // event log out of the allocator for the whole solve.
+  rec.events.reserve(64);
   open_ = true;
 }
 
@@ -83,7 +87,10 @@ void SolverTrace::iteration(const IterationEvent& ev) { current().events.push_ba
 
 void SolverTrace::recovery(const RecoveryEvent& ev) { current().recoveries.push_back(ev); }
 
-void SolverTrace::cache(const CacheEvent& ev) { cache_events_.push_back(ev); }
+void SolverTrace::cache(const CacheEvent& ev) {
+  if (cache_events_.capacity() == 0) cache_events_.reserve(16);
+  cache_events_.push_back(ev);
+}
 
 std::int64_t SolverTrace::cache_event_count(const std::string& action) const {
   std::int64_t n = 0;

@@ -76,7 +76,12 @@ struct RecoveryEvent {
 // solvers produce: phases and iterations arrive between begin_solve /
 // end_solve pairs; a sink may be reused across many solves (the sequence
 // API) and accumulates one record per solve.
-class TraceSink {
+//
+// BKR_COLD on the class head: observability is virtual by design — the
+// dispatch is null-guarded and once per (block) iteration, amortized over
+// the iteration's kernel work — so bkr-analyze --hotpath exempts calls
+// through this interface from the hot-path-virtual rule.
+class BKR_COLD TraceSink {
  public:
   virtual ~TraceSink() = default;
   virtual void begin_solve(const char* method, index_t n, index_t nrhs) = 0;

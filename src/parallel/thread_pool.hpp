@@ -44,7 +44,9 @@ class ThreadPool {
   // calling thread. Blocks until all iterations are done. If any
   // iteration throws, remaining iterations of that chunk are skipped and
   // the first exception is rethrown here after the loop drains.
-  void parallel_for(index_t n, const std::function<void(index_t)>& fn);
+  // BKR_COLD: the submission mutex and wakeup are the documented launch
+  // barrier of the pool, not per-element work — hot-path rules stop here.
+  BKR_COLD void parallel_for(index_t n, const std::function<void(index_t)>& fn);
 
   // Replace the worker set with `threads` - 1 fresh workers (0 picks
   // hardware concurrency). Blocks until in-flight loops finish; safe to
@@ -81,6 +83,6 @@ class ThreadPool {
 };
 
 // Convenience wrapper over the global pool.
-void parallel_for(index_t n, const std::function<void(index_t)>& fn);
+BKR_COLD void parallel_for(index_t n, const std::function<void(index_t)>& fn);
 
 }  // namespace bkr

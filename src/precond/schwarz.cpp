@@ -18,9 +18,14 @@ SchwarzPreconditioner<T>::SchwarzPreconditioner(const CsrMatrix<T>& a, SchwarzOp
   const PouKind pou = (opts_.kind == SchwarzKind::Asm) ? PouKind::Multiplicity : PouKind::Boolean;
   OverlappingDecomposition dec = make_decomposition(g, opts_.subdomains, opts_.overlap, pou);
   locals_.resize(static_cast<size_t>(opts_.subdomains));
+  // Per-lane accumulation slots: each subdomain build writes only its own
+  // entry, so the lane bodies never touch stats_mutex_; everything is
+  // merged once after the parallel_for (hot-path-lock discipline).
   std::vector<double> setup_times(static_cast<size_t>(opts_.subdomains), 0.0);
+  std::vector<index_t> factor_nnz(static_cast<size_t>(opts_.subdomains), 0);
+  std::vector<index_t> sub_rows(static_cast<size_t>(opts_.subdomains), 0);
 
-  auto build_one = [&](index_t i) {
+  auto build_one = [&](index_t i) BKR_COLD {
     Timer timer;
     Local local;
     local.rows = std::move(dec.rows[size_t(i)]);
@@ -61,11 +66,8 @@ SchwarzPreconditioner<T>::SchwarzPreconditioner(const CsrMatrix<T>& a, SchwarzOp
     }
     local.factor = std::make_unique<SparseLDLT<T>>(sub, opts_.ordering);
     setup_times[size_t(i)] = timer.seconds();
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      stats_.factor_nnz_total += local.factor->factor_nnz();
-      stats_.largest_subdomain = std::max(stats_.largest_subdomain, index_t(local.rows.size()));
-    }
+    factor_nnz[size_t(i)] = local.factor->factor_nnz();
+    sub_rows[size_t(i)] = index_t(local.rows.size());
     // Each iteration owns its slot, so the move needs no lock.
     locals_[size_t(i)] = std::move(local);
   };
@@ -75,9 +77,11 @@ SchwarzPreconditioner<T>::SchwarzPreconditioner(const CsrMatrix<T>& a, SchwarzOp
     for (index_t i = 0; i < opts_.subdomains; ++i) build_one(i);
   }
   std::lock_guard<std::mutex> lock(stats_mutex_);
-  for (const double t : setup_times) {
-    stats_.setup_seconds_sum += t;
-    stats_.setup_seconds_max = std::max(stats_.setup_seconds_max, t);
+  for (index_t i = 0; i < opts_.subdomains; ++i) {
+    stats_.setup_seconds_sum += setup_times[size_t(i)];
+    stats_.setup_seconds_max = std::max(stats_.setup_seconds_max, setup_times[size_t(i)]);
+    stats_.factor_nnz_total += factor_nnz[size_t(i)];
+    stats_.largest_subdomain = std::max(stats_.largest_subdomain, sub_rows[size_t(i)]);
   }
 }
 
@@ -121,10 +125,14 @@ void SchwarzPreconditioner<T>::apply(MatrixView<const T> r, MatrixView<T> z) {
     sum += t;
     mx = std::max(mx, t);
   }
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  stats_.apply_seconds_sum += sum;
-  stats_.apply_seconds_max += mx;
-  ++stats_.applications;
+  // Once-per-apply bookkeeping, amortized over nsub local direct solves
+  // and uncontended from the (serial) solver loop — cold by design.
+  BKR_COLD {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.apply_seconds_sum += sum;
+    stats_.apply_seconds_max += mx;
+    ++stats_.applications;
+  }
 }
 
 template <class T>

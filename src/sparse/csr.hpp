@@ -68,7 +68,7 @@ class CsrMatrix {
   // y = A x. Rows write disjoint outputs in an unchanged per-row order, so
   // the executor's row-partitioned schedule is bitwise identical to the
   // serial sweep at every thread count.
-  void spmv(const T* x, T* y, const KernelExecutor* ex = nullptr) const {
+  BKR_HOT void spmv(const T* x, T* y, const KernelExecutor* ex = nullptr) const {
     if (ex == nullptr || rows_ <= 1 || !ex->engage(Kernel::Spmv, nnz())) {
       spmv_rows(0, rows_, x, y);
       return;
@@ -83,7 +83,8 @@ class CsrMatrix {
   // Y = A X for a block of p columns: one sweep over the matrix, all p
   // accumulations per nonzero (the BLAS-3-like fused kernel). Same
   // row-partitioned parallel contract as spmv.
-  void spmm(MatrixView<const T> x, MatrixView<T> y, const KernelExecutor* ex = nullptr) const {
+  BKR_HOT void spmm(MatrixView<const T> x, MatrixView<T> y,
+                    const KernelExecutor* ex = nullptr) const {
     const index_t p = x.cols();
     BKR_REQUIRE(x.rows() == cols_, "x.rows", x.rows(), "a.cols", cols_);
     BKR_ASSERT_SHAPE(y, rows_, p);

@@ -87,7 +87,9 @@ TEST(TraceInvariants, ProjectionOrthogonalityLossPerMode) {
     h.set_zero();
     SolveStats st;
     obs::SolverTrace trace;
-    detail::project<double>(basis.view(), s, w.view(), h.view(), mc.mode, 1, st, nullptr, &trace);
+    SolverWorkspace<double> ws;
+    detail::project<double>(basis.view(), s, w.view(), h.view(), mc.mode, 1, st, nullptr, ws,
+                            &trace);
     // Residual overlap with the basis.
     DenseMatrix<double> overlap(s, 1);
     gemm<double>(Trans::C, Trans::N, 1.0, basis.view(),
@@ -123,12 +125,13 @@ TEST(TraceInvariants, ArnoldiRelationResidual) {
     ASSERT_TRUE(detail::qr_block<double>(v.block(0, 0, n, 1), r0.view(), st, nullptr, nullptr));
   }
   SolveStats st;
+  SolverWorkspace<double> ws;
   for (index_t j = 0; j < mdim; ++j) {
     auto w = v.block(0, j + 1, n, 1);
     op.apply(MatrixView<const double>(v.col(j), n, 1, v.ld()), w);
     DenseMatrix<double> h(j + 1, 1);
     h.set_zero();
-    detail::project<double>(v.view(), j + 1, w, h.view(), Ortho::Cgs2, 1, st, nullptr, nullptr);
+    detail::project<double>(v.view(), j + 1, w, h.view(), Ortho::Cgs2, 1, st, nullptr, ws);
     for (index_t i = 0; i <= j; ++i) hbar(i, j) = h(i, 0);
     DenseMatrix<double> r(1, 1);
     ASSERT_TRUE(detail::qr_block<double>(w, r.view(), st, nullptr, nullptr)) << "iteration " << j;

@@ -5,6 +5,9 @@
 //   bench_check FILE
 //       schema validation only: well-formed JSON, required fields,
 //       known kernel names, positive calibration, non-empty entries.
+//       alloc_churn rows (steady-state allocations per solver iteration,
+//       DESIGN.md §11) are gated here at exactly zero — an allocating
+//       iterate loop is a contract violation, not a trend to track.
 //   bench_check FILE --baseline BASE [--max-regression 0.25]
 //                     [--min-median-seconds 1e-4]
 //       additionally compares FILE against BASE entry by entry. Entries
@@ -212,7 +215,8 @@ class JsonParser {
 // --- schema ----------------------------------------------------------------
 
 const char* const kSchema = "bkr-bench-kernels-1";
-const char* const kKernels[] = {"spmv", "spmm", "gemm", "herk", "dot", "norms", "trsm"};
+const char* const kKernels[] = {"spmv", "spmm", "gemm",  "herk",
+                                "dot",  "norms", "trsm", "alloc_churn"};
 
 struct BenchEntry {
   std::string kernel;
@@ -296,6 +300,18 @@ bool load_doc(const std::string& path, BenchDoc* doc, std::string* err) {
     }
     if (reps == nullptr || reps->kind != JsonValue::Kind::Number || reps->number < 1) {
       *err = at + ": reps missing or < 1";
+      return false;
+    }
+    // alloc_churn rows carry steady-state allocations per solver iteration
+    // in the value slot, not a timing. The workspace-hoisting contract
+    // (DESIGN.md §11) admits exactly zero — any other value means a solver
+    // iterate loop touched the allocator, which is a hard failure, not a
+    // regression to trend.
+    if (kernel->text == "alloc_churn" && median->number != 0.0) {
+      std::ostringstream os;
+      os << at << ": alloc_churn must be exactly 0 allocations/iteration, got "
+         << median->number;
+      *err = os.str();
       return false;
     }
     BenchEntry entry{kernel->text, shape->text, long(threads->number), median->number};

@@ -69,8 +69,18 @@
 //                          arguments whose definition (or a callee) checks
 //                          a contract fell below the gated floor
 //
+// A third stage, `--hotpath` ("bkr-hotpath"), builds an intra-project call
+// graph over src/ and enforces allocation/locking/IO/throw/virtual-dispatch
+// discipline in hot code. Hot regions are seeded by BKR_HOT function
+// definitions, BKR_HOT_LOOP loop bodies and lambdas submitted to
+// KernelExecutor::run / parallel_for, and hotness propagates to named
+// callees; BKR_COLD (on a function, class, lambda or bare block) stops it.
+// Rules: hot-path-alloc, hot-path-lock, hot-path-io, hot-path-throw,
+// hot-path-virtual — see the comment block above class Hotpath.
+//
 // The annotation vocabulary (no-op macros) lives in common/contracts.hpp;
-// DESIGN.md §7 documents the model and the normative DAG.
+// DESIGN.md §7 documents the model and the normative DAG, §11 the hot-path
+// discipline.
 //
 // Suppression (both stages):
 //   * inline:   a `// bkr-lint: allow(rule)` comment on the offending line
@@ -96,6 +106,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 namespace {
@@ -523,6 +534,224 @@ bool is_cxx_keyword(const std::string& w) {
   return kw.count(w) != 0;
 }
 
+// ---- shared scope machinery: statement-head classification at '{' ----
+//
+// Used by both the cross-TU Analyzer walker and the bkr-hotpath stage.
+
+enum class ScopeKind { Namespace, Class, Function, Lambda, Control, Block };
+
+struct OpenInfo {
+  ScopeKind kind = ScopeKind::Block;
+  std::string name;       // function or class name
+  std::string qualifier;  // Class of a `Ret Class::name(...)` definition
+  std::string head;       // normalized statement head
+  bool struct_like = false;
+  bool hot = false;       // BKR_HOT on the head
+  bool cold = false;      // BKR_COLD on the head (fn, class, block or lambda)
+  bool hot_loop = false;  // BKR_HOT_LOOP on a loop head
+  std::vector<std::string> seeds;  // BKR_REQUIRES_LOCK on the definition
+};
+
+std::string ident_before(const std::string& s, size_t pos) {
+  size_t e = pos;
+  while (e > 0 && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  size_t b = e;
+  while (b > 0 && is_ident(s[b - 1])) --b;
+  return s.substr(b, e - b);
+}
+
+std::string macro_arg(const std::string& s, size_t macro_end) {
+  const size_t open = s.find('(', macro_end);
+  if (open == std::string::npos) return {};
+  const size_t close = s.find(')', open);
+  if (close == std::string::npos) return {};
+  return normalize(s.substr(open + 1, close - open - 1));
+}
+
+// Matching '(' for the ')' at `close` (walking left).
+size_t match_open_paren(const std::string& s, size_t close) {
+  int depth = 0;
+  for (size_t i = close + 1; i-- > 0;) {
+    if (s[i] == ')') ++depth;
+    if (s[i] == '(') {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+size_t last_significant(const std::string& s) {
+  for (size_t i = s.size(); i-- > 0;)
+    if (std::isspace(static_cast<unsigned char>(s[i])) == 0) return i;
+  return std::string::npos;
+}
+
+OpenInfo classify_open(const std::string& raw_head) {
+  OpenInfo info;
+  std::string h = normalize(raw_head);
+  if (h.empty()) return info;  // bare block
+  info.hot = find_token(h, "BKR_HOT") != std::string::npos;
+  info.cold = find_token(h, "BKR_COLD") != std::string::npos;
+  info.hot_loop = find_token(h, "BKR_HOT_LOOP") != std::string::npos;
+  if (h == "BKR_COLD") {
+    // `BKR_COLD { ... }` — an annotated bare block opens a real scope.
+    info.kind = ScopeKind::Control;
+    return info;
+  }
+
+  // Strip leading `template <...>` clauses.
+  while (h.rfind("template", 0) == 0) {
+    const size_t lt = h.find('<');
+    if (lt == std::string::npos) break;
+    int depth = 0;
+    size_t gt = lt;
+    for (; gt < h.size(); ++gt) {
+      if (h[gt] == '<') ++depth;
+      if (h[gt] == '>' && --depth == 0) break;
+    }
+    if (gt >= h.size()) break;
+    h = normalize(h.substr(gt + 1));
+  }
+
+  // Leading storage-class / declaration keywords, then type-introducers.
+  std::stringstream ts(h);
+  std::string tok;
+  while (ts >> tok) {
+    if (tok == "typedef" || tok == "inline" || tok == "static" || tok == "constexpr" ||
+        tok == "friend" || tok == "mutable" || tok == "virtual" || tok == "explicit" ||
+        tok == "BKR_HOT" || tok == "BKR_COLD" || tok == "BKR_HOT_LOOP")
+      continue;
+    break;
+  }
+  if (tok == "namespace" || tok == "extern") {
+    info.kind = ScopeKind::Namespace;
+    return info;
+  }
+  if (tok == "class" || tok == "struct" || tok == "union") {
+    info.kind = ScopeKind::Class;
+    info.struct_like = tok != "class";
+    // First identifier after the keyword, skipping annotation macros
+    // (`class BKR_COLD TraceSink`).
+    while (ts >> info.name &&
+           (info.name == "BKR_COLD" || info.name == "BKR_HOT" || info.name == "final")) {
+    }
+    return info;
+  }
+  if (tok == "do" || tok == "else" || tok == "try") {
+    info.kind = ScopeKind::Control;
+    return info;
+  }
+
+  // Constructor initializer list: truncate at a top-level single ':'.
+  {
+    int depth = 0;
+    for (size_t i = 0; i < h.size(); ++i) {
+      const char c = h[i];
+      if (c == '(' || c == '[') ++depth;
+      if (c == ')' || c == ']') --depth;
+      if (c == ':' && depth == 0) {
+        const bool dbl = (i + 1 < h.size() && h[i + 1] == ':') || (i > 0 && h[i - 1] == ':');
+        if (!dbl && h.find('(') < i) {
+          h = normalize(h.substr(0, i));
+          break;
+        }
+      }
+    }
+  }
+
+  // Trailing lambda return type: `...) -> T` / `...] -> T`.
+  {
+    const size_t arrow = h.rfind("->");
+    if (arrow != std::string::npos && arrow > 0) {
+      const std::string before = normalize(h.substr(0, arrow));
+      if (!before.empty() && (before.back() == ')' || before.back() == ']'))
+        h = before;
+    }
+  }
+
+  // Trailing qualifiers: const / noexcept / override / final / mutable /
+  // ref-qualifiers / noexcept(...) / BKR_REQUIRES_LOCK(mu) / annotations.
+  for (;;) {
+    const size_t last = last_significant(h);
+    if (last == std::string::npos) break;
+    if (h[last] == '&') {
+      h = normalize(h.substr(0, last));
+      continue;
+    }
+    if (is_ident(h[last])) {
+      const std::string w = ident_before(h, last + 1);
+      if (w == "const" || w == "noexcept" || w == "override" || w == "final" ||
+          w == "mutable" || w == "BKR_COLD" || w == "BKR_HOT") {
+        h = normalize(h.substr(0, last + 1 - w.size()));
+        continue;
+      }
+      break;
+    }
+    if (h[last] == ')') {
+      const size_t open = match_open_paren(h, last);
+      if (open == std::string::npos) break;
+      const std::string w = ident_before(h, open);
+      if (w == "noexcept") {
+        h = normalize(h.substr(0, open - w.size()));
+        continue;
+      }
+      if (w == "BKR_REQUIRES_LOCK") {
+        info.seeds.push_back(normalize(h.substr(open + 1, last - open - 1)));
+        h = normalize(h.substr(0, open - w.size()));
+        continue;
+      }
+      break;
+    }
+    break;
+  }
+
+  const size_t last = last_significant(h);
+  if (last == std::string::npos) return info;
+  if (h[last] == ']') {
+    info.kind = ScopeKind::Lambda;
+    return info;
+  }
+  if (h[last] != ')') return info;  // brace-init / enum body etc.
+
+  const size_t open = match_open_paren(h, last);
+  if (open == std::string::npos) return info;
+  const std::string before = normalize(h.substr(0, open));
+  if (!before.empty() && before.back() == ']') {
+    info.kind = ScopeKind::Lambda;
+    return info;
+  }
+  std::string name = ident_before(h, open);
+  if (name.empty()) return info;
+  if (name == "if" || name == "for" || name == "while" || name == "switch" ||
+      name == "catch") {
+    info.kind = ScopeKind::Control;
+    return info;
+  }
+  info.kind = ScopeKind::Function;
+  info.name = name;
+  info.head = h;
+  // `Ret Class::name(...)` — the qualifier immediately before the name
+  // (skipping a destructor '~' and template arguments) is the class.
+  size_t b = open;
+  while (b > 0 && std::isspace(static_cast<unsigned char>(h[b - 1])) != 0) --b;
+  b -= name.size();
+  while (b > 0 && std::isspace(static_cast<unsigned char>(h[b - 1])) != 0) --b;
+  if (b > 0 && h[b - 1] == '~') --b;
+  if (b >= 2 && h[b - 1] == ':' && h[b - 2] == ':') {
+    b -= 2;
+    if (b > 0 && h[b - 1] == '>') {  // Class<T>::
+      int depth = 0;
+      while (b-- > 0) {
+        if (h[b] == '>') ++depth;
+        if (h[b] == '<' && --depth == 0) break;
+      }
+    }
+    info.qualifier = ident_before(h, b);
+  }
+  return info;
+}
+
 class Analyzer {
  public:
   Analyzer(std::vector<SourceFile> files, double coverage_floor)
@@ -541,7 +770,6 @@ class Analyzer {
 
  private:
   enum class Mode { Harvest, Check };
-  enum class ScopeKind { Namespace, Class, Function, Lambda, Control, Block };
 
   struct Guarded {
     std::string cls, member, mu;
@@ -582,15 +810,6 @@ class Analyzer {
     std::vector<std::string> acquired;                      // release at close
     std::map<std::string, std::vector<std::string>> guards;  // RAII var -> mutexes
   };
-  struct OpenInfo {
-    ScopeKind kind = ScopeKind::Block;
-    std::string name;       // function or class name
-    std::string qualifier;  // Class of a `Ret Class::name(...)` definition
-    std::string head;       // normalized statement head
-    bool struct_like = false;
-    std::vector<std::string> seeds;  // BKR_REQUIRES_LOCK on the definition
-  };
-
   void add(size_t file, const std::string& rule, long line_no) {
     const SourceFile& f = files_[file];
     const auto it = f.allows.find(line_no);
@@ -663,197 +882,6 @@ class Analyzer {
           add(i, "float-atomic-accumulation", long(li) + 1);
       }
     }
-  }
-
-  // ---- small token helpers over normalized statement text ----
-
-  static std::string ident_before(const std::string& s, size_t pos) {
-    size_t e = pos;
-    while (e > 0 && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
-    size_t b = e;
-    while (b > 0 && is_ident(s[b - 1])) --b;
-    return s.substr(b, e - b);
-  }
-
-  static std::string macro_arg(const std::string& s, size_t macro_end) {
-    const size_t open = s.find('(', macro_end);
-    if (open == std::string::npos) return {};
-    const size_t close = s.find(')', open);
-    if (close == std::string::npos) return {};
-    return normalize(s.substr(open + 1, close - open - 1));
-  }
-
-  // Matching '(' for the ')' at `close` (walking left).
-  static size_t match_open_paren(const std::string& s, size_t close) {
-    int depth = 0;
-    for (size_t i = close + 1; i-- > 0;) {
-      if (s[i] == ')') ++depth;
-      if (s[i] == '(') {
-        --depth;
-        if (depth == 0) return i;
-      }
-    }
-    return std::string::npos;
-  }
-
-  static size_t last_significant(const std::string& s) {
-    for (size_t i = s.size(); i-- > 0;)
-      if (std::isspace(static_cast<unsigned char>(s[i])) == 0) return i;
-    return std::string::npos;
-  }
-
-  // ---- statement-head classification at '{' ----
-
-  OpenInfo classify_open(const std::string& raw_head) {
-    OpenInfo info;
-    std::string h = normalize(raw_head);
-    if (h.empty()) return info;  // bare block
-
-    // Strip leading `template <...>` clauses.
-    while (h.rfind("template", 0) == 0) {
-      const size_t lt = h.find('<');
-      if (lt == std::string::npos) break;
-      int depth = 0;
-      size_t gt = lt;
-      for (; gt < h.size(); ++gt) {
-        if (h[gt] == '<') ++depth;
-        if (h[gt] == '>' && --depth == 0) break;
-      }
-      if (gt >= h.size()) break;
-      h = normalize(h.substr(gt + 1));
-    }
-
-    // Leading storage-class / declaration keywords, then type-introducers.
-    std::stringstream ts(h);
-    std::string tok;
-    while (ts >> tok) {
-      if (tok == "typedef" || tok == "inline" || tok == "static" || tok == "constexpr" ||
-          tok == "friend" || tok == "mutable" || tok == "virtual" || tok == "explicit")
-        continue;
-      break;
-    }
-    if (tok == "namespace" || tok == "extern") {
-      info.kind = ScopeKind::Namespace;
-      return info;
-    }
-    if (tok == "class" || tok == "struct" || tok == "union") {
-      info.kind = ScopeKind::Class;
-      info.struct_like = tok != "class";
-      ts >> info.name;  // first identifier after the keyword
-      return info;
-    }
-    if (tok == "do" || tok == "else" || tok == "try") {
-      info.kind = ScopeKind::Control;
-      return info;
-    }
-
-    // Constructor initializer list: truncate at a top-level single ':'.
-    {
-      int depth = 0;
-      for (size_t i = 0; i < h.size(); ++i) {
-        const char c = h[i];
-        if (c == '(' || c == '[') ++depth;
-        if (c == ')' || c == ']') --depth;
-        if (c == ':' && depth == 0) {
-          const bool dbl = (i + 1 < h.size() && h[i + 1] == ':') || (i > 0 && h[i - 1] == ':');
-          if (!dbl && h.find('(') < i) {
-            h = normalize(h.substr(0, i));
-            break;
-          }
-        }
-      }
-    }
-
-    // Trailing lambda return type: `...) -> T` / `...] -> T`.
-    {
-      const size_t arrow = h.rfind("->");
-      if (arrow != std::string::npos && arrow > 0) {
-        const std::string before = normalize(h.substr(0, arrow));
-        if (!before.empty() && (before.back() == ')' || before.back() == ']'))
-          h = before;
-      }
-    }
-
-    // Trailing qualifiers: const / noexcept / override / final / mutable /
-    // ref-qualifiers / noexcept(...) / BKR_REQUIRES_LOCK(mu).
-    for (;;) {
-      const size_t last = last_significant(h);
-      if (last == std::string::npos) break;
-      if (h[last] == '&') {
-        h = normalize(h.substr(0, last));
-        continue;
-      }
-      if (is_ident(h[last])) {
-        const std::string w = ident_before(h, last + 1);
-        if (w == "const" || w == "noexcept" || w == "override" || w == "final" ||
-            w == "mutable") {
-          h = normalize(h.substr(0, last + 1 - w.size()));
-          continue;
-        }
-        break;
-      }
-      if (h[last] == ')') {
-        const size_t open = match_open_paren(h, last);
-        if (open == std::string::npos) break;
-        const std::string w = ident_before(h, open);
-        if (w == "noexcept") {
-          h = normalize(h.substr(0, open - w.size()));
-          continue;
-        }
-        if (w == "BKR_REQUIRES_LOCK") {
-          info.seeds.push_back(normalize(h.substr(open + 1, last - open - 1)));
-          h = normalize(h.substr(0, open - w.size()));
-          continue;
-        }
-        break;
-      }
-      break;
-    }
-
-    const size_t last = last_significant(h);
-    if (last == std::string::npos) return info;
-    if (h[last] == ']') {
-      info.kind = ScopeKind::Lambda;
-      return info;
-    }
-    if (h[last] != ')') return info;  // brace-init / enum body etc.
-
-    const size_t open = match_open_paren(h, last);
-    if (open == std::string::npos) return info;
-    const std::string before = normalize(h.substr(0, open));
-    if (!before.empty() && before.back() == ']') {
-      info.kind = ScopeKind::Lambda;
-      return info;
-    }
-    std::string name = ident_before(h, open);
-    if (name.empty()) return info;
-    if (name == "if" || name == "for" || name == "while" || name == "switch" ||
-        name == "catch") {
-      info.kind = ScopeKind::Control;
-      return info;
-    }
-    info.kind = ScopeKind::Function;
-    info.name = name;
-    info.head = h;
-    // `Ret Class::name(...)` — the qualifier immediately before the name
-    // (skipping a destructor '~' and template arguments) is the class.
-    size_t b = open;
-    while (b > 0 && std::isspace(static_cast<unsigned char>(h[b - 1])) != 0) --b;
-    b -= name.size();
-    while (b > 0 && std::isspace(static_cast<unsigned char>(h[b - 1])) != 0) --b;
-    if (b > 0 && h[b - 1] == '~') --b;
-    if (b >= 2 && h[b - 1] == ':' && h[b - 2] == ':') {
-      b -= 2;
-      if (b > 0 && h[b - 1] == '>') {  // Class<T>::
-        int depth = 0;
-        while (b-- > 0) {
-          if (h[b] == '>') ++depth;
-          if (h[b] == '<' && --depth == 0) break;
-        }
-      }
-      info.qualifier = ident_before(h, b);
-    }
-    return info;
   }
 
   // ---- lock-set bookkeeping ----
@@ -1451,6 +1479,538 @@ int coverage_report_tree(const fs::path& root, double floor_value) {
 }
 
 // ---------------------------------------------------------------------------
+// bkr-hotpath: call-graph hot-path discipline analysis.
+//
+// Seeds: BKR_HOT function definitions, BKR_HOT_LOOP loop bodies, and lambdas
+// submitted to KernelExecutor::run / parallel_for. Hotness propagates over a
+// name-based intra-project call graph; BKR_COLD stops it at an annotated
+// callee and hides it inside an annotated block or lambda (no edges, no
+// findings). Rules checked over hot code:
+//
+//   hot-path-alloc    heap traffic: new / malloc-family calls anywhere hot;
+//                     container growth (push_back / emplace_back / resize /
+//                     assign / insert / emplace) whose receiver has no
+//                     visible `.reserve(` in the same function body; owning
+//                     container/matrix declarations inside a BKR_HOT_LOOP
+//                     body (hoist them into a SolverWorkspace slot).
+//   hot-path-lock     mutex acquisition (lock_guard / unique_lock /
+//                     scoped_lock / .lock()).
+//   hot-path-io       stream or stdio output, file open.
+//   hot-path-throw    `throw` other than `throw BreakdownError(...)` — the
+//                     documented breakdown escalation path.
+//   hot-path-virtual  virtual-method call inside a BKR_HOT_LOOP body.
+//                     Classes annotated `class BKR_COLD X` (null-guarded,
+//                     amortized observers) are exempt.
+
+class Hotpath {
+ public:
+  explicit Hotpath(std::vector<SourceFile> files) : files_(std::move(files)) {}
+
+  std::vector<Finding> run() {
+    newlines_.resize(files_.size());
+    for (size_t i = 0; i < files_.size(); ++i) {
+      for (size_t j = 0; j < files_[i].blanked.size(); ++j)
+        if (files_[i].blanked[j] == '\n') newlines_[i].push_back(j);
+      walk_file(i);
+    }
+    propagate();
+    for (const HpFn& fn : fns_) check_fn(fn);
+    // A dispatch lambda nested in a hot function is scanned twice (as its
+    // own seed and as enclosing-body text); collapse the duplicates.
+    std::sort(findings_.begin(), findings_.end(), [](const Finding& a, const Finding& b) {
+      return std::tie(a.rule, a.path, a.line) < std::tie(b.rule, b.path, b.line);
+    });
+    findings_.erase(std::unique(findings_.begin(), findings_.end(),
+                                [](const Finding& a, const Finding& b) {
+                                  return a.rule == b.rule && a.path == b.path && a.line == b.line;
+                                }),
+                    findings_.end());
+    return std::move(findings_);
+  }
+
+ private:
+  using Range = std::pair<size_t, size_t>;
+
+  struct HpFn {
+    std::string name;  // unqualified; "" for dispatch lambdas
+    size_t file = 0;
+    size_t body_begin = 0, body_end = 0;  // offsets into the blanked text
+    long open_line = 0;
+    bool hot = false;   // BKR_HOT seed, dispatch-lambda seed, or propagated
+    bool cold = false;  // BKR_COLD on the head: no checks, stops propagation
+    bool mined = false;             // whole body already mined for edges
+    std::vector<Range> cold_ranges;  // BKR_COLD blocks / lambdas inside
+    std::vector<Range> loop_ranges;  // BKR_HOT_LOOP bodies inside
+  };
+
+  struct WScope {
+    ScopeKind kind = ScopeKind::Block;
+    int fn = -1;            // innermost enclosing HpFn record
+    bool owns_fn = false;   // this scope created fns_[fn]
+    bool cold = false;      // the scope itself is a BKR_COLD region
+    bool cold_ctx = false;  // some enclosing scope is cold
+    bool hot_loop = false;
+    std::string cls;  // enclosing class (virtual harvest)
+    bool cls_cold = false;
+    size_t body_start = 0;
+    long open_line = 0;
+    std::string saved_buf;  // Lambda: suspended outer statement
+    int saved_paren = 0;
+  };
+
+  static bool in_ranges(const std::vector<Range>& rs, size_t off) {
+    for (const Range& r : rs)
+      if (off >= r.first && off < r.second) return true;
+    return false;
+  }
+
+  void add(size_t file, const std::string& rule, long line_no) {
+    const SourceFile& f = files_[file];
+    const auto it = f.allows.find(line_no);
+    if (it != f.allows.end() && it->second.count(rule) != 0) return;
+    const std::string raw = (line_no >= 1 && size_t(line_no) <= f.raw_lines.size())
+                                ? f.raw_lines[size_t(line_no) - 1]
+                                : std::string();
+    findings_.push_back(Finding{rule, f.path, line_no, normalize(raw)});
+  }
+
+  // Line number of an offset into the blanked text (same newlines as raw).
+  long line_of(size_t file, size_t off) const {
+    const std::vector<size_t>& nl = newlines_[file];
+    return long(std::upper_bound(nl.begin(), nl.end(), off) - nl.begin()) + 1;
+  }
+
+  // ---- scope walk: collect function records, regions, virtual methods ----
+
+  void walk_file(size_t file) {
+    const SourceFile& f = files_[file];
+    const std::string& s = f.blanked;
+    std::vector<WScope> st(1);
+    st[0].kind = ScopeKind::Namespace;
+    std::string buf;
+    int paren = 0;
+    int init_depth = 0;
+    long line = 1;
+    bool line_has_code = false;
+    for (size_t i = 0; i < s.size(); ++i) {
+      const char c = s[i];
+      if (c == '\n') {
+        ++line;
+        line_has_code = false;
+        buf.push_back(' ');
+        continue;
+      }
+      if (c == '#' && !line_has_code) {
+        while (i < s.size()) {
+          if (s[i] == '\n') {
+            bool cont = false;
+            for (size_t k = i; k-- > 0 && s[k] != '\n';) {
+              if (std::isspace(static_cast<unsigned char>(s[k])) == 0) {
+                cont = s[k] == '\\';
+                break;
+              }
+            }
+            ++line;
+            if (!cont) break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) == 0) line_has_code = true;
+      if (init_depth > 0) {
+        if (c == '{') ++init_depth;
+        if (c == '}') --init_depth;
+        buf.push_back(c);
+        continue;
+      }
+      switch (c) {
+        case '(':
+          ++paren;
+          buf.push_back(c);
+          break;
+        case ')':
+          --paren;
+          buf.push_back(c);
+          break;
+        case ';':
+          if (paren > 0) {
+            buf.push_back(c);
+          } else {
+            harvest_virtual(st.back(), buf);
+            buf.clear();
+          }
+          break;
+        case ':': {
+          const bool dbl = (i + 1 < s.size() && s[i + 1] == ':') || (i > 0 && s[i - 1] == ':');
+          if (!dbl && paren == 0) {
+            const std::string t = ident_before(buf, buf.size());
+            const std::string h = normalize(buf);
+            if (t == "public" || t == "private" || t == "protected" || t == "default" ||
+                h.rfind("case ", 0) == 0 || h == "case") {
+              buf.clear();
+              break;
+            }
+          }
+          buf.push_back(c);
+          break;
+        }
+        case '{': {
+          const OpenInfo info = classify_open(buf);
+          if (info.kind == ScopeKind::Block && !normalize(buf).empty()) {
+            init_depth = 1;  // brace initializer: stay inside the statement
+            buf.push_back(c);
+            break;
+          }
+          WScope sc;
+          sc.kind = info.kind;
+          sc.fn = st.back().fn;
+          sc.cls = st.back().cls;
+          sc.cls_cold = st.back().cls_cold;
+          sc.cold_ctx = st.back().cold_ctx || st.back().cold;
+          sc.cold = info.cold;
+          sc.body_start = i + 1;
+          sc.open_line = line;
+          switch (info.kind) {
+            case ScopeKind::Class:
+              sc.cls = info.name;
+              sc.cls_cold = info.cold;
+              sc.fn = -1;
+              sc.cold = false;
+              break;
+            case ScopeKind::Function: {
+              if (st.back().kind == ScopeKind::Class && !st.back().cls_cold &&
+                  find_token(normalize(buf), "virtual") != std::string::npos)
+                virtuals_.insert(info.name);  // inline-defined virtual
+              HpFn fn;
+              fn.name = info.name;
+              fn.file = file;
+              fn.body_begin = i + 1;
+              fn.open_line = line;
+              fn.hot = info.hot;
+              fn.cold = info.cold;
+              sc.fn = int(fns_.size());
+              sc.owns_fn = true;
+              fns_.push_back(std::move(fn));
+              break;
+            }
+            case ScopeKind::Lambda: {
+              sc.saved_buf = buf;
+              sc.saved_paren = paren;
+              paren = 0;
+              const bool dispatch = find_token(buf, "run") != std::string::npos ||
+                                    find_token(buf, "parallel_for") != std::string::npos;
+              if (dispatch && !info.cold && !sc.cold_ctx) {
+                HpFn fn;  // per-element body: an implicit hot seed
+                fn.file = file;
+                fn.body_begin = i + 1;
+                fn.open_line = line;
+                fn.hot = true;
+                sc.fn = int(fns_.size());
+                sc.owns_fn = true;
+                fns_.push_back(std::move(fn));
+              }
+              break;
+            }
+            case ScopeKind::Control:
+              sc.hot_loop = info.hot_loop;
+              break;
+            default:
+              break;
+          }
+          st.push_back(std::move(sc));
+          buf.clear();
+          break;
+        }
+        case '}': {
+          harvest_virtual(st.back(), buf);
+          buf.clear();
+          if (st.size() <= 1) break;
+          WScope sc = std::move(st.back());
+          st.pop_back();
+          if (sc.kind == ScopeKind::Lambda) {
+            buf = std::move(sc.saved_buf);
+            paren = sc.saved_paren;
+          }
+          if (sc.owns_fn) {
+            fns_[size_t(sc.fn)].body_end = i;
+          } else if (sc.fn >= 0) {
+            // Attach to every enclosing function record: a hot enclosing
+            // function scans its full body, including nested lambda text.
+            int prev = -1;
+            for (const WScope& up : st) {
+              if (up.fn < 0 || up.fn == prev) continue;
+              prev = up.fn;
+              HpFn& owner = fns_[size_t(up.fn)];
+              if (sc.cold)
+                owner.cold_ranges.push_back(Range{sc.body_start, i});
+              else if (sc.hot_loop && !sc.cold_ctx)
+                owner.loop_ranges.push_back(Range{sc.body_start, i});
+            }
+          }
+          break;
+        }
+        default:
+          buf.push_back(c);
+          break;
+      }
+    }
+  }
+
+  // `virtual Ret name(...)...;` declared in a class body. Classes whose head
+  // carries BKR_COLD are exempt from the hot-path-virtual rule.
+  void harvest_virtual(const WScope& scope, const std::string& buf) {
+    if (scope.kind != ScopeKind::Class || scope.cls_cold) return;
+    const std::string h = normalize(buf);
+    if (find_token(h, "virtual") == std::string::npos) return;
+    const size_t open = h.find('(');
+    if (open == std::string::npos) return;
+    const std::string name = ident_before(h, open);
+    if (!name.empty()) virtuals_.insert(name);
+  }
+
+  // ---- transitive hotness over the name-based call graph ----
+
+  // The receiver chain left of a '.'/'->', subscript groups stripped:
+  // `st.history[size_t(c)].push_back` and `st.history.reserve` both yield
+  // `st.history`, so a reserve on the container covers subscripted growth.
+  static std::string receiver_base(const std::string& s, size_t dot) {
+    std::string out;
+    size_t i = dot;  // exclusive end of the receiver
+    bool after_dot = false;
+    while (i > 0) {
+      const char c = s[i - 1];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        if (!after_dot) {
+          // Whitespace binds only across a pending '.'/'->' (wrapped chain)
+          // or just before one.
+          size_t j = i - 1;
+          while (j > 0 && std::isspace(static_cast<unsigned char>(s[j - 1])) != 0) --j;
+          if (j == 0 || (s[j - 1] != '.' && !(s[j - 1] == '>' && j >= 2 && s[j - 2] == '-')))
+            break;
+        }
+        --i;
+        continue;
+      }
+      after_dot = false;
+      if (c == ']') {
+        int depth = 0;
+        size_t j = i;
+        while (j-- > 0) {
+          if (s[j] == ']') ++depth;
+          if (s[j] == '[' && --depth == 0) break;
+        }
+        i = j;  // subscript stripped from the chain
+        continue;
+      }
+      if (is_ident(c)) {
+        size_t b = i;
+        while (b > 0 && is_ident(s[b - 1])) --b;
+        out.insert(0, s.substr(b, i - b));
+        i = b;
+        continue;
+      }
+      if (c == '.') {
+        out.insert(0, ".");
+        --i;
+        after_dot = true;
+        continue;
+      }
+      if (c == '>' && i >= 2 && s[i - 2] == '-') {
+        out.insert(0, "->");
+        i -= 2;
+        after_dot = true;
+        continue;
+      }
+      break;
+    }
+    return out;
+  }
+
+  // Callee names (`ident(`) in [begin,end) of a function's body, skipping
+  // BKR_COLD sub-ranges and exception construction (`throw X(...)`).
+  // Member calls (`x.name(` / `p->name(`) do NOT emit edges: without type
+  // information a name-based graph would conflate unrelated methods (every
+  // `.resize(` would heat ThreadPool::resize, every `.load(` the recycle
+  // cache). Methods on the per-iteration path carry BKR_HOT themselves.
+  void mine_segment(const HpFn& fn, size_t begin, size_t end,
+                    std::vector<std::string>& out) const {
+    const std::string& s = files_[fn.file].blanked;
+    std::string prev_word;
+    for (size_t i = begin; i < end && i < s.size();) {
+      if (!is_ident(s[i])) {
+        ++i;
+        continue;
+      }
+      const size_t b = i;
+      while (i < end && is_ident(s[i])) ++i;
+      const std::string w = s.substr(b, i - b);
+      size_t j = i;
+      while (j < end && std::isspace(static_cast<unsigned char>(s[j])) != 0) ++j;
+      const bool member =
+          b > 0 && (s[b - 1] == '.' || (s[b - 1] == '>' && b >= 2 && s[b - 2] == '-'));
+      if (j < end && s[j] == '(' && !member && !in_ranges(fn.cold_ranges, b) &&
+          prev_word != "throw")
+        out.push_back(w);
+      prev_word = w;
+    }
+  }
+
+  void propagate() {
+    std::map<std::string, std::vector<size_t>> by_name;
+    for (size_t i = 0; i < fns_.size(); ++i)
+      if (!fns_[i].name.empty()) by_name[fns_[i].name].push_back(i);
+    std::vector<size_t> work;
+    for (size_t i = 0; i < fns_.size(); ++i)
+      if (!fns_[i].cold && (fns_[i].hot || !fns_[i].loop_ranges.empty())) work.push_back(i);
+    while (!work.empty()) {
+      const size_t idx = work.back();
+      work.pop_back();
+      HpFn& fn = fns_[idx];
+      std::vector<std::string> callees;
+      if (fn.hot) {
+        if (fn.mined) continue;
+        fn.mined = true;
+        mine_segment(fn, fn.body_begin, fn.body_end, callees);
+      } else {
+        // Only the annotated loop bodies of a lukewarm function are hot.
+        for (const Range& r : fn.loop_ranges) mine_segment(fn, r.first, r.second, callees);
+      }
+      for (const std::string& name : callees) {
+        const auto it = by_name.find(name);
+        if (it == by_name.end()) continue;
+        for (const size_t t : it->second) {
+          if (fns_[t].cold || fns_[t].hot) continue;
+          fns_[t].hot = true;
+          work.push_back(t);
+        }
+      }
+    }
+  }
+
+  // ---- rule checks over hot text ----
+
+  static bool is_growth_call(const std::string& w) {
+    return w == "push_back" || w == "emplace_back" || w == "resize" || w == "assign" ||
+           w == "insert" || w == "emplace";
+  }
+
+  static bool is_io_token(const std::string& w) {
+    return w == "cout" || w == "cerr" || w == "clog" || w == "printf" || w == "fprintf" ||
+           w == "puts" || w == "fputs" || w == "fopen" || w == "fwrite" || w == "ofstream" ||
+           w == "ifstream" || w == "fstream" || w == "getline";
+  }
+
+  static bool is_owning_container(const std::string& w) {
+    return w == "vector" || w == "deque" || w == "DenseMatrix" || w == "IncrementalQR" ||
+           w == "DenseLU";
+  }
+
+  // Does the function body contain `<receiver>.reserve(` (modulo subscripts)?
+  bool has_reserve(const HpFn& fn, const std::string& receiver) const {
+    const std::string& s = files_[fn.file].blanked;
+    size_t pos = fn.body_begin;
+    while (pos < fn.body_end) {
+      const size_t hit = s.find("reserve", pos);
+      if (hit == std::string::npos || hit >= fn.body_end) return false;
+      pos = hit + 7;
+      if (hit == 0 || is_ident(s[hit - 1])) continue;  // part of a longer ident
+      size_t j = pos;
+      while (j < s.size() && std::isspace(static_cast<unsigned char>(s[j])) != 0) ++j;
+      if (j >= s.size() || s[j] != '(') continue;
+      size_t dot = hit;
+      while (dot > 0 && std::isspace(static_cast<unsigned char>(s[dot - 1])) != 0) --dot;
+      if (dot == 0 || (s[dot - 1] != '.' && s[dot - 1] != '>')) continue;
+      const size_t anchor = s[dot - 1] == '.' ? dot - 1 : dot - 2;
+      if (receiver_base(s, anchor) == receiver) return true;
+    }
+    return false;
+  }
+
+  void check_fn(const HpFn& fn) {
+    if (fn.cold) return;
+    const bool whole = fn.hot;
+    if (!whole && fn.loop_ranges.empty()) return;
+    const std::string& s = files_[fn.file].blanked;
+    std::string prev_word;
+    for (size_t i = fn.body_begin; i < fn.body_end && i < s.size();) {
+      if (!is_ident(s[i])) {
+        if (std::isspace(static_cast<unsigned char>(s[i])) == 0) prev_word.clear();
+        ++i;
+        continue;
+      }
+      const size_t b = i;
+      while (i < fn.body_end && is_ident(s[i])) ++i;
+      const std::string w = s.substr(b, i - b);
+      if (in_ranges(fn.cold_ranges, b)) {
+        prev_word = w;
+        continue;
+      }
+      const bool in_loop = in_ranges(fn.loop_ranges, b);
+      if (!whole && !in_loop) {
+        prev_word = w;
+        continue;
+      }
+      size_t j = i;
+      while (j < fn.body_end && std::isspace(static_cast<unsigned char>(s[j])) != 0) ++j;
+      const char next = j < fn.body_end ? s[j] : '\0';
+      const bool member = b > 0 && (s[b - 1] == '.' || (s[b - 1] == '>' && b >= 2 && s[b - 2] == '-'));
+      const long line_no = line_of(fn.file, b);
+
+      if (w == "new" && prev_word != "operator") {
+        add(fn.file, "hot-path-alloc", line_no);
+      } else if ((w == "malloc" || w == "calloc" || w == "realloc" || w == "aligned_alloc") &&
+                 next == '(') {
+        add(fn.file, "hot-path-alloc", line_no);
+      } else if (member && is_growth_call(w) && next == '(') {
+        const size_t anchor = s[b - 1] == '.' ? b - 1 : b - 2;
+        const std::string recv = receiver_base(s, anchor);
+        if (recv.empty() || !has_reserve(fn, recv)) add(fn.file, "hot-path-alloc", line_no);
+      } else if (in_loop && !member && is_owning_container(w) && next == '<') {
+        // An owning container declared inside a hot loop: skip references /
+        // pointers / nested-name uses of the type.
+        int depth = 0;
+        size_t k = j;
+        for (; k < fn.body_end; ++k) {
+          if (s[k] == '<') ++depth;
+          if (s[k] == '>' && --depth == 0) break;
+        }
+        ++k;
+        while (k < fn.body_end && std::isspace(static_cast<unsigned char>(s[k])) != 0) ++k;
+        const char after = k < fn.body_end ? s[k] : '\0';
+        if (after == '(' || is_ident(after)) add(fn.file, "hot-path-alloc", line_no);
+      } else if (w == "lock_guard" || w == "unique_lock" || w == "scoped_lock") {
+        add(fn.file, "hot-path-lock", line_no);
+      } else if (member && (w == "lock" || w == "try_lock") && next == '(') {
+        add(fn.file, "hot-path-lock", line_no);
+      } else if (is_io_token(w)) {
+        add(fn.file, "hot-path-io", line_no);
+      } else if (prev_word == "throw" || (w == "throw" && next == ';')) {
+        if (w != "BreakdownError") add(fn.file, "hot-path-throw", line_no);
+      } else if (in_loop && member && next == '(' && virtuals_.count(w) != 0) {
+        add(fn.file, "hot-path-virtual", line_no);
+      }
+      prev_word = w;
+    }
+  }
+
+  std::vector<SourceFile> files_;
+  std::vector<std::vector<size_t>> newlines_;  // '\n' offsets per file
+  std::vector<HpFn> fns_;
+  std::set<std::string> virtuals_;
+  std::vector<Finding> findings_;
+};
+
+std::vector<Finding> hotpath_files(std::vector<SourceFile> files) {
+  Hotpath hp(std::move(files));
+  return hp.run();
+}
+
+std::vector<Finding> hotpath_tree(const fs::path& root) {
+  return hotpath_files(load_project_files(root));
+}
+
+// ---------------------------------------------------------------------------
 // Baseline handling.
 
 std::set<std::string> load_baseline(const std::string& path) {
@@ -1579,6 +2139,7 @@ int self_test() {
     std::vector<std::pair<std::string, std::string>> files;
     const char* expect_rule;  // nullptr = expect clean
     double floor_value;
+    bool hotpath = false;  // run the bkr-hotpath stage instead of bkr-analyze
   };
   const char* kGuardedHeader =
       "#pragma once\nclass S {\n public:\n  void bump();\n private:\n  std::mutex mu_;\n"
@@ -1746,12 +2307,96 @@ int self_test() {
         {"src/core/rc.cpp",
          "#include \"core/rc.hpp\"\nbool Rc::fetch(int k) { ++hits_; return k != 0; }\n"}},
        "unguarded-member-access", 0.0},
+      // bkr-hotpath fixtures: hot-region seeding, propagation, and one
+      // positive plus one allowed-negative per rule.
+      {"hotpath-new",
+       {{"src/la/h.cpp", "BKR_HOT void f(double* p) { auto* q = new double[8]; use(p, q); }\n"}},
+       "hot-path-alloc", 0.0, true},
+      {"hotpath-transitive-alloc",
+       {{"src/la/h.cpp",
+         "void helper(std::vector<double>& v) { v.push_back(1.0); }\n"
+         "BKR_HOT void f(std::vector<double>& v) { helper(v); }\n"}},
+       "hot-path-alloc", 0.0, true},
+      {"hotpath-reserve-clean",
+       {{"src/la/h.cpp",
+         "BKR_HOT void f(std::vector<double>& v, int n) {\n  v.reserve(size_t(n));\n"
+         "  for (int i = 0; i < n; ++i) v.push_back(double(i));\n}\n"}},
+       nullptr, 0.0, true},
+      {"hotpath-subscript-reserve-clean",
+       {{"src/la/h.cpp",
+         "BKR_HOT void f(State& st, int c, int n) {\n  st.history[size_t(c)].reserve(size_t(n));\n"
+         "  for (int i = 0; i < n; ++i) st.history[size_t(c)].push_back(double(i));\n}\n"}},
+       nullptr, 0.0, true},
+      {"hotpath-cold-callee-stops",
+       {{"src/la/h.cpp",
+         "BKR_COLD void setup(std::vector<double>& v) { v.push_back(0.0); }\n"
+         "BKR_HOT void f(std::vector<double>& v) { setup(v); }\n"}},
+       nullptr, 0.0, true},
+      {"hotpath-lock-in-loop",
+       {{"src/core/h.cpp",
+         "void f(std::mutex& m, int n) {\n  BKR_HOT_LOOP while (n-- > 0) {\n"
+         "    std::lock_guard<std::mutex> lk(m);\n  }\n}\n"}},
+       "hot-path-lock", 0.0, true},
+      {"hotpath-cold-block-clean",
+       {{"src/core/h.cpp",
+         "BKR_HOT void f(std::mutex& m) {\n  BKR_COLD {\n"
+         "    std::lock_guard<std::mutex> lk(m);\n  }\n}\n"}},
+       nullptr, 0.0, true},
+      {"hotpath-dispatch-lambda-io",
+       {{"src/parallel/h.cpp",
+         "void f(KernelExecutor* ex) {\n  ex->run(Kernel::Spmv, 8, [&](index_t t) {\n"
+         "    std::printf(\"%ld\", long(t));\n  });\n}\n"}},
+       "hot-path-io", 0.0, true},
+      {"hotpath-cold-lambda-clean",
+       {{"src/parallel/h.cpp",
+         "void f(ThreadPool& pool) {\n  pool.parallel_for(8, [&](index_t t) BKR_COLD {\n"
+         "    std::printf(\"%ld\", long(t));\n  });\n}\n"}},
+       nullptr, 0.0, true},
+      {"hotpath-throw",
+       {{"src/core/h.cpp",
+         "BKR_HOT void f(int n) { if (n < 0) throw std::runtime_error(\"n\"); use(n); }\n"}},
+       "hot-path-throw", 0.0, true},
+      {"hotpath-breakdown-throw-clean",
+       {{"src/core/h.cpp",
+         "BKR_HOT void f(int n) { if (n < 0) throw BreakdownError(\"gamma\"); use(n); }\n"}},
+       nullptr, 0.0, true},
+      {"hotpath-virtual-in-loop",
+       {{"src/obs/h.hpp",
+         "#pragma once\nclass Sink {\n public:\n  virtual void emit(int i) = 0;\n};\n"},
+        {"src/obs/h.cpp",
+         "#include \"obs/h.hpp\"\nvoid f(Sink* s, int n) {\n"
+         "  BKR_HOT_LOOP for (int i = 0; i < n; ++i) {\n    s->emit(i);\n  }\n}\n"}},
+       "hot-path-virtual", 0.0, true},
+      {"hotpath-virtual-cold-class-clean",
+       {{"src/obs/h.hpp",
+         "#pragma once\nclass BKR_COLD Sink {\n public:\n  virtual void emit(int i) = 0;\n};\n"},
+        {"src/obs/h.cpp",
+         "#include \"obs/h.hpp\"\nvoid f(Sink* s, int n) {\n"
+         "  BKR_HOT_LOOP for (int i = 0; i < n; ++i) {\n    s->emit(i);\n  }\n}\n"}},
+       nullptr, 0.0, true},
+      {"hotpath-loop-decl",
+       {{"src/core/h.cpp",
+         "void f(int n) {\n  BKR_HOT_LOOP for (int i = 0; i < n; ++i) {\n"
+         "    std::vector<double> tmp(size_t(n));\n    use(tmp, i);\n  }\n}\n"}},
+       "hot-path-alloc", 0.0, true},
+      {"hotpath-workspace-ref-clean",
+       {{"src/core/h.cpp",
+         "void f(SolverWorkspace<double>& ws, int n) {\n"
+         "  BKR_HOT_LOOP for (int i = 0; i < n; ++i) {\n"
+         "    std::vector<double>& t = ws.vec(0, size_t(n));\n    use(t, i);\n  }\n}\n"}},
+       nullptr, 0.0, true},
+      {"hotpath-inline-allow-clean",
+       {{"src/la/h.cpp",
+         "BKR_HOT void f(double* p) {\n"
+         "  auto* q = new double[8];  // bkr-lint: allow(hot-path-alloc)\n  use(p, q);\n}\n"}},
+       nullptr, 0.0, true},
   };
   for (const AnalyzeCase& c : pcases) {
     std::vector<SourceFile> fv;
     fv.reserve(c.files.size());
     for (const auto& [p, content] : c.files) fv.push_back(make_source(p, content));
-    const std::vector<Finding> fnd = analyze_files(std::move(fv), c.floor_value);
+    const std::vector<Finding> fnd = c.hotpath ? hotpath_files(std::move(fv))
+                                               : analyze_files(std::move(fv), c.floor_value);
     if (c.expect_rule == nullptr) {
       if (!fnd.empty()) {
         std::printf("SELF-TEST FAIL %s: expected clean, got %s at %s:%ld\n", c.name,
@@ -1811,6 +2456,7 @@ int main(int argc, char** argv) {
   bool run_self_test = false;
   bool update_baseline = false;
   bool analyze_only = false;
+  bool hotpath_only = false;
   bool coverage_report = false;
   bool json = false;
   double coverage_floor = kDefaultCoverageFloor;
@@ -1820,6 +2466,8 @@ int main(int argc, char** argv) {
       run_self_test = true;
     } else if (arg == "--analyze") {
       analyze_only = true;
+    } else if (arg == "--hotpath") {
+      hotpath_only = true;
     } else if (arg == "--coverage-report") {
       coverage_report = true;
     } else if (arg == "--json") {
@@ -1832,10 +2480,12 @@ int main(int argc, char** argv) {
       baseline_path = argv[++i];
       update_baseline = true;
     } else if (arg == "--help") {
-      std::printf("usage: bkr_lint [--self-test] [--analyze] [--coverage-report] [--json] "
-                  "[--coverage-floor F] [--baseline FILE | --update-baseline FILE] [ROOT]\n"
+      std::printf("usage: bkr_lint [--self-test] [--analyze] [--hotpath] [--coverage-report] "
+                  "[--json] [--coverage-floor F] [--baseline FILE | --update-baseline FILE] "
+                  "[ROOT]\n"
                   "  default: per-file rules over src/ bench/ tests/ plus the cross-TU\n"
-                  "  project model over src/; --analyze restricts to the project model.\n");
+                  "  project model and hot-path call-graph analysis over src/;\n"
+                  "  --analyze / --hotpath restrict to those stages (combinable).\n");
       return 0;
     } else {
       root = arg;
@@ -1845,15 +2495,20 @@ int main(int argc, char** argv) {
   if (coverage_report) return coverage_report_tree(root, coverage_floor);
 
   std::vector<Finding> findings;
-  if (!analyze_only) {
+  const bool all_stages = !analyze_only && !hotpath_only;
+  if (all_stages) {
     const std::vector<std::string> subdirs = {"src", "bench", "tests"};
     findings = scan_tree(root, subdirs);
   }
-  {
+  if (all_stages || analyze_only) {
     const std::vector<Finding> project = analyze_tree(root, coverage_floor);
     findings.insert(findings.end(), project.begin(), project.end());
   }
-  const char* stage = analyze_only ? "bkr-analyze" : "bkr-lint";
+  if (all_stages || hotpath_only) {
+    const std::vector<Finding> hot = hotpath_tree(root);
+    findings.insert(findings.end(), hot.begin(), hot.end());
+  }
+  const char* stage = all_stages ? "bkr-lint" : (analyze_only ? "bkr-analyze" : "bkr-hotpath");
 
   if (update_baseline) {
     std::ofstream out(baseline_path);
