@@ -55,6 +55,15 @@ cmake --build build -j --target bench_kernels bench_check
 ./build/tools/bench_check build/BENCH_kernels_smoke.json \
   --baseline BENCH_kernels.json --max-regression 0.25
 
+echo "==> sharded smoke: shard-invariance + deflation gates"
+# The sharded SPMD sweep (DESIGN.md §13) at reduced size; bench_check
+# enforces that iteration counts are identical across shard counts and
+# that the subdomain-deflation coarse space strictly beats one-level
+# Schwarz on every case.
+cmake --build build -j --target bench_fig_sharded
+./build/bench/bench_fig_sharded --smoke --out build/BENCH_sharded_smoke.json
+./build/tools/bench_check build/BENCH_sharded_smoke.json
+
 echo "==> static analysis (bkr-lint + bkr-analyze + bkr-hotpath) + TSan concurrency stress"
 scripts/analyze.sh --lint --tsan
 

@@ -9,6 +9,7 @@
 #include "core/recycle_cache.hpp"
 #include "core/session.hpp"
 #include "obs/trace.hpp"
+#include "precond/coarse_space.hpp"
 #include "sparse/csr.hpp"
 
 /* Defined before the helpers so to_cpp can reach through it. */
@@ -47,6 +48,7 @@ SolverOptions to_cpp(const bkr_options* opts) {
   o.strategy =
       (opts->strategy == BKR_STRATEGY_A) ? bkr::RecycleStrategy::A : bkr::RecycleStrategy::B;
   o.same_system = opts->same_system != 0;
+  if (opts->shards > 0) o.shards = opts->shards;
   o.record_history = false;
   if (opts->trace != nullptr) o.trace = &opts->trace->t;
   if (opts->no_recovery != 0) {
@@ -146,10 +148,13 @@ struct bkr_cache {
 struct bkr_session {
   SolverSession<double>* s;
   RecycleCache* cache;
+  /* Owned subdomain-deflation preconditioner (bkr_options.coarse > 0). */
+  bkr::TwoLevelPreconditioner<double>* coarse = nullptr;
 };
 struct bkr_zsession {
   SolverSession<cd>* s;
   RecycleCache* cache;
+  bkr::TwoLevelPreconditioner<cd>* coarse = nullptr;
 };
 
 extern "C" {
@@ -166,6 +171,8 @@ void bkr_options_default(bkr_options* opts) {
   opts->trace = nullptr;
   opts->no_recovery = 0;
   opts->method = BKR_METHOD_GMRES;
+  opts->shards = 0;
+  opts->coarse = 0;
 }
 
 /* --- recycle-space cache ---------------------------------------------- */
@@ -306,14 +313,22 @@ bkr_session* bkr_session_create(const bkr_matrix* a, const bkr_options* opts, bk
   cfg.options = to_cpp(opts);
   if (bkr::session_method_recycles(method) && cfg.options.recycle <= 0) cfg.options.recycle = 10;
   cfg.cache = cache == nullptr ? nullptr : &cache->c;
-  auto* s = new SolverSession<double>(*a->m, nullptr, cfg);  // bkr-lint: allow(raw-new-delete)
-  return new bkr_session{s, cfg.cache};  // bkr-lint: allow(raw-new-delete)
+  bkr::TwoLevelPreconditioner<double>* coarse = nullptr;
+  if (opts != nullptr && opts->coarse > 0) {
+    bkr::CoarseSpaceOptions copts;
+    copts.subdomains = index_t(opts->coarse);
+    if (opts->trace != nullptr) copts.trace = &opts->trace->t;
+    coarse = new bkr::TwoLevelPreconditioner<double>(*a->m, nullptr, copts);  // bkr-lint: allow(raw-new-delete)
+  }
+  auto* s = new SolverSession<double>(*a->m, coarse, cfg);  // bkr-lint: allow(raw-new-delete)
+  return new bkr_session{s, cfg.cache, coarse};  // bkr-lint: allow(raw-new-delete)
 }
 
 void bkr_session_destroy(bkr_session* session) {
   if (session == nullptr) return;
-  delete session->s;  // bkr-lint: allow(raw-new-delete)
-  delete session;     // bkr-lint: allow(raw-new-delete)
+  delete session->s;       // bkr-lint: allow(raw-new-delete)
+  delete session->coarse;  // bkr-lint: allow(raw-new-delete)
+  delete session;          // bkr-lint: allow(raw-new-delete)
 }
 
 int bkr_session_solve(bkr_session* session, const double* b, double* x, int64_t nrhs,
@@ -413,14 +428,22 @@ bkr_zsession* bkr_zsession_create(const bkr_zmatrix* a, const bkr_options* opts,
   cfg.options = to_cpp(opts);
   if (bkr::session_method_recycles(method) && cfg.options.recycle <= 0) cfg.options.recycle = 10;
   cfg.cache = cache == nullptr ? nullptr : &cache->c;
-  auto* s = new SolverSession<cd>(*a->m, nullptr, cfg);  // bkr-lint: allow(raw-new-delete)
-  return new bkr_zsession{s, cfg.cache};  // bkr-lint: allow(raw-new-delete)
+  bkr::TwoLevelPreconditioner<cd>* coarse = nullptr;
+  if (opts != nullptr && opts->coarse > 0) {
+    bkr::CoarseSpaceOptions copts;
+    copts.subdomains = index_t(opts->coarse);
+    if (opts->trace != nullptr) copts.trace = &opts->trace->t;
+    coarse = new bkr::TwoLevelPreconditioner<cd>(*a->m, nullptr, copts);  // bkr-lint: allow(raw-new-delete)
+  }
+  auto* s = new SolverSession<cd>(*a->m, coarse, cfg);  // bkr-lint: allow(raw-new-delete)
+  return new bkr_zsession{s, cfg.cache, coarse};  // bkr-lint: allow(raw-new-delete)
 }
 
 void bkr_zsession_destroy(bkr_zsession* session) {
   if (session == nullptr) return;
-  delete session->s;  // bkr-lint: allow(raw-new-delete)
-  delete session;     // bkr-lint: allow(raw-new-delete)
+  delete session->s;       // bkr-lint: allow(raw-new-delete)
+  delete session->coarse;  // bkr-lint: allow(raw-new-delete)
+  delete session;          // bkr-lint: allow(raw-new-delete)
 }
 
 int bkr_zsession_solve(bkr_zsession* session, const double* b_interleaved,

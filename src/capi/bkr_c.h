@@ -88,6 +88,17 @@ typedef struct bkr_options {
   bkr_method method;      /* Krylov method used by the session API
                            * (default BKR_METHOD_GMRES; ignored by the
                            * method-specific entry points) */
+  int64_t shards;         /* > 0: session operator applies run through the
+                           * sharded SPMD layer with this many row-disjoint
+                           * shards, and every dot/norm uses the explicit
+                           * binary-tree reduction. Solves are bitwise
+                           * identical at every shard count (default 0:
+                           * monolithic operator) */
+  int64_t coarse;         /* > 0: the session owns a subdomain-deflation
+                           * coarse correction (identity inner level,
+                           * additive: z = r + Z E^-1 Z^T r) with this many
+                           * subdomains as its preconditioner (default 0:
+                           * unpreconditioned) */
 } bkr_options;
 
 typedef struct bkr_result {

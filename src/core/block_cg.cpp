@@ -23,7 +23,7 @@ void block_cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<
   detail::Resilience<T> rz{opts.recovery, opts.fault};
 
   std::vector<Real> bnorm(static_cast<size_t>(p)), rnorm(static_cast<size_t>(p));
-  detail::norms<T>(b, bnorm.data(), st, comm, trace, ex);
+  detail::norms<T>(b, bnorm.data(), st, comm, trace, ex, opts.shards);
   for (auto& v : bnorm)
     if (v == Real(0)) v = Real(1);
   st.history.resize(size_t(p));
@@ -38,7 +38,7 @@ void block_cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<
   }
   for (index_t c = 0; c < p; ++c)
     for (index_t i = 0; i < n; ++i) r(i, c) = b(i, c) - r(i, c);
-  detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
+  detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex, opts.shards);
   if (opts.record_history)
     for (index_t c = 0; c < p; ++c)
       st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
@@ -120,7 +120,13 @@ void block_cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<
               MatrixView<T>(x.data(), n, p, x.ld()), ex);
       gemm<T>(Trans::N, Trans::N, T(-1), q.view(), alpha.view(), T(1), r.view(), ex);
     }
-    column_norms<T>(r.view(), rnorm.data(), ex);
+    // Sharded solves take the explicit tree combine; the block inner
+    // products above stay gemm-panelled either way (shard-independent).
+    if (opts.shards > 0) {
+      tree_column_norms<T>(r.view(), rnorm.data(), ex);
+    } else {
+      column_norms<T>(r.view(), rnorm.data(), ex);
+    }
     ++st.iterations;
     for (index_t c = 0; c < p; ++c) {
       if (opts.record_history)
@@ -179,7 +185,7 @@ void block_cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<
     for (index_t c = 0; c < p; ++c)
       for (index_t i = 0; i < n; ++i) q(i, c) = b(i, c) - q(i, c);
     detail::norms<T>(MatrixView<const T>(q.data(), n, p, q.ld()), rnorm.data(), st, comm, trace,
-                     ex);
+                     ex, opts.shards);
     for (index_t c = 0; c < p; ++c) {
       if (rnorm[size_t(c)] <= Real(10) * opts.tol * bnorm[size_t(c)]) continue;
       st.converged = false;

@@ -17,9 +17,15 @@ void cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const 
   obs::TraceSink* const trace = opts.trace;
   const KernelExecutor* const ex = opts.exec;
   detail::Resilience<T> rz{opts.recovery, opts.fault};
+  // Sharded solves route every synchronization through the explicit tree
+  // combine; the fold shape is shard-count independent (DESIGN.md §13).
+  const bool tree = opts.shards > 0;
+  auto cdot = [&](const T* u, const T* v) {
+    return tree ? tree_dot<T>(n, u, v, ex) : dot<T>(n, u, v, ex);
+  };
 
   std::vector<Real> bnorm(static_cast<size_t>(p)), rnorm(static_cast<size_t>(p));
-  detail::norms<T>(b, bnorm.data(), st, comm, trace, ex);
+  detail::norms<T>(b, bnorm.data(), st, comm, trace, ex, opts.shards);
   for (auto& v : bnorm)
     if (v == Real(0)) v = Real(1);
   st.history.resize(size_t(p));
@@ -35,7 +41,7 @@ void cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const 
   }
   for (index_t c = 0; c < p; ++c)
     for (index_t i = 0; i < n; ++i) r(i, c) = b(i, c) - r(i, c);
-  detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
+  detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex, opts.shards);
   if (opts.record_history)
     for (index_t c = 0; c < p; ++c)
       st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
@@ -59,7 +65,7 @@ void cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const 
   std::vector<T> rho(static_cast<size_t>(p)), rho_old(static_cast<size_t>(p));
   {
     obs::ScopedPhase sp(trace, obs::Phase::Reduction);
-    for (index_t c = 0; c < p; ++c) rho[size_t(c)] = dot<T>(n, r.col(c), z.col(c), ex);
+    for (index_t c = 0; c < p; ++c) rho[size_t(c)] = cdot(r.col(c), z.col(c));
     st.reductions += 1;
     if (comm != nullptr) comm->reduction(p * 8);
   }
@@ -105,7 +111,7 @@ void cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const 
       }
       for (index_t c = 0; c < p; ++c) {
         if (lane_dead[size_t(c)] != 0) continue;
-        const T dq = dot<T>(n, d.col(c), q.col(c), ex);
+        const T dq = cdot(d.col(c), q.col(c));
         const Real dqr = real_part(dq);
         if (!std::isfinite(static_cast<double>(dqr)) || dqr < Real(0)) {
           // Indefinite operator (negative curvature) or numerical poison.
@@ -119,7 +125,11 @@ void cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const 
         axpy<T>(n, alpha, d.col(c), x.col(c));
         axpy<T>(n, -alpha, q.col(c), r.col(c));
       }
-      column_norms<T>(r.view(), rnorm.data(), ex);
+      if (tree) {
+        tree_column_norms<T>(r.view(), rnorm.data(), ex);
+      } else {
+        column_norms<T>(r.view(), rnorm.data(), ex);
+      }
     }
     ++st.iterations;
     for (index_t c = 0; c < p; ++c) {
@@ -145,7 +155,7 @@ void cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const 
     std::swap(rho, rho_old);
     {
       obs::ScopedPhase sp(trace, obs::Phase::Reduction);
-      for (index_t c = 0; c < p; ++c) rho[size_t(c)] = dot<T>(n, r.col(c), z.col(c), ex);
+      for (index_t c = 0; c < p; ++c) rho[size_t(c)] = cdot(r.col(c), z.col(c));
       st.reductions += 1;
       if (comm != nullptr) comm->reduction(p * 8);
     }
@@ -167,7 +177,7 @@ void cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const 
     for (index_t c = 0; c < p; ++c)
       for (index_t i = 0; i < n; ++i) q(i, c) = b(i, c) - q(i, c);
     detail::norms<T>(MatrixView<const T>(q.data(), n, p, q.ld()), rnorm.data(), st, comm, trace,
-                     ex);
+                     ex, opts.shards);
     for (index_t c = 0; c < p; ++c) {
       if (rnorm[size_t(c)] <= Real(10) * opts.tol * bnorm[size_t(c)]) continue;
       st.converged = false;

@@ -232,9 +232,9 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
       m->apply(b, scratch.view());
       ++st.precond_applies;
     }
-    detail::norms<T>(scratch.view(), bnorm.data(), st, comm, trace, ex);
+    detail::norms<T>(scratch.view(), bnorm.data(), st, comm, trace, ex, opts_.shards);
   } else {
-    detail::norms<T>(b, bnorm.data(), st, comm, trace, ex);
+    detail::norms<T>(b, bnorm.data(), st, comm, trace, ex, opts_.shards);
   }
   for (auto& v : bnorm)
     if (v == Real(0)) v = Real(1);
@@ -243,7 +243,7 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
 
   DenseMatrix<T> r(n, p);
   detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace, &rz);
-  detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
+  detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex, opts_.shards);
   if (opts_.record_history)
     for (index_t c = 0; c < p; ++c)
       st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
@@ -337,7 +337,7 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
     gemm<T>(Trans::N, Trans::N, T(1), u_.view(), y0.view(), T(0), t.view(), ex);
     add_update(t.view());
     gemm<T>(Trans::N, Trans::N, T(-1), c_.view(), y0.view(), T(1), r.view(), ex);
-    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex, opts_.shards);
     if (!detail::finite_norms(rnorm.data(), p)) {
       st.status = SolveStatus::NonFiniteResidual;
       return;
@@ -406,7 +406,7 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
     }
     // Recompute the true residual for the EPS test (line 15).
     detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace, &rz);
-    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex, opts_.shards);
     if (!detail::finite_norms(rnorm.data(), p)) {
       st.status = SolveStatus::NonFiniteResidual;
       return;
@@ -462,7 +462,7 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
       }
     }
     detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace, &rz);
-    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex, opts_.shards);
     if (!detail::finite_norms(rnorm.data(), p)) {
       st.status = SolveStatus::NonFiniteResidual;
       break;
@@ -487,7 +487,7 @@ SolveStats GcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>* m,
       // The norms run before the RestartEig scope opens so phase scopes
       // stay non-nested.
       std::vector<Real> unorm(static_cast<size_t>(kcur));
-      detail::norms<T>(u_.view(), unorm.data(), st, comm, trace, ex);
+      detail::norms<T>(u_.view(), unorm.data(), st, comm, trace, ex, opts_.shards);
       obs::ScopedPhase sp_eig(trace, obs::Phase::RestartEig);
       for (index_t c = 0; c < kcur; ++c) {
         const T inv = scalar_traits<T>::from_real(Real(1) / std::max(unorm[size_t(c)], Real(1e-300)));

@@ -38,9 +38,9 @@ void block_gmres_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixVi
       m->apply(b, scratch.view());
       ++st.precond_applies;
     }
-    detail::norms<T>(scratch.view(), bnorm.data(), st, comm, trace, ex);
+    detail::norms<T>(scratch.view(), bnorm.data(), st, comm, trace, ex, opts.shards);
   } else {
-    detail::norms<T>(b, bnorm.data(), st, comm, trace, ex);
+    detail::norms<T>(b, bnorm.data(), st, comm, trace, ex, opts.shards);
   }
   for (auto& v : bnorm)
     if (v == Real(0)) v = Real(1);
@@ -65,7 +65,7 @@ void block_gmres_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixVi
   while (st.iterations < opts.max_iterations) {
     ++st.cycles;
     detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace, &rz);
-    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex, opts.shards);
     if (st.cycles == 1 && opts.record_history)
       for (index_t c = 0; c < p; ++c)
         st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);
@@ -253,9 +253,9 @@ void pseudo_block_gmres_body(const LinearOperator<T>& a, Preconditioner<T>* m,
       m->apply(b, scratch.view());
       ++st.precond_applies;
     }
-    detail::norms<T>(scratch.view(), bnorm.data(), st, comm, trace, ex);
+    detail::norms<T>(scratch.view(), bnorm.data(), st, comm, trace, ex, opts.shards);
   } else {
-    detail::norms<T>(b, bnorm.data(), st, comm, trace, ex);
+    detail::norms<T>(b, bnorm.data(), st, comm, trace, ex, opts.shards);
   }
   for (auto& v : bnorm)
     if (v == Real(0)) v = Real(1);
@@ -287,7 +287,7 @@ void pseudo_block_gmres_body(const LinearOperator<T>& a, Preconditioner<T>* m,
   while (!done && !fatal && st.iterations < opts.max_iterations) {
     ++st.cycles;
     detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace, &rz);
-    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex, opts.shards);
     if (st.cycles == 1 && opts.record_history)
       for (index_t c = 0; c < p; ++c)
         st.history[size_t(c)].push_back(rnorm[size_t(c)] / bnorm[size_t(c)]);

@@ -161,7 +161,8 @@ inline void count_reductions(SolveStats& stats, CommModel* comm, obs::TraceSink*
 
 template <class T>
 void norms(MatrixView<const T> x, real_t<T>* out, SolveStats& stats, CommModel* comm,
-           obs::TraceSink* trace = nullptr, const KernelExecutor* ex = nullptr);
+           obs::TraceSink* trace = nullptr, const KernelExecutor* ex = nullptr,
+           index_t shards = 0);
 
 // Fault-gated epilogue: a corrupted recurrence can drive the *estimated*
 // residual below tolerance while the true residual is arbitrary (the
@@ -189,8 +190,9 @@ BKR_COLD void final_residual_check(const LinearOperator<T>& a, MatrixView<const 
   for (index_t c = 0; c < p; ++c)
     for (index_t i = 0; i < n; ++i) q(i, c) = b(i, c) - q(i, c);
   std::vector<Real> rn(static_cast<size_t>(p)), bn(static_cast<size_t>(p));
-  norms<T>(MatrixView<const T>(q.data(), n, p, q.ld()), rn.data(), st, comm, trace, ex);
-  norms<T>(b, bn.data(), st, comm, trace, ex);
+  norms<T>(MatrixView<const T>(q.data(), n, p, q.ld()), rn.data(), st, comm, trace, ex,
+           opts.shards);
+  norms<T>(b, bn.data(), st, comm, trace, ex, opts.shards);
   for (index_t c = 0; c < p; ++c) {
     const Real scale = bn[size_t(c)] > Real(0) ? bn[size_t(c)] : Real(1);
     if (rn[size_t(c)] <= Real(100) * opts.tol * scale) continue;
@@ -429,12 +431,19 @@ BKR_HOT bool qr_block(MatrixView<T> w, MatrixView<T> r, SolveStats& stats, CommM
 
 // Per-column norms with reduction accounting (one fused reduction). The
 // compute *is* the global reduction, so its time lands in that phase.
+// `shards > 0` selects the explicit binary-tree combine (DESIGN.md §13);
+// the tree's shape is a function of the problem size only — never of the
+// shard count — so sharded solves are bitwise identical at every S >= 1.
 template <class T>
 BKR_HOT void norms(MatrixView<const T> x, real_t<T>* out, SolveStats& stats, CommModel* comm,
-                   obs::TraceSink* trace, const KernelExecutor* ex) {
+                   obs::TraceSink* trace, const KernelExecutor* ex, index_t shards) {
   // The ScopedPhase itself contributes the single reduction count.
   obs::ScopedPhase sp(trace, obs::Phase::Reduction);
-  column_norms<T>(x, out, ex);
+  if (shards > 0) {
+    tree_column_norms<T>(x, out, ex);
+  } else {
+    column_norms<T>(x, out, ex);
+  }
   stats.reductions += 1;
   if (comm != nullptr) comm->reduction(x.cols() * 8);
 }

@@ -39,9 +39,9 @@ void lgmres_body(const LinearOperator<T>& a, Preconditioner<T>* m, const std::ve
       m->apply(bview, scratch.view());
       ++st.precond_applies;
     }
-    detail::norms<T>(scratch.view(), &bnorm, st, comm, trace, ex);
+    detail::norms<T>(scratch.view(), &bnorm, st, comm, trace, ex, opts.shards);
   } else {
-    detail::norms<T>(bview, &bnorm, st, comm, trace, ex);
+    detail::norms<T>(bview, &bnorm, st, comm, trace, ex, opts.shards);
   }
   if (bnorm == Real(0)) bnorm = Real(1);
   if (!detail::finite_norms(&bnorm, 1)) {
@@ -71,7 +71,7 @@ void lgmres_body(const LinearOperator<T>& a, Preconditioner<T>* m, const std::ve
     ++st.cycles;
     detail::residual<T>(a, m, side, bview, xview, r.view(), scratch, st, trace, &rz);
     Real rnorm;
-    detail::norms<T>(r.view(), &rnorm, st, comm, trace, ex);
+    detail::norms<T>(r.view(), &rnorm, st, comm, trace, ex, opts.shards);
     if (st.cycles == 1 && opts.record_history) st.history[0].push_back(rnorm / bnorm);
     if (!detail::finite_norms(&rnorm, 1)) {
       st.status = SolveStatus::NonFiniteResidual;

@@ -9,7 +9,9 @@
 
 #include "la/dense.hpp"
 #include "parallel/comm_model.hpp"
+#include "resilience/fault_injector.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/sharded.hpp"
 
 namespace bkr {
 
@@ -42,6 +44,45 @@ class CsrOperator final : public LinearOperator<T> {
 
  private:
   const CsrMatrix<T>* a_;
+  CommModel* comm_;
+  const KernelExecutor* exec_;
+};
+
+// Sharded SPMD operator (DESIGN.md §13): wraps a ShardedCsrOperator and
+// records the *executed* communication of every apply — the real gathered
+// halo bytes and the real shard-neighbour message count — instead of the
+// modeled single-round figure of CsrOperator. An attached FaultInjector is
+// wired to the halo hook, so the chaos suite can corrupt halo payloads in
+// flight (FaultSite::ShardHalo).
+template <class T>
+class ShardedOperator final : public LinearOperator<T> {
+ public:
+  explicit ShardedOperator(const CsrMatrix<T>& a, index_t shards, CommModel* comm = nullptr,
+                           const KernelExecutor* exec = nullptr,
+                           resilience::FaultInjector* fault = nullptr)
+      : shop_(a, shards), comm_(comm), exec_(exec) {
+    if (comm_ != nullptr) comm_->set_shards(shop_.shard_count());
+    if (fault != nullptr) {
+      shop_.set_halo_hook([fault](index_t /*shard*/, MatrixView<T> halo) {
+        fault->at(resilience::FaultSite::ShardHalo, halo);
+      });
+    }
+  }
+
+  [[nodiscard]] index_t n() const override { return shop_.n(); }
+  void apply(MatrixView<const T> x, MatrixView<T> y) const override {
+    shop_.spmm(x, y, exec_);
+    if (comm_ != nullptr)
+      comm_->halo_exchange(std::int64_t(shop_.halo_entries()) * x.cols() * 8,
+                           shop_.halo_messages());
+  }
+  // The monolithic source matrix: fingerprints (and therefore recycle
+  // cache keys) are shard-count invariant.
+  [[nodiscard]] const CsrMatrix<T>& matrix() const { return shop_.source(); }
+  [[nodiscard]] const ShardedCsrOperator<T>& sharded() const { return shop_; }
+
+ private:
+  ShardedCsrOperator<T> shop_;
   CommModel* comm_;
   const KernelExecutor* exec_;
 };

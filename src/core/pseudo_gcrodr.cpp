@@ -227,16 +227,16 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
       m->apply(b, scratch.view());
       ++st.precond_applies;
     }
-    detail::norms<T>(scratch.view(), bnorm.data(), st, comm, trace, ex);
+    detail::norms<T>(scratch.view(), bnorm.data(), st, comm, trace, ex, opts_.shards);
   } else {
-    detail::norms<T>(b, bnorm.data(), st, comm, trace, ex);
+    detail::norms<T>(b, bnorm.data(), st, comm, trace, ex, opts_.shards);
   }
   for (auto& v : bnorm)
     if (v == Real(0)) v = Real(1);
 
   DenseMatrix<T> r(n, p), w(n, p), ztmp(n, p);
   detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace, &rz);
-  detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
+  detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex, opts_.shards);
   for (index_t l = 0; l < p; ++l) {
     lanes[size_t(l)].bnorm = bnorm[size_t(l)];
     lanes[size_t(l)].rnorm = rnorm[size_t(l)];
@@ -334,7 +334,7 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
       for (index_t l = 0; l < p; ++l) axpy<T>(n, T(1), t.col(l), x.col(l));
     }
     // The projection changed the residual: refresh norms and flags.
-    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex, opts_.shards);
     if (!detail::finite_norms(rnorm.data(), p)) {
       st.status = SolveStatus::NonFiniteResidual;
       return;
@@ -534,7 +534,7 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
       for (index_t l = 0; l < p; ++l) axpy<T>(n, T(1), t.col(l), x.col(l));
     }
     detail::residual<T>(a, m, side, b, x, r.view(), scratch, st, trace, &rz);
-    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex, opts_.shards);
     if (!detail::finite_norms(rnorm.data(), p)) {
       // Break before refreshing the recycled spaces so they keep the last
       // consistent state.

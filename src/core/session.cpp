@@ -60,6 +60,14 @@ SolverSession<T>::SolverSession(const CsrMatrix<T>& a, Preconditioner<T>* m, Ses
               "rows", a.rows());
   BKR_REQUIRE(!session_method_recycles(cfg_.method) || cfg_.options.recycle > 0, "recycle",
               cfg_.options.recycle);
+  if (cfg_.options.shards > 0) {
+    // The sharded operator attaches its shard count to the comm model; a
+    // monolithic session clears any count a previous binding left behind.
+    sharded_ = std::make_unique<ShardedOperator<T>>(a, cfg_.options.shards, comm,
+                                                    cfg_.options.exec, cfg_.options.fault);
+  } else if (comm != nullptr) {
+    comm->set_shards(0);
+  }
   key_.fingerprint = operator_fingerprint(a);
   key_.method = std::uint32_t(cfg_.method);
   key_.scalar = is_complex_v<T> ? 1 : 0;
@@ -115,25 +123,25 @@ SolveStats SolverSession<T>::solve(MatrixView<const T> b, MatrixView<T> x) {
   SolveStats st;
   switch (cfg_.method) {
     case SessionMethod::Cg:
-      st = cg<T>(op_, m_, b, x, cfg_.options, comm_);
+      st = cg<T>(oper(), m_, b, x, cfg_.options, comm_);
       break;
     case SessionMethod::BlockCg:
-      st = block_cg<T>(op_, m_, b, x, cfg_.options, comm_);
+      st = block_cg<T>(oper(), m_, b, x, cfg_.options, comm_);
       break;
     case SessionMethod::BlockGmres:
-      st = block_gmres<T>(op_, m_, b, x, cfg_.options, comm_);
+      st = block_gmres<T>(oper(), m_, b, x, cfg_.options, comm_);
       break;
     case SessionMethod::PseudoBlockGmres:
-      st = pseudo_block_gmres<T>(op_, m_, b, x, cfg_.options, comm_);
+      st = pseudo_block_gmres<T>(oper(), m_, b, x, cfg_.options, comm_);
       break;
     case SessionMethod::Lgmres:
       st = solve_lgmres(b, x);
       break;
     case SessionMethod::GcroDr:
-      st = gcro_.solve(op_, m_, b, x, comm_, first);
+      st = gcro_.solve(oper(), m_, b, x, comm_, first);
       break;
     case SessionMethod::PseudoGcroDr:
-      st = pgcro_.solve(op_, m_, b, x, comm_, first);
+      st = pgcro_.solve(oper(), m_, b, x, comm_, first);
       break;
   }
   stats_.accumulate(st);
@@ -148,7 +156,7 @@ SolveStats SolverSession<T>::solve_lgmres(MatrixView<const T> b, MatrixView<T> x
   const index_t n = a_->rows(), p = b.cols();
   if (p == 1) {
     std::vector<T> bc(b.col(0), b.col(0) + n), xc(x.col(0), x.col(0) + n);
-    const SolveStats st = lgmres<T>(op_, m_, bc, xc, cfg_.options, comm_);
+    const SolveStats st = lgmres<T>(oper(), m_, bc, xc, cfg_.options, comm_);
     std::copy(xc.begin(), xc.end(), x.col(0));
     return st;
   }
@@ -157,7 +165,7 @@ SolveStats SolverSession<T>::solve_lgmres(MatrixView<const T> b, MatrixView<T> x
   acc.status = SolveStatus::Converged;
   for (index_t c = 0; c < p; ++c) {
     std::vector<T> bc(b.col(c), b.col(c) + n), xc(x.col(c), x.col(c) + n);
-    const SolveStats st = lgmres<T>(op_, m_, bc, xc, cfg_.options, comm_);
+    const SolveStats st = lgmres<T>(oper(), m_, bc, xc, cfg_.options, comm_);
     std::copy(xc.begin(), xc.end(), x.col(c));
     merge_column(acc, st);
   }

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "core/block_cg.hpp"
 #include "core/cg.hpp"
@@ -138,8 +139,22 @@ class SolverSession {
   // True when construction installed a cached recycle space.
   [[nodiscard]] bool warm_started() const { return warm_; }
 
+  // True when the session executes applies through the sharded SPMD layer
+  // (options().shards > 0, DESIGN.md §13).
+  [[nodiscard]] bool sharded() const { return sharded_ != nullptr; }
+  // The sharded operator, for introspection. Requires sharded().
+  [[nodiscard]] const ShardedOperator<T>& sharded_operator() const { return *sharded_; }
+
  private:
   SolveStats solve_lgmres(MatrixView<const T> b, MatrixView<T> x);
+  // The operator every solve dispatches through: the sharded SPMD operator
+  // when one is configured, the monolithic CSR operator otherwise. The
+  // CacheKey is computed from the source matrix either way, so recycle
+  // spaces survive resharding.
+  [[nodiscard]] const LinearOperator<T>& oper() const {
+    return sharded_ != nullptr ? static_cast<const LinearOperator<T>&>(*sharded_)
+                               : static_cast<const LinearOperator<T>&>(op_);
+  }
 
   const CsrMatrix<T>* a_;
   Preconditioner<T>* m_;
@@ -151,6 +166,8 @@ class SolverSession {
   SessionConfig cfg_;
   CommModel* comm_;
   CsrOperator<T> op_;
+  // Sharded SPMD operator, constructed only when options().shards > 0.
+  std::unique_ptr<ShardedOperator<T>> sharded_;
   CacheKey key_;
   bool warm_ = false;
   GcroDr<T> gcro_;

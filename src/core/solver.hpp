@@ -157,6 +157,14 @@ struct SolverOptions {
   // iteration counts, residual histories and solutions are identical at
   // every thread count.
   const KernelExecutor* exec = nullptr;
+  // Shard count of the sharded SPMD layer (DESIGN.md §13). 0 — the
+  // default — keeps the monolithic operator and the executor-chunked
+  // reductions. S >= 1 makes a session execute operator applies through a
+  // ShardedCsrOperator over S row-disjoint subdomains and routes every dot
+  // and norm through the explicit binary-tree reductions of la/blas.hpp,
+  // whose fold shape depends on the problem size only — so iteration
+  // histories and solutions are bitwise identical at every shard count.
+  index_t shards = 0;
   // Recovery-escalation policy; the defaults keep fault-free solves
   // bitwise identical to the pre-resilience code paths.
   RecoveryPolicy recovery;

@@ -60,6 +60,29 @@ real_t<T> chunk_sumsq(index_t n, const T* x) {
 
 inline index_t reduce_chunks(index_t n) { return (n + kReduceChunk - 1) / kReduceChunk; }
 
+// Pairwise binary-tree fold of the chunk partials, level by level:
+// p[i] = p[2i] + p[2i+1], an odd tail carried up unchanged. The tree shape
+// depends only on the partial count — never on lanes() and never on the
+// shard count that produced the leaves — so the executed reduction tree of
+// the sharded SPMD layer returns a bitwise shard-count-invariant result:
+// every shard contributes leaf partials over the same fixed kReduceChunk
+// grid, and the merge order is a pure function of the problem size.
+template <class V>
+V tree_fold(V* p, index_t m) {
+  if (m <= 0) return V(0);
+  while (m > 1) {
+    const index_t half = m / 2;
+    for (index_t i = 0; i < half; ++i) p[i] = p[2 * i] + p[2 * i + 1];
+    if (m % 2 != 0) {
+      p[half] = p[m - 1];
+      m = half + 1;
+    } else {
+      m = half;
+    }
+  }
+  return p[0];
+}
+
 // Evenly split [0, n) into `parts` contiguous ranges; boundary i of the
 // split depends on (n, parts) only.
 inline index_t even_split(index_t n, index_t parts, index_t i) {
@@ -268,6 +291,80 @@ BKR_HOT void column_norms(MatrixView<const T> x, real_t<T>* out, const KernelExe
     for (index_t cidx = 0; cidx < nchunks; ++cidx) s += partial[size_t(j * nchunks + cidx)];
     out[j] = std::sqrt(s);
   }
+}
+
+// Executed binary-tree reductions (sharded SPMD layer, DESIGN.md §13).
+//
+// The legacy chunked reductions above combine partials linearly in chunk
+// order; these variants combine them through detail::tree_fold — the
+// merge structure a distributed binary-tree all-reduce performs. Leaves
+// live on the fixed kReduceChunk grid, so the tree shape (and therefore
+// the floating-point result) depends on the vector length only: sharded
+// solves are bitwise identical at 1 and N shards, at every thread count.
+// An executor parallelizes leaf computation; the fold itself is serial
+// (the partial count is tiny next to n).
+
+template <class T>
+BKR_HOT T tree_dot(index_t n, const T* x, const T* y, const KernelExecutor* ex = nullptr) {
+  const index_t nchunks = detail::reduce_chunks(n);
+  if (nchunks <= 1) return detail::chunk_dot(n, x, y);
+  std::vector<T> partial(static_cast<size_t>(nchunks));
+  auto leaf = [&](index_t cidx) {
+    const index_t begin = cidx * kReduceChunk;
+    partial[size_t(cidx)] =
+        detail::chunk_dot(std::min(kReduceChunk, n - begin), x + begin, y + begin);
+  };
+  if (ex != nullptr && ex->engage(Kernel::Dot, n)) {
+    ex->run(Kernel::Dot, nchunks, leaf);
+  } else {
+    for (index_t cidx = 0; cidx < nchunks; ++cidx) leaf(cidx);
+  }
+  return detail::tree_fold(partial.data(), nchunks);
+}
+
+template <class T>
+BKR_HOT real_t<T> tree_norm2(index_t n, const T* x, const KernelExecutor* ex = nullptr) {
+  const index_t nchunks = detail::reduce_chunks(n);
+  if (nchunks <= 1) return std::sqrt(detail::chunk_sumsq(n, x));
+  std::vector<real_t<T>> partial(static_cast<size_t>(nchunks));
+  auto leaf = [&](index_t cidx) {
+    const index_t begin = cidx * kReduceChunk;
+    partial[size_t(cidx)] = detail::chunk_sumsq(std::min(kReduceChunk, n - begin), x + begin);
+  };
+  if (ex != nullptr && ex->engage(Kernel::Norms, n)) {
+    ex->run(Kernel::Norms, nchunks, leaf);
+  } else {
+    for (index_t cidx = 0; cidx < nchunks; ++cidx) leaf(cidx);
+  }
+  return std::sqrt(detail::tree_fold(partial.data(), nchunks));
+}
+
+// Fused per-column tree norms: all p columns' leaves form one task grid
+// (one global synchronization, as in column_norms); each column folds its
+// own partials through the same length-determined tree.
+template <class T>
+BKR_HOT void tree_column_norms(MatrixView<const T> x, real_t<T>* out,
+                               const KernelExecutor* ex = nullptr) {
+  const index_t n = x.rows(), p = x.cols();
+  const index_t nchunks = detail::reduce_chunks(n);
+  if (p == 0) return;
+  if (nchunks <= 1) {
+    for (index_t j = 0; j < p; ++j) out[j] = std::sqrt(detail::chunk_sumsq(n, x.col(j)));
+    return;
+  }
+  std::vector<real_t<T>> partial(static_cast<size_t>(nchunks * p));
+  auto leaf = [&](index_t t) {
+    const index_t j = t / nchunks, cidx = t % nchunks;
+    const index_t begin = cidx * kReduceChunk;
+    partial[size_t(t)] = detail::chunk_sumsq(std::min(kReduceChunk, n - begin), x.col(j) + begin);
+  };
+  if (ex != nullptr && ex->engage(Kernel::Norms, n * p)) {
+    ex->run(Kernel::Norms, nchunks * p, leaf);
+  } else {
+    for (index_t t = 0; t < nchunks * p; ++t) leaf(t);
+  }
+  for (index_t j = 0; j < p; ++j)
+    out[j] = std::sqrt(detail::tree_fold(partial.data() + j * nchunks, nchunks));
 }
 
 template <class T>

@@ -98,6 +98,17 @@ std::int64_t SolverTrace::cache_event_count(const std::string& action) const {
   return n;
 }
 
+void SolverTrace::comm(const CommEvent& ev) {
+  if (comm_events_.capacity() == 0) comm_events_.reserve(64);
+  comm_events_.push_back(ev);
+}
+
+std::int64_t SolverTrace::comm_event_count(const std::string& kind) const {
+  std::int64_t n = 0;
+  for (const auto& ev : comm_events_) n += ev.kind == kind ? 1 : 0;
+  return n;
+}
+
 std::int64_t SolverTrace::recovery_count() const {
   std::int64_t n = 0;
   for (const auto& rec : solves_) n += static_cast<std::int64_t>(rec.recoveries.size());
@@ -128,6 +139,7 @@ double SolverTrace::total_solve_seconds() const {
 void SolverTrace::clear() {
   solves_.clear();
   cache_events_.clear();
+  comm_events_.clear();
   open_ = false;
 }
 

@@ -62,6 +62,19 @@ struct CacheEvent {
   std::int64_t bytes = 0;     // payload bytes moved (0 for a miss)
 };
 
+// One record per sharded communication round (SPMD layer): the CommModel
+// mirrors the *executed* message traffic of the sharded operator — halo
+// gathers per apply, point-to-point merges per tree reduction — so a
+// trace can audit the real communication structure, not just the modeled
+// log2(P) cost.
+struct CommEvent {
+  std::string kind;           // "halo" | "reduction-tree"
+  index_t shards = 0;         // shard count in effect when the event fired
+  std::int64_t messages = 0;  // point-to-point messages this round
+  std::int64_t rounds = 0;    // tree levels (ceil(log2 shards); 1 for halo)
+  std::int64_t bytes = 0;     // payload bytes moved
+};
+
 // One record per recovery-ladder engagement (resilience layer): a
 // "recovered" solve is distinguishable from a clean one in the trace, and
 // the chaos suite can assert exactly which rung fired.
@@ -97,6 +110,9 @@ class BKR_COLD TraceSink {
   // cache traffic happens outside begin/end solve pairs, so sinks that only
   // model per-solve records can ignore it.
   virtual void cache(const CacheEvent&) {}
+  // Sharded communication event (SPMD layer). Default no-op: only sinks
+  // auditing the executed message structure need to observe it.
+  virtual void comm(const CommEvent&) {}
 };
 
 // RAII phase timer: no-op (a single pointer test, no clock read) when the
@@ -153,6 +169,7 @@ class SolverTrace final : public TraceSink {
   void iteration(const IterationEvent& ev) override;
   void recovery(const RecoveryEvent& ev) override;
   void cache(const CacheEvent& ev) override;
+  void comm(const CommEvent& ev) override;
 
   [[nodiscard]] const std::vector<SolveRecord>& solves() const { return solves_; }
   // Recovery events across every recorded solve.
@@ -162,6 +179,10 @@ class SolverTrace final : public TraceSink {
   // unchanged); counters filter by action ("hit", "miss", "store", ...).
   [[nodiscard]] const std::vector<CacheEvent>& cache_events() const { return cache_events_; }
   [[nodiscard]] std::int64_t cache_event_count(const std::string& action) const;
+  // Comm events mirror cache events: accumulated at trace level (they can
+  // arrive outside begin/end solve pairs), filtered by kind.
+  [[nodiscard]] const std::vector<CommEvent>& comm_events() const { return comm_events_; }
+  [[nodiscard]] std::int64_t comm_event_count(const std::string& kind) const;
 
   // Totals across every recorded solve.
   [[nodiscard]] PhaseTotals phase_totals(Phase p) const;
@@ -189,6 +210,7 @@ class SolverTrace final : public TraceSink {
 
   std::vector<SolveRecord> solves_ BKR_THREAD_CONFINED;
   std::vector<CacheEvent> cache_events_ BKR_THREAD_CONFINED;
+  std::vector<CommEvent> comm_events_ BKR_THREAD_CONFINED;
   bool open_ BKR_THREAD_CONFINED = false;
 };
 

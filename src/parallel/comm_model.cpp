@@ -5,7 +5,8 @@
 namespace bkr {
 
 double CommModel::modeled_seconds(index_t procs, double latency, double sec_per_byte) const {
-  const double hops = procs > 1 ? std::ceil(std::log2(double(procs))) : 0.0;
+  if (procs <= 1) return 0.0;  // a lone process exchanges nothing, halo included
+  const double hops = std::ceil(std::log2(double(procs)));
   const double reduction_time =
       double(reductions()) * hops * latency + double(reduction_bytes()) * sec_per_byte * hops;
   const double halo_time =

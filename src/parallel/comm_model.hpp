@@ -7,12 +7,22 @@
 // paper's reduction counts (2(m-k) per GCRO-DR cycle vs m for GMRES,
 // single-reduction CholQR, zero-reduction strategy B) and convert them
 // into a modeled communication time for a hypothetical P-process run.
+//
+// With a shard count attached (set_shards, the sharded SPMD layer of
+// DESIGN.md §13) the model stops being purely hypothetical: every
+// reduction() additionally records the point-to-point messages and tree
+// rounds the executed binary-tree reduction performs across S shards
+// (S - 1 messages over ceil(log2 S) rounds), and halo_exchange() carries
+// the real per-apply message count of the sharded operator. An optional
+// TraceSink mirror receives one CommEvent per sharded round so traces can
+// audit the executed message structure.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
 #include "common/types.hpp"
+#include "obs/trace.hpp"
 
 namespace bkr {
 
@@ -23,37 +33,85 @@ class CommModel {
   void reduction(std::int64_t bytes = 8) {
     reductions_.fetch_add(1, std::memory_order_relaxed);
     reduction_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    const index_t s = shards_.load(std::memory_order_relaxed);
+    if (s > 1) {
+      // The executed tree: every non-root shard sends its partial exactly
+      // once, merges proceed level by level.
+      const std::int64_t msgs = s - 1;
+      const std::int64_t rounds = ceil_log2(s);
+      messages_.fetch_add(msgs, std::memory_order_relaxed);
+      tree_rounds_.fetch_add(rounds, std::memory_order_relaxed);
+      obs::TraceSink* const t = trace_.load(std::memory_order_relaxed);
+      if (t != nullptr) t->comm(obs::CommEvent{"reduction-tree", s, msgs, rounds, bytes});
+    }
   }
   // Neighbour (halo) exchange round: one per sparse matrix–(multi)vector
-  // product in a distributed run.
-  void halo_exchange(std::int64_t bytes = 0) {
+  // product in a distributed run. `messages` is the number of
+  // point-to-point sends the round performs (1 in the modeled-only path;
+  // the sharded operator passes its real shard-neighbor pair count).
+  void halo_exchange(std::int64_t bytes = 0, std::int64_t messages = 1) {
     halo_exchanges_.fetch_add(1, std::memory_order_relaxed);
     halo_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    const index_t s = shards_.load(std::memory_order_relaxed);
+    if (s > 1) {
+      messages_.fetch_add(messages, std::memory_order_relaxed);
+      obs::TraceSink* const t = trace_.load(std::memory_order_relaxed);
+      if (t != nullptr) t->comm(obs::CommEvent{"halo", s, messages, 1, bytes});
+    }
   }
 
   [[nodiscard]] std::int64_t reductions() const { return reductions_.load(); }
   [[nodiscard]] std::int64_t reduction_bytes() const { return reduction_bytes_.load(); }
   [[nodiscard]] std::int64_t halo_exchanges() const { return halo_exchanges_.load(); }
   [[nodiscard]] std::int64_t halo_bytes() const { return halo_bytes_.load(); }
+  // Executed point-to-point messages (reduction-tree merges + halo sends)
+  // and tree levels traversed; both stay 0 until a shard count > 1 is
+  // attached, so the legacy modeled-only accounting is unchanged.
+  [[nodiscard]] std::int64_t messages() const { return messages_.load(); }
+  [[nodiscard]] std::int64_t tree_rounds() const { return tree_rounds_.load(); }
+
+  // Attach the shard count of the sharded SPMD layer (0 or 1 = monolithic:
+  // no messages, no tree rounds, no comm events).
+  void set_shards(index_t s) { shards_.store(s < 0 ? 0 : s, std::memory_order_relaxed); }
+  [[nodiscard]] index_t shards() const { return shards_.load(std::memory_order_relaxed); }
+
+  // Optional trace mirror (not owned): one CommEvent per sharded halo /
+  // reduction round. Null (the default) keeps the counters silent.
+  void set_trace(obs::TraceSink* t) { trace_.store(t, std::memory_order_relaxed); }
 
   void reset() {
     reductions_ = 0;
     reduction_bytes_ = 0;
     halo_exchanges_ = 0;
     halo_bytes_ = 0;
+    messages_ = 0;
+    tree_rounds_ = 0;
   }
 
   // Modeled communication time (seconds) of the recorded traffic on a
   // P-process machine with the given per-hop latency and inverse
   // bandwidth: reductions cost ceil(log2 P) hops, halo exchanges one hop.
+  // A single process communicates with nobody — reductions AND halo
+  // exchanges are free at P <= 1 (the historical model charged halo
+  // latency+bytes even at P = 1).
   [[nodiscard]] double modeled_seconds(index_t procs, double latency = 2.0e-6,
                                        double sec_per_byte = 1.0 / 4.0e9) const;
+
+  [[nodiscard]] static std::int64_t ceil_log2(index_t s) {
+    std::int64_t r = 0;
+    for (index_t span = 1; span < s; span *= 2) ++r;
+    return r;
+  }
 
  private:
   std::atomic<std::int64_t> reductions_{0};
   std::atomic<std::int64_t> reduction_bytes_{0};
   std::atomic<std::int64_t> halo_exchanges_{0};
   std::atomic<std::int64_t> halo_bytes_{0};
+  std::atomic<std::int64_t> messages_{0};
+  std::atomic<std::int64_t> tree_rounds_{0};
+  std::atomic<index_t> shards_{0};
+  std::atomic<obs::TraceSink*> trace_{nullptr};
 };
 
 }  // namespace bkr

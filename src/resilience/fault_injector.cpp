@@ -13,6 +13,7 @@ const char* site_name(FaultSite s) {
     case FaultSite::OperatorApply: return "operator-apply";
     case FaultSite::PrecondApply: return "precond-apply";
     case FaultSite::Orthogonalization: return "orthogonalization";
+    case FaultSite::ShardHalo: return "shard-halo";
   }
   return "unknown";
 }

@@ -28,9 +28,10 @@ enum class FaultSite : int {
   OperatorApply = 0,   // block A·V (also residual recomputations)
   PrecondApply,        // block M^{-1}·R
   Orthogonalization,   // the block entering CholQR/TSQR normalization
+  ShardHalo,           // gathered halo values of one shard (sharded applies)
 };
 
-inline constexpr int kFaultSiteCount = 3;
+inline constexpr int kFaultSiteCount = 4;
 
 const char* site_name(FaultSite s);
 
@@ -98,7 +99,7 @@ class FaultInjector {
   };
 
   std::vector<Armed> plans_;
-  std::int64_t visits_[kFaultSiteCount] = {0, 0, 0};
+  std::int64_t visits_[kFaultSiteCount] = {0, 0, 0, 0};
   std::int64_t injected_ = 0;
   std::uint64_t seed_;
 };

@@ -1,0 +1,223 @@
+// Sharded SPMD execution of a CSR operator.
+//
+// The paper's scalability argument (sections III-D and V) is phrased for a
+// distributed-memory machine: each process owns a contiguous slab of rows,
+// every SpMV is a halo exchange plus a local sweep, and every dot product
+// is a log2(P)-depth tree reduction. This header executes that structure
+// in-process: the greedy k-way partitioner splits the matrix into S shards,
+// each shard owning its local CSR block, halo column list and
+// partition-of-unity weights, and applies run shard-parallel over the
+// KernelExecutor with an explicit serial gather (the "halo exchange")
+// through owned buffers.
+//
+// Determinism contract (DESIGN.md §8, extended by §13): a sharded apply is
+// bitwise identical to the monolithic serial sweep at EVERY shard count.
+// Two properties guarantee it:
+//  1. Shards own disjoint row sets, each local row keeps its global
+//     nonzero order, and the local column map covers every referenced
+//     column — so the per-row accumulation performs the same additions in
+//     the same order as CsrMatrix::spmm, on gathered values that are
+//     bitwise copies of the global vector.
+//  2. Reductions are NOT performed per shard (a per-shard tree would make
+//     the fold shape a function of S); solvers running sharded use the
+//     global chunk-leaf trees of la/blas.hpp whose shape depends on the
+//     problem size only.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/exec.hpp"
+#include "common/types.hpp"
+#include "la/dense.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/graph.hpp"
+#include "sparse/partition.hpp"
+
+namespace bkr {
+
+// A CSR operator partitioned into S row-disjoint shards. extract_submatrix
+// is unusable here: it drops entries whose column leaves the row set, which
+// changes the computed values. Each shard instead keeps ALL columns its
+// rows reference — owned columns first (sorted), then halo columns
+// (sorted) — so the local sweep reproduces the monolithic result exactly.
+template <class T>
+class ShardedCsrOperator {
+ public:
+  // Observation hook over the gathered halo values of one shard, invoked
+  // during the serial gather phase of every apply (before the parallel
+  // fan-out, so hooks may keep non-atomic state). The resilience layer
+  // uses it to corrupt halo payloads in flight.
+  using HaloHook = std::function<void(index_t shard, MatrixView<T> halo)>;
+
+  ShardedCsrOperator(const CsrMatrix<T>& a, index_t nshards) : source_(&a), n_(a.rows()) {
+    BKR_REQUIRE(a.rows() == a.cols(), "a.rows", a.rows(), "a.cols", a.cols());
+    BKR_REQUIRE(nshards >= 1, "nshards", nshards);
+    BKR_REQUIRE(n_ > 0, "n", n_);
+    const Graph g = adjacency_of(a);
+    const Partition part = partition_greedy(g, nshards);
+    shards_.resize(size_t(nshards));
+    for (index_t s = 0; s < nshards; ++s) {
+      Shard& sh = shards_[size_t(s)];
+      sh.rows = part.interior[size_t(s)];  // sorted, disjoint across shards
+      build_local(a, sh);
+    }
+    // Executed message structure: one point-to-point send per (shard,
+    // neighbour-owner) pair whose values the shard gathers.
+    for (index_t s = 0; s < nshards; ++s) {
+      const Shard& sh = shards_[size_t(s)];
+      halo_entries_ += index_t(sh.halo.size());
+      std::vector<index_t> owners;
+      owners.reserve(sh.halo.size());
+      for (const index_t g_col : sh.halo) owners.push_back(part.owner[size_t(g_col)]);
+      std::sort(owners.begin(), owners.end());
+      owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
+      halo_messages_ += index_t(owners.size());
+    }
+  }
+
+  [[nodiscard]] index_t n() const { return n_; }
+  [[nodiscard]] index_t shard_count() const { return index_t(shards_.size()); }
+  [[nodiscard]] const CsrMatrix<T>& source() const { return *source_; }
+
+  // Per-shard introspection (tests and the deflation coarse space).
+  [[nodiscard]] const std::vector<index_t>& owned_rows(index_t s) const {
+    return shards_[size_t(s)].rows;
+  }
+  [[nodiscard]] const std::vector<index_t>& halo_indices(index_t s) const {
+    return shards_[size_t(s)].halo;
+  }
+  [[nodiscard]] const std::vector<double>& pou_weights(index_t s) const {
+    return shards_[size_t(s)].pou;
+  }
+  [[nodiscard]] const CsrMatrix<T>& local_matrix(index_t s) const {
+    return shards_[size_t(s)].local;
+  }
+
+  // Total gathered halo values / point-to-point messages per apply — the
+  // real per-round figures CommModel::halo_exchange records.
+  [[nodiscard]] index_t halo_entries() const { return halo_entries_; }
+  [[nodiscard]] index_t halo_messages() const { return halo_messages_; }
+
+  void set_halo_hook(HaloHook hook) { halo_hook_ = std::move(hook); }
+
+  // Y = A X, shard-parallel. Gather (halo exchange) runs serially — it is
+  // the communication phase, and hooks observing it may keep plain state —
+  // then the local sweeps fan out over disjoint owned-row outputs.
+  void spmm(MatrixView<const T> x, MatrixView<T> y, const KernelExecutor* ex = nullptr) const {
+    const index_t p = x.cols();
+    BKR_REQUIRE(x.rows() == n_, "x.rows", x.rows(), "n", n_);
+    BKR_ASSERT_SHAPE(y, n_, p);
+    const index_t ns = shard_count();
+    for (index_t s = 0; s < ns; ++s) gather(s, x);
+    const auto work = [&](index_t s) {
+      const Shard& sh = shards_[size_t(s)];
+      const index_t nrows = index_t(sh.rows.size());
+      if (nrows == 0) return;  // empty shard: nothing owned, nothing written
+      const index_t ncols = index_t(sh.cols.size());
+      MatrixView<const T> xv(sh.xbuf.data(), ncols, p, ncols);
+      MatrixView<T> yv(sh.ybuf.data(), nrows, p, nrows);
+      sh.local.spmm(xv, yv, nullptr);  // serial local sweep: global row order preserved
+      for (index_t j = 0; j < p; ++j)
+        for (index_t r = 0; r < nrows; ++r) y(sh.rows[size_t(r)], j) = yv(r, j);
+    };
+    if (ex != nullptr && ns > 1 && ex->engage(Kernel::Spmm, source_->nnz() * p)) {
+      ex->run(Kernel::Spmm, ns, work);
+    } else {
+      for (index_t s = 0; s < ns; ++s) work(s);
+    }
+  }
+
+  void spmv(const T* x, T* y, const KernelExecutor* ex = nullptr) const {
+    spmm(MatrixView<const T>(x, n_, 1, n_), MatrixView<T>(y, n_, 1, n_), ex);
+  }
+
+ private:
+  struct Shard {
+    std::vector<index_t> rows;  // owned global rows, sorted, disjoint across shards
+    std::vector<index_t> cols;  // local -> global column map: owned first, then halo
+    std::vector<index_t> halo;  // gathered non-owned columns (== cols[nowned:]), sorted
+    std::vector<double> pou;    // partition-of-unity weight per local column (1 owned, 0 halo)
+    index_t nowned = 0;
+    CsrMatrix<T> local;  // rows.size() x cols.size(), per-row global nonzero order
+    // Apply workspaces, column-major with ld = cols.size() / rows.size().
+    // Solve-confined: the serial gather fills xbuf, then exactly one
+    // executor task reads xbuf / writes ybuf per apply.
+    mutable std::vector<T> xbuf BKR_THREAD_CONFINED;
+    mutable std::vector<T> ybuf BKR_THREAD_CONFINED;
+  };
+
+  void build_local(const CsrMatrix<T>& a, Shard& sh) {
+    sh.nowned = index_t(sh.rows.size());
+    // Halo = referenced columns outside the owned set, sorted.
+    std::vector<char> owned(size_t(n_), 0);
+    for (const index_t r : sh.rows) owned[size_t(r)] = 1;
+    std::vector<char> seen(size_t(n_), 0);
+    for (const index_t r : sh.rows)
+      for (index_t l = a.rowptr()[size_t(r)]; l < a.rowptr()[size_t(r) + 1]; ++l) {
+        const index_t c = a.colind()[size_t(l)];
+        if (owned[size_t(c)] == 0 && seen[size_t(c)] == 0) {
+          seen[size_t(c)] = 1;
+          sh.halo.push_back(c);
+        }
+      }
+    std::sort(sh.halo.begin(), sh.halo.end());
+    sh.cols = sh.rows;
+    sh.cols.insert(sh.cols.end(), sh.halo.begin(), sh.halo.end());
+    sh.pou.assign(sh.cols.size(), 0.0);
+    for (index_t k = 0; k < sh.nowned; ++k) sh.pou[size_t(k)] = 1.0;
+    // Local CSR: global-to-local column renumbering, per-row entry order
+    // untouched (the bitwise-invariance requirement).
+    std::vector<index_t> g2l(size_t(n_), -1);
+    for (size_t k = 0; k < sh.cols.size(); ++k) g2l[size_t(sh.cols[k])] = index_t(k);
+    std::vector<index_t> rowptr(sh.rows.size() + 1, 0);
+    std::vector<index_t> colind;
+    std::vector<T> values;
+    for (size_t li = 0; li < sh.rows.size(); ++li) {
+      const index_t gi = sh.rows[li];
+      for (index_t l = a.rowptr()[size_t(gi)]; l < a.rowptr()[size_t(gi) + 1]; ++l) {
+        colind.push_back(g2l[size_t(a.colind()[size_t(l)])]);
+        values.push_back(a.values()[size_t(l)]);
+      }
+      rowptr[li + 1] = index_t(colind.size());
+    }
+    sh.local = CsrMatrix<T>(index_t(sh.rows.size()), index_t(sh.cols.size()), std::move(rowptr),
+                            std::move(colind), std::move(values));
+    sh.xbuf.clear();
+    sh.ybuf.clear();
+  }
+
+  // Halo exchange of shard s: copy the global values every local column
+  // needs into the shard's buffer (bitwise copies — property 1 above),
+  // then let the observation hook see the halo slice.
+  void gather(index_t s, MatrixView<const T> x) const {
+    const Shard& sh = shards_[size_t(s)];
+    const index_t ncols = index_t(sh.cols.size());
+    const index_t nrows = index_t(sh.rows.size());
+    const index_t p = x.cols();
+    if (nrows == 0) return;
+    // Grow-once acquisition: the first apply sizes the buffers, every
+    // later apply at the same block width reuses them allocation-free.
+    if (index_t(sh.xbuf.size()) < ncols * p)
+      sh.xbuf.resize(size_t(ncols) * size_t(p));  // bkr-lint: allow(hot-path-alloc)
+    if (index_t(sh.ybuf.size()) < nrows * p)
+      sh.ybuf.resize(size_t(nrows) * size_t(p));  // bkr-lint: allow(hot-path-alloc)
+    for (index_t j = 0; j < p; ++j)
+      for (index_t k = 0; k < ncols; ++k)
+        sh.xbuf[size_t(k) + size_t(j) * size_t(ncols)] = x(sh.cols[size_t(k)], j);
+    const index_t nhalo = ncols - sh.nowned;
+    if (halo_hook_ && nhalo > 0)
+      halo_hook_(s, MatrixView<T>(sh.xbuf.data() + sh.nowned, nhalo, p, ncols));
+  }
+
+  const CsrMatrix<T>* source_;
+  index_t n_ = 0;
+  std::vector<Shard> shards_;
+  index_t halo_entries_ = 0;
+  index_t halo_messages_ = 0;
+  HaloHook halo_hook_;
+};
+
+}  // namespace bkr

@@ -1,0 +1,275 @@
+// Subdomain-deflation coarse space conformance (precond/coarse_space.hpp).
+//
+// Three contract families:
+//   * the acceptance gate of the two-level method: deflated Schwarz
+//     converges in strictly fewer iterations than one-level Schwarz on the
+//     Poisson and elasticity fixtures (the regime where low-frequency
+//     error crosses many subdomains);
+//   * the Galerkin coarse matrix E = Z^T A Z inherits symmetry and
+//     positive-definiteness from A on range(Z) — the P^T A P contract
+//     surface consumed by the sparse direct factorization;
+//   * resilience: a singular coarse matrix (pure-Neumann operator whose
+//     null space the subdomain constants span) must degrade the correction
+//     to the identity — never kill the enclosing solve — and leave an
+//     obs::RecoveryEvent trail; a degraded two-level preconditioner is
+//     bitwise its inner one-level method.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/gmres.hpp"
+#include "fem/elasticity3d.hpp"
+#include "fem/poisson2d.hpp"
+#include "precond/coarse_space.hpp"
+#include "precond/schwarz.hpp"
+#include "test_helpers.hpp"
+
+namespace bkr {
+namespace {
+
+// 1-D pure-Neumann Laplacian: row sums are zero, the constant vector is a
+// null vector, and the subdomain-constant basis restricts it exactly —
+// E = Z^T A Z is the (singular) coarse graph Laplacian.
+CsrMatrix<double> neumann_laplacian(index_t n) {
+  CooBuilder<double> coo(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    double diag = 0;
+    if (i > 0) {
+      coo.add(i, i - 1, -1.0);
+      diag += 1.0;
+    }
+    if (i + 1 < n) {
+      coo.add(i, i + 1, -1.0);
+      diag += 1.0;
+    }
+    coo.add(i, i, diag);
+  }
+  return coo.build();
+}
+
+index_t schwarz_iterations(const CsrMatrix<double>& a, const std::vector<double>& b,
+                           index_t nsub, bool deflated, bool* converged,
+                           CoarseCorrection mode = CoarseCorrection::Multiplicative,
+                           CoarseBasis basis = CoarseBasis::SubdomainConstant) {
+  SchwarzOptions so;
+  so.subdomains = nsub;
+  so.overlap = 1;
+  so.kind = SchwarzKind::Ras;
+  SchwarzPreconditioner<double> inner(a, so);
+  std::unique_ptr<TwoLevelPreconditioner<double>> two;
+  Preconditioner<double>* m = &inner;
+  if (deflated) {
+    CoarseSpaceOptions copts;
+    copts.subdomains = nsub;
+    copts.basis = basis;
+    two = std::make_unique<TwoLevelPreconditioner<double>>(a, &inner, copts, mode);
+    EXPECT_FALSE(two->coarse().degraded());
+    m = two.get();
+  }
+  SolverOptions opts;
+  opts.restart = 200;
+  opts.tol = 1e-8;
+  opts.max_iterations = 400;
+  opts.side = PrecondSide::Right;
+  CsrOperator<double> op(a);
+  std::vector<double> x(b.size(), 0.0);
+  const auto st = gmres<double>(op, m, b, x, opts);
+  *converged = st.converged;
+  return st.iterations;
+}
+
+// The acceptance gate: with enough subdomains that the one-level method
+// degrades, the coarse space must strictly reduce the iteration count.
+TEST(CoarseSpace, DeflatedBeatsPlainSchwarzPoisson) {
+  const auto a = poisson2d(48, 48);
+  const auto b = poisson2d_rhs(48, 48, 0.1);
+  const index_t nsub = 16;
+  bool conv_plain = false, conv_defl = false;
+  const index_t it_plain = schwarz_iterations(a, b, nsub, false, &conv_plain);
+  const index_t it_defl = schwarz_iterations(a, b, nsub, true, &conv_defl);
+  EXPECT_TRUE(conv_plain);
+  EXPECT_TRUE(conv_defl);
+  EXPECT_LT(it_defl, it_plain) << "deflation must pay on Poisson: " << it_defl << " vs "
+                               << it_plain;
+}
+
+TEST(CoarseSpace, DeflatedBeatsPlainSchwarzElasticity) {
+  ElasticityConfig cfg;
+  cfg.ne = 5;
+  cfg.inclusion = kElasticitySequence[0];
+  const auto prob = elasticity3d(cfg);
+  const index_t nsub = 12;
+  bool conv_plain = false, conv_defl = false;
+  const index_t it_plain = schwarz_iterations(prob.matrix, prob.rhs, nsub, false, &conv_plain);
+  const index_t it_defl = schwarz_iterations(prob.matrix, prob.rhs, nsub, true, &conv_defl);
+  EXPECT_TRUE(conv_plain);
+  EXPECT_TRUE(conv_defl);
+  EXPECT_LT(it_defl, it_plain) << "deflation must pay on elasticity: " << it_defl << " vs "
+                               << it_plain;
+}
+
+TEST(CoarseSpace, PartitionOfUnityBasisAlsoDeflates) {
+  const auto a = poisson2d(48, 48);
+  const auto b = poisson2d_rhs(48, 48, 0.1);
+  bool conv_plain = false, conv_defl = false;
+  const index_t it_plain = schwarz_iterations(a, b, 16, false, &conv_plain);
+  const index_t it_defl = schwarz_iterations(a, b, 16, true, &conv_defl,
+                                             CoarseCorrection::Multiplicative,
+                                             CoarseBasis::PartitionOfUnity);
+  EXPECT_TRUE(conv_plain);
+  EXPECT_TRUE(conv_defl);
+  EXPECT_LT(it_defl, it_plain);
+}
+
+// Both composition orders must at minimum converge; multiplicative is the
+// gated one (coarse-first sees the full residual).
+TEST(CoarseSpace, AdditiveCompositionConverges) {
+  const auto a = poisson2d(32, 32);
+  const auto b = poisson2d_rhs(32, 32, 0.1);
+  bool conv = false;
+  schwarz_iterations(a, b, 8, true, &conv, CoarseCorrection::Additive);
+  EXPECT_TRUE(conv);
+}
+
+// E = Z^T A Z contracts: symmetric whenever A is, SPD on range(Z) for SPD
+// A — i.e. the factorization holds and quadratic forms are positive.
+TEST(CoarseSpace, GalerkinCoarseMatrixSymmetric) {
+  const auto a = poisson2d(20, 20);
+  CoarseSpaceOptions copts;
+  copts.subdomains = 6;
+  CoarseSpaceCorrection<double> c(a, copts);
+  ASSERT_FALSE(c.degraded());
+  const CsrMatrix<double>& e = c.coarse_matrix();
+  ASSERT_EQ(e.rows(), 6);
+  ASSERT_EQ(e.cols(), 6);
+  DenseMatrix<double> ed(6, 6);
+  for (index_t i = 0; i < 6; ++i)
+    for (index_t l = e.rowptr()[size_t(i)]; l < e.rowptr()[size_t(i) + 1]; ++l)
+      ed(i, e.colind()[size_t(l)]) = e.values()[size_t(l)];
+  for (index_t i = 0; i < 6; ++i)
+    for (index_t j = 0; j < 6; ++j)
+      EXPECT_NEAR(ed(i, j), ed(j, i), 1e-12 * (1.0 + std::abs(ed(i, j))))
+          << "E asymmetric at (" << i << "," << j << ")";
+}
+
+TEST(CoarseSpace, GalerkinCoarseMatrixDefinite) {
+  const auto a = poisson2d(20, 20);
+  CoarseSpaceOptions copts;
+  copts.subdomains = 8;
+  CoarseSpaceCorrection<double> c(a, copts);
+  ASSERT_FALSE(c.degraded());
+  const CsrMatrix<double>& e = c.coarse_matrix();
+  const auto xs = testing::random_matrix<double>(8, 5, 3);
+  for (index_t j = 0; j < 5; ++j) {
+    std::vector<double> x(8), ex(8);
+    for (index_t i = 0; i < 8; ++i) x[size_t(i)] = xs(i, j);
+    e.spmv(x.data(), ex.data());
+    double q = 0;
+    for (index_t i = 0; i < 8; ++i) q += x[size_t(i)] * ex[size_t(i)];
+    EXPECT_GT(q, 0.0) << "x^T E x must be positive for SPD A (probe " << j << ")";
+  }
+}
+
+// The coarse solve is exact on range(Z): deflating a vector already in the
+// coarse space reproduces it (up to factorization roundoff).
+TEST(CoarseSpace, ExactOnCoarseRange) {
+  const auto a = poisson2d(16, 16);
+  CoarseSpaceOptions copts;
+  copts.subdomains = 4;
+  CoarseSpaceCorrection<double> c(a, copts);
+  ASSERT_FALSE(c.degraded());
+  const index_t n = a.rows();
+  // r = A Z y for a fixed coarse vector y; then Z E^{-1} Z^T r = Z y.
+  std::vector<double> y{1.0, -2.0, 0.5, 3.0};
+  std::vector<double> zy(size_t(n), 0.0), r(static_cast<size_t>(n)), z(static_cast<size_t>(n));
+  const CsrMatrix<double>& zb = c.basis();
+  zb.spmv(y.data(), zy.data());
+  a.spmv(zy.data(), r.data());
+  c.apply(MatrixView<const double>(r.data(), n, 1, n), MatrixView<double>(z.data(), n, 1, n));
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(z[size_t(i)], zy[size_t(i)], 1e-9) << "row " << i;
+}
+
+// --- resilience: singular coarse grid --------------------------------------
+
+TEST(CoarseSpace, SingularCoarseGridDegradesToIdentity) {
+  const auto a = neumann_laplacian(32);
+  obs::SolverTrace trace;
+  CoarseSpaceOptions copts;
+  copts.subdomains = 4;
+  copts.trace = &trace;
+  CoarseSpaceCorrection<double> c(a, copts);
+  EXPECT_TRUE(c.degraded());
+  // Identity apply: z == r bitwise.
+  const index_t n = a.rows();
+  std::vector<double> r(static_cast<size_t>(n)), z(size_t(n), -7.0);
+  for (index_t i = 0; i < n; ++i) r[size_t(i)] = std::sin(double(i) + 0.1);
+  c.apply(MatrixView<const double>(r.data(), n, 1, n), MatrixView<double>(z.data(), n, 1, n));
+  for (index_t i = 0; i < n; ++i) EXPECT_EQ(z[size_t(i)], r[size_t(i)]);
+  // Auditable trail: one RecoveryEvent at the coarse-space site.
+  const auto& recs = trace.solves();
+  ASSERT_EQ(recs.size(), 1u);
+  ASSERT_EQ(recs[0].recoveries.size(), 1u);
+  EXPECT_EQ(recs[0].recoveries[0].site, "coarse-space");
+  EXPECT_EQ(recs[0].recoveries[0].action, "identity-fallback");
+  EXPECT_EQ(recs[0].recoveries[0].columns, 4);
+}
+
+// A degraded two-level preconditioner must reduce exactly to its inner
+// one-level method — same apply output, same solver history.
+TEST(CoarseSpace, DegradedTwoLevelEqualsInner) {
+  const auto a = neumann_laplacian(40);
+  SchwarzOptions so;
+  so.subdomains = 4;
+  SchwarzPreconditioner<double> inner_alone(a, so);
+  SchwarzPreconditioner<double> inner_wrapped(a, so);
+  CoarseSpaceOptions copts;
+  copts.subdomains = 4;
+  TwoLevelPreconditioner<double> two(a, &inner_wrapped, copts);
+  EXPECT_TRUE(two.coarse().degraded());
+  const index_t n = a.rows();
+  std::vector<double> r(static_cast<size_t>(n)), z1(static_cast<size_t>(n)), z2(static_cast<size_t>(n));
+  for (index_t i = 0; i < n; ++i) r[size_t(i)] = std::cos(double(i) * 0.9);
+  inner_alone.apply(MatrixView<const double>(r.data(), n, 1, n),
+                    MatrixView<double>(z1.data(), n, 1, n));
+  two.apply(MatrixView<const double>(r.data(), n, 1, n), MatrixView<double>(z2.data(), n, 1, n));
+  for (index_t i = 0; i < n; ++i) EXPECT_EQ(z2[size_t(i)], z1[size_t(i)]);
+}
+
+// The solve enclosing a degraded coarse space still completes: the gate is
+// "never kill the solve", not "always accelerate it". Regularized Neumann
+// operator (one Dirichlet pin) keeps the fine problem solvable while the
+// coarse build uses the singular pure-Neumann matrix path.
+TEST(CoarseSpace, SolveSurvivesDegradedCoarseSpace) {
+  // Singular fine operator would not converge; pin one dof instead.
+  CooBuilder<double> coo(24, 24);
+  const auto base = neumann_laplacian(24);
+  for (index_t i = 0; i < 24; ++i)
+    for (index_t l = base.rowptr()[size_t(i)]; l < base.rowptr()[size_t(i) + 1]; ++l)
+      coo.add(i, base.colind()[size_t(l)],
+              base.values()[size_t(l)] + ((i == 0 && base.colind()[size_t(l)] == 0) ? 1.0 : 0.0));
+  const auto a = coo.build();
+  // Subdomain constants still nearly span a null vector of the interior;
+  // force degradation deterministically by building from the singular
+  // pure-Neumann matrix, then solving the pinned system.
+  CoarseSpaceOptions copts;
+  copts.subdomains = 3;
+  CoarseSpaceCorrection<double> coarse(base, copts);
+  ASSERT_TRUE(coarse.degraded());
+  SchwarzOptions so;
+  so.subdomains = 3;
+  SchwarzPreconditioner<double> inner(a, so);
+  TwoLevelPreconditioner<double> two(base, &inner, copts);
+  SolverOptions opts;
+  opts.tol = 1e-9;
+  opts.restart = 60;
+  opts.side = PrecondSide::Right;
+  CsrOperator<double> op(a);
+  std::vector<double> b(24, 1.0), x(24, 0.0);
+  const auto st = gmres<double>(op, &two, b, x, opts);
+  EXPECT_TRUE(st.converged);
+  EXPECT_LT(testing::relative_residual(a, x, b), 1e-8);
+}
+
+}  // namespace
+}  // namespace bkr

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/recycle_cache.hpp"
+#include "core/session.hpp"
 #include "fem/poisson2d.hpp"
 #include "obs/trace.hpp"
 #include "test_helpers.hpp"
@@ -275,6 +276,62 @@ TEST(RecycleCacheThreads, ConcurrentStoreFetchEvict) {
   EXPECT_EQ(c.stores, kThreads * ((kOps + 2) / 3));
   EXPECT_LE(c.bytes, cache.byte_budget());
   EXPECT_LE(c.entries, 7u);
+}
+
+// Recycle spaces survive resharding: the cache key is built from the
+// monolithic source matrix regardless of the execution layout, so the
+// fingerprint a sharded operator exposes is identical to the monolithic
+// one at every shard count.
+TEST(RecycleCache, FingerprintIsShardCountInvariant) {
+  const auto a = poisson2d(12, 12);
+  const std::uint64_t mono = operator_fingerprint(a);
+  for (const index_t shards : {index_t(1), index_t(2), index_t(4), index_t(7)}) {
+    const ShardedOperator<double> op(a, shards);
+    EXPECT_EQ(operator_fingerprint(op.matrix()), mono) << "shards=" << shards;
+  }
+}
+
+// End-to-end: a recycle space deposited by a monolithic session
+// warm-starts a sharded session on the same matrix (and the reverse), so
+// changing the shard count between runs never invalidates the cache.
+TEST(RecycleCache, SpacesSurviveResharding) {
+  const auto a = poisson2d(20, 20);
+  const index_t n = a.rows();
+  SolverOptions base;
+  base.restart = 20;
+  base.recycle = 8;
+  base.tol = 1e-8;
+  auto run_sequence = [&](RecycleCache* cache, index_t shards, bool* warm) {
+    SessionConfig cfg;
+    cfg.method = SessionMethod::GcroDr;
+    cfg.options = base;
+    cfg.options.shards = shards;
+    cfg.cache = cache;
+    SolverSession<double> session(a, nullptr, cfg);
+    *warm = session.warm_started();
+    index_t first = 0;
+    for (size_t s = 0; s < 2; ++s) {
+      const auto f = poisson2d_rhs(20, 20, kPoissonNus[s]);
+      DenseMatrix<double> b(n, 1), x(n, 1);
+      std::copy(f.begin(), f.end(), b.col(0));
+      const auto st = session.solve(b.view(), x.view());
+      EXPECT_TRUE(st.converged) << "shards=" << shards;
+      if (s == 0) first = st.iterations;
+    }
+    return first;
+  };
+  RecycleCache cache;
+  bool warm = true;
+  const index_t cold_first = run_sequence(&cache, 0, &warm);  // monolithic deposit
+  EXPECT_FALSE(warm);
+  EXPECT_EQ(cache.counters().entries, 1u);
+  const index_t warm_sharded = run_sequence(&cache, 4, &warm);  // sharded consume
+  EXPECT_TRUE(warm) << "monolithic deposit must warm a sharded session";
+  EXPECT_LT(warm_sharded, cold_first);
+  const index_t warm_back = run_sequence(&cache, 0, &warm);  // sharded deposit, monolithic consume
+  EXPECT_TRUE(warm) << "sharded deposit must warm a monolithic session";
+  EXPECT_LT(warm_back, cold_first);
+  EXPECT_EQ(cache.counters().entries, 1u);  // one key throughout: no reshard duplication
 }
 
 }  // namespace

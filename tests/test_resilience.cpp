@@ -543,5 +543,94 @@ TEST(Chaos, PreconditionedSweepReachesPrecondSite) {
   EXPECT_TRUE(seen.count(SolveStatus::PreconditionerFailure) != 0);
 }
 
+// ShardHalo: corrupting the gathered halo payload of a sharded apply (the
+// in-flight "message" of the SPMD layer, DESIGN.md §13) is subject to the
+// same contract as every other site — terminate inside budget, converge
+// genuinely or report precisely, never crash. The hook fires during the
+// serial gather phase, so plans here also prove injection is race-free
+// under the shard-parallel fan-out.
+TEST(Chaos, ShardHaloCorruptionSweep) {
+  const auto a = poisson2d(7, 7);
+  const index_t n = a.rows();
+  DenseMatrix<double> b(n, 2);
+  const auto f0 = poisson2d_rhs(7, 7, 0.1);
+  const auto f1 = poisson2d_rhs(7, 7, 10.0);
+  std::copy(f0.begin(), f0.end(), b.col(0));
+  std::copy(f1.begin(), f1.end(), b.col(1));
+
+  const FaultKind kinds[] = {FaultKind::InjectNan, FaultKind::ZeroColumn,
+                             FaultKind::PerturbBlock, FaultKind::Throw};
+  std::set<SolveStatus> seen;
+  for (const index_t shards : {index_t(2), index_t(4)}) {
+    for (const FaultKind kind : kinds) {
+      for (const std::int64_t visit : {1, 3, 9}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards) + " kind=" + std::to_string(int(kind)) +
+                     " visit=" + std::to_string(visit));
+        FaultInjector inj;
+        FaultPlan plan;
+        plan.site = FaultSite::ShardHalo;
+        plan.kind = kind;
+        plan.at_visit = visit;
+        inj.schedule(plan);
+        SolverOptions opts;
+        opts.restart = 12;
+        opts.tol = 1e-8;
+        opts.max_iterations = 400;
+        opts.shards = shards;
+        ShardedOperator<double> op(a, shards, nullptr, nullptr, &inj);
+        DenseMatrix<double> x(n, 2);
+        SolveStats st;
+        ASSERT_NO_THROW(st = block_gmres<double>(op, nullptr, b.view(), x.view(), opts));
+        seen.insert(st.status);
+        EXPECT_EQ(st.converged, st.status == SolveStatus::Converged);
+        EXPECT_LE(st.iterations, opts.max_iterations);
+        EXPECT_GT(inj.visits(FaultSite::ShardHalo), 0) << "hook never reached";
+        if (st.converged) {
+          DenseMatrix<double> r(n, 2);
+          a.spmm(x.view(), r.view());
+          for (index_t c = 0; c < 2; ++c) {
+            double num = 0, den = 0;
+            for (index_t i = 0; i < n; ++i) {
+              const double d = b(i, c) - r(i, c);
+              num += d * d;
+              den += b(i, c) * b(i, c);
+            }
+            EXPECT_LT(std::sqrt(num), 1e-4 * std::sqrt(den));
+          }
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(seen.count(SolveStatus::Converged) != 0);
+  EXPECT_TRUE(seen.count(SolveStatus::Faulted) != 0);
+}
+
+// A plan scheduled at ShardHalo must stay dormant on a monolithic (1-shard)
+// operator: one shard gathers no halo, so the site is never visited and the
+// solve is untouched — the "scheduled but unreached" guarantee.
+TEST(Chaos, ShardHaloPlanDormantAtOneShard) {
+  const auto a = poisson2d(7, 7);
+  const index_t n = a.rows();
+  DenseMatrix<double> b(n, 1);
+  const auto f0 = poisson2d_rhs(7, 7, 0.1);
+  std::copy(f0.begin(), f0.end(), b.col(0));
+  FaultInjector inj;
+  FaultPlan plan;
+  plan.site = FaultSite::ShardHalo;
+  plan.kind = FaultKind::Throw;
+  plan.at_visit = 1;
+  inj.schedule(plan);
+  SolverOptions opts;
+  opts.tol = 1e-9;
+  opts.shards = 1;
+  ShardedOperator<double> op(a, 1, nullptr, nullptr, &inj);
+  DenseMatrix<double> x(n, 1);
+  SolveStats st;
+  ASSERT_NO_THROW(st = block_gmres<double>(op, nullptr, b.view(), x.view(), opts));
+  EXPECT_TRUE(st.converged);
+  EXPECT_EQ(inj.visits(FaultSite::ShardHalo), 0);
+  EXPECT_EQ(inj.injected(), 0);
+}
+
 }  // namespace
 }  // namespace bkr

@@ -282,5 +282,112 @@ TEST(TraceAccounting, StrategyBNeedsNoExtraRestartReduction) {
   EXPECT_GT(reds[0], reds[1]);
 }
 
+TEST(TraceAccounting, CgReductionFormula) {
+  // CG synchronization structure (section III-D applied to the CG
+  // recursion): 1 bnorm + 1 initial residual norm + 1 initial rho, then
+  // per iteration the fused (d,q)/residual-norm pair (2) plus the rho of
+  // the next direction (1) — which the final, converging iteration skips.
+  // Converged: 2 + 3*it. Budget-exhausted: 3 + 3*it. Every SolveStats
+  // reduction is one CommModel all-reduce in CG (no fused batching).
+  const auto a = poisson2d(10, 10);
+  CsrOperator<double> op(a);
+  const auto b = poisson2d_rhs(10, 10, 0.1);
+  {
+    CommModel comm;
+    SolverOptions opts;
+    opts.tol = 1e-10;
+    std::vector<double> x(b.size(), 0.0);
+    const auto st = cg<double>(op, nullptr, b, x, opts, &comm);
+    ASSERT_TRUE(st.converged);
+    EXPECT_EQ(st.reductions, 2 + 3 * std::int64_t(st.iterations));
+    EXPECT_EQ(comm.reductions(), st.reductions);
+  }
+  {
+    CommModel comm;
+    SolverOptions opts;
+    opts.tol = 1e-30;  // unreachable: exhaust the budget
+    opts.max_iterations = 7;
+    std::vector<double> x(b.size(), 0.0);
+    const auto st = cg<double>(op, nullptr, b, x, opts, &comm);
+    ASSERT_FALSE(st.converged);
+    ASSERT_EQ(st.iterations, 7);
+    EXPECT_EQ(st.reductions, 3 + 3 * std::int64_t(7));
+    EXPECT_EQ(comm.reductions(), st.reductions);
+  }
+}
+
+// The sharded layer makes the CommModel's message counters real: every
+// all-reduce is an executed (S-1)-message, ceil(log2 S)-round tree, every
+// operator apply one halo exchange with the operator's true neighbor-pair
+// count — and the trace mirror sees one CommEvent per round. Pinned for CG
+// and GMRES.
+TEST(TraceAccounting, ShardedMessageAccountingCgAndGmres) {
+  const auto a = poisson2d(10, 10);
+  const auto b = poisson2d_rhs(10, 10, 0.1);
+  for (const index_t shards : {index_t(2), index_t(4), index_t(7)}) {
+    for (const bool use_cg : {true, false}) {
+      SCOPED_TRACE(std::string(use_cg ? "cg" : "gmres") + " shards=" + std::to_string(shards));
+      CommModel comm;
+      obs::SolverTrace trace;
+      comm.set_trace(&trace);
+      ShardedOperator<double> op(a, shards, &comm);
+      ASSERT_EQ(comm.shards(), shards);
+      SolverOptions opts;
+      opts.tol = 1e-10;
+      opts.restart = 120;
+      opts.shards = shards;
+      std::vector<double> x(b.size(), 0.0);
+      const auto st = use_cg ? cg<double>(op, nullptr, b, x, opts, &comm)
+                             : gmres<double>(op, nullptr, b, x, opts, &comm);
+      ASSERT_TRUE(st.converged);
+      const std::int64_t applies = comm.halo_exchanges();
+      EXPECT_EQ(applies, st.operator_applies);
+      const std::int64_t halo_msgs =
+          std::int64_t(op.sharded().halo_messages()) * applies;
+      EXPECT_EQ(comm.messages(), comm.reductions() * (shards - 1) + halo_msgs);
+      EXPECT_EQ(comm.tree_rounds(), comm.reductions() * CommModel::ceil_log2(shards));
+      // Trace mirror: one CommEvent per all-reduce tree and one per halo
+      // exchange round.
+      EXPECT_EQ(trace.comm_event_count("reduction-tree"), comm.reductions());
+      EXPECT_EQ(trace.comm_event_count("halo"), applies);
+    }
+  }
+}
+
+// Monolithic runs keep the legacy accounting: no shard count attached
+// means no executed messages, no tree rounds, no comm events.
+TEST(TraceAccounting, MonolithicRunsRecordNoMessages) {
+  const auto a = poisson2d(10, 10);
+  const auto b = poisson2d_rhs(10, 10, 0.1);
+  CommModel comm;
+  obs::SolverTrace trace;
+  comm.set_trace(&trace);
+  CsrOperator<double> op(a);
+  SolverOptions opts;
+  opts.tol = 1e-10;
+  std::vector<double> x(b.size(), 0.0);
+  const auto st = cg<double>(op, nullptr, b, x, opts, &comm);
+  ASSERT_TRUE(st.converged);
+  EXPECT_GT(comm.reductions(), 0);
+  EXPECT_EQ(comm.messages(), 0);
+  EXPECT_EQ(comm.tree_rounds(), 0);
+  EXPECT_EQ(trace.comm_event_count("reduction-tree"), 0);
+  EXPECT_EQ(trace.comm_event_count("halo"), 0);
+}
+
+// A single process communicates with nobody: the modeled time of any
+// recorded traffic is exactly zero at P <= 1 (the historical model charged
+// halo latency and bytes even at P = 1, flattening every scaling curve's
+// origin), and positive as soon as a second process exists.
+TEST(TraceAccounting, ModeledSecondsFreeAtSingleProcess) {
+  CommModel comm;
+  for (int i = 0; i < 10; ++i) comm.reduction(64);
+  for (int i = 0; i < 5; ++i) comm.halo_exchange(4096, 3);
+  EXPECT_EQ(comm.modeled_seconds(1), 0.0);
+  EXPECT_EQ(comm.modeled_seconds(0), 0.0);
+  EXPECT_GT(comm.modeled_seconds(2), 0.0);
+  EXPECT_GT(comm.modeled_seconds(64), comm.modeled_seconds(2));
+}
+
 }  // namespace
 }  // namespace bkr

@@ -1,5 +1,6 @@
 // bench-check: validator and regression gate for the kernel-bench
-// trajectory (BENCH_kernels.json, schema "bkr-bench-kernels-1").
+// trajectory (BENCH_kernels.json, schema "bkr-bench-kernels-1") and the
+// sharded SPMD bench (BENCH_sharded.json, schema "bkr-bench-sharded-1").
 //
 // Modes:
 //   bench_check FILE
@@ -8,6 +9,12 @@
 //       alloc_churn rows (steady-state allocations per solver iteration,
 //       DESIGN.md §11) are gated here at exactly zero — an allocating
 //       iterate loop is a contract violation, not a trend to track.
+//       Sharded documents are additionally gated on two structural
+//       invariants: iteration counts must be identical across shard
+//       counts for the same (case, precond) — the bitwise shard-invariance
+//       contract of DESIGN.md §13 — and every case solved with the
+//       subdomain-deflation coarse space must take strictly fewer
+//       iterations than its one-level counterpart.
 //   bench_check FILE --baseline BASE [--max-regression 0.25]
 //                     [--min-median-seconds 1e-4]
 //       additionally compares FILE against BASE entry by entry. Entries
@@ -16,7 +23,8 @@
 //       regression. A matched entry fails the gate when its normalized
 //       median exceeds the baseline's by more than --max-regression AND
 //       the baseline median is at least --min-median-seconds (microsecond
-//       timings are too noisy to gate on).
+//       timings are too noisy to gate on). (Kernel schema only; sharded
+//       documents are gated structurally, not on timings.)
 //
 // The parser below handles exactly the JSON subset our writer emits
 // (objects, arrays, strings without escapes we generate, numbers, bools)
@@ -215,6 +223,7 @@ class JsonParser {
 // --- schema ----------------------------------------------------------------
 
 const char* const kSchema = "bkr-bench-kernels-1";
+const char* const kShardedSchema = "bkr-bench-sharded-1";
 const char* const kKernels[] = {"spmv", "spmm", "gemm",  "herk",
                                 "dot",  "norms", "trsm", "alloc_churn"};
 
@@ -236,7 +245,7 @@ bool known_kernel(const std::string& name) {
   return false;
 }
 
-bool load_doc(const std::string& path, BenchDoc* doc, std::string* err) {
+bool parse_json_file(const std::string& path, JsonValue* root, std::string* err) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     *err = "cannot open " + path;
@@ -245,12 +254,28 @@ bool load_doc(const std::string& path, BenchDoc* doc, std::string* err) {
   std::stringstream ss;
   ss << in.rdbuf();
   const std::string text = ss.str();
-  JsonValue root;
   JsonParser parser(text);
-  if (!parser.parse(&root) || root.kind != JsonValue::Kind::Object) {
+  if (!parser.parse(root) || root->kind != JsonValue::Kind::Object) {
     *err = path + ": not a JSON object (" + parser.error() + ")";
     return false;
   }
+  return true;
+}
+
+// Reads the schema string of FILE without validating anything else, so main
+// can dispatch between the kernels gate and the sharded gate.
+std::string peek_schema(const std::string& path) {
+  JsonValue root;
+  std::string err;
+  if (!parse_json_file(path, &root, &err)) return "";
+  const JsonValue* schema = root.get("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::String) return "";
+  return schema->text;
+}
+
+bool load_doc(const std::string& path, BenchDoc* doc, std::string* err) {
+  JsonValue root;
+  if (!parse_json_file(path, &root, err)) return false;
   const JsonValue* schema = root.get("schema");
   if (schema == nullptr || schema->kind != JsonValue::Kind::String || schema->text != kSchema) {
     *err = path + ": missing or unknown schema (want \"" + std::string(kSchema) + "\")";
@@ -326,6 +351,139 @@ bool load_doc(const std::string& path, BenchDoc* doc, std::string* err) {
   return true;
 }
 
+// --- sharded schema --------------------------------------------------------
+
+struct ShardedEntry {
+  std::string case_name;
+  long shards = 0;
+  long coarse = 0;  // coarse-space subdomains; 0 means one-level Schwarz
+  long iterations = 0;
+  bool converged = false;
+  double setup_seconds = 0;
+  double solve_seconds = 0;
+};
+
+// Validates a "bkr-bench-sharded-1" document and applies its two structural
+// gates (see file header). Returns the entry count via *count on success.
+bool check_sharded_doc(const std::string& path, size_t* count, std::string* err) {
+  JsonValue root;
+  if (!parse_json_file(path, &root, err)) return false;
+  const JsonValue* schema = root.get("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::String ||
+      schema->text != kShardedSchema) {
+    *err = path + ": missing or unknown schema (want \"" + std::string(kShardedSchema) + "\")";
+    return false;
+  }
+  const JsonValue* entries = root.get("entries");
+  if (entries == nullptr || entries->kind != JsonValue::Kind::Array || entries->items.empty()) {
+    *err = path + ": entries must be a non-empty array";
+    return false;
+  }
+  std::map<std::string, ShardedEntry> by_key;  // "case|shards|coarse"
+  for (size_t i = 0; i < entries->items.size(); ++i) {
+    const JsonValue& e = entries->items[i];
+    const std::string at = path + ": entries[" + std::to_string(i) + "]";
+    if (e.kind != JsonValue::Kind::Object) {
+      *err = at + " is not an object";
+      return false;
+    }
+    const JsonValue* cs = e.get("case");
+    const JsonValue* shards = e.get("shards");
+    const JsonValue* coarse = e.get("coarse");
+    const JsonValue* iters = e.get("iterations");
+    const JsonValue* conv = e.get("converged");
+    const JsonValue* setup = e.get("setup_seconds");
+    const JsonValue* solve = e.get("solve_seconds");
+    if (cs == nullptr || cs->kind != JsonValue::Kind::String || cs->text.empty()) {
+      *err = at + ": case missing";
+      return false;
+    }
+    if (shards == nullptr || shards->kind != JsonValue::Kind::Number || shards->number < 1) {
+      *err = at + ": shards missing or < 1";
+      return false;
+    }
+    if (coarse == nullptr || coarse->kind != JsonValue::Kind::Number || coarse->number < 0) {
+      *err = at + ": coarse missing or negative";
+      return false;
+    }
+    if (iters == nullptr || iters->kind != JsonValue::Kind::Number || iters->number < 0) {
+      *err = at + ": iterations missing or negative";
+      return false;
+    }
+    if (conv == nullptr || conv->kind != JsonValue::Kind::Bool) {
+      *err = at + ": converged missing";
+      return false;
+    }
+    if (!conv->boolean) {
+      *err = at + ": case " + cs->text + " did not converge";
+      return false;
+    }
+    for (const JsonValue* t : {setup, solve}) {
+      if (t == nullptr || t->kind != JsonValue::Kind::Number || t->number < 0 ||
+          !std::isfinite(t->number)) {
+        *err = at + ": setup_seconds/solve_seconds missing or invalid";
+        return false;
+      }
+    }
+    ShardedEntry entry{cs->text,          long(shards->number), long(coarse->number),
+                       long(iters->number), conv->boolean,      setup->number,
+                       solve->number};
+    const std::string key = entry.case_name + "|" + std::to_string(entry.shards) + "|" +
+                            std::to_string(entry.coarse);
+    if (by_key.count(key) != 0) {
+      *err = at + ": duplicate entry key " + key;
+      return false;
+    }
+    by_key.emplace(key, std::move(entry));
+  }
+
+  // Gate 1 — shard invariance: the solver history is bitwise independent of
+  // the shard count (DESIGN.md §13), so iteration counts for the same
+  // (case, coarse) pair must agree across every shard count benchmarked.
+  std::map<std::string, long> canon_iters;  // "case|coarse" -> iterations
+  for (const auto& [key, e] : by_key) {
+    const std::string ck = e.case_name + "|" + std::to_string(e.coarse);
+    const auto it = canon_iters.find(ck);
+    if (it == canon_iters.end()) {
+      canon_iters.emplace(ck, e.iterations);
+    } else if (it->second != e.iterations) {
+      std::ostringstream os;
+      os << path << ": shard-invariance violation for " << ck << " — " << it->second
+         << " vs " << e.iterations << " iterations across shard counts";
+      *err = os.str();
+      return false;
+    }
+  }
+
+  // Gate 2 — deflation must pay: wherever a case was run both one-level and
+  // with the subdomain-deflation coarse space at the same shard count, the
+  // deflated run must converge in strictly fewer iterations.
+  bool any_pair = false;
+  for (const auto& [key, e] : by_key) {
+    if (e.coarse == 0) continue;
+    // Find the one-level counterpart at the same (case, shards).
+    for (const auto& [okey, plain] : by_key) {
+      if (plain.coarse != 0 || plain.case_name != e.case_name || plain.shards != e.shards)
+        continue;
+      any_pair = true;
+      if (e.iterations >= plain.iterations) {
+        std::ostringstream os;
+        os << path << ": deflation gate failed for " << e.case_name << " at " << e.shards
+           << " shard(s): coarse=" << e.coarse << " took " << e.iterations
+           << " iterations vs " << plain.iterations << " one-level";
+        *err = os.str();
+        return false;
+      }
+    }
+  }
+  if (!any_pair) {
+    *err = path + ": no (one-level, deflated) pair to gate — bench must emit both";
+    return false;
+  }
+  *count = by_key.size();
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -358,6 +516,20 @@ int main(int argc, char** argv) {
   }
 
   std::string err;
+  if (peek_schema(path) == kShardedSchema) {
+    size_t count = 0;
+    if (!check_sharded_doc(path, &count, &err)) {
+      std::fprintf(stderr, "bench_check: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("bench_check: %s valid (%zu entries, shard-invariance and deflation gates "
+                "passed)\n",
+                path.c_str(), count);
+    if (!baseline_path.empty())
+      std::printf("bench_check: note — sharded documents are gated structurally; "
+                  "--baseline ignored\n");
+    return 0;
+  }
   BenchDoc doc;
   if (!load_doc(path, &doc, &err)) {
     std::fprintf(stderr, "bench_check: %s\n", err.c_str());

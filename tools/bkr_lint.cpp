@@ -513,7 +513,7 @@ std::string module_of(const std::string& rel) {
 // Files whose parallel task bodies carry the determinism contract.
 bool determinism_scope(const std::string& path) {
   return path.rfind("src/parallel/", 0) == 0 || path == "src/la/blas.hpp" ||
-         path == "src/sparse/csr.hpp";
+         path == "src/sparse/csr.hpp" || path == "src/sparse/sharded.hpp";
 }
 
 // Parameter types that mark a public function as a data-plane entry point
