@@ -3,29 +3,41 @@
 #
 # Stages (all run by default; flags select a subset):
 #   --lint   bkr-lint self-test + project scan + bkr-analyze cross-TU
-#            project model + bkr-hotpath call-graph hot-path discipline,
-#            all against the committed baseline
+#            project model + bkr-hotpath call-graph hot-path discipline +
+#            bkr-fpflow precision-flow walk + baseline hygiene, all
+#            against the committed baseline
 #   --tidy   clang-tidy over src/ using .clang-tidy (skipped with a notice
 #            when clang-tidy is not installed — the container ships g++ only)
 #   --asan   ASan+UBSan build + full test suite (build-asan/)
 #   --tsan   TSan build + concurrency stress suites (build-tsan/)
 #
 # Usage: scripts/analyze.sh [--lint] [--tidy] [--asan] [--tsan]
+#                           [--sarif out.sarif]
+#   --sarif FILE  also export the combined lint run's unsuppressed
+#                 findings as SARIF 2.1.0 to FILE (implies --lint)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_LINT=0 RUN_TIDY=0 RUN_ASAN=0 RUN_TSAN=0
+SARIF_OUT=""
 if [[ $# -eq 0 ]]; then
   RUN_LINT=1 RUN_TIDY=1 RUN_ASAN=1 RUN_TSAN=1
 fi
-for arg in "$@"; do
-  case "$arg" in
+while [[ $# -gt 0 ]]; do
+  case "$1" in
     --lint) RUN_LINT=1 ;;
     --tidy) RUN_TIDY=1 ;;
     --asan) RUN_ASAN=1 ;;
     --tsan) RUN_TSAN=1 ;;
-    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+    --sarif)
+      [[ $# -ge 2 ]] || { echo "--sarif needs a file argument" >&2; exit 2; }
+      SARIF_OUT="$2"
+      RUN_LINT=1
+      shift
+      ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
+  shift
 done
 
 if [[ $RUN_LINT -eq 1 ]]; then
@@ -33,11 +45,21 @@ if [[ $RUN_LINT -eq 1 ]]; then
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build build --target bkr_lint -j
   ./build/tools/bkr_lint --self-test
-  ./build/tools/bkr_lint --baseline tools/bkr_lint_baseline.txt .
+  if [[ -n "$SARIF_OUT" ]]; then
+    ./build/tools/bkr_lint --baseline tools/bkr_lint_baseline.txt \
+      --sarif "$SARIF_OUT" .
+    echo "    SARIF written to $SARIF_OUT"
+  else
+    ./build/tools/bkr_lint --baseline tools/bkr_lint_baseline.txt .
+  fi
   echo "==> bkr-analyze (cross-TU project model)"
   ./build/tools/bkr_lint --analyze --baseline tools/bkr_lint_baseline.txt .
   echo "==> bkr-hotpath (call-graph hot-path discipline)"
   ./build/tools/bkr_lint --hotpath --baseline tools/bkr_lint_baseline.txt .
+  echo "==> bkr-fpflow (precision-flow & numerical safety)"
+  ./build/tools/bkr_lint --fpflow --baseline tools/bkr_lint_baseline.txt .
+  echo "==> baseline hygiene (--baseline-check)"
+  ./build/tools/bkr_lint --baseline-check tools/bkr_lint_baseline.txt .
 fi
 
 if [[ $RUN_TIDY -eq 1 ]]; then

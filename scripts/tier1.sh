@@ -21,8 +21,8 @@ ctest --test-dir build --output-on-failure -j
 echo "==> ASan+UBSan build + ${SANITIZE_FILTER:-all} tests"
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined,float-divide-by-zero,float-cast-overflow -fno-omit-frame-pointer -fno-sanitize-recover=all" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined,float-divide-by-zero,float-cast-overflow"
 cmake --build build-asan -j --target unit_tests
 if [[ -n "$SANITIZE_FILTER" ]]; then
   ctest --test-dir build-asan --output-on-failure -j 4 -R "$SANITIZE_FILTER"
@@ -64,7 +64,7 @@ cmake --build build -j --target bench_fig_sharded
 ./build/bench/bench_fig_sharded --smoke --out build/BENCH_sharded_smoke.json
 ./build/tools/bench_check build/BENCH_sharded_smoke.json
 
-echo "==> static analysis (bkr-lint + bkr-analyze + bkr-hotpath) + TSan concurrency stress"
+echo "==> static analysis (bkr-lint + bkr-analyze + bkr-hotpath + bkr-fpflow) + TSan concurrency stress"
 scripts/analyze.sh --lint --tsan
 
 echo "==> tier-1 OK"

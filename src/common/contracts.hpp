@@ -150,6 +150,47 @@ std::string describe(const char* name, const V& value, const Rest&... rest) {
 #define BKR_COLD
 #define BKR_HOT_LOOP
 
+// ---------------------------------------------------------------------------
+// Precision-flow annotations (DESIGN.md §14, "bkr-fpflow"). Unconditional
+// no-ops like the lock and hot-path markers above — they are the vocabulary
+// of the intra-function precision-flow stage of tools/bkr_lint, which is
+// the precondition for any mixed-precision kernel (ROADMAP item 3): before
+// a kernel may narrow to fp32, the analyzer must know *where* narrowing is
+// permitted and *which* denominators and accumulations are guarded.
+//
+//   BKR_PRECISION_BOUNDARY  on a statement or function head: this is the
+//                           deliberate fp32 <-> fp64 conversion point of a
+//                           mixed-precision component (e.g. the promotion
+//                           of an fp32 SpMM result back to the fp64 outer
+//                           iteration). Marks the component for the
+//                           oracle-mismatch reachability rule.
+//   BKR_ALLOW_NARROWING     on a statement or function head: the double ->
+//                           float (or complex<double> -> complex<float>)
+//                           flow on this line / in this function is
+//                           intentional. Without it, every narrowing
+//                           assignment, initialization, cast or return is
+//                           an implicit-narrowing finding.
+//   BKR_GUARDED_DIV         on a statement: the division by a computed
+//                           norm / dot / pivot on this line is protected by
+//                           an invariant the analyzer cannot see (e.g. an
+//                           early return that excludes the zero case).
+//                           Requires a justification comment, like a
+//                           baseline entry.
+//   BKR_TOLERANCE_ORACLE(c) in a test file: the suite containing it is the
+//                           tolerance-based oracle covering the narrowing
+//                           component `c` (a class or function name). Every
+//                           solver-reachable BKR_ALLOW_NARROWING component
+//                           must be named by exactly such an annotation or
+//                           bkr-fpflow reports oracle-mismatch.
+//
+// Placement convention: `BKR_ALLOW_NARROWING const float vf = float(v);` /
+// `BKR_GUARDED_DIV const T tau = num / beta;  // beta != 0: early return` /
+// `BKR_TOLERANCE_ORACLE(MixedPrecisionOperator);` at test-file scope.
+#define BKR_PRECISION_BOUNDARY
+#define BKR_ALLOW_NARROWING
+#define BKR_GUARDED_DIV
+#define BKR_TOLERANCE_ORACLE(component)
+
 #endif  // BKR_COMMON_CONTRACTS_HPP_
 
 // ---------------------------------------------------------------------------

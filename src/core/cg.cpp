@@ -85,6 +85,33 @@ void cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const 
     return false;
   };
 
+  // Mixed-precision pilot (DESIGN.md §14): the recursive residual tracks
+  // the reduced-precision operator, so it is periodically replaced — and
+  // always re-verified before reporting convergence — by the true fp64
+  // residual b - A x. With a MixedPrecisionOperator that goes through
+  // apply_full; any other operator is its own full-precision apply.
+  const MixedPrecisionOperator<T>* const mp =
+      opts.mixed_precision ? dynamic_cast<const MixedPrecisionOperator<T>*>(&a) : nullptr;
+  auto replace_residual = [&] {
+    {
+      obs::ScopedPhase sp(trace, obs::Phase::Spmm);
+      const auto xv = MatrixView<const T>(x.data(), n, p, x.ld());
+      if (mp != nullptr) {
+        mp->apply_full(xv, r.view());
+      } else {
+        a.apply(xv, r.view());
+      }
+      ++st.operator_applies;
+    }
+    for (index_t c = 0; c < p; ++c)
+      for (index_t i = 0; i < n; ++i) r(i, c) = b(i, c) - r(i, c);
+    detail::norms<T>(r.view(), rnorm.data(), st, comm, trace, ex, opts.shards);
+    ++st.recoveries;
+    if (trace != nullptr)
+      trace->recovery(obs::RecoveryEvent{st.iterations, "mixed-precision",
+                                         "residual-replacement", p});
+  };
+
   obs::IterationEvent ev;
   if (trace != nullptr) ev.residuals.reserve(static_cast<size_t>(p));
   if (opts.record_history) {
@@ -150,7 +177,25 @@ void cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const 
       st.status = SolveStatus::NonFiniteResidual;
       break;
     }
-    if (converged()) break;
+    if (opts.mixed_precision) {
+      bool done = converged();
+      const bool periodic = opts.replacement_interval > 0 &&
+                            st.iterations % opts.replacement_interval == 0;
+      if (done || periodic) {
+        // Drift correction (periodic) or convergence verification: after
+        // the replacement, rnorm holds the true fp64 residual, so the
+        // stopping test below cannot be lied to by the fp32 recursion.
+        replace_residual();
+        if (!detail::finite_norms(rnorm.data(), p)) {
+          st.status = SolveStatus::NonFiniteResidual;
+          break;
+        }
+        done = converged();
+      }
+      if (done) break;
+    } else if (converged()) {
+      break;
+    }
     precondition(r.view(), z.view());
     std::swap(rho, rho_old);
     {
@@ -165,13 +210,20 @@ void cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const 
     }
   }
   st.converged = detail::finite_norms(rnorm.data(), p) && converged();
-  if (st.converged && (opts.fault != nullptr || opts.recovery.final_check)) {
+  if (st.converged &&
+      (opts.fault != nullptr || opts.recovery.final_check || opts.mixed_precision)) {
     // The CG recursion can be lied to by a faulted operator: the recursive
     // residual drifts away from b - A x. Confirm against the true residual
-    // before reporting success.
+    // before reporting success. Under the mixed-precision pilot the same
+    // epilogue re-measures against the fp64 matrix, not the fp32 mirror.
     {
       obs::ScopedPhase sp(trace, obs::Phase::Spmm);
-      a.apply(MatrixView<const T>(x.data(), n, p, x.ld()), q.view());
+      const auto xv = MatrixView<const T>(x.data(), n, p, x.ld());
+      if (mp != nullptr) {
+        mp->apply_full(xv, q.view());
+      } else {
+        a.apply(xv, q.view());
+      }
       ++st.operator_applies;
     }
     for (index_t c = 0; c < p; ++c)

@@ -33,7 +33,10 @@ void check_solve_entry(const LinearOperator<T>& a, const Preconditioner<T>* m,
   BKR_REQUIRE(opts.restart >= 1, "opts.restart", opts.restart);
   BKR_REQUIRE(opts.recycle >= 0, "opts.recycle", opts.recycle);
   BKR_REQUIRE(opts.max_iterations >= 0, "opts.max_iterations", opts.max_iterations);
-  BKR_REQUIRE(opts.tol > 0, "opts.tol", opts.tol);
+  // tol == 0 is the documented smoother mode: never converge, run exactly
+  // max_iterations (see Cg.FixedIterationSmootherMode). Only negatives are
+  // malformed.
+  BKR_REQUIRE(opts.tol >= 0, "opts.tol", opts.tol);
 }
 
 // Per-solve resilience context threaded through the shared kernels. Owns
@@ -177,14 +180,24 @@ BKR_COLD void final_residual_check(const LinearOperator<T>& a, MatrixView<const 
                                    MatrixView<T> x, const SolverOptions& opts, SolveStats& st,
                                    CommModel* comm) {
   using Real = real_t<T>;
-  if (!st.converged || (opts.fault == nullptr && !opts.recovery.final_check)) return;
+  if (!st.converged ||
+      (opts.fault == nullptr && !opts.recovery.final_check && !opts.mixed_precision))
+    return;
   obs::TraceSink* const trace = opts.trace;
   const KernelExecutor* const ex = opts.exec;
   const index_t n = b.rows(), p = b.cols();
+  // Under the mixed-precision pilot the operator's apply is the fp32
+  // mirror; the epilogue must measure against the fp64 matrix.
+  const auto* const mp = dynamic_cast<const MixedPrecisionOperator<T>*>(&a);
   DenseMatrix<T> q(n, p);
   {
     obs::ScopedPhase sp(trace, obs::Phase::Spmm);
-    a.apply(MatrixView<const T>(x.data(), n, p, x.ld()), q.view());
+    const auto xv = MatrixView<const T>(x.data(), n, p, x.ld());
+    if (mp != nullptr) {
+      mp->apply_full(xv, q.view());
+    } else {
+      a.apply(xv, q.view());
+    }
     ++st.operator_applies;
   }
   for (index_t c = 0; c < p; ++c)

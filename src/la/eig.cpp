@@ -29,8 +29,11 @@ void hessenberg_reduce(DenseMatrix<cplx>& a, DenseMatrix<cplx>& q) {
     if (xnorm == 0.0 && alpha.imag() == 0.0) continue;
     const double anorm = std::sqrt(std::norm(alpha) + xnorm);
     const double beta = -std::copysign(anorm, alpha.real() == 0.0 ? 1.0 : alpha.real());
-    const cplx tau = (cplx(beta) - alpha) / beta;
-    const cplx scale = 1.0 / (alpha - cplx(beta));
+    // beta = -copysign(anorm, ...) with anorm > 0 (the xnorm == 0 &&
+    // imag == 0 case continued above), and alpha - beta cannot cancel:
+    // copysign gives beta the sign opposite to alpha's real part.
+    BKR_GUARDED_DIV const cplx tau = (cplx(beta) - alpha) / beta;
+    BKR_GUARDED_DIV const cplx scale = 1.0 / (alpha - cplx(beta));
     v[0] = 1.0;
     for (index_t i = 1; i < len; ++i) v[size_t(i)] *= scale;
     a(j + 1, j) = beta;

@@ -286,7 +286,11 @@ AmgPreconditioner<T>::AmgPreconditioner(const CsrMatrix<T>& a, AmgOptions opts,
       const auto diag = al.diagonal();
       auto& vals = dinv_a.values();
       for (index_t i = 0; i < al.rows(); ++i) {
-        const T scale = scalar_traits<T>::from_real(real_t<T>(opts_.omega)) / diag[size_t(i)];
+        // A zero diagonal row cannot be Jacobi-smoothed; keep the tentative
+        // prolongator there instead of injecting inf into P.
+        const T d = diag[size_t(i)];
+        const T scale =
+            d == T(0) ? T(0) : scalar_traits<T>::from_real(real_t<T>(opts_.omega)) / d;
         for (index_t l = al.rowptr()[size_t(i)]; l < al.rowptr()[size_t(i) + 1]; ++l)
           vals[size_t(l)] = al.values()[size_t(l)] * scale;
       }
@@ -326,6 +330,11 @@ index_t AmgPreconditioner<T>::levels() const {
 template <class T>
 index_t AmgPreconditioner<T>::level_rows(index_t level) const {
   return levels_[size_t(level)]->a.rows();
+}
+
+template <class T>
+const CsrMatrix<T>& AmgPreconditioner<T>::prolongator(index_t level) const {
+  return levels_[size_t(level)]->p;
 }
 
 template <class T>

@@ -48,6 +48,9 @@ class AmgPreconditioner final : public Preconditioner<T> {
 
   [[nodiscard]] index_t levels() const;
   [[nodiscard]] index_t level_rows(index_t level) const;
+  // Smoothed prolongator leaving `level` (diagnostics/tests; defined for
+  // non-coarsest levels only).
+  [[nodiscard]] const CsrMatrix<T>& prolongator(index_t level) const;
   [[nodiscard]] double setup_seconds() const { return setup_seconds_; }
   [[nodiscard]] double operator_complexity() const;  // sum nnz(A_l) / nnz(A_0)
 

@@ -12,7 +12,10 @@ class JacobiPreconditioner final : public Preconditioner<T> {
  public:
   explicit JacobiPreconditioner(const CsrMatrix<T>& a, real_t<T> damping = real_t<T>(1))
       : inv_diag_(a.diagonal()) {
-    for (auto& d : inv_diag_) d = scalar_traits<T>::from_real(damping) / d;
+    // A missing/zero diagonal entry (semi-definite row, padded DOF) leaves
+    // that row unsmoothed rather than poisoning the whole vector with inf.
+    for (auto& d : inv_diag_)
+      BKR_GUARDED_DIV d = (d == T(0)) ? T(0) : scalar_traits<T>::from_real(damping) / d;
   }
 
   [[nodiscard]] index_t n() const override { return index_t(inv_diag_.size()); }

@@ -170,7 +170,9 @@ TEST(Contracts, SolverEntryRejectsBadOptions) {
   EXPECT_THROW(block_gmres<double>(op, nullptr, b.view(), x.view(), opts, nullptr),
                ContractViolation);
   SolverOptions opts2;
-  opts2.tol = 0.0;  // tolerance must be positive
+  // tol == 0 is the documented fixed-iteration smoother mode, so only a
+  // negative tolerance is malformed (see Cg.FixedIterationSmootherMode).
+  opts2.tol = -1.0;
   EXPECT_THROW(cg<double>(op, nullptr, b.view(), x.view(), opts2, nullptr), ContractViolation);
 }
 
