@@ -26,6 +26,7 @@
 //                     first solve took strictly fewer iterations than its
 //                     cold reference and reported warm_started
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -123,9 +124,19 @@ int main(int argc, char** argv) {
   RecycleCache cache;
   RecycleCache* cache_ptr = no_cache ? nullptr : &cache;
   if (cache_ptr != nullptr && !cache_file.empty()) {
-    if (cache.load(cache_file))
+    if (cache.load(cache_file)) {
       std::printf("loaded %lld cached spaces from %s\n",
                   static_cast<long long>(cache.counters().entries), cache_file.c_str());
+    } else if (std::ifstream(cache_file).good()) {
+      // The file exists but failed validation (bad magic/version/checksum
+      // or truncation): cold-starting silently would hide snapshot rot.
+      std::fprintf(stderr,
+                   "warning: cache snapshot %s is corrupt or unreadable; cold-starting\n",
+                   cache_file.c_str());
+    } else {
+      std::fprintf(stderr, "note: cache snapshot %s not found; cold-starting\n",
+                   cache_file.c_str());
+    }
   }
 
   // Pass A populates (or reuses) the shared cache; pass B's fresh
@@ -140,6 +151,7 @@ int main(int argc, char** argv) {
               "passB first-it");
   bool all_converged = true;
   bool improved = true;
+  std::vector<size_t> regressed;
   for (size_t i = 0; i < operators.size(); ++i) {
     std::printf("  %-12s %14lld %13lld%s %13lld%s\n", names[i],
                 static_cast<long long>(cold[i].first_iterations),
@@ -147,8 +159,10 @@ int main(int argc, char** argv) {
                 static_cast<long long>(pass_b[i].first_iterations), pass_b[i].warm ? "w" : " ");
     all_converged = all_converged && cold[i].converged && pass_a[i].converged &&
                     pass_b[i].converged;
-    improved = improved && pass_b[i].warm &&
-               pass_b[i].first_iterations < cold[i].first_iterations;
+    const bool op_improved =
+        pass_b[i].warm && pass_b[i].first_iterations < cold[i].first_iterations;
+    if (!op_improved) regressed.push_back(i);
+    improved = improved && op_improved;
   }
   if (cache_ptr != nullptr) {
     const auto c = cache.counters();
@@ -168,7 +182,15 @@ int main(int argc, char** argv) {
     return 3;
   }
   if (assert_improvement && cache_ptr != nullptr && !improved) {
-    std::printf("ASSERT FAILED: warm pass did not improve on the cold reference\n");
+    for (const size_t i : regressed)
+      std::fprintf(stderr,
+                   "ASSERT FAILED: operator %s warm first solve %s (warm %lld iterations vs "
+                   "cold %lld)\n",
+                   names[i],
+                   pass_b[i].warm ? "did not improve on the cold reference"
+                                  : "was not warm-started from the cache",
+                   static_cast<long long>(pass_b[i].first_iterations),
+                   static_cast<long long>(cold[i].first_iterations));
     return 2;
   }
   return 0;

@@ -64,6 +64,71 @@ cmake --build build -j --target bench_fig_sharded
 ./build/bench/bench_fig_sharded --smoke --out build/BENCH_sharded_smoke.json
 ./build/tools/bench_check build/BENCH_sharded_smoke.json
 
+echo "==> serve smoke: solve server (pipe mode) under ASan+UBSan"
+# Drive the real bkr_serve binary (DESIGN.md §15) through one pipe-mode
+# session covering the service surface: a cold gcrodr solve that seeds the
+# shared cache, a warm repeat that must hit it, two held pseudo-gmres
+# requests flushed into a single width-2 block solve, and an
+# expired-deadline refusal. Sanitized, so a leak or UB anywhere in the
+# dispatch/batching/cancellation machinery fails the gate.
+cmake --build build-asan -j --target bkr_serve
+SERVE_BIN=build-asan/tools/bkr_serve
+SERVE_OUT=$("$SERVE_BIN" -workers 1 2> /dev/null <<'EOF'
+{"op":"solve","id":"cold","matrix":"poisson2d:24","method":"gcrodr"}
+{"op":"solve","id":"warm","matrix":"poisson2d:24","method":"gcrodr"}
+{"op":"solve","id":"held-a","matrix":"poisson2d:24","method":"pseudo_gmres","tenant":"a","hold":true}
+{"op":"solve","id":"held-b","matrix":"poisson2d:24","method":"pseudo_gmres","tenant":"b","hold":true}
+{"op":"flush"}
+{"op":"solve","id":"late","matrix":"poisson2d:96","method":"gmres","tol":1e-14,"deadline_ms":0}
+{"op":"shutdown"}
+EOF
+)
+echo "$SERVE_OUT" | grep -q '"id":"warm".*"warm_start":1' \
+  || { echo "serve smoke: warm solve did not warm-start"; exit 1; }
+echo "$SERVE_OUT" | grep -q '"id":"held-a".*"batch_width":2' \
+  || { echo "serve smoke: held requests were not batched"; exit 1; }
+echo "$SERVE_OUT" | grep -q '"id":"late","status":"deadline-exceeded"' \
+  || { echo "serve smoke: expired deadline was not refused"; exit 1; }
+
+# Admission control: with one lane and a queue budget of 1, a stuck
+# request (tol=0 smoother mode never converges) forces the next arrival
+# into an immediate typed refusal; cancelling the stuck one drains it.
+SERVE_OUT=$("$SERVE_BIN" -workers 1 -queue 1 2> /dev/null <<'EOF'
+{"op":"solve","id":"stuck","matrix":"poisson2d:32","method":"gmres","tol":0,"max_iterations":100000000}
+{"op":"solve","id":"burst","matrix":"poisson2d:16","method":"cg"}
+{"op":"cancel","id":"stuck"}
+{"op":"shutdown"}
+EOF
+)
+echo "$SERVE_OUT" | grep -q '"id":"burst","status":"overloaded"' \
+  || { echo "serve smoke: queue overflow was not refused"; exit 1; }
+echo "$SERVE_OUT" | grep -q '"id":"stuck","status":"cancelled"' \
+  || { echo "serve smoke: cancel did not land"; exit 1; }
+
+# SIGTERM with in-flight work: the drain cancels the straggler, the
+# process exits 0, and the cache snapshot it writes is loadable.
+SERVE_SNAP=build-asan/tier1_serve_snapshot.bkrc
+SERVE_FIFO=build-asan/tier1_serve_fifo
+rm -f "$SERVE_SNAP" "$SERVE_FIFO"
+mkfifo "$SERVE_FIFO"
+"$SERVE_BIN" -workers 1 -cache_file "$SERVE_SNAP" -drain_ms 1000 \
+  < "$SERVE_FIFO" > /dev/null 2>&1 &
+SERVE_PID=$!
+exec 9> "$SERVE_FIFO"
+echo '{"op":"solve","id":"seed","matrix":"poisson2d:16","method":"gcrodr"}' >&9
+sleep 2
+echo '{"op":"solve","id":"stuck","matrix":"poisson2d:32","method":"gmres","tol":0,"max_iterations":100000000}' >&9
+sleep 1
+kill -TERM "$SERVE_PID"
+SERVE_RC=0
+wait "$SERVE_PID" || SERVE_RC=$?
+exec 9>&-
+rm -f "$SERVE_FIFO"
+[[ "$SERVE_RC" == 0 ]] \
+  || { echo "serve smoke: SIGTERM drain exited $SERVE_RC"; exit 1; }
+"$SERVE_BIN" -check_snapshot "$SERVE_SNAP" \
+  || { echo "serve smoke: shutdown snapshot not loadable"; exit 1; }
+
 echo "==> static analysis (bkr-lint + bkr-analyze + bkr-hotpath + bkr-fpflow) + TSan concurrency stress"
 scripts/analyze.sh --lint --tsan
 

@@ -1,5 +1,7 @@
 #include "capi/bkr_c.h"
 
+#include <atomic>
+#include <chrono>
 #include <complex>
 #include <cstring>
 #include <vector>
@@ -15,6 +17,10 @@
 /* Defined before the helpers so to_cpp can reach through it. */
 struct bkr_trace {
   bkr::obs::SolverTrace t;
+};
+
+struct bkr_cancel_token {
+  std::atomic<bool> flag{false};
 };
 
 namespace {
@@ -56,7 +62,18 @@ SolverOptions to_cpp(const bkr_options* opts) {
     o.recovery.shrink_recycle = false;
     o.recovery.early_restart = false;
   }
+  if (opts->cancel != nullptr) o.cancel = &opts->cancel->flag;
+  /* deadline_ms counts from the moment the options are bound; < 0 keeps
+   * the epoch sentinel (no deadline, no clock reads on the hot path). */
+  if (opts->deadline_ms >= 0)
+    o.deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(opts->deadline_ms);
   return o;
+}
+
+/* Deadline re-arming shared by the session setters. */
+std::chrono::steady_clock::time_point deadline_from_ms(int64_t deadline_ms) {
+  if (deadline_ms < 0) return std::chrono::steady_clock::time_point{};
+  return std::chrono::steady_clock::now() + std::chrono::milliseconds(deadline_ms);
 }
 
 void to_c(const SolveStats& st, bkr_result* result) {
@@ -173,6 +190,30 @@ void bkr_options_default(bkr_options* opts) {
   opts->method = BKR_METHOD_GMRES;
   opts->shards = 0;
   opts->coarse = 0;
+  opts->deadline_ms = -1;
+  opts->cancel = nullptr;
+}
+
+/* --- cooperative cancellation ----------------------------------------- */
+
+bkr_cancel_token* bkr_cancel_token_create(void) {
+  return new bkr_cancel_token{};  // bkr-lint: allow(raw-new-delete)
+}
+
+void bkr_cancel_token_destroy(bkr_cancel_token* token) {
+  delete token;  // bkr-lint: allow(raw-new-delete)
+}
+
+void bkr_cancel_token_cancel(bkr_cancel_token* token) {
+  if (token != nullptr) token->flag.store(true, std::memory_order_relaxed);
+}
+
+void bkr_cancel_token_reset(bkr_cancel_token* token) {
+  if (token != nullptr) token->flag.store(false, std::memory_order_relaxed);
+}
+
+int bkr_cancel_token_cancelled(const bkr_cancel_token* token) {
+  return (token != nullptr && token->flag.load(std::memory_order_relaxed)) ? 1 : 0;
 }
 
 /* --- recycle-space cache ---------------------------------------------- */
@@ -360,6 +401,13 @@ int bkr_session_warm_started(const bkr_session* session) {
   return (session != nullptr && session->s->warm_started()) ? 1 : 0;
 }
 
+void bkr_session_set_cancellation(bkr_session* session, bkr_cancel_token* token,
+                                  int64_t deadline_ms) {
+  if (session == nullptr) return;
+  session->s->set_cancellation(token == nullptr ? nullptr : &token->flag,
+                               deadline_from_ms(deadline_ms));
+}
+
 bkr_zmatrix* bkr_zmatrix_create(int64_t n, const int64_t* rowptr, const int64_t* colind,
                                 const double* values_interleaved) {
   auto* m = make_matrix<cd>(n, rowptr, colind,
@@ -475,6 +523,13 @@ int64_t bkr_zsession_solves(const bkr_zsession* session) {
 
 int bkr_zsession_warm_started(const bkr_zsession* session) {
   return (session != nullptr && session->s->warm_started()) ? 1 : 0;
+}
+
+void bkr_zsession_set_cancellation(bkr_zsession* session, bkr_cancel_token* token,
+                                   int64_t deadline_ms) {
+  if (session == nullptr) return;
+  session->s->set_cancellation(token == nullptr ? nullptr : &token->flag,
+                               deadline_from_ms(deadline_ms));
 }
 
 }  // extern "C"

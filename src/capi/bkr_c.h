@@ -27,6 +27,7 @@ typedef struct bkr_trace bkr_trace;           /* solver telemetry sink (src/obs)
 typedef struct bkr_cache bkr_cache;           /* recycle-space cache (src/core) */
 typedef struct bkr_session bkr_session;       /* solver session, double */
 typedef struct bkr_zsession bkr_zsession;     /* solver session, double complex */
+typedef struct bkr_cancel_token bkr_cancel_token; /* cooperative cancel flag */
 
 typedef enum bkr_side {
   BKR_SIDE_NONE = 0,
@@ -68,6 +69,11 @@ typedef enum bkr_status {
                                           * recovery was disabled */
   BKR_STATUS_FAULTED = 7,                /* external fault (injected or
                                           * operator-side) */
+  BKR_STATUS_CANCELLED = 8,              /* bkr_cancel_token observed set at an
+                                          * iteration boundary; x holds the
+                                          * last consistent partial iterate */
+  BKR_STATUS_DEADLINE_EXCEEDED = 9,      /* deadline_ms elapsed before
+                                          * convergence */
 } bkr_status;
 
 typedef struct bkr_options {
@@ -99,6 +105,18 @@ typedef struct bkr_options {
                            * additive: z = r + Z E^-1 Z^T r) with this many
                            * subdomains as its preconditioner (default 0:
                            * unpreconditioned) */
+  int64_t deadline_ms;    /* >= 0: solves abort with
+                           * BKR_STATUS_DEADLINE_EXCEEDED once this many
+                           * milliseconds have elapsed, measured from the
+                           * moment the options are bound (solver create /
+                           * session create); 0 expires immediately, before
+                           * the first operator apply. Default -1: no
+                           * deadline, no clock reads on the hot path. */
+  bkr_cancel_token* cancel; /* optional cooperative cancel flag, not owned;
+                             * must outlive every solve it is attached to.
+                             * Solvers poll it once per outer iteration and
+                             * abort with BKR_STATUS_CANCELLED (default
+                             * NULL) */
 } bkr_options;
 
 typedef struct bkr_result {
@@ -124,6 +142,22 @@ typedef struct bkr_result {
 
 /* Fill `opts` with the library defaults. */
 void bkr_options_default(bkr_options* opts);
+
+/* --- cooperative cancellation ----------------------------------------- */
+
+/* A cancel token wraps one atomic flag. Attach it to any number of solves
+ * through bkr_options.cancel (or re-arm a live session with
+ * bkr_session_set_cancellation); setting it from any thread makes every
+ * attached solve abort with BKR_STATUS_CANCELLED at its next iteration
+ * boundary, leaving x at the last consistent iterate. */
+bkr_cancel_token* bkr_cancel_token_create(void);
+void bkr_cancel_token_destroy(bkr_cancel_token* token);
+/* Set the flag (thread-safe, may be called from a signal-adjacent thread). */
+void bkr_cancel_token_cancel(bkr_cancel_token* token);
+/* Clear the flag so the token can be reused for the next solve. */
+void bkr_cancel_token_reset(bkr_cancel_token* token);
+/* 1 if the flag is set. */
+int bkr_cancel_token_cancelled(const bkr_cancel_token* token);
 
 /* --- telemetry --------------------------------------------------------- */
 
@@ -221,6 +255,12 @@ int bkr_session_flush(bkr_session* session);
 int64_t bkr_session_solves(const bkr_session* session);
 /* 1 when the session was warm-started from a cached recycle space. */
 int bkr_session_warm_started(const bkr_session* session);
+/* Re-arm cancellation for the session's next solves: `token` (may be NULL)
+ * replaces the one captured at create, and `deadline_ms` (measured from
+ * this call; < 0 clears any deadline) replaces the create-time deadline.
+ * A long-lived server session calls this once per request. */
+void bkr_session_set_cancellation(bkr_session* session, bkr_cancel_token* token,
+                                  int64_t deadline_ms);
 
 /* --- double-precision complex (interleaved re/im) --------------------- */
 
@@ -246,6 +286,8 @@ int bkr_zsession_solve(bkr_zsession* session, const double* b_interleaved,
 int bkr_zsession_flush(bkr_zsession* session);
 int64_t bkr_zsession_solves(const bkr_zsession* session);
 int bkr_zsession_warm_started(const bkr_zsession* session);
+void bkr_zsession_set_cancellation(bkr_zsession* session, bkr_cancel_token* token,
+                                   int64_t deadline_ms);
 
 #ifdef __cplusplus
 } /* extern "C" */

@@ -86,6 +86,7 @@ void block_cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<
   }
 
   BKR_HOT_LOOP while (!converged() && st.iterations < opts.max_iterations) {
+    detail::poll_cancel(opts);
     {
       obs::ScopedPhase sp(trace, obs::Phase::Spmm);
       a.apply(MatrixView<const T>(pdir.data(), n, p, pdir.ld()), q.view());

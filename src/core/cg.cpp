@@ -120,6 +120,7 @@ void cg_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixView<const 
   }
 
   BKR_HOT_LOOP while (live_work() && st.iterations < opts.max_iterations) {
+    detail::poll_cancel(opts);
     {
       obs::ScopedPhase sp(trace, obs::Phase::Spmm);
       a.apply(MatrixView<const T>(d.data(), n, p, d.ld()), q.view());

@@ -86,6 +86,7 @@ struct ArnoldiCycle {
     index_t stag_count = 0;
     index_t j = 0;
     BKR_HOT_LOOP while (j < max_steps && st.iterations < opts.max_iterations) {
+      detail::poll_cancel(opts);
       const auto vj = MatrixView<const T>(v.col(j * p), n, p, v.ld());
       MatrixView<T> zj = (side == PrecondSide::Flexible) ? z.block(0, j * p, n, p) : ztmp.view();
       detail::apply_preconditioned<T>(a, m, side, vj, zj, w.view(), st, trace, rz);

@@ -63,6 +63,15 @@ class GcroDr {
   [[nodiscard]] const DenseMatrix<T>& recycled_c() const { return c_; }
   [[nodiscard]] const SolverOptions& options() const { return opts_; }
 
+  // Re-arm (or clear, with {nullptr, epoch}) cooperative cancellation on a
+  // persistent engine: the options snapshot is taken at construction, so
+  // per-request tokens/deadlines on a long-lived session go through here.
+  void set_cancellation(const std::atomic<bool>* cancel,
+                        std::chrono::steady_clock::time_point deadline) {
+    opts_.cancel = cancel;
+    opts_.deadline = deadline;
+  }
+
  private:
   SolverOptions opts_;
   DenseMatrix<T> u_, c_;  // persistent recycled subspace (n x k*p)
@@ -97,6 +106,13 @@ class PseudoGcroDr {
   [[nodiscard]] const DenseMatrix<T>& recycled_c() const { return c_; }
   [[nodiscard]] index_t recycle_lanes() const { return lanes_; }
   [[nodiscard]] const SolverOptions& options() const { return opts_; }
+
+  // See GcroDr::set_cancellation.
+  void set_cancellation(const std::atomic<bool>* cancel,
+                        std::chrono::steady_clock::time_point deadline) {
+    opts_.cancel = cancel;
+    opts_.deadline = deadline;
+  }
 
  private:
   SolverOptions opts_;

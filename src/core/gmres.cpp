@@ -106,6 +106,7 @@ void block_gmres_body(const LinearOperator<T>& a, Preconditioner<T>* m, MatrixVi
     Real stag_best = std::numeric_limits<Real>::infinity();
     index_t stag_count = 0;
     BKR_HOT_LOOP while (j < mdim && st.iterations < opts.max_iterations) {
+      detail::poll_cancel(opts);
       const auto vj = MatrixView<const T>(v.col(j * p), n, p, v.ld());
       MatrixView<T> zj =
           (side == PrecondSide::Flexible) ? z.block(0, j * p, n, p) : ztmp.view();
@@ -324,6 +325,7 @@ void pseudo_block_gmres_body(const LinearOperator<T>& a, Preconditioner<T>* m,
 
     index_t j = 0;
     BKR_HOT_LOOP while (j < mdim && st.iterations < opts.max_iterations) {
+      detail::poll_cancel(opts);
       // Zero the inputs of locked lanes so inner (block) preconditioners
       // never see stale data.
       for (index_t l = 0; l < p; ++l)

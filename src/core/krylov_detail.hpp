@@ -89,6 +89,28 @@ index_t usable_columns(const IncrementalQR<T>& qr, index_t s) {
   return s;
 }
 
+// True when a deadline is attached: the epoch default of
+// SolverOptions::deadline is the disabled sentinel, so solves without one
+// never read the clock on the hot path.
+inline bool deadline_enabled(const SolverOptions& opts) {
+  return opts.deadline.time_since_epoch().count() != 0;
+}
+
+// Cooperative cancellation/deadline poll (DESIGN.md §15), called once per
+// (block) outer iteration at the top of every solver's hot loop and once
+// at solve entry (so an already-expired deadline aborts before the first
+// operator apply). With no token and no deadline attached — the default —
+// this is two branch-predictable tests with no loads of shared state, so
+// it is sanctioned inside BKR_HOT_LOOP by bkr-lint --hotpath. The relaxed
+// load is deliberate: the only contract is "a flag set by another thread
+// is observed at some subsequent iteration boundary".
+BKR_HOT inline void poll_cancel(const SolverOptions& opts) {
+  if (opts.cancel != nullptr && opts.cancel->load(std::memory_order_relaxed))
+    throw BreakdownError(SolveStatus::Cancelled, "solve cancelled by token");
+  if (deadline_enabled(opts) && std::chrono::steady_clock::now() >= opts.deadline)
+    throw BreakdownError(SolveStatus::DeadlineExceeded, "solve deadline exceeded");
+}
+
 // Uniform solver entry wrapper: owns the wall clock, the begin/end trace
 // pairing, the terminal-status resolution and the translation of the two
 // structured abort exceptions into SolveStats. `body` is the solver's
@@ -109,6 +131,7 @@ SolveStats run_solver(const char* method, index_t n, index_t nrhs, const SolverO
   obs::TraceSink* const trace = opts.trace;
   if (trace != nullptr) trace->begin_solve(method, n, nrhs);
   try {
+    poll_cancel(opts);  // expired-at-entry deadline: abort with 0 applies
     body(st);
   } catch (const resilience::InjectedFault& f) {
     st.converged = false;
@@ -123,7 +146,8 @@ SolveStats run_solver(const char* method, index_t n, index_t nrhs, const SolverO
   st.seconds = timer.seconds();
   if (trace != nullptr) trace->end_solve(st.converged, st.iterations, st.cycles, st.seconds);
   if (opts.recovery.throw_on_failure && !st.converged &&
-      st.status != SolveStatus::MaxIterations && st.status != SolveStatus::Stagnated)
+      st.status != SolveStatus::MaxIterations && st.status != SolveStatus::Stagnated &&
+      st.status != SolveStatus::Cancelled && st.status != SolveStatus::DeadlineExceeded)
     throw BreakdownError(st.status, std::string(method) + ": " + status_name(st.status));
   return st;
 }

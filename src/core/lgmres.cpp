@@ -102,6 +102,7 @@ void lgmres_body(const LinearOperator<T>& a, Preconditioner<T>* m, const std::ve
     Real stag_best = std::numeric_limits<Real>::infinity();
     index_t stag_count = 0;
     BKR_HOT_LOOP while (j < total && st.iterations < opts.max_iterations) {
+      detail::poll_cancel(opts);
       const bool is_aug = j >= mk;
       MatrixView<const T> input =
           is_aug ? MatrixView<const T>(augmented[size_t(j - mk)].data(), n, 1, n)

@@ -387,6 +387,7 @@ SolveStats PseudoGcroDr<T>::solve(const LinearOperator<T>& a, Preconditioner<T>*
 
     index_t j = 0;
     BKR_HOT_LOOP while (j < max_steps && st.iterations < opts_.max_iterations) {
+      detail::poll_cancel(opts_);
       // Assemble the batched operator input (zeroing locked lanes so inner
       // block preconditioners never see stale data).
       vin.set_zero();

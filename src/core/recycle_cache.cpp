@@ -1,5 +1,6 @@
 #include "core/recycle_cache.hpp"
 
+#include <cstdio>
 #include <fstream>
 
 namespace bkr {
@@ -115,32 +116,44 @@ void RecycleCache::clear() {
 }
 
 bool RecycleCache::save(const std::string& path) const {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) return false;
-  std::lock_guard<std::mutex> lock(mutex_);
-  os.write(kMagic, sizeof kMagic);
-  if (!write_pod(os, kFormatVersion)) return false;
-  const std::uint64_t count = entries_.size();
-  if (!write_pod(os, count)) return false;
-  for (const auto& [key, entry] : entries_) {
-    const RecycleSpace& s = entry.space;
-    EntryHeader h;
-    h.fingerprint = key.fingerprint;
-    h.method = key.method;
-    h.scalar = key.scalar;
-    h.n = std::uint64_t(s.n);
-    h.cols = std::uint64_t(s.cols);
-    h.lanes = std::uint64_t(s.lanes);
-    h.is_complex = s.is_complex ? 1 : 0;
-    h.doubles = s.u.size();
-    if (!write_pod(os, h)) return false;
-    os.write(reinterpret_cast<const char*>(s.u.data()),
-             std::streamsize(s.u.size() * sizeof(double)));
-    os.write(reinterpret_cast<const char*>(s.c.data()),
-             std::streamsize(s.c.size() * sizeof(double)));
-    if (!write_pod(os, entry_checksum(h, s.u, s.c))) return false;
+  // Atomic snapshot: write the full image to a sibling temp file, then
+  // rename over the target. A crash or write failure mid-save can never
+  // destroy the previous good snapshot (the rename is all-or-nothing on
+  // POSIX filesystems).
+  const std::string tmp = path + ".tmp";
+  bool ok = false;
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    os.write(kMagic, sizeof kMagic);
+    ok = write_pod(os, kFormatVersion);
+    const std::uint64_t count = entries_.size();
+    ok = ok && write_pod(os, count);
+    for (auto it = entries_.begin(); ok && it != entries_.end(); ++it) {
+      const RecycleSpace& s = it->second.space;
+      EntryHeader h;
+      h.fingerprint = it->first.fingerprint;
+      h.method = it->first.method;
+      h.scalar = it->first.scalar;
+      h.n = std::uint64_t(s.n);
+      h.cols = std::uint64_t(s.cols);
+      h.lanes = std::uint64_t(s.lanes);
+      h.is_complex = s.is_complex ? 1 : 0;
+      h.doubles = s.u.size();
+      ok = write_pod(os, h);
+      os.write(reinterpret_cast<const char*>(s.u.data()),
+               std::streamsize(s.u.size() * sizeof(double)));
+      os.write(reinterpret_cast<const char*>(s.c.data()),
+               std::streamsize(s.c.size() * sizeof(double)));
+      ok = ok && write_pod(os, entry_checksum(h, s.u, s.c));
+    }
+    os.flush();
+    ok = ok && bool(os);
   }
-  return bool(os);
+  if (ok && std::rename(tmp.c_str(), path.c_str()) != 0) ok = false;
+  if (!ok) std::remove(tmp.c_str());
+  return ok;
 }
 
 bool RecycleCache::load(const std::string& path, obs::TraceSink* sink) {

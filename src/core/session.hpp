@@ -139,6 +139,19 @@ class SolverSession {
   // True when construction installed a cached recycle space.
   [[nodiscard]] bool warm_started() const { return warm_; }
 
+  // Attach (or clear, with {nullptr, epoch}) cooperative cancellation for
+  // the *next* solves of this session. Options are otherwise frozen at
+  // construction; a long-lived server session re-arms per request through
+  // here. The token is not owned and must stay alive across the solve.
+  void set_cancellation(const std::atomic<bool>* cancel,
+                        std::chrono::steady_clock::time_point deadline =
+                            std::chrono::steady_clock::time_point{}) {
+    cfg_.options.cancel = cancel;
+    cfg_.options.deadline = deadline;
+    gcro_.set_cancellation(cancel, deadline);
+    pgcro_.set_cancellation(cancel, deadline);
+  }
+
   // True when the session executes applies through the sharded SPMD layer
   // (options().shards > 0, DESIGN.md §13).
   [[nodiscard]] bool sharded() const { return sharded_ != nullptr; }

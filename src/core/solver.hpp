@@ -1,6 +1,8 @@
 // Solver options and statistics shared by every iterative method.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -35,9 +37,15 @@ enum class SolveStatus : int {
                          // was disabled (RecoveryPolicy::shrink_recycle = false)
   Faulted,               // an injected fault terminated the solve, or the final
                          // true-residual check caught a corrupted recursion
+  Cancelled,             // SolverOptions::cancel flag observed set at an
+                         // iteration boundary; x holds the last consistent
+                         // partial iterate
+  DeadlineExceeded,      // SolverOptions::deadline passed at an iteration
+                         // boundary (or before the first operator apply when
+                         // the deadline was already expired at entry)
 };
 
-inline constexpr int kSolveStatusCount = 8;
+inline constexpr int kSolveStatusCount = 10;
 
 // Stable lowercase identifier ("converged", "max-iterations", ...).
 inline const char* status_name(SolveStatus s) {
@@ -50,6 +58,8 @@ inline const char* status_name(SolveStatus s) {
     case SolveStatus::PreconditionerFailure: return "preconditioner-failure";
     case SolveStatus::EigSolveFailure: return "eig-solve-failure";
     case SolveStatus::Faulted: return "faulted";
+    case SolveStatus::Cancelled: return "cancelled";
+    case SolveStatus::DeadlineExceeded: return "deadline-exceeded";
   }
   return "unknown";
 }
@@ -102,8 +112,9 @@ struct RecoveryPolicy {
   // whenever a FaultInjector is attached.
   bool final_check = false;
   // Surface hard failures (Breakdown, NonFiniteResidual,
-  // PreconditionerFailure, EigSolveFailure, Faulted — not MaxIterations or
-  // Stagnated) as a thrown BreakdownError after SolveStats is finalized.
+  // PreconditionerFailure, EigSolveFailure, Faulted — not the soft exits
+  // MaxIterations, Stagnated, Cancelled or DeadlineExceeded) as a thrown
+  // BreakdownError after SolveStats is finalized.
   bool throw_on_failure = false;
 };
 
@@ -197,6 +208,21 @@ struct SolverOptions {
   // acquire with fresh zero-initialized semantics, so histories and
   // solutions are bitwise identical to the legacy allocating code.
   SolverWorkspaceBase* workspace = nullptr;
+  // Cooperative cancellation (DESIGN.md §15). When non-null, every solver
+  // polls the flag once per (block) outer iteration at the top of its hot
+  // loop and aborts with SolveStatus::Cancelled, leaving x at the last
+  // consistent iterate. Relaxed loads only — the owner sets the flag from
+  // another thread (server watchdog, SIGTERM drain) and needs no stronger
+  // ordering than "observed at the next iteration boundary". Null — the
+  // default — reduces the poll to one pointer test: numerics are bitwise
+  // identical to a build without the mechanism.
+  const std::atomic<bool>* cancel = nullptr;
+  // Cooperative deadline on the steady clock. The epoch default disables
+  // the check entirely (no clock reads on the hot path). When set, the
+  // solver compares steady_clock::now() against it alongside the cancel
+  // poll and aborts with SolveStatus::DeadlineExceeded; a deadline already
+  // expired at solve entry aborts before the first operator apply.
+  std::chrono::steady_clock::time_point deadline{};
 };
 
 struct SolveStats {

@@ -3,6 +3,8 @@
 // start (a bad snapshot must degrade to an empty cache, never bad data).
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+
 #include <complex>
 #include <cstdio>
 #include <fstream>
@@ -231,6 +233,60 @@ TEST(RecycleCache, RejectsMissingAndForeignFiles) {
   }
   EXPECT_FALSE(cache.load(path));
   EXPECT_EQ(cache.counters().entries, 0u);
+  std::remove(path.c_str());
+}
+
+// The atomic-save contract: a save that fails partway must leave the
+// previous good snapshot untouched and loadable (the write goes to a
+// sibling ".tmp" and only a fully-flushed image is renamed over the
+// target). The trap: a directory squatting on the temp path makes every
+// write attempt fail deterministically.
+TEST(RecycleCache, FailedSaveLeavesOldSnapshotLoadable) {
+  const std::string path = temp_path("bkr_cache_atomic.bkrc");
+  const CacheKey key{0x51, 3, 0};
+  RecycleCache first;
+  first.store(key, make_space(8, 2, 7));
+  ASSERT_TRUE(first.save(path));
+
+  ASSERT_EQ(::mkdir((path + ".tmp").c_str(), 0755), 0);
+  RecycleCache second;
+  second.store(key, make_space(8, 2, 99));
+  second.store(CacheKey{0x52, 3, 0}, make_space(8, 2, 100));
+  EXPECT_FALSE(second.save(path));  // cannot open the temp file
+
+  // The failed save destroyed nothing: the old snapshot still loads with
+  // the first cache's payload, not the second's.
+  RecycleCache loaded;
+  ASSERT_TRUE(loaded.load(path));
+  EXPECT_EQ(loaded.counters().entries, 1u);
+  RecycleSpace got, want;
+  ASSERT_TRUE(loaded.fetch(key, &got));
+  ASSERT_TRUE(first.fetch(key, &want));
+  ASSERT_EQ(got.u.size(), want.u.size());
+  for (size_t i = 0; i < got.u.size(); ++i) EXPECT_EQ(got.u[i], want.u[i]);
+
+  ASSERT_EQ(::rmdir((path + ".tmp").c_str()), 0);
+  std::remove(path.c_str());
+}
+
+TEST(RecycleCache, SaveReplacesSnapshotAndLeavesNoTempFile) {
+  const std::string path = temp_path("bkr_cache_replace.bkrc");
+  RecycleCache first;
+  first.store(CacheKey{0x61, 3, 0}, make_space(8, 2, 1));
+  ASSERT_TRUE(first.save(path));
+  RecycleCache second;
+  second.store(CacheKey{0x62, 3, 0}, make_space(8, 2, 2));
+  second.store(CacheKey{0x63, 3, 0}, make_space(8, 2, 3));
+  ASSERT_TRUE(second.save(path));  // rename over the old snapshot
+
+  RecycleCache loaded;
+  ASSERT_TRUE(loaded.load(path));
+  EXPECT_EQ(loaded.counters().entries, 2u);
+  RecycleSpace out;
+  EXPECT_FALSE(loaded.fetch(CacheKey{0x61, 3, 0}, &out));  // old content gone
+  EXPECT_TRUE(loaded.fetch(CacheKey{0x62, 3, 0}, &out));
+  struct stat sb;
+  EXPECT_NE(::stat((path + ".tmp").c_str(), &sb), 0);  // no debris
   std::remove(path.c_str());
 }
 

@@ -8,6 +8,9 @@
 // non-Converged status — never a crash, hang, or silently wrong answer.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cmath>
 #include <set>
 #include <string>
 
@@ -15,6 +18,7 @@
 #include "core/cg.hpp"
 #include "core/gcrodr.hpp"
 #include "core/gmres.hpp"
+#include "core/krylov_detail.hpp"
 #include "core/lgmres.hpp"
 #include "fem/poisson2d.hpp"
 #include "obs/trace.hpp"
@@ -630,6 +634,199 @@ TEST(Chaos, ShardHaloPlanDormantAtOneShard) {
   EXPECT_TRUE(st.converged);
   EXPECT_EQ(inj.visits(FaultSite::ShardHalo), 0);
   EXPECT_EQ(inj.injected(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative cancellation and deadlines (DESIGN.md §15): the client-side
+// abort channel is subject to the same chaos contract as injected faults —
+// terminate promptly at an iteration boundary, report the precise status,
+// and leave a finite (if unconverged) iterate behind.
+
+// Wraps the CSR apply and trips the shared cancel token at the k-th
+// operator visit, modelling a client that cancels mid-solve.
+class CancelAfterOperator final : public LinearOperator<double> {
+ public:
+  CancelAfterOperator(const CsrMatrix<double>& a, std::atomic<bool>* token,
+                      std::int64_t at_visit)
+      : op_(a), token_(token), at_visit_(at_visit) {}
+  [[nodiscard]] index_t n() const override { return op_.n(); }
+  void apply(MatrixView<const double> x, MatrixView<double> y) const override {
+    op_.apply(x, y);
+    if (++visits_ == at_visit_) token_->store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t visits() const { return visits_; }
+
+ private:
+  CsrOperator<double> op_;
+  std::atomic<bool>* token_;
+  std::int64_t at_visit_;
+  mutable std::int64_t visits_ = 0;
+};
+
+struct CancelEntry {
+  const char* name;
+  SolveStats (*run)(const LinearOperator<double>&, MatrixView<const double>, MatrixView<double>,
+                    const SolverOptions&);
+};
+
+SolveStats cancel_cg(const LinearOperator<double>& op, MatrixView<const double> b,
+                     MatrixView<double> x, const SolverOptions& opts) {
+  return cg<double>(op, nullptr, b, x, opts);
+}
+SolveStats cancel_block_cg(const LinearOperator<double>& op, MatrixView<const double> b,
+                           MatrixView<double> x, const SolverOptions& opts) {
+  return block_cg<double>(op, nullptr, b, x, opts);
+}
+SolveStats cancel_block_gmres(const LinearOperator<double>& op, MatrixView<const double> b,
+                              MatrixView<double> x, const SolverOptions& opts) {
+  return block_gmres<double>(op, nullptr, b, x, opts);
+}
+SolveStats cancel_pseudo_gmres(const LinearOperator<double>& op, MatrixView<const double> b,
+                               MatrixView<double> x, const SolverOptions& opts) {
+  return pseudo_block_gmres<double>(op, nullptr, b, x, opts);
+}
+SolveStats cancel_lgmres(const LinearOperator<double>& op, MatrixView<const double> b,
+                         MatrixView<double> x, const SolverOptions& opts) {
+  const index_t n = op.n();
+  std::vector<double> bv(b.data(), b.data() + n), xv(n, 0.0);
+  const auto st = lgmres<double>(op, nullptr, bv, xv, opts);
+  for (index_t i = 0; i < n; ++i) x(i, 0) = xv[size_t(i)];
+  return st;
+}
+SolveStats cancel_gcrodr(const LinearOperator<double>& op, MatrixView<const double> b,
+                         MatrixView<double> x, const SolverOptions& opts) {
+  GcroDr<double> solver(opts);
+  return solver.solve(op, nullptr, b, x);
+}
+SolveStats cancel_pseudo_gcrodr(const LinearOperator<double>& op, MatrixView<const double> b,
+                                MatrixView<double> x, const SolverOptions& opts) {
+  PseudoGcroDr<double> solver(opts);
+  return solver.solve(op, nullptr, b, x);
+}
+
+const CancelEntry kCancelEntries[] = {
+    {"cg", cancel_cg},
+    {"block_cg", cancel_block_cg},
+    {"block_gmres", cancel_block_gmres},
+    {"pseudo_block_gmres", cancel_pseudo_gmres},
+    {"lgmres", cancel_lgmres},
+    {"gcrodr", cancel_gcrodr},
+    {"pseudo_gcrodr", cancel_pseudo_gcrodr},
+};
+
+TEST(Cancellation, CancelMidIterationAllSolvers) {
+  const auto a = poisson2d(7, 7);
+  const index_t n = a.rows();
+  DenseMatrix<double> b(n, 2);
+  const auto f0 = poisson2d_rhs(7, 7, 0.1);
+  const auto f1 = poisson2d_rhs(7, 7, 10.0);
+  std::copy(f0.begin(), f0.end(), b.col(0));
+  std::copy(f1.begin(), f1.end(), b.col(1));
+
+  for (const CancelEntry& entry : kCancelEntries) {
+    for (const std::int64_t visit : {1, 3, 7}) {
+      SCOPED_TRACE(std::string(entry.name) + " visit=" + std::to_string(visit));
+      std::atomic<bool> token{false};
+      CancelAfterOperator op(a, &token, visit);
+      SolverOptions opts;
+      opts.restart = 12;
+      opts.recycle = 4;
+      opts.tol = 0;  // smoother mode: the solve can only end by cancellation
+      opts.max_iterations = 400;
+      opts.cancel = &token;
+      DenseMatrix<double> x(n, 2);
+      SolveStats st;
+      ASSERT_NO_THROW(st = entry.run(op, b.view(), x.view(), opts));
+      EXPECT_FALSE(st.converged);
+      EXPECT_EQ(st.status, SolveStatus::Cancelled);
+      // The abort happens at an iteration boundary, not an arbitrary point:
+      // the iterate left behind must be a consistent, finite vector.
+      for (index_t c = 0; c < 2; ++c)
+        for (index_t i = 0; i < n; ++i) EXPECT_TRUE(std::isfinite(x(i, c)));
+      EXPECT_LE(st.iterations, opts.max_iterations);
+      EXPECT_GE(op.visits(), visit);  // the trip point really was reached
+    }
+  }
+}
+
+TEST(Cancellation, ExpiredDeadlineAbortsBeforeFirstOperatorApply) {
+  const auto a = poisson2d(7, 7);
+  const index_t n = a.rows();
+  DenseMatrix<double> b(n, 2);
+  const auto f0 = poisson2d_rhs(7, 7, 0.1);
+  std::copy(f0.begin(), f0.end(), b.col(0));
+  std::copy(f0.begin(), f0.end(), b.col(1));
+
+  for (const CancelEntry& entry : kCancelEntries) {
+    SCOPED_TRACE(entry.name);
+    std::atomic<bool> token{false};
+    CancelAfterOperator op(a, &token, std::int64_t(1) << 40);
+    SolverOptions opts;
+    opts.restart = 12;
+    opts.recycle = 4;
+    opts.max_iterations = 400;
+    opts.deadline = std::chrono::steady_clock::now();  // already expired
+    DenseMatrix<double> x(n, 2);
+    SolveStats st;
+    ASSERT_NO_THROW(st = entry.run(op, b.view(), x.view(), opts));
+    EXPECT_FALSE(st.converged);
+    EXPECT_EQ(st.status, SolveStatus::DeadlineExceeded);
+    // The entry check fires before the body: zero work was spent.
+    EXPECT_EQ(op.visits(), 0);
+    EXPECT_EQ(st.operator_applies, 0);
+  }
+}
+
+TEST(Cancellation, PreSetTokenAbortsBeforeFirstOperatorApply) {
+  const auto a = poisson2d(7, 7);
+  const index_t n = a.rows();
+  DenseMatrix<double> b(n, 1);
+  const auto f0 = poisson2d_rhs(7, 7, 0.1);
+  std::copy(f0.begin(), f0.end(), b.col(0));
+  std::atomic<bool> token{true};
+  CancelAfterOperator op(a, &token, std::int64_t(1) << 40);
+  SolverOptions opts;
+  opts.cancel = &token;
+  DenseMatrix<double> x(n, 1);
+  SolveStats st;
+  ASSERT_NO_THROW(st = cancel_cg(op, b.view(), x.view(), opts));
+  EXPECT_EQ(st.status, SolveStatus::Cancelled);
+  EXPECT_EQ(op.visits(), 0);
+}
+
+TEST(Cancellation, DefaultedOffSolvesAreUntouched) {
+  // The cancellation channel must be invisible when unused: a plain solve
+  // with default options still converges with the exact same status
+  // contract as before the channel existed.
+  const auto a = poisson2d(8, 8);
+  CsrOperator<double> op(a);
+  const auto b = poisson2d_rhs(8, 8, 0.1);
+  std::vector<double> x(b.size(), 0.0);
+  SolverOptions opts;
+  EXPECT_EQ(opts.cancel, nullptr);
+  EXPECT_FALSE(detail::deadline_enabled(opts));
+  const auto st = gmres<double>(op, nullptr, b, x, opts);
+  EXPECT_TRUE(st.converged);
+  EXPECT_EQ(st.status, SolveStatus::Converged);
+}
+
+TEST(Cancellation, ThrowOnFailureDoesNotEscalateCancellation) {
+  // Cancellation and deadlines are client verdicts, not solver failures:
+  // throw_on_failure must leave them as statuses, like MaxIterations.
+  const auto a = poisson2d(7, 7);
+  const index_t n = a.rows();
+  DenseMatrix<double> b(n, 1);
+  const auto f0 = poisson2d_rhs(7, 7, 0.1);
+  std::copy(f0.begin(), f0.end(), b.col(0));
+  std::atomic<bool> token{true};
+  CsrOperator<double> op(a);
+  SolverOptions opts;
+  opts.cancel = &token;
+  opts.recovery.throw_on_failure = true;
+  DenseMatrix<double> x(n, 1);
+  SolveStats st;
+  EXPECT_NO_THROW(st = cg<double>(op, nullptr, b.view(), x.view(), opts));
+  EXPECT_EQ(st.status, SolveStatus::Cancelled);
 }
 
 }  // namespace

@@ -76,7 +76,8 @@
 // KernelExecutor::run / parallel_for, and hotness propagates to named
 // callees; BKR_COLD (on a function, class, lambda or bare block) stops it.
 // Rules: hot-path-alloc, hot-path-lock, hot-path-io, hot-path-throw,
-// hot-path-virtual — see the comment block above class Hotpath.
+// hot-path-virtual, hot-path-clock — see the comment block above class
+// Hotpath.
 //
 // The annotation vocabulary (no-op macros) lives in common/contracts.hpp;
 // DESIGN.md §7 documents the model and the normative DAG, §11 the hot-path
@@ -1530,6 +1531,14 @@ int coverage_report_tree(const fs::path& root, double floor_value) {
 //   hot-path-virtual  virtual-method call inside a BKR_HOT_LOOP body.
 //                     Classes annotated `class BKR_COLD X` (null-guarded,
 //                     amortized observers) are exempt.
+//   hot-path-clock    raw clock read (`now(`) inside a BKR_HOT_LOOP body.
+//                     The sanctioned cancellation/deadline check is
+//                     `detail::poll_cancel(opts)` (DESIGN.md §15): a relaxed
+//                     atomic load plus one steady_clock compare per outer
+//                     iteration that escalates via `throw BreakdownError`,
+//                     all of which this stage deliberately allows — the
+//                     poll helper is exempt; ad-hoc clock math in the loop
+//                     body itself is not.
 
 class Hotpath {
  public:
@@ -2019,6 +2028,12 @@ class Hotpath {
         if (w != "BreakdownError") add(fn.file, "hot-path-throw", line_no);
       } else if (in_loop && member && next == '(' && virtuals_.count(w) != 0) {
         add(fn.file, "hot-path-virtual", line_no);
+      } else if (in_loop && w == "now" && next == '(') {
+        // Deadline checks belong in detail::poll_cancel (BKR_HOT, straight-
+        // line, once per outer iteration) — the one sanctioned clock/cancel
+        // poll site in hot code. A raw clock read spelled out in the loop
+        // body is unbounded timing traffic and gets flagged.
+        add(fn.file, "hot-path-clock", line_no);
       }
       prev_word = w;
     }
@@ -3253,6 +3268,44 @@ int self_test() {
          "BKR_HOT void f(double* p) {\n"
          "  auto* q = new double[8];  // bkr-lint: allow(hot-path-alloc)\n  use(p, q);\n}\n"}},
        nullptr, 0.0, true},
+      // The cancellation poll (DESIGN.md §15) is the sanctioned abort check
+      // in hot loops: a relaxed atomic load, one steady_clock compare and a
+      // BreakdownError escalation, packaged as detail::poll_cancel. The
+      // whole idiom must lint clean inside a BKR_HOT_LOOP...
+      {"hotpath-cancel-poll-call-clean",
+       {{"src/core/h.cpp",
+         "BKR_HOT inline void poll_cancel(const SolverOptions& opts) {\n"
+         "  if (opts.cancel != nullptr && opts.cancel->load(std::memory_order_relaxed))\n"
+         "    throw BreakdownError(SolveStatus::Cancelled, \"cancelled\");\n"
+         "  if (deadline_enabled(opts) && std::chrono::steady_clock::now() >= opts.deadline)\n"
+         "    throw BreakdownError(SolveStatus::DeadlineExceeded, \"deadline\");\n"
+         "}\n"
+         "void f(const SolverOptions& opts, int n) {\n"
+         "  BKR_HOT_LOOP while (n-- > 0) {\n    poll_cancel(opts);\n    use(n);\n  }\n}\n"}},
+       nullptr, 0.0, true},
+      // ...including the flag check written inline at the loop top.
+      {"hotpath-cancel-flag-inline-clean",
+       {{"src/core/h.cpp",
+         "void f(const SolverOptions& opts, int n) {\n"
+         "  BKR_HOT_LOOP while (n-- > 0) {\n"
+         "    if (opts.cancel != nullptr && opts.cancel->load(std::memory_order_relaxed))\n"
+         "      throw BreakdownError(SolveStatus::Cancelled, \"cancelled\");\n"
+         "    use(n);\n  }\n}\n"}},
+       nullptr, 0.0, true},
+      // The boundary of the allowance: ad-hoc clock math spelled out in the
+      // loop body (instead of delegating to the poll helper) is flagged...
+      {"hotpath-raw-clock-in-loop",
+       {{"src/core/h.cpp",
+         "void f(Deadline d, int n) {\n  BKR_HOT_LOOP while (n-- > 0) {\n"
+         "    if (std::chrono::steady_clock::now() >= d.when) break;\n    use(n);\n  }\n}\n"}},
+       "hot-path-clock", 0.0, true},
+      // ...and so is a mutex-guarded cancellation flag: only the lock-free
+      // poll is sanctioned in hot code.
+      {"hotpath-locked-cancel-flag-in-loop",
+       {{"src/core/h.cpp",
+         "void f(std::mutex& m, bool* flag, int n) {\n  BKR_HOT_LOOP while (n-- > 0) {\n"
+         "    std::lock_guard<std::mutex> lk(m);\n    if (*flag) break;\n  }\n}\n"}},
+       "hot-path-lock", 0.0, true},
   };
   for (const AnalyzeCase& c : pcases) {
     std::vector<SourceFile> fv;
